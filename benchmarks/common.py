@@ -1,0 +1,69 @@
+"""Shared machinery for the benchmark harness.
+
+- :func:`emit` prints an experiment's regenerated rows to the real terminal
+  (pytest captures normal stdout during ``--benchmark-only`` runs) and
+  archives them under ``benchmarks/out/``;
+- :func:`corundum_run` caches the Table I / Fig. 4 DSE so both benches
+  share one exploration, as they share one run in the paper.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.core import DseSession, MetricSpec
+from repro.designs import get_design
+
+OUT_DIR = Path(__file__).parent / "out"
+
+FOUR_METRICS = [
+    MetricSpec.minimize("LUT"),
+    MetricSpec.minimize("FF"),
+    MetricSpec.minimize("BRAM"),
+    MetricSpec.maximize("frequency"),
+]
+
+
+def emit(experiment: str, text: str) -> None:
+    """Write regenerated rows to the terminal and to benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{experiment}.txt").write_text(text + "\n", encoding="utf-8")
+    real_stdout = getattr(sys, "__stdout__", sys.stdout)
+    real_stdout.write(f"\n===== {experiment} =====\n{text}\n")
+    real_stdout.flush()
+
+
+_CACHE: dict[str, object] = {}
+
+
+def corundum_run():
+    """The shared Corundum DSE (Table I + Fig. 4): 4 objectives, no model."""
+    if "corundum" not in _CACHE:
+        design = get_design("corundum-cqm")
+        session = DseSession(
+            design=design,
+            part="XC7K70T",
+            metrics=FOUR_METRICS,
+            use_model=False,
+            seed=2021,
+        )
+        result = session.explore(generations=14, population=24)
+        _CACHE["corundum"] = result
+    return _CACHE["corundum"]
+
+
+def tirex_run(part: str):
+    """The TiReX DSE on one device (Figs. 6/7 + Table II)."""
+    key = f"tirex:{part}"
+    if key not in _CACHE:
+        design = get_design("tirex")
+        session = DseSession(
+            design=design,
+            part=part,
+            metrics=FOUR_METRICS,
+            use_model=False,
+            seed=2021,
+        )
+        _CACHE[key] = session.explore(generations=12, population=20)
+    return _CACHE[key]

@@ -1,0 +1,33 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper artifact (table or figure) through
+:func:`common.emit`, which archives the rows under ``benchmarks/out/``.
+Because pytest captures file descriptors during the run, the regenerated
+artifacts are replayed in the terminal summary below — so a plain
+``pytest benchmarks/ --benchmark-only`` run ends with every reproduced
+table/figure inline.
+"""
+
+import sys
+from pathlib import Path
+
+# Make the sibling `common` module importable regardless of rootdir layout.
+sys.path.insert(0, str(Path(__file__).parent))
+
+_OUT_DIR = Path(__file__).parent / "out"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Replay the regenerated paper artifacts after the benchmark table."""
+    if not _OUT_DIR.exists():
+        return
+    artifacts = sorted(_OUT_DIR.glob("*.txt"))
+    if not artifacts:
+        return
+    tr = terminalreporter
+    tr.section("regenerated paper artifacts (benchmarks/out/)")
+    for path in artifacts:
+        tr.write_line("")
+        tr.write_line(f"===== {path.stem} =====")
+        for line in path.read_text(encoding="utf-8").splitlines():
+            tr.write_line(line)

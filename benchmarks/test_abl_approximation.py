@@ -1,0 +1,77 @@
+"""Ablation 1 — the fitness approximation model's tool-call savings.
+
+The approximation model exists to cut the number of real synthesis/
+implementation runs ("this naive approach implies calling Vivado for each
+exploration iteration ... requiring prohibitive execution times").  This
+ablation runs the same cv32e40p-FIFO exploration with the model disabled
+and enabled and compares real tool runs and simulated tool hours.
+
+Shape checks: with the model on, a substantial fraction of fitness queries
+are answered by estimation or cache, and the post-pretraining tool cost is
+lower than the direct-evaluation run's.
+"""
+
+from __future__ import annotations
+
+from common import emit
+from repro.core import DseSession, ParameterSpace
+from repro.designs import get_design
+from repro.util.tables import render_table
+
+GENERATIONS = 10
+POPULATION = 16
+PRETRAIN = 40
+
+
+def _run(use_model: bool):
+    design = get_design("cv32e40p-fifo")
+    space = ParameterSpace.from_design(design, names=["DEPTH"])
+    session = DseSession(
+        design=design,
+        space=space,
+        part="XC7K70T",
+        use_model=use_model,
+        pretrain_size=PRETRAIN,
+        seed=2021,
+    )
+    result = session.explore(generations=GENERATIONS, population=POPULATION)
+    return result
+
+
+def _experiment():
+    return {"direct": _run(False), "model": _run(True)}
+
+
+def test_abl_approximation(benchmark):
+    runs = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    direct, model = runs["direct"], runs["model"]
+
+    rows = [
+        (
+            name,
+            r.evaluations,
+            r.tool_runs,
+            r.stats.get("estimated", 0),
+            r.stats.get("cached", 0),
+            round(r.simulated_seconds / 3600.0, 2),
+            len(r.pareto),
+        )
+        for name, r in (("direct (no model)", direct), ("NWM + control", model))
+    ]
+    text = render_table(
+        ("Mode", "Fitness evals", "Tool runs", "Estimated", "Cached",
+         "Tool-hours (simulated)", "Pareto size"),
+        rows,
+        title="Ablation — approximation model on/off (cv32e40p FIFO, DEPTH space)",
+    )
+    emit("abl_approximation", text)
+
+    assert model.stats.get("estimated", 0) > 0, "model never estimated"
+    # GA-phase tool runs with the model must undercut direct evaluation
+    # (pretraining is the fixed investment the paper's M parameter sets).
+    model_ga_runs = model.tool_runs - PRETRAIN
+    assert model_ga_runs < direct.tool_runs
+    # And at least a third of GA fitness queries avoided the tool
+    # (`evaluations` counts GA-phase queries only; pretraining is separate).
+    avoided = model.stats.get("estimated", 0) + model.stats.get("cached", 0)
+    assert avoided >= 0.33 * model.evaluations

@@ -1,0 +1,70 @@
+"""Ablation 5 — the run-time algorithm chooser.
+
+Paper future work: "we envision an investigation on a run-time choice
+among various algorithms based on information from synthetic dataset
+generation."  This ablation exercises both mechanisms on the Corundum
+space:
+
+1. the heuristic recommendation (space size + dataset ruggedness);
+2. the empirical probe: equal small budgets for NSGA-II, MOSA, and random
+   search, scored by hypervolume-per-evaluation.
+
+Shape checks: the probe's winner is never random search; merged probe
+archives yield a valid front.
+"""
+
+from __future__ import annotations
+
+from common import emit
+from repro.core import DseSession
+from repro.core.fitness import DseProblem
+from repro.designs import get_design
+from repro.moo.portfolio import (
+    pareto_of_merged,
+    probe_and_choose,
+    recommend_algorithm,
+)
+from repro.util.tables import render_kv, render_table
+
+
+def _experiment():
+    design = get_design("corundum-cqm")
+    session = DseSession(
+        design=design, part="XC7K70T",
+        use_model=True, pretrain_size=30, seed=2021,
+    )
+    session.fitness.pretrain()
+    problem = DseProblem(session.fitness)
+
+    recommendation = recommend_algorithm(
+        problem, session.fitness.control.dataset
+    )
+    choice, merged, scores = probe_and_choose(problem, probe_budget=40, seed=2021)
+    front = pareto_of_merged(merged)
+    return recommendation, choice, scores, len(merged), len(front)
+
+
+def test_abl_portfolio(benchmark):
+    recommendation, choice, scores, merged_n, front_n = benchmark.pedantic(
+        _experiment, rounds=1, iterations=1
+    )
+
+    rows = [(name, f"{v:.4g}") for name, v in sorted(
+        scores.items(), key=lambda kv: -kv[1]
+    )]
+    text = render_table(
+        ("Algorithm", "HV per evaluation"),
+        rows,
+        title="Ablation — probe-based algorithm choice (Corundum CQM)",
+    )
+    text += "\n\n" + render_kv({
+        "heuristic recommendation": f"{recommendation.name} ({recommendation.reason})",
+        "probe winner": choice.name,
+        "merged probe archive": merged_n,
+        "merged front size": front_n,
+    })
+    emit("abl_portfolio", text)
+
+    assert choice.name != "random", scores
+    assert front_n >= 1
+    assert recommendation.name in ("nsga2", "mosa", "exhaustive")

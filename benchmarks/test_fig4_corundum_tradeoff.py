@@ -1,0 +1,58 @@
+"""Figure 4 — quantitative trade-offs of the Corundum non-dominated set.
+
+Fig. 4 plots the metric values of the Table I configurations: "the module
+is constant in the number of BRAMs needed, while the LUTs and Registers
+numbers vary according [to] Table I configurations.  On the other hand,
+this module achieves a running frequency near 200 MHz."
+
+Shape checks: BRAM constant across every non-dominated point, LUT and FF
+columns actually spread, all frequencies in the neighbourhood of 200 MHz.
+"""
+
+from __future__ import annotations
+
+from common import corundum_run, emit
+from repro.util.tables import render_table
+
+
+def test_fig4_corundum_tradeoff(benchmark):
+    result = benchmark.pedantic(corundum_run, rounds=1, iterations=1)
+    pareto = result.pareto
+
+    labels = [chr(ord("A") + i) for i in range(len(pareto))]
+    rows = [
+        (
+            label,
+            round(p.metrics["LUT"]),
+            round(p.metrics["FF"]),
+            round(p.metrics["BRAM"]),
+            round(p.metrics["frequency"], 1),
+        )
+        for label, p in zip(labels, pareto)
+    ]
+    text = render_table(
+        ("Point", "LUTs", "Registers", "BRAM", "Fmax [MHz]"),
+        rows,
+        title="Fig.4 — Corundum solution trade-offs "
+              "(paper: BRAM constant, Fmax near 200 MHz)",
+    )
+    from repro.util.plots import pareto_plot
+
+    text += "\n\n" + pareto_plot(
+        pareto, "LUT", "frequency",
+        title="Fig.4 scatter — LUTs vs Fmax [MHz]", width=56, height=14,
+    )
+    emit("fig4_corundum_tradeoff", text)
+
+    brams = {p.metrics["BRAM"] for p in pareto}
+    assert len(brams) == 1, "BRAM must be constant across the front"
+
+    luts = [p.metrics["LUT"] for p in pareto]
+    ffs = [p.metrics["FF"] for p in pareto]
+    assert max(luts) - min(luts) > 0.05 * min(luts), "LUTs should vary"
+    assert max(ffs) - min(ffs) > 0.05 * min(ffs), "Registers should vary"
+
+    freqs = [p.metrics["frequency"] for p in pareto]
+    assert all(140 <= f <= 260 for f in freqs), (
+        f"frequencies {freqs} should sit near 200 MHz"
+    )

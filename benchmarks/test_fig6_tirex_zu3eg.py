@@ -1,0 +1,59 @@
+"""Figure 6 + Table II (top) — TiReX exploration on the Zynq US+ ZU3EG.
+
+Paper setup (Section IV-D): TiReX with the NCluster parallelism knob plus
+stack/instruction-memory/data-memory sizes, powers of two, on the 16 nm
+ZU3EG.  Table II (top) lists four non-dominated configurations, all with
+NCluster = 1 and small memories; the achievable frequency is ~550 MHz.
+
+Shape checks: every front point has NCluster = 1, small instruction/data
+memories dominate, and frequencies land in the 16 nm band (≫ the XC7K70T
+run of Fig. 7).
+"""
+
+from __future__ import annotations
+
+from common import emit, tirex_run
+from repro.util.tables import render_table
+
+
+def _rows(pareto):
+    return [
+        (
+            chr(ord("A") + i),
+            p.parameters["NCLUSTER"],
+            p.parameters["STACK_SIZE"],
+            p.parameters["INSTR_MEM_SIZE"],
+            p.parameters["DATA_MEM_SIZE"],
+            round(p.metrics["LUT"]),
+            round(p.metrics["BRAM"]),
+            round(p.metrics["frequency"], 1),
+        )
+        for i, p in enumerate(pareto)
+    ]
+
+
+HEADERS = (
+    "Point", "NCluster", "Stack", "IMem [K]", "DMem [K]",
+    "LUTs", "BRAM", "Fmax [MHz]",
+)
+
+
+def test_fig6_tirex_zu3eg(benchmark):
+    result = benchmark.pedantic(lambda: tirex_run("ZU3EG"), rounds=1, iterations=1)
+    pareto = result.pareto
+    assert len(pareto) >= 2
+
+    text = render_table(
+        HEADERS, _rows(pareto),
+        title=f"Fig.6/Table II (top) — TiReX on ZU3EG "
+              f"({len(pareto)} non-dominated points; paper: 4, ~550 MHz)",
+    )
+    emit("fig6_tirex_zu3eg", text)
+
+    # Table II: every non-dominated configuration has NCluster = 1.
+    assert all(p.parameters["NCLUSTER"] == 1 for p in pareto)
+    # Small memories dominate (paper: IMem 2^3, DMem 2^3/2^4).
+    assert min(p.parameters["INSTR_MEM_SIZE"] for p in pareto) == 8
+    # 16 nm frequency band.
+    freqs = [p.metrics["frequency"] for p in pareto]
+    assert all(380 <= f <= 700 for f in freqs), freqs

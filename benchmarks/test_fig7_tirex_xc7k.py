@@ -1,0 +1,51 @@
+"""Figure 7 + Table II (bottom) — TiReX exploration on the Kintex-7 XC7K70T.
+
+The 28 nm counterpart of Fig. 6: Table II (bottom) lists eight
+non-dominated configurations, again all NCluster = 1, with ~190 MHz
+frequencies — the paper's technology-impact observation ("the achievable
+frequencies are so different, e.g., 550 against 190 MHz, even though
+configurations are quite similar").
+
+Shape checks: NCluster = 1 everywhere, the 28 nm frequency band, and the
+cross-device ratio against the Fig. 6 run (>2x, approaching the paper's
+~2.9x).
+"""
+
+from __future__ import annotations
+
+from common import emit, tirex_run
+from test_fig6_tirex_zu3eg import HEADERS, _rows
+
+from repro.util.tables import render_table
+
+
+def test_fig7_tirex_xc7k(benchmark):
+    result = benchmark.pedantic(lambda: tirex_run("XC7K70T"), rounds=1, iterations=1)
+    pareto = result.pareto
+    assert len(pareto) >= 2
+
+    text = render_table(
+        HEADERS, _rows(pareto),
+        title=f"Fig.7/Table II (bottom) — TiReX on XC7K70T "
+              f"({len(pareto)} non-dominated points; paper: 8, ~190 MHz)",
+    )
+
+    # Technology-impact comparison against the ZU3EG run.
+    zu = tirex_run("ZU3EG")
+    best_k7 = max(p.metrics["frequency"] for p in pareto)
+    best_zu = max(p.metrics["frequency"] for p in zu.pareto)
+    ratio = best_zu / best_k7
+    text += (
+        f"\n\nTechnology impact: best Fmax ZU3EG {best_zu:.0f} MHz vs "
+        f"XC7K70T {best_k7:.0f} MHz (ratio {ratio:.2f}x; paper ~2.9x)"
+    )
+    emit("fig7_tirex_xc7k", text)
+
+    assert all(p.parameters["NCLUSTER"] == 1 for p in pareto)
+    freqs = [p.metrics["frequency"] for p in pareto]
+    # The bulk of the front sits in the 28 nm band around 190 MHz; huge-stack
+    # outliers can ride onto a 4-objective front through register count.
+    in_band = [f for f in freqs if 150 <= f <= 240]
+    assert len(in_band) >= 0.7 * len(freqs), freqs
+    assert all(100 <= f <= 240 for f in freqs), freqs
+    assert ratio > 2.0

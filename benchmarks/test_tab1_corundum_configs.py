@@ -1,0 +1,55 @@
+"""Table I — non-dominated Corundum queue-manager configurations.
+
+Paper setup (Section IV-B): completion queue manager on the XC7K70T,
+approximator disabled, objectives LUT / registers / BRAM / frequency,
+explored knobs: outstanding operations, number of queues, pipeline stages.
+Table I lists 13 non-dominated configurations with operations 8–35, queues
+4–7, pipeline 2–5 — low operation counts and queue counts dominate, with a
+spread of pipeline depths trading registers for frequency.
+
+Shape checks: a healthy non-dominated set (≥5 configs), parameters inside
+the paper's reported envelope with the same "mostly minimal queues, small
+op tables, varied pipelines" structure.
+"""
+
+from __future__ import annotations
+
+from common import corundum_run, emit
+from repro.util.tables import render_table
+
+
+def test_tab1_corundum_configs(benchmark):
+    result = benchmark.pedantic(corundum_run, rounds=1, iterations=1)
+    pareto = result.pareto
+    assert len(pareto) >= 5, "expected a Table-I-sized non-dominated set"
+
+    labels = [chr(ord("A") + i) for i in range(len(pareto))]
+    rows = [
+        (
+            label,
+            p.parameters["OP_TABLE_SIZE"],
+            p.parameters["QUEUE_COUNT"],
+            p.parameters["PIPELINE"],
+        )
+        for label, p in zip(labels, pareto)
+    ]
+    text = render_table(
+        ("Design Point", "# operations outstanding", "# of queues", "Pipe. stages"),
+        rows,
+        title=f"Table I — Corundum non-dominated configurations ({len(pareto)} points; paper: 13)",
+    )
+    emit("tab1_corundum_configs", text)
+
+    ops = [p.parameters["OP_TABLE_SIZE"] for p in pareto]
+    queues = [p.parameters["QUEUE_COUNT"] for p in pareto]
+    pipes = [p.parameters["PIPELINE"] for p in pareto]
+
+    # Paper envelope: ops 8-35, queues 4-7, pipeline 2-5.
+    assert min(ops) <= 10, "small op tables should appear on the front"
+    assert all(4 <= q <= 8 for q in queues)
+    assert all(2 <= s <= 5 for s in pipes)
+    # Queue counts concentrate at the minimum (Table I: ten of thirteen
+    # configurations use 4 queues).
+    assert queues.count(min(queues)) >= len(queues) // 2
+    # Pipeline depth varies across the front (the register/frequency trade).
+    assert len(set(pipes)) >= 2

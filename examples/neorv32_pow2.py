@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Neorv32 memory exploration with the power-of-two restriction (Fig. 5).
+
+Section IV-C: the Neorv32 VHDL top is explored over its instruction and
+data memory size generics, "constrain[ed] ... only to the power of twos to
+explore a larger parameter space without considering meaningless parameter
+assignments".  The encoded GA variables are the exponents; the design sees
+2^e bytes.
+
+Run:  python examples/neorv32_pow2.py
+"""
+
+from repro.core import DseSession, MetricSpec, ParameterSpace
+from repro.core.spaces import PowerOfTwoRange
+from repro.designs import get_design
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    design = get_design("neorv32")
+
+    # Explicit space construction, to show the restriction API; this matches
+    # ParameterSpace.from_design(design).
+    space = ParameterSpace([
+        PowerOfTwoRange("MEM_INT_IMEM_SIZE", 12, 16),  # 4 KiB .. 64 KiB
+        PowerOfTwoRange("MEM_INT_DMEM_SIZE", 12, 16),
+    ])
+    print(f"Explored space: {space.cardinality()} points "
+          f"({' x '.join(space.names())})")
+
+    session = DseSession(
+        design=design,
+        space=space,
+        part="XC7K70T",
+        metrics=[
+            MetricSpec.minimize("LUT"),
+            MetricSpec.minimize("FF"),
+            MetricSpec.minimize("BRAM"),
+            MetricSpec.maximize("frequency"),
+        ],
+        use_model=False,
+        seed=5,
+    )
+    # 25 points total: a compact exploration enumerates most of the space.
+    result = session.explore(generations=8, population=10)
+
+    rows = [
+        (
+            i + 1,
+            f"2^{p.parameters['MEM_INT_IMEM_SIZE'].bit_length() - 1}",
+            f"2^{p.parameters['MEM_INT_DMEM_SIZE'].bit_length() - 1}",
+            round(p.metrics["LUT"]),
+            round(p.metrics["FF"]),
+            round(p.metrics["BRAM"]),
+            round(p.metrics["frequency"], 1),
+        )
+        for i, p in enumerate(result.pareto)
+    ]
+    print(render_table(
+        ("Sol.", "IMEM [B]", "DMEM [B]", "LUT", "FF", "BRAM", "Fmax [MHz]"),
+        rows,
+        title=f"Neorv32 non-dominated solutions ({len(result.pareto)}; paper: 5)",
+    ))
+
+    # The Fig. 5 observation: memory-size steps move BRAM while the other
+    # metrics barely move.
+    by_mem = sorted(
+        result.pareto,
+        key=lambda p: p.parameters["MEM_INT_IMEM_SIZE"]
+        + p.parameters["MEM_INT_DMEM_SIZE"],
+    )
+    if len(by_mem) >= 2:
+        lo, hi = by_mem[0], by_mem[-1]
+        print()
+        print(f"BRAM at smallest memories : {lo.metrics['BRAM']:.0f}")
+        print(f"BRAM at largest memories  : {hi.metrics['BRAM']:.0f}")
+        delta_lut = abs(hi.metrics["LUT"] - lo.metrics["LUT"]) / lo.metrics["LUT"]
+        print(f"LUT change across the same step: {delta_lut:.1%} "
+              "(paper: 'almost unchanged')")
+
+
+if __name__ == "__main__":
+    main()

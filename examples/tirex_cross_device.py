@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""TiReX cross-device exploration — the Figs. 6/7 + Table II study.
+
+Runs the same TiReX design space (NCluster parallelism, stack, instruction
+and data memories, all powers of two) on both of the paper's targets — the
+16 nm Zynq UltraScale+ ZU3EG and the 28 nm Kintex-7 XC7K70T — and compares
+the non-dominated sets, reproducing the technology-impact analysis
+("the achievable frequencies are so different, e.g., 550 against 190 MHz,
+even though configurations are quite similar").
+
+Run:  python examples/tirex_cross_device.py
+"""
+
+from repro.core import DseSession, MetricSpec
+from repro.designs import get_design
+from repro.util.tables import render_table
+
+PARTS = ("XCZU3EG-SBVA484-1", "XC7K70TFBV676-1")
+
+
+def explore(part: str):
+    design = get_design("tirex")
+    session = DseSession(
+        design=design,
+        part=part,
+        metrics=[
+            MetricSpec.minimize("LUT"),
+            MetricSpec.minimize("BRAM"),
+            MetricSpec.maximize("frequency"),
+        ],
+        use_model=False,
+        seed=9,
+    )
+    return session.explore(generations=10, population=16)
+
+
+def main() -> None:
+    results = {}
+    for part in PARTS:
+        print(f"Exploring TiReX on {part} ...")
+        results[part] = explore(part)
+
+    for part, result in results.items():
+        rows = [
+            (
+                chr(ord("A") + i),
+                p.parameters["NCLUSTER"],
+                p.parameters["STACK_SIZE"],
+                p.parameters["INSTR_MEM_SIZE"],
+                p.parameters["DATA_MEM_SIZE"],
+                round(p.metrics["LUT"]),
+                round(p.metrics["BRAM"]),
+                round(p.metrics["frequency"], 1),
+            )
+            for i, p in enumerate(result.pareto)
+        ]
+        print()
+        print(render_table(
+            ("Pt", "NCluster", "Stack", "IMem", "DMem", "LUT", "BRAM", "Fmax"),
+            rows,
+            title=f"{part}: {len(result.pareto)} non-dominated configurations",
+        ))
+
+    best = {
+        part: max(p.metrics["frequency"] for p in r.pareto)
+        for part, r in results.items()
+    }
+    zu, k7 = best[PARTS[0]], best[PARTS[1]]
+    print()
+    print(f"Best Fmax ZU3EG   : {zu:.0f} MHz  (paper: ~550 MHz)")
+    print(f"Best Fmax XC7K70T : {k7:.0f} MHz  (paper: ~190 MHz)")
+    print(f"Technology ratio  : {zu / k7:.2f}x (paper: ~2.9x)")
+    all_nc1 = all(
+        p.parameters["NCLUSTER"] == 1
+        for r in results.values()
+        for p in r.pareto
+    )
+    print(f"All non-dominated configs have NCluster=1: "
+          f"{'yes (as in Table II)' if all_nc1 else 'NO'}")
+
+
+if __name__ == "__main__":
+    main()

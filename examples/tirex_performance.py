@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Performance-aware TiReX exploration + Roofline — the future-work features.
+
+The paper's Table II has every non-dominated TiReX configuration at
+NCluster = 1: without a performance metric, extra clusters only cost area
+and frequency.  The conclusions note Dovado "lacks in run-time performance
+modeling" and promise a static performance model and a Roofline view.
+
+This example runs both extensions: a registered throughput model
+(characters/second = NCluster × Fmax, amortized over context switches)
+turns NCluster into a genuine trade-off dimension, and each front point is
+placed on its own Roofline.
+
+Run:  python examples/tirex_performance.py
+"""
+
+from repro.core import DseSession, MetricSpec
+from repro.designs import get_design
+from repro.devices import get_device
+from repro.perf import build_roofline, render_roofline
+from repro.synth import synthesize
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    design = get_design("tirex")   # registers the performance model
+
+    session = DseSession(
+        design=design,
+        part="ZU3EG",
+        metrics=[
+            MetricSpec.minimize("LUT"),
+            MetricSpec.minimize("BRAM"),
+            MetricSpec.maximize("performance"),   # the new objective
+        ],
+        use_model=False,
+        seed=11,
+    )
+    result = session.explore(generations=10, population=16)
+
+    rows = [
+        (
+            p.parameters["NCLUSTER"],
+            p.parameters["INSTR_MEM_SIZE"],
+            round(p.metrics["LUT"]),
+            round(p.metrics["BRAM"]),
+            f"{p.metrics['performance'] / 1e9:.2f}",
+        )
+        for p in result.pareto
+    ]
+    print(render_table(
+        ("NCluster", "IMem [K]", "LUT", "BRAM", "Throughput [Gchar/s]"),
+        rows,
+        title=f"Performance-aware TiReX front ({len(result.pareto)} points)",
+    ))
+    nclusters = sorted({p.parameters["NCLUSTER"] for p in result.pareto})
+    print(f"\nNCluster values on the front: {nclusters}")
+    print("(with throughput as an objective, multi-cluster configurations "
+          "earn their area — compare Table II, where all are 1)")
+
+    # Roofline for the widest configuration on the front.
+    widest = max(result.pareto, key=lambda p: p.parameters["NCLUSTER"])
+    synth = synthesize(
+        design.module(), get_device("ZU3EG"), widest.parameters
+    )
+    # TiReX streams ~1 byte/char with a handful of ops per character.
+    point = build_roofline(
+        synth.mapped,
+        fmax_mhz=widest.metrics["performance"]
+        / (widest.parameters["NCLUSTER"] * 1e6),
+        operational_intensity=4.0,
+        achieved_gops=widest.metrics["performance"] * 4.0 / 1e9,
+    )
+    print()
+    print(render_roofline(point))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Reproduction of *Dovado: An Open-Source Design Space Exploration Framework*
+(Paletti, Conficconi, Santambrogio — IPDPSW 2021).
+
+Dovado automates single-design-point evaluation and multi-objective design
+space exploration (DSE) of RTL parameters on FPGAs.  This package rebuilds
+the entire system in pure Python, including every substrate the original
+delegates to external tools:
+
+- :mod:`repro.hdl` — VHDL / Verilog / SystemVerilog interface parsers
+  (replacing ANTLR grammars);
+- :mod:`repro.boxing` — the interface-sandboxing "box" generator;
+- :mod:`repro.flow` (+ :mod:`repro.synth`, :mod:`repro.pnr`,
+  :mod:`repro.netlist`, :mod:`repro.devices`, :mod:`repro.tcl`) — **VEDA**,
+  a simulated Vivado-like EDA suite with synthesis, place & route, static
+  timing, utilization reports, directives and incremental checkpoints;
+- :mod:`repro.moo` — NSGA-II and baselines (replacing pymoo);
+- :mod:`repro.estimation` — the Nadaraya-Watson fitness approximation and
+  its control model;
+- :mod:`repro.core` — the Dovado framework proper: parameter spaces, point
+  evaluation, DSE sessions, CLI;
+- :mod:`repro.designs` — generators for the paper's four case studies
+  (cv32e40p FIFO, Corundum queue manager, Neorv32, TiReX).
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

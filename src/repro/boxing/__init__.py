@@ -1,0 +1,21 @@
+"""Boxing — Dovado's interface sandboxing step (paper Section III-A2).
+
+Wrapping the module under evaluation in a generated top-level "box" serves
+three purposes the paper calls out:
+
+1. **pin-overflow avoidance** — only the clock reaches a device pin; the
+   module's (possibly thousands of) interface bits terminate in registers
+   inside the box instead of I/O buffers;
+2. **no unintended simplification** — the instance carries a ``DONT_TOUCH``
+   attribute so synthesis cannot prune interface logic;
+3. **parameterization + clock constraint entry point** — the box's
+   generic/parameter map is where a design point's values are applied, and
+   its single clock input is where the target-period constraint lands
+   without naming restrictions.
+"""
+
+from repro.boxing.box import BoxArtifact, build_box
+from repro.boxing.vhdl_box import render_vhdl_box
+from repro.boxing.verilog_box import render_verilog_box
+
+__all__ = ["BoxArtifact", "build_box", "render_vhdl_box", "render_verilog_box"]

@@ -1,0 +1,130 @@
+"""Box construction and flow integration.
+
+:func:`build_box` selects the clock port, renders the language-appropriate
+box source, and returns a :class:`BoxArtifact`.  The artifact knows how to
+*install* itself into a :class:`~repro.flow.vivado_sim.VivadoSim` session:
+it reads both sources in and registers a transient architectural model for
+the box top, which elaborates the inner module under the specialized
+parameter values and adds the box's own interface-register ring.  The
+boxed run is then ``sim.run(artifact.top)`` with *no* parameter overrides —
+the box already carries them, exactly as Dovado's generated wrapper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import NoClockPortError, ParameterOverrideError
+from repro.hdl.ast import HdlLanguage, Module
+from repro.boxing.verilog_box import render_verilog_box
+from repro.boxing.vhdl_box import render_vhdl_box
+from repro.netlist import Block, Netlist
+from repro.synth.elaborate import elaborate, register_model
+
+__all__ = ["BoxArtifact", "build_box"]
+
+
+@dataclass(frozen=True)
+class BoxArtifact:
+    """The generated box plus everything needed to run it."""
+
+    top: str                     # box module name
+    source: str                  # box HDL text
+    language: HdlLanguage
+    inner: Module
+    clock_port: str
+    overrides: dict[str, int]
+
+    def install(self, sim) -> None:
+        """Read the inner + box sources into ``sim`` and register the model.
+
+        ``sim`` is a :class:`repro.flow.VivadoSim`; typed loosely to keep
+        the boxing package below the flow package in the import graph.
+        """
+        inner = self.inner
+        overrides = dict(self.overrides)
+
+        def build(module, env: Mapping[str, int]) -> Netlist:
+            inner_netlist = elaborate(inner, overrides)
+            # The netlist top is named after the *inner* module, not the
+            # (possibly per-point unique) box name, so incremental-flow
+            # checkpoints keep matching across design points.
+            boxed = Netlist(top=f"box:{inner.name}")
+            for block in inner_netlist.blocks():
+                boxed.add_block(block)
+            for net in inner_netlist.nets():
+                boxed.add_net(net)
+            # The interface-register ring: one FF per module port bit, a
+            # pinch of glue LUT for the observation reduction tree.
+            port_bits = max(1, inner.total_port_bits(overrides) - 1)  # minus clk
+            ring = boxed.add_block(
+                Block(
+                    name="u_box_ring",
+                    logic_terms=max(1, port_bits // 8),
+                    ff_bits=port_bits,
+                    levels=1,
+                )
+            )
+            anchors = inner_netlist.blocks()
+            if anchors:
+                boxed.connect(ring.name, anchors[0].name, width=max(1, port_bits // 2))
+                boxed.connect(anchors[-1].name, ring.name, width=max(1, port_bits // 2))
+            boxed.set_ports(1, 0)  # only clk reaches a pin
+            return boxed
+
+        register_model(self.top, build, description=f"box({inner.name})")
+        sim.read_hdl(self.source, self.language)
+
+
+def build_box(
+    module: Module,
+    overrides: Mapping[str, int] | None = None,
+    clock_port: str | None = None,
+    box_name: str = "box",
+) -> BoxArtifact:
+    """Build the box wrapper for ``module`` under ``overrides``.
+
+    Raises :class:`NoClockPortError` when the module exposes no
+    identifiable clock and none is named explicitly, and
+    :class:`ParameterOverrideError` for overrides that do not match a free
+    parameter of the module.
+    """
+    overrides = {k: int(v) for k, v in (overrides or {}).items()}
+    free = {p.name.lower() for p in module.free_parameters()}
+    for name in overrides:
+        if name.lower() not in free:
+            raise ParameterOverrideError(
+                f"{module.name!r} has no free parameter {name!r}"
+            )
+    # Canonicalize override keys to declared casing.
+    canonical: dict[str, int] = {}
+    for param in module.free_parameters():
+        for name, value in overrides.items():
+            if name.lower() == param.name.lower():
+                canonical[param.name] = value
+
+    if clock_port is None:
+        clocks = module.clock_ports()
+        if not clocks:
+            raise NoClockPortError(
+                f"module {module.name!r} has no identifiable clock port; "
+                "pass clock_port explicitly"
+            )
+        clock_port = clocks[0].name
+    else:
+        module.port(clock_port)  # raises KeyError on unknown name
+
+    if module.language == HdlLanguage.VHDL:
+        source = render_vhdl_box(module, clock_port, canonical, box_name=box_name)
+    else:
+        source = render_verilog_box(module, clock_port, canonical, box_name=box_name)
+
+    return BoxArtifact(
+        top=box_name,
+        source=source,
+        language=module.language,
+        inner=module,
+        clock_port=clock_port,
+        overrides=canonical,
+    )

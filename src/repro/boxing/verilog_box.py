@@ -1,0 +1,67 @@
+"""Verilog/SystemVerilog box rendering — the V/SV counterpart of Listing 1.
+
+Same structure as the VHDL box: single clock input, internal nets for all
+other ports, ``(* DONT_TOUCH = "TRUE" *)`` on the instance, parameter
+values specialized in the instantiation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.hdl.ast import Direction, Module, Port
+
+__all__ = ["render_verilog_box"]
+
+
+def _net_decl(port: Port) -> str:
+    kind = "wire" if port.direction != Direction.IN else "reg"
+    # Inputs of the boxed module are driven from box-internal registers (so
+    # synthesis sees sequential fanin it cannot const-fold); outputs land on
+    # wires observed by a keep-marked reduction register.
+    if port.ptype.is_vector():
+        rng = f"[{port.ptype.high.render()}:{port.ptype.low.render() if port.ptype.low else '0'}] "
+    else:
+        rng = ""
+    return f"  {kind} {rng}s_{port.name};"
+
+
+def render_verilog_box(
+    module: Module,
+    clock_port: str,
+    overrides: Mapping[str, int],
+    box_name: str = "box",
+) -> str:
+    """Render the Verilog box module for ``module``."""
+    lines: list[str] = [f"module {box_name} ("]
+    lines.append("    input wire clk")
+    lines.append(");")
+    other_ports = [p for p in module.ports if p.name.lower() != clock_port.lower()]
+    for port in other_ports:
+        lines.append(_net_decl(port))
+    lines.append("")
+    lines.append('  (* DONT_TOUCH = "TRUE" *)')
+    free = [p for p in module.parameters if not p.local]
+    if free:
+        lines.append(f"  {module.name} #(")
+        pm: list[str] = []
+        env = module.default_environment()
+        for param in free:
+            if param.name in overrides:
+                value = str(int(overrides[param.name]))
+            elif param.default is not None:
+                value = param.default.render()
+            else:
+                value = str(env.get(param.name, 1))
+            pm.append(f"    .{param.name}({value})")
+        lines.append(",\n".join(pm))
+        lines.append("  ) BOXED (")
+    else:
+        lines.append(f"  {module.name} BOXED (")
+    conns = [f"    .{clock_port}(clk)"]
+    for port in other_ports:
+        conns.append(f"    .{port.name}(s_{port.name})")
+    lines.append(",\n".join(conns))
+    lines.append("  );")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,91 @@
+"""VHDL box rendering (the paper's Listing 1, filled in).
+
+The generated entity has a single clock input; every other port of the
+boxed module is tied to an internal signal; the instance is labeled
+``BOXED`` and protected with a ``DONT_TOUCH`` attribute; generics are
+specialized in the generic map with the design point's values.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.hdl.ast import Direction, Module, Port
+
+__all__ = ["render_vhdl_box"]
+
+
+def _fmt_generic_value(module: Module, name: str, value: int) -> str:
+    param = module.parameter(name)
+    if param.is_boolean() and param.ptype.lower() == "boolean":
+        return "true" if value else "false"
+    return str(int(value))
+
+
+def _signal_decl(port: Port) -> str:
+    return f"  signal s_{port.name} : {port.ptype.render_vhdl()};"
+
+
+def render_vhdl_box(
+    module: Module,
+    clock_port: str,
+    overrides: Mapping[str, int],
+    box_name: str = "box",
+) -> str:
+    """Render the VHDL box entity + architecture for ``module``."""
+    lines: list[str] = []
+    for lib in dict.fromkeys(("ieee", *module.libraries)):
+        if lib.lower() == "work":
+            continue
+        lines.append(f"library {lib};")
+    uses = list(dict.fromkeys(module.use_clauses)) or ["ieee.std_logic_1164.all"]
+    if not any(u.lower().startswith("ieee.std_logic_1164") for u in uses):
+        uses.insert(0, "ieee.std_logic_1164.all")
+    for use in uses:
+        lines.append(f"use {use};")
+    lines.append("")
+    lines.append(f"entity {box_name} is")
+    lines.append("  port (")
+    lines.append("    clk : in std_logic")
+    lines.append("  );")
+    lines.append(f"end entity {box_name};")
+    lines.append("")
+    lines.append(f"architecture {box_name}_arch of {box_name} is")
+    lines.append("  attribute DONT_TOUCH : string;")
+    lines.append('  attribute DONT_TOUCH of BOXED : label is "TRUE";')
+    other_ports = [p for p in module.ports if p.name.lower() != clock_port.lower()]
+    for port in other_ports:
+        lines.append(_signal_decl(port))
+    lines.append("begin")
+    lines.append(f"  BOXED: entity work.{module.name}")
+    free = [p for p in module.parameters if not p.local]
+    if free:
+        lines.append("    generic map (")
+        gm: list[str] = []
+        env = module.default_environment()
+        for param in free:
+            if param.name in overrides:
+                value = _fmt_generic_value(module, param.name, overrides[param.name])
+            elif param.default is not None:
+                # Boolean generics lex to 0/1; restore VHDL literals so the
+                # emitted box is legal VHDL.
+                default_v = param.default_value(env)
+                if param.ptype.lower() == "boolean" and default_v is not None:
+                    value = "true" if default_v else "false"
+                else:
+                    value = param.default.render()
+            else:
+                # No default and not overridden: bind a benign constant so the
+                # elaboration never fails on an open generic.
+                value = _fmt_generic_value(module, param.name, env.get(param.name, 1))
+            gm.append(f"      {param.name} => {value}")
+        lines.append(",\n".join(gm))
+        lines.append("    )")
+    lines.append("    port map (")
+    pm = [f"      {clock_port} => clk"]
+    for port in other_ports:
+        pm.append(f"      {port.name} => s_{port.name}")
+    lines.append(",\n".join(pm))
+    lines.append("    );")
+    lines.append(f"end architecture {box_name}_arch;")
+    return "\n".join(lines) + "\n"

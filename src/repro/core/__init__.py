@@ -1,0 +1,45 @@
+"""Dovado core: the framework users drive.
+
+Design automation mode (Section III-A): :class:`PointEvaluator` runs one
+configuration through parse → box → TCL → VEDA → report scraping and
+returns the metrics.  DSE mode (Section III-B): :class:`DseSession` wraps
+the evaluator in a multi-objective integer problem, optionally behind the
+Nadaraya-Watson control model (Section III-C), and solves it with NSGA-II.
+"""
+
+from repro.core.spaces import (
+    BoolParam,
+    IntRange,
+    ParameterSpace,
+    PowerOfTwoRange,
+)
+from repro.core.point import EvaluatedPoint
+from repro.core.metrics import MetricSpec, default_metrics, metrics_from_reports
+from repro.core.evaluate import PointEvaluator
+from repro.core.fitness import ApproximateFitness
+from repro.core.session import DseResult, DseSession
+from repro.core.pareto import pareto_points
+from repro.core.sweep import SweepResult, grid, run_sweep, zip_points
+from repro.core.project import load_project, save_project
+
+__all__ = [
+    "BoolParam",
+    "IntRange",
+    "ParameterSpace",
+    "PowerOfTwoRange",
+    "EvaluatedPoint",
+    "MetricSpec",
+    "default_metrics",
+    "metrics_from_reports",
+    "PointEvaluator",
+    "ApproximateFitness",
+    "DseResult",
+    "DseSession",
+    "pareto_points",
+    "SweepResult",
+    "grid",
+    "run_sweep",
+    "zip_points",
+    "load_project",
+    "save_project",
+]

@@ -1,0 +1,285 @@
+"""Command-line interface.
+
+Mirrors Dovado's two user flows::
+
+    dovado-repro list-designs
+    dovado-repro list-parts
+    dovado-repro eval --design corundum-cqm --part XC7K70T \\
+        --set OP_TABLE_SIZE=16 --set PIPELINE=3 [--metric LUT:min ...]
+    dovado-repro dse  --design tirex --part ZU3EG --generations 15 \\
+        --population 24 [--no-model] [--deadline-hours 4] [--out results/]
+
+``--design`` accepts a built-in case-study name; ``--source FILE --top M``
+evaluates arbitrary HDL instead (with ``--param NAME:LO:HI[:pow2]``
+declaring the space for DSE mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.metrics import MetricSpec
+from repro.core.session import DseSession
+from repro.core.spaces import IntRange, ParameterSpace, PowerOfTwoRange
+from repro.designs import all_designs, get_design
+from repro.devices import list_devices
+from repro.errors import ReproError
+from repro.moo.problem import Sense
+from repro.util.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_metric(text: str) -> MetricSpec:
+    name, _, sense = text.partition(":")
+    sense = sense or "min"
+    return MetricSpec(name, Sense.MAXIMIZE if sense == "max" else Sense.MINIMIZE)
+
+
+def _parse_assignment(text: str) -> tuple[str, int]:
+    name, _, value = text.partition("=")
+    if not value:
+        raise argparse.ArgumentTypeError(f"expected NAME=VALUE, got {text!r}")
+    return name, int(value, 0)
+
+
+def _parse_dim(text: str):
+    parts = text.split(":")
+    if len(parts) < 3:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME:LO:HI[:pow2], got {text!r}"
+        )
+    name, lo, hi = parts[0], int(parts[1]), int(parts[2])
+    if len(parts) > 3 and parts[3] == "pow2":
+        return PowerOfTwoRange(name, lo, hi)
+    return IntRange(name, lo, hi)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dovado-repro",
+        description="Dovado reproduction: FPGA RTL design automation and DSE.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-designs", help="show built-in case-study designs")
+    sub.add_parser("list-parts", help="show the device catalog")
+
+    p_hier = sub.add_parser("hierarchy", help="print the RTL hierarchy of sources")
+    p_hier.add_argument("sources", nargs="+", help="HDL source files")
+    p_hier.add_argument("--root", help="render only this module's subtree")
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--design", help="built-in design name")
+        p.add_argument("--source", help="HDL source file (alternative to --design)")
+        p.add_argument("--top", help="top module for --source")
+        p.add_argument("--part", default="XC7K70T")
+        p.add_argument(
+            "--metric", action="append", type=_parse_metric, dest="metrics",
+            help="NAME[:min|max]; repeatable (default: LUT:min frequency:max)",
+        )
+        p.add_argument("--period-ns", type=float, default=1.0)
+        p.add_argument("--step", choices=("synthesis", "implementation"),
+                       default="implementation")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_eval = sub.add_parser("eval", help="evaluate explicit design point(s)")
+    add_common(p_eval)
+    p_eval.add_argument(
+        "--set", action="append", type=_parse_assignment, dest="assignments",
+        default=[], help="parameter NAME=VALUE; repeatable",
+    )
+
+    p_dse = sub.add_parser("dse", help="explore the design space with NSGA-II")
+    add_common(p_dse)
+    p_dse.add_argument("--generations", type=int, default=15)
+    p_dse.add_argument("--population", type=int, default=24)
+    p_dse.add_argument("--no-model", action="store_true",
+                       help="disable the fitness approximation model")
+    p_dse.add_argument("--pretrain", type=int, default=100,
+                       help="synthetic dataset size M (default 100)")
+    p_dse.add_argument("--deadline-hours", type=float,
+                       help="soft deadline in simulated tool hours")
+    p_dse.add_argument("--incremental", action="store_true",
+                       help="enable the incremental synthesis/implementation flow")
+    p_dse.add_argument("--algorithm", default="nsga2",
+                       choices=("nsga2", "spea2", "mosa", "exhaustive", "auto"),
+                       help="solver: NSGA-II (paper), MOSA, exhaustive, or "
+                            "the run-time chooser")
+    p_dse.add_argument(
+        "--param", action="append", type=_parse_dim, dest="dims", default=[],
+        help="NAME:LO:HI[:pow2] space dimension (required with --source)",
+    )
+    p_dse.add_argument("--out", help="directory for JSON/CSV results")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="exact-set evaluation of a cartesian parameter grid"
+    )
+    add_common(p_sweep)
+    p_sweep.add_argument(
+        "--grid", action="append", dest="grids", default=[],
+        help="NAME=V1,V2,V3 value list; repeatable (cartesian product)",
+    )
+    p_sweep.add_argument("--workers", type=int, default=0,
+                         help="process-pool size (0 = serial)")
+    p_sweep.add_argument("--csv", help="write the sweep rows to this CSV file")
+    return parser
+
+
+def _make_session(args: argparse.Namespace, need_space: bool) -> DseSession:
+    from repro.flow.vivado_sim import FlowStep
+
+    common = dict(
+        part=args.part,
+        metrics=args.metrics,
+        target_period_ns=args.period_ns,
+        step=FlowStep(args.step),
+        seed=args.seed,
+    )
+    if args.design:
+        return DseSession(design=get_design(args.design), **common)
+    if not args.source or not args.top:
+        raise SystemExit("either --design or (--source and --top) is required")
+    source = Path(args.source).read_text(encoding="utf-8")
+    from repro.hdl.frontend import detect_language
+
+    language = str(detect_language(args.source, source))
+    dims = getattr(args, "dims", [])
+    if need_space and not dims:
+        raise SystemExit("--param NAME:LO:HI[:pow2] is required with --source in dse mode")
+    space = ParameterSpace(dims) if dims else ParameterSpace(
+        [IntRange("__dummy", 0, 0)]
+    )
+    return DseSession(
+        source=source, language=language, top=args.top, space=space, **common
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "list-designs":
+        rows = [
+            (name, gen.top, str(gen.language),
+             ", ".join(f"{p.name}[{p.low}..{p.high}{'^2' if p.power_of_two else ''}]"
+                       for p in gen.params))
+            for name, gen in sorted(all_designs().items())
+        ]
+        print(render_table(("Design", "Top", "Language", "Parameters"), rows))
+        return 0
+
+    if args.command == "list-parts":
+        rows = [
+            (d.part, d.family, d.process, d.resources.get("LUT"),
+             d.resources.get("FF"), d.resources.get("BRAM"), d.resources.get("DSP"))
+            for d in list_devices()
+        ]
+        print(render_table(
+            ("Part", "Family", "Process", "LUT", "FF", "BRAM", "DSP"), rows
+        ))
+        return 0
+
+    if args.command == "hierarchy":
+        from repro.hdl.frontend import detect_language, parse_file
+        from repro.hdl.hierarchy import build_hierarchy
+
+        sources = []
+        known: list[str] = []
+        for path in args.sources:
+            text = Path(path).read_text(encoding="utf-8")
+            language = detect_language(path, text)
+            sources.append((text, language))
+            known.extend(m.name for m in parse_file(path).modules)
+        hierarchy = build_hierarchy(sources, known_modules=known)
+        roots = [args.root] if args.root else hierarchy.top_candidates()
+        for root in roots:
+            print(hierarchy.render(root))
+            print()
+        return 0
+
+    if args.command == "eval":
+        session = _make_session(args, need_space=False)
+        params = dict(args.assignments)
+        point = session.evaluator.evaluate(params)
+        print(point)
+        print()
+        print(session.evaluator.last_reports.get("utilization", ""))
+        print()
+        print(session.evaluator.last_reports.get("timing", ""))
+        return 0
+
+    if args.command == "sweep":
+        from repro.core.sweep import grid as make_grid, run_sweep
+
+        session = _make_session(args, need_space=False)
+        values: dict[str, list[int]] = {}
+        for spec in args.grids:
+            name, _, rest = spec.partition("=")
+            if not rest:
+                raise SystemExit(f"--grid expects NAME=V1,V2,..., got {spec!r}")
+            values[name] = [int(v, 0) for v in rest.split(",") if v]
+        if not values:
+            raise SystemExit("at least one --grid NAME=V1,V2,... is required")
+        points = make_grid(**values)
+        result = run_sweep(
+            session.evaluator, points, workers=args.workers,
+            design_name=args.design,
+        )
+        print(result.to_table(
+            title=f"Sweep: {len(result)} configurations "
+                  f"({result.total_simulated_seconds() / 3600:.2f} tool-hours)"
+        ))
+        front = result.pareto()
+        print(f"\nPareto subset: {len(front)} points")
+        if args.csv:
+            path = result.save_csv(args.csv)
+            print(f"saved: {path}")
+        return 0
+
+    if args.command == "dse":
+        session = _make_session(args, need_space=True)
+        session.fitness.use_model = not args.no_model
+        session.fitness.pretrain_size = args.pretrain
+        deadline = args.deadline_hours * 3600 if args.deadline_hours else None
+        result = session.explore(
+            generations=args.generations,
+            population=args.population,
+            soft_deadline_s=deadline,
+            algorithm=args.algorithm,
+        )
+        if session.last_algorithm_choice is not None:
+            print(f"algorithm choice: {session.last_algorithm_choice.name} "
+                  f"({session.last_algorithm_choice.reason})")
+        metric_names = session.evaluator.metric_names()
+        param_names = session.space.names()
+        rows = [
+            tuple(p.parameters[n] for n in param_names)
+            + tuple(round(p.metrics[m], 2) for m in metric_names)
+            for p in result.pareto
+        ]
+        print(render_table(
+            tuple(param_names) + tuple(metric_names), rows,
+            title=f"Non-dominated set ({len(result.pareto)} points)",
+        ))
+        print()
+        print(f"evaluations={result.evaluations} tool_runs={result.tool_runs} "
+              f"simulated={result.simulated_seconds/3600:.2f} tool-hours")
+        if args.out:
+            path = result.save(args.out)
+            print(f"saved: {path}")
+        return 0
+
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

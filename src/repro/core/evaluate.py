@@ -1,0 +1,209 @@
+"""Single design point evaluation (paper Section III-A, end to end).
+
+:class:`PointEvaluator` performs the full Dovado automation pipeline per
+configuration:
+
+1. the module is already parsed and lint-validated at construction;
+2. **boxing** — a per-point box wrapper is generated (unique top name per
+   parameter binding, so the tool's result cache distinguishes points);
+3. **script generation** — the TCL evaluation frame is rendered with the
+   staged sources, part, clock, directives and step;
+4. **tool run** — the script executes in the mini-TCL interpreter bound to
+   the shared VEDA session (checkpoints and caches persist across points);
+5. **metric extraction** — utilization/timing report *text* is parsed back
+   and the metric vector assembled (Eq. 1 for frequency).
+
+The evaluator is the only component the DSE fitness function talks to.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.boxing import build_box
+from repro.core.metrics import (
+    MetricSpec,
+    default_metrics,
+    metrics_from_reports,
+    report_fmax,
+)
+from repro.core.point import EvaluatedPoint
+from repro.directives import DirectiveSet
+from repro.flow.vivado_sim import FlowStep, VivadoSim
+from repro.hdl.ast import HdlLanguage, Module
+from repro.hdl.frontend import parse_source
+from repro.hdl.validate import validate_module
+from repro.tcl import TclInterp, VivadoTclSession, bind_vivado_commands
+from repro.tcl.frames import render_evaluation_script
+from repro.util.rng import stable_hash_seed
+
+__all__ = ["PointEvaluator"]
+
+_EXT = {
+    HdlLanguage.VHDL: "vhd",
+    HdlLanguage.VERILOG: "v",
+    HdlLanguage.SYSTEMVERILOG: "sv",
+}
+
+
+class PointEvaluator:
+    """Evaluate parameter bindings of one module on one device."""
+
+    def __init__(
+        self,
+        source: str,
+        language: HdlLanguage | str,
+        top: str,
+        part: str = "XC7K70T",
+        target_period_ns: float = 1.0,   # the paper targets 1 GHz
+        step: FlowStep = FlowStep.IMPLEMENTATION,
+        directives: DirectiveSet | None = None,
+        metrics: list[MetricSpec] | None = None,
+        boxed: bool = True,
+        clock_port: str | None = None,
+        seed: int = 0,
+        incremental: bool = False,
+    ) -> None:
+        self.language = HdlLanguage(language)
+        self.source_text = source
+        modules = parse_source(source, self.language)
+        matches = [m for m in modules if m.name.lower() == top.lower()]
+        if not matches:
+            names = ", ".join(m.name for m in modules) or "<none>"
+            raise LookupError(f"top {top!r} not found in source (has: {names})")
+        self.module: Module = matches[0]
+        self.warnings = validate_module(self.module)
+        self.part = part
+        self.target_period_ns = float(target_period_ns)
+        self.step = step
+        self.directives = directives or DirectiveSet()
+        self.metrics = metrics or default_metrics()
+        self.boxed = boxed
+        self.clock_port = clock_port
+        self.seed = seed
+        self.sim = VivadoSim(
+            part=part,
+            seed=seed,
+            incremental_synth=incremental,
+            incremental_impl=incremental,
+        )
+        self.sim.read_hdl(source, self.language)
+        self.evaluations = 0
+        self.last_script = ""
+        self.last_reports: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+
+    def metric_names(self) -> tuple[str, ...]:
+        return tuple(s.canonical_name() for s in self.metrics)
+
+    def _box_top(self, params: Mapping[str, int]) -> str:
+        tag = stable_hash_seed(sorted((k.lower(), int(v)) for k, v in params.items()))
+        return f"box_{tag & 0xFFFFFFFF:08x}"
+
+    def evaluate(self, params: Mapping[str, int]) -> EvaluatedPoint:
+        """Run one configuration through the full flow."""
+        params = {k: int(v) for k, v in params.items()}
+        session = VivadoTclSession(sim=self.sim)
+        interp = TclInterp()
+        bind_vivado_commands(interp, session)
+
+        module_key = f"dut.{_EXT[self.language]}"
+        session.stage_source(module_key, self.source_text, self.language)
+        sources: list[tuple[str, HdlLanguage]] = [(module_key, self.language)]
+
+        if self.boxed:
+            box = build_box(
+                self.module,
+                params,
+                clock_port=self.clock_port,
+                box_name=self._box_top(params),
+            )
+            box.install(self.sim)
+            # install() read the box source directly; stage it anyway so the
+            # rendered script is faithful and re-runnable.
+            box_key = f"{box.top}.{_EXT[box.language]}"
+            session.stage_source(box_key, box.source, box.language)
+            sources.append((box_key, box.language))
+            top = box.top
+            generic_args = {}
+        else:
+            top = self.module.name
+            generic_args = params
+
+        script = render_evaluation_script(
+            sources=sources,
+            top=top,
+            part=self.part,
+            target_period_ns=self.target_period_ns,
+            step=self.step,
+            directives=self.directives,
+        )
+        if generic_args:
+            # Unboxed runs pass parameters as -generic options.
+            generics = " ".join(
+                f"-generic {k}={v}" for k, v in sorted(generic_args.items())
+            )
+            script = script.replace(
+                "synth_design -top $top_module",
+                f"synth_design -top $top_module {generics}",
+            )
+        self.last_script = script
+        interp.eval(script)
+
+        self.last_reports = {
+            "utilization": interp.files["utilization.rpt"],
+            "timing": interp.files["timing.rpt"],
+        }
+        values = metrics_from_reports(
+            interp.files["utilization.rpt"],
+            interp.files["timing.rpt"],
+            self.metrics,
+        )
+        requested = {s.canonical_name() for s in self.metrics}
+        if "performance" in requested:
+            values["performance"] = self._performance(
+                params, report_fmax(interp.files["timing.rpt"])
+            )
+        if "power" in requested:
+            from repro.flow.power import estimate_power
+            from repro.flow.reports import parse_utilization_report
+
+            utilization = parse_utilization_report(interp.files["utilization.rpt"])
+            values["power"] = estimate_power(
+                utilization.used,
+                self.sim.device,
+                frequency_mhz=report_fmax(interp.files["timing.rpt"]),
+            ).total_mw
+        self.evaluations += 1
+        return EvaluatedPoint(
+            parameters=dict(params),
+            metrics=values,
+            source="cache" if self.sim.last_run_seconds == 0.0 else "tool",
+            simulated_seconds=self.sim.last_run_seconds,
+        )
+
+    def evaluate_many(self, points: list[Mapping[str, int]]) -> list[EvaluatedPoint]:
+        """Design automation mode: evaluate an explicit configuration list."""
+        return [self.evaluate(p) for p in points]
+
+    def _performance(self, params: Mapping[str, int], fmax_mhz: float) -> float:
+        """Resolve the registered static performance model for the module.
+
+        Raises when the ``performance`` metric was requested but no model
+        is registered — a silent zero would corrupt the Pareto front.
+        """
+        from repro.perf import performance_model_for
+
+        model = performance_model_for(self.module.name)
+        if model is None:
+            raise LookupError(
+                f"metric 'performance' requested but no performance model is "
+                f"registered for module {self.module.name!r}; call "
+                "repro.perf.register_performance_model first"
+            )
+        # The model sees the full environment (defaults + overrides).
+        from repro.synth.elaborate import resolve_environment
+
+        env = resolve_environment(self.module, params)
+        return float(model.throughput(env, fmax_mhz))

@@ -1,0 +1,207 @@
+"""The DSE fitness function, with and without the approximation model.
+
+:class:`ApproximateFitness` adapts a :class:`~repro.core.evaluate.
+PointEvaluator` into the batch-evaluation interface NSGA-II consumes,
+routing every proposed point through the control model's three cases
+(cache / estimate / real run).  It also accounts cost: real runs charge
+the tool's simulated seconds, estimates charge a fixed small cost (the
+NWM is "cheap computational cost" per the paper), cached hits charge the
+tool's cache-answer overhead.
+
+With ``use_model=False`` the class degrades to direct evaluation — the
+configuration used for the Corundum/Neorv32/TiReX experiments ("disabling
+the approximator model to employ direct Vivado evaluations").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.evaluate import PointEvaluator
+from repro.core.point import EvaluatedPoint
+from repro.core.spaces import ParameterSpace
+from repro.errors import ReproError
+from repro.estimation import ControlModel, Dataset, Decision
+from repro.moo.problem import IntegerProblem, Objective, Sense
+from repro.moo.sampling import IntegerRandomSampling
+from repro.util.rng import as_generator
+
+__all__ = ["ApproximateFitness", "DseProblem"]
+
+# Cost model for non-tool answers (simulated seconds).
+_ESTIMATE_COST_S = 0.2
+_CACHE_HIT_COST_S = 2.0
+
+
+class ApproximateFitness:
+    """Routes design-point evaluations through the control model."""
+
+    def __init__(
+        self,
+        evaluator: PointEvaluator,
+        space: ParameterSpace,
+        use_model: bool = True,
+        pretrain_size: int = 100,     # the paper's M default
+        min_points_to_estimate: int = 4,
+        seed: int = 0,
+    ) -> None:
+        self.evaluator = evaluator
+        self.space = space
+        self.use_model = use_model
+        self.pretrain_size = pretrain_size
+        self.seed = seed
+        self.control = ControlModel(
+            dataset=Dataset(
+                n_var=len(space), metric_names=evaluator.metric_names()
+            ),
+            min_points_to_estimate=min_points_to_estimate,
+        )
+        self.history: list[EvaluatedPoint] = []
+        self.simulated_seconds = 0.0
+        self.infeasible = 0
+        self.mse_trace: list[tuple[int, float]] = []  # (dataset size, LOO MSE)
+
+    # ------------------------------------------------------------------
+
+    def pretrain(self, rng: np.random.Generator | int | None = None) -> int:
+        """Generate the synthetic dataset: M distinct random tool runs.
+
+        Returns the number of points actually evaluated (the space may be
+        smaller than M).
+        """
+        if not self.use_model or self.pretrain_size <= 0:
+            return 0
+        rng = as_generator(self.seed if rng is None else rng)
+        problem_stub = _BoundsOnly(self.space)
+        sample = IntegerRandomSampling(unique=True)(
+            problem_stub, min(self.pretrain_size, self.space.cardinality()), rng
+        )
+        for row in sample.X:
+            self._run_tool(row, record=True)
+        return int(sample.X.shape[0])
+
+    # ------------------------------------------------------------------
+
+    def _metric_vector(self, point: EvaluatedPoint) -> np.ndarray:
+        return np.array(
+            [point.metrics[name] for name in self.evaluator.metric_names()],
+            dtype=float,
+        )
+
+    def _penalty_vector(self) -> np.ndarray:
+        """Worst-case metrics for infeasible points (capacity overflow etc.).
+
+        A run the tool rejects — pin/resource overflow, unroutable design —
+        still consumes DSE budget in reality; here it yields a vector that
+        every feasible point dominates, so NSGA-II steers away without the
+        session aborting.
+        """
+        out = np.empty(len(self.evaluator.metrics))
+        for j, spec in enumerate(self.evaluator.metrics):
+            out[j] = 0.0 if spec.sense == Sense.MAXIMIZE else 1e12
+        return out
+
+    def _run_tool(self, encoded: np.ndarray, record: bool) -> np.ndarray:
+        params = self.space.decode(encoded)
+        try:
+            point = self.evaluator.evaluate(params)
+        except ReproError as exc:
+            self.infeasible += 1
+            self.history.append(
+                EvaluatedPoint(
+                    parameters=params,
+                    metrics=dict(
+                        zip(
+                            self.evaluator.metric_names(),
+                            map(float, self._penalty_vector()),
+                        )
+                    ),
+                    source=f"infeasible:{type(exc).__name__}",
+                )
+            )
+            # A failed run still costs tool time (Vivado errors late).
+            self.simulated_seconds += _CACHE_HIT_COST_S
+            return self._penalty_vector()
+        self.history.append(point)
+        self.simulated_seconds += max(point.simulated_seconds, _CACHE_HIT_COST_S)
+        y = self._metric_vector(point)
+        if record and self.use_model:
+            self.control.record(np.asarray(encoded, dtype=float), y)
+            if np.isfinite(self.control.last_loo_mse):
+                self.mse_trace.append(
+                    (len(self.control.dataset), self.control.last_loo_mse)
+                )
+        return y
+
+    def evaluate_encoded(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate encoded rows → raw metric matrix (NSGA-II's fitness)."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.int64))
+        out = np.empty((X.shape[0], len(self.evaluator.metric_names())))
+        for i, row in enumerate(X):
+            if not self.use_model:
+                out[i] = self._run_tool(row, record=False)
+                continue
+            decision = self.control.decide(np.asarray(row, dtype=float))
+            self.control.note(decision)
+            if decision == Decision.CACHED:
+                out[i] = self.control.cached(np.asarray(row, dtype=float))
+                self.simulated_seconds += _CACHE_HIT_COST_S
+            elif decision == Decision.ESTIMATE:
+                out[i] = self.control.estimate(np.asarray(row, dtype=float))
+                self.simulated_seconds += _ESTIMATE_COST_S
+                # Estimated points also enter history (marked) for analysis.
+                self.history.append(
+                    EvaluatedPoint(
+                        parameters=self.space.decode(row),
+                        metrics=dict(
+                            zip(self.evaluator.metric_names(), map(float, out[i]))
+                        ),
+                        source="estimate",
+                        simulated_seconds=_ESTIMATE_COST_S,
+                    )
+                )
+            else:
+                out[i] = self._run_tool(row, record=True)
+        return out
+
+    def tool_runs(self) -> int:
+        return sum(1 for p in self.history if p.source == "tool")
+
+    def stats(self) -> dict[str, float | int]:
+        base: dict[str, float | int] = {
+            "history": len(self.history),
+            "tool_runs": self.tool_runs(),
+            "infeasible": self.infeasible,
+            "simulated_seconds": self.simulated_seconds,
+        }
+        if self.use_model:
+            base.update(self.control.stats())
+        return base
+
+
+class _BoundsOnly(IntegerProblem):
+    """Bounds-carrying stub so sampling can run without a fitness."""
+
+    def __init__(self, space: ParameterSpace) -> None:
+        super().__init__(
+            space.lows(), space.highs(), [Objective.minimize("stub")]
+        )
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError("sampling stub is never evaluated")
+
+
+class DseProblem(IntegerProblem):
+    """The NSGA-II problem wrapping an :class:`ApproximateFitness`."""
+
+    def __init__(self, fitness: ApproximateFitness) -> None:
+        space = fitness.space
+        super().__init__(
+            space.lows(),
+            space.highs(),
+            [spec.as_objective() for spec in fitness.evaluator.metrics],
+        )
+        self.fitness = fitness
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        return self.fitness.evaluate_encoded(X)

@@ -1,0 +1,95 @@
+"""Metric specifications and report-based extraction.
+
+A :class:`MetricSpec` names a metric and its optimization sense; metric
+values come from *parsing the tool's report text* (exactly how Dovado
+scrapes Vivado), via :func:`metrics_from_reports`: utilization metrics
+(LUT/FF/BRAM/…) from the utilization report, and maximum frequency from
+the timing report through Eq. (1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices import ResourceKind
+from repro.flow.reports import parse_timing_report, parse_utilization_report
+from repro.moo.problem import Objective, Sense
+from repro.util.units import fmax_from_wns
+
+__all__ = [
+    "MetricSpec", "default_metrics", "metrics_from_reports",
+    "FREQUENCY", "PERFORMANCE", "POWER",
+]
+
+FREQUENCY = "frequency"
+PERFORMANCE = "performance"
+POWER = "power"
+_DERIVED = (FREQUENCY, PERFORMANCE, POWER)
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One optimization metric: a resource kind, ``"frequency"`` (MHz),
+    ``"performance"`` (work/s from a registered static performance model —
+    see :mod:`repro.perf`), or ``"power"`` (total mW from the vectorless
+    estimator — see :mod:`repro.flow.power`)."""
+
+    name: str
+    sense: Sense
+
+    def __post_init__(self) -> None:
+        if self.name.lower() not in _DERIVED:
+            ResourceKind(self.name.upper())  # raises ValueError on unknown kind
+
+    @classmethod
+    def minimize(cls, name: str) -> "MetricSpec":
+        return cls(name, Sense.MINIMIZE)
+
+    @classmethod
+    def maximize(cls, name: str) -> "MetricSpec":
+        return cls(name, Sense.MAXIMIZE)
+
+    def canonical_name(self) -> str:
+        lowered = self.name.lower()
+        if lowered in _DERIVED:
+            return lowered
+        return self.name.upper()
+
+    def as_objective(self) -> Objective:
+        return Objective(self.canonical_name(), self.sense)
+
+
+def default_metrics() -> list[MetricSpec]:
+    """The paper's usual figures of merit: LUT down, frequency up."""
+    return [MetricSpec.minimize("LUT"), MetricSpec.maximize(FREQUENCY)]
+
+
+def metrics_from_reports(
+    util_text: str, timing_text: str, specs: list[MetricSpec]
+) -> dict[str, float]:
+    """Extract the requested metrics from rendered report text.
+
+    ``performance`` cannot be scraped from tool reports; the evaluator
+    fills it afterwards via the registered performance model.  Here it is
+    emitted as NaN so the key ordering stays stable.
+    """
+    utilization = parse_utilization_report(util_text)
+    timing = parse_timing_report(timing_text)
+    out: dict[str, float] = {}
+    for spec in specs:
+        key = spec.canonical_name()
+        if key == FREQUENCY:
+            out[key] = fmax_from_wns(
+                float(timing["requirement_ns"]), float(timing["wns_ns"])
+            )
+        elif key in (PERFORMANCE, POWER):
+            out[key] = float("nan")
+        else:
+            out[key] = float(utilization.used.get(ResourceKind(key)))
+    return out
+
+
+def report_fmax(timing_text: str) -> float:
+    """Fmax (MHz) from a timing report, independent of the metric list."""
+    timing = parse_timing_report(timing_text)
+    return fmax_from_wns(float(timing["requirement_ns"]), float(timing["wns_ns"]))

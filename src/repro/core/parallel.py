@@ -1,0 +1,152 @@
+"""Parallel batch evaluation of design points.
+
+Real Dovado runs are embarrassingly parallel across design points — each
+Vivado invocation is an independent subprocess — and VEDA inherits that
+structure: a run is a pure function of (source, top, part, directives,
+parameters, seed), so evaluating a batch across worker processes is
+*bitwise equivalent* to the serial loop.  The QoR noise being keyed on run
+content (not on generator state) is what makes this safe; see
+:mod:`repro.util.rng`.
+
+Workers are initialized once with a picklable :class:`EvaluatorSpec` and
+rebuild their own :class:`~repro.core.evaluate.PointEvaluator`; built-in
+case-study designs are re-registered by name inside each worker so
+architectural models exist under ``spawn`` start methods too.
+
+Caching note: per-worker tool caches are independent, so duplicate points
+*within one batch* may be evaluated twice across different workers.  The
+batch API dedups first and fans out unique points only.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.evaluate import PointEvaluator
+from repro.core.metrics import MetricSpec
+from repro.core.point import EvaluatedPoint
+from repro.directives import DirectiveSet
+from repro.flow.vivado_sim import FlowStep
+from repro.moo.problem import Sense
+
+__all__ = ["EvaluatorSpec", "ParallelPointEvaluator"]
+
+
+@dataclass(frozen=True)
+class EvaluatorSpec:
+    """Everything a worker needs to rebuild the evaluator (all picklable)."""
+
+    source: str
+    language: str
+    top: str
+    part: str = "XC7K70T"
+    target_period_ns: float = 1.0
+    step: str = "implementation"
+    synth_directive: str = "Default"
+    impl_directive: str = "Default"
+    metrics: tuple[tuple[str, str], ...] = (("LUT", "min"), ("frequency", "max"))
+    boxed: bool = True
+    seed: int = 0
+    design_name: str | None = None  # built-in design to re-register in workers
+
+    @classmethod
+    def from_evaluator(
+        cls, evaluator: PointEvaluator, design_name: str | None = None
+    ) -> "EvaluatorSpec":
+        return cls(
+            source=evaluator.source_text,
+            language=str(evaluator.language),
+            top=evaluator.module.name,
+            part=evaluator.part,
+            target_period_ns=evaluator.target_period_ns,
+            step=str(evaluator.step),
+            synth_directive=str(evaluator.directives.synth),
+            impl_directive=str(evaluator.directives.impl),
+            metrics=tuple(
+                (s.canonical_name(), str(s.sense)) for s in evaluator.metrics
+            ),
+            boxed=evaluator.boxed,
+            seed=evaluator.seed,
+            design_name=design_name,
+        )
+
+    def build(self) -> PointEvaluator:
+        if self.design_name:
+            from repro.designs import get_design
+
+            get_design(self.design_name)  # side effect: registers models
+        return PointEvaluator(
+            source=self.source,
+            language=self.language,
+            top=self.top,
+            part=self.part,
+            target_period_ns=self.target_period_ns,
+            step=FlowStep(self.step),
+            directives=DirectiveSet.parse(self.synth_directive, self.impl_directive),
+            metrics=[
+                MetricSpec(name, Sense(sense)) for name, sense in self.metrics
+            ],
+            boxed=self.boxed,
+            seed=self.seed,
+        )
+
+
+# Per-worker evaluator (module global: one build per worker process).
+_WORKER: PointEvaluator | None = None
+
+
+def _init_worker(spec: EvaluatorSpec) -> None:
+    global _WORKER
+    _WORKER = spec.build()
+
+
+def _evaluate_one(params: dict[str, int]) -> EvaluatedPoint:
+    assert _WORKER is not None, "worker not initialized"
+    return _WORKER.evaluate(params)
+
+
+def _freeze(params: Mapping[str, int]) -> tuple[tuple[str, int], ...]:
+    return tuple(sorted((k.lower(), int(v)) for k, v in params.items()))
+
+
+@dataclass
+class ParallelPointEvaluator:
+    """Fan a batch of configurations over a process pool.
+
+    With ``workers=0`` (or 1) the batch runs serially in-process — the
+    reference behaviour parallel runs must reproduce exactly.
+    """
+
+    spec: EvaluatorSpec
+    workers: int = 0
+    _serial: PointEvaluator | None = field(default=None, init=False, repr=False)
+
+    def evaluate_many(
+        self, points: Sequence[Mapping[str, int]]
+    ) -> list[EvaluatedPoint]:
+        unique: dict[tuple, dict[str, int]] = {}
+        order: list[tuple] = []
+        for p in points:
+            key = _freeze(p)
+            order.append(key)
+            unique.setdefault(key, {k: int(v) for k, v in p.items()})
+
+        if self.workers <= 1:
+            if self._serial is None:
+                self._serial = self.spec.build()
+            results = {
+                key: self._serial.evaluate(params)
+                for key, params in unique.items()
+            }
+        else:
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self.spec,),
+            ) as pool:
+                outs = list(pool.map(_evaluate_one, unique.values()))
+            results = dict(zip(unique.keys(), outs))
+
+        return [results[key] for key in order]

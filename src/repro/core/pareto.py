@@ -1,0 +1,44 @@
+"""Pareto-set extraction into user-facing evaluated points."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.point import EvaluatedPoint
+from repro.core.spaces import ParameterSpace
+from repro.moo.nds import non_dominated_mask
+from repro.moo.population import Population
+from repro.moo.problem import IntegerProblem
+
+__all__ = ["pareto_points"]
+
+
+def pareto_points(
+    problem: IntegerProblem,
+    space: ParameterSpace,
+    archive: Population,
+    metric_names: tuple[str, ...],
+) -> list[EvaluatedPoint]:
+    """Decode the archive's non-dominated subset into evaluated points.
+
+    Points are sorted by the first metric column (raw units) for stable,
+    readable tables.
+    """
+    if archive.F is None or len(archive) == 0:
+        return []
+    mask = non_dominated_mask(archive.F)
+    X = archive.X[mask]
+    F_raw = problem.raw_from_minimized(archive.F[mask])
+    order = np.argsort(F_raw[:, 0], kind="stable")
+    out: list[EvaluatedPoint] = []
+    for i in order:
+        out.append(
+            EvaluatedPoint(
+                parameters=space.decode(X[i]),
+                metrics={
+                    name: float(F_raw[i, j]) for j, name in enumerate(metric_names)
+                },
+                source="archive",
+            )
+        )
+    return out

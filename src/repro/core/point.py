@@ -1,0 +1,41 @@
+"""Evaluated design points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["EvaluatedPoint"]
+
+
+@dataclass(frozen=True)
+class EvaluatedPoint:
+    """One configuration and its metric outcome.
+
+    ``source`` records how the values were obtained — ``"tool"`` (a real
+    VEDA run), ``"cache"``, or ``"estimate"`` (Nadaraya-Watson) — so result
+    tables can distinguish measured from predicted rows.
+    """
+
+    parameters: dict[str, int]
+    metrics: dict[str, float]
+    source: str = "tool"
+    simulated_seconds: float = 0.0
+
+    def metric(self, name: str) -> float:
+        for key, value in self.metrics.items():
+            if key.lower() == name.lower():
+                return value
+        raise KeyError(f"point has no metric {name!r}")
+
+    def as_row(self) -> dict[str, Any]:
+        """Flat dict (parameters + metrics) for CSV export."""
+        row: dict[str, Any] = dict(self.parameters)
+        row.update(self.metrics)
+        row["source"] = self.source
+        return row
+
+    def __str__(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in self.parameters.items())
+        metrics = ", ".join(f"{k}={v:.4g}" for k, v in self.metrics.items())
+        return f"({params}) -> {metrics} [{self.source}]"

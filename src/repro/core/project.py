@@ -1,0 +1,155 @@
+"""Project persistence: save and resume exploration sessions.
+
+The expensive asset of a Dovado run is the *synthetic dataset* — every
+(design point, tool result) pair paid for with a real synthesis/
+implementation run — plus the incremental-flow checkpoints.  The paper's
+future work worries exactly about "amortiz[ing] the expensive synthetic
+dataset generation"; persisting it across sessions is the simplest
+amortization.
+
+A project directory contains::
+
+    project.json      design identity, part, metrics, space, seed
+    dataset.csv       the synthetic dataset (encoded points + raw metrics)
+    checkpoints.json  incremental-flow placement archive
+    <name>.json/.csv  exploration results (written by DseResult.save)
+
+:func:`save_project` snapshots a live session; :func:`load_project`
+rebuilds a session whose control model is pre-loaded with the stored
+dataset — resuming costs **zero tool runs** before new points are needed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.metrics import MetricSpec
+from repro.core.session import DseSession
+from repro.core.spaces import (
+    BoolParam,
+    Dimension,
+    IntRange,
+    ParameterSpace,
+    PowerOfTwoRange,
+)
+from repro.errors import ReproError
+from repro.moo.problem import Sense
+from repro.util.io import load_csv, load_json, save_csv, save_json
+
+__all__ = ["save_project", "load_project"]
+
+_DIM_KIND = {IntRange: "int", PowerOfTwoRange: "pow2", BoolParam: "bool"}
+
+
+def _dim_to_dict(dim: Dimension) -> dict:
+    kind = _DIM_KIND.get(type(dim))
+    if kind is None:
+        raise ReproError(f"cannot persist dimension type {type(dim).__name__}")
+    return {"kind": kind, "name": dim.name, "low": dim.low, "high": dim.high}
+
+
+def _dim_from_dict(d: dict) -> Dimension:
+    kind = d["kind"]
+    if kind == "int":
+        return IntRange(d["name"], int(d["low"]), int(d["high"]))
+    if kind == "pow2":
+        return PowerOfTwoRange(d["name"], int(d["low"]), int(d["high"]))
+    if kind == "bool":
+        return BoolParam(d["name"])
+    raise ReproError(f"unknown dimension kind {kind!r} in project file")
+
+
+def save_project(session: DseSession, directory: str | Path) -> Path:
+    """Snapshot ``session`` (configuration + dataset + checkpoints)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    evaluator = session.evaluator
+
+    payload = {
+        "version": 1,
+        "source": evaluator.source_text,
+        "language": str(evaluator.language),
+        "top": evaluator.module.name,
+        "part": evaluator.part,
+        "target_period_ns": evaluator.target_period_ns,
+        "step": str(evaluator.step),
+        "seed": evaluator.seed,
+        "use_model": session.fitness.use_model,
+        "pretrain_size": session.fitness.pretrain_size,
+        "metrics": [
+            {"name": s.canonical_name(), "sense": str(s.sense)}
+            for s in evaluator.metrics
+        ],
+        "space": [_dim_to_dict(d) for d in session.space.dimensions],
+    }
+    save_json(directory / "project.json", payload)
+
+    dataset = session.fitness.control.dataset
+    if len(dataset) > 0:
+        X = dataset.X()
+        Y = dataset.Y()
+        var_cols = [f"x{i}" for i in range(X.shape[1])]
+        metric_cols = list(dataset.metric_names)
+        rows = [
+            {**{c: int(x) for c, x in zip(var_cols, xrow)},
+             **{c: float(y) for c, y in zip(metric_cols, yrow)}}
+            for xrow, yrow in zip(X, Y)
+        ]
+        save_csv(directory / "dataset.csv", var_cols + metric_cols, rows)
+
+    evaluator.sim.checkpoints.write(directory / "checkpoints.json")
+    return directory / "project.json"
+
+
+def load_project(directory: str | Path) -> DseSession:
+    """Rebuild a session from a project directory.
+
+    The control model is pre-loaded with the persisted dataset (threshold,
+    bandwidth, and MSE re-derived by a refit), and the tool session gets
+    the persisted checkpoint archive.  ``session.explore(pretrain=False)``
+    then continues without repeating the synthetic-dataset investment.
+    """
+    directory = Path(directory)
+    payload = load_json(directory / "project.json")
+    if payload.get("version") != 1:
+        raise ReproError(f"unsupported project version {payload.get('version')!r}")
+
+    from repro.flow.vivado_sim import FlowStep
+
+    space = ParameterSpace([_dim_from_dict(d) for d in payload["space"]])
+    metrics = [
+        MetricSpec(m["name"], Sense(m["sense"])) for m in payload["metrics"]
+    ]
+    session = DseSession(
+        source=payload["source"],
+        language=payload["language"],
+        top=payload["top"],
+        space=space,
+        part=payload["part"],
+        metrics=metrics,
+        target_period_ns=float(payload["target_period_ns"]),
+        step=FlowStep(payload["step"]),
+        use_model=bool(payload["use_model"]),
+        pretrain_size=int(payload["pretrain_size"]),
+        seed=int(payload["seed"]),
+    )
+
+    dataset_path = directory / "dataset.csv"
+    if dataset_path.exists():
+        rows = load_csv(dataset_path)
+        n_var = len(space)
+        var_cols = [f"x{i}" for i in range(n_var)]
+        metric_cols = [m.canonical_name() for m in metrics]
+        X = np.array([[int(r[c]) for c in var_cols] for r in rows], dtype=float)
+        Y = np.array([[float(r[c]) for c in metric_cols] for r in rows])
+        session.fitness.control.pretrain(X, Y)
+        session._pretrained = True
+
+    ckpt_path = directory / "checkpoints.json"
+    if ckpt_path.exists():
+        from repro.pnr.checkpoints import CheckpointStore
+
+        session.evaluator.sim.checkpoints = CheckpointStore.read(ckpt_path)
+    return session

@@ -1,0 +1,36 @@
+"""The paper's four case-study designs, as parameterized RTL generators.
+
+Each module here mirrors one of the paper's Section IV case studies:
+
+- :mod:`repro.designs.fifo_sv` — the SystemVerilog FIFO submodule of the
+  cv32e40p RISC-V core (Section IV-A, the approximation-model study);
+- :mod:`repro.designs.corundum_cqm` — Corundum's Verilog completion queue
+  manager (Section IV-B, Table I / Fig. 4);
+- :mod:`repro.designs.neorv32` — the VHDL Neorv32 RISC-V top with
+  instruction/data memory size generics (Section IV-C, Fig. 5);
+- :mod:`repro.designs.tirex` — the VHDL TiReX regular-expression DSA with
+  datapath and memory parameters (Section IV-D, Figs. 6/7, Table II).
+
+A generator emits genuine HDL source text (consumed by our own parsers, so
+the full parse→box→evaluate path is exercised) and registers an
+*architectural model* with the elaborator that shapes the block netlist the
+way the real microarchitecture scales with its parameters.  Resource
+anchors are grounded in public figures for each IP; DESIGN.md records the
+calibration.
+"""
+
+from repro.designs.base import DesignGenerator, ParamInfo
+from repro.designs import fifo_sv, corundum_cqm, cv32e40p, neorv32, tirex
+from repro.designs.library import all_designs, get_design
+
+__all__ = [
+    "DesignGenerator",
+    "ParamInfo",
+    "fifo_sv",
+    "corundum_cqm",
+    "cv32e40p",
+    "neorv32",
+    "tirex",
+    "all_designs",
+    "get_design",
+]

@@ -1,0 +1,79 @@
+"""Common machinery for case-study design generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.hdl.ast import HdlLanguage, Module
+from repro.hdl.frontend import parse_source
+from repro.netlist import Netlist
+from repro.synth.elaborate import register_model
+
+__all__ = ["ParamInfo", "DesignGenerator"]
+
+
+@dataclass(frozen=True)
+class ParamInfo:
+    """Canonical exploration info for one parameter (from the paper's setup).
+
+    ``low``/``high`` bound the explored range; ``power_of_two`` marks
+    parameters the paper restricts to powers of two (the exponent then
+    becomes the DSE variable, and ``low``/``high`` are *exponents*).
+    """
+
+    name: str
+    low: int
+    high: int
+    power_of_two: bool = False
+
+    def values(self) -> list[int]:
+        if self.power_of_two:
+            return [2**e for e in range(self.low, self.high + 1)]
+        return list(range(self.low, self.high + 1))
+
+    def cardinality(self) -> int:
+        return self.high - self.low + 1
+
+
+@dataclass(frozen=True)
+class DesignGenerator:
+    """A case-study design: source emitter + architectural model + ranges."""
+
+    name: str                      # human name, e.g. "corundum-cqm"
+    top: str                       # top module name in the emitted source
+    language: HdlLanguage
+    emit: Callable[[], str]        # HDL source text
+    model: Callable[[Module, Mapping[str, int]], Netlist]
+    params: tuple[ParamInfo, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        # Installing the model at construction keeps usage to two steps:
+        # build the generator, hand its source to the tool.
+        register_model(self.top, self.model, description=self.description)
+
+    def source(self) -> str:
+        return self.emit()
+
+    def module(self) -> Module:
+        """Parse the emitted source and return the top module."""
+        modules = parse_source(self.source(), self.language)
+        for m in modules:
+            if m.name.lower() == self.top.lower():
+                return m
+        raise LookupError(f"generator {self.name!r}: top {self.top!r} not in emitted source")
+
+    def param(self, name: str) -> ParamInfo:
+        for p in self.params:
+            if p.name.lower() == name.lower():
+                return p
+        raise KeyError(f"design {self.name!r} has no explored parameter {name!r}")
+
+    def default_overrides(self) -> dict[str, int]:
+        """Midpoint of each explored range (a sane single-point default)."""
+        out: dict[str, int] = {}
+        for p in self.params:
+            mid = (p.low + p.high) // 2
+            out[p.name] = 2**mid if p.power_of_two else mid
+        return out

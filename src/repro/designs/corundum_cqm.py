@@ -1,0 +1,230 @@
+"""Corundum completion queue manager case study (Verilog) — Section IV-B.
+
+The paper explores "a non-top module implementing a completion queue
+manager", with design parameters *number of outstanding operations*
+(Table I: 8–35), *number of queues* (4–7), and *pipeline stages* (2–5),
+targeting the XC7K70T with the approximator disabled.  Reported shape:
+BRAM constant across all non-dominated configurations, LUT/register counts
+varying with the configuration, frequency near 200 MHz.
+
+Architectural model, following the real ``cpl_queue_manager``:
+
+- a queue-state RAM sized by the *maximum supported* queue index width —
+  the RTL allocates ``2**QUEUE_INDEX_WIDTH`` entries regardless of how many
+  queues are active, which is exactly why BRAM stays constant while the
+  explored "number of queues" knob moves (it shifts match/arbiter logic,
+  not storage);
+- an operation table (the outstanding-operations CAM): LUT/FF grow
+  ~linearly with ``OP_TABLE_SIZE`` and its match depth grows with
+  ``clog2``;
+- an AXI-lite register slice per pipeline stage: each stage adds FF (and a
+  little LUT) and *shortens* the critical path — the classic
+  area-vs-frequency trade the Pareto front exposes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.designs.base import DesignGenerator, ParamInfo
+from repro.hdl.ast import HdlLanguage, Module
+from repro.netlist import Block, Netlist
+
+__all__ = ["generator", "SOURCE", "TOP"]
+
+TOP = "cpl_queue_manager"
+
+SOURCE = """\
+/*
+ * Completion queue manager, interface in the style of Corundum's
+ * cpl_queue_manager.v (mqnic).  Behavioural body elided to the state
+ * elements relevant for the DSE interface.
+ */
+module cpl_queue_manager #(
+    // number of outstanding operations the op table tracks
+    parameter OP_TABLE_SIZE = 16,
+    // number of active queues handled by the arbiter
+    parameter QUEUE_COUNT = 4,
+    // output pipeline register stages
+    parameter PIPELINE = 2,
+    // width of a queue index (sizes the state RAM)
+    parameter QUEUE_INDEX_WIDTH = 8,
+    // completion record size
+    parameter CPL_SIZE = 16,
+    localparam CL_OP_TABLE_SIZE = $clog2(OP_TABLE_SIZE),
+    localparam QUEUE_RAM_WIDTH = 128
+)(
+    input  wire                          clk,
+    input  wire                          rst,
+
+    input  wire [QUEUE_INDEX_WIDTH-1:0]  s_axis_enqueue_req_queue,
+    input  wire                          s_axis_enqueue_req_valid,
+    output wire                          s_axis_enqueue_req_ready,
+
+    output wire [CL_OP_TABLE_SIZE-1:0]   m_axis_enqueue_resp_op_tag,
+    output wire                          m_axis_enqueue_resp_valid,
+    input  wire                          m_axis_enqueue_resp_ready,
+
+    input  wire [CL_OP_TABLE_SIZE-1:0]   s_axis_enqueue_commit_op_tag,
+    input  wire                          s_axis_enqueue_commit_valid,
+    output wire                          s_axis_enqueue_commit_ready,
+
+    output wire [QUEUE_INDEX_WIDTH-1:0]  m_axis_event_queue,
+    output wire                          m_axis_event_valid,
+
+    input  wire [QUEUE_INDEX_WIDTH-1:0]  s_axil_awaddr,
+    input  wire                          s_axil_awvalid,
+    output wire                          s_axil_awready,
+    input  wire [31:0]                   s_axil_wdata,
+    input  wire                          s_axil_wvalid,
+    output wire                          s_axil_wready,
+    output wire [31:0]                   s_axil_rdata,
+    output wire                          s_axil_rvalid,
+
+    output wire                          busy
+);
+    reg [QUEUE_RAM_WIDTH-1:0] queue_ram [(2**QUEUE_INDEX_WIDTH)-1:0];
+    reg [CL_OP_TABLE_SIZE-1:0] op_table_start_ptr_reg;
+    reg busy_reg;
+    assign busy = busy_reg;
+endmodule
+"""
+
+
+def _clog2(n: int) -> int:
+    return max(1, (max(2, n) - 1).bit_length())
+
+
+QUEUE_RAM_WIDTH = 128
+
+
+def build_netlist(module: Module, env: Mapping[str, int]) -> Netlist:
+    ops = max(2, env.get("OP_TABLE_SIZE", 16))
+    queues = max(1, env.get("QUEUE_COUNT", 4))
+    pipeline = max(1, env.get("PIPELINE", 2))
+    qiw = max(2, env.get("QUEUE_INDEX_WIDTH", 8))
+    cpl = max(8, env.get("CPL_SIZE", 16))
+    cl_ops = _clog2(ops)
+
+    netlist = Netlist(top=module.name)
+
+    # Queue state RAM: 2^QIW entries × 128b — fixed by QIW, hence the
+    # BRAM-constant behaviour across the explored knobs.
+    netlist.add_block(
+        Block(
+            name="u_queue_ram",
+            logic_terms=qiw * 4,
+            ff_bits=QUEUE_RAM_WIDTH,        # output register stage of the RAM
+            mem_bits=(2**qiw) * QUEUE_RAM_WIDTH,
+            mem_width=QUEUE_RAM_WIDTH,
+            levels=2,
+            through_memory=True,
+        )
+    )
+
+    # Operation table: per-entry valid/commit state plus a match network
+    # across all entries (the outstanding-op CAM).
+    netlist.add_block(
+        Block(
+            name="u_op_table",
+            logic_terms=ops * (qiw + 10) // 2 + ops * 3,
+            ff_bits=ops * (qiw + 6),
+            carry_bits=cl_ops * 2,
+            levels=2 + cl_ops // 2,          # match tree deepens with table
+            registered_output=False,
+        )
+    )
+
+    # Queue arbiter/selector across active queues.
+    netlist.add_block(
+        Block(
+            name="u_arbiter",
+            logic_terms=queues * (qiw + 4) + 2 ** _clog2(queues),
+            ff_bits=queues * 2 + qiw,
+            levels=1 + _clog2(queues),
+            registered_output=False,
+        )
+    )
+
+    # Enqueue/commit control FSM and completion record assembly.
+    netlist.add_block(
+        Block(
+            name="u_ctrl",
+            logic_terms=90 + cpl * 2,
+            ff_bits=48 + cpl,
+            carry_bits=qiw,
+            levels=3,
+            registered_output=False,
+        )
+    )
+
+    # AXI-lite interface.
+    netlist.add_block(
+        Block(name="u_axil", logic_terms=70, ff_bits=80, levels=2)
+    )
+
+    # Output pipeline: PIPELINE register slices over the response datapath.
+    # Each stage adds registers and one mux layer of LUTs; crucially the
+    # *ctrl→out path is cut* into `pipeline` registered hops, so more stages
+    # raise Fmax while costing FF/LUT.
+    stage_width = QUEUE_RAM_WIDTH + cl_ops + 8
+    prev = "u_ctrl"
+    for s in range(pipeline):
+        name = f"u_pipe{s}"
+        netlist.add_block(
+            Block(
+                name=name,
+                logic_terms=stage_width // 3,
+                ff_bits=stage_width,
+                levels=1,
+            )
+        )
+        # Registered hop: each stage terminates the path from `prev`.
+        netlist.connect(prev, name, width=stage_width, combinational=prev == "u_ctrl")
+        prev = name
+
+    # Combinational interconnect: the per-cycle read-modify-write loop.
+    netlist.connect("u_arbiter", "u_queue_ram", width=qiw, combinational=True)
+    netlist.connect("u_queue_ram", "u_op_table", width=QUEUE_RAM_WIDTH, combinational=True)
+    netlist.connect("u_op_table", "u_ctrl", width=cl_ops + 4, combinational=True)
+    netlist.connect("u_axil", "u_arbiter", width=qiw)
+    netlist.connect(prev, "u_axil", width=32)
+    # Deeper pipelines retime the RAM→op-table crossing: stages beyond 2
+    # shave levels off the op table's match network.
+    if pipeline >= 3:
+        current = netlist.block("u_op_table")
+        netlist.replace_block(
+            "u_op_table", levels=max(2, current.levels - (pipeline - 2))
+        )
+    return netlist
+
+
+def generator() -> DesignGenerator:
+    """Corundum CQM generator (Table I ranges)."""
+    from repro.perf import StaticThroughputModel, register_performance_model
+
+    # Completions per second: one enqueue per cycle in steady state, but the
+    # op table bounds the outstanding window — an undersized table stalls
+    # the pipeline on round trips (modeled as a utilization factor).
+    register_performance_model(
+        TOP,
+        StaticThroughputModel(
+            items_per_cycle=lambda p: min(
+                1.0, p.get("OP_TABLE_SIZE", 16) / (4.0 * p.get("PIPELINE", 2) + 8.0)
+            ),
+            description="queue completions per second",
+        ),
+    )
+    return DesignGenerator(
+        name="corundum-cqm",
+        top=TOP,
+        language=HdlLanguage.VERILOG,
+        emit=lambda: SOURCE,
+        model=build_netlist,
+        params=(
+            ParamInfo("OP_TABLE_SIZE", 8, 40),
+            ParamInfo("QUEUE_COUNT", 4, 8),
+            ParamInfo("PIPELINE", 2, 5),
+        ),
+        description="Corundum mqnic completion queue manager",
+    )

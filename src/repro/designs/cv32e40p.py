@@ -1,0 +1,182 @@
+"""cv32e40p core-level case study (SystemVerilog).
+
+The paper's Section IV-A uses a submodule of the OpenHW cv32e40p — the
+prefetch-buffer FIFO (see :mod:`repro.designs.fifo_sv`).  This generator
+models the *whole core*, giving the library a realistic many-thousand-LUT
+SystemVerilog design with the knobs the real IP exposes:
+
+- ``FPU`` — the optional CV-FPU: a large LUT/FF/DSP block whose deep
+  multiply-add path drags Fmax down;
+- ``PULP_XPULP`` — the XPULP custom-extension datapath (hardware loops,
+  post-increment LSU, SIMD): wider decode and extra ALU logic;
+- ``NUM_MHPMCOUNTERS`` — performance-counter count (0–29), a clean linear
+  FF/LUT knob in the CSR block.
+
+Footprint anchors follow the published cv32e40p FPGA results (≈6–7 k LUTs
+base, roughly +60 % with the FPU on 7-series).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.designs.base import DesignGenerator, ParamInfo
+from repro.hdl.ast import HdlLanguage, Module
+from repro.netlist import Block, Netlist
+
+__all__ = ["generator", "SOURCE", "TOP"]
+
+TOP = "cv32e40p_core"
+
+SOURCE = """\
+// OpenHW cv32e40p RISC-V core (interface subset).
+module cv32e40p_core #(
+    parameter PULP_XPULP       = 0,
+    parameter PULP_CLUSTER     = 0,
+    parameter FPU              = 0,
+    parameter NUM_MHPMCOUNTERS = 1
+)(
+    input  logic        clk_i,
+    input  logic        rst_ni,
+    input  logic        scan_cg_en_i,
+    input  logic [31:0] boot_addr_i,
+    input  logic [31:0] hart_id_i,
+
+    // instruction memory interface
+    output logic        instr_req_o,
+    input  logic        instr_gnt_i,
+    input  logic        instr_rvalid_i,
+    output logic [31:0] instr_addr_o,
+    input  logic [31:0] instr_rdata_i,
+
+    // data memory interface
+    output logic        data_req_o,
+    input  logic        data_gnt_i,
+    input  logic        data_rvalid_i,
+    output logic        data_we_o,
+    output logic [3:0]  data_be_o,
+    output logic [31:0] data_addr_o,
+    output logic [31:0] data_wdata_o,
+    input  logic [31:0] data_rdata_i,
+
+    input  logic [31:0] irq_i,
+    output logic        irq_ack_o,
+    output logic [4:0]  irq_id_o,
+
+    input  logic        debug_req_i,
+    output logic        core_sleep_o
+);
+    // pipeline elided; the DSE consumes the interface
+endmodule
+"""
+
+
+def build_netlist(module: Module, env: Mapping[str, int]) -> Netlist:
+    fpu = bool(env.get("FPU", 0))
+    xpulp = bool(env.get("PULP_XPULP", 0))
+    counters = max(0, min(29, env.get("NUM_MHPMCOUNTERS", 1)))
+
+    netlist = Netlist(top=module.name)
+
+    # IF stage: prefetch buffer (the paper's FIFO lives here) + aligner.
+    netlist.add_block(
+        Block(
+            name="u_if_stage",
+            logic_terms=650 + (180 if xpulp else 0),   # hwloop fetch control
+            ff_bits=420,
+            mem_bits=16 * 32,                          # prefetch FIFO, LUTRAM
+            mem_width=32,
+            carry_bits=32,
+            levels=3,
+        )
+    )
+    # ID stage: decoder + register file (flip-flop based on FPGA targets).
+    netlist.add_block(
+        Block(
+            name="u_id_stage",
+            logic_terms=1450 + (520 if xpulp else 0) + (260 if fpu else 0),
+            ff_bits=1120 + (32 * 32 if fpu else 0),    # FP register file
+            levels=4 + (1 if xpulp else 0),
+            registered_output=False,
+        )
+    )
+    # EX stage: ALU + integer multiplier.
+    netlist.add_block(
+        Block(
+            name="u_ex_stage",
+            logic_terms=1650 + (640 if xpulp else 0),  # SIMD/dot-product ops
+            ff_bits=380,
+            carry_bits=64,
+            mul_ops=4,
+            levels=6,
+            through_dsp=True,
+            registered_output=False,
+        )
+    )
+    # Load/store unit.
+    netlist.add_block(
+        Block(
+            name="u_lsu",
+            logic_terms=720 + (210 if xpulp else 0),   # post-increment address
+            ff_bits=310,
+            carry_bits=32,
+            levels=3,
+        )
+    )
+    # CSRs: counters dominate the scaling.
+    netlist.add_block(
+        Block(
+            name="u_cs_registers",
+            logic_terms=540 + counters * 46,
+            ff_bits=620 + counters * 64,               # 64-bit counters
+            carry_bits=counters * 4,
+            levels=3,
+        )
+    )
+    # Optional FPU: big, deep, DSP-heavy.
+    if fpu:
+        netlist.add_block(
+            Block(
+                name="u_fpu",
+                logic_terms=3900,
+                ff_bits=1750,
+                mul_ops=9,
+                carry_bits=64,
+                levels=9,                              # FMA mantissa path
+                through_dsp=True,
+                registered_output=False,
+            )
+        )
+    # Sleep/clock-gating controller.
+    netlist.add_block(
+        Block(name="u_sleep_unit", logic_terms=60, ff_bits=24, levels=2)
+    )
+
+    netlist.connect("u_if_stage", "u_id_stage", width=32, combinational=True)
+    netlist.connect("u_id_stage", "u_ex_stage", width=96, combinational=True)
+    netlist.connect("u_ex_stage", "u_lsu", width=70, combinational=True)
+    netlist.connect("u_lsu", "u_id_stage", width=32)
+    netlist.connect("u_id_stage", "u_cs_registers", width=44)
+    netlist.connect("u_cs_registers", "u_id_stage", width=32)
+    netlist.connect("u_sleep_unit", "u_if_stage", width=2)
+    if fpu:
+        netlist.connect("u_id_stage", "u_fpu", width=100)
+        netlist.connect("u_fpu", "u_ex_stage", width=33, combinational=True)
+    return netlist
+
+
+def generator() -> DesignGenerator:
+    """cv32e40p core generator."""
+    return DesignGenerator(
+        name="cv32e40p",
+        top=TOP,
+        language=HdlLanguage.SYSTEMVERILOG,
+        emit=lambda: SOURCE,
+        model=build_netlist,
+        params=(
+            ParamInfo("FPU", 0, 1),
+            ParamInfo("PULP_XPULP", 0, 1),
+            ParamInfo("NUM_MHPMCOUNTERS", 0, 29),
+        ),
+        description="OpenHW cv32e40p RISC-V core",
+    )

@@ -1,0 +1,157 @@
+"""cv32e40p FIFO case study (SystemVerilog) — paper Section IV-A.
+
+The paper assesses the approximation model on "a SystemVerilog FIFO
+submodule [of cv32e40p] exploring the depth parameter" with a range of 500
+values, targeting the XC7K70T.  The emitted module mirrors the PULP
+``fifo_v3`` interface the core uses; the architectural model scales the way
+a synchronous FIFO synthesizes:
+
+- storage: ``DEPTH × DATA_WIDTH`` bits — LUTRAM below the distributed
+  threshold, BRAM above (a visible resource step the estimator must learn);
+- pointers/counters: two Gray/binary counters of ``clog2(DEPTH)`` bits plus
+  a status counter, riding carry chains;
+- full/empty compare and output mux logic growing with ``clog2(DEPTH)`` and
+  ``DATA_WIDTH``;
+- depth grows address-decode levels logarithmically, which (with the BRAM
+  access once storage spills into block RAM) gives the smooth-but-kinked
+  frequency surface of Fig. 3c.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.designs.base import DesignGenerator, ParamInfo
+from repro.hdl.ast import HdlLanguage, Module
+from repro.netlist import Block, Netlist
+
+__all__ = ["generator", "SOURCE", "TOP"]
+
+TOP = "fifo_v3"
+
+SOURCE = """\
+// Synchronous FIFO in the style of the PULP platform fifo_v3 used by
+// the cv32e40p core (prefetch buffer).  Interface subset.
+module fifo_v3 #(
+    parameter bit          FALL_THROUGH = 1'b0,
+    parameter int unsigned DATA_WIDTH   = 32,
+    parameter int unsigned DEPTH        = 8,
+    localparam int unsigned ADDR_DEPTH  = (DEPTH > 1) ? $clog2(DEPTH) : 1
+)(
+    input  logic                  clk_i,
+    input  logic                  rst_ni,
+    input  logic                  flush_i,
+    input  logic                  testmode_i,
+    output logic                  full_o,
+    output logic                  empty_o,
+    output logic [ADDR_DEPTH-1:0] usage_o,
+    input  logic [DATA_WIDTH-1:0] data_i,
+    input  logic                  push_i,
+    output logic [DATA_WIDTH-1:0] data_o,
+    input  logic                  pop_i
+);
+    // storage + pointers (behavioural body; the DSE consumes the interface)
+    logic [DATA_WIDTH-1:0] mem [DEPTH-1:0];
+    logic [ADDR_DEPTH-1:0] read_pointer_q, write_pointer_q;
+    logic [ADDR_DEPTH:0]   status_cnt_q;
+
+    always_ff @(posedge clk_i or negedge rst_ni) begin
+        if (!rst_ni) begin
+            read_pointer_q  <= '0;
+            write_pointer_q <= '0;
+            status_cnt_q    <= '0;
+        end else begin
+            if (push_i && !full_o) begin
+                mem[write_pointer_q] <= data_i;
+                write_pointer_q <= write_pointer_q + 1'b1;
+                status_cnt_q <= status_cnt_q + 1'b1;
+            end
+            if (pop_i && !empty_o) begin
+                read_pointer_q <= read_pointer_q + 1'b1;
+                status_cnt_q <= status_cnt_q - 1'b1;
+            end
+        end
+    end
+
+    assign full_o  = (status_cnt_q == DEPTH);
+    assign empty_o = (status_cnt_q == 0) && !(FALL_THROUGH && push_i);
+    assign usage_o = status_cnt_q[ADDR_DEPTH-1:0];
+    assign data_o  = mem[read_pointer_q];
+endmodule
+"""
+
+
+def _clog2(n: int) -> int:
+    return max(1, (max(2, n) - 1).bit_length())
+
+
+def build_netlist(module: Module, env: Mapping[str, int]) -> Netlist:
+    depth = max(2, env.get("DEPTH", 8))
+    width = max(1, env.get("DATA_WIDTH", 32))
+    fall_through = bool(env.get("FALL_THROUGH", 0))
+    addr = _clog2(depth)
+
+    netlist = Netlist(top=module.name)
+    mem_bits = depth * width
+    storage = netlist.add_block(
+        Block(
+            name="u_storage",
+            logic_terms=addr * 2,          # read/write decode assists
+            ff_bits=0,
+            mem_bits=mem_bits,
+            mem_width=width,
+            levels=1 + addr // 4,          # address decode deepens with depth
+            registered_output=False,
+            through_memory=mem_bits > 1024,
+        )
+    )
+    pointers = netlist.add_block(
+        Block(
+            name="u_pointers",
+            logic_terms=3 * addr + 8,
+            ff_bits=2 * addr + (addr + 1),  # rd/wr pointers + status counter
+            carry_bits=2 * addr + (addr + 1),
+            levels=2,
+        )
+    )
+    status = netlist.add_block(
+        Block(
+            name="u_status",
+            logic_terms=addr + 6 + (4 if fall_through else 0),
+            ff_bits=2,
+            levels=2,
+            registered_output=False,
+        )
+    )
+    outmux = netlist.add_block(
+        Block(
+            name="u_outmux",
+            # Output data mux: width bits, depth legs → log-depth mux tree.
+            logic_terms=width * max(1, addr // 2) + (width if fall_through else 0),
+            ff_bits=width,
+            levels=max(1, addr // 2),
+        )
+    )
+    netlist.connect("u_pointers", "u_storage", width=addr, combinational=True)
+    netlist.connect("u_storage", "u_outmux", width=width, combinational=True)
+    netlist.connect("u_pointers", "u_status", width=addr + 1, combinational=True)
+    netlist.connect("u_status", "u_outmux", width=2, combinational=True)
+    netlist.connect("u_outmux", "u_pointers", width=2)
+    return netlist
+
+
+def generator() -> DesignGenerator:
+    """Build the FIFO generator (paper exploration: DEPTH over 500 values)."""
+    return DesignGenerator(
+        name="cv32e40p-fifo",
+        top=TOP,
+        language=HdlLanguage.SYSTEMVERILOG,
+        emit=lambda: SOURCE,
+        model=build_netlist,
+        params=(
+            ParamInfo("DEPTH", 4, 503),          # 500 possible values
+            ParamInfo("DATA_WIDTH", 8, 128),
+            ParamInfo("FALL_THROUGH", 0, 1),
+        ),
+        description="PULP fifo_v3-style FIFO (cv32e40p prefetch buffer)",
+    )

@@ -1,0 +1,34 @@
+"""Registry of built-in case-study designs."""
+
+from __future__ import annotations
+
+from repro.designs import corundum_cqm, cv32e40p, fifo_sv, neorv32, tirex
+from repro.designs.base import DesignGenerator
+
+__all__ = ["all_designs", "get_design"]
+
+_FACTORIES = {
+    "cv32e40p-fifo": fifo_sv.generator,
+    "cv32e40p": cv32e40p.generator,
+    "corundum-cqm": corundum_cqm.generator,
+    "neorv32": neorv32.generator,
+    "tirex": tirex.generator,
+}
+
+
+def all_designs() -> dict[str, DesignGenerator]:
+    """Instantiate every built-in design generator (registers its model)."""
+    return {name: factory() for name, factory in _FACTORIES.items()}
+
+
+def get_design(name: str) -> DesignGenerator:
+    """Look up a built-in design by name (also accepts the top-module name)."""
+    key = name.lower()
+    if key in _FACTORIES:
+        return _FACTORIES[key]()
+    for factory in _FACTORIES.values():
+        gen = factory()
+        if gen.top.lower() == key:
+            return gen
+    known = ", ".join(sorted(_FACTORIES))
+    raise KeyError(f"unknown design {name!r}; built-ins: {known}")

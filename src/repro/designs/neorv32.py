@@ -1,0 +1,145 @@
+"""Neorv32 case study (VHDL) — paper Section IV-C.
+
+The paper tests "the top module and explore[s] as module parameters the
+instruction and data memory sizes", restricted to powers of two, on the
+XC7K70T.  Reported shape (Fig. 5): five non-dominated solutions; memories
+of 2^15 bytes cause a sensible BRAM jump versus 2^14/2^13 "while leaving
+almost unchanged the other metrics".
+
+The emitted entity mirrors the neorv32_top generic style (MEM_INT_IMEM_SIZE
+/ MEM_INT_DMEM_SIZE in bytes).  The architectural model anchors the core
+complex at the public neorv32 footprint (≈2.5k LUTs / ≈1.9k FFs for an
+rv32imc configuration) and sizes IMEM/DMEM as byte-addressed BRAMs; the
+address-decode depth grows with log2 of the memory size, nudging frequency
+down slightly at large memories — the "almost unchanged" secondary effect.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.designs.base import DesignGenerator, ParamInfo
+from repro.hdl.ast import HdlLanguage, Module
+from repro.netlist import Block, Netlist
+
+__all__ = ["generator", "SOURCE", "TOP"]
+
+TOP = "neorv32_top"
+
+SOURCE = """\
+-- NEORV32-style processor top (interface subset).
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity neorv32_top is
+  generic (
+    CLOCK_FREQUENCY   : natural := 100000000;
+    MEM_INT_IMEM_SIZE : natural := 16384;  -- bytes, power of two
+    MEM_INT_DMEM_SIZE : natural := 8192;   -- bytes, power of two
+    CPU_EXTENSION_RISCV_C : boolean := true;
+    CPU_EXTENSION_RISCV_M : boolean := true;
+    FAST_MUL_EN       : boolean := false
+  );
+  port (
+    clk_i  : in  std_logic;
+    rstn_i : in  std_logic;
+    gpio_o : out std_logic_vector(31 downto 0);
+    gpio_i : in  std_logic_vector(31 downto 0);
+    uart0_txd_o : out std_logic;
+    uart0_rxd_i : in  std_logic
+  );
+end entity neorv32_top;
+
+architecture neorv32_top_rtl of neorv32_top is
+begin
+  -- processor subsystem elided; the DSE consumes the interface
+end architecture neorv32_top_rtl;
+"""
+
+
+def _log2(n: int) -> int:
+    return max(1, (max(2, n) - 1).bit_length())
+
+
+def build_netlist(module: Module, env: Mapping[str, int]) -> Netlist:
+    imem_bytes = max(1024, env.get("MEM_INT_IMEM_SIZE", 16384))
+    dmem_bytes = max(1024, env.get("MEM_INT_DMEM_SIZE", 8192))
+    ext_c = bool(env.get("CPU_EXTENSION_RISCV_C", 1))
+    ext_m = bool(env.get("CPU_EXTENSION_RISCV_M", 1))
+    fast_mul = bool(env.get("FAST_MUL_EN", 0))
+
+    netlist = Netlist(top=module.name)
+
+    # 4-stage in-order rv32 core complex (public neorv32 footprint anchors).
+    core_luts = 2100 + (260 if ext_c else 0) + (0 if fast_mul else (420 if ext_m else 0))
+    core_ffs = 1750 + (120 if ext_c else 0)
+    netlist.add_block(
+        Block(
+            name="u_cpu",
+            logic_terms=core_luts,
+            ff_bits=core_ffs,
+            carry_bits=64,          # ALU + PC adders
+            levels=6,               # ALU/branch resolve path
+            registered_output=False,
+            through_dsp=fast_mul,
+        )
+    )
+    if ext_m and fast_mul:
+        netlist.add_block(
+            Block(name="u_muldiv", logic_terms=180, ff_bits=140, mul_ops=4,
+                  levels=2, through_dsp=True)
+        )
+
+    # Internal instruction / data memories: byte-addressed, 32-bit wide.
+    for label, nbytes in (("imem", imem_bytes), ("dmem", dmem_bytes)):
+        decode = _log2(nbytes)
+        netlist.add_block(
+            Block(
+                name=f"u_{label}",
+                logic_terms=decode * 6,
+                ff_bits=34,
+                mem_bits=nbytes * 8,
+                mem_width=32,
+                levels=1 + decode // 6,   # wider decode, slightly deeper
+                through_memory=True,
+                registered_output=False,
+            )
+        )
+
+    # Internal bus switch + peripherals (GPIO, UART, sysinfo).
+    netlist.add_block(
+        Block(name="u_bus", logic_terms=380, ff_bits=220, levels=3,
+              registered_output=False)
+    )
+    netlist.add_block(
+        Block(name="u_periph", logic_terms=520, ff_bits=610, carry_bits=24, levels=2)
+    )
+
+    netlist.connect("u_cpu", "u_bus", width=70, combinational=True)
+    netlist.connect("u_bus", "u_imem", width=34, combinational=True)
+    netlist.connect("u_bus", "u_dmem", width=34, combinational=True)
+    netlist.connect("u_imem", "u_cpu", width=32)
+    netlist.connect("u_dmem", "u_cpu", width=32)
+    netlist.connect("u_bus", "u_periph", width=34)
+    netlist.connect("u_periph", "u_cpu", width=33)
+    if ext_m and fast_mul:
+        netlist.connect("u_cpu", "u_muldiv", width=65)
+        netlist.connect("u_muldiv", "u_cpu", width=32)
+    return netlist
+
+
+def generator() -> DesignGenerator:
+    """Neorv32 generator — memory sizes as power-of-two exponents 12..16."""
+    return DesignGenerator(
+        name="neorv32",
+        top=TOP,
+        language=HdlLanguage.VHDL,
+        emit=lambda: SOURCE,
+        model=build_netlist,
+        params=(
+            ParamInfo("MEM_INT_IMEM_SIZE", 12, 16, power_of_two=True),
+            ParamInfo("MEM_INT_DMEM_SIZE", 12, 16, power_of_two=True),
+        ),
+        description="NEORV32 RISC-V processor top",
+    )

@@ -1,0 +1,208 @@
+"""TiReX case study (VHDL) — paper Section IV-D.
+
+TiReX is a tiled regular-expression matching architecture.  The paper
+constrains its two datapath parameters into a single parallelism knob
+``NCluster``, and additionally explores the instruction memory, data
+memory, and context-switch stack sizes — all powers of two — on both a
+Zynq UltraScale+ ZU3EG (16 nm) and the Kintex-7 XC7K70T (28 nm).
+
+Reported shape (Figs. 6/7, Table II): every non-dominated configuration has
+``NCluster = 1`` (more clusters cost area *and* frequency with no modeled
+benefit metric, so they are dominated); small memories dominate; the ZU3EG
+reaches ~550 MHz where the XC7K70T reaches ~190 MHz on similar
+configurations; the newer part yields fewer non-dominated points (4 vs 8).
+
+Architectural model: each cluster is a set of parallel matching engines
+with a wide instruction bus; cluster count widens instruction distribution
+(deeper fan-out levels ⇒ lower Fmax) and multiplies engine area.  Stack and
+memories map to BRAM once past the distributed threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.designs.base import DesignGenerator, ParamInfo
+from repro.hdl.ast import HdlLanguage, Module
+from repro.netlist import Block, Netlist
+
+__all__ = ["generator", "SOURCE", "TOP"]
+
+TOP = "tirex_top"
+
+SOURCE = """\
+-- TiReX: Tiled Regular Expression matching architecture (interface subset).
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity tirex_top is
+  generic (
+    NCLUSTER        : positive := 1;    -- core parallelism (clusters)
+    STACK_SIZE      : positive := 16;   -- context-switch stack entries
+    INSTR_MEM_SIZE  : positive := 8;    -- instruction memory (K-entries)
+    DATA_MEM_SIZE   : positive := 8     -- data memory (K-entries)
+  );
+  port (
+    clk      : in  std_logic;
+    rst      : in  std_logic;
+    start    : in  std_logic;
+    char_i   : in  std_logic_vector(7 downto 0);
+    valid_i  : in  std_logic;
+    ref_i    : in  std_logic_vector(15 downto 0);
+    match_o  : out std_logic;
+    done_o   : out std_logic;
+    result_o : out std_logic_vector(15 downto 0)
+  );
+end entity tirex_top;
+
+architecture tirex_rtl of tirex_top is
+begin
+  -- tiled engine array elided; the DSE consumes the interface
+end architecture tirex_rtl;
+"""
+
+_INSTR_WIDTH_PER_CLUSTER = 56   # bits of instruction consumed per cluster
+_ENGINE_LUTS = 540              # one cluster's matching engines
+_ENGINE_FFS = 410
+
+
+def _log2(n: int) -> int:
+    return max(1, (max(2, n) - 1).bit_length())
+
+
+def build_netlist(module: Module, env: Mapping[str, int]) -> Netlist:
+    nclusters = max(1, env.get("NCLUSTER", 1))
+    stack = max(2, env.get("STACK_SIZE", 16))
+    imem_k = max(1, env.get("INSTR_MEM_SIZE", 8))
+    dmem_k = max(1, env.get("DATA_MEM_SIZE", 8))
+
+    instr_width = _INSTR_WIDTH_PER_CLUSTER * nclusters
+    netlist = Netlist(top=module.name)
+
+    # Control unit with the context-switch stack.
+    stack_bits = stack * 48
+    netlist.add_block(
+        Block(
+            name="u_ctrl",
+            logic_terms=160 + _log2(stack) * 10,
+            ff_bits=96,
+            carry_bits=16,
+            mem_bits=stack_bits,
+            mem_width=48,
+            levels=3,
+            registered_output=False,
+            through_memory=stack_bits > 1024,
+        )
+    )
+
+    # Instruction memory: K-entries × instruction width.
+    imem_bits = imem_k * 1024 * instr_width
+    netlist.add_block(
+        Block(
+            name="u_imem",
+            logic_terms=_log2(imem_k * 1024) * 4,
+            ff_bits=instr_width,
+            mem_bits=imem_bits,
+            mem_width=instr_width,
+            levels=2,
+            through_memory=True,
+        )
+    )
+
+    # Data memory: K-entries × 32.
+    dmem_bits = dmem_k * 1024 * 32
+    netlist.add_block(
+        Block(
+            name="u_dmem",
+            logic_terms=_log2(dmem_k * 1024) * 4,
+            ff_bits=34,
+            mem_bits=dmem_bits,
+            mem_width=32,
+            levels=2,
+            through_memory=True,
+        )
+    )
+
+    # Instruction dispatch: fans the fetched word out to all clusters.
+    netlist.add_block(
+        Block(
+            name="u_dispatch",
+            logic_terms=instr_width + nclusters * 24,
+            ff_bits=instr_width,
+            levels=1 + _log2(nclusters + 1),  # fan-out tree deepens
+        )
+    )
+
+    # Matching engine clusters.  Multi-cluster configurations pay a real
+    # timing price: match vectors from neighbouring clusters merge into each
+    # engine's state update, deepening the per-cluster critical path — this
+    # is what makes every Table II non-dominated configuration NCluster = 1.
+    cluster_levels = 4 + 3 * (nclusters.bit_length() - 1)
+    for c in range(nclusters):
+        netlist.add_block(
+            Block(
+                name=f"u_cluster{c}",
+                logic_terms=_ENGINE_LUTS,
+                ff_bits=_ENGINE_FFS,
+                carry_bits=24,
+                levels=cluster_levels,
+                registered_output=False,
+            )
+        )
+
+    # Result reduction across clusters.
+    netlist.add_block(
+        Block(
+            name="u_reduce",
+            logic_terms=24 + nclusters * 10,
+            ff_bits=20,
+            levels=1 + _log2(nclusters + 1),
+        )
+    )
+
+    netlist.connect("u_ctrl", "u_imem", width=_log2(imem_k * 1024), combinational=True)
+    netlist.connect("u_imem", "u_dispatch", width=instr_width, combinational=True)
+    for c in range(nclusters):
+        name = f"u_cluster{c}"
+        netlist.connect("u_dispatch", name, width=_INSTR_WIDTH_PER_CLUSTER,
+                        combinational=True)
+        netlist.connect(name, "u_reduce", width=10, combinational=True)
+    netlist.connect("u_reduce", "u_ctrl", width=4)
+    netlist.connect("u_dmem", "u_ctrl", width=32)
+    netlist.connect("u_reduce", "u_dmem", width=34)
+    return netlist
+
+
+def generator() -> DesignGenerator:
+    """TiReX generator — paper exploration ranges (powers of two)."""
+    from repro.perf import StaticThroughputModel, register_performance_model
+
+    # Static performance model (a paper future-work feature): each cluster
+    # consumes one input character per cycle; context switches drain the
+    # stack, amortized per 4K-character batch.  With this model registered,
+    # a `performance` objective lets multi-cluster configurations trade
+    # their area/frequency cost against real throughput.
+    register_performance_model(
+        TOP,
+        StaticThroughputModel(
+            items_per_cycle=lambda p: float(p.get("NCLUSTER", 1)),
+            startup_cycles=24,
+            batch=4096,
+            description="matched characters per second",
+        ),
+    )
+    return DesignGenerator(
+        name="tirex",
+        top=TOP,
+        language=HdlLanguage.VHDL,
+        emit=lambda: SOURCE,
+        model=build_netlist,
+        params=(
+            ParamInfo("NCLUSTER", 0, 3, power_of_two=True),        # 1..8
+            ParamInfo("STACK_SIZE", 0, 8, power_of_two=True),      # 1..256
+            ParamInfo("INSTR_MEM_SIZE", 3, 6, power_of_two=True),  # 8K..64K entries
+            ParamInfo("DATA_MEM_SIZE", 3, 6, power_of_two=True),
+        ),
+        description="TiReX tiled regular-expression matching architecture",
+    )

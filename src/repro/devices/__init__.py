@@ -1,0 +1,24 @@
+"""FPGA device models: part catalog, resource vectors, timing scaling.
+
+The paper targets a Kintex-7 ``XC7K70TFBV676-1`` (28 nm) for all four case
+studies and additionally a Zynq UltraScale+ ``XCZU3EG`` (16 nm) for TiReX.
+This package provides those parts (plus a few neighbours for tests) with
+public resource counts, and per-process timing models that reproduce the
+technology-impact comparison of Fig. 6 vs Fig. 7.
+"""
+
+from repro.devices.resources import ResourceKind, ResourceVector, UtilizationReport
+from repro.devices.catalog import Device, get_device, list_devices, register_device
+from repro.devices.timing_models import ProcessTimingModel, timing_model_for
+
+__all__ = [
+    "ResourceKind",
+    "ResourceVector",
+    "UtilizationReport",
+    "Device",
+    "get_device",
+    "list_devices",
+    "register_device",
+    "ProcessTimingModel",
+    "timing_model_for",
+]

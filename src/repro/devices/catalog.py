@@ -1,0 +1,174 @@
+"""The FPGA part catalog.
+
+Resource counts are the public figures for each part (Xilinx product
+tables): the paper itself quotes "the ZU3EG has 70K LUTs and 141k Flip
+Flops, while the XC7K70T has 41k LUT and 82K FF".  Speed-grade scaling is
+modeled as a multiplicative delay factor on the process timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices.resources import ResourceKind, ResourceVector
+from repro.devices.timing_models import ProcessTimingModel, timing_model_for
+from repro.errors import UnknownDeviceError
+
+__all__ = ["Device", "get_device", "list_devices", "register_device"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """One FPGA part: identity, capacity, grid geometry, timing.
+
+    ``grid_cols``/``grid_rows`` define the placement fabric used by the
+    simulated annealing placer; they approximate the part's CLB array shape.
+    """
+
+    part: str
+    family: str
+    process: str
+    speed_grade: int
+    resources: ResourceVector
+    grid_cols: int
+    grid_rows: int
+    speed_factor: float = 1.0
+    aliases: tuple[str, ...] = field(default_factory=tuple)
+
+    def timing(self) -> ProcessTimingModel:
+        return timing_model_for(self.process)
+
+    def has_resource(self, kind: ResourceKind | str) -> bool:
+        return self.resources.get(kind) > 0
+
+    def capacity(self, kind: ResourceKind | str) -> int:
+        return self.resources.get(kind)
+
+    def cells_per_site(self) -> float:
+        """Average LUT+FF capacity per placement grid site."""
+        sites = self.grid_cols * self.grid_rows
+        return (self.resources.get("LUT") + self.resources.get("FF")) / sites
+
+
+def _mk(part: str, **kw: object) -> Device:
+    return Device(part=part, **kw)  # type: ignore[arg-type]
+
+
+_CATALOG: dict[str, Device] = {}
+
+
+def register_device(device: Device) -> None:
+    """Add a device (and its aliases) to the catalog; names are case-insensitive."""
+    for name in (device.part, *device.aliases):
+        key = name.lower()
+        if key in _CATALOG and _CATALOG[key].part != device.part:
+            raise ValueError(f"device name collision: {name}")
+        _CATALOG[key] = device
+
+
+def get_device(name: str) -> Device:
+    """Look up a part by name or alias (case-insensitive)."""
+    try:
+        return _CATALOG[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted({d.part for d in _CATALOG.values()}))
+        raise UnknownDeviceError(f"unknown device {name!r}; known parts: {known}") from None
+
+
+def list_devices() -> list[Device]:
+    """All registered devices, deduplicated, sorted by part name."""
+    seen: dict[str, Device] = {}
+    for dev in _CATALOG.values():
+        seen.setdefault(dev.part, dev)
+    return sorted(seen.values(), key=lambda d: d.part)
+
+
+# ---------------------------------------------------------------------------
+# Built-in parts
+# ---------------------------------------------------------------------------
+
+register_device(
+    Device(
+        part="XC7K70TFBV676-1",
+        family="Kintex-7",
+        process="28nm",
+        speed_grade=1,
+        # Kintex-7 70T: 41,000 LUTs, 82,000 FFs, 135 BRAM36, 240 DSP48E1.
+        resources=ResourceVector.of(
+            LUT=41000, FF=82000, BRAM=135, DSP=240, CARRY=10250, IO=300, BUFG=32
+        ),
+        grid_cols=54,
+        grid_rows=80,
+        speed_factor=1.00,
+        aliases=("XC7K70T", "xc7k70tfbv676-1", "kintex7-70t"),
+    )
+)
+
+register_device(
+    Device(
+        part="XCZU3EG-SBVA484-1",
+        family="Zynq UltraScale+",
+        process="16nm",
+        speed_grade=1,
+        # ZU3EG: 70,560 LUTs, 141,120 FFs, 216 BRAM36, 360 DSP48E2; no URAM.
+        resources=ResourceVector.of(
+            LUT=70560, FF=141120, BRAM=216, DSP=360, CARRY=8820, IO=252, BUFG=196
+        ),
+        grid_cols=64,
+        grid_rows=96,
+        speed_factor=1.00,
+        aliases=("ZU3EG", "XCZU3EG", "zynq-zu3eg"),
+    )
+)
+
+register_device(
+    Device(
+        part="XCZU9EG-FFVB1156-2",
+        family="Zynq UltraScale+",
+        process="16nm",
+        speed_grade=2,
+        # ZU9EG: 274,080 LUTs, 548,160 FFs, 912 BRAM36, 2,520 DSP, no URAM.
+        resources=ResourceVector.of(
+            LUT=274080, FF=548160, BRAM=912, DSP=2520, CARRY=34260, IO=328, BUFG=404
+        ),
+        grid_cols=120,
+        grid_rows=168,
+        speed_factor=0.92,
+        aliases=("ZU9EG",),
+    )
+)
+
+register_device(
+    Device(
+        part="XCVU9P-FLGA2104-2",
+        family="Virtex UltraScale+",
+        process="16nm",
+        speed_grade=2,
+        # VU9P: 1,182,240 LUTs, 2,364,480 FFs, 2,160 BRAM36, 960 URAM, 6,840 DSP.
+        resources=ResourceVector.of(
+            LUT=1182240, FF=2364480, BRAM=2160, URAM=960, DSP=6840,
+            CARRY=147780, IO=676, BUFG=1800,
+        ),
+        grid_cols=228,
+        grid_rows=344,
+        speed_factor=0.92,
+        aliases=("VU9P",),
+    )
+)
+
+register_device(
+    Device(
+        part="XC7A35TICSG324-1L",
+        family="Artix-7",
+        process="28nm",
+        speed_grade=1,
+        # Artix-7 35T (common hobby part): 20,800 LUTs, 41,600 FFs, 50 BRAM36, 90 DSP.
+        resources=ResourceVector.of(
+            LUT=20800, FF=41600, BRAM=50, DSP=90, CARRY=5200, IO=210, BUFG=32
+        ),
+        grid_cols=38,
+        grid_rows=60,
+        speed_factor=1.12,
+        aliases=("XC7A35T", "arty-a35t"),
+    )
+)

@@ -1,0 +1,130 @@
+"""Resource kinds, resource vectors, and utilization reports.
+
+A :class:`ResourceVector` is a sparse integer map over :class:`ResourceKind`
+supporting elementwise arithmetic; the flow uses it both for device capacity
+and for design requirements.  Some kinds (URAM) exist only on some families
+— the paper notes such resources are "device-dependent and reported only if
+present" — so vectors never invent zero entries for kinds a device lacks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+__all__ = ["ResourceKind", "ResourceVector", "UtilizationReport"]
+
+
+class ResourceKind(str, enum.Enum):
+    """The resource classes a Xilinx-style utilization report breaks out."""
+
+    LUT = "LUT"
+    FF = "FF"              # flip-flops / registers
+    BRAM = "BRAM"          # 36Kb block RAM tiles
+    DSP = "DSP"            # DSP48 slices
+    CARRY = "CARRY"        # carry chains (CARRY4/CARRY8)
+    URAM = "URAM"          # UltraRAM, UltraScale+ only
+    IO = "IO"              # user I/O pins
+    BUFG = "BUFG"          # global clock buffers
+
+    def __str__(self) -> str:  # keep report text clean ("LUT", not "ResourceKind.LUT")
+        return self.value
+
+
+# Report ordering follows Vivado's utilization report sections.
+REPORT_ORDER: tuple[ResourceKind, ...] = (
+    ResourceKind.LUT,
+    ResourceKind.FF,
+    ResourceKind.BRAM,
+    ResourceKind.URAM,
+    ResourceKind.DSP,
+    ResourceKind.CARRY,
+    ResourceKind.IO,
+    ResourceKind.BUFG,
+)
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Immutable sparse integer vector over resource kinds."""
+
+    counts: Mapping[ResourceKind, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        clean: dict[ResourceKind, int] = {}
+        for kind, n in self.counts.items():
+            kind = ResourceKind(kind)
+            n = int(n)
+            if n < 0:
+                raise ValueError(f"negative resource count {kind}: {n}")
+            if n:
+                clean[kind] = n
+        object.__setattr__(self, "counts", clean)
+
+    @classmethod
+    def of(cls, **kwargs: int) -> "ResourceVector":
+        """Build from keyword args: ``ResourceVector.of(LUT=100, FF=50)``."""
+        return cls({ResourceKind(k): v for k, v in kwargs.items()})
+
+    def get(self, kind: ResourceKind | str) -> int:
+        return self.counts.get(ResourceKind(kind), 0)
+
+    def __getitem__(self, kind: ResourceKind | str) -> int:
+        return self.get(kind)
+
+    def __iter__(self) -> Iterator[tuple[ResourceKind, int]]:
+        return iter(sorted(self.counts.items(), key=lambda kv: REPORT_ORDER.index(kv[0])))
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        kinds = set(self.counts) | set(other.counts)
+        return ResourceVector({k: self.get(k) + other.get(k) for k in kinds})
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        """Multiply every count by ``factor``, rounding to nearest int."""
+        if factor < 0:
+            raise ValueError("negative scale factor")
+        return ResourceVector({k: round(v * factor) for k, v in self.counts.items()})
+
+    def dominates_capacity(self, capacity: "ResourceVector") -> list[ResourceKind]:
+        """Kinds where this requirement exceeds ``capacity`` (empty = fits)."""
+        return [k for k, v in self.counts.items() if v > capacity.get(k)]
+
+    def as_dict(self) -> dict[str, int]:
+        return {str(k): v for k, v in self}
+
+    def total_cells(self) -> int:
+        return sum(self.counts.values())
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Used/available/percent per resource kind, as a Vivado report exposes.
+
+    ``percent`` entries only exist for kinds the device actually provides —
+    the device-dependent reporting rule from Section III-A4.
+    """
+
+    used: ResourceVector
+    available: ResourceVector
+
+    def percent(self, kind: ResourceKind | str) -> float:
+        kind = ResourceKind(kind)
+        avail = self.available.get(kind)
+        if avail == 0:
+            raise KeyError(f"device provides no {kind} resources")
+        return 100.0 * self.used.get(kind) / avail
+
+    def reported_kinds(self) -> list[ResourceKind]:
+        """Kinds present on the device, in report order."""
+        return [k for k in REPORT_ORDER if self.available.get(k) > 0]
+
+    def rows(self) -> list[tuple[str, int, int, float]]:
+        """(kind, used, available, percent) rows for table rendering."""
+        return [
+            (str(k), self.used.get(k), self.available.get(k), self.percent(k))
+            for k in self.reported_kinds()
+        ]
+
+    def overflows(self) -> list[ResourceKind]:
+        return self.used.dominates_capacity(self.available)

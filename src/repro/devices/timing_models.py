@@ -1,0 +1,118 @@
+"""Process-node timing models.
+
+The simulated static timing analysis composes path delay from primitive
+delays plus routing; both scale with the silicon process.  The paper's
+Fig. 6/7 comparison hinges on exactly this: the 16 nm ZU3EG reaches ~550 MHz
+where the 28 nm XC7K70T reaches ~190 MHz on near-identical TiReX
+configurations (roughly a 2.9x gap).  The per-node constants below are
+calibrated so small logic on -1 speed-grade parts lands in those ranges;
+they are *model* constants, not datasheet values, and are documented as such
+in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProcessTimingModel", "timing_model_for", "KNOWN_PROCESSES"]
+
+
+@dataclass(frozen=True)
+class ProcessTimingModel:
+    """Delay constants (ns) for one process node / speed grade family.
+
+    Attributes
+    ----------
+    process_nm:
+        Feature size; used only for reporting.
+    lut_delay_ns:
+        Logic delay through one LUT stage.
+    net_delay_ns:
+        Nominal routed net delay between adjacent placed cells.
+    ff_setup_ns / ff_clk_to_q_ns:
+        Register timing overheads added once per register-to-register path.
+    carry_delay_ns:
+        Per-bit carry-chain delay (fast path, much smaller than LUT delay).
+    bram_access_ns / dsp_delay_ns:
+        Block primitive access delays (paths through BRAM/DSP are long).
+    congestion_exponent:
+        How superlinearly routing delay grows with placement congestion;
+        denser processes route relatively better (lower exponent).
+    """
+
+    name: str
+    process_nm: int
+    lut_delay_ns: float
+    net_delay_ns: float
+    ff_setup_ns: float
+    ff_clk_to_q_ns: float
+    carry_delay_ns: float
+    bram_access_ns: float
+    dsp_delay_ns: float
+    congestion_exponent: float
+
+    def min_register_period_ns(self) -> float:
+        """Lower bound on any register-to-register period (FF overheads only)."""
+        return self.ff_setup_ns + self.ff_clk_to_q_ns
+
+    def logic_path_delay_ns(self, lut_levels: int, routed_hops: int) -> float:
+        """Delay of a pure-LUT path with ``lut_levels`` logic levels."""
+        if lut_levels < 0 or routed_hops < 0:
+            raise ValueError("negative path components")
+        return lut_levels * self.lut_delay_ns + routed_hops * self.net_delay_ns
+
+
+# Calibration notes:
+#   * 28 nm 7-series -1: a LUT stage (LUT + local route) costs ~0.50 ns, so
+#     an 8-level register-to-register path with FF overheads lands near
+#     5 ns (~200 MHz) — matching the Corundum/TiReX XC7K70T results.
+#   * 16 nm UltraScale+ -1: the same path lands near 1.9 ns (~520 MHz),
+#     matching TiReX on ZU3EG (~550 MHz at shallower configs).
+KNOWN_PROCESSES: dict[str, ProcessTimingModel] = {
+    "28nm": ProcessTimingModel(
+        name="28nm",
+        process_nm=28,
+        lut_delay_ns=0.25,
+        net_delay_ns=0.45,
+        ff_setup_ns=0.30,
+        ff_clk_to_q_ns=0.35,
+        carry_delay_ns=0.012,
+        bram_access_ns=1.70,
+        dsp_delay_ns=1.90,
+        congestion_exponent=1.55,
+    ),
+    "16nm": ProcessTimingModel(
+        name="16nm",
+        process_nm=16,
+        lut_delay_ns=0.095,
+        net_delay_ns=0.155,
+        ff_setup_ns=0.09,
+        ff_clk_to_q_ns=0.11,
+        carry_delay_ns=0.006,
+        bram_access_ns=0.62,
+        dsp_delay_ns=0.85,
+        congestion_exponent=1.40,
+    ),
+    # 20 nm UltraScale, between the two; used by catalog extras/tests.
+    "20nm": ProcessTimingModel(
+        name="20nm",
+        process_nm=20,
+        lut_delay_ns=0.17,
+        net_delay_ns=0.30,
+        ff_setup_ns=0.20,
+        ff_clk_to_q_ns=0.23,
+        carry_delay_ns=0.009,
+        bram_access_ns=1.15,
+        dsp_delay_ns=1.35,
+        congestion_exponent=1.48,
+    ),
+}
+
+
+def timing_model_for(process: str) -> ProcessTimingModel:
+    """Look up a timing model by process name (``"28nm"`` / ``"16nm"`` / ``"20nm"``)."""
+    try:
+        return KNOWN_PROCESSES[process]
+    except KeyError:
+        known = ", ".join(sorted(KNOWN_PROCESSES))
+        raise KeyError(f"unknown process {process!r}; known: {known}") from None

@@ -1,0 +1,122 @@
+"""Synthesis and implementation directives.
+
+Dovado "exposes the possibility of ... customizing the toolchain directives
+for a given step, i.e., synthesis, place, and route", letting the user guide
+the tool toward run-time performance or area.  VEDA models the same knobs:
+each directive maps to quantitative biases consumed by the optimizer, the
+placer, and the simulated run-time model.  Values are relative to
+``DEFAULT = 1.0``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["SynthDirective", "ImplDirective", "DirectiveSet", "DirectiveEffect"]
+
+
+@dataclass(frozen=True)
+class DirectiveEffect:
+    """Quantitative biases of one directive.
+
+    Attributes
+    ----------
+    effort:
+        Multiplier on optimization/placement iterations; more effort costs
+        proportionally more (simulated) tool time and yields better QoR.
+    area_bias:
+        <1 shrinks LUT usage (resource sharing) at a level/delay penalty;
+        >1 duplicates logic for speed.
+    delay_bias:
+        Multiplier on achieved path delays (observed QoR spread between
+        directives); <1 is faster.
+    runtime_factor:
+        Multiplier on the simulated wall-clock cost of the step.
+    """
+
+    effort: float = 1.0
+    area_bias: float = 1.0
+    delay_bias: float = 1.0
+    runtime_factor: float = 1.0
+
+
+class SynthDirective(str, enum.Enum):
+    DEFAULT = "Default"
+    RUNTIME_OPTIMIZED = "RuntimeOptimized"
+    AREA_OPTIMIZED_HIGH = "AreaOptimized_high"
+    AREA_OPTIMIZED_MEDIUM = "AreaOptimized_medium"
+    PERFORMANCE_OPTIMIZED = "PerformanceOptimized"
+    FLOW_ALTERNATE_ROUTABILITY = "AlternateRoutability"
+
+    def __str__(self) -> str:
+        return self.value
+
+    def effect(self) -> DirectiveEffect:
+        return _SYNTH_EFFECTS[self]
+
+
+class ImplDirective(str, enum.Enum):
+    DEFAULT = "Default"
+    RUNTIME_OPTIMIZED = "RuntimeOptimized"
+    EXPLORE = "Explore"
+    EXPLORE_POST_ROUTE = "ExplorePostRoutePhysOpt"
+    SPREAD_LOGIC_HIGH = "AltSpreadLogic_high"
+
+    def __str__(self) -> str:
+        return self.value
+
+    def effect(self) -> DirectiveEffect:
+        return _IMPL_EFFECTS[self]
+
+
+_SYNTH_EFFECTS: dict[SynthDirective, DirectiveEffect] = {
+    SynthDirective.DEFAULT: DirectiveEffect(),
+    SynthDirective.RUNTIME_OPTIMIZED: DirectiveEffect(
+        effort=0.5, area_bias=1.06, delay_bias=1.05, runtime_factor=0.55
+    ),
+    SynthDirective.AREA_OPTIMIZED_HIGH: DirectiveEffect(
+        effort=1.2, area_bias=0.88, delay_bias=1.08, runtime_factor=1.30
+    ),
+    SynthDirective.AREA_OPTIMIZED_MEDIUM: DirectiveEffect(
+        effort=1.1, area_bias=0.94, delay_bias=1.04, runtime_factor=1.15
+    ),
+    SynthDirective.PERFORMANCE_OPTIMIZED: DirectiveEffect(
+        effort=1.3, area_bias=1.10, delay_bias=0.94, runtime_factor=1.40
+    ),
+    SynthDirective.FLOW_ALTERNATE_ROUTABILITY: DirectiveEffect(
+        effort=1.1, area_bias=1.03, delay_bias=0.99, runtime_factor=1.20
+    ),
+}
+
+_IMPL_EFFECTS: dict[ImplDirective, DirectiveEffect] = {
+    ImplDirective.DEFAULT: DirectiveEffect(),
+    ImplDirective.RUNTIME_OPTIMIZED: DirectiveEffect(
+        effort=0.5, delay_bias=1.06, runtime_factor=0.50
+    ),
+    ImplDirective.EXPLORE: DirectiveEffect(
+        effort=1.6, delay_bias=0.95, runtime_factor=1.80
+    ),
+    ImplDirective.EXPLORE_POST_ROUTE: DirectiveEffect(
+        effort=1.9, delay_bias=0.92, runtime_factor=2.30
+    ),
+    ImplDirective.SPREAD_LOGIC_HIGH: DirectiveEffect(
+        effort=1.3, delay_bias=0.98, runtime_factor=1.35
+    ),
+}
+
+
+@dataclass(frozen=True)
+class DirectiveSet:
+    """The directive choice for a full run (synthesis + implementation)."""
+
+    synth: SynthDirective = SynthDirective.DEFAULT
+    impl: ImplDirective = ImplDirective.DEFAULT
+
+    @classmethod
+    def parse(cls, synth: str = "Default", impl: str = "Default") -> "DirectiveSet":
+        """Build from directive name strings (as a TCL script supplies them)."""
+        return cls(synth=SynthDirective(synth), impl=ImplDirective(impl))
+
+    def as_dict(self) -> dict[str, str]:
+        return {"synth": str(self.synth), "impl": str(self.impl)}

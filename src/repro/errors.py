@@ -1,0 +1,162 @@
+"""Exception hierarchy for the Dovado reproduction.
+
+Every error raised by the framework derives from :class:`ReproError`, so
+callers can catch a single base class at the CLI / session boundary.  The
+hierarchy mirrors the major subsystems: HDL frontend, boxing, the simulated
+EDA flow (VEDA), estimation, and multi-objective optimization.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# HDL frontend
+# ---------------------------------------------------------------------------
+
+
+class HdlError(ReproError):
+    """Base class for HDL frontend errors."""
+
+
+class LexError(HdlError):
+    """Raised when the lexer encounters an unrecognized character sequence.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending character in the source text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(HdlError):
+    """Raised when a parser cannot derive a declaration from the token stream."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ValidationError(HdlError):
+    """Raised by the lint/"formal verification" pass on malformed interfaces."""
+
+
+class UnknownLanguageError(HdlError):
+    """Raised when the frontend cannot determine a file's HDL dialect."""
+
+
+class ModuleNotFoundInSource(HdlError):
+    """Raised when a requested top module is absent from the parsed sources."""
+
+
+# ---------------------------------------------------------------------------
+# Boxing
+# ---------------------------------------------------------------------------
+
+
+class BoxingError(ReproError):
+    """Base class for sandboxing/boxing failures."""
+
+
+class NoClockPortError(BoxingError):
+    """Raised when no clock port can be identified for timing constraints."""
+
+
+class ParameterOverrideError(BoxingError):
+    """Raised when a parameter override targets an unknown or unsupported generic."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated EDA flow (VEDA)
+# ---------------------------------------------------------------------------
+
+
+class FlowError(ReproError):
+    """Base class for synthesis/implementation flow errors."""
+
+
+class ElaborationError(FlowError):
+    """Raised when a design cannot be elaborated into a netlist."""
+
+
+class MappingError(FlowError):
+    """Raised by technology mapping (e.g. primitive not supported by device)."""
+
+
+class PlacementError(FlowError):
+    """Raised when placement cannot fit the design on the target device."""
+
+
+class UtilizationOverflowError(PlacementError):
+    """Raised when a design requires more resources than the device provides."""
+
+    def __init__(self, resource: str, required: int, available: int) -> None:
+        super().__init__(
+            f"design needs {required} {resource} but device provides {available}"
+        )
+        self.resource = resource
+        self.required = required
+        self.available = available
+
+
+class TimingAnalysisError(FlowError):
+    """Raised when static timing analysis fails (e.g. no clocked paths)."""
+
+
+class CheckpointError(FlowError):
+    """Raised on corrupted or incompatible incremental-flow checkpoints."""
+
+
+class TclError(FlowError):
+    """Raised by the mini-TCL interpreter on script errors."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"{message} (tcl line {line})" if line else message)
+        self.line = line
+
+
+class UnknownDeviceError(FlowError):
+    """Raised when a part/board name is not in the device catalog."""
+
+
+# ---------------------------------------------------------------------------
+# Estimation
+# ---------------------------------------------------------------------------
+
+
+class EstimationError(ReproError):
+    """Base class for approximation-model errors."""
+
+
+class EmptyDatasetError(EstimationError):
+    """Raised when a prediction is requested from an empty dataset."""
+
+
+class BandwidthSelectionError(EstimationError):
+    """Raised when LOO cross-validation cannot select a usable bandwidth."""
+
+
+# ---------------------------------------------------------------------------
+# Multi-objective optimization
+# ---------------------------------------------------------------------------
+
+
+class OptimizationError(ReproError):
+    """Base class for NSGA-II / search errors."""
+
+
+class InvalidSpaceError(OptimizationError):
+    """Raised when a parameter space is empty, inverted, or inconsistent."""
+
+
+class TerminationError(OptimizationError):
+    """Raised when termination criteria are misconfigured."""

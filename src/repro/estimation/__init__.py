@@ -1,0 +1,33 @@
+"""Fitness-function approximation (paper Section III-C).
+
+Dovado avoids calling Vivado for every NSGA-II fitness evaluation by
+training a non-parametric Nadaraya-Watson regressor (Gaussian kernel,
+Eq. 2–3) on a synthetic dataset of M randomly sampled tool runs, validated
+with leave-one-out cross-validation (bandwidth is the only free
+parameter).  A control model inspired by Shokri et al. decides per point:
+
+1. point already in the dataset → cached tool result;
+2. point within the adaptive similarity threshold Γ of the dataset
+   (Eq. 4's distance to the nearest training point) → NWM estimate;
+3. otherwise → real tool run, dataset insertion, retrain/revalidate, and Γ
+   update (mean nearest-neighbour distance over the dataset).
+"""
+
+from repro.estimation.kernels import gaussian_kernel
+from repro.estimation.dataset import Dataset
+from repro.estimation.nadaraya_watson import NadarayaWatson
+from repro.estimation.cross_validation import loo_bandwidth, loo_mse
+from repro.estimation.similarity import similarity_phi, adaptive_threshold
+from repro.estimation.control import ControlModel, Decision
+
+__all__ = [
+    "gaussian_kernel",
+    "Dataset",
+    "NadarayaWatson",
+    "loo_bandwidth",
+    "loo_mse",
+    "similarity_phi",
+    "adaptive_threshold",
+    "ControlModel",
+    "Decision",
+]

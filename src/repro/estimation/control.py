@@ -1,0 +1,130 @@
+"""The control model: Vivado, cache, or estimator? (paper Fig. 2 logic).
+
+Per new design point the DSE proposes, :meth:`ControlModel.decide` applies
+the paper's three cases in order:
+
+1. **CACHED** — the point is already in the dataset: the tool is "called"
+   but answers from its result cache at zero cost;
+2. **ESTIMATE** — the point's similarity Φ to its nearest dataset
+   neighbour is within the adaptive threshold Γ: the NWM answers;
+3. **EVALUATE** — otherwise: run the real tool, insert the (point, value)
+   pair, retrain + revalidate (LOO bandwidth re-selection) and update Γ.
+
+The model keeps decision statistics so the ablation benches can report the
+tool-call savings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import BandwidthSelectionError
+from repro.estimation.cross_validation import loo_bandwidth
+from repro.estimation.dataset import Dataset
+from repro.estimation.nadaraya_watson import NadarayaWatson
+from repro.estimation.similarity import adaptive_threshold, similarity_phi
+
+__all__ = ["Decision", "ControlModel"]
+
+
+class Decision(str, enum.Enum):
+    CACHED = "cached"
+    ESTIMATE = "estimate"
+    EVALUATE = "evaluate"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class ControlModel:
+    """State: the dataset, the fitted NWM, Γ, and decision counters."""
+
+    dataset: Dataset
+    model: NadarayaWatson = field(default_factory=lambda: NadarayaWatson(1.0))
+    threshold: float = 0.0
+    min_points_to_estimate: int = 4
+    last_loo_mse: float = float("nan")
+    counts: dict[Decision, int] = field(
+        default_factory=lambda: {d: 0 for d in Decision}
+    )
+
+    def decide(self, x: np.ndarray) -> Decision:
+        """Apply the three-case policy (does not mutate state)."""
+        if self.dataset.contains(x):
+            return Decision.CACHED
+        if (
+            len(self.dataset) >= self.min_points_to_estimate
+            and self.threshold > 0.0
+            and self.model.fitted
+        ):
+            phi = similarity_phi(x, self.dataset, n=1)
+            if phi <= self.threshold:
+                return Decision.ESTIMATE
+        return Decision.EVALUATE
+
+    def note(self, decision: Decision) -> None:
+        self.counts[decision] += 1
+
+    # ------------------------------------------------------------------
+
+    def estimate(self, x: np.ndarray) -> np.ndarray:
+        """NWM prediction for ``x`` (caller must have decided ESTIMATE)."""
+        return self.model.predict(np.asarray(x, dtype=float))
+
+    def cached(self, x: np.ndarray) -> np.ndarray:
+        value = self.dataset.lookup(x)
+        if value is None:
+            raise KeyError("cached() called for a point not in the dataset")
+        return value
+
+    def record(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Insert a fresh tool result; retrain, revalidate, update Γ."""
+        inserted = self.dataset.add(x, y)
+        if not inserted:
+            return
+        self.refit()
+
+    def refit(self) -> None:
+        """Retrain the NWM on the whole dataset + re-select the bandwidth."""
+        if len(self.dataset) < 2:
+            return
+        X = self.dataset.X()
+        Y = self.dataset.Y()
+        # Fit first so normalization is available for the LOO scoring.
+        self.model.fit(X, Y)
+        Y_norm = self.model.normalize(Y)
+        try:
+            h, mse = loo_bandwidth(X, Y_norm)
+        except BandwidthSelectionError:
+            # Degenerate dataset (e.g. identical points): keep the previous
+            # bandwidth, skip the validation update.
+            self.threshold = adaptive_threshold(self.dataset)
+            return
+        self.model.bandwidth = h
+        self.last_loo_mse = mse
+        self.threshold = adaptive_threshold(self.dataset)
+
+    # ------------------------------------------------------------------
+
+    def pretrain(self, X: np.ndarray, Y: np.ndarray) -> None:
+        """Bulk-load the synthetic dataset (the paper's M initial runs)."""
+        X = np.atleast_2d(X)
+        Y = np.atleast_2d(Y)
+        for x, y in zip(X, Y):
+            self.dataset.add(x, y)
+        self.refit()
+
+    def stats(self) -> dict[str, int | float]:
+        return {
+            "cached": self.counts[Decision.CACHED],
+            "estimated": self.counts[Decision.ESTIMATE],
+            "evaluated": self.counts[Decision.EVALUATE],
+            "dataset_size": len(self.dataset),
+            "threshold": self.threshold,
+            "bandwidth": self.model.bandwidth,
+            "loo_mse": self.last_loo_mse,
+        }

@@ -1,0 +1,109 @@
+"""The synthetic dataset backing the approximation model.
+
+Rows are (design point, metric vector) pairs from real tool runs.  The
+dataset offers the queries the control model needs — exact-membership
+lookup, nearest-neighbour distances (Eq. 4), pairwise nearest distances
+for the adaptive threshold — and grows online as the DSE inserts new tool
+results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EmptyDatasetError
+
+__all__ = ["Dataset"]
+
+
+class Dataset:
+    """Growable (X, Y) store with distance queries.
+
+    ``metric_names`` fixes the meaning/order of Y columns.  Decision points
+    are stored as float for distance math but compared exactly via integer
+    keys (DSE points are integral).
+    """
+
+    def __init__(self, n_var: int, metric_names: tuple[str, ...]) -> None:
+        if n_var < 1:
+            raise ValueError("n_var must be >= 1")
+        if not metric_names:
+            raise ValueError("at least one metric is required")
+        self.n_var = n_var
+        self.metric_names = tuple(metric_names)
+        self._X: list[np.ndarray] = []
+        self._Y: list[np.ndarray] = []
+        self._keys: dict[tuple[int, ...], int] = {}
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._X)
+
+    @property
+    def n_metrics(self) -> int:
+        return len(self.metric_names)
+
+    @staticmethod
+    def _key(x: np.ndarray) -> tuple[int, ...]:
+        return tuple(int(round(v)) for v in np.asarray(x).ravel())
+
+    def contains(self, x: np.ndarray) -> bool:
+        return self._key(x) in self._keys
+
+    def lookup(self, x: np.ndarray) -> np.ndarray | None:
+        """Exact-match metric vector, or None."""
+        idx = self._keys.get(self._key(x))
+        return None if idx is None else self._Y[idx].copy()
+
+    def add(self, x: np.ndarray, y: np.ndarray) -> bool:
+        """Insert a pair; returns False (no-op) when the point is present."""
+        x = np.asarray(x, dtype=float).ravel()
+        y = np.asarray(y, dtype=float).ravel()
+        if x.size != self.n_var:
+            raise ValueError(f"point has {x.size} vars, dataset expects {self.n_var}")
+        if y.size != self.n_metrics:
+            raise ValueError(
+                f"value has {y.size} metrics, dataset expects {self.n_metrics}"
+            )
+        key = self._key(x)
+        if key in self._keys:
+            return False
+        self._keys[key] = len(self._X)
+        self._X.append(x)
+        self._Y.append(y)
+        return True
+
+    # ------------------------------------------------------------------
+
+    def X(self) -> np.ndarray:
+        if not self._X:
+            raise EmptyDatasetError("dataset has no points")
+        return np.vstack(self._X)
+
+    def Y(self) -> np.ndarray:
+        if not self._Y:
+            raise EmptyDatasetError("dataset has no points")
+        return np.vstack(self._Y)
+
+    def nearest_distance(self, x: np.ndarray, n: int = 1) -> float:
+        """Euclidean distance to the n-th nearest stored point (1-based)."""
+        if not self._X:
+            raise EmptyDatasetError("dataset has no points")
+        if n < 1 or n > len(self._X):
+            raise ValueError(f"n must be in [1, {len(self._X)}]")
+        X = self.X()
+        d2 = ((X - np.asarray(x, dtype=float)[None, :]) ** 2).sum(axis=1)
+        return float(np.sqrt(np.partition(d2, n - 1)[n - 1]))
+
+    def pairwise_nearest_distances(self) -> np.ndarray:
+        """For each stored point, distance to its nearest *other* point.
+
+        Empty for datasets with fewer than two points (no pairs exist).
+        """
+        if len(self._X) < 2:
+            return np.zeros(0)
+        X = self.X()
+        d2 = ((X[:, None, :] - X[None, :, :]) ** 2).sum(axis=2)
+        np.fill_diagonal(d2, np.inf)
+        return np.sqrt(d2.min(axis=1))

@@ -1,0 +1,249 @@
+"""Alternative estimators (paper future work).
+
+"We plan to explore different statistical models, either parametric or
+non-parametric, to amortize the expensive synthetic dataset generation."
+This module provides three comparators for the Nadaraya-Watson default,
+all behind one small protocol (``fit``/``predict``/``loo_mse``):
+
+- :class:`KnnRegressor` — k-nearest-neighbour average (non-parametric,
+  the h→0 family NWM generalizes);
+- :class:`RbfInterpolator` — thin-plate RBF interpolation via SciPy
+  (non-parametric, exact at training points);
+- :class:`RidgeRegressor` — polynomial ridge regression (parametric, the
+  "higher variance" family the paper observes overfitting on small data).
+
+:func:`compare_estimators` scores every candidate by leave-one-out MSE on
+a dataset, the same validation the control model runs, and
+:func:`select_estimator` returns the winner — the "run-time choice among
+various algorithms based on information from synthetic dataset generation"
+the conclusions envision, applied to the estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+from scipy.interpolate import RBFInterpolator
+from scipy.spatial import cKDTree
+
+from repro.errors import EmptyDatasetError, EstimationError
+from repro.estimation.nadaraya_watson import NadarayaWatson
+from repro.estimation.cross_validation import loo_bandwidth
+
+__all__ = [
+    "Estimator",
+    "KnnRegressor",
+    "RbfInterpolator",
+    "RidgeRegressor",
+    "NwmEstimator",
+    "compare_estimators",
+    "select_estimator",
+]
+
+
+class Estimator(Protocol):
+    """Minimal estimator protocol the selection harness consumes."""
+
+    name: str
+
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> "Estimator": ...
+    def predict(self, x: np.ndarray) -> np.ndarray: ...
+    def loo_mse(self, X: np.ndarray, Y: np.ndarray) -> float: ...
+
+
+def _normalize(Y: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    y_min = Y.min(axis=0)
+    span = Y.max(axis=0) - y_min
+    span = np.where(span > 0, span, 1.0)
+    return (Y - y_min) / span, y_min, span
+
+
+def _generic_loo(make, X: np.ndarray, Y: np.ndarray) -> float:
+    """Leave-one-out MSE by refitting on each hold-out (normalized space)."""
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    Y = np.atleast_2d(np.asarray(Y, dtype=float))
+    n = X.shape[0]
+    if n < 3:
+        raise EstimationError("LOO comparison needs at least three points")
+    Y_norm, _, _ = _normalize(Y)
+    errors = np.empty(n)
+    for i in range(n):
+        mask = np.ones(n, dtype=bool)
+        mask[i] = False
+        model = make().fit(X[mask], Y_norm[mask])
+        pred = model.predict(X[i])
+        errors[i] = float(((pred - Y_norm[i]) ** 2).mean())
+    return float(errors.mean())
+
+
+@dataclass
+class KnnRegressor:
+    """Average of the k nearest training values (uniform weights)."""
+
+    k: int = 3
+    name: str = field(default="knn", init=False)
+    _tree: cKDTree | None = field(default=None, init=False, repr=False)
+    _Y: np.ndarray | None = field(default=None, init=False, repr=False)
+
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> "KnnRegressor":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Y = np.atleast_2d(np.asarray(Y, dtype=float))
+        if X.shape[0] == 0:
+            raise EmptyDatasetError("cannot fit on an empty dataset")
+        self._tree = cKDTree(X)
+        self._Y = Y
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._tree is None or self._Y is None:
+            raise EmptyDatasetError("model is not fitted")
+        k = min(self.k, self._Y.shape[0])
+        _, idx = self._tree.query(np.asarray(x, dtype=float), k=k)
+        idx = np.atleast_1d(idx)
+        return self._Y[idx].mean(axis=0)
+
+    def loo_mse(self, X: np.ndarray, Y: np.ndarray) -> float:
+        return _generic_loo(lambda: KnnRegressor(k=self.k), X, Y)
+
+
+@dataclass
+class RbfInterpolator:
+    """Thin-plate-spline RBF interpolation (SciPy), with ridge smoothing."""
+
+    smoothing: float = 1e-8
+    name: str = field(default="rbf", init=False)
+    _rbf: RBFInterpolator | None = field(default=None, init=False, repr=False)
+
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> "RbfInterpolator":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Y = np.atleast_2d(np.asarray(Y, dtype=float))
+        if X.shape[0] == 0:
+            raise EmptyDatasetError("cannot fit on an empty dataset")
+        # Thin-plate needs at least d+1 points; fall back to linear kernel.
+        kernel = "thin_plate_spline" if X.shape[0] > X.shape[1] + 1 else "linear"
+        self._rbf = RBFInterpolator(
+            X, Y, kernel=kernel, smoothing=self.smoothing
+        )
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._rbf is None:
+            raise EmptyDatasetError("model is not fitted")
+        return self._rbf(np.atleast_2d(np.asarray(x, dtype=float)))[0]
+
+    def loo_mse(self, X: np.ndarray, Y: np.ndarray) -> float:
+        return _generic_loo(lambda: RbfInterpolator(self.smoothing), X, Y)
+
+
+@dataclass
+class RidgeRegressor:
+    """Polynomial ridge regression: the parametric comparator.
+
+    Degree-2 features with L2 regularization; the closed-form normal
+    equations keep it dependency-free.
+    """
+
+    degree: int = 2
+    alpha: float = 1e-3
+    name: str = field(default="ridge", init=False)
+    _w: np.ndarray | None = field(default=None, init=False, repr=False)
+    _x_mean: np.ndarray | None = field(default=None, init=False, repr=False)
+    _x_scale: np.ndarray | None = field(default=None, init=False, repr=False)
+
+    def _features(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Xs = (X - self._x_mean) / self._x_scale
+        cols = [np.ones((Xs.shape[0], 1)), Xs]
+        if self.degree >= 2:
+            cols.append(Xs**2)
+            # pairwise interactions
+            d = Xs.shape[1]
+            for i in range(d):
+                for j in range(i + 1, d):
+                    cols.append((Xs[:, i] * Xs[:, j]).reshape(-1, 1))
+        return np.hstack(cols)
+
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> "RidgeRegressor":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Y = np.atleast_2d(np.asarray(Y, dtype=float))
+        if X.shape[0] == 0:
+            raise EmptyDatasetError("cannot fit on an empty dataset")
+        self._x_mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        self._x_scale = np.where(scale > 0, scale, 1.0)
+        phi = self._features(X)
+        gram = phi.T @ phi + self.alpha * np.eye(phi.shape[1])
+        self._w = np.linalg.solve(gram, phi.T @ Y)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._w is None:
+            raise EmptyDatasetError("model is not fitted")
+        return (self._features(np.atleast_2d(x)) @ self._w)[0]
+
+    def loo_mse(self, X: np.ndarray, Y: np.ndarray) -> float:
+        return _generic_loo(
+            lambda: RidgeRegressor(self.degree, self.alpha), X, Y
+        )
+
+
+@dataclass
+class NwmEstimator:
+    """The default Nadaraya-Watson wrapped into the comparison protocol."""
+
+    name: str = field(default="nadaraya-watson", init=False)
+    _model: NadarayaWatson | None = field(default=None, init=False, repr=False)
+
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> "NwmEstimator":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Y = np.atleast_2d(np.asarray(Y, dtype=float))
+        model = NadarayaWatson(1.0).fit(X, Y)
+        if X.shape[0] >= 2:
+            try:
+                h, _ = loo_bandwidth(X, model.normalize(Y))
+                model.bandwidth = h
+            except EstimationError:
+                pass
+        self._model = model
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._model is None:
+            raise EmptyDatasetError("model is not fitted")
+        return self._model.predict(np.asarray(x, dtype=float))
+
+    def loo_mse(self, X: np.ndarray, Y: np.ndarray) -> float:
+        return _generic_loo(NwmEstimator, X, Y)
+
+
+def default_candidates() -> list[Estimator]:
+    return [NwmEstimator(), KnnRegressor(), RbfInterpolator(), RidgeRegressor()]
+
+
+def compare_estimators(
+    X: np.ndarray,
+    Y: np.ndarray,
+    candidates: list[Estimator] | None = None,
+) -> dict[str, float]:
+    """LOO MSE (normalized metric space) per candidate, sorted best first."""
+    candidates = candidates or default_candidates()
+    scores = {c.name: c.loo_mse(X, Y) for c in candidates}
+    return dict(sorted(scores.items(), key=lambda kv: kv[1]))
+
+
+def select_estimator(
+    X: np.ndarray,
+    Y: np.ndarray,
+    candidates: list[Estimator] | None = None,
+) -> tuple[Estimator, dict[str, float]]:
+    """Pick the LOO-best estimator, fitted on the full dataset."""
+    candidates = candidates or default_candidates()
+    scores = compare_estimators(X, Y, candidates)
+    best_name = next(iter(scores))
+    best = next(c for c in candidates if c.name == best_name)
+    # Fit on raw Y so .predict returns raw units (normalization is only for
+    # scoring comparability).
+    best.fit(X, Y)
+    return best, scores

@@ -1,0 +1,41 @@
+"""Similarity measure (Eq. 4) and the adaptive threshold Γ.
+
+Eq. 4 (from Shokri et al.)::
+
+    Φ_n = sqrt( Σ_j (x_j − z_j^n)² / m )
+
+i.e. the RMS per-dimension distance between the new point x and its n-th
+nearest training point z^n (m = decision-space dimensionality).  The
+threshold Γ adapts to the run: it is the dataset-average of nearest
+distances, recomputed after every insertion::
+
+    Γ = Σ_i Φ^i / L
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.estimation.dataset import Dataset
+
+__all__ = ["similarity_phi", "adaptive_threshold"]
+
+
+def similarity_phi(x: np.ndarray, dataset: Dataset, n: int = 1) -> float:
+    """Eq. 4: RMS distance from ``x`` to its n-th nearest dataset point."""
+    euclid = dataset.nearest_distance(x, n=n)
+    m = dataset.n_var
+    return euclid / np.sqrt(m)
+
+
+def adaptive_threshold(dataset: Dataset) -> float:
+    """Γ: mean nearest-neighbour Φ across the dataset.
+
+    Returns 0 for datasets with fewer than two points (the control model
+    then never estimates, which is the safe degenerate behaviour).
+    """
+    nearest = dataset.pairwise_nearest_distances()
+    if nearest.size == 0:
+        return 0.0
+    phis = nearest / np.sqrt(dataset.n_var)
+    return float(phis.mean())

@@ -1,0 +1,15 @@
+"""Re-export shim: directives live in :mod:`repro.directives`.
+
+They sit at the package root (below both :mod:`repro.synth` and
+:mod:`repro.flow` in the import graph) because the optimizer, the
+implementation driver, and the tool facade all consume them.
+"""
+
+from repro.directives import (  # noqa: F401
+    DirectiveEffect,
+    DirectiveSet,
+    ImplDirective,
+    SynthDirective,
+)
+
+__all__ = ["DirectiveEffect", "DirectiveSet", "ImplDirective", "SynthDirective"]

@@ -1,0 +1,152 @@
+"""Vivado-style report text: rendering and parsing.
+
+Dovado extracts its metrics by scraping the report files Vivado writes.  To
+exercise the same code path, VEDA renders utilization and timing reports in
+a Vivado-like table format, and the framework's metric extraction *parses
+the text back* rather than peeking at internal objects.  Render → parse is
+round-trip tested.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.devices import ResourceKind, UtilizationReport, ResourceVector
+from repro.errors import FlowError
+
+__all__ = [
+    "render_utilization_report",
+    "parse_utilization_report",
+    "render_timing_report",
+    "parse_timing_report",
+]
+
+
+# ---------------------------------------------------------------------------
+# utilization
+# ---------------------------------------------------------------------------
+
+_UTIL_HEADER = ("Site Type", "Used", "Available", "Util%")
+
+
+def render_utilization_report(report: UtilizationReport, design: str, part: str) -> str:
+    """Render a utilization report for ``design`` on ``part``."""
+    rows = report.rows()
+    widths = [len(h) for h in _UTIL_HEADER]
+    cells = [
+        (kind, str(used), str(avail), f"{pct:.2f}")
+        for kind, used, avail, pct in rows
+    ]
+    for row in cells:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def rule() -> str:
+        return "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+
+    def line(row: tuple[str, str, str, str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+
+    out = [
+        f"Utilization Design Information",
+        f"| Design : {design}",
+        f"| Device : {part}",
+        "",
+        rule(),
+        line(_UTIL_HEADER),
+        rule(),
+    ]
+    out.extend(line(row) for row in cells)
+    out.append(rule())
+    return "\n".join(out)
+
+
+_UTIL_ROW_RE = re.compile(
+    r"^\|\s*(?P<kind>[A-Z]+)\s*\|\s*(?P<used>\d+)\s*\|\s*(?P<avail>\d+)\s*\|"
+    r"\s*(?P<pct>[\d.]+)\s*\|\s*$"
+)
+
+
+def parse_utilization_report(text: str) -> UtilizationReport:
+    """Parse a rendered utilization report back into a structure."""
+    used: dict[ResourceKind, int] = {}
+    avail: dict[ResourceKind, int] = {}
+    for line in text.splitlines():
+        m = _UTIL_ROW_RE.match(line.strip())
+        if not m:
+            continue
+        try:
+            kind = ResourceKind(m.group("kind"))
+        except ValueError:
+            continue  # unknown site type rows are tolerated, as in Vivado
+        used[kind] = int(m.group("used"))
+        avail[kind] = int(m.group("avail"))
+    if not avail:
+        raise FlowError("no utilization rows found in report text")
+    return UtilizationReport(
+        used=ResourceVector(used), available=ResourceVector(avail)
+    )
+
+
+# ---------------------------------------------------------------------------
+# timing
+# ---------------------------------------------------------------------------
+
+
+def render_timing_report(
+    wns_ns: float,
+    target_period_ns: float,
+    critical_delay_ns: float,
+    critical_path: tuple[str, ...],
+    arcs_analyzed: int,
+) -> str:
+    """Render a timing summary in a report_timing_summary-like shape."""
+    status = "MET" if wns_ns >= 0 else "VIOLATED"
+    path = " -> ".join(critical_path)
+    return "\n".join(
+        [
+            "Timing Summary",
+            "--------------",
+            f"Requirement  : {target_period_ns:.3f} ns",
+            f"Data Path    : {critical_delay_ns:.3f} ns",
+            f"WNS          : {wns_ns:.3f} ns",
+            f"Status       : {status}",
+            f"Paths        : {arcs_analyzed}",
+            f"Critical Path: {path}",
+        ]
+    )
+
+
+_TIMING_FIELD_RE = re.compile(r"^(?P<key>[A-Za-z ]+?)\s*:\s*(?P<value>.+)$")
+
+
+def parse_timing_report(text: str) -> dict[str, float | str | tuple[str, ...]]:
+    """Parse a rendered timing summary; returns a field dict.
+
+    Keys: ``requirement_ns``, ``data_path_ns``, ``wns_ns``, ``status``,
+    ``paths``, ``critical_path``.
+    """
+    fields: dict[str, float | str | tuple[str, ...]] = {}
+    for line in text.splitlines():
+        m = _TIMING_FIELD_RE.match(line.strip())
+        if not m:
+            continue
+        key = m.group("key").strip().lower()
+        value = m.group("value").strip()
+        if key == "requirement":
+            fields["requirement_ns"] = float(value.split()[0])
+        elif key == "data path":
+            fields["data_path_ns"] = float(value.split()[0])
+        elif key == "wns":
+            fields["wns_ns"] = float(value.split()[0])
+        elif key == "status":
+            fields["status"] = value
+        elif key == "paths":
+            fields["paths"] = int(value)
+        elif key == "critical path":
+            fields["critical_path"] = tuple(p.strip() for p in value.split("->"))
+    required = {"requirement_ns", "wns_ns"}
+    if not required.issubset(fields):
+        missing = ", ".join(sorted(required - set(fields)))
+        raise FlowError(f"timing report missing fields: {missing}")
+    return fields

@@ -1,0 +1,306 @@
+"""VEDA's Vivado-like project facade.
+
+:class:`VivadoSim` exposes the command surface Dovado drives over TCL:
+source readin, part selection, clock constraint, ``synth_design``,
+``place_design``/``route_design`` (fused as the implementation step),
+report generation, and checkpoint write/read.  A higher-level
+:meth:`VivadoSim.run` performs a whole single-point evaluation and returns a
+:class:`RunResult` with the metrics Dovado scrapes.
+
+Determinism & noise: every run's QoR receives a small multiplicative jitter
+keyed on the *content* of the run (part, top, parameter binding, directives,
+step) — re-running the same point reproduces identical numbers (so caching
+is sound, matching Vivado's deterministic default flow), while neighbouring
+points get decorrelated wiggle, which is what the Nadaraya-Watson model has
+to average over.
+
+Simulated wall time: each step charges simulated seconds (see the runtime
+models in synthesis/implementation); ``last_run_seconds`` and the
+cumulative ``simulated_seconds`` let the DSE loop account tool cost against
+its soft deadline without actually waiting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.devices import Device, ResourceKind, ResourceVector, UtilizationReport, get_device
+from repro.errors import FlowError
+from repro.directives import DirectiveSet, ImplDirective, SynthDirective
+from repro.flow.reports import render_timing_report, render_utilization_report
+from repro.hdl.ast import HdlLanguage, Module
+from repro.hdl.frontend import SourceCollection, parse_source
+from repro.pnr.checkpoints import CheckpointStore
+from repro.pnr.implementation import implement
+from repro.pnr.timing import block_internal_delay_ns
+from repro.synth.synthesis import synthesize
+from repro.util.rng import stable_hash_seed
+from repro.util.timing import Stopwatch
+from repro.util.units import fmax_from_wns
+
+__all__ = ["FlowStep", "RunResult", "VivadoSim"]
+
+
+class FlowStep(str, enum.Enum):
+    """Which physical step metrics are extracted after (paper Section III-A)."""
+
+    SYNTHESIS = "synthesis"
+    IMPLEMENTATION = "implementation"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One evaluated design point, as Dovado consumes it."""
+
+    top: str
+    part: str
+    parameters: dict[str, int]
+    step: FlowStep
+    utilization: UtilizationReport
+    wns_ns: float
+    target_period_ns: float
+    fmax_mhz: float
+    critical_path: tuple[str, ...]
+    simulated_seconds: float
+    incremental: bool
+    utilization_report_text: str
+    timing_report_text: str
+
+    def metric(self, name: str) -> float:
+        """Uniform metric accessor: ``"frequency"`` (MHz) or a resource kind."""
+        if name.lower() in ("frequency", "fmax", "fmax_mhz"):
+            return self.fmax_mhz
+        return float(self.utilization.used.get(ResourceKind(name.upper())))
+
+
+# QoR noise magnitudes (1-sigma, multiplicative).
+_NOISE_DELAY = 0.020
+_NOISE_LUT = 0.010
+_NOISE_FF = 0.008
+
+
+class VivadoSim:
+    """A simulated Vivado session (one project)."""
+
+    def __init__(
+        self,
+        part: str = "XC7K70T",
+        seed: int = 0,
+        incremental_synth: bool = False,
+        incremental_impl: bool = False,
+        noise: bool = True,
+    ) -> None:
+        self.device: Device = get_device(part)
+        self.seed = seed
+        self.noise = noise
+        self.incremental_synth = incremental_synth
+        self.incremental_impl = incremental_impl
+        self.sources = SourceCollection()
+        self.target_period_ns: float = 1.0  # paper default: 1 GHz target
+        self.checkpoints = CheckpointStore()
+        self.stopwatch = Stopwatch()
+        self.simulated_seconds = 0.0
+        self.last_run_seconds = 0.0
+        self.runs = 0
+        self._last_synth_netlist = None
+        self._cache: dict[int, RunResult] = {}
+
+    # ------------------------------------------------------------------
+    # project commands (TCL surface)
+    # ------------------------------------------------------------------
+
+    def set_part(self, part: str) -> Device:
+        self.device = get_device(part)
+        return self.device
+
+    def create_clock(self, period_ns: float) -> None:
+        if period_ns <= 0:
+            raise FlowError(f"create_clock: non-positive period {period_ns}")
+        self.target_period_ns = float(period_ns)
+
+    def read_hdl(self, text: str, language: HdlLanguage | str) -> list[str]:
+        """Read HDL text (read_vhdl / read_verilog -sv); returns module names."""
+        language = HdlLanguage(language)
+        modules = parse_source(text, language)
+        from repro.hdl.ast import SourceUnit
+
+        self.sources.add_unit(
+            SourceUnit(
+                path=f"<read:{len(self.sources.units)}>",
+                language=language,
+                modules=tuple(modules),
+            )
+        )
+        return [m.name for m in modules]
+
+    def read_file(self, path: str) -> list[str]:
+        unit = self.sources.add_file(path)
+        return [m.name for m in unit.modules]
+
+    def find_top(self, top: str) -> Module:
+        return self.sources.find_module(top)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def _noise_factor(self, key: tuple, sigma: float) -> float:
+        if not self.noise:
+            return 1.0
+        rng = np.random.default_rng(stable_hash_seed((self.seed, *key)))
+        return float(np.clip(1.0 + sigma * rng.standard_normal(), 0.9, 1.1))
+
+    def run(
+        self,
+        top: str,
+        parameters: Mapping[str, int | bool] | None = None,
+        step: FlowStep = FlowStep.IMPLEMENTATION,
+        directives: DirectiveSet | None = None,
+    ) -> RunResult:
+        """Evaluate one design point end to end.
+
+        Results are cached on (top, part, parameters, step, directives,
+        period): repeating a call returns the archived result at zero
+        simulated cost — the "Vivado employs cached results" case of the
+        paper's control model.
+        """
+        directives = directives or DirectiveSet()
+        params = {k: int(v) for k, v in (parameters or {}).items()}
+        cache_key = stable_hash_seed(
+            (
+                top.lower(), self.device.part, sorted(params.items()), str(step),
+                directives.as_dict(), round(self.target_period_ns, 6),
+            )
+        )
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            self.last_run_seconds = 0.0
+            return cached
+
+        module = self.find_top(top)
+        reference = self._last_synth_netlist if self.incremental_synth else None
+        with self.stopwatch.measure("synthesis"):
+            synth = synthesize(
+                module,
+                self.device,
+                overrides=params,
+                directive=directives.synth,
+                reference=reference,
+            )
+        self._last_synth_netlist = synth.netlist
+        seconds = synth.simulated_seconds
+        noise_key = (top.lower(), self.device.part, sorted(params.items()),
+                     directives.as_dict(), str(step))
+
+        if step == FlowStep.IMPLEMENTATION:
+            with self.stopwatch.measure("implementation"):
+                impl = implement(
+                    synth.mapped,
+                    target_period_ns=self.target_period_ns,
+                    directive=directives.impl,
+                    seed=stable_hash_seed((self.seed, *noise_key)),
+                    checkpoints=self.checkpoints if self.incremental_impl else None,
+                    extra_delay_bias=directives.synth.effect().delay_bias,
+                )
+            seconds += impl.simulated_seconds
+            critical_delay = impl.timing.critical_delay_ns
+            critical_path = impl.timing.critical_path
+            arcs = impl.timing.arcs_analyzed
+            incremental = impl.used_checkpoint or synth.incremental_reuse > 0
+        else:
+            # Synthesis-step timing estimate: internal delays plus one nominal
+            # net hop per combinational crossing — optimistic, as Vivado's
+            # post-synth estimates are.
+            critical_delay, critical_path, arcs = self._synth_timing_estimate(synth)
+            incremental = synth.incremental_reuse > 0
+
+        critical_delay *= self._noise_factor((*noise_key, "delay"), _NOISE_DELAY)
+        wns = self.target_period_ns - critical_delay
+        fmax = fmax_from_wns(self.target_period_ns, wns)
+
+        used = synth.mapped.total
+        lut_noise = self._noise_factor((*noise_key, "lut"), _NOISE_LUT)
+        ff_noise = self._noise_factor((*noise_key, "ff"), _NOISE_FF)
+        noisy_counts = dict(used.counts)
+        if ResourceKind.LUT in noisy_counts:
+            noisy_counts[ResourceKind.LUT] = max(
+                1, round(noisy_counts[ResourceKind.LUT] * lut_noise)
+            )
+        if ResourceKind.FF in noisy_counts:
+            noisy_counts[ResourceKind.FF] = max(
+                1, round(noisy_counts[ResourceKind.FF] * ff_noise)
+            )
+        utilization = UtilizationReport(
+            used=ResourceVector(noisy_counts), available=self.device.resources
+        )
+        overflow = utilization.overflows()
+        if overflow:
+            kinds = ", ".join(str(k) for k in overflow)
+            raise FlowError(
+                f"{top}: utilization exceeds {self.device.part} capacity for {kinds}"
+            )
+
+        util_text = render_utilization_report(utilization, design=top, part=self.device.part)
+        timing_text = render_timing_report(
+            wns_ns=wns,
+            target_period_ns=self.target_period_ns,
+            critical_delay_ns=critical_delay,
+            critical_path=critical_path,
+            arcs_analyzed=arcs,
+        )
+        result = RunResult(
+            top=module.name,
+            part=self.device.part,
+            parameters=params,
+            step=step,
+            utilization=utilization,
+            wns_ns=wns,
+            target_period_ns=self.target_period_ns,
+            fmax_mhz=fmax,
+            critical_path=critical_path,
+            simulated_seconds=seconds,
+            incremental=incremental,
+            utilization_report_text=util_text,
+            timing_report_text=timing_text,
+        )
+        self._cache[cache_key] = result
+        self.simulated_seconds += seconds
+        self.last_run_seconds = seconds
+        self.runs += 1
+        return result
+
+    def _synth_timing_estimate(self, synth) -> tuple[float, tuple[str, ...], int]:
+        netlist = synth.netlist
+        device = self.device
+        t = device.timing()
+        overhead = (t.ff_clk_to_q_ns + t.ff_setup_ns) * device.speed_factor
+        internal = {
+            b.name: block_internal_delay_ns(b, device) for b in netlist.blocks()
+        }
+        arcs = netlist.timing_arcs()
+        if not arcs:
+            raise FlowError("no timing arcs at synthesis estimate")
+        hop = t.net_delay_ns * device.speed_factor
+        worst = 0.0
+        worst_path: tuple[str, ...] = arcs[0].blocks
+        blocks = {b.name: b for b in netlist.blocks()}
+        for arc in arcs:
+            launch_registered = (
+                blocks[arc.blocks[0]].registered_output and len(arc.blocks) > 1
+            )
+            delay = overhead + hop * arc.hops()
+            for i, name in enumerate(arc.blocks):
+                if i == 0 and launch_registered:
+                    continue
+                delay += internal[name]
+            if delay > worst:
+                worst, worst_path = delay, arc.blocks
+        worst *= synth.directive.effect().delay_bias
+        return worst, worst_path, len(arcs)

@@ -1,0 +1,51 @@
+"""HDL frontend: lexers, parsers, and ASTs for VHDL and Verilog/SystemVerilog.
+
+The paper parses RTL with ANTLR-generated VHDL-2008 and Verilog/SV parsers,
+consuming only the *declaration* subset: module/entity names, parameter
+(generic) declarations with defaults, port declarations in their many
+styles, and library/use context.  This package provides hand-written
+equivalents:
+
+- :mod:`repro.hdl.lexer` — a configurable lexer covering both dialects'
+  comments, literals, and identifier forms;
+- :mod:`repro.hdl.expr` — a shared constant-expression AST + evaluator
+  (parameter arithmetic, ``clog2``, ranges such as ``WIDTH-1 downto 0``);
+- :mod:`repro.hdl.vhdl_parser` / :mod:`repro.hdl.verilog_parser` —
+  recursive-descent parsers for entity/module interfaces;
+- :mod:`repro.hdl.frontend` — extension-based dialect dispatch and source
+  collections;
+- :mod:`repro.hdl.validate` — the lint pass the paper calls a "first formal
+  verification".
+"""
+
+from repro.hdl.ast import (
+    Direction,
+    HdlLanguage,
+    Module,
+    Parameter,
+    Port,
+    PortType,
+    SourceUnit,
+)
+from repro.hdl.frontend import parse_source, parse_file, SourceCollection
+from repro.hdl.validate import validate_module, lint_module
+from repro.hdl.hierarchy import build_hierarchy, extract_instances
+from repro.hdl.preprocess import preprocess_verilog
+
+__all__ = [
+    "Direction",
+    "HdlLanguage",
+    "Module",
+    "Parameter",
+    "Port",
+    "PortType",
+    "SourceUnit",
+    "parse_source",
+    "parse_file",
+    "SourceCollection",
+    "validate_module",
+    "lint_module",
+    "build_hierarchy",
+    "extract_instances",
+    "preprocess_verilog",
+]

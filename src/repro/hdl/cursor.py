@@ -1,0 +1,97 @@
+"""Token-stream cursor shared by both recursive-descent parsers."""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.hdl.lexer import Token, TokenKind
+
+__all__ = ["Cursor"]
+
+
+class Cursor:
+    """A peekable cursor over a lexed token list (EOF-terminated)."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        if not tokens or tokens[-1].kind != TokenKind.EOF:
+            raise ValueError("token stream must be EOF-terminated")
+        self._toks = tokens
+        self._i = 0
+
+    # -- inspection -----------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        i = min(self._i + offset, len(self._toks) - 1)
+        return self._toks[i]
+
+    def at_eof(self) -> bool:
+        return self.peek().kind == TokenKind.EOF
+
+    def mark(self) -> int:
+        return self._i
+
+    def rewind(self, mark: int) -> None:
+        self._i = mark
+
+    # -- consumption ----------------------------------------------------------
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok.kind != TokenKind.EOF:
+            self._i += 1
+        return tok
+
+    def accept_op(self, *ops: str) -> Token | None:
+        if self.peek().is_op(*ops):
+            return self.next()
+        return None
+
+    def expect_op(self, *ops: str) -> Token:
+        tok = self.accept_op(*ops)
+        if tok is None:
+            got = self.peek()
+            raise self.error(f"expected {' or '.join(map(repr, ops))}, got {got.text!r}")
+        return tok
+
+    def accept_kw(self, *names: str) -> Token | None:
+        """Accept a case-insensitive keyword (lexed as IDENT)."""
+        if self.peek().is_ident(*names):
+            return self.next()
+        return None
+
+    def expect_kw(self, *names: str) -> Token:
+        tok = self.accept_kw(*names)
+        if tok is None:
+            got = self.peek()
+            raise self.error(f"expected keyword {' or '.join(names)}, got {got.text!r}")
+        return tok
+
+    def expect_ident(self, what: str = "identifier") -> Token:
+        tok = self.peek()
+        if tok.kind != TokenKind.IDENT:
+            raise self.error(f"expected {what}, got {tok.text!r}")
+        return self.next()
+
+    def error(self, message: str) -> ParseError:
+        tok = self.peek()
+        return ParseError(message, tok.line, tok.column)
+
+    def skip_until_op(self, *ops: str) -> None:
+        """Advance until one of ``ops`` at paren/bracket depth 0 (not consumed).
+
+        Parenthesized/bracketed groups are skipped whole so separators inside
+        aggregates or call arguments don't terminate early.  Hitting a close
+        delimiter at depth 0 also stops (the caller's enclosing group ended);
+        the delimiter is left unconsumed either way.
+        """
+        depth = 0
+        while not self.at_eof():
+            tok = self.peek()
+            if tok.is_op("(", "["):
+                depth += 1
+            elif tok.is_op(")", "]"):
+                if depth == 0:
+                    return
+                depth -= 1
+            elif depth == 0 and tok.is_op(*ops):
+                return
+            self.next()

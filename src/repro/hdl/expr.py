@@ -1,0 +1,270 @@
+"""Constant-expression AST shared by the VHDL and Verilog parsers.
+
+Parameter defaults and port widths are integer constant expressions over
+other parameters — ``DATA_WIDTH-1 downto 0``, ``$clog2(DEPTH)``,
+``2**ADDR_BITS``.  Both parsers build the same small AST, and elaboration
+evaluates it under a parameter environment to obtain concrete widths.
+
+The evaluator implements integer semantics: ``/`` truncates toward zero
+(Verilog rules; VHDL integer division behaves identically for positive
+operands, which is all interface arithmetic uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import HdlError
+
+__all__ = [
+    "Expr",
+    "Num",
+    "Name",
+    "StrLit",
+    "UnOp",
+    "BinOp",
+    "Cond",
+    "Call",
+    "EvalError",
+    "evaluate",
+    "free_names",
+]
+
+
+class EvalError(HdlError):
+    """Raised when a constant expression cannot be evaluated to an integer."""
+
+
+class Expr:
+    """Base class for constant-expression nodes."""
+
+    __slots__ = ()
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    """Integer literal (all HDL number bases are normalized at lex time)."""
+
+    value: int
+
+    def render(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class StrLit(Expr):
+    """String literal — VHDL string generics ("TRUE", file names…)."""
+
+    value: str
+
+    def render(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """Reference to another parameter/generic (case preserved from source)."""
+
+    ident: str
+
+    def render(self) -> str:
+        return self.ident
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    op: str  # "-", "+", "not", "!", "~"
+    operand: Expr
+
+    def render(self) -> str:
+        return f"({self.op}{self.operand.render()})"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # + - * / % ** mod rem << >> and or == != < <= > >=
+    left: Expr
+    right: Expr
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class Cond(Expr):
+    """Ternary ``cond ? a : b`` (Verilog) — VHDL interfaces don't need one."""
+
+    cond: Expr
+    then: Expr
+    other: Expr
+
+    def render(self) -> str:
+        return f"({self.cond.render()} ? {self.then.render()} : {self.other.render()})"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Function call; only width helpers are evaluable (``$clog2``, ``clog2``,
+    ``log2ceil``, ``maximum``/``minimum``)."""
+
+    func: str
+    args: tuple[Expr, ...]
+
+    def render(self) -> str:
+        inner = ", ".join(a.render() for a in self.args)
+        return f"{self.func}({inner})"
+
+
+def _clog2(n: int) -> int:
+    if n <= 0:
+        raise EvalError(f"clog2 of non-positive value {n}")
+    return (n - 1).bit_length()
+
+
+_FUNCS = {
+    "$clog2": lambda a: _clog2(a[0]),
+    "clog2": lambda a: _clog2(a[0]),
+    "log2ceil": lambda a: _clog2(a[0]),
+    "maximum": lambda a: max(a),
+    "minimum": lambda a: min(a),
+    "max": lambda a: max(a),
+    "min": lambda a: min(a),
+    "abs": lambda a: abs(a[0]),
+}
+
+
+def _as_int(value: int | str | bool) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, str):
+        # VHDL boolean-ish string generics.
+        lowered = value.lower()
+        if lowered == "true":
+            return 1
+        if lowered == "false":
+            return 0
+        raise EvalError(f"string {value!r} used in integer context")
+    return int(value)
+
+
+def evaluate(expr: Expr, env: Mapping[str, int | str | bool] | None = None) -> int:
+    """Evaluate ``expr`` to an integer under parameter environment ``env``.
+
+    Name lookup is case-insensitive for convenience across dialects (VHDL
+    identifiers are case-insensitive; Verilog sources in practice reference
+    parameters with consistent casing).
+    """
+    env = env or {}
+    folded = {k.lower(): v for k, v in env.items()}
+
+    def ev(node: Expr) -> int:
+        if isinstance(node, Num):
+            return node.value
+        if isinstance(node, StrLit):
+            return _as_int(node.value)
+        if isinstance(node, Name):
+            key = node.ident.lower()
+            if key not in folded:
+                raise EvalError(f"unbound name {node.ident!r} in constant expression")
+            return _as_int(folded[key])
+        if isinstance(node, UnOp):
+            v = ev(node.operand)
+            if node.op == "-":
+                return -v
+            if node.op == "+":
+                return v
+            if node.op in ("not", "!"):
+                return int(v == 0)
+            if node.op == "~":
+                return ~v
+            raise EvalError(f"unknown unary operator {node.op!r}")
+        if isinstance(node, BinOp):
+            lv, rv = ev(node.left), ev(node.right)
+            op = node.op
+            if op == "+":
+                return lv + rv
+            if op == "-":
+                return lv - rv
+            if op == "*":
+                return lv * rv
+            if op == "/":
+                if rv == 0:
+                    raise EvalError("division by zero in constant expression")
+                return int(lv / rv)  # truncate toward zero
+            if op in ("%", "mod"):
+                if rv == 0:
+                    raise EvalError("modulo by zero in constant expression")
+                return lv % rv
+            if op == "rem":
+                if rv == 0:
+                    raise EvalError("rem by zero in constant expression")
+                return int(lv - int(lv / rv) * rv)
+            if op == "**":
+                if rv < 0:
+                    raise EvalError("negative exponent in constant expression")
+                return lv**rv
+            if op == "<<":
+                return lv << rv
+            if op == ">>":
+                return lv >> rv
+            if op in ("and", "&&"):
+                return int(bool(lv) and bool(rv))
+            if op in ("or", "||"):
+                return int(bool(lv) or bool(rv))
+            if op == "&":
+                return lv & rv
+            if op == "|":
+                return lv | rv
+            if op == "^":
+                return lv ^ rv
+            if op in ("=", "=="):
+                return int(lv == rv)
+            if op in ("/=", "!="):
+                return int(lv != rv)
+            if op == "<":
+                return int(lv < rv)
+            if op == "<=":
+                return int(lv <= rv)
+            if op == ">":
+                return int(lv > rv)
+            if op == ">=":
+                return int(lv >= rv)
+            raise EvalError(f"unknown binary operator {op!r}")
+        if isinstance(node, Cond):
+            return ev(node.then) if ev(node.cond) else ev(node.other)
+        if isinstance(node, Call):
+            fn = _FUNCS.get(node.func.lower())
+            if fn is None:
+                raise EvalError(f"uninterpretable function {node.func!r}")
+            return fn([ev(a) for a in node.args])
+        raise EvalError(f"unknown expression node {type(node).__name__}")
+
+    return ev(expr)
+
+
+def free_names(expr: Expr) -> set[str]:
+    """All parameter names referenced by ``expr`` (original casing)."""
+    names: set[str] = set()
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, Name):
+            names.add(node.ident)
+        elif isinstance(node, UnOp):
+            walk(node.operand)
+        elif isinstance(node, BinOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, Cond):
+            walk(node.cond)
+            walk(node.then)
+            walk(node.other)
+        elif isinstance(node, Call):
+            for a in node.args:
+                walk(a)
+
+    walk(expr)
+    return names

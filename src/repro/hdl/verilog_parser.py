@@ -1,0 +1,472 @@
+"""Recursive-descent parser for the Verilog-2005 / SystemVerilog subset.
+
+Covers both module header styles the paper's parser must handle:
+
+- **ANSI** — ``module m #(parameter int W = 8)(input wire [W-1:0] d, ...);``
+  with parameter/localparam lists, typed and untyped parameters, direction
+  and type inheritance across comma-separated port items, packed dimension
+  ranges, and SystemVerilog ``logic``/``bit`` types;
+- **non-ANSI** — ``module m(a, b); input a; output [7:0] b; parameter W=8;``
+  where directions, widths, and parameters are declared in the body.
+
+Module bodies are scanned token-wise with block-depth tracking so that only
+*module-level* declarations are collected; everything else (always blocks,
+instances, generate regions) is skipped.  ``import pkg::*;`` clauses are
+recorded as use-clauses, mirroring the paper's note that SV packages must be
+read first.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.hdl import expr as E
+from repro.hdl.ast import Direction, HdlLanguage, Module, Parameter, Port, PortType
+from repro.hdl.cursor import Cursor
+from repro.hdl.lexer import Lexer, Token, TokenKind, VERILOG_LEX
+
+__all__ = ["parse_verilog", "VerilogParser"]
+
+_DIRECTIONS = {
+    "input": Direction.IN,
+    "output": Direction.OUT,
+    "inout": Direction.INOUT,
+}
+
+_NET_TYPES = {
+    "wire", "reg", "logic", "bit", "tri", "tri0", "tri1", "wand", "wor",
+    "supply0", "supply1", "uwire", "var",
+}
+
+_PARAM_TYPES = {
+    "int", "integer", "logic", "bit", "byte", "shortint", "longint",
+    "string", "real", "realtime", "time", "signed", "unsigned", "type",
+}
+
+# Block-depth bookkeeping for body scanning.
+_DEPTH_OPEN = {"begin", "function", "task", "case", "casex", "casez",
+               "generate", "fork", "specify", "covergroup", "property",
+               "sequence", "interface", "clocking"}
+_DEPTH_CLOSE = {"end", "endfunction", "endtask", "endcase", "endgenerate",
+                "join", "join_any", "join_none", "endspecify", "endgroup",
+                "endproperty", "endsequence", "endinterface", "endclocking"}
+
+# Verilog operator precedence for constant expressions, low to high
+# (ternary handled separately above this table).
+_BINARY_LEVELS: tuple[tuple[str, ...], ...] = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>", "<<<", ">>>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+
+class VerilogParser:
+    """Parser over a lexed Verilog/SV token stream."""
+
+    def __init__(self, source: str, language: HdlLanguage = HdlLanguage.VERILOG) -> None:
+        self.cur = Cursor(Lexer(source, VERILOG_LEX).tokens())
+        self.language = language
+
+    # ------------------------------------------------------------------
+    # design file
+    # ------------------------------------------------------------------
+
+    def parse(self) -> list[Module]:
+        modules: list[Module] = []
+        pending_imports: list[str] = []
+        while not self.cur.at_eof():
+            tok = self.cur.peek()
+            if tok.is_ident("module", "macromodule"):
+                modules.append(self._parse_module(tuple(pending_imports)))
+            elif tok.is_ident("import"):
+                pending_imports.extend(self._parse_import())
+            elif tok.is_ident("package"):
+                self._skip_region("package", "endpackage")
+            elif tok.is_ident("interface"):
+                self._skip_region("interface", "endinterface")
+            elif tok.is_ident("class"):
+                self._skip_region("class", "endclass")
+            elif tok.is_ident("program"):
+                self._skip_region("program", "endprogram")
+            else:
+                self.cur.next()
+        return modules
+
+    def _parse_import(self) -> list[str]:
+        self.cur.expect_kw("import")
+        imports: list[str] = []
+        while True:
+            pkg = self.cur.expect_ident("package name").text
+            item = ""
+            if self.cur.accept_op("::"):
+                nxt = self.cur.peek()
+                if nxt.is_op("*"):
+                    self.cur.next()
+                    item = "*"
+                else:
+                    item = self.cur.expect_ident("imported name").text
+            imports.append(f"{pkg}::{item}" if item else pkg)
+            if not self.cur.accept_op(","):
+                break
+        self.cur.expect_op(";")
+        return imports
+
+    def _skip_region(self, opener: str, closer: str) -> None:
+        self.cur.expect_kw(opener)
+        depth = 1
+        while not self.cur.at_eof() and depth:
+            tok = self.cur.next()
+            if tok.is_ident(opener):
+                depth += 1
+            elif tok.is_ident(closer):
+                depth -= 1
+
+    # ------------------------------------------------------------------
+    # module
+    # ------------------------------------------------------------------
+
+    def _parse_module(self, imports: tuple[str, ...]) -> Module:
+        mod_tok = self.cur.expect_kw("module", "macromodule")
+        name = self.cur.expect_ident("module name").text
+        params: list[Parameter] = []
+        ports: list[Port] = []
+
+        # Header-scoped package imports: module m import pkg::*; #(...) (...);
+        header_imports = list(imports)
+        while self.cur.peek().is_ident("import"):
+            header_imports.extend(self._parse_import())
+
+        if self.cur.accept_op("#"):
+            self.cur.expect_op("(")
+            params.extend(self._parse_parameter_port_list())
+            self.cur.expect_op(")")
+
+        header_names: list[str] = []
+        if self.cur.accept_op("("):
+            if not self.cur.peek().is_op(")"):
+                first = self.cur.peek()
+                if first.kind == TokenKind.IDENT and (
+                    first.text.lower() not in _DIRECTIONS
+                    and first.text.lower() not in _NET_TYPES
+                    and not first.is_ident("interface")
+                ) and self.cur.peek(1).is_op(",", ")"):
+                    # non-ANSI: plain identifier list
+                    header_names.append(self.cur.next().text)
+                    while self.cur.accept_op(","):
+                        header_names.append(self.cur.expect_ident("port name").text)
+                else:
+                    ports.extend(self._parse_ansi_port_list())
+            self.cur.expect_op(")")
+        self.cur.expect_op(";")
+
+        body_params, body_ports = self._scan_body(header_names)
+        params.extend(body_params)
+        ports.extend(body_ports)
+
+        # non-ANSI headers list names whose declarations we may not have seen
+        # (e.g. implicit 1-bit inout); backfill as scalar inputs.
+        declared = {p.name.lower() for p in ports}
+        for port_name in header_names:
+            if port_name.lower() not in declared:
+                ports.append(
+                    Port(
+                        name=port_name,
+                        direction=Direction.IN,
+                        ptype=PortType(base="wire"),
+                        line=mod_tok.line,
+                    )
+                )
+
+        return Module(
+            name=name,
+            language=self.language,
+            parameters=tuple(params),
+            ports=tuple(ports),
+            use_clauses=tuple(header_imports),
+            line=mod_tok.line,
+        )
+
+    # ------------------------------------------------------------------
+    # parameters
+    # ------------------------------------------------------------------
+
+    def _parse_parameter_port_list(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        local = False
+        ptype = "integer"
+        while not self.cur.peek().is_op(")"):
+            tok = self.cur.peek()
+            if tok.is_ident("parameter"):
+                self.cur.next()
+                local = False
+                ptype = self._accept_param_type() or "integer"
+            elif tok.is_ident("localparam"):
+                self.cur.next()
+                local = True
+                ptype = self._accept_param_type() or "integer"
+            params.append(self._parse_param_assignment(ptype, local))
+            if not self.cur.accept_op(","):
+                break
+        return params
+
+    def _accept_param_type(self) -> str | None:
+        """Accept an optional data type after ``parameter``/``localparam``."""
+        tok = self.cur.peek()
+        if tok.kind != TokenKind.IDENT or tok.text.lower() not in _PARAM_TYPES:
+            # `parameter [7:0] P = ...` — packed-dim-only implicit type
+            if tok.is_op("["):
+                self._skip_packed_dims()
+                return "logic"
+            return None
+        # Don't eat the name itself: `parameter integer = 3` is illegal, so an
+        # IDENT here followed by `=`/`,`/`)` is the parameter *name*.
+        nxt = self.cur.peek(1)
+        if nxt.is_op("=", ",", ")", ";"):
+            return None
+        ptype = self.cur.next().text.lower()
+        if self.cur.accept_kw("signed", "unsigned"):
+            pass
+        if self.cur.peek().is_op("["):
+            self._skip_packed_dims()
+        return ptype
+
+    def _parse_param_assignment(self, ptype: str, local: bool) -> Parameter:
+        name_tok = self.cur.expect_ident("parameter name")
+        default: E.Expr | None = None
+        if self.cur.accept_op("="):
+            default = self._parse_expression()
+        return Parameter(
+            name=name_tok.text, ptype=ptype, default=default, local=local,
+            line=name_tok.line,
+        )
+
+    def _skip_packed_dims(self) -> None:
+        while self.cur.peek().is_op("["):
+            self.cur.next()
+            self.cur.skip_until_op("]")
+            self.cur.expect_op("]")
+
+    # ------------------------------------------------------------------
+    # ANSI ports
+    # ------------------------------------------------------------------
+
+    def _parse_ansi_port_list(self) -> list[Port]:
+        ports: list[Port] = []
+        direction = Direction.IN
+        base = "wire"
+        high: E.Expr | None = None
+        low: E.Expr | None = None
+        while True:
+            tok = self.cur.peek()
+            if tok.kind == TokenKind.IDENT and tok.text.lower() in _DIRECTIONS:
+                direction = _DIRECTIONS[tok.text.lower()]
+                self.cur.next()
+                base, high, low = self._parse_port_type_prefix()
+            elif tok.kind == TokenKind.IDENT and tok.text.lower() in _NET_TYPES:
+                base, high, low = self._parse_port_type_prefix()
+            name_tok = self.cur.expect_ident("port name")
+            # unpacked dimensions after the name: skip
+            self._skip_packed_dims()
+            ports.append(
+                Port(
+                    name=name_tok.text,
+                    direction=direction,
+                    ptype=PortType(base=base, high=high, low=low),
+                    line=name_tok.line,
+                )
+            )
+            if not self.cur.accept_op(","):
+                return ports
+
+    def _parse_port_type_prefix(self) -> tuple[str, E.Expr | None, E.Expr | None]:
+        """Parse ``[net type] [signed] [packed dims]`` returning (base, hi, lo)."""
+        base = "wire"
+        tok = self.cur.peek()
+        if tok.kind == TokenKind.IDENT and tok.text.lower() in _NET_TYPES:
+            base = self.cur.next().text.lower()
+            # `var logic` / `wire logic`
+            nxt = self.cur.peek()
+            if nxt.kind == TokenKind.IDENT and nxt.text.lower() in ("logic", "bit"):
+                base = self.cur.next().text.lower()
+        self.cur.accept_kw("signed", "unsigned")
+        high: E.Expr | None = None
+        low: E.Expr | None = None
+        if self.cur.accept_op("["):
+            high = self._parse_expression()
+            self.cur.expect_op(":")
+            low = self._parse_expression()
+            self.cur.expect_op("]")
+            # further packed dims collapse into the first (total width would
+            # multiply; out of subset, keep the outermost range)
+            self._skip_packed_dims()
+        return base, high, low
+
+    # ------------------------------------------------------------------
+    # non-ANSI body scanning
+    # ------------------------------------------------------------------
+
+    def _scan_body(self, header_names: list[str]) -> tuple[list[Parameter], list[Port]]:
+        """Scan a module body for declarations until ``endmodule``.
+
+        Collects module-level ``parameter``/``localparam`` declarations and —
+        when the header was non-ANSI (``header_names`` non-empty) —
+        ``input``/``output``/``inout`` declarations.  Depth counting keeps
+        nested blocks (functions, generate regions) out of scope.
+        """
+        params: list[Parameter] = []
+        ports: list[Port] = []
+        depth = 0
+        while not self.cur.at_eof():
+            tok = self.cur.peek()
+            if tok.is_ident("endmodule"):
+                self.cur.next()
+                if self.cur.accept_op(":"):
+                    self.cur.expect_ident("module name")
+                return params, ports
+            if tok.kind == TokenKind.IDENT:
+                word = tok.text.lower()
+                if word in _DEPTH_OPEN:
+                    depth += 1
+                    self.cur.next()
+                    continue
+                if word in _DEPTH_CLOSE:
+                    depth = max(0, depth - 1)
+                    self.cur.next()
+                    continue
+                if depth == 0 and word in ("parameter", "localparam"):
+                    self.cur.next()
+                    local = word == "localparam"
+                    ptype = self._accept_param_type() or "integer"
+                    params.append(self._parse_param_assignment(ptype, local))
+                    while self.cur.accept_op(","):
+                        params.append(self._parse_param_assignment(ptype, local))
+                    self.cur.accept_op(";")
+                    continue
+                if depth == 0 and header_names and word in _DIRECTIONS:
+                    self.cur.next()
+                    direction = _DIRECTIONS[word]
+                    base, high, low = self._parse_port_type_prefix()
+                    while True:
+                        name_tok = self.cur.expect_ident("port name")
+                        self._skip_packed_dims()
+                        ports.append(
+                            Port(
+                                name=name_tok.text,
+                                direction=direction,
+                                ptype=PortType(base=base, high=high, low=low),
+                                line=name_tok.line,
+                            )
+                        )
+                        if not self.cur.accept_op(","):
+                            break
+                    self.cur.accept_op(";")
+                    continue
+            self.cur.next()
+        raise ParseError("unterminated module body (missing endmodule)")
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self) -> E.Expr:
+        cond = self._parse_binary(0)
+        if self.cur.accept_op("?"):
+            then = self._parse_expression()
+            self.cur.expect_op(":")
+            other = self._parse_expression()
+            return E.Cond(cond, then, other)
+        return cond
+
+    def _parse_binary(self, level: int) -> E.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while self.cur.peek().is_op(*ops):
+            op = self.cur.next().text
+            right = self._parse_binary(level + 1)
+            if op in ("<<<",):
+                op = "<<"
+            elif op in (">>>",):
+                op = ">>"
+            left = E.BinOp(op, left, right)
+        return left
+
+    def _parse_unary(self) -> E.Expr:
+        tok = self.cur.peek()
+        if tok.is_op("-", "+", "~", "!"):
+            self.cur.next()
+            return E.UnOp(tok.text, self._parse_unary())
+        primary = self._parse_primary()
+        if self.cur.accept_op("**"):
+            return E.BinOp("**", primary, self._parse_unary())
+        return primary
+
+    def _parse_primary(self) -> E.Expr:
+        tok = self.cur.peek()
+        if tok.kind == TokenKind.NUMBER:
+            self.cur.next()
+            return E.Num(tok.value if tok.value is not None else int(tok.text))
+        if tok.kind == TokenKind.STRING:
+            self.cur.next()
+            return E.StrLit(tok.text)
+        if tok.is_op("("):
+            self.cur.next()
+            inner = self._parse_expression()
+            self.cur.expect_op(")")
+            return inner
+        if tok.is_op("{"):
+            # concatenation/replication in a default: not integer-evaluable;
+            # skip it whole and fold to 0 so parsing can continue.
+            self.cur.next()
+            depth = 1
+            while not self.cur.at_eof() and depth:
+                nxt = self.cur.next()
+                if nxt.is_op("{"):
+                    depth += 1
+                elif nxt.is_op("}"):
+                    depth -= 1
+            return E.Num(0)
+        if tok.is_op("$"):
+            self.cur.next()
+            fname = "$" + self.cur.expect_ident("system function name").text
+            self.cur.expect_op("(")
+            args: list[E.Expr] = []
+            if not self.cur.peek().is_op(")"):
+                args.append(self._parse_expression())
+                while self.cur.accept_op(","):
+                    args.append(self._parse_expression())
+            self.cur.expect_op(")")
+            return E.Call(fname, tuple(args))
+        if tok.kind == TokenKind.IDENT:
+            self.cur.next()
+            name = tok.text
+            # package-scoped constant pkg::NAME — keep the leaf name
+            while self.cur.accept_op("::"):
+                name = self.cur.expect_ident("scoped name").text
+            if self.cur.accept_op("("):
+                args = []
+                if not self.cur.peek().is_op(")"):
+                    args.append(self._parse_expression())
+                    while self.cur.accept_op(","):
+                        args.append(self._parse_expression())
+                self.cur.expect_op(")")
+                return E.Call(name, tuple(args))
+            if self.cur.peek().is_op("["):
+                # bit/part select in a constant expr: skip the select
+                self._skip_packed_dims()
+            return E.Name(name)
+        raise self.cur.error(f"unexpected token {tok.text!r} in expression")
+
+
+def parse_verilog(
+    source: str, language: HdlLanguage = HdlLanguage.VERILOG
+) -> list[Module]:
+    """Parse Verilog/SystemVerilog source, returning all declared modules."""
+    return VerilogParser(source, language).parse()

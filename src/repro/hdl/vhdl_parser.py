@@ -1,0 +1,426 @@
+"""Recursive-descent parser for the VHDL-2008 declaration subset.
+
+Parses the constructs Dovado needs from a VHDL file:
+
+- ``library`` and ``use`` context clauses (attached to following entities);
+- ``entity NAME is [generic (...);] [port (...);] end [entity] [NAME];``
+  with the full variety of generic/port declaration styles — grouped
+  identifier lists, per-item or trailing semicolons, defaults via ``:=``,
+  constrained vector types, ``integer range A to B`` subtypes;
+- ``architecture ARCH of NAME is ... end`` — only the architecture name is
+  recorded; bodies are skipped token-wise;
+- ``package``/``package body``/``configuration`` units are skipped whole.
+
+Everything else (processes, signals, concurrent statements) is outside the
+interface subset and deliberately ignored, mirroring the paper's use of the
+ANTLR grammar purely for interface extraction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ParseError
+from repro.hdl import expr as E
+from repro.hdl.ast import Direction, HdlLanguage, Module, Parameter, Port, PortType
+from repro.hdl.cursor import Cursor
+from repro.hdl.lexer import Lexer, Token, TokenKind, VHDL_LEX
+
+__all__ = ["parse_vhdl", "VhdlParser"]
+
+# VHDL operator precedence for constant expressions, low to high.
+_BINARY_LEVELS: tuple[tuple[str, ...], ...] = (
+    ("or", "nor", "xor", "xnor"),
+    ("and", "nand"),
+    ("=", "/=", "<", "<=", ">", ">="),
+    ("sll", "srl", "sla", "sra"),
+    ("+", "-", "&"),
+    ("*", "/", "mod", "rem"),
+)
+_WORD_OPS = {"or", "nor", "xor", "xnor", "and", "nand", "sll", "srl", "sla", "sra",
+             "mod", "rem", "not"}
+
+_DIRECTIONS = {
+    "in": Direction.IN,
+    "out": Direction.OUT,
+    "inout": Direction.INOUT,
+    "buffer": Direction.BUFFER,
+}
+
+# Keywords that may not start an expression primary; used to stop expression
+# parsing at structural boundaries like `downto` without consuming them.
+_EXPR_STOP_WORDS = {"downto", "to", "range", "generic", "port", "end", "is", "of",
+                    "others", "when", "else", "open"}
+
+
+class VhdlParser:
+    """Parser over a lexed VHDL token stream."""
+
+    def __init__(self, source: str) -> None:
+        self.cur = Cursor(Lexer(source, VHDL_LEX).tokens())
+        self._libraries: list[str] = []
+        self._uses: list[str] = []
+
+    # ------------------------------------------------------------------
+    # design file
+    # ------------------------------------------------------------------
+
+    def parse(self) -> list[Module]:
+        """Parse the whole file; returns the entities found, in order."""
+        modules: list[Module] = []
+        arch_of: dict[str, str] = {}
+        while not self.cur.at_eof():
+            tok = self.cur.peek()
+            if tok.is_ident("library"):
+                self._parse_library()
+            elif tok.is_ident("use"):
+                self._parse_use()
+            elif tok.is_ident("context"):
+                self._skip_statement()
+            elif tok.is_ident("entity"):
+                modules.append(self._parse_entity())
+            elif tok.is_ident("architecture"):
+                name, of = self._parse_architecture_header_and_skip()
+                arch_of.setdefault(of.lower(), name)
+            elif tok.is_ident("package", "configuration"):
+                self._skip_design_unit(tok.text.lower())
+            else:
+                # Stray token at file level (e.g. tool pragmas): skip it.
+                self.cur.next()
+        if arch_of:
+            modules = [
+                dataclasses.replace(
+                    m, architecture=arch_of.get(m.name.lower(), m.architecture)
+                )
+                for m in modules
+            ]
+        return modules
+
+    # ------------------------------------------------------------------
+    # context clauses
+    # ------------------------------------------------------------------
+
+    def _parse_library(self) -> None:
+        self.cur.expect_kw("library")
+        while True:
+            name = self.cur.expect_ident("library name").text
+            self._libraries.append(name)
+            if not self.cur.accept_op(","):
+                break
+        self.cur.expect_op(";")
+
+    def _parse_use(self) -> None:
+        self.cur.expect_kw("use")
+        parts: list[str] = [self.cur.expect_ident("library name").text]
+        while self.cur.accept_op("."):
+            nxt = self.cur.peek()
+            if nxt.is_ident("all"):
+                self.cur.next()
+                parts.append("all")
+                break
+            parts.append(self.cur.expect_ident("selected name").text)
+        self.cur.expect_op(";")
+        self._uses.append(".".join(parts))
+
+    # ------------------------------------------------------------------
+    # entity
+    # ------------------------------------------------------------------
+
+    def _parse_entity(self) -> Module:
+        ent_tok = self.cur.expect_kw("entity")
+        name = self.cur.expect_ident("entity name").text
+        self.cur.expect_kw("is")
+        parameters: tuple[Parameter, ...] = ()
+        ports: tuple[Port, ...] = ()
+        if self.cur.peek().is_ident("generic"):
+            parameters = self._parse_generic_clause()
+        if self.cur.peek().is_ident("port"):
+            ports = self._parse_port_clause()
+        # entity declarative part / statements are rare; skip to `end`.
+        while not self.cur.at_eof() and not self.cur.peek().is_ident("end"):
+            self.cur.next()
+        self.cur.expect_kw("end")
+        self.cur.accept_kw("entity")
+        if self.cur.peek().kind == TokenKind.IDENT:
+            closing = self.cur.next()
+            if closing.text.lower() != name.lower():
+                raise ParseError(
+                    f"entity {name!r} closed by {closing.text!r}",
+                    closing.line,
+                    closing.column,
+                )
+        self.cur.expect_op(";")
+        module = Module(
+            name=name,
+            language=HdlLanguage.VHDL,
+            parameters=parameters,
+            ports=ports,
+            libraries=tuple(self._libraries),
+            use_clauses=tuple(self._uses),
+            line=ent_tok.line,
+        )
+        return module
+
+    def _parse_generic_clause(self) -> tuple[Parameter, ...]:
+        self.cur.expect_kw("generic")
+        self.cur.expect_op("(")
+        params: list[Parameter] = []
+        while not self.cur.peek().is_op(")"):
+            params.extend(self._parse_generic_item())
+            if not self.cur.accept_op(";"):
+                break
+        self.cur.expect_op(")")
+        self.cur.expect_op(";")
+        return tuple(params)
+
+    def _parse_generic_item(self) -> list[Parameter]:
+        # [constant] name {, name} : type [:= default]
+        self.cur.accept_kw("constant")
+        names: list[Token] = [self.cur.expect_ident("generic name")]
+        while self.cur.accept_op(","):
+            names.append(self.cur.expect_ident("generic name"))
+        self.cur.expect_op(":")
+        ptype = self._parse_subtype_name()
+        default: E.Expr | None = None
+        if self.cur.accept_op(":="):
+            default = self._parse_expression()
+        return [
+            Parameter(name=t.text, ptype=ptype, default=default, line=t.line)
+            for t in names
+        ]
+
+    def _parse_subtype_name(self) -> str:
+        """Parse a generic's subtype indication, returning its base-name text.
+
+        Handles ``natural``, ``integer range 0 to 15``, ``std_logic_vector(7
+        downto 0)`` (constraint discarded — generics used in DSE are
+        integer-like anyway), and selected names like ``work.pkg.my_type``.
+        """
+        base = self.cur.expect_ident("type name").text
+        while self.cur.accept_op("."):
+            base = self.cur.expect_ident("selected type name").text
+        if self.cur.peek().is_ident("range"):
+            self.cur.next()
+            self._parse_expression()
+            self.cur.expect_kw("to", "downto")
+            self._parse_expression()
+        elif self.cur.peek().is_op("("):
+            # constrained composite type: skip the constraint
+            self.cur.next()
+            self.cur.skip_until_op(")")
+            self.cur.expect_op(")")
+        return base
+
+    def _parse_port_clause(self) -> tuple[Port, ...]:
+        self.cur.expect_kw("port")
+        self.cur.expect_op("(")
+        ports: list[Port] = []
+        while not self.cur.peek().is_op(")"):
+            ports.extend(self._parse_port_item())
+            if not self.cur.accept_op(";"):
+                break
+        self.cur.expect_op(")")
+        self.cur.expect_op(";")
+        return tuple(ports)
+
+    def _parse_port_item(self) -> list[Port]:
+        # [signal] name {, name} : [direction] subtype [:= default]
+        self.cur.accept_kw("signal")
+        names: list[Token] = [self.cur.expect_ident("port name")]
+        while self.cur.accept_op(","):
+            names.append(self.cur.expect_ident("port name"))
+        self.cur.expect_op(":")
+        direction = Direction.IN
+        tok = self.cur.peek()
+        if tok.kind == TokenKind.IDENT and tok.text.lower() in _DIRECTIONS:
+            direction = _DIRECTIONS[tok.text.lower()]
+            self.cur.next()
+        ptype = self._parse_port_type()
+        if self.cur.accept_op(":="):
+            self._parse_expression()  # port default: parsed, not stored
+        return [
+            Port(name=t.text, direction=direction, ptype=ptype, line=t.line)
+            for t in names
+        ]
+
+    def _parse_port_type(self) -> PortType:
+        base = self.cur.expect_ident("type name").text
+        while self.cur.accept_op("."):
+            base = self.cur.expect_ident("selected type name").text
+        if self.cur.peek().is_ident("range"):
+            # `integer range 0 to 7` — scalar numeric subtype
+            self.cur.next()
+            self._parse_expression()
+            self.cur.expect_kw("to", "downto")
+            self._parse_expression()
+            return PortType(base=base)
+        if self.cur.accept_op("("):
+            high = self._parse_expression()
+            dir_tok = self.cur.expect_kw("downto", "to")
+            low = self._parse_expression()
+            self.cur.expect_op(")")
+            descending = dir_tok.text.lower() == "downto"
+            if descending:
+                return PortType(base=base, high=high, low=low, descending=True)
+            # ascending range: normalize so width() is still |high-low|+1
+            return PortType(base=base, high=low, low=high, descending=False)
+        return PortType(base=base)
+
+    # ------------------------------------------------------------------
+    # architectures and other units
+    # ------------------------------------------------------------------
+
+    def _parse_architecture_header_and_skip(self) -> tuple[str, str]:
+        """Parse ``architecture A of E is`` and skip to its end.
+
+        Returns ``(architecture_name, entity_name)``.  The body is skipped
+        by scanning for ``end architecture`` or ``end <arch_name>``; inner
+        ``end process``/``end if``/… forms never match either pattern.
+        """
+        self.cur.expect_kw("architecture")
+        arch = self.cur.expect_ident("architecture name").text
+        self.cur.expect_kw("of")
+        entity = self.cur.expect_ident("entity name").text
+        self.cur.expect_kw("is")
+        while not self.cur.at_eof():
+            tok = self.cur.next()
+            if not tok.is_ident("end"):
+                continue
+            nxt = self.cur.peek()
+            if nxt.is_ident("architecture"):
+                self.cur.next()
+                if self.cur.peek().kind == TokenKind.IDENT:
+                    self.cur.next()
+                self.cur.expect_op(";")
+                return arch, entity
+            if nxt.kind == TokenKind.IDENT and nxt.text.lower() == arch.lower():
+                self.cur.next()
+                self.cur.expect_op(";")
+                return arch, entity
+        raise ParseError(f"unterminated architecture {arch!r}")
+
+    def _skip_design_unit(self, kind: str) -> None:
+        """Skip a package/configuration: scan for ``end [kind] [name];``."""
+        self.cur.next()  # the introducing keyword
+        self.cur.accept_kw("body")
+        name_tok = self.cur.expect_ident(f"{kind} name")
+        name = name_tok.text
+        while not self.cur.at_eof():
+            tok = self.cur.next()
+            if not tok.is_ident("end"):
+                continue
+            nxt = self.cur.peek()
+            if nxt.is_ident(kind) or nxt.is_ident("package"):
+                self.cur.next()
+                self.cur.accept_kw("body")
+                if self.cur.peek().kind == TokenKind.IDENT:
+                    self.cur.next()
+                self.cur.expect_op(";")
+                return
+            if nxt.kind == TokenKind.IDENT and nxt.text.lower() == name.lower():
+                self.cur.next()
+                self.cur.expect_op(";")
+                return
+        raise ParseError(f"unterminated {kind} {name!r}")
+
+    def _skip_statement(self) -> None:
+        self.cur.skip_until_op(";")
+        self.cur.accept_op(";")
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self, level: int = 0) -> E.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_factor()
+        left = self._parse_expression(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while True:
+            tok = self.cur.peek()
+            is_word = tok.kind == TokenKind.IDENT and tok.text.lower() in ops
+            is_sym = tok.kind == TokenKind.OP and tok.text in ops
+            if not (is_word or is_sym):
+                return left
+            # `to`/`downto` boundaries never reach here: they are keywords,
+            # not operators — but guard against consuming relational `<=` in
+            # contexts where a port default aggregate was mis-shaped.
+            op = tok.text.lower() if is_word else tok.text
+            self.cur.next()
+            right = self._parse_expression(level + 1)
+            if op in ("sll",):
+                left = E.BinOp("<<", left, right)
+            elif op in ("srl",):
+                left = E.BinOp(">>", left, right)
+            else:
+                left = E.BinOp(op, left, right)
+
+    def _parse_factor(self) -> E.Expr:
+        # factor ::= primary [** primary] | abs primary | not primary
+        tok = self.cur.peek()
+        if tok.is_ident("abs"):
+            self.cur.next()
+            return E.Call("abs", (self._parse_factor(),))
+        if tok.is_ident("not"):
+            self.cur.next()
+            return E.UnOp("not", self._parse_factor())
+        if tok.is_op("-", "+"):
+            self.cur.next()
+            return E.UnOp(tok.text, self._parse_factor())
+        primary = self._parse_primary()
+        if self.cur.accept_op("**"):
+            exponent = self._parse_factor()
+            return E.BinOp("**", primary, exponent)
+        return primary
+
+    def _parse_primary(self) -> E.Expr:
+        tok = self.cur.peek()
+        if tok.kind == TokenKind.NUMBER:
+            self.cur.next()
+            return E.Num(tok.value if tok.value is not None else int(tok.text))
+        if tok.kind == TokenKind.STRING:
+            self.cur.next()
+            return E.StrLit(tok.text)
+        if tok.kind == TokenKind.CHAR:
+            self.cur.next()
+            if tok.text in ("0", "1"):
+                return E.Num(int(tok.text))
+            return E.StrLit(tok.text)
+        if tok.is_op("("):
+            self.cur.next()
+            # Could be a parenthesized expression or an aggregate `(others => '0')`.
+            if self.cur.peek().is_ident("others"):
+                self.cur.skip_until_op(")")
+                self.cur.expect_op(")")
+                return E.Num(0)
+            inner = self._parse_expression()
+            self.cur.expect_op(")")
+            return inner
+        if tok.is_ident("true", "false"):
+            self.cur.next()
+            return E.Num(1 if tok.text.lower() == "true" else 0)
+        if tok.kind == TokenKind.IDENT:
+            if tok.text.lower() in _EXPR_STOP_WORDS or tok.text.lower() in _WORD_OPS:
+                raise self.cur.error(f"unexpected keyword {tok.text!r} in expression")
+            self.cur.next()
+            name = tok.text
+            if self.cur.peek().is_op("'"):
+                # attribute: name'length etc. — not evaluable; keep the name.
+                self.cur.next()
+                self.cur.expect_ident("attribute name")
+                return E.Name(name)
+            if self.cur.accept_op("("):
+                args: list[E.Expr] = []
+                if not self.cur.peek().is_op(")"):
+                    args.append(self._parse_expression())
+                    while self.cur.accept_op(","):
+                        args.append(self._parse_expression())
+                self.cur.expect_op(")")
+                return E.Call(name, tuple(args))
+            return E.Name(name)
+        raise self.cur.error(f"unexpected token {tok.text!r} in expression")
+
+
+def parse_vhdl(source: str) -> list[Module]:
+    """Parse VHDL source text, returning all declared entities."""
+    return VhdlParser(source).parse()

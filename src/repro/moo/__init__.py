@@ -1,0 +1,57 @@
+"""Multi-objective optimization: NSGA-II and baselines (pymoo replacement).
+
+The paper formulates DSE as a multi-objective *integer* problem and solves
+it with NSGA-II configured as: integer random sampling, integer simulated
+binary crossover, a Gaussian-flavored mutation (mean 0.5, hand-tuned
+variance), and duplicate elimination.  This package implements that
+algorithm and its supporting machinery from scratch:
+
+- :mod:`repro.moo.problem` — integer problem definition with per-objective
+  optimization sense;
+- :mod:`repro.moo.nds` — fast non-dominated sorting;
+- :mod:`repro.moo.crowding` — crowding-distance diversity measure;
+- :mod:`repro.moo.sampling` / :mod:`~repro.moo.crossover` /
+  :mod:`~repro.moo.mutation` / :mod:`~repro.moo.dedup` — the operators;
+- :mod:`repro.moo.nsga2` — the elitist main loop;
+- :mod:`repro.moo.termination` — generation/evaluation budgets and the
+  paper's soft wall-clock deadline;
+- :mod:`repro.moo.indicators` — hypervolume for the ablation benches;
+- :mod:`repro.moo.baselines` — random and exhaustive search.
+"""
+
+from repro.moo.problem import IntegerProblem, Objective, Sense
+from repro.moo.population import Population
+from repro.moo.nds import fast_non_dominated_sort, non_dominated_mask
+from repro.moo.crowding import crowding_distance
+from repro.moo.sampling import IntegerRandomSampling
+from repro.moo.crossover import IntegerSBX
+from repro.moo.mutation import GaussianIntegerMutation
+from repro.moo.dedup import drop_duplicates
+from repro.moo.nsga2 import NSGA2, NSGA2Result
+from repro.moo.termination import Termination
+from repro.moo.indicators import hypervolume
+from repro.moo.baselines import random_search, exhaustive_search
+from repro.moo.mosa import MOSA
+from repro.moo.spea2 import SPEA2
+
+__all__ = [
+    "IntegerProblem",
+    "Objective",
+    "Sense",
+    "Population",
+    "fast_non_dominated_sort",
+    "non_dominated_mask",
+    "crowding_distance",
+    "IntegerRandomSampling",
+    "IntegerSBX",
+    "GaussianIntegerMutation",
+    "drop_duplicates",
+    "NSGA2",
+    "NSGA2Result",
+    "Termination",
+    "hypervolume",
+    "random_search",
+    "exhaustive_search",
+    "MOSA",
+    "SPEA2",
+]

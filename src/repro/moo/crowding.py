@@ -1,0 +1,36 @@
+"""Crowding distance (NSGA-II diversity preservation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["crowding_distance"]
+
+
+def crowding_distance(F: np.ndarray) -> np.ndarray:
+    """Per-point crowding distance within one front.
+
+    Boundary points get ``inf``; interior points sum the normalized gaps of
+    their neighbours along each objective.  Degenerate objectives (zero
+    spread) contribute nothing.
+    """
+    F = np.atleast_2d(np.asarray(F, dtype=float))
+    n, m = F.shape
+    if n == 0:
+        return np.zeros(0)
+    if n <= 2:
+        return np.full(n, np.inf)
+    distance = np.zeros(n)
+    for j in range(m):
+        order = np.argsort(F[:, j], kind="stable")
+        col = F[order, j]
+        spread = col[-1] - col[0]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if spread <= 0:
+            continue
+        gaps = (col[2:] - col[:-2]) / spread
+        interior = order[1:-1]
+        finite = ~np.isinf(distance[interior])
+        distance[interior[finite]] += gaps[finite]
+    return distance

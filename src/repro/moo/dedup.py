@@ -1,0 +1,32 @@
+"""Duplicate elimination over integer decision vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["drop_duplicates", "unique_against"]
+
+
+def drop_duplicates(X: np.ndarray) -> np.ndarray:
+    """Indices of first occurrences in ``X``, original order preserved."""
+    X = np.atleast_2d(X)
+    _, first = np.unique(X, axis=0, return_index=True)
+    return np.sort(first)
+
+
+def unique_against(X: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Row indices of ``X`` not present in ``reference`` and not repeated
+    earlier in ``X`` itself (offspring dedup against the parent archive)."""
+    X = np.atleast_2d(X)
+    reference = np.atleast_2d(reference)
+    if reference.shape[0] == 0:
+        return drop_duplicates(X)
+    seen: set[tuple[int, ...]] = {tuple(int(v) for v in row) for row in reference}
+    keep: list[int] = []
+    for i, row in enumerate(X):
+        key = tuple(int(v) for v in row)
+        if key in seen:
+            continue
+        seen.add(key)
+        keep.append(i)
+    return np.asarray(keep, dtype=np.int64)

@@ -1,0 +1,141 @@
+"""Multi-objective simulated annealing (MOSA) — a portfolio alternative.
+
+A dominance-based annealer in the style of Smith et al.: a single walker
+mutates its current point; moves that are not dominated by the current
+point are accepted outright, dominated moves are accepted with a
+temperature-controlled probability proportional to how badly they lose
+(normalized objective gap).  Every evaluated point feeds an external
+archive whose non-dominated subset is the result.
+
+MOSA complements NSGA-II in the portfolio: it shines on smooth,
+low-dimensional spaces where a population is overkill, and degrades on
+deceptive ones — exactly the trade the run-time algorithm chooser
+(:mod:`repro.moo.portfolio`) arbitrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.moo.mutation import GaussianIntegerMutation
+from repro.moo.nds import non_dominated_mask
+from repro.moo.population import Population
+from repro.moo.problem import IntegerProblem
+from repro.moo.sampling import IntegerRandomSampling
+from repro.moo.termination import Termination
+from repro.util.rng import as_generator
+
+__all__ = ["MOSA", "MosaResult"]
+
+
+@dataclass
+class MosaResult:
+    archive: Population
+    pareto: Population
+    evaluations: int
+    accepted: int
+    temperature_final: float
+
+
+@dataclass
+class MOSA:
+    """The annealer.
+
+    Attributes
+    ----------
+    initial_temperature:
+        Acceptance temperature in *normalized objective gap* units (the
+        per-objective loss is scaled by the running objective spread, so a
+        temperature of ~0.3 accepts sizeable regressions early on).
+    cooling:
+        Geometric cooling factor applied per evaluation.
+    step_scale:
+        Mutation step as a fraction of each variable's range.
+    restarts:
+        Random restarts distributed over the run (escape stagnation).
+    """
+
+    initial_temperature: float = 0.35
+    cooling: float = 0.995
+    step_scale: float = 0.08
+    restarts: int = 3
+
+    def minimize(
+        self,
+        problem: IntegerProblem,
+        termination: Termination,
+        seed: int | np.random.Generator | None = 0,
+    ) -> MosaResult:
+        rng = as_generator(seed)
+        mutate = GaussianIntegerMutation(
+            prob_mean=1.0, prob_sigma=0.0, step_scale=self.step_scale
+        )
+        sample = IntegerRandomSampling(unique=False)
+
+        current = sample(problem, 1, rng).X
+        F_cur = problem.minimized(problem.evaluate(current))
+        termination.note_evaluations(1)
+        archive_X = [current[0].copy()]
+        archive_F = [F_cur[0].copy()]
+
+        temperature = self.initial_temperature
+        accepted = 0
+        spread = np.maximum(np.abs(F_cur[0]), 1.0)
+        evals_since_restart = 0
+        restart_period = None
+
+        while not termination.should_stop():
+            if (
+                self.restarts
+                and restart_period
+                and evals_since_restart >= restart_period
+            ):
+                current = sample(problem, 1, rng).X
+                F_cur = problem.minimized(problem.evaluate(current))
+                termination.note_evaluations(1)
+                archive_X.append(current[0].copy())
+                archive_F.append(F_cur[0].copy())
+                evals_since_restart = 0
+                continue
+
+            candidate = mutate(problem, current, rng)
+            if np.array_equal(candidate, current):
+                candidate = problem.clip(
+                    current + rng.choice([-1, 1], size=current.shape)
+                )
+            F_new = problem.minimized(problem.evaluate(candidate))
+            termination.note_evaluations(1)
+            evals_since_restart += 1
+            archive_X.append(candidate[0].copy())
+            archive_F.append(F_new[0].copy())
+
+            # Running spread normalizes objective gaps.
+            F_all = np.asarray(archive_F)
+            spread = np.maximum(F_all.max(axis=0) - F_all.min(axis=0), 1e-9)
+            if restart_period is None and termination.n_eval:
+                restart_period = max(
+                    10, termination.n_eval // (self.restarts + 1)
+                )
+
+            delta = (F_new[0] - F_cur[0]) / spread
+            worst_loss = float(delta.max())
+            if worst_loss <= 0 or rng.random() < np.exp(
+                -worst_loss / max(temperature, 1e-9)
+            ):
+                current = candidate
+                F_cur = F_new
+                accepted += 1
+            temperature *= self.cooling
+
+        X = np.asarray(archive_X, dtype=np.int64)
+        F = np.asarray(archive_F, dtype=float)
+        mask = non_dominated_mask(F)
+        return MosaResult(
+            archive=Population(X=X, F=F),
+            pareto=Population(X=X[mask], F=F[mask]),
+            evaluations=termination.evaluations,
+            accepted=accepted,
+            temperature_final=temperature,
+        )

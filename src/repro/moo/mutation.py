@@ -1,0 +1,69 @@
+"""Gaussian integer mutation — the paper's configuration.
+
+The paper: "mutation occurs with an approximately Gaussian distribution
+with 0.5 as mean and variance controlled by a hand-tuned parameter".  We
+implement exactly that: each individual's per-gene mutation *probability*
+is drawn from a clipped Normal(0.5, prob_sigma); a mutated gene takes a
+Gaussian step whose scale is a fraction of its range, rounded to the
+integer lattice (with a minimum step of ±1 so mutation never no-ops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.moo.problem import IntegerProblem
+from repro.util.rng import as_generator
+
+__all__ = ["GaussianIntegerMutation"]
+
+
+class GaussianIntegerMutation:
+    """Per-gene Gaussian-step mutation with Gaussian-drawn activation.
+
+    Parameters
+    ----------
+    prob_mean / prob_sigma:
+        Mean (paper: 0.5) and hand-tuned sigma of the per-individual
+        activation probability.
+    step_scale:
+        Gaussian step sigma as a fraction of each variable's range.
+    """
+
+    def __init__(
+        self, prob_mean: float = 0.5, prob_sigma: float = 0.15, step_scale: float = 0.1
+    ) -> None:
+        if not 0.0 <= prob_mean <= 1.0:
+            raise ValueError("prob_mean must be in [0, 1]")
+        if prob_sigma < 0 or step_scale <= 0:
+            raise ValueError("prob_sigma must be >= 0 and step_scale > 0")
+        self.prob_mean = prob_mean
+        self.prob_sigma = prob_sigma
+        self.step_scale = step_scale
+
+    def __call__(
+        self,
+        problem: IntegerProblem,
+        X: np.ndarray,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        rng = as_generator(rng)
+        X = np.array(X, dtype=np.int64, copy=True)
+        n, d = X.shape
+        ranges = (problem.highs - problem.lows).astype(float)
+
+        prob = np.clip(
+            rng.normal(self.prob_mean, self.prob_sigma, size=(n, 1)), 0.0, 1.0
+        )
+        active = rng.random((n, d)) < prob
+        if not active.any():
+            return X
+
+        sigma = np.maximum(ranges * self.step_scale, 1.0)
+        steps = np.rint(rng.normal(0.0, 1.0, size=(n, d)) * sigma).astype(np.int64)
+        # A mutated gene must move: replace zero steps with ±1.
+        zero = (steps == 0) & active
+        steps[zero] = rng.choice(np.array([-1, 1]), size=int(zero.sum()))
+
+        X[active] += steps[active]
+        return problem.clip(X)

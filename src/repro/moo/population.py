@@ -1,0 +1,58 @@
+"""Population container: decision matrix + objective matrix in lockstep."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Population"]
+
+
+@dataclass
+class Population:
+    """``X``: (n, n_var) int64 decisions; ``F``: (n, n_obj) minimized objectives.
+
+    ``F`` may be ``None`` before evaluation.  Instances are lightweight
+    views — operators return new Populations rather than mutating.
+    """
+
+    X: np.ndarray
+    F: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.X = np.atleast_2d(np.asarray(self.X, dtype=np.int64))
+        if self.F is not None:
+            self.F = np.atleast_2d(np.asarray(self.F, dtype=float))
+            if self.F.shape[0] != self.X.shape[0]:
+                raise ValueError(
+                    f"X has {self.X.shape[0]} rows but F has {self.F.shape[0]}"
+                )
+
+    def __len__(self) -> int:
+        return int(self.X.shape[0])
+
+    @property
+    def evaluated(self) -> bool:
+        return self.F is not None
+
+    def take(self, idx: np.ndarray | list[int]) -> "Population":
+        idx = np.asarray(idx)
+        return Population(
+            X=self.X[idx],
+            F=None if self.F is None else self.F[idx],
+        )
+
+    def concat(self, other: "Population") -> "Population":
+        if (self.F is None) != (other.F is None):
+            raise ValueError("cannot concat evaluated with unevaluated population")
+        return Population(
+            X=np.vstack([self.X, other.X]),
+            F=None if self.F is None else np.vstack([self.F, other.F]),
+        )
+
+    @classmethod
+    def empty(cls, n_var: int, n_obj: int) -> "Population":
+        return cls(
+            X=np.empty((0, n_var), dtype=np.int64), F=np.empty((0, n_obj))
+        )

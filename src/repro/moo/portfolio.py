@@ -1,0 +1,163 @@
+"""Run-time exploration-algorithm choice (paper future work).
+
+"Starting from [Panerati et al.], we envision an investigation on a
+run-time choice among various algorithms based on information from
+synthetic dataset generation."  Two mechanisms:
+
+- :func:`recommend_algorithm` — a zero-cost heuristic over dataset/space
+  statistics: tiny spaces are enumerated exhaustively, smooth
+  low-dimensional landscapes go to the MOSA walker, everything else to
+  NSGA-II.  The *ruggedness* statistic comes straight from the synthetic
+  dataset the approximation model builds anyway: the mean normalized
+  metric gap between nearest-neighbour design points (smooth surfaces ⇒
+  neighbours score alike).
+- :func:`probe_and_choose` — an empirical selector: give each candidate a
+  small identical evaluation budget, score dominated hypervolume per
+  evaluation, and return the winner plus the merged archive (probe
+  evaluations are not wasted — their union seeds the final front).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.estimation.dataset import Dataset
+from repro.moo.baselines import exhaustive_search, random_search
+from repro.moo.indicators import hypervolume
+from repro.moo.mosa import MOSA
+from repro.moo.nds import non_dominated_mask
+from repro.moo.nsga2 import NSGA2
+from repro.moo.population import Population
+from repro.moo.problem import IntegerProblem
+from repro.moo.termination import Termination
+
+__all__ = [
+    "AlgorithmChoice",
+    "dataset_ruggedness",
+    "recommend_algorithm",
+    "probe_and_choose",
+]
+
+AlgorithmName = Literal["exhaustive", "nsga2", "mosa", "spea2", "random"]
+
+EXHAUSTIVE_LIMIT = 512      # spaces up to this size are simply enumerated
+SMOOTHNESS_THRESHOLD = 0.15  # mean normalized neighbour gap below ⇒ smooth
+LOW_DIM_LIMIT = 3
+
+
+@dataclass(frozen=True)
+class AlgorithmChoice:
+    name: AlgorithmName
+    reason: str
+
+
+def dataset_ruggedness(dataset: Dataset) -> float:
+    """Mean normalized metric gap between nearest-neighbour points.
+
+    0 means neighbouring design points score identically (a smooth
+    landscape an annealer can walk); values toward 1 mean the synthetic
+    dataset already shows cliff-like responses.
+    """
+    n = len(dataset)
+    if n < 4:
+        return 1.0  # unknown: assume rugged
+    X = dataset.X()
+    Y = dataset.Y()
+    span = Y.max(axis=0) - Y.min(axis=0)
+    span = np.where(span > 0, span, 1.0)
+    Y_norm = (Y - Y.min(axis=0)) / span
+    d2 = ((X[:, None, :] - X[None, :, :]) ** 2).sum(axis=2)
+    np.fill_diagonal(d2, np.inf)
+    nearest = d2.argmin(axis=1)
+    gaps = np.abs(Y_norm - Y_norm[nearest]).mean(axis=1)
+    return float(gaps.mean())
+
+
+def recommend_algorithm(
+    problem: IntegerProblem, dataset: Dataset | None = None
+) -> AlgorithmChoice:
+    """Zero-cost heuristic recommendation."""
+    size = problem.cardinality()
+    if size <= EXHAUSTIVE_LIMIT:
+        return AlgorithmChoice(
+            "exhaustive",
+            f"space has only {size} points (≤ {EXHAUSTIVE_LIMIT}): enumerate",
+        )
+    ruggedness = dataset_ruggedness(dataset) if dataset is not None else 1.0
+    if problem.n_var <= LOW_DIM_LIMIT and ruggedness < SMOOTHNESS_THRESHOLD:
+        return AlgorithmChoice(
+            "mosa",
+            f"low-dimensional ({problem.n_var} vars) smooth landscape "
+            f"(ruggedness {ruggedness:.3f}): annealing walker",
+        )
+    return AlgorithmChoice(
+        "nsga2",
+        f"{problem.n_var} variables, ruggedness "
+        f"{'unknown' if dataset is None else f'{ruggedness:.3f}'}: "
+        "population-based search",
+    )
+
+
+def _run(name: AlgorithmName, problem: IntegerProblem, budget: int, seed: int) -> Population:
+    if name == "exhaustive":
+        return exhaustive_search(problem, limit=max(budget, EXHAUSTIVE_LIMIT))
+    if name == "random":
+        return random_search(problem, budget, seed=seed)
+    if name == "mosa":
+        res = MOSA().minimize(problem, Termination(n_eval=budget), seed=seed)
+        return res.archive
+    if name == "nsga2":
+        pop_size = max(8, min(40, budget // 8))
+        res = NSGA2(pop_size=pop_size).minimize(
+            problem, Termination(n_eval=budget), seed=seed
+        )
+        return res.archive
+    if name == "spea2":
+        from repro.moo.spea2 import SPEA2
+
+        pop_size = max(8, min(32, budget // 8))
+        res = SPEA2(pop_size=pop_size, archive_size=pop_size).minimize(
+            problem, Termination(n_eval=budget), seed=seed
+        )
+        return res.archive
+    raise ValueError(f"unknown algorithm {name!r}")
+
+
+def probe_and_choose(
+    problem: IntegerProblem,
+    probe_budget: int = 60,
+    candidates: tuple[AlgorithmName, ...] = ("nsga2", "mosa", "random"),
+    seed: int = 0,
+) -> tuple[AlgorithmChoice, Population, dict[str, float]]:
+    """Probe each candidate, score HV/eval, return (choice, merged archive,
+    scores).  The merged archive unions all probe evaluations so nothing
+    paid for is discarded."""
+    archives: dict[str, Population] = {}
+    for name in candidates:
+        archives[name] = _run(name, problem, probe_budget, seed)
+
+    all_F = np.vstack([a.F for a in archives.values()])
+    ref = all_F.max(axis=0) * 1.1 + 1.0
+    scores = {
+        name: hypervolume(a.F, ref) / max(len(a), 1)
+        for name, a in archives.items()
+    }
+    best = max(scores, key=scores.get)
+
+    merged_X = np.vstack([a.X for a in archives.values()])
+    merged_F = np.vstack([a.F for a in archives.values()])
+    merged = Population(X=merged_X, F=merged_F)
+    choice = AlgorithmChoice(
+        best,
+        f"probe hypervolume-per-eval: "
+        + ", ".join(f"{k}={v:.3g}" for k, v in sorted(scores.items())),
+    )
+    return choice, merged, scores
+
+
+def pareto_of_merged(merged: Population) -> Population:
+    mask = non_dominated_mask(merged.F)
+    return Population(X=merged.X[mask], F=merged.F[mask])

@@ -1,0 +1,107 @@
+"""Integer multi-objective problem definition.
+
+A problem owns integer decision bounds and a list of objectives with
+optimization *sense* (Dovado maximizes frequency while minimizing LUTs,
+etc.).  Internally the optimizer always minimizes: :meth:`evaluate`
+returns raw metric values and :meth:`minimized` flips maximized columns.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidSpaceError
+
+__all__ = ["Sense", "Objective", "IntegerProblem"]
+
+
+class Sense(str, enum.Enum):
+    MINIMIZE = "min"
+    MAXIMIZE = "max"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Objective:
+    name: str
+    sense: Sense = Sense.MINIMIZE
+
+    @classmethod
+    def minimize(cls, name: str) -> "Objective":
+        return cls(name, Sense.MINIMIZE)
+
+    @classmethod
+    def maximize(cls, name: str) -> "Objective":
+        return cls(name, Sense.MAXIMIZE)
+
+
+class IntegerProblem:
+    """Base class: subclass and implement :meth:`evaluate`.
+
+    Parameters
+    ----------
+    lows, highs:
+        Inclusive integer bounds per decision variable.
+    objectives:
+        Objective definitions, giving each output column a name and sense.
+    """
+
+    def __init__(
+        self,
+        lows: Sequence[int],
+        highs: Sequence[int],
+        objectives: Sequence[Objective],
+    ) -> None:
+        self.lows = np.asarray(lows, dtype=np.int64)
+        self.highs = np.asarray(highs, dtype=np.int64)
+        if self.lows.shape != self.highs.shape or self.lows.ndim != 1:
+            raise InvalidSpaceError("bounds must be 1-D arrays of equal length")
+        if self.lows.size == 0:
+            raise InvalidSpaceError("problem has no decision variables")
+        if np.any(self.highs < self.lows):
+            bad = int(np.argmax(self.highs < self.lows))
+            raise InvalidSpaceError(
+                f"variable {bad}: inverted bounds [{self.lows[bad]}, {self.highs[bad]}]"
+            )
+        if not objectives:
+            raise InvalidSpaceError("problem needs at least one objective")
+        self.objectives = tuple(objectives)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_var(self) -> int:
+        return int(self.lows.size)
+
+    @property
+    def n_obj(self) -> int:
+        return len(self.objectives)
+
+    def cardinality(self) -> int:
+        """Number of points in the decision space (the paper's volume,
+        factorial/product in the parameters)."""
+        return int(np.prod((self.highs - self.lows + 1).astype(object)))
+
+    def clip(self, X: np.ndarray) -> np.ndarray:
+        return np.clip(X, self.lows, self.highs)
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate ``(n, n_var)`` int rows → ``(n, n_obj)`` raw metrics."""
+        raise NotImplementedError
+
+    def minimized(self, F_raw: np.ndarray) -> np.ndarray:
+        """Flip maximize columns so every objective is minimized."""
+        F = np.array(F_raw, dtype=float, copy=True)
+        for j, obj in enumerate(self.objectives):
+            if obj.sense == Sense.MAXIMIZE:
+                F[:, j] = -F[:, j]
+        return F
+
+    def raw_from_minimized(self, F_min: np.ndarray) -> np.ndarray:
+        return self.minimized(F_min)  # the transform is an involution

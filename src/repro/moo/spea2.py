@@ -1,0 +1,170 @@
+"""SPEA2 (Zitzler, Laumanns, Thiele 2001) — the portfolio's third solver.
+
+The Strength Pareto Evolutionary Algorithm 2 differs from NSGA-II in its
+fitness assignment — *strength* (how many solutions each point dominates)
+accumulated over dominators, plus a k-nearest-neighbour density term — and
+in maintaining a fixed-size external archive truncated by iterative
+nearest-neighbour removal.  It tends to spread fronts more evenly on
+problems where crowding distance clumps, which is why the run-time
+algorithm chooser benefits from having it available.
+
+Operators are shared with NSGA-II (integer SBX + Gaussian integer
+mutation), keeping the comparison about the selection scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.moo.crossover import IntegerSBX
+from repro.moo.dedup import unique_against
+from repro.moo.mutation import GaussianIntegerMutation
+from repro.moo.nds import dominates_matrix, non_dominated_mask
+from repro.moo.population import Population
+from repro.moo.problem import IntegerProblem
+from repro.moo.sampling import IntegerRandomSampling
+from repro.moo.termination import Termination
+from repro.util.rng import as_generator
+
+__all__ = ["SPEA2", "Spea2Result"]
+
+
+def spea2_fitness(F: np.ndarray) -> np.ndarray:
+    """SPEA2 fitness: raw strength-sum plus kNN density (minimize).
+
+    Values below 1.0 mark non-dominated points.
+    """
+    F = np.atleast_2d(F)
+    n = F.shape[0]
+    if n == 0:
+        return np.zeros(0)
+    D = dominates_matrix(F)
+    strength = D.sum(axis=1).astype(float)          # S(i): how many i dominates
+    raw = np.array([strength[D[:, j]].sum() for j in range(n)])
+
+    # Density: 1 / (sigma_k + 2) with k = sqrt(n).
+    diff = F[:, None, :] - F[None, :, :]
+    dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    np.fill_diagonal(dist, np.inf)
+    k = max(1, int(np.sqrt(n)) - 1)
+    sigma_k = np.partition(dist, min(k, n - 1) - 0, axis=1)[:, min(k, n - 1)]
+    sigma_k = np.where(np.isfinite(sigma_k), sigma_k, 0.0)
+    density = 1.0 / (sigma_k + 2.0)
+    return raw + density
+
+
+def _truncate_archive(F: np.ndarray, size: int) -> np.ndarray:
+    """Indices to keep: iterative removal of the most-crowded point."""
+    n = F.shape[0]
+    keep = list(range(n))
+    if n <= size:
+        return np.asarray(keep)
+    diff = F[:, None, :] - F[None, :, :]
+    dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    np.fill_diagonal(dist, np.inf)
+    alive = np.ones(n, dtype=bool)
+    while alive.sum() > size:
+        live_idx = np.nonzero(alive)[0]
+        sub = dist[np.ix_(live_idx, live_idx)]
+        # Remove the point with the smallest sorted distance vector
+        # (lexicographic nearest-neighbour comparison).
+        order = np.sort(sub, axis=1)
+        victim_local = int(np.lexsort(order.T[::-1])[0])
+        alive[live_idx[victim_local]] = False
+    return np.nonzero(alive)[0]
+
+
+@dataclass
+class Spea2Result:
+    archive: Population         # every evaluated point
+    pareto: Population
+    external: Population        # the final SPEA2 archive
+    generations: int
+    evaluations: int
+
+
+@dataclass
+class SPEA2:
+    pop_size: int = 32
+    archive_size: int = 32
+    crossover: IntegerSBX = field(default_factory=IntegerSBX)
+    mutation: GaussianIntegerMutation = field(default_factory=GaussianIntegerMutation)
+
+    def minimize(
+        self,
+        problem: IntegerProblem,
+        termination: Termination,
+        seed: int | np.random.Generator | None = 0,
+    ) -> Spea2Result:
+        rng = as_generator(seed)
+        sample = IntegerRandomSampling()
+
+        pop_X = sample(problem, self.pop_size, rng).X
+        pop_F = problem.minimized(problem.evaluate(pop_X))
+        termination.note_evaluations(pop_X.shape[0])
+        all_X = [pop_X.copy()]
+        all_F = [pop_F.copy()]
+        ext_X = pop_X.copy()
+        ext_F = pop_F.copy()
+
+        generation = 0
+        while not termination.should_stop():
+            generation += 1
+            union_X = np.vstack([pop_X, ext_X])
+            union_F = np.vstack([pop_F, ext_F])
+            # De-duplicate the union to keep fitness meaningful.
+            _, first = np.unique(union_X, axis=0, return_index=True)
+            union_X = union_X[np.sort(first)]
+            union_F = union_F[np.sort(first)]
+
+            fitness = spea2_fitness(union_F)
+            nd = fitness < 1.0
+            if nd.sum() <= self.archive_size:
+                order = np.argsort(fitness, kind="stable")
+                chosen = order[: self.archive_size]
+            else:
+                nd_idx = np.nonzero(nd)[0]
+                kept = _truncate_archive(union_F[nd_idx], self.archive_size)
+                chosen = nd_idx[kept]
+            ext_X = union_X[chosen]
+            ext_F = union_F[chosen]
+            ext_fit = fitness[chosen]
+
+            # Binary tournament on SPEA2 fitness over the archive.
+            n_parents = self.pop_size + (self.pop_size % 2)
+            a = rng.integers(0, ext_X.shape[0], n_parents)
+            b = rng.integers(0, ext_X.shape[0], n_parents)
+            winners = np.where(ext_fit[a] <= ext_fit[b], a, b)
+            half = n_parents // 2
+            c1, c2 = self.crossover(
+                problem, ext_X[winners[:half]], ext_X[winners[half:]], rng
+            )
+            children = self.mutation(problem, np.vstack([c1, c2]), rng)
+            keep = unique_against(children, np.vstack(all_X))
+            children = children[keep]
+            if children.shape[0] == 0:
+                children = sample(problem, self.pop_size, rng).X
+                keep = unique_against(children, np.vstack(all_X))
+                children = children[keep]
+                if children.shape[0] == 0:
+                    termination.note_generation()
+                    continue
+            children_F = problem.minimized(problem.evaluate(children))
+            termination.note_evaluations(children.shape[0])
+            all_X.append(children.copy())
+            all_F.append(children_F.copy())
+            pop_X, pop_F = children, children_F
+            termination.note_generation()
+
+        X = np.vstack(all_X)
+        F = np.vstack(all_F)
+        mask = non_dominated_mask(F)
+        return Spea2Result(
+            archive=Population(X=X, F=F),
+            pareto=Population(X=X[mask], F=F[mask]),
+            external=Population(X=ext_X, F=ext_F),
+            generations=generation,
+            evaluations=termination.evaluations,
+        )

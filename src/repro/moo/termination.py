@@ -1,0 +1,74 @@
+"""Termination criteria: generations, evaluations, soft wall-clock deadline.
+
+The paper "constrained on time the DSE with a four hour soft deadline to
+the genetic algorithm": the run stops at the first *generation boundary*
+after the deadline passes.  :class:`Termination` composes any subset of the
+three budgets; an empty Termination never stops (the caller must bound it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TerminationError
+from repro.util.timing import SoftDeadline
+
+__all__ = ["Termination"]
+
+
+@dataclass
+class Termination:
+    """Stop when *any* configured budget is exhausted.
+
+    Attributes
+    ----------
+    n_gen:
+        Maximum generations (None = unbounded).
+    n_eval:
+        Maximum objective evaluations (None = unbounded).
+    deadline:
+        A :class:`~repro.util.timing.SoftDeadline`; simulated tool seconds
+        can be charged through :meth:`charge`.
+    """
+
+    n_gen: int | None = None
+    n_eval: int | None = None
+    deadline: SoftDeadline | None = None
+    generations: int = field(default=0, init=False)
+    evaluations: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_gen is not None and self.n_gen < 1:
+            raise TerminationError(f"n_gen must be >= 1, got {self.n_gen}")
+        if self.n_eval is not None and self.n_eval < 1:
+            raise TerminationError(f"n_eval must be >= 1, got {self.n_eval}")
+
+    @classmethod
+    def by_generations(cls, n: int) -> "Termination":
+        return cls(n_gen=n)
+
+    @classmethod
+    def by_soft_deadline(
+        cls, budget_s: float, n_gen: int | None = None
+    ) -> "Termination":
+        return cls(n_gen=n_gen, deadline=SoftDeadline(budget_s=budget_s))
+
+    def note_generation(self) -> None:
+        self.generations += 1
+
+    def note_evaluations(self, n: int) -> None:
+        self.evaluations += int(n)
+
+    def charge(self, simulated_seconds: float) -> None:
+        """Charge simulated tool time against the soft deadline (if any)."""
+        if self.deadline is not None:
+            self.deadline.charge(simulated_seconds)
+
+    def should_stop(self) -> bool:
+        if self.n_gen is not None and self.generations >= self.n_gen:
+            return True
+        if self.n_eval is not None and self.evaluations >= self.n_eval:
+            return True
+        if self.deadline is not None and self.deadline.expired():
+            return True
+        return False

@@ -1,0 +1,16 @@
+"""Post-elaboration netlist representation.
+
+VEDA's unit of work is a *block-level* netlist: elaboration lowers a
+parameterized RTL module into a DAG of functional blocks (control FSMs,
+datapaths, memories, pipeline stages), each carrying technology-independent
+quantities (logic terms, flip-flop bits, memory bits, multiplier ops, carry
+bits, combinational depth).  Technology mapping converts those quantities to
+device primitives (LUT/FF/BRAM/DSP), and place & route/STA operate on the
+block graph.  Blocks keep per-evaluation cost at milliseconds while
+preserving the parameter→resource→timing structure the DSE explores.
+"""
+
+from repro.netlist.blocks import Block, Net, PortBits
+from repro.netlist.graph import Netlist
+
+__all__ = ["Block", "Net", "PortBits", "Netlist"]

@@ -1,0 +1,101 @@
+"""Block and net records for the block-level netlist."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Block", "Net", "PortBits"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One functional block with technology-independent cost quantities.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name within the netlist.
+    logic_terms:
+        Count of 6-input-equivalent combinational terms; technology mapping
+        turns these into LUTs (device families with narrower LUTs would get
+        a >1 expansion factor).
+    ff_bits:
+        Register bits (1:1 flip-flops after mapping).
+    mem_bits:
+        RAM bits; mapped to BRAM tiles by capacity and port width.
+    mem_width:
+        Word width of the memory (drives BRAM tile count for shallow/wide
+        shapes where width, not capacity, dominates).
+    mul_ops:
+        18x18-equivalent multiply operations; mapped to DSP slices.
+    carry_bits:
+        Bits riding carry chains (adders/counters); contributes CARRY
+        primitives and fast-path delay.
+    levels:
+        Combinational LUT levels on the block's longest internal
+        input-to-output path.
+    registered_output:
+        Whether the block registers its outputs; registered outputs
+        terminate timing paths at the block boundary.
+    through_memory / through_dsp:
+        Whether the block's critical internal path traverses a BRAM / DSP
+        primitive (adds the primitive's access delay once).
+    """
+
+    name: str
+    logic_terms: int = 0
+    ff_bits: int = 0
+    mem_bits: int = 0
+    mem_width: int = 1
+    mul_ops: int = 0
+    carry_bits: int = 0
+    levels: int = 1
+    registered_output: bool = True
+    through_memory: bool = False
+    through_dsp: bool = False
+
+    def __post_init__(self) -> None:
+        for attr in ("logic_terms", "ff_bits", "mem_bits", "mul_ops", "carry_bits"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{self.name}: negative {attr}")
+        if self.levels < 0:
+            raise ValueError(f"{self.name}: negative levels")
+        if self.mem_width < 1:
+            raise ValueError(f"{self.name}: mem_width must be >= 1")
+
+    def approximate_cells(self) -> int:
+        """Rough cell count used for area/placement footprint."""
+        return self.logic_terms + self.ff_bits + self.carry_bits
+
+
+@dataclass(frozen=True)
+class Net:
+    """A directed connection between two blocks.
+
+    ``combinational`` nets extend timing paths across the block boundary;
+    nets out of a registered source and into registered sinks cut them.
+    ``width`` scales routing demand (congestion) and, mildly, net delay
+    (fanout loading).
+    """
+
+    src: str
+    dst: str
+    width: int = 1
+    combinational: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"net {self.src}->{self.dst}: width must be >= 1")
+        if self.src == self.dst:
+            raise ValueError(f"net {self.src}: self-loops are not representable")
+
+
+@dataclass(frozen=True)
+class PortBits:
+    """Top-level interface bits (drives IO counts and the box's flattening)."""
+
+    inputs: int = 0
+    outputs: int = 0
+
+    def total(self) -> int:
+        return self.inputs + self.outputs

@@ -1,0 +1,225 @@
+"""The block-level netlist graph.
+
+A :class:`Netlist` is a named DAG of :class:`~repro.netlist.blocks.Block`
+with :class:`~repro.netlist.blocks.Net` edges.  It provides the queries the
+rest of the flow needs: aggregate abstract quantities, combinational path
+enumeration for STA, a structural fingerprint for incremental-flow
+checkpoint matching, and cycle detection (combinational loops are a
+synthesis error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.errors import ElaborationError
+from repro.netlist.blocks import Block, Net, PortBits
+from repro.util.rng import stable_hash_seed
+
+__all__ = ["Netlist", "TimingArc"]
+
+
+@dataclass(frozen=True)
+class TimingArc:
+    """One register-to-register structural path: the block chain it crosses.
+
+    ``blocks`` starts at the path's launching block and ends at the
+    capturing block; interior hops are combinational crossings.
+    """
+
+    blocks: tuple[str, ...]
+    net_widths: tuple[int, ...]
+
+    def hops(self) -> int:
+        return len(self.blocks) - 1
+
+
+class Netlist:
+    """Mutable during elaboration, then treated as immutable by the flow."""
+
+    def __init__(self, top: str) -> None:
+        self.top = top
+        self._g = nx.DiGraph()
+        self.ports = PortBits()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_block(self, block: Block) -> Block:
+        if block.name in self._g:
+            raise ElaborationError(f"duplicate block name {block.name!r}")
+        self._g.add_node(block.name, block=block)
+        return block
+
+    def add_net(self, net: Net) -> Net:
+        for endpoint in (net.src, net.dst):
+            if endpoint not in self._g:
+                raise ElaborationError(f"net references unknown block {endpoint!r}")
+        self._g.add_edge(net.src, net.dst, net=net)
+        return net
+
+    def connect(
+        self, src: str, dst: str, width: int = 1, combinational: bool = False
+    ) -> Net:
+        return self.add_net(Net(src=src, dst=dst, width=width, combinational=combinational))
+
+    def set_ports(self, inputs: int, outputs: int) -> None:
+        self.ports = PortBits(inputs=inputs, outputs=outputs)
+
+    def replace_block(self, name: str, **changes) -> Block:
+        """Replace block ``name`` with a modified copy (keeps all nets)."""
+        import dataclasses
+
+        current = self.block(name)
+        updated = dataclasses.replace(current, **changes)
+        if updated.name != name:
+            raise ElaborationError("replace_block cannot rename a block")
+        self._g.nodes[name]["block"] = updated
+        return updated
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def block(self, name: str) -> Block:
+        try:
+            return self._g.nodes[name]["block"]
+        except KeyError:
+            raise KeyError(f"no block {name!r} in netlist {self.top!r}") from None
+
+    def blocks(self) -> list[Block]:
+        return [self._g.nodes[n]["block"] for n in self._g.nodes]
+
+    def nets(self) -> list[Net]:
+        return [self._g.edges[e]["net"] for e in self._g.edges]
+
+    def __len__(self) -> int:
+        return self._g.number_of_nodes()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._g
+
+    def totals(self) -> dict[str, int]:
+        """Aggregate abstract quantities over all blocks."""
+        out = {
+            "logic_terms": 0,
+            "ff_bits": 0,
+            "mem_bits": 0,
+            "mul_ops": 0,
+            "carry_bits": 0,
+        }
+        for b in self.blocks():
+            out["logic_terms"] += b.logic_terms
+            out["ff_bits"] += b.ff_bits
+            out["mem_bits"] += b.mem_bits
+            out["mul_ops"] += b.mul_ops
+            out["carry_bits"] += b.carry_bits
+        return out
+
+    def approximate_cells(self) -> int:
+        return sum(b.approximate_cells() for b in self.blocks())
+
+    # ------------------------------------------------------------------
+    # timing structure
+    # ------------------------------------------------------------------
+
+    def check_no_combinational_loops(self) -> None:
+        """Raise :class:`ElaborationError` if combinational nets form a cycle."""
+        comb = nx.DiGraph(
+            (n.src, n.dst) for n in self.nets() if n.combinational
+        )
+        try:
+            cycle = nx.find_cycle(comb)
+        except nx.NetworkXNoCycle:
+            return
+        chain = " -> ".join(edge[0] for edge in cycle) + f" -> {cycle[-1][1]}"
+        raise ElaborationError(f"combinational loop: {chain}")
+
+    def timing_arcs(self, max_arcs: int = 4096) -> list[TimingArc]:
+        """Enumerate register-to-register structural paths.
+
+        A path starts at any block (launch register inside it), extends
+        through *combinational* nets across blocks that do not register
+        their outputs, and terminates at the first registered boundary.
+        Single-block paths (purely internal) are included — they are often
+        critical for memory-heavy blocks.
+
+        ``max_arcs`` caps enumeration on pathological graphs; paths are
+        explored longest-first by DFS so truncation keeps the deep ones.
+        """
+        self.check_no_combinational_loops()
+        arcs: list[TimingArc] = []
+        for start in self._g.nodes:
+            # Internal path of the launching block itself.
+            arcs.append(TimingArc(blocks=(start,), net_widths=()))
+            if len(arcs) >= max_arcs:
+                return arcs
+            stack: list[tuple[tuple[str, ...], tuple[int, ...]]] = [((start,), ())]
+            while stack:
+                chain, widths = stack.pop()
+                tail = chain[-1]
+                tail_block = self.block(tail)
+                # A registered tail (other than the start) ends the path.
+                if len(chain) > 1 and tail_block.registered_output:
+                    continue
+                for _, dst, data in self._g.out_edges(tail, data=True):
+                    net: Net = data["net"]
+                    if not net.combinational:
+                        continue
+                    if dst in chain:
+                        continue  # guarded against by loop check; be safe
+                    new_chain = chain + (dst,)
+                    new_widths = widths + (net.width,)
+                    arcs.append(TimingArc(blocks=new_chain, net_widths=new_widths))
+                    if len(arcs) >= max_arcs:
+                        return arcs
+                    stack.append((new_chain, new_widths))
+        return arcs
+
+    # ------------------------------------------------------------------
+    # fingerprinting (incremental flow)
+    # ------------------------------------------------------------------
+
+    def structure_fingerprint(self) -> int:
+        """Hash of the block/net *topology* ignoring block sizes.
+
+        Two parameterizations of the same design share a fingerprint when
+        they produce the same block and net structure — exactly the case
+        where the incremental flow can reuse a placement checkpoint.
+        """
+        node_sig = sorted(self._g.nodes)
+        edge_sig = sorted(
+            (n.src, n.dst, n.combinational) for n in self.nets()
+        )
+        return stable_hash_seed((self.top, node_sig, edge_sig))
+
+    def content_fingerprint(self) -> int:
+        """Hash including block sizes (identical designs ⇒ identical hash)."""
+        block_sig = sorted(
+            (
+                b.name, b.logic_terms, b.ff_bits, b.mem_bits, b.mem_width,
+                b.mul_ops, b.carry_bits, b.levels, b.registered_output,
+                b.through_memory, b.through_dsp,
+            )
+            for b in self.blocks()
+        )
+        net_sig = sorted((n.src, n.dst, n.width, n.combinational) for n in self.nets())
+        return stable_hash_seed(
+            (self.top, self.ports.inputs, self.ports.outputs, block_sig, net_sig)
+        )
+
+    def similarity_to(self, other: "Netlist") -> float:
+        """Fraction of this netlist's cells living in blocks unchanged vs
+        ``other`` (same name and sizes).  Drives incremental-flow savings."""
+        mine = {b.name: b for b in self.blocks()}
+        theirs = {b.name: b for b in other.blocks()}
+        total = sum(max(1, b.approximate_cells()) for b in mine.values())
+        unchanged = 0
+        for name, block in mine.items():
+            if theirs.get(name) == block:
+                unchanged += max(1, block.approximate_cells())
+        return unchanged / total if total else 0.0

@@ -1,0 +1,39 @@
+"""Static run-time performance modeling + Roofline (paper future work).
+
+The paper's conclusions name two missing features: "Currently, Dovado
+lacks in run-time performance modeling of RTL modules.  Hence, we will add
+the chance of inserting a custom model for static performance that enables
+an improved DSE and adding a visual performance model (e.g., Roofline)."
+
+This package implements both:
+
+- :mod:`repro.perf.model` — a pluggable *static performance model* per
+  design: a callable mapping (parameter binding, achieved Fmax) to a
+  throughput figure.  Registered models make ``performance`` available as
+  a DSE metric, so configurations that spend area to gain throughput (e.g.
+  TiReX's NCluster) can be properly traded instead of being dominated.
+- :mod:`repro.perf.roofline` — an operational-intensity/bandwidth Roofline
+  built from the mapped design (compute ceiling from DSP/LUT datapaths,
+  memory ceiling from BRAM port bandwidth at the achieved frequency), with
+  an ASCII rendering for terminal workflows.
+"""
+
+from repro.perf.model import (
+    PerformanceModel,
+    StaticThroughputModel,
+    register_performance_model,
+    performance_model_for,
+    unregister_performance_model,
+)
+from repro.perf.roofline import RooflinePoint, build_roofline, render_roofline
+
+__all__ = [
+    "PerformanceModel",
+    "StaticThroughputModel",
+    "register_performance_model",
+    "performance_model_for",
+    "unregister_performance_model",
+    "RooflinePoint",
+    "build_roofline",
+    "render_roofline",
+]

@@ -1,0 +1,91 @@
+"""Pluggable static performance models.
+
+A performance model answers "how much work per second does this
+configuration do at the frequency the tool achieved?".  It is *static* in
+the paper's sense: computed from the parameter binding and the implemented
+clock, with no simulation.  Units are model-defined (items/s, ops/s,
+chars/s); the DSE only needs a consistent maximize-able scalar.
+
+Models are registered per module name — mirroring the architectural-model
+registry in :mod:`repro.synth.elaborate` — so a
+:class:`~repro.core.evaluate.PointEvaluator` can resolve the right model
+for its top module automatically when the user asks for the
+``performance`` metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Protocol
+
+__all__ = [
+    "PerformanceModel",
+    "StaticThroughputModel",
+    "register_performance_model",
+    "performance_model_for",
+    "unregister_performance_model",
+]
+
+
+class PerformanceModel(Protocol):
+    """Protocol: throughput of a configuration at an achieved frequency."""
+
+    def throughput(self, params: Mapping[str, int], fmax_mhz: float) -> float:
+        """Work per second (model-defined units) at ``fmax_mhz``."""
+        ...
+
+
+@dataclass(frozen=True)
+class StaticThroughputModel:
+    """The common shape: items/cycle × cycles/s, with optional overheads.
+
+    Attributes
+    ----------
+    items_per_cycle:
+        Callable mapping the parameter binding to steady-state work items
+        retired per clock cycle (e.g. ``lambda p: p["NCLUSTER"]``).
+    startup_cycles:
+        Pipeline fill cost; amortized over ``batch`` items.
+    batch:
+        Work items per invocation used for amortization (∞ batch ⇒ ignore
+        startup).
+    description:
+        Human-readable unit/assumption note, carried into reports.
+    """
+
+    items_per_cycle: Callable[[Mapping[str, int]], float]
+    startup_cycles: int = 0
+    batch: int = 0
+    description: str = ""
+
+    def throughput(self, params: Mapping[str, int], fmax_mhz: float) -> float:
+        if fmax_mhz <= 0:
+            raise ValueError(f"non-positive frequency {fmax_mhz}")
+        per_cycle = float(self.items_per_cycle(params))
+        if per_cycle < 0:
+            raise ValueError("items_per_cycle returned a negative rate")
+        cycles_per_second = fmax_mhz * 1e6
+        raw = per_cycle * cycles_per_second
+        if self.startup_cycles and self.batch:
+            # Amortize pipeline fill: effective = batch / (batch/rate + fill).
+            per_item_cycles = 1.0 / per_cycle if per_cycle > 0 else float("inf")
+            total_cycles = self.batch * per_item_cycles + self.startup_cycles
+            return self.batch / (total_cycles / cycles_per_second)
+        return raw
+
+
+_MODELS: dict[str, PerformanceModel] = {}
+
+
+def register_performance_model(module_name: str, model: PerformanceModel) -> None:
+    """Register (or replace) the performance model for ``module_name``."""
+    _MODELS[module_name.lower()] = model
+
+
+def performance_model_for(module_name: str) -> PerformanceModel | None:
+    """Resolve a registered model (None when the design has none)."""
+    return _MODELS.get(module_name.lower())
+
+
+def unregister_performance_model(module_name: str) -> bool:
+    return _MODELS.pop(module_name.lower(), None) is not None

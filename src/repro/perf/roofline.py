@@ -1,0 +1,141 @@
+"""Roofline construction from a mapped design.
+
+The Roofline model (Williams et al., CACM 2009) bounds attainable
+performance by ``min(peak_compute, operational_intensity × bandwidth)``.
+For an FPGA design point the two ceilings derive from the implementation
+itself:
+
+- **compute ceiling** — DSP slices retire one MAC (2 ops) per cycle and
+  LUT datapaths contribute one op per N logic terms (a coarse
+  bit-serial-equivalent credit), all at the achieved frequency;
+- **memory ceiling** — each BRAM contributes two ports × its configured
+  word width per cycle; the box's interface contributes nothing (it is
+  sandboxed), matching on-chip-bound operation.
+
+The output is a :class:`RooflinePoint` per design point plus an ASCII
+rendering of the log-log roofline with the point placed on it, usable
+directly in terminal reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices import ResourceKind
+from repro.synth.mapper import MappedDesign
+
+__all__ = ["RooflinePoint", "build_roofline", "render_roofline"]
+
+_OPS_PER_DSP_PER_CYCLE = 2.0     # multiply + accumulate
+_LUTS_PER_OP = 64.0              # LUT-fabric ops credit (bit-serial equiv.)
+_BRAM_PORTS = 2
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One design point's position against its rooflines.
+
+    Units: GOP/s for compute, GB/s for bandwidth, ops/byte for intensity.
+    """
+
+    peak_compute_gops: float
+    peak_bandwidth_gbs: float
+    operational_intensity: float     # of the *workload*, ops/byte
+    attainable_gops: float
+    achieved_gops: float | None = None   # from a performance model, if any
+
+    def ridge_point(self) -> float:
+        """Intensity where the two ceilings meet (ops/byte)."""
+        if self.peak_bandwidth_gbs == 0:
+            return float("inf")
+        return self.peak_compute_gops / self.peak_bandwidth_gbs
+
+    def memory_bound(self) -> bool:
+        return self.operational_intensity < self.ridge_point()
+
+
+def build_roofline(
+    design: MappedDesign,
+    fmax_mhz: float,
+    operational_intensity: float,
+    achieved_gops: float | None = None,
+) -> RooflinePoint:
+    """Derive the rooflines of ``design`` at ``fmax_mhz``.
+
+    ``operational_intensity`` characterizes the *workload* (ops per byte
+    moved through on-chip memory); the ceilings come from the design.
+    """
+    if fmax_mhz <= 0:
+        raise ValueError(f"non-positive frequency {fmax_mhz}")
+    if operational_intensity <= 0:
+        raise ValueError("operational intensity must be positive")
+
+    hz = fmax_mhz * 1e6
+    dsps = design.total.get(ResourceKind.DSP)
+    luts = design.total.get(ResourceKind.LUT)
+    peak_ops = (dsps * _OPS_PER_DSP_PER_CYCLE + luts / _LUTS_PER_OP) * hz
+
+    bytes_per_cycle = 0.0
+    for block in design.netlist.blocks():
+        res = design.block_resources[block.name]
+        if res.get(ResourceKind.BRAM) > 0:
+            bytes_per_cycle += _BRAM_PORTS * block.mem_width / 8.0
+    peak_bw = bytes_per_cycle * hz
+
+    attainable = min(peak_ops, operational_intensity * peak_bw)
+    return RooflinePoint(
+        peak_compute_gops=peak_ops / 1e9,
+        peak_bandwidth_gbs=peak_bw / 1e9,
+        operational_intensity=operational_intensity,
+        attainable_gops=attainable / 1e9,
+        achieved_gops=achieved_gops,
+    )
+
+
+def render_roofline(
+    point: RooflinePoint, width: int = 64, height: int = 16
+) -> str:
+    """ASCII log-log roofline with the design point marked.
+
+    X axis: operational intensity (ops/byte), two decades around the ridge;
+    Y axis: GOP/s.  ``*`` marks the workload's attainable position, ``o``
+    the achieved throughput when a performance model supplied one.
+    """
+    ridge = max(point.ridge_point(), 1e-6)
+    x_lo = np.log10(ridge) - 1.5
+    x_hi = np.log10(ridge) + 1.5
+    xs = np.logspace(x_lo, x_hi, width)
+    roof = np.minimum(point.peak_compute_gops, xs * point.peak_bandwidth_gbs)
+    y_hi = np.log10(point.peak_compute_gops * 1.5 + 1e-12)
+    y_lo = y_hi - 3.0  # three decades of dynamic range
+
+    def row_of(value: float) -> int:
+        v = np.log10(max(value, 10**y_lo))
+        frac = (v - y_lo) / (y_hi - y_lo)
+        return int(round((1.0 - np.clip(frac, 0, 1)) * (height - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, r in enumerate(roof):
+        grid[row_of(r)][i] = "-" if r >= point.peak_compute_gops * 0.999 else "/"
+
+    def col_of(intensity: float) -> int:
+        frac = (np.log10(max(intensity, 10**x_lo)) - x_lo) / (x_hi - x_lo)
+        return int(round(np.clip(frac, 0, 1) * (width - 1)))
+
+    ci = col_of(point.operational_intensity)
+    grid[row_of(point.attainable_gops)][ci] = "*"
+    if point.achieved_gops is not None:
+        grid[row_of(point.achieved_gops)][ci] = "o"
+
+    lines = [
+        f"Roofline: peak {point.peak_compute_gops:.2f} GOP/s, "
+        f"BW {point.peak_bandwidth_gbs:.2f} GB/s, "
+        f"ridge {point.ridge_point():.2f} ops/B "
+        f"({'memory' if point.memory_bound() else 'compute'}-bound at "
+        f"I={point.operational_intensity:.2f})",
+    ]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width + f"> intensity [ops/B], 10^{x_lo:.1f}..10^{x_hi:.1f}")
+    return "\n".join(lines)

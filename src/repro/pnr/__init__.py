@@ -1,0 +1,28 @@
+"""Simulated implementation: placement, routing, static timing, checkpoints.
+
+The implementation half of VEDA.  Placement runs a seeded simulated
+annealer over block centers on the device grid; routing converts placed
+distances plus device fill into per-net delays with congestion-aware
+detours; STA enumerates register-to-register arcs and computes worst
+negative slack against the target period; checkpoints capture placements so
+the incremental flow (paper Section III-B2) can warm-start subsequent runs.
+"""
+
+from repro.pnr.placer import Placement, place
+from repro.pnr.router import RoutingResult, route
+from repro.pnr.timing import TimingResult, analyze_timing
+from repro.pnr.checkpoints import Checkpoint, CheckpointStore
+from repro.pnr.implementation import ImplementationResult, implement
+
+__all__ = [
+    "Placement",
+    "place",
+    "RoutingResult",
+    "route",
+    "TimingResult",
+    "analyze_timing",
+    "Checkpoint",
+    "CheckpointStore",
+    "ImplementationResult",
+    "implement",
+]

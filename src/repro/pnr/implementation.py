@@ -1,0 +1,104 @@
+"""Implementation flow driver: place → route → STA, with runtime model.
+
+Mirrors :mod:`repro.synth.synthesis` for the implementation step, including
+the incremental flow: with a checkpoint whose structure matches, placement
+warm-starts from the stored coordinates and the simulated runtime shrinks
+toward the incremental floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.directives import ImplDirective
+from repro.pnr.checkpoints import Checkpoint, CheckpointStore
+from repro.pnr.placer import Placement, place
+from repro.pnr.router import RoutingResult, route
+from repro.pnr.timing import TimingResult, analyze_timing
+from repro.synth.mapper import MappedDesign
+
+__all__ = ["ImplementationResult", "implement", "estimate_impl_seconds"]
+
+_IMPL_BASE_S = 65.0
+_IMPL_PER_CELL_S = 0.035
+_INCREMENTAL_FLOOR = 0.35
+
+
+def estimate_impl_seconds(
+    cells: int, directive: ImplDirective, reuse_fraction: float = 0.0
+) -> float:
+    """Simulated implementation wall time (place+route+STA)."""
+    if not 0.0 <= reuse_fraction <= 1.0:
+        raise ValueError(f"reuse_fraction out of range: {reuse_fraction}")
+    effect = directive.effect()
+    full = (_IMPL_BASE_S + cells * _IMPL_PER_CELL_S) * effect.runtime_factor
+    saved = reuse_fraction * (1.0 - _INCREMENTAL_FLOOR)
+    return full * (1.0 - saved)
+
+
+@dataclass
+class ImplementationResult:
+    placement: Placement
+    routing: RoutingResult
+    timing: TimingResult
+    directive: ImplDirective
+    simulated_seconds: float
+    used_checkpoint: bool
+    checkpoint: Checkpoint
+
+
+def implement(
+    design: MappedDesign,
+    target_period_ns: float,
+    directive: ImplDirective = ImplDirective.DEFAULT,
+    seed: int | np.random.Generator | None = 0,
+    checkpoints: CheckpointStore | None = None,
+    extra_delay_bias: float = 1.0,
+) -> ImplementationResult:
+    """Run placement, routing, and STA for ``design``.
+
+    ``extra_delay_bias`` carries the synthesis directive's delay bias into
+    the final numbers (synthesis QoR propagates through implementation).
+    """
+    effect = directive.effect()
+    initial = None
+    reuse = 0.0
+    if checkpoints is not None:
+        ckpt = checkpoints.lookup(design.netlist)
+        if ckpt is not None:
+            initial = ckpt.coords
+            # Savings scale with how much of the design those coordinates
+            # still describe (block sizes may have shifted under new params).
+            summary_cells = sum(ckpt.block_summary.values()) or 1
+            current_cells = design.netlist.approximate_cells() or 1
+            size_ratio = min(summary_cells, current_cells) / max(
+                summary_cells, current_cells
+            )
+            reuse = 0.9 * size_ratio
+
+    placement = place(design, effort=effect.effort, seed=seed, initial=initial)
+    routing = route(design, placement)
+    timing = analyze_timing(
+        design.netlist,
+        design.device,
+        routing,
+        target_period_ns=target_period_ns,
+        delay_bias=effect.delay_bias * extra_delay_bias,
+    )
+    seconds = estimate_impl_seconds(
+        design.netlist.approximate_cells(), directive, reuse_fraction=reuse
+    )
+    checkpoint = Checkpoint.from_run(design.netlist, placement)
+    if checkpoints is not None:
+        checkpoints.save(checkpoint)
+    return ImplementationResult(
+        placement=placement,
+        routing=routing,
+        timing=timing,
+        directive=directive,
+        simulated_seconds=seconds,
+        used_checkpoint=initial is not None,
+        checkpoint=checkpoint,
+    )

@@ -1,0 +1,79 @@
+"""Congestion-aware routing estimation.
+
+Given a placement, each net's routed length is its Manhattan distance plus a
+congestion-dependent detour.  Congestion is modeled at the device level:
+track demand is the width-weighted total routed length, track supply scales
+with the grid area, and the device-fill fraction adds pressure through the
+process model's congestion exponent (denser fills route superlinearly
+worse).  The result carries per-net routed delays consumed by STA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist import Net
+from repro.pnr.placer import Placement
+from repro.synth.mapper import MappedDesign
+
+__all__ = ["RoutingResult", "route"]
+
+_TRACKS_PER_TILE = 18.0       # usable general-route tracks per grid tile
+_MIN_NET_DELAY_FRACTION = 0.35  # short nets still pay fanout + entry delay
+_DETOUR_GAIN = 0.8
+
+
+@dataclass
+class RoutingResult:
+    """Routed net delays and the congestion summary."""
+
+    net_delays_ns: dict[tuple[str, str], float]
+    congestion: float          # demand / supply, >1 means contended routing
+    detour_factor: float       # multiplier applied to Manhattan lengths
+    total_wirelength: float
+
+    def delay(self, src: str, dst: str) -> float:
+        return self.net_delays_ns[(src, dst)]
+
+
+def route(design: MappedDesign, placement: Placement) -> RoutingResult:
+    """Estimate routing for ``design`` under ``placement``."""
+    device = design.device
+    timing = device.timing()
+    nets = design.netlist.nets()
+
+    if nets:
+        dists = np.array([placement.distance(n.src, n.dst) for n in nets])
+        widths = np.array([float(n.width) for n in nets])
+    else:
+        dists = np.zeros(0)
+        widths = np.zeros(0)
+
+    demand = float((widths * np.maximum(dists, 1.0)).sum())
+    supply = device.grid_cols * device.grid_rows * _TRACKS_PER_TILE
+    congestion = demand / supply if supply else 0.0
+
+    fill = design.utilization_fraction()
+    pressure = congestion + fill ** timing.congestion_exponent
+    detour = 1.0 + _DETOUR_GAIN * max(0.0, pressure)
+
+    # Per-net delay: a floor (local fanout/entry) plus distance-proportional
+    # track delay; wide buses load the drivers slightly.
+    grid_scale = max(device.grid_cols, device.grid_rows) / 16.0
+    net_delays: dict[tuple[str, str], float] = {}
+    for net, dist, width in zip(nets, dists, widths):
+        unit = timing.net_delay_ns
+        loading = 1.0 + np.log2(width) / 10.0 if width > 1 else 1.0
+        routed = unit * (
+            _MIN_NET_DELAY_FRACTION + (dist * detour) / grid_scale * 0.25
+        ) * loading
+        net_delays[(net.src, net.dst)] = float(routed * device.speed_factor)
+
+    return RoutingResult(
+        net_delays_ns=net_delays,
+        congestion=congestion,
+        detour_factor=detour,
+        total_wirelength=float(dists.sum()),
+    )

@@ -1,0 +1,39 @@
+"""Simulated synthesis: elaboration, logic optimization, technology mapping.
+
+The synthesis half of VEDA lowers a parsed module + parameter binding into a
+mapped design:
+
+1. :mod:`repro.synth.elaborate` resolves the parameter environment and
+   builds a block-level netlist — via a registered *architectural model*
+   for known designs (the case-study generators register theirs), or via a
+   generic interface-driven heuristic for arbitrary modules;
+2. :mod:`repro.synth.optimizer` applies directive-controlled optimization
+   passes (area sharing, retiming-ish level reduction);
+3. :mod:`repro.synth.mapper` converts technology-independent quantities
+   into device primitives (LUT/FF/BRAM/DSP/CARRY/IO), including the
+   distributed-vs-block RAM decision and BRAM tile shaping.
+"""
+
+from repro.synth.elaborate import (
+    ArchitecturalModel,
+    elaborate,
+    register_model,
+    registered_models,
+    unregister_model,
+)
+from repro.synth.mapper import MappedDesign, map_to_device
+from repro.synth.optimizer import optimize
+from repro.synth.synthesis import SynthesisResult, synthesize
+
+__all__ = [
+    "ArchitecturalModel",
+    "elaborate",
+    "register_model",
+    "registered_models",
+    "unregister_model",
+    "MappedDesign",
+    "map_to_device",
+    "optimize",
+    "SynthesisResult",
+    "synthesize",
+]

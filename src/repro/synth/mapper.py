@@ -1,0 +1,119 @@
+"""Technology mapping: abstract block quantities → device primitives.
+
+Mapping rules (per block):
+
+- **LUTs** — one per 6-input-equivalent logic term, plus one per carry bit
+  (the LUT feeding each carry mux), plus LUTRAM for small memories;
+- **FF** — one per register bit;
+- **BRAM** — memories above the distributed-RAM threshold map to 36Kb
+  tiles; tile count is the max of the capacity requirement
+  (``ceil(bits/36864)``) and the width requirement (``ceil(width/72)``) —
+  this shape rule is what produces the step behaviour the Neorv32
+  experiment shows between 2^14 and 2^15-bit memories;
+- **DSP** — one slice per 18×18-equivalent multiply;
+- **CARRY** — one CARRY4 per four carry bits;
+- **IO** — the netlist's top-level port bits (the box collapses these to
+  the clock pin plus a serialized observation chain, which is how Dovado
+  avoids pin overflow);
+- **BUFG** — one, for the boxed clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices import Device, ResourceKind, ResourceVector
+from repro.errors import MappingError
+from repro.netlist import Block, Netlist
+
+__all__ = ["MappedDesign", "map_to_device", "BRAM_TILE_BITS", "DISTRIBUTED_RAM_LIMIT"]
+
+BRAM_TILE_BITS = 36 * 1024
+BRAM_MAX_WIDTH = 72
+DISTRIBUTED_RAM_LIMIT = 1024  # bits; below this, memories stay in LUTRAM
+LUTRAM_BITS_PER_LUT = 32      # RAM32 configuration of a SLICEM LUT
+
+
+def map_block(block: Block) -> ResourceVector:
+    """Map one block's quantities to primitives."""
+    luts = block.logic_terms + block.carry_bits
+    ffs = block.ff_bits
+    brams = 0
+    if block.mem_bits > 0:
+        if block.mem_bits <= DISTRIBUTED_RAM_LIMIT:
+            luts += -(-block.mem_bits // LUTRAM_BITS_PER_LUT)
+        else:
+            by_capacity = -(-block.mem_bits // BRAM_TILE_BITS)
+            by_width = -(-block.mem_width // BRAM_MAX_WIDTH)
+            brams = max(by_capacity, by_width)
+    dsps = block.mul_ops
+    carries = -(-block.carry_bits // 4) if block.carry_bits else 0
+    counts: dict[ResourceKind, int] = {}
+    if luts:
+        counts[ResourceKind.LUT] = luts
+    if ffs:
+        counts[ResourceKind.FF] = ffs
+    if brams:
+        counts[ResourceKind.BRAM] = brams
+    if dsps:
+        counts[ResourceKind.DSP] = dsps
+    if carries:
+        counts[ResourceKind.CARRY] = carries
+    return ResourceVector(counts)
+
+
+@dataclass
+class MappedDesign:
+    """A netlist mapped onto a specific device."""
+
+    netlist: Netlist
+    device: Device
+    block_resources: dict[str, ResourceVector]
+    total: ResourceVector
+    boxed: bool = True
+
+    def block_sites(self, name: str) -> int:
+        """Placement footprint of a block in grid sites (>= 1)."""
+        res = self.block_resources[name]
+        cells = res.get("LUT") + res.get("FF")
+        # BRAM/DSP columns occupy dedicated sites; weight them as a column
+        # stripe equivalent so memory-heavy blocks spread placement.
+        cells += (res.get("BRAM") + res.get("DSP")) * 12
+        return max(1, round(cells / self.device.cells_per_site()))
+
+    def utilization_fraction(self) -> float:
+        """LUT-based device fill fraction, the congestion driver."""
+        cap = self.device.capacity(ResourceKind.LUT)
+        return self.total.get(ResourceKind.LUT) / cap if cap else 0.0
+
+
+def map_to_device(netlist: Netlist, device: Device, boxed: bool = True) -> MappedDesign:
+    """Map ``netlist`` to ``device`` primitives.
+
+    Raises :class:`MappingError` when the design needs a resource class the
+    device lacks entirely (e.g. URAM blocks on a 7-series part); capacity
+    overflow is *not* checked here — that is placement's job, matching where
+    Vivado reports it.
+    """
+    block_resources: dict[str, ResourceVector] = {}
+    total = ResourceVector()
+    for block in netlist.blocks():
+        res = map_block(block)
+        for kind, count in res:
+            if count and not device.has_resource(kind):
+                raise MappingError(
+                    f"block {block.name!r} needs {kind} but {device.part} has none"
+                )
+        block_resources[block.name] = res
+        total = total + res
+
+    io = 1 if boxed else netlist.ports.total()
+    extra = {ResourceKind.IO: max(1, io), ResourceKind.BUFG: 1}
+    total = total + ResourceVector(extra)
+    return MappedDesign(
+        netlist=netlist,
+        device=device,
+        block_resources=block_resources,
+        total=total,
+        boxed=boxed,
+    )

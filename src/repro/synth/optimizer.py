@@ -1,0 +1,68 @@
+"""Directive-controlled logic optimization passes.
+
+Operates on the block netlist between elaboration and mapping.  Passes are
+deliberately structure-preserving (same blocks/nets — the incremental flow
+depends on stable structure) and adjust block *quantities* the way the
+corresponding Vivado passes shift QoR:
+
+- **resource sharing** (area directives): multiplies logic terms down,
+  adds a level on deep blocks (shared operators serialize paths);
+- **logic replication** (performance directives): the reverse trade;
+- **level trimming** (effort): higher effort retimes one level out of the
+  deepest blocks with a mild LUT increase.
+
+All passes are deterministic; the directive's ``DirectiveEffect`` is the
+only input besides the netlist.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.directives import SynthDirective
+from repro.netlist import Block, Netlist
+
+__all__ = ["optimize"]
+
+
+def _copy_with(netlist: Netlist, new_blocks: dict[str, Block]) -> Netlist:
+    out = Netlist(top=netlist.top)
+    for block in netlist.blocks():
+        out.add_block(new_blocks.get(block.name, block))
+    for net in netlist.nets():
+        out.add_net(net)
+    out.set_ports(netlist.ports.inputs, netlist.ports.outputs)
+    return out
+
+
+def optimize(netlist: Netlist, directive: SynthDirective) -> Netlist:
+    """Return an optimized copy of ``netlist`` under ``directive``."""
+    effect = directive.effect()
+    new_blocks: dict[str, Block] = {}
+    max_levels = max((b.levels for b in netlist.blocks()), default=0)
+
+    for block in netlist.blocks():
+        logic = block.logic_terms
+        levels = block.levels
+
+        # Resource sharing / replication.
+        if effect.area_bias != 1.0 and logic > 16:
+            logic = max(1, round(logic * effect.area_bias))
+            if effect.area_bias < 1.0 and levels >= 2:
+                levels += 1  # shared operators lengthen the worst path
+            elif effect.area_bias > 1.0 and levels > 2:
+                levels -= 1  # replication shortens it
+
+        # Effort-driven level trimming on the deepest blocks.
+        if effect.effort > 1.0 and levels == max_levels and levels > 2:
+            levels -= 1
+            logic = round(logic * 1.03)
+
+        if logic != block.logic_terms or levels != block.levels:
+            new_blocks[block.name] = dataclasses.replace(
+                block, logic_terms=logic, levels=levels
+            )
+
+    if not new_blocks:
+        return netlist
+    return _copy_with(netlist, new_blocks)

@@ -1,0 +1,22 @@
+"""Mini-TCL layer — how Dovado talks to the EDA tool.
+
+Dovado "spawns Vivado as a subprocess and communicates with the physical
+tool through the TCL interface", generating scripts from general frames
+customized at run time.  This package reproduces that interface against
+VEDA: a small TCL interpreter (:mod:`repro.tcl.interp`), a Vivado-flavored
+command set bound to a :class:`~repro.flow.VivadoSim` session
+(:mod:`repro.tcl.commands`), and the script frames the evaluation flow
+renders per design point (:mod:`repro.tcl.frames`).
+"""
+
+from repro.tcl.interp import TclInterp
+from repro.tcl.commands import bind_vivado_commands, VivadoTclSession
+from repro.tcl.frames import render_evaluation_script, EVALUATION_FRAME
+
+__all__ = [
+    "TclInterp",
+    "bind_vivado_commands",
+    "VivadoTclSession",
+    "render_evaluation_script",
+    "EVALUATION_FRAME",
+]

@@ -1,0 +1,330 @@
+"""Vivado-flavored TCL command set bound to a VEDA session.
+
+:class:`VivadoTclSession` is the state machine behind the commands: sources
+are read, a part and clock are configured, ``synth_design`` records the run
+request, ``place_design``/``route_design`` upgrade the step to
+implementation, and the ``report_*`` commands *trigger* the evaluation
+(lazily, once) and write report text into the interpreter's virtual
+filesystem — the same observable protocol Dovado uses against real Vivado
+(generate script → run tool → scrape report files).
+
+Supported commands::
+
+    create_project <name>                 (bookkeeping only)
+    set_part <part>
+    read_vhdl <file-or-key> | read_verilog [-sv] <file-or-key>
+    create_clock -period <ns> [-name <n>] [<target>]
+    synth_design -top <module> [-part <part>] [-directive <d>]
+                 [-generic NAME=VALUE]...
+    place_design [-directive <d>]
+    route_design [-directive <d>]
+    report_utilization -file <path>
+    report_timing -file <path>
+    write_checkpoint [-force] <path>
+    exit
+
+``read_vhdl``/``read_verilog`` accept either a real filesystem path or a
+key previously registered via :meth:`VivadoTclSession.stage_source` — the
+evaluation flow stages generated sources (module + box) in memory instead
+of touching disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.directives import DirectiveSet, ImplDirective, SynthDirective
+from repro.errors import TclError
+from repro.flow.vivado_sim import FlowStep, RunResult, VivadoSim
+from repro.hdl.ast import HdlLanguage
+from repro.tcl.interp import TclInterp
+
+__all__ = ["VivadoTclSession", "bind_vivado_commands"]
+
+
+@dataclass
+class VivadoTclSession:
+    """Run state accumulated by the TCL commands."""
+
+    sim: VivadoSim
+    staged: dict[str, tuple[str, HdlLanguage]] = field(default_factory=dict)
+    project: str = ""
+    top: str = ""
+    generics: dict[str, int] = field(default_factory=dict)
+    synth_directive: SynthDirective = SynthDirective.DEFAULT
+    impl_directive: ImplDirective = ImplDirective.DEFAULT
+    step: FlowStep = FlowStep.SYNTHESIS
+    result: RunResult | None = None
+    exited: bool = False
+
+    def stage_source(self, key: str, text: str, language: HdlLanguage | str) -> None:
+        """Register in-memory HDL under ``key`` for read_vhdl/read_verilog."""
+        self.staged[key] = (text, HdlLanguage(language))
+
+    def _read(self, ref: str, language: HdlLanguage) -> list[str]:
+        if ref in self.staged:
+            text, staged_lang = self.staged[ref]
+            return self.sim.read_hdl(text, staged_lang)
+        path = Path(ref)
+        if not path.exists():
+            raise TclError(f"cannot read HDL source {ref!r}: no such file or staged key")
+        return self.sim.read_file(str(path))
+
+    def ensure_result(self) -> RunResult:
+        if not self.top:
+            raise TclError("no synth_design has been issued")
+        if self.result is None:
+            self.result = self.sim.run(
+                self.top,
+                self.generics,
+                step=self.step,
+                directives=DirectiveSet(
+                    synth=self.synth_directive, impl=self.impl_directive
+                ),
+            )
+        return self.result
+
+
+def _opt(argv: list[str], flag: str) -> str | None:
+    """Extract the value following ``flag`` from argv (None if absent)."""
+    if flag in argv:
+        idx = argv.index(flag)
+        if idx + 1 >= len(argv):
+            raise TclError(f"option {flag} requires a value")
+        return argv[idx + 1]
+    return None
+
+
+def _positional(argv: list[str], flags_with_value: set[str]) -> list[str]:
+    """argv minus options; ``flags_with_value`` consume the next word too."""
+    out: list[str] = []
+    skip = False
+    for i, word in enumerate(argv):
+        if skip:
+            skip = False
+            continue
+        if word.startswith("-"):
+            if word in flags_with_value:
+                skip = True
+            continue
+        out.append(word)
+    return out
+
+
+def bind_vivado_commands(interp: TclInterp, session: VivadoTclSession) -> None:
+    """Register the Vivado-like commands on ``interp``."""
+
+    def create_project(_: TclInterp, argv: list[str]) -> str:
+        session.project = argv[0] if argv else "project_1"
+        return session.project
+
+    def set_part(_: TclInterp, argv: list[str]) -> str:
+        if not argv:
+            raise TclError('wrong # args: should be "set_part part"')
+        return session.sim.set_part(argv[0]).part
+
+    def read_vhdl(_: TclInterp, argv: list[str]) -> str:
+        refs = _positional(argv, {"-library"})
+        if not refs:
+            raise TclError("read_vhdl: no source given")
+        names: list[str] = []
+        for ref in refs:
+            names.extend(session._read(ref, HdlLanguage.VHDL))
+        return " ".join(names)
+
+    def read_verilog(_: TclInterp, argv: list[str]) -> str:
+        language = (
+            HdlLanguage.SYSTEMVERILOG if "-sv" in argv else HdlLanguage.VERILOG
+        )
+        refs = _positional(argv, set())
+        if not refs:
+            raise TclError("read_verilog: no source given")
+        names: list[str] = []
+        for ref in refs:
+            names.extend(session._read(ref, language))
+        return " ".join(names)
+
+    def create_clock(_: TclInterp, argv: list[str]) -> str:
+        period = _opt(argv, "-period")
+        if period is None:
+            raise TclError("create_clock: -period is required")
+        session.sim.create_clock(float(period))
+        return _opt(argv, "-name") or "clk"
+
+    def synth_design(_: TclInterp, argv: list[str]) -> str:
+        top = _opt(argv, "-top")
+        if top is None:
+            raise TclError("synth_design: -top is required")
+        session.top = top
+        part = _opt(argv, "-part")
+        if part:
+            session.sim.set_part(part)
+        directive = _opt(argv, "-directive")
+        if directive:
+            try:
+                session.synth_directive = SynthDirective(directive)
+            except ValueError as exc:
+                raise TclError(f"unknown synthesis directive {directive!r}") from exc
+        # -generic NAME=VALUE may repeat.
+        i = 0
+        while i < len(argv):
+            if argv[i] == "-generic":
+                if i + 1 >= len(argv) or "=" not in argv[i + 1]:
+                    raise TclError("-generic expects NAME=VALUE")
+                name, _, value = argv[i + 1].partition("=")
+                try:
+                    session.generics[name] = int(value, 0)
+                except ValueError as exc:
+                    raise TclError(
+                        f"-generic {name}: non-integer value {value!r}"
+                    ) from exc
+                i += 2
+            else:
+                i += 1
+        session.step = FlowStep.SYNTHESIS
+        session.result = None
+        return top
+
+    def place_design(_: TclInterp, argv: list[str]) -> str:
+        _set_impl_directive(argv)
+        session.step = FlowStep.IMPLEMENTATION
+        session.result = None
+        return ""
+
+    def route_design(_: TclInterp, argv: list[str]) -> str:
+        _set_impl_directive(argv)
+        session.step = FlowStep.IMPLEMENTATION
+        session.result = None
+        return ""
+
+    def _set_impl_directive(argv: list[str]) -> None:
+        directive = _opt(argv, "-directive")
+        if directive:
+            try:
+                session.impl_directive = ImplDirective(directive)
+            except ValueError as exc:
+                raise TclError(f"unknown implementation directive {directive!r}") from exc
+
+    def report_utilization(interp: TclInterp, argv: list[str]) -> str:
+        result = session.ensure_result()
+        path = _opt(argv, "-file")
+        if path:
+            interp.files[path] = result.utilization_report_text
+            return ""
+        return result.utilization_report_text
+
+    def report_timing(interp: TclInterp, argv: list[str]) -> str:
+        result = session.ensure_result()
+        path = _opt(argv, "-file")
+        if path:
+            interp.files[path] = result.timing_report_text
+            return ""
+        return result.timing_report_text
+
+    def report_power(interp: TclInterp, argv: list[str]) -> str:
+        from repro.flow.power import estimate_power, render_power_report
+
+        result = session.ensure_result()
+        toggle = _opt(argv, "-toggle_rate")
+        power = estimate_power(
+            result.utilization.used,
+            session.sim.device,
+            frequency_mhz=result.fmax_mhz,
+            toggle_rate=float(toggle) if toggle else 0.125,
+        )
+        text = render_power_report(power, design=session.top, part=result.part)
+        path = _opt(argv, "-file")
+        if path:
+            interp.files[path] = text
+            return ""
+        return text
+
+    def write_checkpoint(interp: TclInterp, argv: list[str]) -> str:
+        """Serialize the session's placement-checkpoint archive.
+
+        Real ``.dcp`` files carry the placed netlist; VEDA's carry the
+        placement archive JSON, which ``open_checkpoint`` restores — the
+        content the incremental flow actually consumes.
+        """
+        import io
+        import json
+
+        refs = _positional(argv, set())
+        path = refs[0] if refs else "checkpoint.dcp"
+        session.ensure_result()
+        store = session.sim.checkpoints
+        payload = {
+            "design": session.top,
+            "step": str(session.step),
+            "checkpoints": [
+                {
+                    "structure_fingerprint": c.structure_fingerprint,
+                    "content_fingerprint": c.content_fingerprint,
+                    "coords": {k: list(v) for k, v in c.coords.items()},
+                    "block_summary": c.block_summary,
+                }
+                for c in store._store.values()
+            ],
+        }
+        interp.files[path] = json.dumps(payload, indent=2)
+        return path
+
+    def open_checkpoint(interp: TclInterp, argv: list[str]) -> str:
+        """Restore a checkpoint archive written by ``write_checkpoint``."""
+        import json
+
+        from repro.pnr.checkpoints import Checkpoint, CheckpointStore
+
+        refs = _positional(argv, set())
+        if not refs:
+            raise TclError("open_checkpoint: a path is required")
+        path = refs[0]
+        text = interp.files.get(path)
+        if text is None:
+            candidate = Path(path)
+            if not candidate.exists():
+                raise TclError(f"open_checkpoint: no such checkpoint {path!r}")
+            text = candidate.read_text(encoding="utf-8")
+        try:
+            payload = json.loads(text)
+            store = CheckpointStore()
+            for entry in payload["checkpoints"]:
+                store.save(
+                    Checkpoint(
+                        structure_fingerprint=int(entry["structure_fingerprint"]),
+                        content_fingerprint=int(entry["content_fingerprint"]),
+                        coords={
+                            k: (float(v[0]), float(v[1]))
+                            for k, v in entry["coords"].items()
+                        },
+                        block_summary={
+                            k: int(v) for k, v in entry["block_summary"].items()
+                        },
+                    )
+                )
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            raise TclError(f"open_checkpoint: malformed checkpoint: {exc}") from exc
+        session.sim.checkpoints = store
+        session.sim.incremental_impl = True
+        return payload.get("design", "")
+
+    def cmd_exit(_: TclInterp, argv: list[str]) -> str:
+        session.exited = True
+        return ""
+
+    interp.register("create_project", create_project)
+    interp.register("set_part", set_part)
+    interp.register("read_vhdl", read_vhdl)
+    interp.register("read_verilog", read_verilog)
+    interp.register("create_clock", create_clock)
+    interp.register("synth_design", synth_design)
+    interp.register("place_design", place_design)
+    interp.register("route_design", route_design)
+    interp.register("report_utilization", report_utilization)
+    interp.register("report_timing", report_timing)
+    interp.register("report_power", report_power)
+    interp.register("write_checkpoint", write_checkpoint)
+    interp.register("open_checkpoint", open_checkpoint)
+    interp.register("read_checkpoint", open_checkpoint)
+    interp.register("exit", cmd_exit)

@@ -1,0 +1,85 @@
+"""TCL script frames.
+
+Dovado ships "general frames for TCL scripts that [it] customizes at
+run-time for module specifications and user-selected directives".  The
+evaluation frame below is the full single-point script: read sources, apply
+the part and clock constraint, synthesize (optionally continue to
+implementation), and emit the two report files Dovado scrapes.
+
+Placeholders are TCL variables assigned in the rendered prologue, so the
+emitted script is valid standalone TCL.
+"""
+
+from __future__ import annotations
+
+from repro.directives import DirectiveSet
+from repro.flow.vivado_sim import FlowStep
+from repro.hdl.ast import HdlLanguage
+
+__all__ = ["EVALUATION_FRAME", "render_evaluation_script"]
+
+EVALUATION_FRAME = """\
+# Dovado evaluation frame (rendered at run time)
+create_project $project_name
+set_part $part
+$read_commands
+create_clock -period $target_period_ns -name dovado_clk
+synth_design -top $top_module -directive $synth_directive
+$impl_commands
+report_utilization -file $util_report
+report_timing -file $timing_report
+write_checkpoint -force $checkpoint_file
+exit
+"""
+
+_READ_CMD = {
+    HdlLanguage.VHDL: "read_vhdl",
+    HdlLanguage.VERILOG: "read_verilog",
+    HdlLanguage.SYSTEMVERILOG: "read_verilog -sv",
+}
+
+
+def render_evaluation_script(
+    sources: list[tuple[str, HdlLanguage]],
+    top: str,
+    part: str,
+    target_period_ns: float,
+    step: FlowStep = FlowStep.IMPLEMENTATION,
+    directives: DirectiveSet | None = None,
+    util_report: str = "utilization.rpt",
+    timing_report: str = "timing.rpt",
+    checkpoint_file: str = "dovado.dcp",
+    project_name: str = "dovado_run",
+) -> str:
+    """Customize the evaluation frame for one run.
+
+    ``sources`` is a list of (staged-key-or-path, language) in compile
+    order (SV packages first, per the paper's rule — the caller/
+    SourceCollection is responsible for that ordering).
+    """
+    directives = directives or DirectiveSet()
+    read_cmds = "\n".join(f"{_READ_CMD[lang]} {ref}" for ref, lang in sources)
+    if step == FlowStep.IMPLEMENTATION:
+        impl_cmds = (
+            f"place_design -directive {directives.impl}\n"
+            f"route_design -directive {directives.impl}"
+        )
+    else:
+        impl_cmds = "# synthesis-only evaluation"
+
+    prologue = "\n".join(
+        [
+            f"set project_name {project_name}",
+            f"set part {part}",
+            f"set top_module {top}",
+            f"set target_period_ns {target_period_ns}",
+            f"set synth_directive {directives.synth}",
+            f"set util_report {util_report}",
+            f"set timing_report {timing_report}",
+            f"set checkpoint_file {checkpoint_file}",
+        ]
+    )
+    body = EVALUATION_FRAME.replace("$read_commands", read_cmds).replace(
+        "$impl_commands", impl_cmds
+    )
+    return prologue + "\n" + body

@@ -1,0 +1,347 @@
+"""A small TCL interpreter.
+
+Covers the language subset EDA control scripts actually use:
+
+- one command per line, ``;`` separators, ``#`` comments, ``\\`` line
+  continuation;
+- word grouping with ``"..."`` (with substitution) and ``{...}`` (verbatim);
+- variable substitution ``$name`` / ``${name}`` and command substitution
+  ``[...]``;
+- built-ins: ``set``, ``unset``, ``puts``, ``expr`` (integer arithmetic via
+  the shared HDL expression parser is overkill — we evaluate with a tiny
+  safe evaluator), ``list``, ``lindex``, ``string``, ``return``;
+- user commands registered as Python callables ``fn(interp, argv) -> str``.
+
+Unknown commands raise :class:`~repro.errors.TclError`, as Vivado does.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable
+
+from repro.errors import TclError
+
+__all__ = ["TclInterp"]
+
+CommandFn = Callable[["TclInterp", list[str]], str]
+
+_EXPR_TOKEN = re.compile(r"\s*(\d+\.\d+|\d+|[A-Za-z_][\w]*|\*\*|==|!=|<=|>=|&&|\|\||<<|>>|.)")
+
+
+def _safe_expr(text: str) -> str:
+    """Evaluate a TCL ``expr`` string: numbers, + - * / % ** parens, compares.
+
+    Implemented with a tiny shunting-yard over a whitelisted token set; no
+    Python ``eval``.
+    """
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _EXPR_TOKEN.match(text, pos)
+        if not m:
+            raise TclError(f"expr: bad token at {text[pos:]!r}")
+        tok = m.group(1)
+        pos = m.end()
+        if tok.strip():
+            tokens.append(tok)
+    prec = {
+        "||": 1, "&&": 2, "==": 3, "!=": 3, "<": 4, ">": 4, "<=": 4, ">=": 4,
+        "<<": 5, ">>": 5, "+": 6, "-": 6, "*": 7, "/": 7, "%": 7, "**": 8,
+    }
+    out: list[float] = []
+    ops: list[str] = []
+
+    def apply(op: str) -> None:
+        if len(out) < 2:
+            raise TclError(f"expr: missing operand for {op!r}")
+        b, a = out.pop(), out.pop()
+        table = {
+            "+": lambda: a + b,
+            "-": lambda: a - b,
+            "*": lambda: a * b,
+            "/": lambda: a / b if (a % b if isinstance(a, int) else True) else a // b,
+            "%": lambda: a % b,
+            "**": lambda: a**b,
+            "==": lambda: int(a == b),
+            "!=": lambda: int(a != b),
+            "<": lambda: int(a < b),
+            ">": lambda: int(a > b),
+            "<=": lambda: int(a <= b),
+            ">=": lambda: int(a >= b),
+            "<<": lambda: int(a) << int(b),
+            ">>": lambda: int(a) >> int(b),
+            "&&": lambda: int(bool(a) and bool(b)),
+            "||": lambda: int(bool(a) or bool(b)),
+        }
+        if op not in table:
+            raise TclError(f"expr: unsupported operator {op!r}")
+        if op == "/":
+            result = a / b
+            if isinstance(a, int) and isinstance(b, int) and a % b == 0:
+                result = a // b
+            out.append(result)
+        else:
+            out.append(table[op]())
+
+    prev_operand = False
+    for tok in tokens:
+        if re.fullmatch(r"\d+", tok):
+            out.append(int(tok))
+            prev_operand = True
+        elif re.fullmatch(r"\d+\.\d+", tok):
+            out.append(float(tok))
+            prev_operand = True
+        elif tok == "(":
+            ops.append(tok)
+            prev_operand = False
+        elif tok == ")":
+            while ops and ops[-1] != "(":
+                apply(ops.pop())
+            if not ops:
+                raise TclError("expr: unbalanced parens")
+            ops.pop()
+            prev_operand = True
+        elif tok in prec:
+            if tok == "-" and not prev_operand:
+                out.append(0)  # unary minus as (0 - x)
+            while (
+                ops and ops[-1] != "(" and prec.get(ops[-1], 0) >= prec[tok]
+                and tok != "**"
+            ):
+                apply(ops.pop())
+            ops.append(tok)
+            prev_operand = False
+        else:
+            raise TclError(f"expr: unsupported token {tok!r}")
+    while ops:
+        op = ops.pop()
+        if op == "(":
+            raise TclError("expr: unbalanced parens")
+        apply(op)
+    if len(out) != 1:
+        raise TclError("expr: malformed expression")
+    value = out[0]
+    if isinstance(value, float) and value.is_integer():
+        value = int(value)
+    return str(value)
+
+
+class TclInterp:
+    """The interpreter: variables, registered commands, a virtual FS."""
+
+    def __init__(self) -> None:
+        self.vars: dict[str, str] = {}
+        self.commands: dict[str, CommandFn] = {}
+        self.files: dict[str, str] = {}   # virtual filesystem for report output
+        self.stdout: list[str] = []
+        self._register_builtins()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def register(self, name: str, fn: CommandFn) -> None:
+        self.commands[name] = fn
+
+    def _register_builtins(self) -> None:
+        self.register("set", self._cmd_set)
+        self.register("unset", self._cmd_unset)
+        self.register("puts", self._cmd_puts)
+        self.register("expr", self._cmd_expr)
+        self.register("list", lambda i, a: " ".join(a))
+        self.register("lindex", self._cmd_lindex)
+        self.register("string", self._cmd_string)
+        self.register("return", lambda i, a: a[0] if a else "")
+
+    # ------------------------------------------------------------------
+    # builtins
+    # ------------------------------------------------------------------
+
+    def _cmd_set(self, _: "TclInterp", argv: list[str]) -> str:
+        if len(argv) == 1:
+            name = argv[0]
+            if name not in self.vars:
+                raise TclError(f'can\'t read "{name}": no such variable')
+            return self.vars[name]
+        if len(argv) != 2:
+            raise TclError('wrong # args: should be "set varName ?newValue?"')
+        self.vars[argv[0]] = argv[1]
+        return argv[1]
+
+    def _cmd_unset(self, _: "TclInterp", argv: list[str]) -> str:
+        for name in argv:
+            self.vars.pop(name, None)
+        return ""
+
+    def _cmd_puts(self, _: "TclInterp", argv: list[str]) -> str:
+        text = argv[-1] if argv else ""
+        self.stdout.append(text)
+        return ""
+
+    def _cmd_expr(self, _: "TclInterp", argv: list[str]) -> str:
+        return _safe_expr(" ".join(argv))
+
+    def _cmd_lindex(self, _: "TclInterp", argv: list[str]) -> str:
+        if len(argv) != 2:
+            raise TclError('wrong # args: should be "lindex list index"')
+        items = argv[0].split()
+        idx = int(argv[1])
+        try:
+            return items[idx]
+        except IndexError:
+            return ""
+
+    def _cmd_string(self, _: "TclInterp", argv: list[str]) -> str:
+        if len(argv) >= 2 and argv[0] == "length":
+            return str(len(argv[1]))
+        if len(argv) >= 2 and argv[0] == "tolower":
+            return argv[1].lower()
+        if len(argv) >= 2 and argv[0] == "toupper":
+            return argv[1].upper()
+        raise TclError(f"string: unsupported subcommand {argv[:1]}")
+
+    # ------------------------------------------------------------------
+    # parsing / evaluation
+    # ------------------------------------------------------------------
+
+    def eval(self, script: str) -> str:
+        """Evaluate a script; returns the last command's result."""
+        result = ""
+        for line_no, command in self._split_commands(script):
+            words = self._parse_words(command, line_no)
+            if not words:
+                continue
+            result = self._invoke(words, line_no)
+        return result
+
+    def _invoke(self, words: list[str], line_no: int) -> str:
+        name, argv = words[0], words[1:]
+        fn = self.commands.get(name)
+        if fn is None:
+            raise TclError(f"invalid command name \"{name}\"", line_no)
+        return fn(self, argv)
+
+    def _split_commands(self, script: str) -> Iterable[tuple[int, str]]:
+        # Join continuation lines, strip comments, split on newlines/semicolons
+        # not inside braces/brackets/quotes.
+        lines = script.split("\n")
+        logical: list[tuple[int, str]] = []
+        buffer = ""
+        start = 1
+        for i, line in enumerate(lines, start=1):
+            if not buffer:
+                start = i
+            if line.rstrip().endswith("\\"):
+                buffer += line.rstrip()[:-1] + " "
+                continue
+            buffer += line
+            logical.append((start, buffer))
+            buffer = ""
+        if buffer:
+            logical.append((start, buffer))
+
+        for line_no, text in logical:
+            stripped = text.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            depth_brace = depth_bracket = 0
+            in_quote = False
+            cmd = ""
+            for ch in text:
+                if ch == '"' and depth_brace == 0:
+                    in_quote = not in_quote
+                elif ch == "{" and not in_quote:
+                    depth_brace += 1
+                elif ch == "}" and not in_quote:
+                    depth_brace -= 1
+                elif ch == "[" and not in_quote and depth_brace == 0:
+                    depth_bracket += 1
+                elif ch == "]" and not in_quote and depth_brace == 0:
+                    depth_bracket -= 1
+                if ch == ";" and not in_quote and depth_brace == 0 and depth_bracket == 0:
+                    if cmd.strip():
+                        yield line_no, cmd
+                    cmd = ""
+                else:
+                    cmd += ch
+            if cmd.strip() and not cmd.strip().startswith("#"):
+                yield line_no, cmd
+
+    def _parse_words(self, command: str, line_no: int) -> list[str]:
+        words: list[str] = []
+        i = 0
+        n = len(command)
+        while i < n:
+            while i < n and command[i] in " \t":
+                i += 1
+            if i >= n:
+                break
+            ch = command[i]
+            if ch == "{":
+                depth = 1
+                j = i + 1
+                while j < n and depth:
+                    if command[j] == "{":
+                        depth += 1
+                    elif command[j] == "}":
+                        depth -= 1
+                    j += 1
+                if depth:
+                    raise TclError("unbalanced braces", line_no)
+                words.append(command[i + 1 : j - 1])
+                i = j
+            elif ch == '"':
+                j = i + 1
+                chunk = ""
+                while j < n and command[j] != '"':
+                    chunk += command[j]
+                    j += 1
+                if j >= n:
+                    raise TclError("unbalanced quotes", line_no)
+                words.append(self._substitute(chunk, line_no))
+                i = j + 1
+            else:
+                j = i
+                depth_bracket = 0
+                while j < n and (command[j] not in " \t" or depth_bracket):
+                    if command[j] == "[":
+                        depth_bracket += 1
+                    elif command[j] == "]":
+                        depth_bracket -= 1
+                    j += 1
+                words.append(self._substitute(command[i:j], line_no))
+                i = j
+        return words
+
+    _VAR_RE = re.compile(r"\$(\{[^}]+\}|[A-Za-z_][\w]*)")
+
+    def _substitute(self, text: str, line_no: int) -> str:
+        # Command substitution first (innermost-out via loop).
+        while "[" in text:
+            start = text.index("[")
+            depth = 0
+            end = -1
+            for k in range(start, len(text)):
+                if text[k] == "[":
+                    depth += 1
+                elif text[k] == "]":
+                    depth -= 1
+                    if depth == 0:
+                        end = k
+                        break
+            if end < 0:
+                raise TclError("unbalanced brackets", line_no)
+            inner = text[start + 1 : end]
+            value = self.eval(inner)
+            text = text[:start] + value + text[end + 1 :]
+
+        def repl(m: re.Match[str]) -> str:
+            name = m.group(1)
+            if name.startswith("{"):
+                name = name[1:-1]
+            if name not in self.vars:
+                raise TclError(f'can\'t read "{name}": no such variable', line_no)
+            return self.vars[name]
+
+        return self._VAR_RE.sub(repl, text)

@@ -1,0 +1,59 @@
+"""Session persistence: JSON/CSV round-tripping of DSE results.
+
+Dovado persists each exploration session (evaluated points, Pareto archive,
+tool timings) so a run can be inspected or resumed.  We store a single JSON
+document per session plus an optional flat CSV of evaluated points for
+spreadsheet-style analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["save_json", "load_json", "save_csv", "load_csv"]
+
+
+def _default(obj: Any) -> Any:
+    # numpy scalars / arrays show up in metric dicts; coerce to plain python.
+    if hasattr(obj, "item") and callable(obj.item) and getattr(obj, "shape", None) == ():
+        return obj.item()
+    if hasattr(obj, "tolist") and callable(obj.tolist):
+        return obj.tolist()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+def save_json(path: str | Path, payload: Mapping[str, Any]) -> Path:
+    """Write ``payload`` as pretty-printed JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=True, default=_default)
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def save_csv(
+    path: str | Path,
+    fieldnames: Sequence[str],
+    rows: Iterable[Mapping[str, Any]],
+) -> Path:
+    """Write dict-rows as CSV with a fixed header order."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(fieldnames))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k, "") for k in fieldnames})
+    return path
+
+
+def load_csv(path: str | Path) -> list[dict[str, str]]:
+    with Path(path).open(newline="", encoding="utf-8") as fh:
+        return list(csv.DictReader(fh))

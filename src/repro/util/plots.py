@@ -1,0 +1,95 @@
+"""ASCII scatter plots for terminal-first workflows.
+
+The paper's Figs. 4–7 are metric scatter plots of non-dominated sets; the
+benchmark harness and examples render the same data as terminal scatter
+charts so the reproduction works without a display server.  Marks overlap
+by priority (later series overdraw earlier ones); axes are linear with
+min/max annotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Series", "scatter_plot", "pareto_plot"]
+
+
+@dataclass(frozen=True)
+class Series:
+    name: str
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+    mark: str = "*"
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(f"series {self.name!r}: x/y length mismatch")
+        if len(self.mark) != 1:
+            raise ValueError("mark must be a single character")
+
+
+def scatter_plot(
+    series: Sequence[Series],
+    width: int = 60,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Render series as an ASCII scatter chart."""
+    points = [(x, y) for s in series for x, y in zip(s.xs, s.ys)]
+    if not points:
+        return (title or "") + "\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s in series:
+        for x, y in zip(s.xs, s.ys):
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((1.0 - (y - y_lo) / y_span) * (height - 1)))
+            grid[row][col] = s.mark
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(f"{s.mark} {s.name}" for s in series)
+    if legend:
+        lines.append(legend)
+    lines.append(f"{y_hi:>12.6g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 13 + "|" + "".join(row) + "|")
+    lines.append(f"{y_lo:>12.6g} +" + "-" * width + "+")
+    lines.append(
+        " " * 14 + f"{x_lo:<.6g}".ljust(width // 2)
+        + f"{x_hi:>.6g}".rjust(width - width // 2)
+    )
+    lines.append(" " * 14 + f"x: {x_label}   y: {y_label}")
+    return "\n".join(lines)
+
+
+def pareto_plot(
+    points,
+    x_metric: str,
+    y_metric: str,
+    title: str | None = None,
+    width: int = 60,
+    height: int = 18,
+) -> str:
+    """Scatter a list of :class:`~repro.core.point.EvaluatedPoint` by two
+    metrics — the Figs. 4–7 view."""
+    xs = tuple(p.metrics[x_metric] for p in points)
+    ys = tuple(p.metrics[y_metric] for p in points)
+    return scatter_plot(
+        [Series(name="non-dominated", xs=xs, ys=ys, mark="o")],
+        width=width,
+        height=height,
+        x_label=x_metric,
+        y_label=y_metric,
+        title=title,
+    )

@@ -1,0 +1,111 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the framework (placer, tool-noise model,
+NSGA-II operators, sampling) receives a :class:`numpy.random.Generator`.
+These helpers normalize seeds, derive independent child streams, and map
+arbitrary hashable structures (e.g. a design-point tuple plus a device name)
+to stable 64-bit seeds so the simulated EDA tool is a *function* of its
+inputs: re-evaluating the same design point reproduces the same "Vivado"
+answer, which is what makes result caching in the control model sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_child", "stable_hash_seed"]
+
+
+def as_generator(
+    seed: int | np.random.Generator | np.random.SeedSequence | None,
+) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh OS entropy), an integer seed, a
+    :class:`~numpy.random.SeedSequence`, or an existing generator (returned
+    unchanged so callers can share a stream deliberately).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_child(rng: np.random.Generator, *tags: Any) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    ``tags`` (any reprable values) decorrelate children spawned for distinct
+    purposes at the same parent state; two children spawned with different
+    tags from the same parent state are independent streams.
+    """
+    base = int(rng.integers(0, 2**63 - 1))
+    if tags:
+        base ^= stable_hash_seed(tags)
+    return np.random.default_rng(base)
+
+
+def _flatten(values: Any, out: list[str]) -> None:
+    if isinstance(values, (list, tuple)):
+        out.append("[")
+        for v in values:
+            _flatten(v, out)
+        out.append("]")
+    elif isinstance(values, dict):
+        out.append("{")
+        for k in sorted(values, key=repr):
+            _flatten(k, out)
+            _flatten(values[k], out)
+        out.append("}")
+    elif isinstance(values, float):
+        # Canonicalize integral floats so 1.0 and 1 hash identically.
+        if float(values).is_integer():
+            out.append(repr(int(values)))
+        else:
+            out.append(repr(float(values)))
+    elif isinstance(values, (int, np.integer)):
+        out.append(repr(int(values)))
+    else:
+        out.append(repr(values))
+
+
+def stable_hash_seed(values: Any) -> int:
+    """Map an arbitrary (nested) structure to a stable 63-bit seed.
+
+    Unlike ``hash()``, the result is stable across processes (no
+    ``PYTHONHASHSEED`` dependence), which the tool-noise model relies on:
+    the noise applied to a design point must be identical in every run and
+    on every worker of a parallel evaluation pool.
+    """
+    parts: list[str] = []
+    _flatten(values, parts)
+    digest = hashlib.sha256("\x1f".join(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") & (2**63 - 1)
+
+
+def integer_sample(
+    rng: np.random.Generator, lows: Sequence[int], highs: Sequence[int], n: int
+) -> np.ndarray:
+    """Sample ``n`` integer vectors uniformly from inclusive per-dim bounds.
+
+    Vectorized: returns an ``(n, d)`` int64 array.
+    """
+    lows_a = np.asarray(lows, dtype=np.int64)
+    highs_a = np.asarray(highs, dtype=np.int64)
+    if lows_a.shape != highs_a.shape:
+        raise ValueError("lows/highs length mismatch")
+    if np.any(highs_a < lows_a):
+        raise ValueError("inverted bounds")
+    return rng.integers(lows_a, highs_a + 1, size=(n, lows_a.size), dtype=np.int64)
+
+
+def choice_without_replacement(
+    rng: np.random.Generator, pool: Iterable[int], k: int
+) -> list[int]:
+    """Choose ``k`` distinct items from ``pool`` (shuffle-based, seeded)."""
+    items = list(pool)
+    if k > len(items):
+        raise ValueError(f"cannot choose {k} from {len(items)} items")
+    idx = rng.permutation(len(items))[:k]
+    return [items[i] for i in idx]

@@ -1,0 +1,81 @@
+"""Plain-text table rendering for benchmark harness output.
+
+The benchmark harness prints the same rows the paper's tables report
+(Table I / Table II) and series summaries for the figures; this module keeps
+that formatting in one place so every bench emits uniform, diffable text.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["render_table", "render_kv", "render_series"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with a header rule; returns the string."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def render_kv(pairs: dict[str, Any], title: str | None = None) -> str:
+    """Render a key/value block (used for run summaries)."""
+    width = max((len(k) for k in pairs), default=0)
+    out: list[str] = []
+    if title:
+        out.append(title)
+    for key, value in pairs.items():
+        out.append(f"{key.ljust(width)} : {_fmt(value)}")
+    return "\n".join(out)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render figure-style data: one x column plus one column per series."""
+    headers = [x_label, *series.keys()]
+    columns = [x_values, *series.values()]
+    n = len(x_values)
+    for name, col in series.items():
+        if len(col) != n:
+            raise ValueError(f"series {name!r} length {len(col)} != {n}")
+    rows = [[col[i] for col in columns] for i in range(n)]
+    return render_table(headers, rows, title=title)

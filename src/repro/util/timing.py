@@ -1,0 +1,102 @@
+"""Wall-clock helpers: stopwatches and soft deadlines.
+
+The paper runs its cv32e40p DSE "with a four hour soft deadline to the
+genetic algorithm": the GA finishes the current generation once the deadline
+passes rather than aborting mid-evaluation.  :class:`SoftDeadline` models
+exactly that contract and is consumed by ``repro.moo.termination``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "SoftDeadline"]
+
+
+class Stopwatch:
+    """Accumulating stopwatch with independent named splits.
+
+    Used by the flow facade to attribute runtime to synthesis vs
+    implementation vs estimation, which the ablation benchmarks report.
+    """
+
+    def __init__(self) -> None:
+        self._splits: dict[str, float] = {}
+        self._started: dict[str, float] = {}
+
+    def start(self, name: str) -> None:
+        self._started[name] = time.perf_counter()
+
+    def stop(self, name: str) -> float:
+        """Stop split ``name``; returns the elapsed seconds of this interval."""
+        begin = self._started.pop(name, None)
+        if begin is None:
+            raise KeyError(f"split {name!r} was never started")
+        elapsed = time.perf_counter() - begin
+        self._splits[name] = self._splits.get(name, 0.0) + elapsed
+        return elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Credit ``seconds`` to split ``name`` without a timer (simulated cost)."""
+        if seconds < 0:
+            raise ValueError("cannot add negative time")
+        self._splits[name] = self._splits.get(name, 0.0) + seconds
+
+    def total(self, name: str) -> float:
+        return self._splits.get(name, 0.0)
+
+    def totals(self) -> dict[str, float]:
+        return dict(self._splits)
+
+    class _Ctx:
+        def __init__(self, sw: "Stopwatch", name: str) -> None:
+            self._sw = sw
+            self._name = name
+
+        def __enter__(self) -> None:
+            self._sw.start(self._name)
+
+        def __exit__(self, *exc: object) -> None:
+            self._sw.stop(self._name)
+
+    def measure(self, name: str) -> "Stopwatch._Ctx":
+        """Context manager: ``with sw.measure("synth"): ...``."""
+        return Stopwatch._Ctx(self, name)
+
+
+@dataclass
+class SoftDeadline:
+    """A soft wall-clock budget.
+
+    ``expired()`` becomes true once ``budget_s`` seconds have passed since
+    construction (or since :meth:`restart`).  A budget of ``None`` never
+    expires.  ``virtual_elapsed`` lets the simulated flow charge *simulated*
+    tool seconds against the budget, so benchmarks can reproduce the paper's
+    four-hour run in milliseconds of real time.
+    """
+
+    budget_s: float | None = None
+    virtual_elapsed: float = 0.0
+    _t0: float = field(default_factory=time.perf_counter)
+
+    def restart(self) -> None:
+        self._t0 = time.perf_counter()
+        self.virtual_elapsed = 0.0
+
+    def charge(self, simulated_seconds: float) -> None:
+        """Charge simulated tool time against the budget."""
+        if simulated_seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.virtual_elapsed += simulated_seconds
+
+    def elapsed(self) -> float:
+        return (time.perf_counter() - self._t0) + self.virtual_elapsed
+
+    def remaining(self) -> float:
+        if self.budget_s is None:
+            return float("inf")
+        return self.budget_s - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0

@@ -1,0 +1,73 @@
+"""Frequency/period unit conversions used throughout the flow.
+
+The paper's Eq. (1) mixes MHz and ns: ``Fmax = 1000 / ((1/1000)*T - WNS)``
+where ``T`` is the target period in *nano*seconds and WNS in ns.  (The
+literal formula in the paper divides T by 1000 — a typographical slip, since
+with T in ns and WNS in ns the dimensionally meaningful form is
+``Fmax_MHz = 1000 / (T_ns - WNS_ns)``; the Dovado source uses that form and
+so do we, while :func:`fmax_paper_eq1` keeps the verbatim variant for the
+regression test that documents the discrepancy.)
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "mhz_from_ns",
+    "ns_from_mhz",
+    "fmax_from_wns",
+    "fmax_paper_eq1",
+    "format_mhz",
+]
+
+
+def mhz_from_ns(period_ns: float) -> float:
+    """Convert a clock period in ns to a frequency in MHz."""
+    if period_ns <= 0:
+        raise ValueError(f"period must be positive, got {period_ns}")
+    return 1000.0 / period_ns
+
+
+def ns_from_mhz(freq_mhz: float) -> float:
+    """Convert a frequency in MHz to a clock period in ns."""
+    if freq_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_mhz}")
+    return 1000.0 / freq_mhz
+
+
+def fmax_from_wns(target_period_ns: float, wns_ns: float) -> float:
+    """Maximum achievable frequency (MHz) from worst negative slack.
+
+    This is the operational form of the paper's Eq. (1): the critical-path
+    delay equals the target period minus the (signed) slack, so
+    ``Fmax = 1000 / (T - WNS)``.  WNS is negative when timing fails
+    (lengthening the effective period) and positive when timing closes with
+    margin (shortening it).
+    """
+    effective_period = target_period_ns - wns_ns
+    if effective_period <= 0:
+        raise ValueError(
+            f"non-positive effective period {effective_period} ns "
+            f"(T={target_period_ns}, WNS={wns_ns})"
+        )
+    return 1000.0 / effective_period
+
+
+def fmax_paper_eq1(target_period_ns: float, wns_ns: float) -> float:
+    """Verbatim Eq. (1) from the paper: ``1000 / ((1/1000)*T - WNS)``.
+
+    Kept only so tests can document that the verbatim formula is a typo:
+    with the paper's own worked numbers (1 GHz target → T = 1 ns) it yields
+    nonsense unless WNS dominates, whereas :func:`fmax_from_wns` reproduces
+    the reported ~200 MHz/~550 MHz figures.
+    """
+    denom = (target_period_ns / 1000.0) - wns_ns
+    if denom <= 0:
+        raise ValueError("non-positive denominator in verbatim Eq. (1)")
+    return 1000.0 / denom
+
+
+def format_mhz(freq_mhz: float) -> str:
+    """Human-readable frequency (``312.5 MHz`` / ``1.25 GHz``)."""
+    if freq_mhz >= 1000.0:
+        return f"{freq_mhz / 1000.0:.2f} GHz"
+    return f"{freq_mhz:.1f} MHz"

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs import corundum_cqm, fifo_sv, neorv32, tirex
+from repro.flow import VivadoSim
+
+
+@pytest.fixture(scope="session")
+def fifo_design():
+    return fifo_sv.generator()
+
+
+@pytest.fixture(scope="session")
+def cqm_design():
+    return corundum_cqm.generator()
+
+
+@pytest.fixture(scope="session")
+def neorv_design():
+    return neorv32.generator()
+
+
+@pytest.fixture(scope="session")
+def tirex_design():
+    return tirex.generator()
+
+
+@pytest.fixture()
+def k7_sim():
+    """Fresh simulated-Vivado session on the paper's Kintex-7 part."""
+    return VivadoSim(part="XC7K70T", seed=11)
+
+
+@pytest.fixture()
+def loaded_cqm_sim(cqm_design):
+    sim = VivadoSim(part="XC7K70T", seed=11)
+    sim.read_hdl(cqm_design.source(), cqm_design.language)
+    sim.create_clock(1.0)
+    return sim

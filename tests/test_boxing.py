@@ -1,0 +1,125 @@
+"""Tests for the boxing step (Listing 1 semantics)."""
+
+import pytest
+
+from repro.boxing import build_box
+from repro.errors import NoClockPortError, ParameterOverrideError
+from repro.flow import VivadoSim
+from repro.hdl.frontend import parse_source
+
+
+class TestVhdlBox:
+    def test_matches_listing1_shape(self, neorv_design):
+        box = build_box(neorv_design.module(), {"MEM_INT_IMEM_SIZE": 2**14})
+        src = box.source
+        assert "entity box is" in src
+        assert "clk : in std_logic" in src
+        assert 'attribute DONT_TOUCH of BOXED : label is "TRUE";' in src
+        assert "BOXED: entity work.neorv32_top" in src
+        assert "MEM_INT_IMEM_SIZE => 16384" in src
+
+    def test_box_source_reparses(self, neorv_design):
+        box = build_box(neorv_design.module(), {})
+        m = parse_source(box.source, "vhdl")[0]
+        assert m.name == "box"
+        assert [p.name for p in m.ports] == ["clk"]
+
+    def test_boolean_generics_render_as_vhdl(self, neorv_design):
+        box = build_box(neorv_design.module(), {})
+        assert "CPU_EXTENSION_RISCV_C => true" in box.source
+
+    def test_clock_port_mapped(self, neorv_design):
+        box = build_box(neorv_design.module(), {})
+        assert "clk_i => clk" in box.source
+        assert box.clock_port == "clk_i"
+
+    def test_other_ports_tied_to_signals(self, neorv_design):
+        box = build_box(neorv_design.module(), {})
+        assert "signal s_gpio_o : std_logic_vector(31 downto 0);" in box.source
+        assert "gpio_o => s_gpio_o" in box.source
+
+
+class TestVerilogBox:
+    def test_structure(self, cqm_design):
+        box = build_box(cqm_design.module(), {"OP_TABLE_SIZE": 24})
+        src = box.source
+        assert '(* DONT_TOUCH = "TRUE" *)' in src
+        assert ".OP_TABLE_SIZE(24)" in src
+        assert ".clk(clk)" in src
+        assert "cpl_queue_manager #(" in src
+
+    def test_reparses(self, cqm_design):
+        box = build_box(cqm_design.module(), {})
+        m = parse_source(box.source, "verilog")[0]
+        assert m.name == "box"
+        assert len(m.ports) == 1
+
+    def test_sv_module_box(self, fifo_design):
+        box = build_box(fifo_design.module(), {"DEPTH": 64})
+        assert ".DEPTH(64)" in box.source
+        assert box.clock_port == "clk_i"
+
+
+class TestOverrides:
+    def test_unknown_parameter_rejected(self, cqm_design):
+        with pytest.raises(ParameterOverrideError, match="GHOST"):
+            build_box(cqm_design.module(), {"GHOST": 1})
+
+    def test_localparam_rejected(self, cqm_design):
+        with pytest.raises(ParameterOverrideError):
+            build_box(cqm_design.module(), {"CL_OP_TABLE_SIZE": 3})
+
+    def test_case_insensitive_canonicalization(self, cqm_design):
+        box = build_box(cqm_design.module(), {"op_table_size": 20})
+        assert box.overrides == {"OP_TABLE_SIZE": 20}
+
+
+class TestClockSelection:
+    def test_no_clock_raises(self):
+        m = parse_source("entity e is port (d : in std_logic); end e;", "vhdl")[0]
+        with pytest.raises(NoClockPortError):
+            build_box(m, {})
+
+    def test_explicit_clock(self):
+        m = parse_source(
+            "entity e is port (tick : in std_logic; d : in std_logic); end e;",
+            "vhdl",
+        )[0]
+        box = build_box(m, {}, clock_port="tick")
+        assert box.clock_port == "tick"
+
+    def test_explicit_unknown_clock_raises(self, cqm_design):
+        with pytest.raises(KeyError):
+            build_box(cqm_design.module(), {}, clock_port="nope")
+
+
+class TestBoxedFlow:
+    def test_boxed_run_has_one_io(self, neorv_design):
+        sim = VivadoSim(part="XC7K70T", seed=1)
+        sim.read_hdl(neorv_design.source(), neorv_design.language)
+        box = build_box(neorv_design.module(), {"MEM_INT_IMEM_SIZE": 2**13})
+        box.install(sim)
+        sim.create_clock(1.0)
+        result = sim.run(box.top)
+        assert result.metric("IO") == 1
+
+    def test_box_ring_adds_interface_registers(self, neorv_design):
+        sim_boxed = VivadoSim(part="XC7K70T", seed=1, noise=False)
+        sim_boxed.read_hdl(neorv_design.source(), neorv_design.language)
+        box = build_box(neorv_design.module(), {})
+        box.install(sim_boxed)
+        sim_boxed.create_clock(1.0)
+        boxed = sim_boxed.run(box.top)
+
+        sim_raw = VivadoSim(part="XC7K70T", seed=1, noise=False)
+        sim_raw.read_hdl(neorv_design.source(), neorv_design.language)
+        sim_raw.create_clock(1.0)
+        raw = sim_raw.run(neorv_design.top, {})
+        # 66 non-clock port bits land in the ring.
+        assert boxed.metric("FF") > raw.metric("FF")
+
+    def test_unique_box_names_for_distinct_points(self, cqm_design):
+        a = build_box(cqm_design.module(), {"OP_TABLE_SIZE": 8}, box_name="box_a")
+        b = build_box(cqm_design.module(), {"OP_TABLE_SIZE": 9}, box_name="box_b")
+        assert a.top != b.top
+        assert a.source != b.source

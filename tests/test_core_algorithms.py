@@ -1,0 +1,97 @@
+"""Tests for DseSession's algorithm selection (nsga2 / mosa / exhaustive / auto)."""
+
+import pytest
+
+from repro.core import DseSession, MetricSpec, ParameterSpace
+from repro.core.spaces import IntRange, PowerOfTwoRange
+from repro.designs import get_design
+from repro.moo.nds import non_dominated_mask
+
+import numpy as np
+
+
+def _session(**kw):
+    design = get_design("corundum-cqm")
+    return DseSession(
+        design=design, part="XC7K70T",
+        use_model=kw.pop("use_model", False), seed=kw.pop("seed", 8), **kw,
+    )
+
+
+class TestMosaSession:
+    def test_mosa_explores(self):
+        sess = _session()
+        res = sess.explore(generations=6, population=10, algorithm="mosa")
+        assert res.evaluations >= 55  # n_eval budget = 60
+        assert len(res.pareto) >= 1
+        F = np.array([
+            [p.metrics["LUT"], -p.metrics["frequency"]] for p in res.pareto
+        ])
+        assert not non_dominated_mask(F).size == 0
+
+    def test_unknown_algorithm_rejected(self):
+        sess = _session()
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            sess.explore(generations=2, population=4, algorithm="quantum")
+
+
+class TestExhaustiveSession:
+    def test_small_space_enumerated(self):
+        design = get_design("neorv32")
+        space = ParameterSpace([
+            PowerOfTwoRange("MEM_INT_IMEM_SIZE", 12, 14),
+            PowerOfTwoRange("MEM_INT_DMEM_SIZE", 12, 14),
+        ])
+        sess = DseSession(
+            design=design, space=space, part="XC7K70T",
+            use_model=False, seed=0,
+        )
+        res = sess.explore(algorithm="exhaustive")
+        assert res.evaluations == 9  # full 3x3 space
+        assert res.archive_size == 9
+
+
+class TestAutoSelection:
+    def test_auto_enumerates_tiny_space(self):
+        design = get_design("neorv32")
+        space = ParameterSpace([
+            PowerOfTwoRange("MEM_INT_IMEM_SIZE", 12, 14),
+        ])
+        sess = DseSession(
+            design=design, space=space, part="XC7K70T",
+            use_model=False, seed=0,
+        )
+        res = sess.explore(algorithm="auto")
+        assert sess.last_algorithm_choice.name == "exhaustive"
+        assert res.evaluations == 3
+
+    def test_auto_defaults_to_nsga2_without_dataset(self):
+        sess = _session(use_model=False)
+        res = sess.explore(generations=2, population=8, algorithm="auto")
+        assert sess.last_algorithm_choice.name == "nsga2"
+        assert res.generations == 2
+
+    def test_auto_consults_dataset_when_model_active(self):
+        design = get_design("cv32e40p-fifo")
+        # >512 points so the tiny-space exhaustive rule doesn't preempt the
+        # dataset-driven choice.
+        space = ParameterSpace([IntRange("DEPTH", 4, 1003)])
+        sess = DseSession(
+            design=design, space=space, part="XC7K70T",
+            use_model=True, pretrain_size=25, seed=3,
+        )
+        res = sess.explore(generations=3, population=8, algorithm="auto")
+        choice = sess.last_algorithm_choice
+        # 1-D space: either the smooth-landscape walker or nsga2, but the
+        # reasoning must reference the measured ruggedness.
+        assert choice.name in ("mosa", "nsga2")
+        assert "ruggedness" in choice.reason or "smooth" in choice.reason
+        assert res.evaluations > 0
+
+
+class TestSpea2Session:
+    def test_spea2_explores(self):
+        sess = _session()
+        res = sess.explore(generations=4, population=10, algorithm="spea2")
+        assert res.evaluations >= 10
+        assert len(res.pareto) >= 1

@@ -1,0 +1,166 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.core.cli import build_parser, main
+
+
+class TestParser:
+    def test_metric_parsing(self):
+        args = build_parser().parse_args(
+            ["dse", "--design", "tirex", "--metric", "LUT:min",
+             "--metric", "frequency:max"]
+        )
+        assert [m.canonical_name() for m in args.metrics] == ["LUT", "frequency"]
+
+    def test_param_dim_parsing(self):
+        args = build_parser().parse_args(
+            ["dse", "--source", "x.v", "--top", "m",
+             "--param", "W:4:32", "--param", "MEM:3:6:pow2"]
+        )
+        assert args.dims[0].name == "W"
+        assert args.dims[1].decode(4) == 16
+
+    def test_assignment_parsing(self):
+        args = build_parser().parse_args(
+            ["eval", "--design", "neorv32", "--set", "MEM_INT_IMEM_SIZE=0x2000"]
+        )
+        assert dict(args.assignments)["MEM_INT_IMEM_SIZE"] == 0x2000
+
+
+class TestCommands:
+    def test_list_designs(self, capsys):
+        assert main(["list-designs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("corundum-cqm", "cv32e40p-fifo", "neorv32", "tirex"):
+            assert name in out
+
+    def test_list_parts(self, capsys):
+        assert main(["list-parts"]) == 0
+        out = capsys.readouterr().out
+        assert "XC7K70TFBV676-1" in out
+        assert "XCZU3EG-SBVA484-1" in out
+
+    def test_eval_command(self, capsys):
+        rc = main([
+            "eval", "--design", "corundum-cqm",
+            "--set", "OP_TABLE_SIZE=16", "--set", "PIPELINE=3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OP_TABLE_SIZE=16" in out
+        assert "Utilization" in out
+        assert "WNS" in out
+
+    def test_dse_command(self, capsys, tmp_path):
+        rc = main([
+            "dse", "--design", "corundum-cqm", "--generations", "2",
+            "--population", "8", "--no-model", "--seed", "3",
+            "--out", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Non-dominated set" in out
+        assert "tool-hours" in out
+        assert (tmp_path / "dse.json").exists()
+
+    def test_dse_with_raw_source(self, capsys, tmp_path):
+        src = tmp_path / "m.v"
+        src.write_text(
+            "module m #(parameter W = 8)"
+            "(input wire clk, input wire [W-1:0] d, output reg [W-1:0] q);"
+            " endmodule"
+        )
+        rc = main([
+            "dse", "--source", str(src), "--top", "m",
+            "--param", "W:4:16", "--generations", "2", "--population", "6",
+            "--no-model",
+        ])
+        assert rc == 0
+        assert "Non-dominated set" in capsys.readouterr().out
+
+    def test_dse_raw_source_needs_params(self, tmp_path):
+        src = tmp_path / "m.v"
+        src.write_text("module m(input wire clk); endmodule")
+        with pytest.raises(SystemExit, match="--param"):
+            main(["dse", "--source", str(src), "--top", "m"])
+
+    def test_source_without_top_exits(self):
+        with pytest.raises(SystemExit):
+            main(["eval", "--source", "whatever.v"])
+
+    def test_hierarchy_command(self, capsys, tmp_path):
+        src = tmp_path / "soc.v"
+        src.write_text(
+            "module soc(input wire clk); cpu u_cpu(.clk(clk)); endmodule\n"
+            "module cpu(input wire clk); endmodule\n"
+        )
+        assert main(["hierarchy", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "soc" in out and "u_cpu: cpu" in out
+
+    def test_hierarchy_explicit_root(self, capsys, tmp_path):
+        src = tmp_path / "soc.v"
+        src.write_text(
+            "module soc(input wire clk); cpu u_cpu(.clk(clk)); endmodule\n"
+            "module cpu(input wire clk); endmodule\n"
+        )
+        assert main(["hierarchy", str(src), "--root", "cpu"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().splitlines()[0] == "cpu"
+
+    def test_dse_mosa_algorithm(self, capsys):
+        rc = main([
+            "dse", "--design", "corundum-cqm", "--generations", "2",
+            "--population", "6", "--no-model", "--algorithm", "mosa",
+        ])
+        assert rc == 0
+        assert "Non-dominated set" in capsys.readouterr().out
+
+    def test_dse_auto_algorithm_reports_choice(self, capsys):
+        rc = main([
+            "dse", "--design", "neorv32", "--no-model", "--algorithm", "auto",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "algorithm choice:" in out
+        # Neorv32's canonical space has 25 points: enumerated.
+        assert "exhaustive" in out
+
+    def test_flow_error_returns_1(self, capsys):
+        rc = main([
+            "eval", "--design", "tirex", "--part", "XC7A35T",
+            "--set", "NCLUSTER=8", "--set", "INSTR_MEM_SIZE=64",
+            "--set", "DATA_MEM_SIZE=64",
+        ])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_sweep_grid(self, capsys):
+        rc = main([
+            "sweep", "--design", "corundum-cqm",
+            "--grid", "OP_TABLE_SIZE=8,16", "--grid", "PIPELINE=2,4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Sweep: 4 configurations" in out
+        assert "Pareto subset" in out
+
+    def test_sweep_csv_export(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        rc = main([
+            "sweep", "--design", "corundum-cqm",
+            "--grid", "OP_TABLE_SIZE=8,24", "--csv", str(csv_path),
+        ])
+        assert rc == 0
+        assert csv_path.exists()
+
+    def test_sweep_requires_grid(self):
+        with pytest.raises(SystemExit, match="--grid"):
+            main(["sweep", "--design", "corundum-cqm"])
+
+    def test_sweep_bad_grid_format(self):
+        with pytest.raises(SystemExit, match="NAME=V1"):
+            main(["sweep", "--design", "corundum-cqm", "--grid", "OPS"])

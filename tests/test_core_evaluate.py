@@ -1,0 +1,150 @@
+"""Tests for metrics extraction and the single-point evaluation flow."""
+
+import pytest
+
+from repro.core.evaluate import PointEvaluator
+from repro.core.metrics import MetricSpec, default_metrics, metrics_from_reports
+from repro.directives import DirectiveSet, SynthDirective
+from repro.flow.vivado_sim import FlowStep
+from repro.moo.problem import Sense
+
+
+class TestMetricSpec:
+    def test_frequency_and_resources_legal(self):
+        MetricSpec.maximize("frequency")
+        MetricSpec.minimize("LUT")
+        MetricSpec.minimize("bram")
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSpec.minimize("GATES")
+
+    def test_canonical_names(self):
+        assert MetricSpec.minimize("lut").canonical_name() == "LUT"
+        assert MetricSpec.maximize("Frequency").canonical_name() == "frequency"
+
+    def test_default_metrics(self):
+        specs = default_metrics()
+        assert [s.canonical_name() for s in specs] == ["LUT", "frequency"]
+        assert specs[1].sense == Sense.MAXIMIZE
+
+
+class TestMetricsFromReports:
+    def test_extraction(self):
+        from repro.devices import ResourceVector, UtilizationReport
+        from repro.flow.reports import render_timing_report, render_utilization_report
+
+        util = render_utilization_report(
+            UtilizationReport(
+                used=ResourceVector.of(LUT=500, FF=700, BRAM=2),
+                available=ResourceVector.of(LUT=41000, FF=82000, BRAM=135),
+            ),
+            "dut", "XC7K70T",
+        )
+        timing = render_timing_report(-4.0, 1.0, 5.0, ("a",), 3)
+        out = metrics_from_reports(
+            util, timing,
+            [MetricSpec.minimize("LUT"), MetricSpec.minimize("BRAM"),
+             MetricSpec.maximize("frequency")],
+        )
+        assert out["LUT"] == 500
+        assert out["BRAM"] == 2
+        assert out["frequency"] == pytest.approx(200.0)
+
+
+class TestPointEvaluator:
+    def _evaluator(self, design, **kw):
+        return PointEvaluator(
+            source=design.source(),
+            language=design.language,
+            top=design.top,
+            part=kw.pop("part", "XC7K70T"),
+            **kw,
+        )
+
+    def test_basic_evaluation(self, cqm_design):
+        ev = self._evaluator(cqm_design)
+        point = ev.evaluate({"OP_TABLE_SIZE": 16, "PIPELINE": 3})
+        assert point.metrics["LUT"] > 0
+        assert point.metrics["frequency"] > 50
+        assert point.source == "tool"
+        assert point.simulated_seconds > 0
+
+    def test_unknown_top_raises(self, cqm_design):
+        with pytest.raises(LookupError, match="not found"):
+            PointEvaluator(
+                source=cqm_design.source(),
+                language=cqm_design.language,
+                top="ghost",
+            )
+
+    def test_repeat_evaluation_cached(self, cqm_design):
+        ev = self._evaluator(cqm_design)
+        first = ev.evaluate({"OP_TABLE_SIZE": 20})
+        second = ev.evaluate({"OP_TABLE_SIZE": 20})
+        assert second.source == "cache"
+        assert second.metrics == first.metrics
+        assert second.simulated_seconds == 0.0
+
+    def test_script_generated_per_point(self, cqm_design):
+        ev = self._evaluator(cqm_design)
+        ev.evaluate({"OP_TABLE_SIZE": 8})
+        script_a = ev.last_script
+        ev.evaluate({"OP_TABLE_SIZE": 9})
+        script_b = ev.last_script
+        assert script_a != script_b
+        assert "synth_design" in script_a
+        assert "report_utilization" in script_a
+
+    def test_boxed_top_unique_per_point(self, cqm_design):
+        ev = self._evaluator(cqm_design)
+        assert ev._box_top({"A": 1}) != ev._box_top({"A": 2})
+        assert ev._box_top({"a": 1}) == ev._box_top({"A": 1})
+
+    def test_synthesis_step_cheaper(self, cqm_design):
+        impl = self._evaluator(cqm_design)
+        synth = self._evaluator(cqm_design, step=FlowStep.SYNTHESIS)
+        pi = impl.evaluate({"OP_TABLE_SIZE": 12})
+        ps = synth.evaluate({"OP_TABLE_SIZE": 12})
+        assert ps.simulated_seconds < pi.simulated_seconds
+
+    def test_unboxed_passes_generics(self, cqm_design):
+        ev = self._evaluator(cqm_design, boxed=False)
+        point = ev.evaluate({"OP_TABLE_SIZE": 24})
+        assert "-generic OP_TABLE_SIZE=24" in ev.last_script
+        assert point.metrics["LUT"] > 0
+
+    def test_directives_respected(self, cqm_design):
+        base = self._evaluator(cqm_design)
+        area = self._evaluator(
+            cqm_design,
+            directives=DirectiveSet(synth=SynthDirective.AREA_OPTIMIZED_HIGH),
+        )
+        pb = base.evaluate({"OP_TABLE_SIZE": 32})
+        pa = area.evaluate({"OP_TABLE_SIZE": 32})
+        assert pa.metrics["LUT"] < pb.metrics["LUT"]
+
+    def test_custom_metrics(self, cqm_design):
+        ev = self._evaluator(
+            cqm_design,
+            metrics=[MetricSpec.minimize("FF"), MetricSpec.minimize("BRAM")],
+        )
+        point = ev.evaluate({})
+        assert set(point.metrics) == {"FF", "BRAM"}
+
+    def test_vhdl_design_evaluates(self, neorv_design):
+        ev = self._evaluator(neorv_design)
+        point = ev.evaluate({"MEM_INT_IMEM_SIZE": 2**13})
+        assert point.metrics["LUT"] > 1000
+
+    def test_evaluate_many(self, cqm_design):
+        ev = self._evaluator(cqm_design)
+        points = ev.evaluate_many([{"OP_TABLE_SIZE": v} for v in (8, 10)])
+        assert len(points) == 2
+        assert points[0].parameters != points[1].parameters
+
+    def test_reports_exposed(self, cqm_design):
+        ev = self._evaluator(cqm_design)
+        ev.evaluate({})
+        assert "Utilization" in ev.last_reports["utilization"]
+        assert "WNS" in ev.last_reports["timing"]

@@ -1,0 +1,92 @@
+"""Tests for parallel batch evaluation."""
+
+import pytest
+
+from repro.core.evaluate import PointEvaluator
+from repro.core.parallel import EvaluatorSpec, ParallelPointEvaluator
+from repro.designs import get_design
+
+
+def _spec(design_name="corundum-cqm", **kw):
+    design = get_design(design_name)
+    return EvaluatorSpec(
+        source=design.source(),
+        language=str(design.language),
+        top=design.top,
+        part=kw.pop("part", "XC7K70T"),
+        seed=kw.pop("seed", 3),
+        design_name=design_name,
+        **kw,
+    )
+
+
+BATCH = [
+    {"OP_TABLE_SIZE": 8, "PIPELINE": 2},
+    {"OP_TABLE_SIZE": 16, "PIPELINE": 3},
+    {"OP_TABLE_SIZE": 24, "PIPELINE": 4},
+    {"OP_TABLE_SIZE": 32, "PIPELINE": 5},
+]
+
+
+class TestSpec:
+    def test_roundtrip_from_evaluator(self):
+        design = get_design("corundum-cqm")
+        ev = PointEvaluator(
+            source=design.source(), language=design.language, top=design.top,
+            part="ZU3EG", seed=7,
+        )
+        spec = EvaluatorSpec.from_evaluator(ev, design_name="corundum-cqm")
+        rebuilt = spec.build()
+        assert rebuilt.part == "ZU3EG"
+        assert rebuilt.module.name == design.top
+        assert rebuilt.metric_names() == ev.metric_names()
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        spec = _spec()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestSerialPath:
+    def test_serial_matches_direct_evaluator(self):
+        spec = _spec()
+        serial = ParallelPointEvaluator(spec=spec, workers=0)
+        batch = serial.evaluate_many(BATCH)
+        direct = spec.build()
+        for params, point in zip(BATCH, batch):
+            ref = direct.evaluate(params)
+            assert point.metrics == ref.metrics
+
+    def test_duplicates_dedupped(self):
+        spec = _spec()
+        serial = ParallelPointEvaluator(spec=spec, workers=0)
+        twice = serial.evaluate_many([BATCH[0], BATCH[0]])
+        assert twice[0].metrics == twice[1].metrics
+
+
+class TestParallelPath:
+    def test_parallel_equals_serial(self):
+        spec = _spec()
+        serial = ParallelPointEvaluator(spec=spec, workers=0).evaluate_many(BATCH)
+        parallel = ParallelPointEvaluator(spec=spec, workers=2).evaluate_many(BATCH)
+        for s, p in zip(serial, parallel):
+            assert s.parameters == p.parameters
+            assert s.metrics == p.metrics
+
+    def test_parallel_order_preserved(self):
+        spec = _spec()
+        out = ParallelPointEvaluator(spec=spec, workers=2).evaluate_many(BATCH)
+        assert [p.parameters["OP_TABLE_SIZE"] for p in out] == [8, 16, 24, 32]
+
+    def test_parallel_vhdl_design(self):
+        spec = _spec(
+            design_name="neorv32",
+            metrics=(("BRAM", "min"), ("frequency", "max")),
+        )
+        points = [
+            {"MEM_INT_IMEM_SIZE": 2**13},
+            {"MEM_INT_IMEM_SIZE": 2**14},
+        ]
+        out = ParallelPointEvaluator(spec=spec, workers=2).evaluate_many(points)
+        assert out[0].metrics["BRAM"] < out[1].metrics["BRAM"]

@@ -1,0 +1,104 @@
+"""Tests for project save/resume."""
+
+import numpy as np
+import pytest
+
+from repro.core import DseSession, MetricSpec, ParameterSpace
+from repro.core.project import load_project, save_project
+from repro.designs import get_design
+from repro.errors import ReproError
+
+
+def _session(tmp_path=None, pretrain=12):
+    design = get_design("cv32e40p-fifo")
+    space = ParameterSpace.from_design(design, names=["DEPTH"])
+    return DseSession(
+        design=design, space=space, part="XC7K70T",
+        metrics=[MetricSpec.minimize("LUT"), MetricSpec.maximize("frequency")],
+        use_model=True, pretrain_size=pretrain, seed=4,
+    )
+
+
+class TestSaveLoad:
+    def test_roundtrip_configuration(self, tmp_path):
+        session = _session()
+        session.fitness.pretrain()
+        path = save_project(session, tmp_path / "proj")
+        assert path.exists()
+
+        loaded = load_project(tmp_path / "proj")
+        assert loaded.evaluator.part == session.evaluator.part
+        assert loaded.evaluator.module.name == "fifo_v3"
+        assert loaded.space.names() == ["DEPTH"]
+        assert loaded.evaluator.metric_names() == session.evaluator.metric_names()
+
+    def test_dataset_restored_without_tool_runs(self, tmp_path):
+        session = _session()
+        session.fitness.pretrain()
+        n_points = len(session.fitness.control.dataset)
+        save_project(session, tmp_path / "proj")
+
+        loaded = load_project(tmp_path / "proj")
+        assert len(loaded.fitness.control.dataset) == n_points
+        # Resume costs zero tool runs.
+        assert loaded.fitness.tool_runs() == 0
+        assert loaded.fitness.control.model.fitted
+        assert loaded.fitness.control.threshold > 0
+
+    def test_restored_dataset_values_match(self, tmp_path):
+        session = _session()
+        session.fitness.pretrain()
+        X_orig = session.fitness.control.dataset.X()
+        Y_orig = session.fitness.control.dataset.Y()
+        save_project(session, tmp_path / "proj")
+        loaded = load_project(tmp_path / "proj")
+        X_new = loaded.fitness.control.dataset.X()
+        Y_new = loaded.fitness.control.dataset.Y()
+        # Same point set (row order may differ): compare as sorted rows.
+        assert np.array_equal(np.sort(X_orig, axis=0), np.sort(X_new, axis=0))
+        assert np.allclose(np.sort(Y_orig, axis=0), np.sort(Y_new, axis=0))
+
+    def test_resumed_exploration_continues(self, tmp_path):
+        session = _session(pretrain=15)
+        session.fitness.pretrain()
+        save_project(session, tmp_path / "proj")
+
+        loaded = load_project(tmp_path / "proj")
+        result = loaded.explore(generations=3, population=8, pretrain=False)
+        assert result.evaluations > 0
+        # Many queries answered from the restored dataset/model.
+        assert loaded.fitness.tool_runs() < result.evaluations
+
+    def test_pow2_space_roundtrip(self, tmp_path):
+        design = get_design("neorv32")
+        session = DseSession(design=design, part="XC7K70T", use_model=False, seed=1)
+        save_project(session, tmp_path / "p2")
+        loaded = load_project(tmp_path / "p2")
+        dim = loaded.space.dimension("MEM_INT_IMEM_SIZE")
+        assert dim.decode(13) == 8192
+
+    def test_checkpoints_persisted(self, tmp_path):
+        design = get_design("corundum-cqm")
+        session = DseSession(
+            design=design, part="XC7K70T", use_model=False,
+            incremental=True, seed=2,
+        )
+        session.evaluate_points([{"OP_TABLE_SIZE": 12}])
+        assert len(session.evaluator.sim.checkpoints) > 0
+        save_project(session, tmp_path / "ck")
+        loaded = load_project(tmp_path / "ck")
+        assert len(loaded.evaluator.sim.checkpoints) == len(
+            session.evaluator.sim.checkpoints
+        )
+
+    def test_bad_version_rejected(self, tmp_path):
+        session = _session()
+        save_project(session, tmp_path / "v")
+        import json
+
+        p = tmp_path / "v" / "project.json"
+        payload = json.loads(p.read_text())
+        payload["version"] = 99
+        p.write_text(json.dumps(payload))
+        with pytest.raises(ReproError, match="version"):
+            load_project(tmp_path / "v")

@@ -1,0 +1,123 @@
+"""Tests for parameter spaces and encodings."""
+
+import numpy as np
+import pytest
+
+from repro.core.spaces import (
+    BoolParam,
+    IntRange,
+    ParameterSpace,
+    PowerOfTwoRange,
+)
+from repro.errors import InvalidSpaceError
+
+
+class TestDimensions:
+    def test_int_range_identity(self):
+        d = IntRange("N", 4, 10)
+        assert d.decode(7) == 7
+        assert d.encode(7) == 7
+        assert d.cardinality() == 7
+        assert d.values() == list(range(4, 11))
+
+    def test_inverted_bounds(self):
+        with pytest.raises(InvalidSpaceError):
+            IntRange("N", 10, 4)
+
+    def test_pow2_decode_encode(self):
+        d = PowerOfTwoRange("MEM", 12, 16)
+        assert d.decode(13) == 8192
+        assert d.encode(8192) == 13
+        assert d.values() == [4096, 8192, 16384, 32768, 65536]
+
+    def test_pow2_rejects_non_power(self):
+        d = PowerOfTwoRange("MEM", 0, 4)
+        with pytest.raises(InvalidSpaceError):
+            d.encode(3)
+
+    def test_pow2_over_values(self):
+        d = PowerOfTwoRange.over_values("MEM", 8, 64)
+        assert (d.low, d.high) == (3, 6)
+        with pytest.raises(InvalidSpaceError):
+            PowerOfTwoRange.over_values("MEM", 7, 64)
+
+    def test_pow2_negative_exponent(self):
+        with pytest.raises(InvalidSpaceError):
+            PowerOfTwoRange("X", -1, 4)
+
+    def test_bool_param(self):
+        d = BoolParam("EN")
+        assert d.values() == [0, 1]
+
+
+class TestParameterSpace:
+    def _space(self):
+        return ParameterSpace([
+            IntRange("OPS", 8, 40),
+            PowerOfTwoRange("MEM", 3, 6),
+            BoolParam("EN"),
+        ])
+
+    def test_cardinality_product(self):
+        assert self._space().cardinality() == 33 * 4 * 2
+
+    def test_decode_roundtrip(self):
+        space = self._space()
+        params = space.decode([16, 4, 1])
+        assert params == {"OPS": 16, "MEM": 16, "EN": 1}
+        assert space.encode(params).tolist() == [16, 4, 1]
+
+    def test_decode_clips_out_of_bounds(self):
+        space = self._space()
+        assert space.decode([100, 0, 5]) == {"OPS": 40, "MEM": 8, "EN": 1}
+
+    def test_encode_missing_dimension(self):
+        with pytest.raises(InvalidSpaceError, match="missing"):
+            self._space().encode({"OPS": 10})
+
+    def test_encode_case_insensitive(self):
+        space = self._space()
+        v = space.encode({"ops": 9, "mem": 8, "en": 0})
+        assert v.tolist() == [9, 3, 0]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(InvalidSpaceError, match="duplicate"):
+            ParameterSpace([IntRange("A", 0, 1), IntRange("a", 0, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidSpaceError):
+            ParameterSpace([])
+
+    def test_wrong_vector_length(self):
+        with pytest.raises(InvalidSpaceError):
+            self._space().decode([1, 2])
+
+    def test_bounds_arrays(self):
+        space = self._space()
+        assert space.lows().tolist() == [8, 3, 0]
+        assert space.highs().tolist() == [40, 6, 1]
+
+    def test_decode_many(self):
+        space = self._space()
+        out = space.decode_many(np.array([[8, 3, 0], [40, 6, 1]]))
+        assert out[0]["MEM"] == 8 and out[1]["MEM"] == 64
+
+
+class TestFromDesign:
+    def test_tirex_space(self, tirex_design):
+        space = ParameterSpace.from_design(tirex_design)
+        assert space.names() == [
+            "NCLUSTER", "STACK_SIZE", "INSTR_MEM_SIZE", "DATA_MEM_SIZE"
+        ]
+        assert isinstance(space.dimension("NCLUSTER"), PowerOfTwoRange)
+        assert space.decode(space.lows())["NCLUSTER"] == 1
+
+    def test_fifo_space_bool_dimension(self, fifo_design):
+        space = ParameterSpace.from_design(fifo_design)
+        assert isinstance(space.dimension("FALL_THROUGH"), BoolParam)
+        # Paper: "The parameter range comprised 500 possible values".
+        assert space.dimension("DEPTH").cardinality() == 500
+
+    def test_restricted_names(self, fifo_design):
+        space = ParameterSpace.from_design(fifo_design, names=["DEPTH"])
+        assert space.names() == ["DEPTH"]

@@ -1,0 +1,215 @@
+"""Tests for the case-study design generators and their cost models."""
+
+import pytest
+
+from repro.designs import all_designs, get_design
+from repro.flow import VivadoSim
+from repro.hdl.frontend import parse_source
+from repro.hdl.validate import lint_module, Severity
+from repro.synth.elaborate import elaborate
+
+
+class TestLibrary:
+    def test_all_designs_instantiable(self):
+        designs = all_designs()
+        assert set(designs) == {
+            "cv32e40p-fifo", "cv32e40p", "corundum-cqm", "neorv32", "tirex"
+        }
+
+    def test_get_by_name_and_top(self):
+        assert get_design("tirex").top == "tirex_top"
+        assert get_design("fifo_v3").name == "cv32e40p-fifo"
+
+    def test_unknown_design(self):
+        with pytest.raises(KeyError, match="built-ins"):
+            get_design("mystery")
+
+    def test_sources_parse_cleanly(self):
+        for gen in all_designs().values():
+            module = gen.module()
+            assert module.name.lower() == gen.top.lower()
+            errors = [
+                f for f in lint_module(module) if f.severity == Severity.ERROR
+            ]
+            assert not errors, f"{gen.name}: {errors}"
+
+    def test_every_explored_param_exists_in_module(self):
+        for gen in all_designs().values():
+            module = gen.module()
+            declared = {p.name.lower() for p in module.free_parameters()}
+            for info in gen.params:
+                assert info.name.lower() in declared, (gen.name, info.name)
+
+    def test_default_overrides_are_legal(self):
+        for gen in all_designs().values():
+            netlist = elaborate(gen.module(), gen.default_overrides())
+            assert len(netlist) > 0
+
+
+def _run(gen, part, params, seed=1):
+    sim = VivadoSim(part=part, seed=seed, noise=False)
+    sim.read_hdl(gen.source(), gen.language)
+    sim.create_clock(1.0)
+    return sim.run(gen.top, params)
+
+
+class TestFifoModel:
+    """cv32e40p FIFO — Section IV-A shapes."""
+
+    def test_resources_monotone_in_depth(self, fifo_design):
+        lut, ff = [], []
+        for depth in (8, 64, 500):
+            r = _run(fifo_design, "XC7K70T", {"DEPTH": depth})
+            lut.append(r.metric("LUT"))
+            ff.append(r.metric("FF"))
+        assert lut == sorted(lut)
+
+    def test_bram_step_at_distributed_threshold(self, fifo_design):
+        small = _run(fifo_design, "XC7K70T", {"DEPTH": 16, "DATA_WIDTH": 32})
+        large = _run(fifo_design, "XC7K70T", {"DEPTH": 256, "DATA_WIDTH": 32})
+        assert small.metric("BRAM") == 0   # 512 bits: LUTRAM
+        assert large.metric("BRAM") >= 1   # 8192 bits: block RAM
+
+    def test_frequency_decreases_with_depth(self, fifo_design):
+        fast = _run(fifo_design, "XC7K70T", {"DEPTH": 8})
+        slow = _run(fifo_design, "XC7K70T", {"DEPTH": 500})
+        assert fast.fmax_mhz > slow.fmax_mhz
+
+
+class TestCorundumModel:
+    """Corundum CQM — Section IV-B / Table I / Fig. 4 shapes."""
+
+    def test_bram_constant_across_explored_knobs(self, cqm_design):
+        brams = {
+            _run(cqm_design, "XC7K70T",
+                 {"OP_TABLE_SIZE": o, "QUEUE_COUNT": q, "PIPELINE": p}).metric("BRAM")
+            for o, q, p in [(8, 4, 2), (35, 7, 5), (16, 5, 3)]
+        }
+        assert len(brams) == 1  # the paper: "constant in the number of BRAMs"
+
+    def test_pipeline_raises_frequency_and_ff(self, cqm_design):
+        p2 = _run(cqm_design, "XC7K70T", {"PIPELINE": 2})
+        p5 = _run(cqm_design, "XC7K70T", {"PIPELINE": 5})
+        assert p5.fmax_mhz > p2.fmax_mhz
+        assert p5.metric("FF") > p2.metric("FF")
+
+    def test_op_table_grows_area(self, cqm_design):
+        small = _run(cqm_design, "XC7K70T", {"OP_TABLE_SIZE": 8})
+        big = _run(cqm_design, "XC7K70T", {"OP_TABLE_SIZE": 35})
+        assert big.metric("LUT") > small.metric("LUT")
+        assert big.metric("FF") > small.metric("FF")
+
+    def test_frequency_near_200mhz(self, cqm_design):
+        """Paper: 'this module achieves a running frequency near 200 MHz'."""
+        r = _run(cqm_design, "XC7K70T", {"OP_TABLE_SIZE": 16, "PIPELINE": 3})
+        assert 140 < r.fmax_mhz < 260
+
+
+class TestNeorvModel:
+    """Neorv32 — Section IV-C / Fig. 5 shapes."""
+
+    def test_bram_jump_at_2_15(self, neorv_design):
+        def brams(exp):
+            return _run(
+                neorv_design, "XC7K70T",
+                {"MEM_INT_IMEM_SIZE": 2**exp, "MEM_INT_DMEM_SIZE": 2**exp},
+            ).metric("BRAM")
+
+        b13, b14, b15 = brams(13), brams(14), brams(15)
+        assert b13 < b14 < b15
+        # The 2^14→2^15 step is the big one the paper highlights.
+        assert (b15 - b14) > (b14 - b13)
+
+    def test_other_metrics_nearly_unchanged(self, neorv_design):
+        """'leaving almost unchanged the other metrics'."""
+        r14 = _run(neorv_design, "XC7K70T",
+                   {"MEM_INT_IMEM_SIZE": 2**14, "MEM_INT_DMEM_SIZE": 2**14})
+        r15 = _run(neorv_design, "XC7K70T",
+                   {"MEM_INT_IMEM_SIZE": 2**15, "MEM_INT_DMEM_SIZE": 2**15})
+        assert r15.metric("LUT") == pytest.approx(r14.metric("LUT"), rel=0.05)
+        assert r15.fmax_mhz == pytest.approx(r14.fmax_mhz, rel=0.10)
+
+
+class TestTirexModel:
+    """TiReX — Section IV-D / Figs. 6-7 / Table II shapes."""
+
+    def test_ncluster_hurts_both_area_and_speed(self, tirex_design):
+        one = _run(tirex_design, "XC7K70T", {"NCLUSTER": 1})
+        four = _run(tirex_design, "XC7K70T", {"NCLUSTER": 4})
+        assert four.metric("LUT") > one.metric("LUT")
+        assert four.fmax_mhz < one.fmax_mhz
+
+    def test_technology_gap(self, tirex_design):
+        params = {"NCLUSTER": 1, "STACK_SIZE": 8,
+                  "INSTR_MEM_SIZE": 8, "DATA_MEM_SIZE": 8}
+        k7 = _run(tirex_design, "XC7K70T", params)
+        zu = _run(tirex_design, "ZU3EG", params)
+        # Paper: ~190 MHz vs ~550 MHz on near-identical configurations.
+        assert 150 < k7.fmax_mhz < 240
+        assert 420 < zu.fmax_mhz < 650
+        assert zu.fmax_mhz / k7.fmax_mhz > 2.0
+
+    def test_memories_drive_bram(self, tirex_design):
+        small = _run(tirex_design, "XC7K70T",
+                     {"INSTR_MEM_SIZE": 8, "DATA_MEM_SIZE": 8})
+        big = _run(tirex_design, "XC7K70T",
+                   {"INSTR_MEM_SIZE": 32, "DATA_MEM_SIZE": 32})
+        assert big.metric("BRAM") > small.metric("BRAM")
+
+
+class TestCv32e40pModel:
+    """cv32e40p core-level model (the IP whose FIFO Section IV-A studies)."""
+
+    def _gen(self):
+        from repro.designs import cv32e40p
+
+        return cv32e40p.generator()
+
+    def test_base_footprint_anchor(self):
+        """Public cv32e40p FPGA results: ~5-7k LUTs base configuration."""
+        r = _run(self._gen(), "XC7K70T", {"FPU": 0, "PULP_XPULP": 0})
+        assert 4000 < r.metric("LUT") < 8000
+        assert 2000 < r.metric("FF") < 5000
+
+    def test_fpu_adds_area_and_dsps_and_slows(self):
+        gen = self._gen()
+        base = _run(gen, "XC7K70T", {"FPU": 0})
+        fpu = _run(gen, "XC7K70T", {"FPU": 1})
+        assert fpu.metric("LUT") > 1.4 * base.metric("LUT")
+        assert fpu.metric("DSP") > base.metric("DSP")
+        assert fpu.fmax_mhz < base.fmax_mhz
+
+    def test_xpulp_widens_datapath(self):
+        gen = self._gen()
+        base = _run(gen, "XC7K70T", {"PULP_XPULP": 0})
+        xpulp = _run(gen, "XC7K70T", {"PULP_XPULP": 1})
+        assert xpulp.metric("LUT") > base.metric("LUT")
+
+    def test_counters_scale_linearly_in_ff(self):
+        gen = self._gen()
+        ffs = [
+            _run(gen, "XC7K70T", {"NUM_MHPMCOUNTERS": n}).metric("FF")
+            for n in (0, 10, 29)
+        ]
+        assert ffs[0] < ffs[1] < ffs[2]
+        # Roughly 64 FF per counter:
+        per_counter = (ffs[2] - ffs[0]) / 29
+        assert 50 < per_counter < 80
+
+    def test_registered_in_library(self):
+        from repro.designs import all_designs
+
+        assert "cv32e40p" in all_designs()
+
+    def test_dse_over_core_knobs(self):
+        from repro.core import DseSession, MetricSpec
+
+        sess = DseSession(
+            design=self._gen(), part="XC7K70T",
+            metrics=[MetricSpec.minimize("LUT"),
+                     MetricSpec.maximize("frequency")],
+            use_model=False, seed=2,
+        )
+        res = sess.explore(generations=3, population=8)
+        # FPU-less configurations dominate this 2-objective view.
+        assert all(p.parameters["FPU"] == 0 for p in res.pareto)

@@ -1,0 +1,157 @@
+"""Tests for the device catalog, resource vectors, timing models."""
+
+import pytest
+
+from repro.devices import (
+    Device,
+    ResourceKind,
+    ResourceVector,
+    UtilizationReport,
+    get_device,
+    list_devices,
+    register_device,
+    timing_model_for,
+)
+from repro.errors import UnknownDeviceError
+
+
+class TestResourceVector:
+    def test_zero_entries_dropped(self):
+        v = ResourceVector.of(LUT=0, FF=5)
+        assert ResourceKind.LUT not in v.counts
+        assert v.get("FF") == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector.of(LUT=-1)
+
+    def test_addition(self):
+        a = ResourceVector.of(LUT=10, FF=5)
+        b = ResourceVector.of(LUT=3, BRAM=2)
+        c = a + b
+        assert (c.get("LUT"), c.get("FF"), c.get("BRAM")) == (13, 5, 2)
+
+    def test_scaled_rounds(self):
+        v = ResourceVector.of(LUT=10).scaled(0.25)
+        assert v.get("LUT") == 2  # round(2.5) banker's → 2
+
+    def test_dominates_capacity(self):
+        need = ResourceVector.of(LUT=100, BRAM=5)
+        cap = ResourceVector.of(LUT=50, BRAM=10)
+        assert need.dominates_capacity(cap) == [ResourceKind.LUT]
+
+    def test_iteration_in_report_order(self):
+        v = ResourceVector.of(DSP=1, LUT=2, FF=3)
+        kinds = [k for k, _ in v]
+        assert kinds == [ResourceKind.LUT, ResourceKind.FF, ResourceKind.DSP]
+
+    def test_total_cells(self):
+        assert ResourceVector.of(LUT=7, FF=3).total_cells() == 10
+
+
+class TestUtilizationReport:
+    def test_percent(self):
+        rep = UtilizationReport(
+            used=ResourceVector.of(LUT=410),
+            available=ResourceVector.of(LUT=41000, BRAM=135),
+        )
+        assert rep.percent("LUT") == pytest.approx(1.0)
+
+    def test_device_dependent_reporting(self):
+        """URAM 'not always available ... reported only if present'."""
+        rep = UtilizationReport(
+            used=ResourceVector.of(LUT=1),
+            available=ResourceVector.of(LUT=100),  # no URAM on this device
+        )
+        assert ResourceKind.URAM not in rep.reported_kinds()
+        with pytest.raises(KeyError):
+            rep.percent("URAM")
+
+    def test_overflows(self):
+        rep = UtilizationReport(
+            used=ResourceVector.of(BRAM=200),
+            available=ResourceVector.of(BRAM=135, LUT=41000),
+        )
+        assert rep.overflows() == [ResourceKind.BRAM]
+
+
+class TestCatalog:
+    def test_paper_parts_present(self):
+        k7 = get_device("XC7K70T")
+        zu = get_device("ZU3EG")
+        # Figures quoted in the paper's Section IV-D:
+        assert k7.resources.get("LUT") == 41000
+        assert k7.resources.get("FF") == 82000
+        assert zu.resources.get("LUT") == 70560
+        assert zu.resources.get("FF") == 141120
+
+    def test_alias_and_case_insensitive(self):
+        assert get_device("xc7k70tfbv676-1").part == "XC7K70TFBV676-1"
+        assert get_device("kintex7-70t").part == "XC7K70TFBV676-1"
+
+    def test_unknown_raises_with_catalog(self):
+        with pytest.raises(UnknownDeviceError, match="known parts"):
+            get_device("XC9KNOPE")
+
+    def test_process_nodes(self):
+        assert get_device("XC7K70T").process == "28nm"
+        assert get_device("ZU3EG").process == "16nm"
+
+    def test_list_devices_unique_sorted(self):
+        parts = [d.part for d in list_devices()]
+        assert parts == sorted(parts)
+        assert len(parts) == len(set(parts))
+
+    def test_register_collision_rejected(self):
+        existing = get_device("ZU3EG")
+        clone = Device(
+            part="TOTALLY-NEW",
+            family=existing.family,
+            process="16nm",
+            speed_grade=1,
+            resources=existing.resources,
+            grid_cols=10,
+            grid_rows=10,
+            aliases=("ZU3EG",),  # collides with existing alias
+        )
+        with pytest.raises(ValueError, match="collision"):
+            register_device(clone)
+
+
+class TestTimingModels:
+    def test_process_ordering(self):
+        """Newer process → uniformly faster primitives."""
+        t28 = timing_model_for("28nm")
+        t16 = timing_model_for("16nm")
+        for attr in ("lut_delay_ns", "net_delay_ns", "ff_setup_ns",
+                     "ff_clk_to_q_ns", "bram_access_ns", "dsp_delay_ns"):
+            assert getattr(t16, attr) < getattr(t28, attr)
+
+    def test_technology_gap_matches_paper(self):
+        """The paper observes ~550 vs ~190 MHz for near-identical configs —
+        a ~2.9x gap; the per-stage models must support a 2.4-3.4x ratio."""
+        t28 = timing_model_for("28nm")
+        t16 = timing_model_for("16nm")
+
+        def path(t):  # 5 LUT levels + FF overheads + one BRAM access
+            return (
+                5 * (t.lut_delay_ns + 0.55 * t.net_delay_ns)
+                + t.min_register_period_ns()
+                + t.bram_access_ns
+            )
+
+        ratio = path(t28) / path(t16)
+        assert 2.2 < ratio < 3.6
+
+    def test_unknown_process(self):
+        with pytest.raises(KeyError, match="known"):
+            timing_model_for("7nm")
+
+    def test_logic_path_delay(self):
+        t = timing_model_for("28nm")
+        assert t.logic_path_delay_ns(0, 0) == 0.0
+        assert t.logic_path_delay_ns(2, 1) == pytest.approx(
+            2 * t.lut_delay_ns + t.net_delay_ns
+        )
+        with pytest.raises(ValueError):
+            t.logic_path_delay_ns(-1, 0)

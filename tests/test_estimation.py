@@ -1,0 +1,257 @@
+"""Tests for the estimation substrate: kernels, dataset, NWM, LOO-CV,
+similarity, and the control model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BandwidthSelectionError, EmptyDatasetError
+from repro.estimation import (
+    ControlModel,
+    Dataset,
+    Decision,
+    NadarayaWatson,
+    adaptive_threshold,
+    gaussian_kernel,
+    loo_bandwidth,
+    loo_mse,
+    similarity_phi,
+)
+from repro.estimation.kernels import epanechnikov_kernel, squared_distances
+
+
+class TestKernels:
+    def test_gaussian_peak_at_zero(self):
+        k = gaussian_kernel(np.array([0.0]), h=1.0)
+        assert k[0] == pytest.approx(1.0 / np.sqrt(2 * np.pi))
+
+    def test_gaussian_decreasing(self):
+        d = np.array([0.0, 1.0, 4.0, 9.0])
+        k = gaussian_kernel(d, h=1.0)
+        assert (np.diff(k) < 0).all()
+
+    def test_bandwidth_widens_kernel(self):
+        d = np.array([4.0])
+        assert gaussian_kernel(d, h=2.0) > gaussian_kernel(d, h=1.0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel(np.array([1.0]), h=0.0)
+
+    def test_epanechnikov_compact_support(self):
+        k = epanechnikov_kernel(np.array([0.5, 2.0]), h=1.0)
+        assert k[0] > 0 and k[1] == 0.0
+
+    def test_squared_distances(self):
+        X = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = squared_distances(np.array([0.0, 0.0]), X)
+        assert d.tolist() == [0.0, 25.0]
+
+
+class TestDataset:
+    def test_add_and_lookup(self):
+        ds = Dataset(n_var=2, metric_names=("LUT", "frequency"))
+        assert ds.add([1, 2], [100.0, 250.0])
+        assert ds.contains([1, 2])
+        assert ds.lookup([1, 2]).tolist() == [100.0, 250.0]
+
+    def test_duplicate_add_is_noop(self):
+        ds = Dataset(n_var=1, metric_names=("m",))
+        assert ds.add([5], [1.0])
+        assert not ds.add([5], [2.0])
+        assert ds.lookup([5]).tolist() == [1.0]
+
+    def test_shape_validation(self):
+        ds = Dataset(n_var=2, metric_names=("m",))
+        with pytest.raises(ValueError):
+            ds.add([1], [1.0])
+        with pytest.raises(ValueError):
+            ds.add([1, 2], [1.0, 2.0])
+
+    def test_empty_queries_raise(self):
+        ds = Dataset(n_var=1, metric_names=("m",))
+        with pytest.raises(EmptyDatasetError):
+            ds.X()
+        with pytest.raises(EmptyDatasetError):
+            ds.nearest_distance([1])
+
+    def test_nearest_distance_orders(self):
+        ds = Dataset(n_var=1, metric_names=("m",))
+        for v in (0, 10, 25):
+            ds.add([v], [0.0])
+        assert ds.nearest_distance([9], n=1) == pytest.approx(1.0)
+        assert ds.nearest_distance([9], n=2) == pytest.approx(9.0)
+        assert ds.nearest_distance([9], n=3) == pytest.approx(16.0)
+
+    def test_pairwise_nearest(self):
+        ds = Dataset(n_var=1, metric_names=("m",))
+        for v in (0, 1, 10):
+            ds.add([v], [0.0])
+        nn = ds.pairwise_nearest_distances()
+        assert sorted(nn.tolist()) == [1.0, 1.0, 9.0]
+
+
+class TestNadarayaWatson:
+    def test_interpolates_smooth_function(self):
+        rng = np.random.default_rng(0)
+        X = np.linspace(0, 10, 40).reshape(-1, 1)
+        Y = (np.sin(X) + 3).reshape(-1, 1)
+        model = NadarayaWatson(bandwidth=0.5).fit(X, Y)
+        x = np.array([5.3])
+        assert model.predict(x)[0] == pytest.approx(np.sin(5.3) + 3, abs=0.1)
+
+    def test_exact_at_training_point_small_h(self):
+        X = np.array([[0.0], [5.0], [10.0]])
+        Y = np.array([[1.0], [2.0], [3.0]])
+        model = NadarayaWatson(bandwidth=0.05).fit(X, Y)
+        assert model.predict(np.array([5.0]))[0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_huge_bandwidth_approaches_mean(self):
+        X = np.array([[0.0], [10.0]])
+        Y = np.array([[0.0], [10.0]])
+        model = NadarayaWatson(bandwidth=1e6).fit(X, Y)
+        assert model.predict(np.array([0.0]))[0] == pytest.approx(5.0, abs=0.01)
+
+    def test_underflow_falls_back_to_nearest(self):
+        X = np.array([[0.0], [1000.0]])
+        Y = np.array([[1.0], [2.0]])
+        model = NadarayaWatson(bandwidth=1e-3).fit(X, Y)
+        assert model.predict(np.array([990.0]))[0] == pytest.approx(2.0)
+
+    def test_multi_output_shares_weights(self):
+        X = np.array([[0.0], [10.0]])
+        Y = np.array([[0.0, 100.0], [10.0, 0.0]])
+        model = NadarayaWatson(bandwidth=5.0).fit(X, Y)
+        y = model.predict(np.array([5.0]))
+        assert y[0] == pytest.approx(5.0, abs=0.5)
+        assert y[1] == pytest.approx(50.0, abs=5.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            NadarayaWatson().predict(np.array([1.0]))
+
+    def test_constant_column_normalization(self):
+        X = np.array([[0.0], [1.0]])
+        Y = np.array([[7.0], [7.0]])
+        model = NadarayaWatson(bandwidth=1.0).fit(X, Y)
+        assert model.predict(np.array([0.5]))[0] == pytest.approx(7.0)
+
+
+class TestLooCv:
+    def _data(self, n=30, noise=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0, 10, (n, 1))
+        Y = np.sin(X) + noise * rng.standard_normal((n, 1))
+        return X, (Y - Y.min()) / (Y.max() - Y.min())
+
+    def test_selects_reasonable_bandwidth(self):
+        X, Y = self._data()
+        h, mse = loo_bandwidth(X, Y)
+        assert 0.01 < h < 10
+        assert mse < 0.05
+
+    def test_needs_two_points(self):
+        with pytest.raises(BandwidthSelectionError):
+            loo_mse(np.array([[1.0]]), np.array([[1.0]]), 1.0)
+
+    def test_loo_mse_finite_and_positive(self):
+        X, Y = self._data(noise=0.1)
+        assert 0 <= loo_mse(X, Y, 0.5) < 1.0
+
+    def test_oversmoothing_hurts(self):
+        X, Y = self._data()
+        assert loo_mse(X, Y, 100.0) > loo_mse(X, Y, 0.5)
+
+    def test_explicit_grid(self):
+        X, Y = self._data()
+        h, _ = loo_bandwidth(X, Y, grid=np.array([0.5]))
+        assert h == 0.5
+
+
+class TestSimilarity:
+    def _dataset(self):
+        ds = Dataset(n_var=2, metric_names=("m",))
+        ds.add([0, 0], [0.0])
+        ds.add([4, 0], [0.0])
+        ds.add([8, 0], [0.0])
+        return ds
+
+    def test_phi_is_rms_distance(self):
+        ds = self._dataset()
+        # nearest to (1,0) is (0,0): euclid 1, m=2 → phi = 1/sqrt(2)
+        assert similarity_phi([1, 0], ds) == pytest.approx(1 / np.sqrt(2))
+
+    def test_adaptive_threshold_is_mean_nn(self):
+        ds = self._dataset()
+        # nearest-neighbour distances: 4, 4, 4 → phi = 4/sqrt(2)
+        assert adaptive_threshold(ds) == pytest.approx(4 / np.sqrt(2))
+
+    def test_threshold_empty_dataset(self):
+        ds = Dataset(n_var=2, metric_names=("m",))
+        assert adaptive_threshold(ds) == 0.0
+        ds.add([1, 1], [0.0])
+        assert adaptive_threshold(ds) == 0.0  # single point: no pairs
+
+
+class TestControlModel:
+    def _control(self, points=None):
+        ds = Dataset(n_var=1, metric_names=("LUT", "frequency"))
+        cm = ControlModel(dataset=ds, min_points_to_estimate=3)
+        for x, y in points or []:
+            cm.record(np.array([x], dtype=float), np.array(y, dtype=float))
+        return cm
+
+    def test_three_cases(self):
+        cm = self._control([(0, [10, 100]), (10, [20, 90]), (20, [30, 80]),
+                            (30, [40, 70])])
+        assert cm.decide(np.array([10.0])) == Decision.CACHED
+        # (11) is within Γ (mean nn distance = 10) of the dataset.
+        assert cm.decide(np.array([11.0])) == Decision.ESTIMATE
+        # (1000) is far outside.
+        assert cm.decide(np.array([1000.0])) == Decision.EVALUATE
+
+    def test_no_estimates_before_minimum(self):
+        cm = self._control([(0, [1, 1]), (10, [2, 2])])
+        assert cm.decide(np.array([1.0])) == Decision.EVALUATE
+
+    def test_record_updates_threshold_and_bandwidth(self):
+        cm = self._control([(0, [1, 1]), (100, [2, 2])])
+        gamma_before = cm.threshold
+        cm.record(np.array([50.0]), np.array([1.5, 1.5]))
+        assert cm.threshold != gamma_before
+        assert cm.model.fitted
+
+    def test_estimate_close_to_truth_on_smooth_surface(self):
+        pts = [(x, [x * 2.0, 300 - x]) for x in range(0, 100, 5)]
+        cm = self._control(pts)
+        est = cm.estimate(np.array([52.0]))
+        assert est[0] == pytest.approx(104.0, rel=0.1)
+        assert est[1] == pytest.approx(248.0, rel=0.1)
+
+    def test_cached_requires_membership(self):
+        cm = self._control([(0, [1, 1])])
+        with pytest.raises(KeyError):
+            cm.cached(np.array([5.0]))
+
+    def test_counters(self):
+        cm = self._control([(0, [1, 1])])
+        cm.note(Decision.ESTIMATE)
+        cm.note(Decision.ESTIMATE)
+        cm.note(Decision.EVALUATE)
+        stats = cm.stats()
+        assert stats["estimated"] == 2 and stats["evaluated"] == 1
+
+    def test_pretrain_bulk_load(self):
+        cm = self._control()
+        X = np.arange(10).reshape(-1, 1).astype(float)
+        Y = np.stack([X[:, 0] * 2, 100 - X[:, 0]], axis=1)
+        cm.pretrain(X, Y)
+        assert len(cm.dataset) == 10
+        assert cm.model.fitted
+        assert cm.threshold > 0
+
+    def test_degenerate_identical_points_survive(self):
+        ds = Dataset(n_var=1, metric_names=("m",))
+        cm = ControlModel(dataset=ds)
+        cm.record(np.array([1.0]), np.array([5.0]))
+        cm.record(np.array([1.0]), np.array([6.0]))  # duplicate: no-op
+        assert len(ds) == 1

@@ -1,0 +1,200 @@
+"""Failure injection: malformed inputs and broken invariants across the stack.
+
+Every subsystem gets fed inputs a hostile or careless user could supply;
+the framework must fail *loudly and specifically* (typed exceptions with
+actionable messages), never silently mis-evaluate a design point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DseSession, MetricSpec, ParameterSpace
+from repro.core.evaluate import PointEvaluator
+from repro.core.spaces import IntRange
+from repro.designs import get_design
+from repro.errors import (
+    ElaborationError,
+    FlowError,
+    LexError,
+    ParseError,
+    ReproError,
+    TclError,
+    UnknownDeviceError,
+)
+from repro.flow import VivadoSim
+from repro.hdl.frontend import parse_source
+from repro.tcl import TclInterp
+
+
+class TestHdlFailures:
+    @pytest.mark.parametrize("src", [
+        "entity broken is port (a : in std_logic;",   # unterminated port list
+        "entity e is generic (N : );  end e;",        # missing type
+        'entity e is port (v : in std_logic_vector(7 downto ); end e;',
+    ])
+    def test_vhdl_garbage_raises_parse_error(self, src):
+        with pytest.raises((ParseError, LexError)):
+            parse_source(src, "vhdl")
+
+    @pytest.mark.parametrize("src", [
+        "module m(input wire [7: d); endmodule",      # broken range
+        "module m #(parameter = 3)(input wire c); endmodule",
+        "module unclosed(input wire c);",
+    ])
+    def test_verilog_garbage_raises_parse_error(self, src):
+        with pytest.raises((ParseError, LexError)):
+            parse_source(src, "verilog")
+
+    def test_vhdl_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            parse_source('entity e is generic (S : string := "oops', "vhdl")
+
+    def test_all_framework_errors_share_base(self):
+        """Callers can catch ReproError at the boundary."""
+        import repro.errors as E
+
+        for name in dir(E):
+            obj = getattr(E, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj in (Exception,):
+                    continue
+                assert issubclass(obj, ReproError), name
+
+
+class TestFlowFailures:
+    def test_unknown_part(self):
+        with pytest.raises(UnknownDeviceError, match="known parts"):
+            VivadoSim(part="XC99NOPE")
+
+    def test_capacity_overflow_message_names_resource(self, tirex_design):
+        sim = VivadoSim(part="XC7A35T", seed=0)
+        sim.read_hdl(tirex_design.source(), tirex_design.language)
+        sim.create_clock(1.0)
+        with pytest.raises(ReproError) as err:
+            sim.run(tirex_design.top, {"NCLUSTER": 8, "INSTR_MEM_SIZE": 64})
+        message = str(err.value)
+        assert "BRAM" in message or "LUT" in message
+        assert "XC7A35T" in message or "provides" in message
+
+    def test_unknown_parameter_override(self, cqm_design):
+        sim = VivadoSim(part="XC7K70T", seed=0)
+        sim.read_hdl(cqm_design.source(), cqm_design.language)
+        with pytest.raises(ElaborationError, match="no parameter"):
+            sim.run(cqm_design.top, {"TURBO": 1})
+
+    def test_bad_clock_period(self, k7_sim):
+        with pytest.raises(FlowError):
+            k7_sim.create_clock(-1.0)
+
+
+class TestTclFailures:
+    def test_deep_garbage_script(self, cqm_design):
+        from repro.tcl import VivadoTclSession, bind_vivado_commands
+
+        sim = VivadoSim(part="XC7K70T", seed=0)
+        session = VivadoTclSession(sim=sim)
+        interp = TclInterp()
+        bind_vivado_commands(interp, session)
+        with pytest.raises(TclError):
+            interp.eval("synth_design")  # missing -top
+
+    @pytest.mark.parametrize("script", [
+        "set",                      # wrong arity — reads a missing var name
+        "expr 1 +",                 # truncated expression
+        'puts "unterminated',       # unbalanced quote
+        "set x {unbalanced",        # unbalanced brace
+        "frob_the_widgets now",     # unknown command
+    ])
+    def test_interpreter_rejects_malformed_scripts(self, script):
+        with pytest.raises(TclError):
+            TclInterp().eval(script)
+
+    def test_error_carries_line_number(self):
+        try:
+            TclInterp().eval("set a 1\nbogus_command")
+        except TclError as exc:
+            assert "bogus_command" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected TclError")
+
+
+class TestDseFailureContainment:
+    def test_session_survives_partially_infeasible_space(self, tirex_design):
+        """A space where many points overflow the small Artix-7 must not
+        crash the exploration; infeasible points are penalized instead."""
+        sess = DseSession(
+            design=tirex_design, part="XC7A35T", use_model=False, seed=3
+        )
+        res = sess.explore(generations=4, population=10)
+        assert res.stats["infeasible"] > 0
+        assert len(res.pareto) >= 1
+        # Penalized points never make the front.
+        for p in res.pareto:
+            assert p.metrics["LUT"] < 1e11
+
+    def test_evaluator_with_impossible_period(self, cqm_design):
+        """A 1 ps target period: WNS hugely negative but Fmax still finite
+        and positive — Eq. (1) degrades gracefully."""
+        ev = PointEvaluator(
+            source=cqm_design.source(), language=cqm_design.language,
+            top=cqm_design.top, target_period_ns=0.001,
+        )
+        point = ev.evaluate({})
+        assert 0 < point.metrics["frequency"] < 1000
+
+    def test_one_point_space(self, cqm_design):
+        space = ParameterSpace([IntRange("OP_TABLE_SIZE", 16, 16)])
+        sess = DseSession(
+            design=cqm_design, space=space, part="XC7K70T",
+            use_model=False, seed=0,
+        )
+        res = sess.explore(generations=2, population=4)
+        assert res.archive_size == 1
+        assert len(res.pareto) == 1
+
+    def test_metric_name_typo_fails_fast(self, cqm_design):
+        with pytest.raises(ValueError):
+            DseSession(
+                design=cqm_design,
+                metrics=[MetricSpec.minimize("LUTS")],  # typo: LUTS
+            )
+
+
+class TestEstimationFailures:
+    def test_control_model_never_estimates_from_thin_data(self):
+        from repro.estimation import ControlModel, Dataset, Decision
+
+        cm = ControlModel(
+            dataset=Dataset(n_var=1, metric_names=("m",)),
+            min_points_to_estimate=5,
+        )
+        cm.record(np.array([1.0]), np.array([1.0]))
+        cm.record(np.array([2.0]), np.array([2.0]))
+        # Two points: even a nearby (non-member) query must go to the tool.
+        assert cm.decide(np.array([3.0])) == Decision.EVALUATE
+
+    def test_nwm_rejects_shape_mismatch(self):
+        from repro.estimation import NadarayaWatson
+
+        with pytest.raises(ValueError):
+            NadarayaWatson().fit(np.zeros((3, 1)), np.zeros((4, 1)))
+
+    def test_dataset_rejects_mixed_dimensionality(self):
+        from repro.estimation import Dataset
+
+        ds = Dataset(n_var=2, metric_names=("m",))
+        with pytest.raises(ValueError):
+            ds.add([1.0], [1.0])
+
+
+class TestBoxingFailures:
+    def test_box_of_clockless_module_fails_with_guidance(self):
+        from repro.boxing import build_box
+        from repro.errors import NoClockPortError
+
+        m = parse_source(
+            "module dataflow(input wire a, output wire b); endmodule",
+            "verilog",
+        )[0]
+        with pytest.raises(NoClockPortError, match="clock_port"):
+            build_box(m, {})

@@ -1,0 +1,133 @@
+"""Tests for the vectorless power estimator and its reporting."""
+
+import pytest
+
+from repro.core import DseSession, MetricSpec
+from repro.designs import get_design
+from repro.devices import ResourceVector, get_device
+from repro.errors import FlowError
+from repro.flow.power import (
+    estimate_power,
+    parse_power_report,
+    render_power_report,
+)
+
+
+def sample_usage():
+    return ResourceVector.of(LUT=1000, FF=1500, BRAM=4, DSP=2)
+
+
+class TestEstimate:
+    def test_components_positive(self):
+        p = estimate_power(sample_usage(), get_device("XC7K70T"), 200.0)
+        assert p.static_mw > 0
+        assert p.clocks_mw > 0
+        assert p.logic_mw > 0
+        assert p.bram_mw > 0
+        assert p.dsp_mw > 0
+        assert p.total_mw == pytest.approx(p.static_mw + p.dynamic_mw)
+
+    def test_magnitude_plausible(self):
+        """~1k LUT at 200 MHz on 28 nm: tens of mW, not watts."""
+        p = estimate_power(sample_usage(), get_device("XC7K70T"), 200.0)
+        assert 20 < p.total_mw < 300
+
+    def test_dynamic_scales_with_frequency(self):
+        slow = estimate_power(sample_usage(), get_device("XC7K70T"), 100.0)
+        fast = estimate_power(sample_usage(), get_device("XC7K70T"), 200.0)
+        assert fast.dynamic_mw == pytest.approx(2 * slow.dynamic_mw)
+        assert fast.static_mw == pytest.approx(slow.static_mw)
+
+    def test_toggle_rate_scales_logic_only(self):
+        base = estimate_power(sample_usage(), get_device("XC7K70T"), 200.0)
+        hot = estimate_power(
+            sample_usage(), get_device("XC7K70T"), 200.0, toggle_rate=0.25
+        )
+        assert hot.logic_mw == pytest.approx(2 * base.logic_mw)
+        assert hot.clocks_mw == pytest.approx(base.clocks_mw)
+
+    def test_process_advantage(self):
+        """Same design, same clock: 16 nm consumes less in every category."""
+        k7 = estimate_power(sample_usage(), get_device("XC7K70T"), 200.0)
+        zu = estimate_power(sample_usage(), get_device("ZU3EG"), 200.0)
+        assert zu.clocks_mw < k7.clocks_mw
+        assert zu.logic_mw < k7.logic_mw
+        assert zu.bram_mw < k7.bram_mw
+
+    def test_routing_factor_penalizes_logic(self):
+        base = estimate_power(sample_usage(), get_device("XC7K70T"), 200.0)
+        congested = estimate_power(
+            sample_usage(), get_device("XC7K70T"), 200.0, routing_factor=1.5
+        )
+        assert congested.logic_mw == pytest.approx(1.5 * base.logic_mw)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(FlowError):
+            estimate_power(sample_usage(), get_device("XC7K70T"), 0.0)
+        with pytest.raises(FlowError):
+            estimate_power(
+                sample_usage(), get_device("XC7K70T"), 100.0, toggle_rate=0.0
+            )
+
+
+class TestReportRoundtrip:
+    def test_roundtrip(self):
+        p = estimate_power(sample_usage(), get_device("XC7K70T"), 187.5)
+        text = render_power_report(p, design="dut", part="XC7K70T")
+        parsed = parse_power_report(text)
+        assert parsed.total_mw == pytest.approx(p.total_mw, abs=0.01)
+        assert parsed.frequency_mhz == pytest.approx(187.5)
+        assert parsed.toggle_rate == pytest.approx(0.125)
+
+    def test_parse_garbage(self):
+        with pytest.raises(FlowError, match="malformed"):
+            parse_power_report("Total: lots")
+
+
+class TestTclSurface:
+    def test_report_power_command(self, cqm_design):
+        from repro.flow import VivadoSim
+        from repro.tcl import TclInterp, VivadoTclSession, bind_vivado_commands
+
+        sim = VivadoSim(part="XC7K70T", seed=2)
+        session = VivadoTclSession(sim=sim)
+        session.stage_source("dut.v", cqm_design.source(), cqm_design.language)
+        interp = TclInterp()
+        bind_vivado_commands(interp, session)
+        interp.eval(
+            "read_verilog dut.v\ncreate_clock -period 1.0\n"
+            "synth_design -top cpl_queue_manager\n"
+            "place_design\nroute_design\n"
+            "report_power -file p.rpt -toggle_rate 0.25"
+        )
+        parsed = parse_power_report(interp.files["p.rpt"])
+        assert parsed.toggle_rate == pytest.approx(0.25)
+        assert parsed.total_mw > 0
+
+
+class TestPowerMetric:
+    def test_power_in_dse_objectives(self, cqm_design):
+        sess = DseSession(
+            design=cqm_design, part="XC7K70T",
+            metrics=[MetricSpec.minimize("power"),
+                     MetricSpec.maximize("frequency")],
+            use_model=False, seed=4,
+        )
+        res = sess.explore(generations=3, population=8)
+        assert all(p.metrics["power"] > 0 for p in res.pareto)
+        # Power and frequency genuinely conflict: the front has >1 point.
+        assert len(res.pareto) >= 1
+
+    def test_power_grows_with_design_size(self, cqm_design):
+        from repro.core.evaluate import PointEvaluator
+
+        ev = PointEvaluator(
+            source=cqm_design.source(), language=cqm_design.language,
+            top=cqm_design.top, part="XC7K70T",
+            metrics=[MetricSpec.minimize("power")],
+        )
+        small = ev.evaluate({"OP_TABLE_SIZE": 8, "PIPELINE": 2})
+        # Same pipeline depth: larger op table burns more power at a similar
+        # clock.
+        big = ev.evaluate({"OP_TABLE_SIZE": 40, "PIPELINE": 2})
+        assert big.metrics["power"] > small.metrics["power"]

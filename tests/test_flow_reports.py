@@ -1,0 +1,79 @@
+"""Tests for report rendering/parsing round trips."""
+
+import pytest
+
+from repro.devices import ResourceVector, UtilizationReport
+from repro.errors import FlowError
+from repro.flow.reports import (
+    parse_timing_report,
+    parse_utilization_report,
+    render_timing_report,
+    render_utilization_report,
+)
+
+
+def sample_report() -> UtilizationReport:
+    return UtilizationReport(
+        used=ResourceVector.of(LUT=1234, FF=567, BRAM=8, IO=1, BUFG=1),
+        available=ResourceVector.of(
+            LUT=41000, FF=82000, BRAM=135, DSP=240, IO=300, BUFG=32
+        ),
+    )
+
+
+class TestUtilizationRoundtrip:
+    def test_roundtrip_preserves_counts(self):
+        text = render_utilization_report(sample_report(), "dut", "XC7K70T")
+        parsed = parse_utilization_report(text)
+        assert parsed.used.get("LUT") == 1234
+        assert parsed.used.get("FF") == 567
+        assert parsed.used.get("BRAM") == 8
+        assert parsed.available.get("DSP") == 240
+
+    def test_zero_rows_present_for_available_kinds(self):
+        text = render_utilization_report(sample_report(), "dut", "XC7K70T")
+        assert "| DSP" in text  # available but unused → still a row
+
+    def test_absent_kinds_not_rendered(self):
+        text = render_utilization_report(sample_report(), "dut", "XC7K70T")
+        assert "URAM" not in text
+
+    def test_header_contains_design_and_part(self):
+        text = render_utilization_report(sample_report(), "my_design", "PARTX")
+        assert "my_design" in text and "PARTX" in text
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(FlowError, match="no utilization rows"):
+            parse_utilization_report("nothing useful here")
+
+    def test_unknown_site_rows_tolerated(self):
+        text = render_utilization_report(sample_report(), "d", "p")
+        text += "\n| WEIRD | 3 | 10 | 30.00 |"
+        parsed = parse_utilization_report(text)
+        assert parsed.used.get("LUT") == 1234
+
+
+class TestTimingRoundtrip:
+    def test_roundtrip(self):
+        text = render_timing_report(
+            wns_ns=-4.123,
+            target_period_ns=1.0,
+            critical_delay_ns=5.123,
+            critical_path=("u_a", "u_b"),
+            arcs_analyzed=17,
+        )
+        parsed = parse_timing_report(text)
+        assert parsed["wns_ns"] == pytest.approx(-4.123)
+        assert parsed["requirement_ns"] == pytest.approx(1.0)
+        assert parsed["data_path_ns"] == pytest.approx(5.123)
+        assert parsed["status"] == "VIOLATED"
+        assert parsed["paths"] == 17
+        assert parsed["critical_path"] == ("u_a", "u_b")
+
+    def test_met_status(self):
+        text = render_timing_report(0.5, 5.0, 4.5, ("x",), 1)
+        assert parse_timing_report(text)["status"] == "MET"
+
+    def test_missing_fields_raise(self):
+        with pytest.raises(FlowError, match="missing fields"):
+            parse_timing_report("Status       : MET")

@@ -1,0 +1,163 @@
+"""Tests for the VivadoSim facade (VEDA)."""
+
+import pytest
+
+from repro.devices import ResourceKind
+from repro.directives import DirectiveSet, ImplDirective, SynthDirective
+from repro.errors import FlowError, ModuleNotFoundInSource
+from repro.flow import FlowStep, VivadoSim
+
+
+class TestProjectCommands:
+    def test_set_part(self, k7_sim):
+        dev = k7_sim.set_part("ZU3EG")
+        assert dev.family == "Zynq UltraScale+"
+
+    def test_create_clock_validates(self, k7_sim):
+        with pytest.raises(FlowError):
+            k7_sim.create_clock(0.0)
+
+    def test_read_hdl_returns_names(self, k7_sim):
+        names = k7_sim.read_hdl("module a(input wire c); endmodule", "verilog")
+        assert names == ["a"]
+
+    def test_unknown_top(self, k7_sim):
+        with pytest.raises(ModuleNotFoundInSource):
+            k7_sim.find_top("ghost")
+
+    def test_read_file(self, tmp_path):
+        path = tmp_path / "m.v"
+        path.write_text("module filemod(input wire c); endmodule")
+        sim = VivadoSim()
+        assert sim.read_file(str(path)) == ["filemod"]
+
+
+class TestRunSemantics:
+    def test_deterministic_rerun(self, cqm_design):
+        results = []
+        for _ in range(2):
+            sim = VivadoSim(part="XC7K70T", seed=9)
+            sim.read_hdl(cqm_design.source(), cqm_design.language)
+            sim.create_clock(1.0)
+            r = sim.run(cqm_design.top, {"OP_TABLE_SIZE": 16})
+            results.append((r.fmax_mhz, r.metric("LUT"), r.metric("FF")))
+        assert results[0] == results[1]
+
+    def test_cache_returns_same_object(self, loaded_cqm_sim):
+        r1 = loaded_cqm_sim.run("cpl_queue_manager", {"OP_TABLE_SIZE": 12})
+        runs_after_first = loaded_cqm_sim.runs
+        r2 = loaded_cqm_sim.run("cpl_queue_manager", {"OP_TABLE_SIZE": 12})
+        assert r2 is r1
+        assert loaded_cqm_sim.runs == runs_after_first
+        assert loaded_cqm_sim.last_run_seconds == 0.0
+
+    def test_different_params_different_cache_entries(self, loaded_cqm_sim):
+        r1 = loaded_cqm_sim.run("cpl_queue_manager", {"OP_TABLE_SIZE": 12})
+        r2 = loaded_cqm_sim.run("cpl_queue_manager", {"OP_TABLE_SIZE": 13})
+        assert r1 is not r2
+
+    def test_seed_changes_qor(self, cqm_design):
+        fmaxes = set()
+        for seed in (1, 2, 3):
+            sim = VivadoSim(part="XC7K70T", seed=seed)
+            sim.read_hdl(cqm_design.source(), cqm_design.language)
+            sim.create_clock(1.0)
+            fmaxes.add(sim.run(cqm_design.top, {}).fmax_mhz)
+        assert len(fmaxes) > 1
+
+    def test_noise_disabled_is_pure_model(self, cqm_design):
+        vals = set()
+        for seed in (1, 2):
+            sim = VivadoSim(part="XC7K70T", seed=seed, noise=False)
+            sim.read_hdl(cqm_design.source(), cqm_design.language)
+            sim.create_clock(1.0)
+            vals.add(round(sim.run(cqm_design.top, {}).metric("LUT")))
+        assert len(vals) == 1
+
+    def test_synthesis_step_faster_than_impl(self, loaded_cqm_sim):
+        rs = loaded_cqm_sim.run(
+            "cpl_queue_manager", {"OP_TABLE_SIZE": 20}, step=FlowStep.SYNTHESIS
+        )
+        ri = loaded_cqm_sim.run(
+            "cpl_queue_manager", {"OP_TABLE_SIZE": 20}, step=FlowStep.IMPLEMENTATION
+        )
+        assert rs.simulated_seconds < ri.simulated_seconds
+
+    def test_simulated_time_accounted(self, loaded_cqm_sim):
+        before = loaded_cqm_sim.simulated_seconds
+        r = loaded_cqm_sim.run("cpl_queue_manager", {"OP_TABLE_SIZE": 30})
+        assert loaded_cqm_sim.simulated_seconds == pytest.approx(
+            before + r.simulated_seconds
+        )
+
+    def test_report_text_consistent_with_metrics(self, loaded_cqm_sim):
+        from repro.flow.reports import parse_timing_report, parse_utilization_report
+
+        r = loaded_cqm_sim.run("cpl_queue_manager", {"OP_TABLE_SIZE": 10})
+        parsed_u = parse_utilization_report(r.utilization_report_text)
+        parsed_t = parse_timing_report(r.timing_report_text)
+        assert parsed_u.used.get("LUT") == r.metric("LUT")
+        assert parsed_t["wns_ns"] == pytest.approx(r.wns_ns, abs=1e-3)
+
+    def test_metric_accessor(self, loaded_cqm_sim):
+        r = loaded_cqm_sim.run("cpl_queue_manager", {})
+        assert r.metric("frequency") == r.fmax_mhz
+        assert r.metric("lut") >= 0
+        with pytest.raises(ValueError):
+            r.metric("bogus")
+
+
+class TestDirectiveEffects:
+    def test_area_directive_saves_luts(self, cqm_design):
+        def run_with(synth_dir):
+            sim = VivadoSim(part="XC7K70T", seed=4, noise=False)
+            sim.read_hdl(cqm_design.source(), cqm_design.language)
+            sim.create_clock(1.0)
+            return sim.run(
+                cqm_design.top,
+                {"OP_TABLE_SIZE": 32},
+                directives=DirectiveSet(synth=synth_dir),
+            )
+
+        default = run_with(SynthDirective.DEFAULT)
+        area = run_with(SynthDirective.AREA_OPTIMIZED_HIGH)
+        assert area.metric("LUT") < default.metric("LUT")
+
+    def test_explore_directive_improves_timing(self, cqm_design):
+        def run_with(impl_dir):
+            sim = VivadoSim(part="XC7K70T", seed=4, noise=False)
+            sim.read_hdl(cqm_design.source(), cqm_design.language)
+            sim.create_clock(1.0)
+            return sim.run(
+                cqm_design.top, {}, directives=DirectiveSet(impl=impl_dir)
+            )
+
+        default = run_with(ImplDirective.DEFAULT)
+        explore = run_with(ImplDirective.EXPLORE)
+        assert explore.fmax_mhz > default.fmax_mhz
+        assert explore.simulated_seconds > default.simulated_seconds
+
+
+class TestTechnologyImpact:
+    def test_same_design_faster_on_16nm(self, tirex_design):
+        def run_on(part):
+            sim = VivadoSim(part=part, seed=4, noise=False)
+            sim.read_hdl(tirex_design.source(), tirex_design.language)
+            sim.create_clock(1.0)
+            return sim.run(tirex_design.top, {"NCLUSTER": 1})
+
+        k7 = run_on("XC7K70T")
+        zu = run_on("ZU3EG")
+        # The paper's headline observation: ~550 vs ~190 MHz.
+        assert zu.fmax_mhz > 2.0 * k7.fmax_mhz
+
+    def test_utilization_overflow_raises(self, tirex_design):
+        sim = VivadoSim(part="XC7A35T", seed=0)
+        sim.read_hdl(tirex_design.source(), tirex_design.language)
+        sim.create_clock(1.0)
+        with pytest.raises(Exception) as err:
+            sim.run(
+                tirex_design.top,
+                {"NCLUSTER": 8, "INSTR_MEM_SIZE": 64, "DATA_MEM_SIZE": 64},
+            )
+        assert "BRAM" in str(err.value) or "LUT" in str(err.value)

@@ -1,0 +1,107 @@
+"""Tests for the shared constant-expression AST and evaluator."""
+
+import pytest
+
+from repro.hdl import expr as E
+
+
+class TestEvaluate:
+    def test_arithmetic(self):
+        e = E.BinOp("+", E.Num(2), E.BinOp("*", E.Num(3), E.Num(4)))
+        assert E.evaluate(e) == 14
+
+    def test_power(self):
+        assert E.evaluate(E.BinOp("**", E.Num(2), E.Num(10))) == 1024
+
+    def test_division_truncates_toward_zero(self):
+        assert E.evaluate(E.BinOp("/", E.Num(-7), E.Num(2))) == -3
+
+    def test_mod_and_rem(self):
+        assert E.evaluate(E.BinOp("mod", E.Num(-7), E.Num(3))) == 2   # VHDL mod
+        assert E.evaluate(E.BinOp("rem", E.Num(-7), E.Num(3))) == -1  # VHDL rem
+
+    def test_shifts(self):
+        assert E.evaluate(E.BinOp("<<", E.Num(1), E.Num(5))) == 32
+        assert E.evaluate(E.BinOp(">>", E.Num(64), E.Num(3))) == 8
+
+    def test_name_lookup_case_insensitive(self):
+        e = E.BinOp("-", E.Name("Width"), E.Num(1))
+        assert E.evaluate(e, {"WIDTH": 8}) == 7
+
+    def test_unbound_name_raises(self):
+        with pytest.raises(E.EvalError, match="unbound"):
+            E.evaluate(E.Name("MISSING"))
+
+    def test_clog2_variants(self):
+        for fn in ("$clog2", "clog2", "log2ceil"):
+            assert E.evaluate(E.Call(fn, (E.Num(8),))) == 3
+            assert E.evaluate(E.Call(fn, (E.Num(9),))) == 4
+
+    def test_clog2_edge_cases(self):
+        assert E.evaluate(E.Call("clog2", (E.Num(1),))) == 0
+        assert E.evaluate(E.Call("clog2", (E.Num(2),))) == 1
+        with pytest.raises(E.EvalError):
+            E.evaluate(E.Call("clog2", (E.Num(0),)))
+
+    def test_ternary(self):
+        e = E.Cond(E.BinOp(">", E.Name("D"), E.Num(1)),
+                   E.Call("clog2", (E.Name("D"),)), E.Num(1))
+        assert E.evaluate(e, {"D": 16}) == 4
+        assert E.evaluate(e, {"D": 1}) == 1
+
+    def test_boolean_string_coercion(self):
+        assert E.evaluate(E.StrLit("TRUE")) == 1
+        assert E.evaluate(E.StrLit("false")) == 0
+        with pytest.raises(E.EvalError):
+            E.evaluate(E.StrLit("hello"))
+
+    def test_unary_operators(self):
+        assert E.evaluate(E.UnOp("-", E.Num(5))) == -5
+        assert E.evaluate(E.UnOp("!", E.Num(0))) == 1
+        assert E.evaluate(E.UnOp("~", E.Num(0))) == -1
+        assert E.evaluate(E.UnOp("not", E.Num(3))) == 0
+
+    def test_comparisons_both_dialect_spellings(self):
+        assert E.evaluate(E.BinOp("=", E.Num(3), E.Num(3))) == 1
+        assert E.evaluate(E.BinOp("==", E.Num(3), E.Num(3))) == 1
+        assert E.evaluate(E.BinOp("/=", E.Num(3), E.Num(4))) == 1
+        assert E.evaluate(E.BinOp("!=", E.Num(3), E.Num(3))) == 0
+
+    def test_division_by_zero(self):
+        with pytest.raises(E.EvalError, match="zero"):
+            E.evaluate(E.BinOp("/", E.Num(1), E.Num(0)))
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(E.EvalError):
+            E.evaluate(E.BinOp("**", E.Num(2), E.Num(-1)))
+
+    def test_min_max_functions(self):
+        assert E.evaluate(E.Call("maximum", (E.Num(3), E.Num(9)))) == 9
+        assert E.evaluate(E.Call("min", (E.Num(3), E.Num(9)))) == 3
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(E.EvalError, match="uninterpretable"):
+            E.evaluate(E.Call("mystery", (E.Num(1),)))
+
+
+class TestFreeNames:
+    def test_collects_all_references(self):
+        e = E.BinOp(
+            "+",
+            E.Call("clog2", (E.Name("DEPTH"),)),
+            E.Cond(E.Name("EN"), E.Name("W"), E.Num(0)),
+        )
+        assert E.free_names(e) == {"DEPTH", "EN", "W"}
+
+    def test_literals_have_none(self):
+        assert E.free_names(E.Num(4)) == set()
+
+
+class TestRender:
+    def test_roundtrip_readable(self):
+        e = E.BinOp("-", E.Name("WIDTH"), E.Num(1))
+        assert e.render() == "(WIDTH - 1)"
+
+    def test_call_render(self):
+        e = E.Call("$clog2", (E.Name("DEPTH"),))
+        assert e.render() == "$clog2(DEPTH)"

@@ -1,0 +1,152 @@
+"""Tests for frontend dispatch and the interface lint pass."""
+
+import pytest
+
+from repro.errors import (
+    ModuleNotFoundInSource,
+    UnknownLanguageError,
+    ValidationError,
+)
+from repro.hdl.ast import HdlLanguage
+from repro.hdl.frontend import SourceCollection, detect_language, parse_file, parse_source
+from repro.hdl.validate import Severity, lint_module, validate_module
+
+VHDL = "entity e is port (clk : in std_logic); end e;"
+SV = "module m(input logic clk); endmodule"
+
+
+class TestDetectLanguage:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("a.vhd", HdlLanguage.VHDL),
+            ("a.vhdl", HdlLanguage.VHDL),
+            ("a.v", HdlLanguage.VERILOG),
+            ("a.sv", HdlLanguage.SYSTEMVERILOG),
+            ("a.svh", HdlLanguage.SYSTEMVERILOG),
+        ],
+    )
+    def test_by_extension(self, name, expected):
+        assert detect_language(name) == expected
+
+    def test_content_fallback_vhdl(self):
+        assert detect_language("noext", VHDL) == HdlLanguage.VHDL
+
+    def test_content_fallback_sv(self):
+        assert detect_language("noext", SV) == HdlLanguage.SYSTEMVERILOG
+
+    def test_content_fallback_plain_verilog(self):
+        assert detect_language("x", "module m(a); input a; endmodule") == HdlLanguage.VERILOG
+
+    def test_undetectable_raises(self):
+        with pytest.raises(UnknownLanguageError):
+            detect_language("mystery.txt", "int main() {}")
+
+
+class TestParseFile:
+    def test_reads_and_dispatches(self, tmp_path):
+        path = tmp_path / "e.vhd"
+        path.write_text(VHDL)
+        unit = parse_file(path)
+        assert unit.language == HdlLanguage.VHDL
+        assert unit.module("e").name == "e"
+
+
+class TestSourceCollection:
+    def test_find_module_case_insensitive(self):
+        coll = SourceCollection.from_sources([(SV, "systemverilog")])
+        assert coll.find_module("M").name == "m"
+
+    def test_missing_module_lists_available(self):
+        coll = SourceCollection.from_sources([(SV, "systemverilog")])
+        with pytest.raises(ModuleNotFoundInSource, match="available: m"):
+            coll.find_module("ghost")
+
+    def test_vhdl_library_from_directory(self, tmp_path):
+        libdir = tmp_path / "mylib"
+        libdir.mkdir()
+        f = libdir / "e.vhd"
+        f.write_text(VHDL)
+        coll = SourceCollection()
+        coll.add_file(f, root=tmp_path)
+        assert coll.vhdl_library[str(f)] == "mylib"
+
+    def test_vhdl_library_root_is_work(self, tmp_path):
+        f = tmp_path / "e.vhd"
+        f.write_text(VHDL)
+        coll = SourceCollection()
+        coll.add_file(f, root=tmp_path)
+        assert coll.vhdl_library[str(f)] == "work"
+
+    def test_compile_order_packages_first(self):
+        pkg = "package p; localparam K = 1; endpackage"
+        coll = SourceCollection.from_sources(
+            [(SV, "systemverilog"), (pkg, "systemverilog")]
+        )
+        order = coll.compile_order()
+        assert order[0].modules == ()  # the package file leads
+        assert order[1].modules[0].name == "m"
+
+    def test_languages_summary(self):
+        coll = SourceCollection.from_sources(
+            [(SV, "systemverilog"), (VHDL, "vhdl")]
+        )
+        assert coll.languages() == {HdlLanguage.SYSTEMVERILOG, HdlLanguage.VHDL}
+
+
+class TestLint:
+    def _module(self, src, lang="vhdl"):
+        return parse_source(src, lang)[0]
+
+    def test_clean_module_no_errors(self):
+        m = self._module("entity e is port (clk : in std_logic); end e;")
+        assert all(f.severity != Severity.ERROR for f in lint_module(m))
+
+    def test_duplicate_port_e001(self):
+        m = self._module("entity e is port (a : in std_logic; A : out std_logic); end e;")
+        codes = [f.code for f in lint_module(m)]
+        assert "E001" in codes
+
+    def test_duplicate_parameter_e002(self):
+        m = self._module(
+            "module m #(parameter X = 1, parameter X = 2)(input wire clk); endmodule",
+            "verilog",
+        )
+        assert "E002" in [f.code for f in lint_module(m)]
+
+    def test_port_parameter_collision_e003(self):
+        m = self._module(
+            "module m #(parameter clk = 1)(input wire clk); endmodule", "verilog"
+        )
+        assert "E003" in [f.code for f in lint_module(m)]
+
+    def test_unknown_width_reference_e004(self):
+        m = self._module(
+            "module m (input wire [GHOST-1:0] d, input wire clk); endmodule",
+            "verilog",
+        )
+        assert "E004" in [f.code for f in lint_module(m)]
+
+    def test_no_ports_warning(self):
+        m = self._module("entity e is end e;")
+        assert "W001" in [f.code for f in lint_module(m)]
+
+    def test_no_clock_warning(self):
+        m = self._module("entity e is port (d : in std_logic); end e;")
+        assert "W002" in [f.code for f in lint_module(m)]
+
+    def test_missing_default_warning(self):
+        m = self._module(
+            "entity e is generic (N : natural); port (clk : in std_logic); end e;"
+        )
+        assert "W003" in [f.code for f in lint_module(m)]
+
+    def test_validate_raises_on_error(self):
+        m = self._module("entity e is port (a : in std_logic; a : in std_logic); end e;")
+        with pytest.raises(ValidationError, match="E001"):
+            validate_module(m)
+
+    def test_validate_returns_warnings(self):
+        m = self._module("entity e is port (d : in std_logic); end e;")
+        warnings = validate_module(m)
+        assert any(w.code == "W002" for w in warnings)

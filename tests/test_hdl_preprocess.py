@@ -1,0 +1,163 @@
+"""Tests for the Verilog preprocessor."""
+
+import pytest
+
+from repro.hdl.preprocess import PreprocessorError, preprocess_verilog
+from repro.hdl.verilog_parser import parse_verilog
+
+
+class TestDefine:
+    def test_object_macro_expansion(self):
+        src = "`define WIDTH 8\nmodule m(input wire [`WIDTH-1:0] d); endmodule"
+        out = preprocess_verilog(src)
+        assert "[8-1:0]" in out
+        assert "`define" not in out
+
+    def test_function_macro(self):
+        src = (
+            "`define MAX(a, b) ((a) > (b) ? (a) : (b))\n"
+            "localparam M = `MAX(3, 5);"
+        )
+        out = preprocess_verilog(src)
+        assert "((3) > (5) ? (3) : (5))" in out
+
+    def test_nested_macros(self):
+        src = (
+            "`define BASE 4\n"
+            "`define DOUBLE (`BASE * 2)\n"
+            "wire [`DOUBLE:0] w;"
+        )
+        out = preprocess_verilog(src)
+        assert "(4 * 2)" in out
+
+    def test_recursive_macro_detected(self):
+        src = "`define LOOP `LOOP\nwire w = `LOOP;"
+        with pytest.raises(PreprocessorError, match="too deep"):
+            preprocess_verilog(src)
+
+    def test_undef(self):
+        src = "`define X 1\n`undef X\nwire w = `X;"
+        with pytest.raises(PreprocessorError, match="undefined macro"):
+            preprocess_verilog(src)
+
+    def test_cli_defines_seeded(self):
+        out = preprocess_verilog("wire [`W:0] w;", defines={"W": "15"})
+        assert "[15:0]" in out
+
+    def test_wrong_arity(self):
+        src = "`define F(a, b) a+b\nwire w = `F(1);"
+        with pytest.raises(PreprocessorError, match="args"):
+            preprocess_verilog(src)
+
+    def test_continuation_lines(self):
+        src = "`define LONG 1 + \\\n  2\nlocalparam L = `LONG;"
+        out = preprocess_verilog(src)
+        normalized = " ".join(out.split())
+        assert "localparam L = 1 + 2;" in normalized
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        src = "`define FPGA\n`ifdef FPGA\nwire a;\n`else\nwire b;\n`endif"
+        out = preprocess_verilog(src)
+        assert "wire a;" in out and "wire b;" not in out
+
+    def test_ifdef_not_taken(self):
+        src = "`ifdef FPGA\nwire a;\n`else\nwire b;\n`endif"
+        out = preprocess_verilog(src)
+        assert "wire b;" in out and "wire a;" not in out
+
+    def test_ifndef(self):
+        src = "`ifndef SIM\nwire synth_only;\n`endif"
+        assert "synth_only" in preprocess_verilog(src)
+
+    def test_elsif_chain(self):
+        src = (
+            "`define MODE_B\n"
+            "`ifdef MODE_A\nwire a;\n"
+            "`elsif MODE_B\nwire b;\n"
+            "`else\nwire c;\n`endif"
+        )
+        out = preprocess_verilog(src)
+        assert "wire b;" in out
+        assert "wire a;" not in out and "wire c;" not in out
+
+    def test_nested_conditionals(self):
+        src = (
+            "`define OUTER\n"
+            "`ifdef OUTER\n"
+            "`ifdef INNER\nwire both;\n`else\nwire outer_only;\n`endif\n"
+            "`endif"
+        )
+        out = preprocess_verilog(src)
+        assert "outer_only" in out and "both" not in out
+
+    def test_inactive_region_defines_skipped(self):
+        src = "`ifdef NOPE\n`define X 1\n`endif\n`ifdef X\nwire x;\n`endif"
+        assert "wire x;" not in preprocess_verilog(src)
+
+    def test_unbalanced_endif(self):
+        with pytest.raises(PreprocessorError, match="`endif"):
+            preprocess_verilog("`endif")
+
+    def test_unterminated_ifdef(self):
+        with pytest.raises(PreprocessorError, match="unterminated"):
+            preprocess_verilog("`ifdef X\nwire w;")
+
+
+class TestInclude:
+    def test_virtual_include(self):
+        header = "`define DATA_W 32\n"
+        src = '`include "defs.vh"\nmodule m(input wire [`DATA_W-1:0] d); endmodule'
+        out = preprocess_verilog(src, include_files={"defs.vh": header})
+        assert "[32-1:0]" in out
+
+    def test_disk_include(self, tmp_path):
+        (tmp_path / "hdr.vh").write_text("`define K 7\n")
+        src = '`include "hdr.vh"\nwire [`K:0] w;'
+        out = preprocess_verilog(src, include_dirs=(str(tmp_path),))
+        assert "[7:0]" in out
+
+    def test_missing_include(self):
+        with pytest.raises(PreprocessorError, match="cannot resolve"):
+            preprocess_verilog('`include "ghost.vh"')
+
+    def test_circular_include(self):
+        files = {
+            "a.vh": '`include "b.vh"',
+            "b.vh": '`include "a.vh"',
+        }
+        with pytest.raises(PreprocessorError, match="circular"):
+            preprocess_verilog('`include "a.vh"', include_files=files)
+
+
+class TestIntegrationWithParser:
+    def test_macro_driven_interface_parses(self):
+        src = """
+`define AXIS_W 64
+`define REG(name, width) output reg [width-1:0] name
+
+module stream #(
+    parameter KEEP_W = `AXIS_W / 8
+)(
+    input  wire clk,
+    input  wire [`AXIS_W-1:0] tdata,
+    `REG(captured, `AXIS_W)
+);
+endmodule
+"""
+        clean = preprocess_verilog(src)
+        module = parse_verilog(clean)[0]
+        env = module.default_environment()
+        assert env["KEEP_W"] == 8
+        assert module.port("tdata").width(env) == 64
+        assert module.port("captured").width(env) == 64
+
+    def test_directives_in_comments_ignored(self):
+        src = "// `define GHOST 1\nwire w;\n"
+        out = preprocess_verilog(src)
+        assert "GHOST" not in out or "`define GHOST" in out  # untouched comment
+
+    def test_timescale_passthrough(self):
+        out = preprocess_verilog("`timescale 1ns/1ps\nwire w;")
+        assert "`timescale 1ns/1ps" in out

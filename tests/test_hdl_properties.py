@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) for the HDL frontend.
+
+Strategy: generate random-but-valid interface declarations, render them as
+VHDL and Verilog text, and check the parsers recover exactly the declared
+structure — a parser/printer round-trip over the declaration subset.
+"""
+
+from __future__ import annotations
+
+import keyword
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hdl import expr as E
+from repro.hdl.ast import Direction
+from repro.hdl.verilog_parser import parse_verilog
+from repro.hdl.vhdl_parser import parse_vhdl
+
+_RESERVED = {
+    # VHDL + Verilog keywords that must not be identifiers in either dialect
+    "entity", "end", "port", "generic", "is", "in", "out", "inout", "buffer",
+    "signal", "constant", "module", "endmodule", "input", "output", "wire",
+    "reg", "logic", "parameter", "localparam", "begin", "function", "task",
+    "integer", "natural", "positive", "boolean", "string", "bit", "downto",
+    "to", "of", "architecture", "library", "use", "abs", "not", "and", "or",
+    "mod", "rem", "xor", "nor", "nand", "xnor", "sll", "srl", "package",
+    "import", "case", "generate", "if", "else", "for", "while", "int",
+}
+
+
+def _identifier():
+    return (
+        st.from_regex(r"[a-z][a-z0-9_]{0,11}", fullmatch=True)
+        .filter(lambda s: s not in _RESERVED and not s.endswith("_") and "__" not in s)
+        .filter(lambda s: not keyword.iskeyword(s))
+    )
+
+
+@st.composite
+def interface(draw):
+    """A random interface: unique param names/values, unique port names."""
+    n_params = draw(st.integers(0, 4))
+    n_ports = draw(st.integers(1, 6))
+    names = draw(
+        st.lists(
+            _identifier(), min_size=n_params + n_ports + 1,
+            max_size=n_params + n_ports + 1, unique=True,
+        )
+    )
+    params = [(names[i], draw(st.integers(1, 4096))) for i in range(n_params)]
+    ports = []
+    for i in range(n_ports):
+        name = names[n_params + i]
+        direction = draw(st.sampled_from(["in", "out", "inout"]))
+        width = draw(st.integers(1, 64))
+        ports.append((name, direction, width))
+    module_name = names[-1]
+    return module_name, params, ports
+
+
+def _render_vhdl(module_name, params, ports) -> str:
+    lines = [f"entity {module_name} is"]
+    if params:
+        decls = ";\n    ".join(f"{n} : natural := {v}" for n, v in params)
+        lines.append(f"  generic (\n    {decls}\n  );")
+    pdecls = []
+    for name, direction, width in ports:
+        vdir = {"in": "in", "out": "out", "inout": "inout"}[direction]
+        if width == 1:
+            pdecls.append(f"{name} : {vdir} std_logic")
+        else:
+            pdecls.append(f"{name} : {vdir} std_logic_vector({width - 1} downto 0)")
+    lines.append("  port (\n    " + ";\n    ".join(pdecls) + "\n  );")
+    lines.append(f"end entity {module_name};")
+    return "\n".join(lines)
+
+
+def _render_verilog(module_name, params, ports) -> str:
+    lines = [f"module {module_name}"]
+    if params:
+        decls = ",\n    ".join(f"parameter {n} = {v}" for n, v in params)
+        lines.append(f"#(\n    {decls}\n)")
+    pdecls = []
+    for name, direction, width in ports:
+        vdir = {"in": "input", "out": "output", "inout": "inout"}[direction]
+        if width == 1:
+            pdecls.append(f"{vdir} wire {name}")
+        else:
+            pdecls.append(f"{vdir} wire [{width - 1}:0] {name}")
+    lines.append("(\n    " + ",\n    ".join(pdecls) + "\n);")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+_DIR = {"in": Direction.IN, "out": Direction.OUT, "inout": Direction.INOUT}
+
+
+@settings(max_examples=60, deadline=None)
+@given(interface())
+def test_vhdl_roundtrip(spec):
+    module_name, params, ports = spec
+    source = _render_vhdl(module_name, params, ports)
+    module = parse_vhdl(source)[0]
+    assert module.name == module_name
+    assert [(p.name, p.default_value()) for p in module.parameters] == params
+    got_ports = [
+        (p.name, p.direction, p.width(module.default_environment()))
+        for p in module.ports
+    ]
+    assert got_ports == [(n, _DIR[d], w) for n, d, w in ports]
+
+
+@settings(max_examples=60, deadline=None)
+@given(interface())
+def test_verilog_roundtrip(spec):
+    module_name, params, ports = spec
+    source = _render_verilog(module_name, params, ports)
+    module = parse_verilog(source)[0]
+    assert module.name == module_name
+    assert [(p.name, p.default_value()) for p in module.parameters] == params
+    got_ports = [
+        (p.name, p.direction, p.width(module.default_environment()))
+        for p in module.ports
+    ]
+    assert got_ports == [(n, _DIR[d], w) for n, d, w in ports]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(-4096, 4096),
+    st.integers(-4096, 4096),
+    st.integers(1, 12),
+)
+def test_expr_eval_matches_python(a, b, shift):
+    """Spot-check operator semantics against Python ints."""
+    assert E.evaluate(E.BinOp("+", E.Num(a), E.Num(b))) == a + b
+    assert E.evaluate(E.BinOp("*", E.Num(a), E.Num(b))) == a * b
+    assert E.evaluate(E.BinOp("<<", E.Num(abs(a)), E.Num(shift))) == abs(a) << shift
+    if b != 0:
+        assert E.evaluate(E.BinOp("/", E.Num(a), E.Num(b))) == int(a / b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 2**20))
+def test_clog2_property(n):
+    """clog2(n) is the smallest k with 2^k >= n."""
+    k = E.evaluate(E.Call("clog2", (E.Num(n),)))
+    assert 2**k >= n
+    assert k == 0 or 2 ** (k - 1) < n

@@ -1,0 +1,198 @@
+"""Tests for the VHDL entity parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.hdl.ast import Direction
+from repro.hdl.vhdl_parser import parse_vhdl
+
+
+BASIC = """
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity counter is
+  generic (
+    WIDTH : natural := 8;
+    STEP  : positive := 1
+  );
+  port (
+    clk    : in  std_logic;
+    rst_n  : in  std_logic;
+    en     : in  std_logic;
+    count  : out std_logic_vector(WIDTH-1 downto 0)
+  );
+end entity counter;
+"""
+
+
+class TestBasicEntity:
+    def test_name_and_counts(self):
+        m = parse_vhdl(BASIC)[0]
+        assert m.name == "counter"
+        assert len(m.parameters) == 2
+        assert len(m.ports) == 4
+
+    def test_generic_defaults(self):
+        m = parse_vhdl(BASIC)[0]
+        env = m.default_environment()
+        assert env == {"WIDTH": 8, "STEP": 1}
+
+    def test_port_directions(self):
+        m = parse_vhdl(BASIC)[0]
+        assert m.port("clk").direction == Direction.IN
+        assert m.port("count").direction == Direction.OUT
+
+    def test_vector_width_from_generic(self):
+        m = parse_vhdl(BASIC)[0]
+        assert m.port("count").width({"WIDTH": 8}) == 8
+        assert m.port("count").width({"WIDTH": 32}) == 32
+
+    def test_libraries_and_uses_recorded(self):
+        m = parse_vhdl(BASIC)[0]
+        assert "ieee" in m.libraries
+        assert "ieee.std_logic_1164.all" in m.use_clauses
+
+
+class TestDeclarationStyles:
+    """The paper stresses 'a wide variety of declaration styles'."""
+
+    def test_grouped_identifier_list(self):
+        src = """
+        entity e is
+          port (a, b, c : in std_logic; q : out std_logic);
+        end e;
+        """
+        m = parse_vhdl(src)[0]
+        assert [p.name for p in m.ports] == ["a", "b", "c", "q"]
+        assert all(p.direction == Direction.IN for p in m.ports[:3])
+
+    def test_default_direction_is_in(self):
+        src = "entity e is port (d : std_logic); end e;"
+        m = parse_vhdl(src)[0]
+        assert m.port("d").direction == Direction.IN
+
+    def test_buffer_and_inout(self):
+        src = "entity e is port (x : inout std_logic; y : buffer std_logic); end e;"
+        m = parse_vhdl(src)[0]
+        assert m.port("x").direction == Direction.INOUT
+        assert m.port("y").direction == Direction.BUFFER
+
+    def test_integer_range_subtype_port(self):
+        src = "entity e is port (n : in integer range 0 to 15); end e;"
+        m = parse_vhdl(src)[0]
+        assert m.port("n").ptype.base == "integer"
+        assert m.port("n").width() == 1
+
+    def test_ascending_range(self):
+        src = "entity e is port (v : in bit_vector(0 to 7)); end e;"
+        m = parse_vhdl(src)[0]
+        assert m.port("v").width() == 8
+
+    def test_signal_keyword_allowed(self):
+        src = "entity e is port (signal s : in std_logic); end e;"
+        assert parse_vhdl(src)[0].port("s").name == "s"
+
+    def test_constant_keyword_in_generic(self):
+        src = "entity e is generic (constant N : natural := 4); end e;"
+        assert parse_vhdl(src)[0].parameter("N").default_value() == 4
+
+    def test_generic_without_default(self):
+        src = "entity e is generic (N : natural); port (c : in std_logic); end e;"
+        assert parse_vhdl(src)[0].parameter("N").default is None
+
+    def test_boolean_and_string_generics(self):
+        src = """
+        entity e is generic (
+          EN  : boolean := true;
+          TAG : string := "hello"
+        ); end e;
+        """
+        m = parse_vhdl(src)[0]
+        assert m.parameter("EN").default_value() == 1
+        assert m.parameter("TAG").ptype == "string"
+
+    def test_expression_defaults(self):
+        src = """
+        entity e is generic (
+          D : natural := 2**10;
+          A : natural := 16#20# + 2;
+          W : natural := D / 4
+        ); end e;
+        """
+        env = parse_vhdl(src)[0].default_environment()
+        assert env == {"D": 1024, "A": 34, "W": 256}
+
+    def test_unsigned_port_type(self):
+        src = "entity e is port (u : in unsigned(3 downto 0)); end e;"
+        m = parse_vhdl(src)[0]
+        assert m.port("u").ptype.base == "unsigned"
+        assert m.port("u").width() == 4
+
+    def test_end_without_entity_keyword(self):
+        src = "entity plain is port (c : in std_logic); end plain;"
+        assert parse_vhdl(src)[0].name == "plain"
+
+    def test_bare_end(self):
+        src = "entity bare is port (c : in std_logic); end;"
+        assert parse_vhdl(src)[0].name == "bare"
+
+
+class TestArchitectureHandling:
+    def test_architecture_name_attached(self):
+        src = BASIC + """
+        architecture rtl of counter is
+          signal x : std_logic;
+        begin
+          process(clk) begin end process;
+        end architecture rtl;
+        """
+        m = parse_vhdl(src)[0]
+        assert m.architecture == "rtl"
+
+    def test_end_by_arch_name(self):
+        src = """
+        entity e is port (c : in std_logic); end e;
+        architecture impl of e is begin end impl;
+        """
+        assert parse_vhdl(src)[0].architecture == "impl"
+
+    def test_body_contents_not_parsed_as_entities(self):
+        src = """
+        entity outer is port (c : in std_logic); end outer;
+        architecture a of outer is
+          component inner is port (x : in std_logic); end component;
+        begin
+        end architecture a;
+        """
+        modules = parse_vhdl(src)
+        assert [m.name for m in modules] == ["outer"]
+
+
+class TestMultiUnit:
+    def test_two_entities(self):
+        src = """
+        entity a is port (c : in std_logic); end a;
+        entity b is port (c : in std_logic); end b;
+        """
+        assert [m.name for m in parse_vhdl(src)] == ["a", "b"]
+
+    def test_package_skipped(self):
+        src = """
+        package pkg is
+          constant K : natural := 3;
+        end package pkg;
+        entity after_pkg is port (c : in std_logic); end after_pkg;
+        """
+        assert [m.name for m in parse_vhdl(src)] == ["after_pkg"]
+
+
+class TestErrors:
+    def test_mismatched_closing_name(self):
+        src = "entity a is port (c : in std_logic); end b;"
+        with pytest.raises(ParseError, match="closed by"):
+            parse_vhdl(src)
+
+    def test_clock_detection(self):
+        m = parse_vhdl(BASIC)[0]
+        assert [p.name for p in m.clock_ports()] == ["clk"]

@@ -1,0 +1,135 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import DseSession, MetricSpec, ParameterSpace
+from repro.designs import get_design
+from repro.moo.nds import dominates_matrix
+
+
+class TestEndToEndDse:
+    def test_corundum_full_pipeline_shape(self):
+        """Parse → box → TCL → VEDA → NSGA-II, checking the paper's Table I
+        qualitative structure."""
+        design = get_design("corundum-cqm")
+        metrics = [
+            MetricSpec.minimize("LUT"), MetricSpec.minimize("FF"),
+            MetricSpec.minimize("BRAM"), MetricSpec.maximize("frequency"),
+        ]
+        sess = DseSession(
+            design=design, part="XC7K70T", metrics=metrics,
+            use_model=False, seed=11,
+        )
+        res = sess.explore(generations=8, population=16)
+        assert len(res.pareto) >= 3
+        brams = {p.metrics["BRAM"] for p in res.pareto}
+        assert len(brams) == 1                      # BRAM column constant
+        freqs = [p.metrics["frequency"] for p in res.pareto]
+        assert all(120 < f < 260 for f in freqs)    # near 200 MHz
+
+    def test_pareto_set_is_mutually_nondominated(self):
+        design = get_design("corundum-cqm")
+        sess = DseSession(design=design, part="XC7K70T", use_model=False, seed=4)
+        res = sess.explore(generations=4, population=10)
+        # Re-verify non-domination in minimized space from the raw metrics.
+        F = np.array([
+            [p.metrics["LUT"], -p.metrics["frequency"]] for p in res.pareto
+        ])
+        assert not dominates_matrix(F).any()
+
+    def test_tirex_cross_device_campaign(self):
+        design = get_design("tirex")
+        outcomes = {}
+        for part in ("XC7K70T", "ZU3EG"):
+            sess = DseSession(
+                design=design, part=part, use_model=False, seed=11
+            )
+            res = sess.explore(generations=4, population=10)
+            best_freq = max(p.metrics["frequency"] for p in res.pareto)
+            outcomes[part] = best_freq
+            # NCLUSTER=1 dominates, as in Table II.
+            assert all(p.parameters["NCLUSTER"] == 1 for p in res.pareto)
+        assert outcomes["ZU3EG"] > 2.0 * outcomes["XC7K70T"]
+
+    def test_approximation_reduces_tool_time(self):
+        """The headline value proposition: same exploration budget, fewer
+        (simulated) tool hours with the model enabled."""
+        design = get_design("cv32e40p-fifo")
+        space = ParameterSpace.from_design(design, names=["DEPTH"])
+
+        def run(use_model):
+            sess = DseSession(
+                design=design, space=space, part="XC7K70T",
+                use_model=use_model, pretrain_size=30, seed=11,
+            )
+            res = sess.explore(generations=6, population=12)
+            return res
+
+        direct = run(False)
+        approx = run(True)
+        # The model run answers many queries without the tool.
+        assert approx.tool_runs < direct.tool_runs + 30
+        assert approx.stats.get("estimated", 0) > 0
+
+
+class TestDeterminism:
+    def test_identical_sessions_identical_results(self):
+        design = get_design("corundum-cqm")
+
+        def run():
+            sess = DseSession(
+                design=design, part="XC7K70T", use_model=False, seed=21
+            )
+            res = sess.explore(generations=3, population=8)
+            return [
+                (tuple(sorted(p.parameters.items())),
+                 tuple(sorted(p.metrics.items())))
+                for p in res.pareto
+            ]
+
+        assert run() == run()
+
+    def test_seed_changes_trajectory(self):
+        design = get_design("corundum-cqm")
+
+        def run(seed):
+            sess = DseSession(
+                design=design, part="XC7K70T", use_model=False, seed=seed
+            )
+            res = sess.explore(generations=3, population=8)
+            return res.raw.archive.X.tobytes()
+
+        assert run(1) != run(2)
+
+    def test_model_pipeline_deterministic(self):
+        design = get_design("cv32e40p-fifo")
+        space = ParameterSpace.from_design(design, names=["DEPTH"])
+
+        def run():
+            sess = DseSession(
+                design=design, space=space, part="XC7K70T",
+                use_model=True, pretrain_size=15, seed=9,
+            )
+            res = sess.explore(generations=3, population=8)
+            return (res.tool_runs, res.evaluations,
+                    tuple(s for s, _ in res.mse_trace))
+
+        assert run() == run()
+
+
+class TestIncrementalFlowIntegration:
+    def test_incremental_session_saves_time(self):
+        design = get_design("corundum-cqm")
+
+        def total_seconds(incremental):
+            sess = DseSession(
+                design=design, part="XC7K70T", use_model=False,
+                incremental=incremental, seed=13,
+            )
+            sess.explore(generations=3, population=8)
+            return sess.fitness.simulated_seconds
+
+        base = total_seconds(False)
+        incr = total_seconds(True)
+        assert incr < base

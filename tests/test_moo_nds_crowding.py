@@ -1,0 +1,95 @@
+"""Tests for non-dominated sorting and crowding distance."""
+
+import numpy as np
+import pytest
+
+from repro.moo.crowding import crowding_distance
+from repro.moo.nds import dominates_matrix, fast_non_dominated_sort, non_dominated_mask
+
+
+class TestDomination:
+    def test_strict_domination(self):
+        F = np.array([[1.0, 1.0], [2.0, 2.0]])
+        D = dominates_matrix(F)
+        assert D[0, 1] and not D[1, 0]
+
+    def test_incomparable(self):
+        F = np.array([[1.0, 2.0], [2.0, 1.0]])
+        D = dominates_matrix(F)
+        assert not D.any()
+
+    def test_equal_points_do_not_dominate(self):
+        F = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert not dominates_matrix(F).any()
+
+    def test_weak_improvement_dominates(self):
+        F = np.array([[1.0, 1.0], [1.0, 2.0]])
+        D = dominates_matrix(F)
+        assert D[0, 1]
+
+
+class TestFronts:
+    def test_layered_fronts(self):
+        F = np.array([
+            [1.0, 4.0], [2.0, 3.0], [4.0, 1.0],   # front 0
+            [2.0, 5.0], [3.0, 4.0],               # front 1
+            [5.0, 5.0],                           # front 2
+        ])
+        fronts = fast_non_dominated_sort(F)
+        assert sorted(fronts[0].tolist()) == [0, 1, 2]
+        assert sorted(fronts[1].tolist()) == [3, 4]
+        assert fronts[2].tolist() == [5]
+
+    def test_all_fronts_partition(self):
+        rng = np.random.default_rng(0)
+        F = rng.random((50, 3))
+        fronts = fast_non_dominated_sort(F)
+        joined = np.concatenate(fronts)
+        assert sorted(joined.tolist()) == list(range(50))
+
+    def test_front0_matches_mask(self):
+        rng = np.random.default_rng(1)
+        F = rng.random((60, 2))
+        fronts = fast_non_dominated_sort(F)
+        mask = non_dominated_mask(F)
+        assert sorted(fronts[0].tolist()) == np.nonzero(mask)[0].tolist()
+
+    def test_empty(self):
+        assert fast_non_dominated_sort(np.empty((0, 2))) == []
+        assert non_dominated_mask(np.empty((0, 2))).size == 0
+
+    def test_duplicates_share_front(self):
+        F = np.array([[1.0, 1.0]] * 4)
+        fronts = fast_non_dominated_sort(F)
+        assert len(fronts) == 1
+        assert len(fronts[0]) == 4
+
+    def test_single_objective(self):
+        F = np.array([[3.0], [1.0], [2.0]])
+        mask = non_dominated_mask(F)
+        assert mask.tolist() == [False, True, False]
+
+
+class TestCrowding:
+    def test_boundaries_infinite(self):
+        F = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        d = crowding_distance(F)
+        assert np.isinf(d[0]) and np.isinf(d[3])
+        assert np.isfinite(d[1]) and np.isfinite(d[2])
+
+    def test_two_points_infinite(self):
+        assert np.isinf(crowding_distance(np.array([[0.0, 1.0], [1.0, 0.0]]))).all()
+
+    def test_sparser_point_larger_distance(self):
+        # Interior points: index 1 is crowded, index 2 sits in a gap.
+        F = np.array([[0.0, 10.0], [1.0, 9.0], [5.0, 3.0], [10.0, 0.0]])
+        d = crowding_distance(F)
+        assert d[2] > d[1]
+
+    def test_degenerate_objective_ignored(self):
+        F = np.array([[0.0, 5.0], [1.0, 5.0], [2.0, 5.0]])
+        d = crowding_distance(F)
+        assert np.isfinite(d[1])
+
+    def test_empty(self):
+        assert crowding_distance(np.empty((0, 2))).size == 0

@@ -1,0 +1,200 @@
+"""Tests for the NSGA-II loop and quality indicators/baselines."""
+
+import numpy as np
+import pytest
+
+from repro.moo import (
+    NSGA2,
+    IntegerProblem,
+    Objective,
+    Termination,
+    hypervolume,
+    random_search,
+)
+from repro.moo.baselines import exhaustive_search, pareto_of
+from repro.moo.nds import non_dominated_mask
+
+
+class BiObjective(IntegerProblem):
+    """Discrete trade-off: f1 = x, f2 = (X_max - x) plus separable junk."""
+
+    def __init__(self):
+        super().__init__(
+            [0, 0, 0], [30, 30, 30],
+            [Objective.minimize("f1"), Objective.minimize("f2")],
+        )
+        self.calls = 0
+
+    def evaluate(self, X):
+        self.calls += X.shape[0]
+        f1 = X[:, 0] + 0.3 * X[:, 2]
+        f2 = (30 - X[:, 0]) + 0.3 * X[:, 1]
+        return np.stack([f1, f2], axis=1).astype(float)
+
+
+class TestNSGA2Loop:
+    def test_converges_toward_true_front(self):
+        p = BiObjective()
+        res = NSGA2(pop_size=24).minimize(p, Termination.by_generations(30), seed=3)
+        # True Pareto points have x1 = x2 = 0 (junk terms minimized).
+        F = res.pareto.F
+        # At least some archive Pareto points should have tiny junk penalty.
+        slack = (F.sum(axis=1) - 30.0).min()
+        assert slack < 2.0
+
+    def test_archive_contains_everything(self):
+        p = BiObjective()
+        res = NSGA2(pop_size=16).minimize(p, Termination.by_generations(5), seed=0)
+        assert len(res.archive) == res.evaluations == p.calls
+
+    def test_pareto_is_nondominated(self):
+        p = BiObjective()
+        res = NSGA2(pop_size=16).minimize(p, Termination.by_generations(8), seed=0)
+        assert non_dominated_mask(res.pareto.F).all()
+
+    def test_duplicate_elimination_unique_archive(self):
+        p = BiObjective()
+        res = NSGA2(pop_size=16).minimize(p, Termination.by_generations(10), seed=1)
+        assert np.unique(res.archive.X, axis=0).shape[0] == len(res.archive)
+
+    def test_deterministic_runs(self):
+        out = []
+        for _ in range(2):
+            p = BiObjective()
+            res = NSGA2(pop_size=12).minimize(p, Termination.by_generations(6), seed=9)
+            out.append(res.archive.X.tobytes())
+        assert out[0] == out[1]
+
+    def test_population_size_kept(self):
+        p = BiObjective()
+        res = NSGA2(pop_size=20).minimize(p, Termination.by_generations(4), seed=0)
+        assert len(res.population) == 20
+
+    def test_on_generation_callback(self):
+        seen = []
+        p = BiObjective()
+        NSGA2(pop_size=12).minimize(
+            p, Termination.by_generations(3), seed=0,
+            on_generation=lambda g, pop: seen.append((g, len(pop))),
+        )
+        assert [g for g, _ in seen] == [1, 2, 3]
+
+    def test_simulated_cost_deadline(self):
+        p = BiObjective()
+        term = Termination.by_soft_deadline(100.0, n_gen=50)
+        res = NSGA2(pop_size=12).minimize(
+            p, term, seed=0, simulated_cost=lambda n: 30.0
+        )
+        # 30 s per batch: initial + ~3 generations before 100 s expires.
+        assert res.generations < 8
+
+    def test_tiny_space_saturates_gracefully(self):
+        class Tiny(IntegerProblem):
+            def __init__(self):
+                super().__init__([0], [3], [Objective.minimize("f")])
+
+            def evaluate(self, X):
+                return X.astype(float)
+
+        res = NSGA2(pop_size=4).minimize(Tiny(), Termination.by_generations(5), seed=0)
+        assert len(res.archive) <= 4
+        assert res.pareto.X.tolist() == [[0]]
+
+    def test_pop_size_guard(self):
+        with pytest.raises(ValueError):
+            NSGA2(pop_size=2).minimize(
+                BiObjective(), Termination.by_generations(1)
+            )
+
+    def test_pareto_raw_units(self):
+        class MaxProblem(IntegerProblem):
+            def __init__(self):
+                super().__init__([0], [10], [Objective.maximize("v"),
+                                             Objective.minimize("c")])
+
+            def evaluate(self, X):
+                return np.stack([X[:, 0], X[:, 0] ** 2], axis=1).astype(float)
+
+        p = MaxProblem()
+        res = NSGA2(pop_size=6).minimize(p, Termination.by_generations(6), seed=0)
+        raw = res.pareto_raw(p)
+        assert raw[:, 0].max() <= 10  # back in raw (positive) units
+        assert (raw[:, 0] >= 0).all()
+
+
+class TestHypervolume:
+    def test_2d_exact(self):
+        F = np.array([[1.0, 2.0], [2.0, 1.0]])
+        ref = np.array([3.0, 3.0])
+        # Union of two boxes: 2*1 + 1*2 - 1*1 = 3... sweep: (3-1)*(3-2)+(3-2)*(2-1)=2+1=3
+        assert hypervolume(F, ref) == pytest.approx(3.0)
+
+    def test_dominated_points_ignored(self):
+        F = np.array([[1.0, 1.0], [2.0, 2.0]])
+        ref = np.array([3.0, 3.0])
+        assert hypervolume(F, ref) == pytest.approx(4.0)
+
+    def test_points_outside_ref_ignored(self):
+        F = np.array([[4.0, 4.0]])
+        assert hypervolume(F, np.array([3.0, 3.0])) == 0.0
+
+    def test_1d(self):
+        assert hypervolume(np.array([[2.0]]), np.array([5.0])) == pytest.approx(3.0)
+
+    def test_3d_monte_carlo_close_to_exact(self):
+        # Single point: exact box volume.
+        F = np.array([[1.0, 1.0, 1.0]])
+        ref = np.array([2.0, 2.0, 2.0])
+        hv = hypervolume(F, ref, samples=50_000, seed=0)
+        assert hv == pytest.approx(1.0, rel=0.05)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            hypervolume(np.array([[1.0, 2.0]]), np.array([1.0]))
+
+
+class TestBaselines:
+    def test_random_search_unique_budget(self):
+        p = BiObjective()
+        pop = random_search(p, 40, seed=0)
+        assert len(pop) == 40
+        assert np.unique(pop.X, axis=0).shape[0] == 40
+
+    def test_random_search_respects_small_space(self):
+        class Tiny(IntegerProblem):
+            def __init__(self):
+                super().__init__([0], [4], [Objective.minimize("f")])
+
+            def evaluate(self, X):
+                return X.astype(float)
+
+        pop = random_search(Tiny(), 100, seed=0)
+        assert len(pop) == 5
+
+    def test_exhaustive_covers_space(self):
+        class Tiny(IntegerProblem):
+            def __init__(self):
+                super().__init__([0, 0], [2, 1], [Objective.minimize("f")])
+
+            def evaluate(self, X):
+                return X.sum(axis=1, keepdims=True).astype(float)
+
+        pop = exhaustive_search(Tiny())
+        assert len(pop) == 6
+        front = pareto_of(pop)
+        assert front.X.tolist() == [[0, 0]]
+
+    def test_exhaustive_limit_guard(self):
+        p = BiObjective()
+        with pytest.raises(ValueError, match="limit"):
+            exhaustive_search(p, limit=10)
+
+    def test_nsga2_beats_random_at_equal_budget(self):
+        p1 = BiObjective()
+        res = NSGA2(pop_size=20).minimize(p1, Termination.by_generations(25), seed=2)
+        p2 = BiObjective()
+        rs = random_search(p2, res.evaluations, seed=2)
+        ref = np.array([45.0, 45.0])
+        hv_ga = hypervolume(res.pareto.F, ref)
+        hv_rs = hypervolume(pareto_of(rs).F, ref)
+        assert hv_ga >= hv_rs

@@ -1,0 +1,192 @@
+"""Tests for sampling, crossover, mutation, dedup, termination."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidSpaceError, TerminationError
+from repro.moo import (
+    GaussianIntegerMutation,
+    IntegerProblem,
+    IntegerRandomSampling,
+    IntegerSBX,
+    Objective,
+    Termination,
+)
+from repro.moo.dedup import drop_duplicates, unique_against
+from repro.util.timing import SoftDeadline
+
+
+class Quadratic(IntegerProblem):
+    def __init__(self, lows=(0, 0), highs=(100, 100)):
+        super().__init__(lows, highs, [Objective.minimize("f")])
+
+    def evaluate(self, X):
+        return (X**2).sum(axis=1, keepdims=True).astype(float)
+
+
+class TestProblemValidation:
+    def test_inverted_bounds(self):
+        with pytest.raises(InvalidSpaceError, match="inverted"):
+            Quadratic(lows=(5,), highs=(4,))
+
+    def test_no_objectives(self):
+        with pytest.raises(InvalidSpaceError):
+            IntegerProblem([0], [1], [])
+
+    def test_cardinality(self):
+        assert Quadratic(lows=(0, 0), highs=(4, 9)).cardinality() == 50
+
+    def test_minimized_flips_max_columns(self):
+        p = IntegerProblem(
+            [0], [1], [Objective.maximize("a"), Objective.minimize("b")]
+        )
+        F = np.array([[10.0, 3.0]])
+        assert p.minimized(F).tolist() == [[-10.0, 3.0]]
+        assert p.raw_from_minimized(p.minimized(F)).tolist() == F.tolist()
+
+
+class TestSampling:
+    def test_within_bounds(self):
+        p = Quadratic()
+        X = IntegerRandomSampling()(p, 50, 0).X
+        assert X.min() >= 0 and X.max() <= 100
+
+    def test_unique_rows(self):
+        p = Quadratic()
+        X = IntegerRandomSampling(unique=True)(p, 80, 0).X
+        assert np.unique(X, axis=0).shape[0] == 80
+
+    def test_small_space_enumerates(self):
+        p = Quadratic(lows=(0, 0), highs=(1, 1))
+        X = IntegerRandomSampling(unique=True)(p, 10, 0).X
+        assert X.shape[0] == 4  # whole space
+
+    def test_deterministic(self):
+        p = Quadratic()
+        a = IntegerRandomSampling()(p, 10, 7).X
+        b = IntegerRandomSampling()(p, 10, 7).X
+        assert np.array_equal(a, b)
+
+
+class TestSBX:
+    def test_children_in_bounds_and_integer(self):
+        p = Quadratic()
+        rng = np.random.default_rng(0)
+        A = rng.integers(0, 101, (30, 2))
+        B = rng.integers(0, 101, (30, 2))
+        c1, c2 = IntegerSBX()(p, A, B, 0)
+        for C in (c1, c2):
+            assert C.dtype == np.int64
+            assert C.min() >= 0 and C.max() <= 100
+
+    def test_high_eta_children_near_parents(self):
+        p = Quadratic()
+        A = np.full((200, 2), 20)
+        B = np.full((200, 2), 30)
+        c1, _ = IntegerSBX(eta=30.0, prob_crossover=1.0)(p, A, B, 0)
+        # With eta=30 children hug the parent interval
+        assert np.abs(c1 - 25).mean() < 10
+
+    def test_skip_probability_copies_parents(self):
+        p = Quadratic()
+        A = np.full((50, 2), 10)
+        B = np.full((50, 2), 90)
+        c1, c2 = IntegerSBX(prob_crossover=0.0)(p, A, B, 0)
+        assert np.array_equal(np.sort(np.stack([c1, c2]), axis=0),
+                              np.sort(np.stack([A, B]), axis=0))
+
+    def test_shape_mismatch(self):
+        p = Quadratic()
+        with pytest.raises(ValueError):
+            IntegerSBX()(p, np.zeros((2, 2)), np.zeros((3, 2)), 0)
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValueError):
+            IntegerSBX(eta=0)
+
+
+class TestMutation:
+    def test_stays_in_bounds(self):
+        p = Quadratic()
+        X = np.full((100, 2), 100)
+        out = GaussianIntegerMutation(prob_mean=1.0, prob_sigma=0.0)(p, X, 0)
+        assert out.max() <= 100 and out.min() >= 0
+
+    def test_mutated_genes_move(self):
+        p = Quadratic()
+        X = np.full((100, 2), 50)
+        out = GaussianIntegerMutation(prob_mean=1.0, prob_sigma=0.0)(p, X, 0)
+        assert (out != 50).any()
+
+    def test_zero_probability_identity(self):
+        p = Quadratic()
+        X = np.full((20, 2), 50)
+        out = GaussianIntegerMutation(prob_mean=0.0, prob_sigma=0.0)(p, X, 0)
+        assert np.array_equal(out, X)
+
+    def test_paper_mean_half_activation(self):
+        """prob ~ N(0.5, σ): about half of the genes mutate."""
+        p = Quadratic()
+        X = np.full((2000, 2), 50)
+        out = GaussianIntegerMutation(prob_mean=0.5, prob_sigma=0.15)(p, X, 1)
+        frac = (out != 50).mean()
+        assert 0.30 < frac < 0.70
+
+    def test_input_not_mutated_in_place(self):
+        p = Quadratic()
+        X = np.full((10, 2), 50)
+        GaussianIntegerMutation(prob_mean=1.0)(p, X, 0)
+        assert (X == 50).all()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GaussianIntegerMutation(prob_mean=1.5)
+        with pytest.raises(ValueError):
+            GaussianIntegerMutation(step_scale=0.0)
+
+
+class TestDedup:
+    def test_drop_duplicates_keeps_first(self):
+        X = np.array([[1, 2], [3, 4], [1, 2], [5, 6]])
+        assert drop_duplicates(X).tolist() == [0, 1, 3]
+
+    def test_unique_against_reference(self):
+        X = np.array([[1, 2], [3, 4], [1, 2], [7, 8]])
+        ref = np.array([[3, 4]])
+        assert unique_against(X, ref).tolist() == [0, 3]
+
+    def test_unique_against_empty_reference(self):
+        X = np.array([[1, 2], [1, 2]])
+        assert unique_against(X, np.empty((0, 2))).tolist() == [0]
+
+
+class TestTermination:
+    def test_generation_budget(self):
+        t = Termination.by_generations(3)
+        for _ in range(3):
+            assert not t.should_stop()
+            t.note_generation()
+        assert t.should_stop()
+
+    def test_evaluation_budget(self):
+        t = Termination(n_eval=10)
+        t.note_evaluations(9)
+        assert not t.should_stop()
+        t.note_evaluations(1)
+        assert t.should_stop()
+
+    def test_soft_deadline_charging(self):
+        t = Termination.by_soft_deadline(100.0)
+        t.charge(50.0)
+        assert not t.should_stop()
+        t.charge(60.0)
+        assert t.should_stop()
+
+    def test_any_budget_fires(self):
+        t = Termination(n_gen=100, deadline=SoftDeadline(budget_s=1.0))
+        t.charge(2.0)
+        assert t.should_stop()
+
+    def test_invalid_config(self):
+        with pytest.raises(TerminationError):
+            Termination(n_gen=0)

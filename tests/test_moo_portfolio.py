@@ -1,0 +1,141 @@
+"""Tests for MOSA and the algorithm-choice portfolio extension."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.dataset import Dataset
+from repro.moo import IntegerProblem, Objective, Termination
+from repro.moo.mosa import MOSA
+from repro.moo.nds import non_dominated_mask
+from repro.moo.portfolio import (
+    dataset_ruggedness,
+    pareto_of_merged,
+    probe_and_choose,
+    recommend_algorithm,
+)
+
+
+class Smooth2D(IntegerProblem):
+    """A smooth bi-objective trade-off over two variables."""
+
+    def __init__(self, high=60):
+        super().__init__(
+            [0, 0], [high, high],
+            [Objective.minimize("f1"), Objective.minimize("f2")],
+        )
+
+    def evaluate(self, X):
+        f1 = X[:, 0].astype(float)
+        f2 = (self.highs[0] - X[:, 0]) + 0.5 * X[:, 1]
+        return np.stack([f1, f2], axis=1)
+
+
+class TestMosa:
+    def test_respects_budget(self):
+        res = MOSA().minimize(Smooth2D(), Termination(n_eval=80), seed=0)
+        assert 80 <= res.evaluations <= 82  # restart bookkeeping may add one
+
+    def test_pareto_is_nondominated(self):
+        res = MOSA().minimize(Smooth2D(), Termination(n_eval=100), seed=1)
+        assert non_dominated_mask(res.pareto.F).all()
+
+    def test_deterministic(self):
+        a = MOSA().minimize(Smooth2D(), Termination(n_eval=60), seed=3)
+        b = MOSA().minimize(Smooth2D(), Termination(n_eval=60), seed=3)
+        assert np.array_equal(a.archive.X, b.archive.X)
+
+    def test_walker_accepts_moves(self):
+        res = MOSA().minimize(Smooth2D(), Termination(n_eval=120), seed=0)
+        assert res.accepted > 10
+
+    def test_finds_extremes_on_smooth_front(self):
+        res = MOSA().minimize(Smooth2D(), Termination(n_eval=300), seed=2)
+        f1_values = res.pareto.F[:, 0]
+        # The f1-minimal corner (x0=0) should be discovered.
+        assert f1_values.min() <= 3
+
+    def test_temperature_cools(self):
+        res = MOSA(initial_temperature=0.5, cooling=0.99).minimize(
+            Smooth2D(), Termination(n_eval=100), seed=0
+        )
+        assert res.temperature_final < 0.5
+
+
+class TestRuggedness:
+    def _dataset(self, fn, n=30, seed=0):
+        rng = np.random.default_rng(seed)
+        ds = Dataset(n_var=2, metric_names=("m",))
+        for _ in range(n):
+            x = rng.integers(0, 100, 2)
+            ds.add(x.astype(float), np.array([fn(x)]))
+        return ds
+
+    def test_smooth_low_rugged_high(self):
+        smooth = self._dataset(lambda x: float(x.sum()))
+        rng = np.random.default_rng(9)
+        rugged = self._dataset(lambda x: float(rng.uniform(0, 100)))
+        assert dataset_ruggedness(smooth) < dataset_ruggedness(rugged)
+
+    def test_tiny_dataset_assumed_rugged(self):
+        ds = Dataset(n_var=1, metric_names=("m",))
+        ds.add([1.0], [1.0])
+        assert dataset_ruggedness(ds) == 1.0
+
+
+class TestRecommendation:
+    def test_tiny_space_exhaustive(self):
+        class Tiny(IntegerProblem):
+            def __init__(self):
+                super().__init__([0, 0], [7, 7], [Objective.minimize("f")])
+
+            def evaluate(self, X):
+                return X.sum(axis=1, keepdims=True).astype(float)
+
+        choice = recommend_algorithm(Tiny())
+        assert choice.name == "exhaustive"
+
+    def test_smooth_low_dim_gets_mosa(self):
+        problem = Smooth2D(high=1000)
+        ds = Dataset(n_var=2, metric_names=("f1", "f2"))
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            x = rng.integers(0, 1000, 2).astype(float)
+            ds.add(x, np.array([x[0], 1000 - x[0] + 0.5 * x[1]]))
+        choice = recommend_algorithm(problem, ds)
+        assert choice.name == "mosa"
+        assert "smooth" in choice.reason
+
+    def test_no_dataset_defaults_to_nsga2(self):
+        choice = recommend_algorithm(Smooth2D(high=1000))
+        assert choice.name == "nsga2"
+
+    def test_high_dim_gets_nsga2(self):
+        class HighDim(IntegerProblem):
+            def __init__(self):
+                super().__init__([0] * 6, [50] * 6,
+                                 [Objective.minimize("f")])
+
+            def evaluate(self, X):
+                return X.sum(axis=1, keepdims=True).astype(float)
+
+        assert recommend_algorithm(HighDim()).name == "nsga2"
+
+
+class TestProbeAndChoose:
+    def test_probe_scores_all_candidates(self):
+        choice, merged, scores = probe_and_choose(
+            Smooth2D(), probe_budget=40, seed=1
+        )
+        assert set(scores) == {"nsga2", "mosa", "random"}
+        assert choice.name in scores
+        assert len(merged) >= 3 * 40 * 0.8  # probes pooled
+
+    def test_merged_front_extractable(self):
+        _, merged, _ = probe_and_choose(Smooth2D(), probe_budget=30, seed=1)
+        front = pareto_of_merged(merged)
+        assert len(front) >= 1
+        assert non_dominated_mask(front.F).all()
+
+    def test_winner_beats_random_usually(self):
+        choice, _, scores = probe_and_choose(Smooth2D(), probe_budget=60, seed=4)
+        assert scores[choice.name] >= scores["random"]

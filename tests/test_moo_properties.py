@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for the MOO core data structures."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.moo.crowding import crowding_distance
+from repro.moo.nds import dominates_matrix, fast_non_dominated_sort, non_dominated_mask
+
+
+def objective_matrices(max_n=24, max_m=4):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, max_n), st.integers(1, max_m)),
+        elements=st.floats(
+            min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+        ),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(objective_matrices())
+def test_domination_is_irreflexive_and_asymmetric(F):
+    D = dominates_matrix(F)
+    assert not np.diag(D).any()
+    assert not (D & D.T).any()
+
+
+@settings(max_examples=60, deadline=None)
+@given(objective_matrices())
+def test_fronts_partition_population(F):
+    fronts = fast_non_dominated_sort(F)
+    joined = np.sort(np.concatenate(fronts))
+    assert joined.tolist() == list(range(F.shape[0]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(objective_matrices())
+def test_front_members_mutually_nondominated(F):
+    for front in fast_non_dominated_sort(F):
+        sub = dominates_matrix(F[front])
+        assert not sub.any()
+
+
+@settings(max_examples=60, deadline=None)
+@given(objective_matrices())
+def test_later_fronts_dominated_by_earlier(F):
+    fronts = fast_non_dominated_sort(F)
+    D = dominates_matrix(F)
+    for i in range(1, len(fronts)):
+        for j in fronts[i]:
+            # Every point past front 0 is dominated by someone in an
+            # earlier front.
+            earlier = np.concatenate(fronts[:i])
+            assert D[earlier, j].any()
+
+
+@settings(max_examples=60, deadline=None)
+@given(objective_matrices())
+def test_mask_equals_first_front(F):
+    mask = non_dominated_mask(F)
+    fronts = fast_non_dominated_sort(F)
+    assert np.sort(np.nonzero(mask)[0]).tolist() == np.sort(fronts[0]).tolist()
+
+
+@settings(max_examples=60, deadline=None)
+@given(objective_matrices(max_n=16, max_m=3))
+def test_crowding_nonnegative_with_infinite_boundaries(F):
+    d = crowding_distance(F)
+    assert (d >= 0).all()
+    if F.shape[0] > 2:
+        # Per objective, *some* row achieving each extreme must be infinite
+        # (with duplicated extremes only one representative gets inf).
+        for j in range(F.shape[1]):
+            lo_rows = F[:, j] == F[:, j].min()
+            hi_rows = F[:, j] == F[:, j].max()
+            assert np.isinf(d[lo_rows]).any()
+            assert np.isinf(d[hi_rows]).any()
+
+
+@settings(max_examples=40, deadline=None)
+@given(objective_matrices(), st.floats(min_value=0.1, max_value=10))
+def test_domination_invariant_under_positive_scaling(F, scale):
+    assert (dominates_matrix(F) == dominates_matrix(F * scale)).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 20), st.integers(1, 4)),
+        # Integral grid so translation cannot flip comparisons via rounding.
+        elements=st.integers(-50, 50).map(float),
+    )
+)
+def test_domination_invariant_under_translation(F):
+    assert (dominates_matrix(F) == dominates_matrix(F + 13.5)).all()

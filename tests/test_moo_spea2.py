@@ -1,0 +1,101 @@
+"""Tests for SPEA2."""
+
+import numpy as np
+import pytest
+
+from repro.moo import IntegerProblem, Objective, Termination, hypervolume
+from repro.moo.nds import non_dominated_mask
+from repro.moo.spea2 import SPEA2, spea2_fitness, _truncate_archive
+
+
+class BiObjective(IntegerProblem):
+    def __init__(self):
+        super().__init__(
+            [0, 0, 0], [30, 30, 30],
+            [Objective.minimize("f1"), Objective.minimize("f2")],
+        )
+
+    def evaluate(self, X):
+        f1 = X[:, 0] + 0.3 * X[:, 2]
+        f2 = (30 - X[:, 0]) + 0.3 * X[:, 1]
+        return np.stack([f1, f2], axis=1).astype(float)
+
+
+class TestFitnessAssignment:
+    def test_nondominated_below_one(self):
+        F = np.array([[1.0, 4.0], [2.0, 3.0], [4.0, 1.0],   # front
+                      [3.0, 5.0], [5.0, 5.0]])              # dominated
+        fit = spea2_fitness(F)
+        assert (fit[:3] < 1.0).all()
+        assert (fit[3:] >= 1.0).all()
+
+    def test_more_dominated_higher_fitness(self):
+        F = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        fit = spea2_fitness(F)
+        # The doubly-dominated point scores worse than the singly-dominated.
+        assert fit[2] > fit[1] > fit[0]
+
+    def test_empty(self):
+        assert spea2_fitness(np.empty((0, 2))).size == 0
+
+
+class TestTruncation:
+    def test_no_truncation_needed(self):
+        F = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert _truncate_archive(F, 5).tolist() == [0, 1]
+
+    def test_removes_most_crowded(self):
+        # Three nearly-coincident points plus two spread ones; truncating to
+        # 4 must drop one of the clustered points.
+        F = np.array([
+            [0.0, 10.0], [10.0, 0.0],
+            [5.0, 5.0], [5.05, 5.0], [5.0, 5.05],
+        ])
+        kept = set(_truncate_archive(F, 4).tolist())
+        assert {0, 1} <= kept
+        assert len(kept & {2, 3, 4}) == 2
+
+    def test_result_size_exact(self):
+        rng = np.random.default_rng(0)
+        F = rng.random((20, 2))
+        assert _truncate_archive(F, 7).size == 7
+
+
+class TestSpea2Loop:
+    def test_respects_budget_and_returns_front(self):
+        res = SPEA2(pop_size=16, archive_size=16).minimize(
+            BiObjective(), Termination(n_eval=200), seed=1
+        )
+        assert res.evaluations >= 200
+        assert non_dominated_mask(res.pareto.F).all()
+        assert len(res.external) <= 16
+
+    def test_deterministic(self):
+        a = SPEA2(pop_size=12).minimize(BiObjective(), Termination(n_eval=100), seed=5)
+        b = SPEA2(pop_size=12).minimize(BiObjective(), Termination(n_eval=100), seed=5)
+        assert np.array_equal(a.archive.X, b.archive.X)
+
+    def test_competitive_with_nsga2(self):
+        from repro.moo import NSGA2
+
+        budget = 300
+        spea = SPEA2(pop_size=20, archive_size=20).minimize(
+            BiObjective(), Termination(n_eval=budget), seed=3
+        )
+        nsga = NSGA2(pop_size=20).minimize(
+            BiObjective(), Termination(n_eval=budget), seed=3
+        )
+        ref = np.array([45.0, 45.0])
+        hv_spea = hypervolume(spea.pareto.F, ref)
+        hv_nsga = hypervolume(nsga.pareto.F, ref)
+        assert hv_spea > 0.85 * hv_nsga
+
+    def test_portfolio_integration(self):
+        from repro.moo.portfolio import probe_and_choose
+
+        choice, merged, scores = probe_and_choose(
+            BiObjective(), probe_budget=40,
+            candidates=("nsga2", "spea2", "random"), seed=2,
+        )
+        assert "spea2" in scores
+        assert choice.name != "random"

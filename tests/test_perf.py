@@ -1,0 +1,159 @@
+"""Tests for the static performance model and Roofline extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import DseSession, MetricSpec
+from repro.core.evaluate import PointEvaluator
+from repro.designs import get_design
+from repro.perf import (
+    RooflinePoint,
+    StaticThroughputModel,
+    build_roofline,
+    performance_model_for,
+    register_performance_model,
+    render_roofline,
+    unregister_performance_model,
+)
+
+
+class TestStaticThroughputModel:
+    def test_basic_rate(self):
+        m = StaticThroughputModel(items_per_cycle=lambda p: 2.0)
+        # 2 items/cycle at 100 MHz = 200e6 items/s.
+        assert m.throughput({}, 100.0) == pytest.approx(2e8)
+
+    def test_parameter_dependence(self):
+        m = StaticThroughputModel(items_per_cycle=lambda p: p["N"])
+        assert m.throughput({"N": 4}, 50.0) == 2 * m.throughput({"N": 2}, 50.0)
+
+    def test_startup_amortization(self):
+        no_fill = StaticThroughputModel(items_per_cycle=lambda p: 1.0)
+        with_fill = StaticThroughputModel(
+            items_per_cycle=lambda p: 1.0, startup_cycles=100, batch=100
+        )
+        assert with_fill.throughput({}, 100.0) < no_fill.throughput({}, 100.0)
+        # Amortization vanishes for huge batches.
+        big_batch = StaticThroughputModel(
+            items_per_cycle=lambda p: 1.0, startup_cycles=100, batch=10**7
+        )
+        assert big_batch.throughput({}, 100.0) == pytest.approx(1e8, rel=1e-3)
+
+    def test_invalid_inputs(self):
+        m = StaticThroughputModel(items_per_cycle=lambda p: 1.0)
+        with pytest.raises(ValueError):
+            m.throughput({}, 0.0)
+        bad = StaticThroughputModel(items_per_cycle=lambda p: -1.0)
+        with pytest.raises(ValueError):
+            bad.throughput({}, 100.0)
+
+
+class TestRegistry:
+    def test_register_resolve_unregister(self):
+        m = StaticThroughputModel(items_per_cycle=lambda p: 1.0)
+        register_performance_model("my_mod", m)
+        try:
+            assert performance_model_for("MY_MOD") is m
+        finally:
+            assert unregister_performance_model("my_mod")
+        assert performance_model_for("my_mod") is None
+
+    def test_case_studies_register_models(self):
+        get_design("tirex")
+        get_design("corundum-cqm")
+        assert performance_model_for("tirex_top") is not None
+        assert performance_model_for("cpl_queue_manager") is not None
+
+
+class TestPerformanceMetric:
+    def test_evaluator_fills_performance(self):
+        design = get_design("tirex")
+        ev = PointEvaluator(
+            source=design.source(), language=design.language, top=design.top,
+            part="ZU3EG",
+            metrics=[MetricSpec.minimize("LUT"),
+                     MetricSpec.maximize("performance")],
+            seed=2,
+        )
+        one = ev.evaluate({"NCLUSTER": 1})
+        two = ev.evaluate({"NCLUSTER": 2})
+        assert one.metrics["performance"] > 0
+        # Two clusters at a somewhat lower clock still beat one cluster.
+        assert two.metrics["performance"] > one.metrics["performance"]
+
+    def test_missing_model_raises(self):
+        src = "module nomodel(input wire clk); endmodule"
+        ev = PointEvaluator(
+            source=src, language="verilog", top="nomodel",
+            metrics=[MetricSpec.maximize("performance")],
+        )
+        with pytest.raises(LookupError, match="performance model"):
+            ev.evaluate({})
+
+    def test_perf_objective_changes_tirex_front(self):
+        """With throughput as an objective, NCluster > 1 joins the front —
+        the 'improved DSE' the paper's future work anticipates."""
+        design = get_design("tirex")
+        sess = DseSession(
+            design=design, part="ZU3EG",
+            metrics=[MetricSpec.minimize("LUT"),
+                     MetricSpec.maximize("performance")],
+            use_model=False, seed=6,
+        )
+        res = sess.explore(generations=6, population=12)
+        nclusters = {p.parameters["NCLUSTER"] for p in res.pareto}
+        assert any(n > 1 for n in nclusters), nclusters
+
+
+class TestRoofline:
+    def _mapped(self, part="ZU3EG"):
+        from repro.devices import get_device
+        from repro.synth import synthesize
+
+        design = get_design("tirex")
+        return synthesize(design.module(), get_device(part), {"NCLUSTER": 2})
+
+    def test_ceilings_positive(self):
+        synth = self._mapped()
+        rp = build_roofline(synth.mapped, fmax_mhz=400.0, operational_intensity=1.0)
+        assert rp.peak_compute_gops > 0
+        assert rp.peak_bandwidth_gbs > 0
+        assert rp.attainable_gops <= rp.peak_compute_gops
+
+    def test_memory_vs_compute_bound(self):
+        synth = self._mapped()
+        low = build_roofline(synth.mapped, 400.0, operational_intensity=1e-3)
+        high = build_roofline(synth.mapped, 400.0, operational_intensity=1e3)
+        assert low.memory_bound()
+        assert not high.memory_bound()
+        assert low.attainable_gops < high.attainable_gops
+
+    def test_attainable_formula(self):
+        rp = RooflinePoint(
+            peak_compute_gops=10.0, peak_bandwidth_gbs=2.0,
+            operational_intensity=3.0, attainable_gops=min(10.0, 3.0 * 2.0),
+        )
+        assert rp.ridge_point() == pytest.approx(5.0)
+        assert rp.memory_bound()
+
+    def test_frequency_scales_ceilings(self):
+        synth = self._mapped()
+        slow = build_roofline(synth.mapped, 200.0, 1.0)
+        fast = build_roofline(synth.mapped, 400.0, 1.0)
+        assert fast.peak_compute_gops == pytest.approx(2 * slow.peak_compute_gops)
+        assert fast.peak_bandwidth_gbs == pytest.approx(2 * slow.peak_bandwidth_gbs)
+
+    def test_render(self):
+        synth = self._mapped()
+        rp = build_roofline(synth.mapped, 400.0, 0.5, achieved_gops=0.1)
+        text = render_roofline(rp)
+        assert "Roofline" in text
+        assert "*" in text and "o" in text
+        assert len(text.splitlines()) >= 10
+
+    def test_invalid_args(self):
+        synth = self._mapped()
+        with pytest.raises(ValueError):
+            build_roofline(synth.mapped, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            build_roofline(synth.mapped, 100.0, 0.0)

@@ -1,0 +1,255 @@
+"""Tests for placement, routing, STA, checkpoints, and the impl driver."""
+
+import numpy as np
+import pytest
+
+from repro.devices import get_device
+from repro.directives import ImplDirective
+from repro.errors import TimingAnalysisError, UtilizationOverflowError, CheckpointError
+from repro.netlist import Block, Netlist
+from repro.pnr import (
+    Checkpoint,
+    CheckpointStore,
+    analyze_timing,
+    implement,
+    place,
+    route,
+)
+from repro.pnr.implementation import estimate_impl_seconds
+from repro.pnr.timing import block_internal_delay_ns
+from repro.synth.mapper import map_to_device
+
+
+def chain_netlist(levels_a=3, registered=True) -> Netlist:
+    n = Netlist(top="chain")
+    n.add_block(Block(name="a", logic_terms=200, ff_bits=40, levels=levels_a,
+                      registered_output=False))
+    n.add_block(Block(name="b", logic_terms=100, ff_bits=80, levels=2,
+                      registered_output=registered))
+    n.add_block(Block(name="c", logic_terms=50, ff_bits=30, levels=1))
+    n.connect("a", "b", width=16, combinational=True)
+    n.connect("b", "c", width=16, combinational=not registered)
+    n.set_ports(8, 8)
+    return n
+
+
+def mapped(netlist=None, part="XC7K70T"):
+    return map_to_device(netlist or chain_netlist(), get_device(part))
+
+
+class TestPlacer:
+    def test_deterministic_under_seed(self):
+        d = mapped()
+        p1 = place(d, seed=5)
+        p2 = place(d, seed=5)
+        assert p1.coords == p2.coords
+
+    def test_different_seeds_differ(self):
+        d = mapped()
+        assert place(d, seed=1).coords != place(d, seed=2).coords
+
+    def test_coords_inside_grid(self):
+        d = mapped()
+        p = place(d, seed=0)
+        for x, y in p.coords.values():
+            assert 0 <= x <= d.device.grid_cols
+            assert 0 <= y <= d.device.grid_rows
+
+    def test_connected_blocks_near(self):
+        """Annealing should pull connected blocks together vs random spread."""
+        d = mapped()
+        p = place(d, effort=2.0, seed=0)
+        dist_ab = p.distance("a", "b")
+        assert dist_ab < (d.device.grid_cols + d.device.grid_rows) / 2
+
+    def test_warm_start_short_schedule(self):
+        d = mapped()
+        cold = place(d, seed=0)
+        warm = place(d, seed=0, initial=cold.coords)
+        assert warm.iterations < cold.iterations
+        assert warm.seeded_from_checkpoint
+
+    def test_overflow_lut(self):
+        n = Netlist(top="huge")
+        n.add_block(Block(name="x", logic_terms=10**7))
+        d = map_to_device(n, get_device("XC7K70T"))
+        with pytest.raises(UtilizationOverflowError) as err:
+            place(d)
+        assert err.value.resource == "LUT"
+
+    def test_pin_overflow_without_box(self):
+        """The motivating case for boxing: unboxed wide interfaces overflow
+        the package pins at implementation."""
+        n = Netlist(top="wide")
+        n.add_block(Block(name="x", logic_terms=10))
+        n.set_ports(500, 200)
+        d = map_to_device(n, get_device("XC7K70T"), boxed=False)
+        with pytest.raises(UtilizationOverflowError) as err:
+            place(d)
+        assert err.value.resource == "IO"
+
+
+class TestRouter:
+    def test_delays_for_all_nets(self):
+        d = mapped()
+        r = route(d, place(d, seed=0))
+        assert set(r.net_delays_ns) == {("a", "b"), ("b", "c")}
+        assert all(v > 0 for v in r.net_delays_ns.values())
+
+    def test_congestion_grows_with_fill(self):
+        small = mapped()
+        big_netlist = chain_netlist()
+        big_netlist.replace_block("a", logic_terms=30000)
+        big = mapped(big_netlist)
+        r_small = route(small, place(small, seed=0))
+        r_big = route(big, place(big, seed=0))
+        assert r_big.detour_factor > r_small.detour_factor
+
+    def test_faster_process_faster_nets(self):
+        d28 = mapped(part="XC7K70T")
+        d16 = mapped(part="ZU3EG")
+        r28 = route(d28, place(d28, seed=0))
+        r16 = route(d16, place(d16, seed=0))
+        assert r16.delay("a", "b") < r28.delay("a", "b")
+
+
+class TestTiming:
+    def test_block_internal_delay_components(self):
+        dev = get_device("XC7K70T")
+        plain = Block(name="p", levels=2)
+        with_mem = Block(name="m", levels=2, through_memory=True)
+        assert block_internal_delay_ns(with_mem, dev) > block_internal_delay_ns(
+            plain, dev
+        )
+
+    def test_wns_sign_convention(self):
+        d = mapped()
+        r = route(d, place(d, seed=0))
+        tight = analyze_timing(d.netlist, d.device, r, target_period_ns=0.5)
+        loose = analyze_timing(d.netlist, d.device, r, target_period_ns=100.0)
+        assert tight.wns_ns < 0 and not tight.met()
+        assert loose.wns_ns > 0 and loose.met()
+        # Same critical delay either way:
+        assert tight.critical_delay_ns == pytest.approx(loose.critical_delay_ns)
+
+    def test_critical_path_is_comb_chain(self):
+        d = mapped()
+        r = route(d, place(d, seed=0))
+        t = analyze_timing(d.netlist, d.device, r, target_period_ns=1.0)
+        assert t.critical_path == ("a", "b")
+
+    def test_registered_launch_excluded(self):
+        """A registered-output launch block contributes no logic depth."""
+        n = Netlist(top="t")
+        n.add_block(Block(name="deep", logic_terms=10, levels=30))  # registered
+        n.add_block(Block(name="shallow", logic_terms=10, levels=1))
+        n.connect("deep", "shallow", combinational=True)
+        d = map_to_device(n, get_device("XC7K70T"))
+        r = route(d, place(d, seed=0))
+        t = analyze_timing(n, d.device, r, target_period_ns=1.0)
+        # deep's 30 levels dominate only via its own internal arc
+        assert t.critical_path == ("deep",)
+
+    def test_delay_bias_scales(self):
+        d = mapped()
+        r = route(d, place(d, seed=0))
+        base = analyze_timing(d.netlist, d.device, r, 1.0, delay_bias=1.0)
+        biased = analyze_timing(d.netlist, d.device, r, 1.0, delay_bias=1.1)
+        assert biased.critical_delay_ns == pytest.approx(
+            base.critical_delay_ns * 1.1
+        )
+
+    def test_bad_period_rejected(self):
+        d = mapped()
+        r = route(d, place(d, seed=0))
+        with pytest.raises(TimingAnalysisError):
+            analyze_timing(d.netlist, d.device, r, target_period_ns=0.0)
+
+
+class TestCheckpoints:
+    def test_lookup_hit_and_miss(self):
+        store = CheckpointStore()
+        n = chain_netlist()
+        d = mapped(n)
+        p = place(d, seed=0)
+        store.save(Checkpoint.from_run(n, p))
+        assert store.lookup(n) is not None
+        other = Netlist(top="other")
+        other.add_block(Block(name="z"))
+        assert store.lookup(other) is None
+        assert store.hits == 1 and store.misses == 1
+
+    def test_structure_match_across_parameterizations(self):
+        """Same topology, different sizes → checkpoint still matches."""
+        store = CheckpointStore()
+        n1 = chain_netlist()
+        store.save(Checkpoint.from_run(n1, place(mapped(n1), seed=0)))
+        n2 = chain_netlist()
+        n2.replace_block("a", logic_terms=999)
+        ckpt = store.lookup(n2)
+        assert ckpt is not None
+        assert not ckpt.matches_content(n2)
+
+    def test_lru_eviction(self):
+        store = CheckpointStore(capacity=2)
+        for i in range(3):
+            n = Netlist(top=f"t{i}")
+            n.add_block(Block(name="a"))
+            coords = {"a": (1.0, 1.0)}
+            store.save(
+                Checkpoint(
+                    structure_fingerprint=n.structure_fingerprint(),
+                    content_fingerprint=n.content_fingerprint(),
+                    coords=coords,
+                    block_summary={"a": 1},
+                )
+            )
+        assert len(store) == 2
+
+    def test_persistence_roundtrip(self, tmp_path):
+        store = CheckpointStore()
+        n = chain_netlist()
+        store.save(Checkpoint.from_run(n, place(mapped(n), seed=0)))
+        path = store.write(tmp_path / "ckpts.json")
+        loaded = CheckpointStore.read(path)
+        assert loaded.lookup(n) is not None
+
+    def test_corrupt_archive_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            CheckpointStore.read(path)
+
+    def test_malformed_entry_raises(self, tmp_path):
+        path = tmp_path / "bad2.json"
+        path.write_text('[{"structure_fingerprint": 1}]')
+        with pytest.raises(CheckpointError, match="malformed"):
+            CheckpointStore.read(path)
+
+
+class TestImplementation:
+    def test_full_flow(self):
+        res = implement(mapped(), target_period_ns=1.0, seed=3)
+        assert res.timing.wns_ns < 1.0
+        assert res.simulated_seconds > 0
+        assert not res.used_checkpoint
+
+    def test_incremental_flow_reuses(self):
+        store = CheckpointStore()
+        d = mapped()
+        first = implement(d, 1.0, seed=3, checkpoints=store)
+        second = implement(d, 1.0, seed=3, checkpoints=store)
+        assert not first.used_checkpoint
+        assert second.used_checkpoint
+        assert second.simulated_seconds < first.simulated_seconds
+
+    def test_directive_effort_tradeoff(self):
+        d = mapped()
+        fast = implement(d, 1.0, directive=ImplDirective.RUNTIME_OPTIMIZED, seed=3)
+        explore = implement(d, 1.0, directive=ImplDirective.EXPLORE, seed=3)
+        assert fast.simulated_seconds < explore.simulated_seconds
+        assert explore.timing.critical_delay_ns < fast.timing.critical_delay_ns
+
+    def test_runtime_estimator_guards(self):
+        with pytest.raises(ValueError):
+            estimate_impl_seconds(100, ImplDirective.DEFAULT, -0.1)

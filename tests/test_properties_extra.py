@@ -1,0 +1,210 @@
+"""Additional property-based tests across subsystems (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.spaces import BoolParam, IntRange, ParameterSpace, PowerOfTwoRange
+from repro.devices import ResourceVector
+from repro.estimation.kernels import gaussian_kernel, squared_distances
+from repro.estimation.nadaraya_watson import NadarayaWatson
+from repro.moo.crossover import IntegerSBX
+from repro.moo.mutation import GaussianIntegerMutation
+from repro.moo.problem import IntegerProblem, Objective
+from repro.util.rng import stable_hash_seed
+
+
+# ---------------------------------------------------------------------------
+# parameter spaces
+# ---------------------------------------------------------------------------
+
+@st.composite
+def spaces(draw):
+    n = draw(st.integers(1, 4))
+    dims = []
+    for i in range(n):
+        kind = draw(st.sampled_from(["int", "pow2", "bool"]))
+        if kind == "int":
+            lo = draw(st.integers(-20, 50))
+            hi = lo + draw(st.integers(0, 60))
+            dims.append(IntRange(f"p{i}", lo, hi))
+        elif kind == "pow2":
+            lo = draw(st.integers(0, 10))
+            hi = lo + draw(st.integers(0, 6))
+            dims.append(PowerOfTwoRange(f"p{i}", lo, hi))
+        else:
+            dims.append(BoolParam(f"p{i}"))
+    return ParameterSpace(dims)
+
+
+@settings(max_examples=80, deadline=None)
+@given(spaces(), st.randoms(use_true_random=False))
+def test_space_encode_decode_roundtrip(space, rnd):
+    encoded = np.array(
+        [rnd.randint(d.low, d.high) for d in space.dimensions], dtype=np.int64
+    )
+    params = space.decode(encoded)
+    back = space.encode(params)
+    assert np.array_equal(back, encoded)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spaces())
+def test_space_cardinality_matches_enumeration(space):
+    total = 1
+    for d in space.dimensions:
+        total *= len(d.values())
+    assert space.cardinality() == total
+
+
+@settings(max_examples=60, deadline=None)
+@given(spaces(), st.randoms(use_true_random=False))
+def test_decode_always_within_dimension_values(space, rnd):
+    encoded = [rnd.randint(d.low - 5, d.high + 5) for d in space.dimensions]
+    params = space.decode(encoded)  # clips out-of-range encodings
+    for d in space.dimensions:
+        assert params[d.name] in d.values()
+
+
+# ---------------------------------------------------------------------------
+# resource vectors
+# ---------------------------------------------------------------------------
+
+_counts = st.dictionaries(
+    st.sampled_from(["LUT", "FF", "BRAM", "DSP", "CARRY"]),
+    st.integers(0, 10**6),
+    max_size=5,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_counts, _counts)
+def test_resource_vector_addition_commutes(a, b):
+    va = ResourceVector.of(**a)
+    vb = ResourceVector.of(**b)
+    left = va + vb
+    right = vb + va
+    for kind in set(a) | set(b):
+        assert left.get(kind) == right.get(kind) == va.get(kind) + vb.get(kind)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_counts)
+def test_resource_vector_zero_identity(a):
+    v = ResourceVector.of(**a)
+    assert (v + ResourceVector()).as_dict() == v.as_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(_counts, st.floats(min_value=0, max_value=3, allow_nan=False))
+def test_resource_vector_scaling_bounds(a, factor):
+    v = ResourceVector.of(**a)
+    scaled = v.scaled(factor)
+    for kind, count in v:
+        assert abs(scaled.get(kind) - count * factor) <= 0.5
+
+
+# ---------------------------------------------------------------------------
+# GA operators never leave the lattice
+# ---------------------------------------------------------------------------
+
+class _Box(IntegerProblem):
+    def __init__(self, lows, highs):
+        super().__init__(lows, highs, [Objective.minimize("f")])
+
+    def evaluate(self, X):  # pragma: no cover - operators never call it
+        return X[:, :1].astype(float)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(0, 1000),
+    st.integers(2, 6),
+    st.integers(4, 30),
+)
+def test_sbx_children_always_feasible(seed, n_var, n_pairs):
+    rng = np.random.default_rng(seed)
+    lows = rng.integers(-50, 0, n_var)
+    highs = lows + rng.integers(1, 100, n_var)
+    p = _Box(lows, highs)
+    A = rng.integers(lows, highs + 1, (n_pairs, n_var))
+    B = rng.integers(lows, highs + 1, (n_pairs, n_var))
+    c1, c2 = IntegerSBX()(p, A, B, seed)
+    for C in (c1, c2):
+        assert np.all(C >= lows) and np.all(C <= highs)
+        assert C.dtype == np.int64
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 1000), st.integers(1, 5))
+def test_mutation_always_feasible(seed, n_var):
+    rng = np.random.default_rng(seed)
+    lows = rng.integers(-10, 0, n_var)
+    highs = lows + rng.integers(1, 40, n_var)
+    p = _Box(lows, highs)
+    X = rng.integers(lows, highs + 1, (20, n_var))
+    out = GaussianIntegerMutation(prob_mean=0.8)(p, X, seed)
+    assert np.all(out >= lows) and np.all(out <= highs)
+
+
+# ---------------------------------------------------------------------------
+# estimation
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100, allow_nan=False),
+                  st.floats(-50, 50, allow_nan=False)),
+        min_size=2, max_size=20, unique_by=lambda t: round(t[0], 6),
+    ),
+    st.floats(0.1, 50),
+)
+def test_nwm_prediction_within_training_hull(pairs, h):
+    """Kernel-weighted averages can never leave [min(Y), max(Y)]."""
+    X = np.array([[p[0]] for p in pairs])
+    Y = np.array([[p[1]] for p in pairs])
+    model = NadarayaWatson(bandwidth=h).fit(X, Y)
+    for probe in (X.min() - 5, X.mean(), X.max() + 5):
+        pred = model.predict(np.array([probe]))[0]
+        assert Y.min() - 1e-6 <= pred <= Y.max() + 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(0.01, 100), st.lists(st.floats(0, 1000, allow_nan=False),
+                                      min_size=1, max_size=30))
+def test_gaussian_kernel_bounded(h, dists):
+    k = gaussian_kernel(np.asarray(dists), h)
+    assert np.all(k >= 0)
+    assert np.all(k <= 1.0 / np.sqrt(2 * np.pi) + 1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.tuples(st.floats(-100, 100, allow_nan=False),
+                       st.floats(-100, 100, allow_nan=False)),
+             min_size=1, max_size=15)
+)
+def test_squared_distances_nonnegative_and_symmetric(points):
+    X = np.asarray(points)
+    for row in X:
+        d = squared_distances(row, X)
+        assert np.all(d >= 0)
+        assert d[np.all(X == row, axis=1)].min() == 0
+
+
+# ---------------------------------------------------------------------------
+# stable hashing
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.recursive(
+        st.one_of(st.integers(-10**6, 10**6), st.text(max_size=8),
+                  st.booleans()),
+        lambda inner: st.lists(inner, max_size=4),
+        max_leaves=12,
+    )
+)
+def test_stable_hash_deterministic(value):
+    assert stable_hash_seed(value) == stable_hash_seed(value)
+    assert 0 <= stable_hash_seed(value) < 2**63

@@ -1,0 +1,234 @@
+"""Tests for elaboration, optimization, technology mapping, and the driver."""
+
+import pytest
+
+from repro.devices import ResourceKind, get_device
+from repro.directives import SynthDirective
+from repro.errors import ElaborationError, MappingError
+from repro.hdl.frontend import parse_source
+from repro.netlist import Block, Netlist
+from repro.synth import (
+    elaborate,
+    map_to_device,
+    optimize,
+    register_model,
+    registered_models,
+    synthesize,
+    unregister_model,
+)
+from repro.synth.elaborate import resolve_environment
+from repro.synth.mapper import BRAM_TILE_BITS, DISTRIBUTED_RAM_LIMIT, map_block
+from repro.synth.synthesis import estimate_synth_seconds
+
+SV = """
+module widget #(
+    parameter DEPTH = 16,
+    parameter WIDTH = 8,
+    localparam ADDR = $clog2(DEPTH)
+)(
+    input wire clk,
+    input wire [WIDTH-1:0] d,
+    output reg [WIDTH-1:0] q
+);
+endmodule
+"""
+
+
+def widget():
+    return parse_source(SV, "verilog")[0]
+
+
+class TestResolveEnvironment:
+    def test_defaults_plus_overrides(self):
+        env = resolve_environment(widget(), {"DEPTH": 64})
+        assert env["DEPTH"] == 64
+        assert env["WIDTH"] == 8
+
+    def test_localparam_rederived(self):
+        env = resolve_environment(widget(), {"DEPTH": 256})
+        assert env["ADDR"] == 8
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ElaborationError, match="no parameter"):
+            resolve_environment(widget(), {"GHOST": 1})
+
+    def test_localparam_override_rejected(self):
+        with pytest.raises(ElaborationError, match="local"):
+            resolve_environment(widget(), {"ADDR": 3})
+
+    def test_bool_coerced(self):
+        m = parse_source(
+            "module m #(parameter EN = 0)(input wire clk); endmodule", "verilog"
+        )[0]
+        assert resolve_environment(m, {"EN": True})["EN"] == 1
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ElaborationError, match="integer"):
+            resolve_environment(widget(), {"DEPTH": 3.5})
+
+
+class TestHeuristicElaboration:
+    def test_produces_nonempty_netlist(self):
+        n = elaborate(widget())
+        assert len(n) >= 2
+        assert n.totals()["ff_bits"] > 0
+
+    def test_monotone_in_memory_hint(self):
+        small = elaborate(widget(), {"DEPTH": 16}).totals()["mem_bits"]
+        large = elaborate(widget(), {"DEPTH": 512}).totals()["mem_bits"]
+        assert large > small
+
+    def test_ports_recorded(self):
+        n = elaborate(widget())
+        assert n.ports.inputs == 1 + 8
+        assert n.ports.outputs == 8
+
+
+class TestModelRegistry:
+    def test_registered_model_takes_priority(self):
+        def tiny(module, env):
+            n = Netlist(top=module.name)
+            n.add_block(Block(name="only", logic_terms=env["DEPTH"], ff_bits=1))
+            return n
+
+        register_model("widget", tiny)
+        try:
+            n = elaborate(widget(), {"DEPTH": 33})
+            assert [b.name for b in n.blocks()] == ["only"]
+            assert n.block("only").logic_terms == 33
+            assert "widget" in registered_models()
+        finally:
+            assert unregister_model("widget")
+
+    def test_empty_model_netlist_rejected(self):
+        register_model("widget", lambda m, e: Netlist(top=m.name))
+        try:
+            with pytest.raises(ElaborationError, match="empty"):
+                elaborate(widget())
+        finally:
+            assert unregister_model("widget")
+
+
+class TestOptimizer:
+    def _netlist(self):
+        n = Netlist(top="t")
+        n.add_block(Block(name="big", logic_terms=1000, ff_bits=10, levels=5,
+                          registered_output=False))
+        n.add_block(Block(name="small", logic_terms=8, ff_bits=10, levels=1))
+        n.connect("big", "small", combinational=True)
+        return n
+
+    def test_default_is_identity(self):
+        n = self._netlist()
+        assert optimize(n, SynthDirective.DEFAULT) is n
+
+    def test_area_directive_shrinks_luts(self):
+        n = self._netlist()
+        out = optimize(n, SynthDirective.AREA_OPTIMIZED_HIGH)
+        assert out.block("big").logic_terms < 1000
+        assert out.block("small").logic_terms == 8  # below sharing threshold
+
+    def test_area_directive_costs_levels(self):
+        out = optimize(self._netlist(), SynthDirective.AREA_OPTIMIZED_HIGH)
+        # sharing adds a level OR effort trims one; net effect within ±1
+        assert abs(out.block("big").levels - 5) <= 1
+
+    def test_perf_directive_grows_luts_trims_levels(self):
+        out = optimize(self._netlist(), SynthDirective.PERFORMANCE_OPTIMIZED)
+        assert out.block("big").logic_terms > 1000
+        assert out.block("big").levels < 5
+
+    def test_structure_preserved(self):
+        n = self._netlist()
+        out = optimize(n, SynthDirective.AREA_OPTIMIZED_HIGH)
+        assert out.structure_fingerprint() == n.structure_fingerprint()
+
+
+class TestMapper:
+    def test_small_memory_stays_distributed(self):
+        b = Block(name="m", mem_bits=DISTRIBUTED_RAM_LIMIT, mem_width=8)
+        res = map_block(b)
+        assert res.get("BRAM") == 0
+        assert res.get("LUT") > 0
+
+    def test_large_memory_uses_bram_capacity_rule(self):
+        b = Block(name="m", mem_bits=3 * BRAM_TILE_BITS, mem_width=32)
+        assert map_block(b).get("BRAM") == 3
+
+    def test_wide_shallow_memory_width_rule(self):
+        # 2048 bits but 144 wide: width forces 2 tiles despite tiny capacity.
+        b = Block(name="m", mem_bits=2048, mem_width=144)
+        assert map_block(b).get("BRAM") == 2
+
+    def test_carry_mapping(self):
+        b = Block(name="c", carry_bits=9)
+        res = map_block(b)
+        assert res.get("CARRY") == 3  # ceil(9/4)
+        assert res.get("LUT") == 9    # one LUT per carry bit
+
+    def test_boxed_io_is_one(self):
+        n = Netlist(top="t")
+        n.add_block(Block(name="a", logic_terms=4))
+        n.set_ports(100, 200)
+        mapped = map_to_device(n, get_device("XC7K70T"), boxed=True)
+        assert mapped.total.get("IO") == 1
+
+    def test_unboxed_io_counts_port_bits(self):
+        n = Netlist(top="t")
+        n.add_block(Block(name="a", logic_terms=4))
+        n.set_ports(100, 200)
+        mapped = map_to_device(n, get_device("XC7K70T"), boxed=False)
+        assert mapped.total.get("IO") == 300
+
+    def test_missing_resource_class_raises(self):
+        # Build a fake device without DSP and map a multiplier onto it.
+        from repro.devices import Device, ResourceVector
+
+        dev = Device(
+            part="FAKE-NO-DSP",
+            family="Fake",
+            process="28nm",
+            speed_grade=1,
+            resources=ResourceVector.of(LUT=1000, FF=1000, IO=10, BUFG=4),
+            grid_cols=8,
+            grid_rows=8,
+        )
+        n = Netlist(top="t")
+        n.add_block(Block(name="mul", mul_ops=2))
+        with pytest.raises(MappingError, match="DSP"):
+            map_to_device(n, dev)
+
+
+class TestSynthesisDriver:
+    def test_runtime_model_monotone_in_cells(self):
+        small = estimate_synth_seconds(100, SynthDirective.DEFAULT)
+        large = estimate_synth_seconds(10000, SynthDirective.DEFAULT)
+        assert large > small
+
+    def test_runtime_directive_factor(self):
+        fast = estimate_synth_seconds(5000, SynthDirective.RUNTIME_OPTIMIZED)
+        slow = estimate_synth_seconds(5000, SynthDirective.AREA_OPTIMIZED_HIGH)
+        assert fast < slow
+
+    def test_incremental_saves_time(self):
+        full = estimate_synth_seconds(5000, SynthDirective.DEFAULT, 0.0)
+        warm = estimate_synth_seconds(5000, SynthDirective.DEFAULT, 1.0)
+        assert warm < full
+        assert warm >= full * 0.25  # floor: reuse never free
+
+    def test_bad_reuse_fraction(self):
+        with pytest.raises(ValueError):
+            estimate_synth_seconds(100, SynthDirective.DEFAULT, 1.5)
+
+    def test_full_synthesis(self):
+        res = synthesize(widget(), get_device("XC7K70T"), {"DEPTH": 32})
+        assert res.mapped.total.get("LUT") > 0
+        assert res.simulated_seconds > 0
+
+    def test_incremental_reference(self):
+        first = synthesize(widget(), get_device("XC7K70T"), {"DEPTH": 32})
+        second = synthesize(
+            widget(), get_device("XC7K70T"), {"DEPTH": 33}, reference=first.netlist
+        )
+        assert second.incremental_reuse > 0
+        assert second.simulated_seconds < first.simulated_seconds

@@ -1,0 +1,281 @@
+"""Tests for the mini-TCL interpreter, command bindings, and frames."""
+
+import pytest
+
+from repro.directives import DirectiveSet, SynthDirective
+from repro.errors import TclError
+from repro.flow import FlowStep, VivadoSim
+from repro.hdl.ast import HdlLanguage
+from repro.tcl import (
+    TclInterp,
+    VivadoTclSession,
+    bind_vivado_commands,
+    render_evaluation_script,
+)
+
+
+class TestInterpreterBasics:
+    def test_set_and_substitute(self):
+        i = TclInterp()
+        assert i.eval("set x 5; return $x") == "5"
+
+    def test_braced_var(self):
+        i = TclInterp()
+        i.eval("set long_name hi")
+        assert i.eval("return ${long_name}") == "hi"
+
+    def test_unset(self):
+        i = TclInterp()
+        i.eval("set x 1; unset x")
+        with pytest.raises(TclError, match="no such variable"):
+            i.eval("return $x")
+
+    def test_command_substitution(self):
+        i = TclInterp()
+        assert i.eval("set y [expr 2 + 3]; return $y") == "5"
+
+    def test_nested_command_substitution(self):
+        i = TclInterp()
+        assert i.eval("return [expr [expr 1 + 1] * 3]") == "6"
+
+    def test_quotes_allow_spaces_and_substitution(self):
+        i = TclInterp()
+        i.eval('set name world; set msg "hello $name"')
+        assert i.vars["msg"] == "hello world"
+
+    def test_braces_are_verbatim(self):
+        i = TclInterp()
+        i.eval("set x {no $substitution here}")
+        assert i.vars["x"] == "no $substitution here"
+
+    def test_comments_and_blank_lines(self):
+        i = TclInterp()
+        out = i.eval("# a comment\n\nset x 1\nreturn $x")
+        assert out == "1"
+
+    def test_line_continuation(self):
+        i = TclInterp()
+        assert i.eval("set x \\\n42; return $x") == "42"
+
+    def test_semicolons_split(self):
+        i = TclInterp()
+        assert i.eval("set a 1; set b 2; expr $a + $b") == "3"
+
+    def test_puts_captured(self):
+        i = TclInterp()
+        i.eval('puts "hello"')
+        assert i.stdout == ["hello"]
+
+    def test_unknown_command(self):
+        with pytest.raises(TclError, match="invalid command name"):
+            TclInterp().eval("launch_rockets now")
+
+    def test_lindex_and_string(self):
+        i = TclInterp()
+        assert i.eval("lindex {a b c} 1") == "b"
+        assert i.eval("string toupper abc") == "ABC"
+        assert i.eval("string length abcd") == "4"
+
+
+class TestExpr:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1 + 2 * 3", "7"),
+            ("(1 + 2) * 3", "9"),
+            ("2 ** 10", "1024"),
+            ("7 / 2", "3.5"),
+            ("8 / 2", "4"),
+            ("7 % 3", "1"),
+            ("1 << 4", "16"),
+            ("5 > 3", "1"),
+            ("5 <= 3", "0"),
+            ("1 && 0", "0"),
+            ("1 || 0", "1"),
+            ("-3 + 5", "2"),
+        ],
+    )
+    def test_values(self, text, expected):
+        assert TclInterp().eval(f"expr {text}") == expected
+
+    def test_malformed(self):
+        with pytest.raises(TclError):
+            TclInterp().eval("expr 1 +")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(TclError, match="parens"):
+            TclInterp().eval("expr (1 + 2")
+
+
+class TestVivadoCommands:
+    def _session(self, design):
+        sim = VivadoSim(part="XC7K70T", seed=2)
+        session = VivadoTclSession(sim=sim)
+        session.stage_source("dut.v", design.source(), design.language)
+        interp = TclInterp()
+        bind_vivado_commands(interp, session)
+        return interp, session
+
+    def test_full_flow_writes_reports(self, cqm_design):
+        interp, session = self._session(cqm_design)
+        interp.eval(
+            "read_verilog dut.v\n"
+            "create_clock -period 1.0\n"
+            "synth_design -top cpl_queue_manager -generic OP_TABLE_SIZE=24\n"
+            "place_design\nroute_design\n"
+            "report_utilization -file u.rpt\n"
+            "report_timing -file t.rpt\nexit"
+        )
+        assert "u.rpt" in interp.files and "t.rpt" in interp.files
+        assert session.exited
+        assert session.generics == {"OP_TABLE_SIZE": 24}
+        assert session.step == FlowStep.IMPLEMENTATION
+
+    def test_synthesis_only_flow(self, cqm_design):
+        interp, session = self._session(cqm_design)
+        interp.eval(
+            "read_verilog dut.v\ncreate_clock -period 2.0\n"
+            "synth_design -top cpl_queue_manager\n"
+            "report_utilization -file u.rpt"
+        )
+        assert session.step == FlowStep.SYNTHESIS
+        assert session.result is not None
+        assert session.result.step == FlowStep.SYNTHESIS
+
+    def test_result_lazy_and_cached(self, cqm_design):
+        interp, session = self._session(cqm_design)
+        interp.eval("read_verilog dut.v\nsynth_design -top cpl_queue_manager")
+        assert session.result is None  # not yet evaluated
+        interp.eval("report_utilization -file a.rpt")
+        first = session.result
+        interp.eval("report_timing -file b.rpt")
+        assert session.result is first  # one evaluation serves both reports
+
+    def test_missing_source_raises(self, cqm_design):
+        interp, _ = self._session(cqm_design)
+        with pytest.raises(TclError, match="no such file or staged key"):
+            interp.eval("read_verilog /does/not/exist.v")
+
+    def test_report_without_synth_raises(self, cqm_design):
+        interp, _ = self._session(cqm_design)
+        with pytest.raises(TclError, match="no synth_design"):
+            interp.eval("report_timing -file t.rpt")
+
+    def test_bad_directive_rejected(self, cqm_design):
+        interp, _ = self._session(cqm_design)
+        with pytest.raises(TclError, match="unknown synthesis directive"):
+            interp.eval(
+                "read_verilog dut.v\n"
+                "synth_design -top cpl_queue_manager -directive TurboMode"
+            )
+
+    def test_directive_accepted(self, cqm_design):
+        interp, session = self._session(cqm_design)
+        interp.eval(
+            "read_verilog dut.v\n"
+            "synth_design -top cpl_queue_manager -directive AreaOptimized_high"
+        )
+        assert session.synth_directive == SynthDirective.AREA_OPTIMIZED_HIGH
+
+    def test_bad_generic_format(self, cqm_design):
+        interp, _ = self._session(cqm_design)
+        with pytest.raises(TclError, match="NAME=VALUE"):
+            interp.eval(
+                "read_verilog dut.v\nsynth_design -top x -generic NOVALUE"
+            )
+
+    def test_write_checkpoint(self, cqm_design):
+        interp, _ = self._session(cqm_design)
+        interp.eval(
+            "read_verilog dut.v\nsynth_design -top cpl_queue_manager\n"
+            "write_checkpoint -force out.dcp"
+        )
+        assert "out.dcp" in interp.files
+
+
+class TestFrames:
+    def test_rendered_script_is_valid_tcl(self, cqm_design):
+        sim = VivadoSim(part="XC7K70T", seed=2)
+        session = VivadoTclSession(sim=sim)
+        session.stage_source("dut.v", cqm_design.source(), cqm_design.language)
+        interp = TclInterp()
+        bind_vivado_commands(interp, session)
+        script = render_evaluation_script(
+            sources=[("dut.v", HdlLanguage.VERILOG)],
+            top=cqm_design.top,
+            part="XC7K70T",
+            target_period_ns=1.0,
+            directives=DirectiveSet(synth=SynthDirective.RUNTIME_OPTIMIZED),
+        )
+        interp.eval(script)
+        assert "utilization.rpt" in interp.files
+        assert session.synth_directive == SynthDirective.RUNTIME_OPTIMIZED
+
+    def test_synthesis_step_frame_has_no_impl(self):
+        script = render_evaluation_script(
+            sources=[("a.vhd", HdlLanguage.VHDL)],
+            top="e",
+            part="XC7K70T",
+            target_period_ns=2.0,
+            step=FlowStep.SYNTHESIS,
+        )
+        assert "place_design" not in script
+        assert "read_vhdl a.vhd" in script
+
+    def test_sv_read_command(self):
+        script = render_evaluation_script(
+            sources=[("p.sv", HdlLanguage.SYSTEMVERILOG)],
+            top="m",
+            part="X",
+            target_period_ns=1.0,
+        )
+        assert "read_verilog -sv p.sv" in script
+
+
+class TestCheckpointCommands:
+    def _session(self, design):
+        sim = VivadoSim(part="XC7K70T", seed=2, incremental_impl=True)
+        session = VivadoTclSession(sim=sim)
+        session.stage_source("dut.v", design.source(), design.language)
+        interp = TclInterp()
+        bind_vivado_commands(interp, session)
+        return interp, session
+
+    def test_write_checkpoint_carries_placement(self, cqm_design):
+        interp, session = self._session(cqm_design)
+        interp.eval(
+            "read_verilog dut.v\nsynth_design -top cpl_queue_manager\n"
+            "place_design\nroute_design\nreport_timing -file t.rpt\n"
+            "write_checkpoint run1.dcp"
+        )
+        import json
+
+        payload = json.loads(interp.files["run1.dcp"])
+        assert payload["design"] == "cpl_queue_manager"
+        assert payload["checkpoints"], "placement archive must not be empty"
+
+    def test_open_checkpoint_restores_archive(self, cqm_design):
+        interp, session = self._session(cqm_design)
+        interp.eval(
+            "read_verilog dut.v\nsynth_design -top cpl_queue_manager\n"
+            "place_design\nroute_design\nreport_timing -file t.rpt\n"
+            "write_checkpoint run1.dcp"
+        )
+        dcp_text = interp.files["run1.dcp"]
+
+        interp2, session2 = self._session(cqm_design)
+        interp2.files["run1.dcp"] = dcp_text
+        interp2.eval("open_checkpoint run1.dcp")
+        assert len(session2.sim.checkpoints) == len(session.sim.checkpoints)
+        assert session2.sim.incremental_impl
+
+    def test_open_checkpoint_missing_path(self, cqm_design):
+        interp, _ = self._session(cqm_design)
+        with pytest.raises(TclError, match="no such checkpoint"):
+            interp.eval("open_checkpoint /nope/never.dcp")
+
+    def test_open_checkpoint_malformed(self, cqm_design):
+        interp, _ = self._session(cqm_design)
+        interp.files["bad.dcp"] = "{definitely not a checkpoint"
+        with pytest.raises(TclError, match="malformed"):
+            interp.eval("open_checkpoint bad.dcp")

@@ -1,0 +1,73 @@
+"""Tests for ASCII scatter plotting."""
+
+import pytest
+
+from repro.core.point import EvaluatedPoint
+from repro.util.plots import Series, pareto_plot, scatter_plot
+
+
+class TestSeries:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Series("s", (1.0,), (1.0, 2.0))
+
+    def test_multi_char_mark_rejected(self):
+        with pytest.raises(ValueError, match="mark"):
+            Series("s", (1.0,), (1.0,), mark="**")
+
+
+class TestScatter:
+    def test_marks_present(self):
+        text = scatter_plot(
+            [Series("a", (0.0, 10.0), (0.0, 5.0), mark="*")],
+            width=20, height=8,
+        )
+        grid = "".join(l for l in text.splitlines() if l.count("|") == 2)
+        assert grid.count("*") == 2
+
+    def test_extremes_at_corners(self):
+        text = scatter_plot(
+            [Series("a", (0.0, 10.0), (0.0, 10.0), mark="x")],
+            width=21, height=9,
+        )
+        rows = [l for l in text.splitlines() if l.strip().startswith("|") or "|" in l]
+        grid_rows = [l.split("|")[1] for l in rows if l.count("|") == 2]
+        assert grid_rows[0].rstrip().endswith("x")   # top-right: max x, max y
+        assert grid_rows[-1].lstrip().startswith("x")  # bottom-left
+
+    def test_axis_annotations(self):
+        text = scatter_plot(
+            [Series("a", (2.0, 8.0), (1.0, 3.0))],
+            x_label="LUT", y_label="MHz", title="front",
+        )
+        assert "front" in text
+        assert "x: LUT" in text and "y: MHz" in text
+        assert "8" in text and "3" in text
+
+    def test_degenerate_single_point(self):
+        text = scatter_plot([Series("a", (5.0,), (5.0,))], width=10, height=5)
+        grid = "".join(l for l in text.splitlines() if l.count("|") == 2)
+        assert grid.count("*") == 1
+
+    def test_empty(self):
+        assert "(no data)" in scatter_plot([], title="t")
+
+    def test_multiple_series_legend(self):
+        text = scatter_plot([
+            Series("k7", (1.0,), (1.0,), mark="k"),
+            Series("zu", (2.0,), (2.0,), mark="z"),
+        ])
+        assert "k k7" in text and "z zu" in text
+
+
+class TestParetoPlot:
+    def test_from_evaluated_points(self):
+        points = [
+            EvaluatedPoint(parameters={"P": i},
+                           metrics={"LUT": 100.0 + i, "frequency": 200.0 - i})
+            for i in range(5)
+        ]
+        text = pareto_plot(points, "LUT", "frequency", title="Fig.4")
+        assert "Fig.4" in text
+        grid = "".join(l for l in text.splitlines() if l.count("|") == 2)
+        assert grid.count("o") == 5

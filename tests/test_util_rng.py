@@ -1,0 +1,90 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import (
+    as_generator,
+    choice_without_replacement,
+    integer_sample,
+    spawn_child,
+    stable_hash_seed,
+)
+
+
+class TestAsGenerator:
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).integers(0, 1000, 10)
+        b = as_generator(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestStableHashSeed:
+    def test_deterministic_across_calls(self):
+        v = {"part": "XC7K70T", "params": [("DEPTH", 8)]}
+        assert stable_hash_seed(v) == stable_hash_seed(v)
+
+    def test_different_inputs_differ(self):
+        assert stable_hash_seed(("a", 1)) != stable_hash_seed(("a", 2))
+
+    def test_int_float_canonicalized(self):
+        assert stable_hash_seed(1) == stable_hash_seed(1.0)
+
+    def test_dict_order_insensitive(self):
+        assert stable_hash_seed({"a": 1, "b": 2}) == stable_hash_seed({"b": 2, "a": 1})
+
+    def test_nesting_matters(self):
+        assert stable_hash_seed([1, [2, 3]]) != stable_hash_seed([[1, 2], 3])
+
+    def test_range_is_63_bit(self):
+        for v in ("x", 0, (1, 2, 3), {"k": [1.5]}):
+            s = stable_hash_seed(v)
+            assert 0 <= s < 2**63
+
+
+class TestSpawnChild:
+    def test_children_with_different_tags_differ(self):
+        parent = np.random.default_rng(7)
+        a = spawn_child(parent, "placer")
+        parent2 = np.random.default_rng(7)
+        b = spawn_child(parent2, "router")
+        assert a.integers(0, 10**9) != b.integers(0, 10**9)
+
+    def test_same_tag_same_state_reproduces(self):
+        a = spawn_child(np.random.default_rng(7), "x").integers(0, 10**9)
+        b = spawn_child(np.random.default_rng(7), "x").integers(0, 10**9)
+        assert a == b
+
+
+class TestIntegerSample:
+    def test_bounds_inclusive(self):
+        rng = as_generator(0)
+        X = integer_sample(rng, [0, 5], [1, 5], 200)
+        assert X.shape == (200, 2)
+        assert set(np.unique(X[:, 0])) <= {0, 1}
+        assert np.all(X[:, 1] == 5)
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(ValueError, match="inverted"):
+            integer_sample(as_generator(0), [5], [4], 1)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            integer_sample(as_generator(0), [0, 1], [2], 1)
+
+
+class TestChoiceWithoutReplacement:
+    def test_distinct_results(self):
+        out = choice_without_replacement(as_generator(3), range(10), 5)
+        assert len(out) == len(set(out)) == 5
+
+    def test_overdraw_raises(self):
+        with pytest.raises(ValueError):
+            choice_without_replacement(as_generator(3), range(3), 4)

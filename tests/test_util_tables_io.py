@@ -1,0 +1,68 @@
+"""Tests for table rendering and session IO."""
+
+import pytest
+
+from repro.util.io import load_csv, load_json, save_csv, save_json
+from repro.util.tables import render_kv, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        text = render_table(("A", "Bee"), [("x", 1), ("long", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(("A",), [(1,)], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(("A", "B"), [(1,)])
+
+    def test_float_formatting(self):
+        text = render_table(("v",), [(0.000123,), (1234.5,), (3.14159,)])
+        assert "0.000123" in text
+        assert "1234" in text or "1235" in text
+        assert "3.14" in text
+
+    def test_render_kv(self):
+        text = render_kv({"runs": 10, "wns": -3.5}, title="Summary")
+        assert "runs" in text and "-3.5" in text
+
+    def test_render_series_validates_lengths(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1, 2], {"s": [1]})
+
+    def test_render_series_shape(self):
+        text = render_series("samples", [10, 20], {"mse": [0.1, 0.05]})
+        assert "samples" in text and "mse" in text
+        assert len(text.splitlines()) == 4
+
+
+class TestSessionIo:
+    def test_json_roundtrip(self, tmp_path):
+        payload = {"pareto": [{"LUT": 10, "frequency": 200.5}], "n": 3}
+        path = save_json(tmp_path / "out" / "session.json", payload)
+        assert load_json(path) == payload
+
+    def test_json_numpy_coercion(self, tmp_path):
+        import numpy as np
+
+        payload = {"v": np.int64(3), "arr": np.array([1.0, 2.0])}
+        path = save_json(tmp_path / "s.json", payload)
+        loaded = load_json(path)
+        assert loaded["v"] == 3
+        assert loaded["arr"] == [1.0, 2.0]
+
+    def test_csv_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path = save_csv(tmp_path / "rows.csv", ["a", "b"], rows)
+        loaded = load_csv(path)
+        assert loaded == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_csv_missing_fields_blank(self, tmp_path):
+        path = save_csv(tmp_path / "r.csv", ["a", "b"], [{"a": 1}])
+        assert load_csv(path)[0]["b"] == ""

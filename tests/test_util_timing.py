@@ -1,0 +1,79 @@
+"""Tests for stopwatches and soft deadlines."""
+
+import pytest
+
+from repro.util.timing import SoftDeadline, Stopwatch
+
+
+class TestStopwatch:
+    def test_start_stop_accumulates(self):
+        sw = Stopwatch()
+        sw.start("a")
+        elapsed = sw.stop("a")
+        assert elapsed >= 0
+        assert sw.total("a") == pytest.approx(elapsed)
+
+    def test_stop_unstarted_raises(self):
+        with pytest.raises(KeyError):
+            Stopwatch().stop("nope")
+
+    def test_add_simulated_time(self):
+        sw = Stopwatch()
+        sw.add("synth", 30.0)
+        sw.add("synth", 12.5)
+        assert sw.total("synth") == pytest.approx(42.5)
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Stopwatch().add("x", -1.0)
+
+    def test_context_manager(self):
+        sw = Stopwatch()
+        with sw.measure("block"):
+            pass
+        assert sw.total("block") >= 0
+        assert "block" in sw.totals()
+
+    def test_independent_splits(self):
+        sw = Stopwatch()
+        sw.add("a", 1.0)
+        sw.add("b", 2.0)
+        assert sw.totals() == {"a": 1.0, "b": 2.0}
+
+
+class TestSoftDeadline:
+    def test_unbounded_never_expires(self):
+        d = SoftDeadline(budget_s=None)
+        d.charge(1e9)
+        assert not d.expired()
+        assert d.remaining() == float("inf")
+
+    def test_virtual_charge_expires(self):
+        d = SoftDeadline(budget_s=100.0)
+        assert not d.expired()
+        d.charge(99.0)
+        assert not d.expired()
+        d.charge(5.0)
+        assert d.expired()
+
+    def test_paper_four_hour_budget(self):
+        """The cv32e40p experiment's 4-hour soft deadline, in simulated
+        seconds: ~80 full runs at ~180 s each fits, 100 does not."""
+        d = SoftDeadline(budget_s=4 * 3600.0)
+        for _ in range(70):
+            d.charge(180.0)
+        assert not d.expired()  # 12,600 s of tool time: within budget
+        for _ in range(30):
+            d.charge(180.0)
+        assert d.expired()      # 18,000 s: past the 14,400 s budget
+
+    def test_restart_clears_charges(self):
+        d = SoftDeadline(budget_s=10.0)
+        d.charge(50.0)
+        assert d.expired()
+        d.restart()
+        assert not d.expired()
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            SoftDeadline(budget_s=1.0).charge(-0.1)

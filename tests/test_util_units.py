@@ -1,0 +1,77 @@
+"""Tests for frequency/period conversions and Eq. (1)."""
+
+import pytest
+
+from repro.util.units import (
+    fmax_from_wns,
+    fmax_paper_eq1,
+    format_mhz,
+    mhz_from_ns,
+    ns_from_mhz,
+)
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        assert mhz_from_ns(ns_from_mhz(250.0)) == pytest.approx(250.0)
+
+    def test_known_values(self):
+        assert mhz_from_ns(5.0) == pytest.approx(200.0)
+        assert ns_from_mhz(1000.0) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_nonpositive_rejected(self, bad):
+        with pytest.raises(ValueError):
+            mhz_from_ns(bad)
+        with pytest.raises(ValueError):
+            ns_from_mhz(bad)
+
+
+class TestFmaxFromWns:
+    def test_violated_timing(self):
+        # 1 ns target, WNS = -4 ns → critical path 5 ns → 200 MHz.
+        assert fmax_from_wns(1.0, -4.0) == pytest.approx(200.0)
+
+    def test_met_timing_with_margin(self):
+        # 10 ns target, +2 ns slack → 8 ns path → 125 MHz achievable.
+        assert fmax_from_wns(10.0, 2.0) == pytest.approx(125.0)
+
+    def test_zero_slack_is_target(self):
+        assert fmax_from_wns(4.0, 0.0) == pytest.approx(250.0)
+
+    def test_impossible_slack_raises(self):
+        with pytest.raises(ValueError):
+            fmax_from_wns(1.0, 2.0)  # slack exceeding the period
+
+    def test_paper_scenario_1ghz_target(self):
+        """The paper targets 1 GHz 'to better verify the maximum theoretical
+        frequency'; a Corundum-like WNS of -4.1 ns lands near 196 MHz."""
+        fmax = fmax_from_wns(1.0, -4.1)
+        assert 190 < fmax < 200
+
+
+class TestVerbatimEq1:
+    def test_documented_typo_negative_slack(self):
+        """With negative slack the verbatim form approximates the corrected
+        one only because |WNS| ≫ T/1000 — e.g. T=1 ns, WNS=-4 ns gives
+        249.7 vs 200 MHz.  The divergence shows the published formula is a
+        typographical slip."""
+        corrected = fmax_from_wns(1.0, -4.0)
+        verbatim = fmax_paper_eq1(1.0, -4.0)
+        assert corrected == pytest.approx(200.0)
+        assert verbatim == pytest.approx(1000.0 / 4.001)
+        assert abs(verbatim - corrected) > 10
+
+    def test_documented_typo_positive_slack(self):
+        """With positive slack the verbatim denominator goes negative — the
+        formula cannot express a met constraint, confirming the typo."""
+        with pytest.raises(ValueError):
+            fmax_paper_eq1(10.0, 2.0)
+
+
+class TestFormat:
+    def test_mhz(self):
+        assert format_mhz(250.0) == "250.0 MHz"
+
+    def test_ghz(self):
+        assert format_mhz(1250.0) == "1.25 GHz"
