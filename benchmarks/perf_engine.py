@@ -1,0 +1,155 @@
+"""Fast-evaluation-engine microbenchmark (shared harness).
+
+Two experiments prove the engine and chart its perf trajectory:
+
+- **DSE fan-out** — the same no-model NSGA-II exploration run serially and
+  over the persistent worker pool.  The assertion is *bitwise identity*:
+  Pareto parameters, metric vectors, evaluation counts, and accumulated
+  simulated tool seconds must match exactly (VEDA runs are pure per
+  point, so the pool may not change a single bit).
+- **Refit policy** — inserting n tool results into the control model with
+  the per-insert LOO rescan (``RefitPolicy(every=1)``, the original
+  behaviour) versus the incremental policy (periodic rescan + Γ-drift
+  trigger + one exact refit at the end).  The final model state must be
+  bitwise identical (the LOO scan is a pure function of the dataset) and
+  the incremental path must be ≥3× faster at the paper-scale n=300.
+
+``run_perf_engine(smoke=True)`` shrinks every size so the correctness
+assertions run inside the tier-1 suite without timing thresholds; the
+benchmark run writes the timing payload to ``BENCH_perf_engine.json`` so
+future PRs can track the trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import DseSession
+from repro.designs import get_design
+from repro.estimation import ControlModel, Dataset, RefitPolicy
+
+__all__ = ["dse_pool_bench", "refit_bench", "run_perf_engine"]
+
+
+def _pareto_signature(result) -> list[tuple]:
+    return sorted(
+        (tuple(sorted(p.parameters.items())), tuple(sorted(p.metrics.items())))
+        for p in result.pareto
+    )
+
+
+def _dse_run(design_name: str, workers: int, generations: int, population: int):
+    session = DseSession(
+        design=get_design(design_name),
+        part="XC7K70T",
+        use_model=False,
+        seed=2021,
+        workers=workers,
+    )
+    try:
+        start = time.perf_counter()
+        result = session.explore(generations=generations, population=population)
+        wall = time.perf_counter() - start
+    finally:
+        session.close()
+    return result, wall
+
+
+def dse_pool_bench(
+    design_name: str = "corundum-cqm",
+    generations: int = 5,
+    population: int = 12,
+    workers: int = 2,
+) -> dict:
+    """Serial vs pooled DSE generations; asserts bitwise-identical results."""
+    serial, serial_wall = _dse_run(design_name, 0, generations, population)
+    pooled, pooled_wall = _dse_run(design_name, workers, generations, population)
+
+    assert _pareto_signature(serial) == _pareto_signature(pooled), (
+        f"{design_name}: pooled Pareto front diverged from the serial reference"
+    )
+    assert serial.evaluations == pooled.evaluations
+    assert serial.simulated_seconds == pooled.simulated_seconds, (
+        f"{design_name}: pooled cost accounting diverged"
+    )
+    return {
+        "design": design_name,
+        "workers": workers,
+        "generations": generations,
+        "population": population,
+        "evaluations": serial.evaluations,
+        "pareto_points": len(serial.pareto),
+        "serial_wall_s": round(serial_wall, 4),
+        "pool_wall_s": round(pooled_wall, 4),
+        "speedup": round(serial_wall / pooled_wall, 3) if pooled_wall else None,
+        "identical": True,
+    }
+
+
+def _refit_run(policy: RefitPolicy, X: np.ndarray, Y: np.ndarray):
+    control = ControlModel(
+        dataset=Dataset(n_var=X.shape[1], metric_names=("LUT", "frequency")),
+        refit_policy=policy,
+    )
+    start = time.perf_counter()
+    for x, y in zip(X, Y):
+        control.record(x, y)
+    control.refit()  # exact refit on demand: both policies end aligned
+    return control, time.perf_counter() - start
+
+
+def refit_bench(
+    n_points: int = 300,
+    n_var: int = 4,
+    every: int = 16,
+    gamma_drift: float = 0.05,
+    seed: int = 7,
+) -> dict:
+    """Per-insert vs incremental refit; asserts identical final state."""
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 64, size=(n_points, n_var)).astype(float)
+    Y = np.stack(
+        [X.sum(axis=1) * 2.0, 400.0 - X[:, 0]], axis=1
+    ) + rng.normal(0.0, 1.0, (n_points, 2))
+
+    full, full_s = _refit_run(RefitPolicy(every=1), X, Y)
+    incremental, incremental_s = _refit_run(
+        RefitPolicy(every=every, gamma_drift=gamma_drift), X, Y
+    )
+
+    assert incremental.model.bandwidth == full.model.bandwidth
+    assert incremental.threshold == full.threshold
+    assert incremental.last_loo_mse == full.last_loo_mse
+    probe = X[: min(16, n_points)] + 0.5
+    for q in probe:
+        assert (incremental.model.predict(q) == full.model.predict(q)).all(), (
+            "incremental refit produced different predictions"
+        )
+    return {
+        "n_points": n_points,
+        "n_var": n_var,
+        "policy": {"every": every, "gamma_drift": gamma_drift},
+        "full_refits": full.refits,
+        "incremental_refits": incremental.refits,
+        "full_s": round(full_s, 4),
+        "incremental_s": round(incremental_s, 4),
+        "speedup": round(full_s / incremental_s, 2) if incremental_s else None,
+        "identical": True,
+    }
+
+
+def run_perf_engine(smoke: bool = False) -> dict:
+    """The whole microbenchmark; smoke mode shrinks sizes for tier-1."""
+    if smoke:
+        designs = [("cv32e40p-fifo", 2, 8)]
+        refit = refit_bench(n_points=40, every=8, gamma_drift=0.05)
+    else:
+        designs = [("corundum-cqm", 5, 12), ("cv32e40p-fifo", 5, 12)]
+        refit = refit_bench(n_points=300, every=16, gamma_drift=0.05)
+    dse = [
+        dse_pool_bench(name, generations=gens, population=pop)
+        for name, gens, pop in designs
+    ]
+    return {"smoke": smoke, "dse_pool": dse, "refit": refit}

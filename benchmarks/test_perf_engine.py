@@ -1,0 +1,59 @@
+"""Perf — the fast evaluation engine (persistent pool + refit policy).
+
+Times serial-vs-pool DSE generations on the Corundum and FIFO case
+studies and per-insert-vs-incremental control-model refits at the
+paper-scale n=300, asserting bitwise identity against the serial /
+full-refit references throughout (the harness in ``perf_engine.py`` does
+the asserting).  The timing payload lands in ``BENCH_perf_engine.json``
+at the repo root so future PRs have a perf trajectory to compare against.
+
+The acceptance bar is the *algorithmic* one: the incremental refit policy
+must be ≥3× faster at n=300.  Pool wall-clock speedup is recorded but not
+thresholded — CI boxes with one core cannot show it, and the pool's
+correctness (bitwise-identical fronts and cost accounting) is the part
+that must never regress.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from common import emit
+from perf_engine import run_perf_engine
+from repro.util.tables import render_table
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_perf_engine.json"
+
+
+def test_perf_engine(benchmark):
+    payload = benchmark.pedantic(run_perf_engine, rounds=1, iterations=1)
+
+    refit = payload["refit"]
+    dse_rows = [
+        (d["design"], d["evaluations"], d["pareto_points"],
+         d["serial_wall_s"], d["pool_wall_s"], "yes")
+        for d in payload["dse_pool"]
+    ]
+    text = render_table(
+        ("Design", "Evals", "Pareto", "serial s", "pool s", "identical"),
+        dse_rows,
+        title="Perf — DSE generations, serial vs persistent pool (workers=2)",
+    )
+    text += "\n" + render_table(
+        ("n", "per-insert s", "incremental s", "speedup", "LOO scans (was)", "identical"),
+        [(refit["n_points"], refit["full_s"], refit["incremental_s"],
+          f"{refit['speedup']}x", f"{refit['incremental_refits']} ({refit['full_refits']})",
+          "yes")],
+        title="Perf — control-model refit, per-insert vs incremental policy",
+    )
+    emit("perf_engine", text)
+
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    assert all(d["identical"] for d in payload["dse_pool"])
+    assert refit["identical"]
+    assert refit["speedup"] >= 3.0, (
+        f"incremental refit must be >=3x at n={refit['n_points']}, "
+        f"got {refit['speedup']}x"
+    )

@@ -45,6 +45,20 @@ def _parse_assignment(text: str) -> tuple[str, int]:
     return name, int(value, 0)
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
 def _parse_dim(text: str):
     parts = text.split(":")
     if len(parts) < 3:
@@ -108,6 +122,15 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("nsga2", "spea2", "mosa", "exhaustive", "auto"),
                        help="solver: NSGA-II (paper), MOSA, exhaustive, or "
                             "the run-time chooser")
+    p_dse.add_argument("--workers", type=_nonnegative_int, default=0,
+                       help="persistent process-pool size for population "
+                            "evaluation (0 = serial)")
+    p_dse.add_argument("--refit-every", type=_nonnegative_int, default=1,
+                       help="re-run the LOO bandwidth scan every N dataset "
+                            "inserts (default 1 = per insert, 0 = never)")
+    p_dse.add_argument("--refit-gamma-drift", type=_positive_float, default=None,
+                       help="also rescan when the adaptive threshold drifts "
+                            "by this relative fraction")
     p_dse.add_argument(
         "--param", action="append", type=_parse_dim, dest="dims", default=[],
         help="NAME:LO:HI[:pow2] space dimension (required with --source)",
@@ -122,7 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--grid", action="append", dest="grids", default=[],
         help="NAME=V1,V2,V3 value list; repeatable (cartesian product)",
     )
-    p_sweep.add_argument("--workers", type=int, default=0,
+    p_sweep.add_argument("--workers", type=_nonnegative_int, default=0,
                          help="process-pool size (0 = serial)")
     p_sweep.add_argument("--csv", help="write the sweep rows to this CSV file")
     return parser
@@ -137,6 +160,8 @@ def _make_session(args: argparse.Namespace, need_space: bool) -> DseSession:
         target_period_ns=args.period_ns,
         step=FlowStep(args.step),
         seed=args.seed,
+        refit_every=getattr(args, "refit_every", 1),
+        refit_gamma_drift=getattr(args, "refit_gamma_drift", None),
     )
     if args.design:
         return DseSession(design=get_design(args.design), **common)
@@ -250,12 +275,16 @@ def _dispatch(args: argparse.Namespace) -> int:
         session.fitness.use_model = not args.no_model
         session.fitness.pretrain_size = args.pretrain
         deadline = args.deadline_hours * 3600 if args.deadline_hours else None
-        result = session.explore(
-            generations=args.generations,
-            population=args.population,
-            soft_deadline_s=deadline,
-            algorithm=args.algorithm,
-        )
+        try:
+            result = session.explore(
+                generations=args.generations,
+                population=args.population,
+                soft_deadline_s=deadline,
+                algorithm=args.algorithm,
+                workers=args.workers,
+            )
+        finally:
+            session.close()
         if session.last_algorithm_choice is not None:
             print(f"algorithm choice: {session.last_algorithm_choice.name} "
                   f"({session.last_algorithm_choice.reason})")

@@ -81,6 +81,10 @@ class PointEvaluator:
         self.boxed = boxed
         self.clock_port = clock_port
         self.seed = seed
+        # Incremental flows warm-start from session-local checkpoints, so
+        # runs stop being pure per-point functions — parallel fan-out
+        # checks this flag and falls back to the serial shared session.
+        self.incremental = bool(incremental)
         self.sim = VivadoSim(
             part=part,
             seed=seed,

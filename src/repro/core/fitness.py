@@ -21,7 +21,7 @@ from repro.core.evaluate import PointEvaluator
 from repro.core.point import EvaluatedPoint
 from repro.core.spaces import ParameterSpace
 from repro.errors import ReproError
-from repro.estimation import ControlModel, Dataset, Decision
+from repro.estimation import ControlModel, Dataset, Decision, RefitPolicy
 from repro.moo.problem import IntegerProblem, Objective, Sense
 from repro.moo.sampling import IntegerRandomSampling
 from repro.util.rng import as_generator
@@ -44,22 +44,62 @@ class ApproximateFitness:
         pretrain_size: int = 100,     # the paper's M default
         min_points_to_estimate: int = 4,
         seed: int = 0,
+        workers: int = 0,
+        design_name: str | None = None,
+        refit_policy: RefitPolicy | None = None,
     ) -> None:
         self.evaluator = evaluator
         self.space = space
         self.use_model = use_model
         self.pretrain_size = pretrain_size
         self.seed = seed
+        self.workers = workers
+        self.design_name = design_name
         self.control = ControlModel(
             dataset=Dataset(
                 n_var=len(space), metric_names=evaluator.metric_names()
             ),
             min_points_to_estimate=min_points_to_estimate,
+            refit_policy=refit_policy or RefitPolicy(),
         )
         self.history: list[EvaluatedPoint] = []
         self.simulated_seconds = 0.0
         self.infeasible = 0
         self.mse_trace: list[tuple[int, float]] = []  # (dataset size, LOO MSE)
+        self._parallel = None  # lazy ParallelPointEvaluator
+
+    # ------------------------------------------------------------------
+    # Parallel fan-out
+
+    def set_workers(self, workers: int) -> None:
+        """Resize the tool fan-out (rebuilds the pool on next batch)."""
+        if workers != self.workers:
+            self.close()
+            self.workers = workers
+
+    def close(self) -> None:
+        """Release the worker pool, if one was started."""
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
+
+    def _use_parallel(self) -> bool:
+        # Incremental flows warm-start from the shared session's
+        # checkpoints; worker-local sessions would diverge from the serial
+        # reference, so the batch path only engages for pure evaluators.
+        return self.workers > 1 and not getattr(self.evaluator, "incremental", False)
+
+    def _parallel_evaluator(self):
+        if self._parallel is None:
+            from repro.core.parallel import EvaluatorSpec, ParallelPointEvaluator
+
+            self._parallel = ParallelPointEvaluator(
+                spec=EvaluatorSpec.from_evaluator(
+                    self.evaluator, design_name=self.design_name
+                ),
+                workers=self.workers,
+            )
+        return self._parallel
 
     # ------------------------------------------------------------------
 
@@ -76,8 +116,11 @@ class ApproximateFitness:
         sample = IntegerRandomSampling(unique=True)(
             problem_stub, min(self.pretrain_size, self.space.cardinality()), rng
         )
-        for row in sample.X:
-            self._run_tool(row, record=True)
+        if self._use_parallel():
+            self._run_tool_batch(sample.X, record=True)
+        else:
+            for row in sample.X:
+                self._run_tool(row, record=True)
         return int(sample.X.shape[0])
 
     # ------------------------------------------------------------------
@@ -101,27 +144,29 @@ class ApproximateFitness:
             out[j] = 0.0 if spec.sense == Sense.MAXIMIZE else 1e12
         return out
 
-    def _run_tool(self, encoded: np.ndarray, record: bool) -> np.ndarray:
-        params = self.space.decode(encoded)
-        try:
-            point = self.evaluator.evaluate(params)
-        except ReproError as exc:
-            self.infeasible += 1
-            self.history.append(
-                EvaluatedPoint(
-                    parameters=params,
-                    metrics=dict(
-                        zip(
-                            self.evaluator.metric_names(),
-                            map(float, self._penalty_vector()),
-                        )
-                    ),
-                    source=f"infeasible:{type(exc).__name__}",
-                )
+    def _note_failure(self, params: dict[str, int], error_type: str) -> np.ndarray:
+        """Bookkeeping for an infeasible run (shared serial/batch path)."""
+        self.infeasible += 1
+        self.history.append(
+            EvaluatedPoint(
+                parameters=params,
+                metrics=dict(
+                    zip(
+                        self.evaluator.metric_names(),
+                        map(float, self._penalty_vector()),
+                    )
+                ),
+                source=f"infeasible:{error_type}",
             )
-            # A failed run still costs tool time (Vivado errors late).
-            self.simulated_seconds += _CACHE_HIT_COST_S
-            return self._penalty_vector()
+        )
+        # A failed run still costs tool time (Vivado errors late).
+        self.simulated_seconds += _CACHE_HIT_COST_S
+        return self._penalty_vector()
+
+    def _note_point(
+        self, encoded: np.ndarray, point: EvaluatedPoint, record: bool
+    ) -> np.ndarray:
+        """Bookkeeping for a completed run (shared serial/batch path)."""
         self.history.append(point)
         self.simulated_seconds += max(point.simulated_seconds, _CACHE_HIT_COST_S)
         y = self._metric_vector(point)
@@ -133,9 +178,49 @@ class ApproximateFitness:
                 )
         return y
 
+    def _run_tool(self, encoded: np.ndarray, record: bool) -> np.ndarray:
+        params = self.space.decode(encoded)
+        try:
+            point = self.evaluator.evaluate(params)
+        except ReproError as exc:
+            return self._note_failure(params, type(exc).__name__)
+        return self._note_point(encoded, point, record)
+
+    def _run_tool_batch(self, X: np.ndarray, record: bool) -> np.ndarray:
+        """Fan encoded rows over the persistent pool; replay in order.
+
+        The fan-out evaluates unique unseen points concurrently; results
+        (and infeasibility penalties) are then accounted in the original
+        row order, so history, cost accounting, and dataset insertion
+        order are identical to the serial loop.
+        """
+        from repro.core.parallel import EvaluationFailure
+
+        rows = [np.asarray(row) for row in np.atleast_2d(X)]
+        params_list = [self.space.decode(row) for row in rows]
+        outs = self._parallel_evaluator().evaluate_many(
+            params_list, on_error="return"
+        )
+        result = np.empty((len(rows), len(self.evaluator.metric_names())))
+        for i, (row, params, res) in enumerate(zip(rows, params_list, outs)):
+            if isinstance(res, EvaluationFailure):
+                result[i] = self._note_failure(params, res.original_type)
+            else:
+                result[i] = self._note_point(row, res, record)
+        return result
+
     def evaluate_encoded(self, X: np.ndarray) -> np.ndarray:
-        """Evaluate encoded rows → raw metric matrix (NSGA-II's fitness)."""
+        """Evaluate encoded rows → raw metric matrix (NSGA-II's fitness).
+
+        Without the approximation model every row is a real tool run, so
+        the whole batch fans out over the persistent worker pool when
+        ``workers > 1``.  With the model active, rows stay serial: each
+        decision (cache / estimate / evaluate) depends on the dataset
+        state the previous rows just updated.
+        """
         X = np.atleast_2d(np.asarray(X, dtype=np.int64))
+        if not self.use_model and self._use_parallel():
+            return self._run_tool_batch(X, record=False)
         out = np.empty((X.shape[0], len(self.evaluator.metric_names())))
         for i, row in enumerate(X):
             if not self.use_model:

@@ -8,18 +8,31 @@ parameters, seed), so evaluating a batch across worker processes is
 content (not on generator state) is what makes this safe; see
 :mod:`repro.util.rng`.
 
-Workers are initialized once with a picklable :class:`EvaluatorSpec` and
-rebuild their own :class:`~repro.core.evaluate.PointEvaluator`; built-in
-case-study designs are re-registered by name inside each worker so
-architectural models exist under ``spawn`` start methods too.
+The evaluator is built for *reuse across batches*: the process pool starts
+lazily on the first multi-worker batch and then stays alive for the
+evaluator's lifetime, so each worker parses the evaluator spec and builds
+its :class:`~repro.core.evaluate.PointEvaluator` exactly once — per-worker
+tool caches stay warm across NSGA-II generations instead of being thrown
+away per batch.  Call :meth:`ParallelPointEvaluator.close` (or use the
+evaluator as a context manager) to shut the pool down.
 
-Caching note: per-worker tool caches are independent, so duplicate points
-*within one batch* may be evaluated twice across different workers.  The
-batch API dedups first and fans out unique points only.
+A cross-batch memo table guarantees a configuration is never dispatched
+twice: repeats — within one batch or in a later generation — replay the
+memoized metrics as cache-priced answers (``source="cache"``, zero
+simulated seconds), exactly what the serial reference produces when the
+shared tool session answers a repeated run from its result cache.
+
+Workers are initialized once with a picklable :class:`EvaluatorSpec` and
+rebuild their own evaluator; built-in case-study designs are re-registered
+by name inside each worker so architectural models exist under ``spawn``
+start methods too.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
@@ -28,10 +41,40 @@ from repro.core.evaluate import PointEvaluator
 from repro.core.metrics import MetricSpec
 from repro.core.point import EvaluatedPoint
 from repro.directives import DirectiveSet
+from repro.errors import ReproError
 from repro.flow.vivado_sim import FlowStep
 from repro.moo.problem import Sense
 
-__all__ = ["EvaluatorSpec", "ParallelPointEvaluator"]
+__all__ = [
+    "EvaluatorSpec",
+    "EvaluationFailure",
+    "ParallelPointEvaluator",
+    "RemoteEvaluationError",
+]
+
+
+class RemoteEvaluationError(ReproError):
+    """A worker-side evaluation failed (carries the original error name)."""
+
+    def __init__(self, original_type: str, message: str) -> None:
+        super().__init__(f"{original_type}: {message}")
+        self.original_type = original_type
+
+
+@dataclass(frozen=True)
+class EvaluationFailure:
+    """Picklable record of a worker-side :class:`ReproError`.
+
+    Tool exceptions carry constructor signatures that do not survive
+    pickling, so workers ship this marker instead; callers that need the
+    serial behaviour re-raise via :meth:`to_error`.
+    """
+
+    original_type: str
+    message: str
+
+    def to_error(self) -> RemoteEvaluationError:
+        return RemoteEvaluationError(self.original_type, self.message)
 
 
 @dataclass(frozen=True)
@@ -50,6 +93,7 @@ class EvaluatorSpec:
     boxed: bool = True
     seed: int = 0
     design_name: str | None = None  # built-in design to re-register in workers
+    incremental: bool = False
 
     @classmethod
     def from_evaluator(
@@ -70,6 +114,7 @@ class EvaluatorSpec:
             boxed=evaluator.boxed,
             seed=evaluator.seed,
             design_name=design_name,
+            incremental=getattr(evaluator, "incremental", False),
         )
 
     def build(self) -> PointEvaluator:
@@ -90,15 +135,18 @@ class EvaluatorSpec:
             ],
             boxed=self.boxed,
             seed=self.seed,
+            incremental=self.incremental,
         )
 
 
-# Per-worker evaluator (module global: one build per worker process).
+# Per-worker evaluator (module globals: one build per worker process).
 _WORKER: PointEvaluator | None = None
+_INIT_CALLS = 0
 
 
 def _init_worker(spec: EvaluatorSpec) -> None:
-    global _WORKER
+    global _WORKER, _INIT_CALLS
+    _INIT_CALLS += 1
     _WORKER = spec.build()
 
 
@@ -107,46 +155,158 @@ def _evaluate_one(params: dict[str, int]) -> EvaluatedPoint:
     return _WORKER.evaluate(params)
 
 
+def _evaluate_one_safe(
+    params: dict[str, int],
+) -> EvaluatedPoint | EvaluationFailure:
+    try:
+        return _evaluate_one(params)
+    except ReproError as exc:
+        return EvaluationFailure(type(exc).__name__, str(exc))
+
+
+def _worker_probe(_: int) -> tuple[int, int]:
+    """Debug task: (pid, initializer-call count) for the executing worker."""
+    return os.getpid(), _INIT_CALLS
+
+
 def _freeze(params: Mapping[str, int]) -> tuple[tuple[str, int], ...]:
     return tuple(sorted((k.lower(), int(v)) for k, v in params.items()))
 
 
+def _as_cache_hit(point: EvaluatedPoint) -> EvaluatedPoint:
+    """A repeat of a memoized point, priced as the tool's cache answer."""
+    return dataclasses.replace(point, source="cache", simulated_seconds=0.0)
+
+
 @dataclass
 class ParallelPointEvaluator:
-    """Fan a batch of configurations over a process pool.
+    """Fan batches of configurations over a persistent process pool.
 
-    With ``workers=0`` (or 1) the batch runs serially in-process — the
-    reference behaviour parallel runs must reproduce exactly.
+    With ``workers=0`` (or 1) batches run serially in-process — the
+    reference behaviour parallel runs must reproduce exactly.  The pool
+    (and the serial fallback evaluator) is created lazily and reused for
+    every subsequent batch; ``close()`` / ``with`` releases it.
+
+    ``memo`` is the cross-batch memo table keyed on the frozen parameter
+    binding: first occurrences are dispatched, repeats replay the stored
+    result as a cache-priced answer.  ``dispatched``/``memo_hits`` count
+    the split for perf reporting.
     """
 
     spec: EvaluatorSpec
     workers: int = 0
+    start_method: str | None = None
     _serial: PointEvaluator | None = field(default=None, init=False, repr=False)
+    _pool: ProcessPoolExecutor | None = field(default=None, init=False, repr=False)
+    memo: dict[tuple, EvaluatedPoint | EvaluationFailure] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    dispatched: int = field(default=0, init=False)
+    memo_hits: int = field(default=0, init=False)
 
-    def evaluate_many(
-        self, points: Sequence[Mapping[str, int]]
-    ) -> list[EvaluatedPoint]:
-        unique: dict[tuple, dict[str, int]] = {}
-        order: list[tuple] = []
-        for p in points:
-            key = _freeze(p)
-            order.append(key)
-            unique.setdefault(key, {k: int(v) for k, v in p.items()})
+    # -- lifecycle ------------------------------------------------------
 
-        if self.workers <= 1:
-            if self._serial is None:
-                self._serial = self.spec.build()
-            results = {
-                key: self._serial.evaluate(params)
-                for key, params in unique.items()
-            }
-        else:
-            with ProcessPoolExecutor(
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            context = (
+                multiprocessing.get_context(self.start_method)
+                if self.start_method
+                else None
+            )
+            self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
+                mp_context=context,
                 initializer=_init_worker,
                 initargs=(self.spec,),
-            ) as pool:
-                outs = list(pool.map(_evaluate_one, unique.values()))
-            results = dict(zip(unique.keys(), outs))
+            )
+        return self._pool
 
-        return [results[key] for key in order]
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; memo table survives)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelPointEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+        except Exception:
+            pass
+
+    # -- evaluation -----------------------------------------------------
+
+    def evaluate_many(
+        self,
+        points: Sequence[Mapping[str, int]],
+        on_error: str = "raise",
+    ) -> list[EvaluatedPoint | EvaluationFailure]:
+        """Evaluate a batch, reusing the pool and the cross-batch memo.
+
+        ``on_error="raise"`` re-raises the first worker-side
+        :class:`ReproError` (as a :class:`RemoteEvaluationError`);
+        ``on_error="return"`` yields an :class:`EvaluationFailure` in that
+        point's slot instead, so callers can apply their own penalty
+        policy without losing the rest of the batch.
+        """
+        if on_error not in ("raise", "return"):
+            raise ValueError(f"on_error must be 'raise' or 'return', got {on_error!r}")
+
+        keys = [_freeze(p) for p in points]
+        fresh: dict[tuple, dict[str, int]] = {}
+        first_occurrence: dict[tuple, int] = {}
+        for i, (key, p) in enumerate(zip(keys, points)):
+            if key not in self.memo and key not in fresh:
+                fresh[key] = {k: int(v) for k, v in p.items()}
+                first_occurrence[key] = i
+
+        if fresh:
+            self.dispatched += len(fresh)
+            if self.workers <= 1:
+                if self._serial is None:
+                    self._serial = self.spec.build()
+                for key, params in fresh.items():
+                    try:
+                        self.memo[key] = self._serial.evaluate(params)
+                    except ReproError as exc:
+                        self.memo[key] = EvaluationFailure(
+                            type(exc).__name__, str(exc)
+                        )
+            else:
+                outs = self._ensure_pool().map(_evaluate_one_safe, fresh.values())
+                self.memo.update(zip(fresh.keys(), outs))
+
+        results: list[EvaluatedPoint | EvaluationFailure] = []
+        for i, key in enumerate(keys):
+            stored = self.memo[key]
+            replay = first_occurrence.get(key) != i
+            if replay:
+                self.memo_hits += 1
+            if isinstance(stored, EvaluationFailure):
+                if on_error == "raise":
+                    raise stored.to_error()
+                results.append(stored)
+            else:
+                results.append(_as_cache_hit(stored) if replay else stored)
+        return results
+
+    # -- introspection --------------------------------------------------
+
+    def worker_probes(self, samples: int | None = None) -> list[tuple[int, int]]:
+        """(pid, initializer-call count) reported by pool workers.
+
+        Dispatches ``samples`` probe tasks (default ``4 × workers``); task
+        placement is up to the pool, so probes may not cover every worker,
+        but any worker that answers reports how often it was initialized.
+        Returns an empty list when no pool has been started.
+        """
+        if self._pool is None:
+            return []
+        n = samples if samples is not None else max(4, self.workers * 4)
+        return list(self._pool.map(_worker_probe, range(n)))

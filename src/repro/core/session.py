@@ -92,11 +92,16 @@ class DseSession:
         pretrain_size: int = 100,
         incremental: bool = False,
         seed: int = 0,
+        workers: int = 0,
+        refit_every: int = 1,
+        refit_gamma_drift: float | None = None,
     ) -> None:
+        design_name = None
         if design is not None:
             source = design.source()
             language = str(design.language)
             top = design.top
+            design_name = getattr(design, "name", None)
             if space is None:
                 space = ParameterSpace.from_design(design)
         if source is None or language is None or top is None:
@@ -117,15 +122,34 @@ class DseSession:
             seed=seed,
             incremental=incremental,
         )
+        from repro.estimation import RefitPolicy
+
         self.fitness = ApproximateFitness(
             evaluator=self.evaluator,
             space=space,
             use_model=use_model,
             pretrain_size=pretrain_size,
             seed=seed,
+            workers=workers,
+            design_name=design_name,
+            refit_policy=RefitPolicy(
+                every=refit_every, gamma_drift=refit_gamma_drift
+            ),
         )
         self._pretrained = False
         self.last_algorithm_choice = None  # set by explore(algorithm="auto")
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the evaluation worker pool, if one was started."""
+        self.fitness.close()
+
+    def __enter__(self) -> "DseSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
 
@@ -142,6 +166,7 @@ class DseSession:
         soft_deadline_s: float | None = None,
         pretrain: bool = True,
         algorithm: str = "nsga2",
+        workers: int | None = None,
     ) -> DseResult:
         """DSE mode: search the space; returns the non-dominated set.
 
@@ -154,7 +179,16 @@ class DseSession:
         run-time chooser from :mod:`repro.moo.portfolio`, which consults
         the synthetic dataset's ruggedness when the approximation model is
         active (the paper's envisioned future-work feature).
+
+        ``workers`` (when given) overrides the session's tool fan-out:
+        with ``workers > 1`` population evaluation runs on a persistent
+        process pool that stays warm across generations — and across
+        repeated ``explore`` calls — until :meth:`close`.  Results are
+        bitwise identical to the serial loop (the fan-out only engages
+        for pure, non-incremental evaluators).
         """
+        if workers is not None:
+            self.fitness.set_workers(workers)
         if pretrain and not self._pretrained:
             self.fitness.pretrain()
             self._pretrained = True

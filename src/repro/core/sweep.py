@@ -124,9 +124,8 @@ def run_sweep(
         from repro.core.parallel import EvaluatorSpec, ParallelPointEvaluator
 
         spec = EvaluatorSpec.from_evaluator(evaluator, design_name=design_name)
-        outs = ParallelPointEvaluator(spec=spec, workers=workers).evaluate_many(
-            list(points)
-        )
+        with ParallelPointEvaluator(spec=spec, workers=workers) as pool:
+            outs = pool.evaluate_many(list(points))
     else:
         outs = evaluator.evaluate_many(list(points))
     return SweepResult(

@@ -15,14 +15,16 @@ parameter).  A control model inspired by Shokri et al. decides per point:
 
 from repro.estimation.kernels import gaussian_kernel
 from repro.estimation.dataset import Dataset
+from repro.estimation.distance_cache import DistanceCache
 from repro.estimation.nadaraya_watson import NadarayaWatson
 from repro.estimation.cross_validation import loo_bandwidth, loo_mse
 from repro.estimation.similarity import similarity_phi, adaptive_threshold
-from repro.estimation.control import ControlModel, Decision
+from repro.estimation.control import ControlModel, Decision, RefitPolicy
 
 __all__ = [
     "gaussian_kernel",
     "Dataset",
+    "DistanceCache",
     "NadarayaWatson",
     "loo_bandwidth",
     "loo_mse",
@@ -30,4 +32,5 @@ __all__ = [
     "adaptive_threshold",
     "ControlModel",
     "Decision",
+    "RefitPolicy",
 ]

@@ -10,6 +10,16 @@ the paper's three cases in order:
 3. **EVALUATE** — otherwise: run the real tool, insert the (point, value)
    pair, retrain + revalidate (LOO bandwidth re-selection) and update Γ.
 
+Retraining is split into a cheap and an expensive half.  Every insert
+refreshes the NWM's data/normalization (O(n)) and the adaptive threshold Γ
+(O(n) via the dataset's distance cache), so estimates always see the full
+dataset.  The expensive half — the 17-candidate LOO bandwidth scan — runs
+under a configurable :class:`RefitPolicy`: every ``k`` inserts, and/or
+whenever Γ has drifted beyond a relative tolerance since the last scan.
+The default (``every=1``) reproduces the original per-insert full refit
+exactly; :meth:`ControlModel.refit` forces an exact refit on demand, and
+:meth:`ControlModel.pretrain` always ends with one.
+
 The model keeps decision statistics so the ablation benches can report the
 tool-call savings.
 """
@@ -27,7 +37,7 @@ from repro.estimation.dataset import Dataset
 from repro.estimation.nadaraya_watson import NadarayaWatson
 from repro.estimation.similarity import adaptive_threshold, similarity_phi
 
-__all__ = ["Decision", "ControlModel"]
+__all__ = ["Decision", "RefitPolicy", "ControlModel"]
 
 
 class Decision(str, enum.Enum):
@@ -39,6 +49,28 @@ class Decision(str, enum.Enum):
         return self.value
 
 
+@dataclass(frozen=True)
+class RefitPolicy:
+    """When to re-run the LOO bandwidth scan after an insert.
+
+    ``every=1`` (default) re-selects on every insert — the original exact
+    behaviour.  ``every=k`` re-selects on every k-th insert; setting
+    ``gamma_drift`` additionally forces a scan whenever Γ has moved by more
+    than that relative fraction since the last scan (so the model tracks
+    regime changes between periodic scans).  ``every=0`` disables periodic
+    scans entirely (drift/on-demand only).
+    """
+
+    every: int = 1
+    gamma_drift: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.every < 0:
+            raise ValueError("every must be >= 0")
+        if self.gamma_drift is not None and self.gamma_drift <= 0:
+            raise ValueError("gamma_drift must be positive when set")
+
+
 @dataclass
 class ControlModel:
     """State: the dataset, the fitted NWM, Γ, and decision counters."""
@@ -48,9 +80,13 @@ class ControlModel:
     threshold: float = 0.0
     min_points_to_estimate: int = 4
     last_loo_mse: float = float("nan")
+    refit_policy: RefitPolicy = field(default_factory=RefitPolicy)
+    refits: int = 0
     counts: dict[Decision, int] = field(
         default_factory=lambda: {d: 0 for d in Decision}
     )
+    _inserts_since_scan: int = field(default=0, repr=False)
+    _gamma_at_scan: float = field(default=0.0, repr=False)
 
     def decide(self, x: np.ndarray) -> Decision:
         """Apply the three-case policy (does not mutate state)."""
@@ -82,31 +118,54 @@ class ControlModel:
         return value
 
     def record(self, x: np.ndarray, y: np.ndarray) -> None:
-        """Insert a fresh tool result; retrain, revalidate, update Γ."""
+        """Insert a fresh tool result; retrain per the refit policy."""
         inserted = self.dataset.add(x, y)
         if not inserted:
             return
-        self.refit()
-
-    def refit(self) -> None:
-        """Retrain the NWM on the whole dataset + re-select the bandwidth."""
         if len(self.dataset) < 2:
             return
-        X = self.dataset.X()
-        Y = self.dataset.Y()
-        # Fit first so normalization is available for the LOO scoring.
-        self.model.fit(X, Y)
-        Y_norm = self.model.normalize(Y)
+        # Cheap half: refresh data/normalization and Γ on every insert.
+        self.model.fit(self.dataset.X(), self.dataset.Y())
+        self.threshold = adaptive_threshold(self.dataset)
+        self._inserts_since_scan += 1
+        if self._should_scan():
+            self._select_bandwidth()
+
+    def refit(self) -> None:
+        """Exact refit on demand: retrain + re-select the bandwidth."""
+        if len(self.dataset) < 2:
+            return
+        self.model.fit(self.dataset.X(), self.dataset.Y())
+        self.threshold = adaptive_threshold(self.dataset)
+        self._select_bandwidth()
+
+    # ------------------------------------------------------------------
+
+    def _should_scan(self) -> bool:
+        policy = self.refit_policy
+        if policy.every and self._inserts_since_scan >= policy.every:
+            return True
+        if policy.gamma_drift is not None and self._gamma_at_scan > 0.0:
+            drift = abs(self.threshold - self._gamma_at_scan) / self._gamma_at_scan
+            if drift > policy.gamma_drift:
+                return True
+        return False
+
+    def _select_bandwidth(self) -> None:
+        """The expensive half: the LOO bandwidth scan over the cached d2."""
+        X = self.dataset.points_view()
+        Y_norm = self.model.normalize(self.dataset.Y())
         try:
-            h, mse = loo_bandwidth(X, Y_norm)
+            h, mse = loo_bandwidth(X, Y_norm, d2=self.dataset.distance_matrix())
         except BandwidthSelectionError:
             # Degenerate dataset (e.g. identical points): keep the previous
-            # bandwidth, skip the validation update.
-            self.threshold = adaptive_threshold(self.dataset)
+            # bandwidth; the counter stays up so the next insert retries.
             return
         self.model.bandwidth = h
         self.last_loo_mse = mse
-        self.threshold = adaptive_threshold(self.dataset)
+        self.refits += 1
+        self._inserts_since_scan = 0
+        self._gamma_at_scan = self.threshold
 
     # ------------------------------------------------------------------
 
@@ -127,4 +186,5 @@ class ControlModel:
             "threshold": self.threshold,
             "bandwidth": self.model.bandwidth,
             "loo_mse": self.last_loo_mse,
+            "refits": self.refits,
         }

@@ -6,6 +6,14 @@ the single free parameter.  LOO for kernel regression vectorizes cleanly:
 with the full pairwise kernel matrix W (diagonal zeroed), every held-out
 prediction is one row-normalized matrix product — so scanning a bandwidth
 grid costs one (n×n) matrix build per candidate.
+
+The squared-distance matrix is the shared input of the whole scan: every
+public function accepts a precomputed ``d2`` (e.g. the dataset's
+:class:`~repro.estimation.distance_cache.DistanceCache` matrix), and
+:func:`loo_bandwidth` computes it once for the entire grid rather than
+once per candidate.  The from-scratch builder uses the Gram-matrix
+identity ``‖xᵢ−xⱼ‖² = ‖xᵢ‖² + ‖xⱼ‖² − 2·xᵢ·xⱼ``, which needs only an
+(n×n) product instead of the O(n²·d) broadcast difference tensor.
 """
 
 from __future__ import annotations
@@ -20,23 +28,36 @@ __all__ = ["loo_mse", "loo_bandwidth", "default_bandwidth_grid"]
 
 def _pairwise_sq_dists(X: np.ndarray) -> np.ndarray:
     X = np.atleast_2d(np.asarray(X, dtype=float))
-    diff = X[:, None, :] - X[None, :, :]
-    return np.einsum("ijk,ijk->ij", diff, diff)
+    sq = np.einsum("ij,ij->i", X, X)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (X @ X.T)
+    # The Gram form can go slightly negative from cancellation; distances
+    # are non-negative by definition and the diagonal is exactly zero.
+    np.maximum(d2, 0.0, out=d2)
+    np.fill_diagonal(d2, 0.0)
+    return d2
 
 
-def loo_mse(X: np.ndarray, Y_norm: np.ndarray, h: float) -> float:
+def loo_mse(
+    X: np.ndarray,
+    Y_norm: np.ndarray,
+    h: float,
+    d2: np.ndarray | None = None,
+) -> float:
     """Mean LOO squared error (averaged over points and metric columns).
 
     ``Y_norm`` should already be normalized so columns are comparable.
-    Held-out points whose every kernel weight underflows fall back to the
-    nearest neighbour (matching the estimator's own fallback).
+    ``d2`` optionally supplies the pairwise squared-distance matrix (it is
+    not mutated).  Held-out points whose every kernel weight underflows
+    fall back to the nearest neighbour (matching the estimator's own
+    fallback).
     """
     X = np.atleast_2d(np.asarray(X, dtype=float))
     Y = np.atleast_2d(np.asarray(Y_norm, dtype=float))
     n = X.shape[0]
     if n < 2:
         raise BandwidthSelectionError("LOO needs at least two points")
-    d2 = _pairwise_sq_dists(X)
+    if d2 is None:
+        d2 = _pairwise_sq_dists(X)
     W = gaussian_kernel(d2, h)
     np.fill_diagonal(W, 0.0)
     totals = W.sum(axis=1)
@@ -52,14 +73,23 @@ def loo_mse(X: np.ndarray, Y_norm: np.ndarray, h: float) -> float:
     return float(((preds - Y) ** 2).mean())
 
 
-def default_bandwidth_grid(X: np.ndarray) -> np.ndarray:
+def default_bandwidth_grid(
+    X: np.ndarray, d2: np.ndarray | None = None
+) -> np.ndarray:
     """Geometric bandwidth grid spanning the dataset's distance scales."""
-    d2 = _pairwise_sq_dists(X)
-    np.fill_diagonal(d2, np.inf)
-    nearest = np.sqrt(d2.min(axis=1))
+    if d2 is None:
+        d2 = _pairwise_sq_dists(X)
+    masked = d2.copy()
+    np.fill_diagonal(masked, np.inf)
+    nearest = np.sqrt(masked.min(axis=1))
     finite = nearest[np.isfinite(nearest)]
     lo = max(1e-3, float(np.min(finite)) * 0.25) if finite.size else 1e-3
-    hi = max(lo * 4, float(np.sqrt(d2[np.isfinite(d2)].max())) if np.isfinite(d2).any() else 1.0)
+    hi = max(
+        lo * 4,
+        float(np.sqrt(masked[np.isfinite(masked)].max()))
+        if np.isfinite(masked).any()
+        else 1.0,
+    )
     return np.geomspace(lo, hi, num=17)
 
 
@@ -67,22 +97,26 @@ def loo_bandwidth(
     X: np.ndarray,
     Y_norm: np.ndarray,
     grid: np.ndarray | None = None,
+    d2: np.ndarray | None = None,
 ) -> tuple[float, float]:
     """Select the bandwidth minimizing LOO MSE.
 
-    Returns ``(bandwidth, mse)``.  Raises
-    :class:`~repro.errors.BandwidthSelectionError` when no candidate yields
-    a finite score.
+    Returns ``(bandwidth, mse)``.  The pairwise squared-distance matrix is
+    computed once (or taken from ``d2``) and shared across the whole grid
+    scan.  Raises :class:`~repro.errors.BandwidthSelectionError` when no
+    candidate yields a finite score.
     """
     X = np.atleast_2d(np.asarray(X, dtype=float))
+    if d2 is None:
+        d2 = _pairwise_sq_dists(X)
     if grid is None:
-        grid = default_bandwidth_grid(X)
+        grid = default_bandwidth_grid(X, d2=d2)
     best_h: float | None = None
     best_mse = np.inf
     for h in np.asarray(grid, dtype=float):
         if h <= 0:
             continue
-        mse = loo_mse(X, Y_norm, float(h))
+        mse = loo_mse(X, Y_norm, float(h), d2=d2)
         if np.isfinite(mse) and mse < best_mse:
             best_mse = mse
             best_h = float(h)

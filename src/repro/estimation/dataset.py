@@ -5,6 +5,11 @@ dataset offers the queries the control model needs — exact-membership
 lookup, nearest-neighbour distances (Eq. 4), pairwise nearest distances
 for the adaptive threshold — and grows online as the DSE inserts new tool
 results.
+
+Distance queries are served by a :class:`~repro.estimation.
+distance_cache.DistanceCache` that the dataset keeps current on insert, so
+the adaptive threshold costs O(n) per query and the LOO bandwidth scan
+reuses one shared pairwise matrix instead of rebuilding O(n²·d) tensors.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import EmptyDatasetError
+from repro.estimation.distance_cache import DistanceCache
 
 __all__ = ["Dataset"]
 
@@ -31,14 +37,14 @@ class Dataset:
             raise ValueError("at least one metric is required")
         self.n_var = n_var
         self.metric_names = tuple(metric_names)
-        self._X: list[np.ndarray] = []
+        self._cache = DistanceCache(n_var)
         self._Y: list[np.ndarray] = []
         self._keys: dict[tuple[int, ...], int] = {}
 
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._X)
+        return len(self._cache)
 
     @property
     def n_metrics(self) -> int:
@@ -69,30 +75,40 @@ class Dataset:
         key = self._key(x)
         if key in self._keys:
             return False
-        self._keys[key] = len(self._X)
-        self._X.append(x)
+        self._keys[key] = len(self._cache)
+        self._cache.append(x)
         self._Y.append(y)
         return True
 
     # ------------------------------------------------------------------
 
     def X(self) -> np.ndarray:
-        if not self._X:
+        if not len(self._cache):
             raise EmptyDatasetError("dataset has no points")
-        return np.vstack(self._X)
+        return self._cache.points().copy()
 
     def Y(self) -> np.ndarray:
         if not self._Y:
             raise EmptyDatasetError("dataset has no points")
         return np.vstack(self._Y)
 
+    def points_view(self) -> np.ndarray:
+        """Read-only-by-convention view of X (no copy; rows append-only)."""
+        if not len(self._cache):
+            raise EmptyDatasetError("dataset has no points")
+        return self._cache.points()
+
+    def distance_matrix(self) -> np.ndarray:
+        """The cached n×n pairwise squared-distance matrix (live view)."""
+        return self._cache.matrix()
+
     def nearest_distance(self, x: np.ndarray, n: int = 1) -> float:
         """Euclidean distance to the n-th nearest stored point (1-based)."""
-        if not self._X:
+        if not len(self._cache):
             raise EmptyDatasetError("dataset has no points")
-        if n < 1 or n > len(self._X):
-            raise ValueError(f"n must be in [1, {len(self._X)}]")
-        X = self.X()
+        if n < 1 or n > len(self._cache):
+            raise ValueError(f"n must be in [1, {len(self._cache)}]")
+        X = self._cache.points()
         d2 = ((X - np.asarray(x, dtype=float)[None, :]) ** 2).sum(axis=1)
         return float(np.sqrt(np.partition(d2, n - 1)[n - 1]))
 
@@ -100,10 +116,8 @@ class Dataset:
         """For each stored point, distance to its nearest *other* point.
 
         Empty for datasets with fewer than two points (no pairs exist).
+        Served in O(n) from the distance cache's running minima.
         """
-        if len(self._X) < 2:
+        if len(self._cache) < 2:
             return np.zeros(0)
-        X = self.X()
-        d2 = ((X[:, None, :] - X[None, :, :]) ** 2).sum(axis=2)
-        np.fill_diagonal(d2, np.inf)
-        return np.sqrt(d2.min(axis=1))
+        return np.sqrt(self._cache.nearest_sq_dists())

@@ -1,0 +1,98 @@
+"""Incrementally maintained pairwise squared-distance matrix.
+
+The control model consults the dataset's distance structure on *every*
+insert — the LOO bandwidth scan needs the full pairwise matrix, and the
+adaptive threshold Γ needs each point's nearest-neighbour distance.
+Rebuilding those from scratch per insert costs O(n²·d) (and the LOO scan
+used to rebuild per bandwidth candidate, ×17).  :class:`DistanceCache`
+keeps both structures current with a single O(n·d) row append per insert:
+
+- the squared-distance matrix grows by one row/column (the distances from
+  the new point to every stored point);
+- the per-point nearest-neighbour squared distances are a running minimum,
+  which appends can only lower — so one ``np.minimum`` per insert keeps
+  them exact.
+
+Buffers grow by doubling, so appends are amortized O(n·d) with no
+per-insert reallocation.  Row values are computed with
+:func:`~repro.estimation.kernels.squared_distances`, the same elementwise
+formula the from-scratch rebuild uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.estimation.kernels import squared_distances
+
+__all__ = ["DistanceCache"]
+
+
+class DistanceCache:
+    """Pairwise squared distances over a growing point set."""
+
+    def __init__(self, n_var: int, initial_capacity: int = 64) -> None:
+        if n_var < 1:
+            raise ValueError("n_var must be >= 1")
+        self.n_var = n_var
+        self._n = 0
+        self._cap = max(4, int(initial_capacity))
+        self._X = np.empty((self._cap, n_var), dtype=float)
+        self._d2 = np.zeros((self._cap, self._cap), dtype=float)
+        self._nn2 = np.empty(self._cap, dtype=float)
+
+    def __len__(self) -> int:
+        return self._n
+
+    # ------------------------------------------------------------------
+
+    def _grow(self) -> None:
+        cap = self._cap * 2
+        X = np.empty((cap, self.n_var), dtype=float)
+        d2 = np.zeros((cap, cap), dtype=float)
+        nn2 = np.empty(cap, dtype=float)
+        n = self._n
+        X[:n] = self._X[:n]
+        d2[:n, :n] = self._d2[:n, :n]
+        nn2[:n] = self._nn2[:n]
+        self._X, self._d2, self._nn2, self._cap = X, d2, nn2, cap
+
+    def append(self, x: np.ndarray) -> None:
+        """Add one point: O(n·d) distance row + running-minimum update."""
+        x = np.asarray(x, dtype=float).ravel()
+        if x.size != self.n_var:
+            raise ValueError(f"point has {x.size} vars, cache expects {self.n_var}")
+        if self._n == self._cap:
+            self._grow()
+        n = self._n
+        self._X[n] = x
+        if n:
+            row = squared_distances(x, self._X[:n])
+            self._d2[:n, n] = row
+            self._d2[n, :n] = row
+            np.minimum(self._nn2[:n], row, out=self._nn2[:n])
+            self._nn2[n] = float(row.min())
+        else:
+            self._nn2[0] = np.inf
+        self._n = n + 1
+
+    # ------------------------------------------------------------------
+
+    def points(self) -> np.ndarray:
+        """View of the stored points (do not mutate; rows are append-only)."""
+        return self._X[: self._n]
+
+    def matrix(self) -> np.ndarray:
+        """View of the n×n squared-distance matrix (zero diagonal).
+
+        Callers that need to mask entries (e.g. set the diagonal to ∞)
+        must copy first — the view is the live cache.
+        """
+        return self._d2[: self._n, : self._n]
+
+    def nearest_sq_dists(self) -> np.ndarray:
+        """Per-point squared distance to its nearest *other* point (copy).
+
+        A singleton set has no pairs: its entry is ``inf``.
+        """
+        return self._nn2[: self._n].copy()

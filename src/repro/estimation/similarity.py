@@ -10,6 +10,11 @@ threshold Γ adapts to the run: it is the dataset-average of nearest
 distances, recomputed after every insertion::
 
     Γ = Σ_i Φ^i / L
+
+Both queries lean on the dataset's distance cache: Φ is one O(n·d) scan
+against the cached point matrix, and Γ reads the incrementally maintained
+nearest-neighbour distances in O(n) instead of rebuilding the O(n²·d)
+pairwise tensor per insertion.
 """
 
 from __future__ import annotations

@@ -79,6 +79,11 @@ class MOSA:
         termination.note_evaluations(1)
         archive_X = [current[0].copy()]
         archive_F = [F_cur[0].copy()]
+        # Running per-objective extrema over the archive; recomputing them
+        # from the full archive every iteration is O(n) per step (O(n²)
+        # per run) for the same values.
+        f_min = F_cur[0].copy()
+        f_max = F_cur[0].copy()
 
         temperature = self.initial_temperature
         accepted = 0
@@ -97,6 +102,8 @@ class MOSA:
                 termination.note_evaluations(1)
                 archive_X.append(current[0].copy())
                 archive_F.append(F_cur[0].copy())
+                np.minimum(f_min, F_cur[0], out=f_min)
+                np.maximum(f_max, F_cur[0], out=f_max)
                 evals_since_restart = 0
                 continue
 
@@ -110,10 +117,11 @@ class MOSA:
             evals_since_restart += 1
             archive_X.append(candidate[0].copy())
             archive_F.append(F_new[0].copy())
+            np.minimum(f_min, F_new[0], out=f_min)
+            np.maximum(f_max, F_new[0], out=f_max)
 
             # Running spread normalizes objective gaps.
-            F_all = np.asarray(archive_F)
-            spread = np.maximum(F_all.max(axis=0) - F_all.min(axis=0), 1e-9)
+            spread = np.maximum(f_max - f_min, 1e-9)
             if restart_period is None and termination.n_eval:
                 restart_period = max(
                     10, termination.n_eval // (self.restarts + 1)

@@ -76,6 +76,11 @@ class NSGA2:
         seconds the evaluations just performed cost; it is charged to the
         termination's soft deadline — this is how the DSE reproduces the
         paper's four-hour budget without wall-clock waiting.
+
+        ``problem.evaluate`` always receives whole populations (the
+        initial sample, then each generation's offspring in one matrix),
+        so a DSE fitness with ``workers > 1`` fans every generation out
+        over its persistent process pool.
         """
         if self.pop_size < 4:
             raise ValueError("pop_size must be >= 4 for tournament selection")

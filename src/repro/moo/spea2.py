@@ -98,6 +98,13 @@ class SPEA2:
         termination: Termination,
         seed: int | np.random.Generator | None = 0,
     ) -> Spea2Result:
+        """Run the loop until ``termination`` fires.
+
+        As in NSGA-II, ``problem.evaluate`` receives whole populations
+        (initial sample, then per-generation offspring matrices), so a
+        DSE fitness with ``workers > 1`` fans each call out over its
+        persistent process pool.
+        """
         rng = as_generator(seed)
         sample = IntegerRandomSampling()
 

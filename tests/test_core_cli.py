@@ -109,6 +109,42 @@ class TestCommands:
         out = capsys.readouterr().out
         assert out.strip().splitlines()[0] == "cpu"
 
+    def test_dse_workers_flag(self, capsys, tmp_path):
+        """--workers fans population evaluation over the persistent pool
+        and must reproduce the serial run bit for bit."""
+        common = [
+            "dse", "--design", "corundum-cqm", "--generations", "2",
+            "--population", "8", "--no-model", "--seed", "3",
+        ]
+        assert main(common + ["--out", str(tmp_path / "serial")]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(
+            common + ["--workers", "2", "--out", str(tmp_path / "pool")]
+        ) == 0
+        pool_out = capsys.readouterr().out
+        assert "Non-dominated set" in pool_out
+
+        def sans_paths(text):
+            return [ln for ln in text.splitlines() if str(tmp_path) not in ln]
+
+        assert sans_paths(pool_out) == sans_paths(serial_out)
+
+        from repro.util.io import load_json
+
+        serial = load_json(tmp_path / "serial" / "dse.json")
+        pool = load_json(tmp_path / "pool" / "dse.json")
+        assert serial["pareto"] == pool["pareto"]
+        assert serial["evaluations"] == pool["evaluations"]
+
+    def test_dse_refit_flags_parse(self):
+        args = build_parser().parse_args(
+            ["dse", "--design", "tirex", "--workers", "4",
+             "--refit-every", "8", "--refit-gamma-drift", "0.05"]
+        )
+        assert args.workers == 4
+        assert args.refit_every == 8
+        assert args.refit_gamma_drift == 0.05
+
     def test_dse_mosa_algorithm(self, capsys):
         rc = main([
             "dse", "--design", "corundum-cqm", "--generations", "2",

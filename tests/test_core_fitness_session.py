@@ -168,6 +168,58 @@ class TestDseSession:
         res = sess.explore(generations=2, population=6)
         assert res.evaluations > 0
 
+    def test_explore_workers_bitwise_equals_serial(self, cqm_design):
+        """workers=2 fans generations over the persistent pool; the Pareto
+        front, evaluation counts, and simulated cost accounting must be
+        bitwise identical to the serial run."""
+        def run(workers):
+            with DseSession(
+                design=cqm_design, part="XC7K70T", use_model=False,
+                seed=5, workers=workers,
+            ) as sess:
+                res = sess.explore(generations=3, population=8)
+                seconds = sess.fitness.simulated_seconds
+            return res, seconds
+
+        serial, serial_s = run(0)
+        pooled, pooled_s = run(2)
+        assert serial.evaluations == pooled.evaluations
+        assert serial_s == pooled_s
+        ref = sorted(
+            (tuple(sorted(p.parameters.items())), tuple(sorted(p.metrics.items())))
+            for p in serial.pareto
+        )
+        got = sorted(
+            (tuple(sorted(p.parameters.items())), tuple(sorted(p.metrics.items())))
+            for p in pooled.pareto
+        )
+        assert ref == got
+
+    def test_explore_workers_override_and_pool_reuse(self, cqm_design):
+        """explore(workers=...) overrides the session default, and the
+        pool persists across explore() calls on the same session."""
+        with DseSession(
+            design=cqm_design, part="XC7K70T", use_model=False, seed=5
+        ) as sess:
+            sess.explore(generations=2, population=8, workers=2)
+            pool = sess.fitness._parallel
+            assert pool is not None and pool._pool is not None
+            sess.explore(generations=2, population=8)
+            assert sess.fitness._parallel is pool, "pool must survive explores"
+        assert pool._pool is None, "session close must shut the pool down"
+
+    def test_incremental_evaluator_stays_serial(self, cqm_design):
+        """Incremental flows warm-start from checkpoints, so parallel
+        fan-out would change QoR; the fitness must refuse to fan out."""
+        with DseSession(
+            design=cqm_design, part="XC7K70T", use_model=False,
+            incremental=True, seed=5, workers=2,
+        ) as sess:
+            assert not sess.fitness._use_parallel()
+            res = sess.explore(generations=2, population=8)
+            assert res.evaluations > 0
+            assert sess.fitness._parallel is None
+
     def test_custom_metrics_flow_through(self, cqm_design):
         metrics = [
             MetricSpec.minimize("LUT"), MetricSpec.minimize("FF"),

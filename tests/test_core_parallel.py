@@ -3,7 +3,12 @@
 import pytest
 
 from repro.core.evaluate import PointEvaluator
-from repro.core.parallel import EvaluatorSpec, ParallelPointEvaluator
+from repro.core.parallel import (
+    EvaluationFailure,
+    EvaluatorSpec,
+    ParallelPointEvaluator,
+    RemoteEvaluationError,
+)
 from repro.designs import get_design
 
 
@@ -90,3 +95,124 @@ class TestParallelPath:
         ]
         out = ParallelPointEvaluator(spec=spec, workers=2).evaluate_many(points)
         assert out[0].metrics["BRAM"] < out[1].metrics["BRAM"]
+
+
+class TestPersistentPool:
+    """The pool must survive across batches: one initializer call per
+    worker per evaluator lifetime, never one pool per batch."""
+
+    def test_one_initializer_call_per_worker(self):
+        with ParallelPointEvaluator(spec=_spec(), workers=2) as pool:
+            pool.evaluate_many(BATCH[:2])
+            first_pool = pool._pool
+            assert first_pool is not None
+            pool.evaluate_many(BATCH[2:])
+            assert pool._pool is first_pool
+
+            probes = pool.worker_probes()
+            assert probes, "live pool must answer probes"
+            pids = {pid for pid, _ in probes}
+            assert len(pids) <= 2
+            assert all(calls == 1 for _, calls in probes), (
+                "worker initializer ran more than once per worker: "
+                f"{probes}"
+            )
+
+    def test_pool_is_lazy_and_close_idempotent(self):
+        pool = ParallelPointEvaluator(spec=_spec(), workers=2)
+        assert pool._pool is None
+        assert pool.worker_probes() == []
+        pool.evaluate_many(BATCH[:1])
+        assert pool._pool is not None
+        pool.close()
+        assert pool._pool is None
+        pool.close()  # second close is a no-op
+        # Memo survives close: replays need no pool at all.
+        out = pool.evaluate_many(BATCH[:1])
+        assert pool._pool is None
+        assert out[0].source == "cache"
+
+    def test_memo_skips_redispatch_across_batches(self):
+        with ParallelPointEvaluator(spec=_spec(), workers=2) as pool:
+            first = pool.evaluate_many(BATCH)
+            assert pool.dispatched == len(BATCH)
+            assert pool.memo_hits == 0
+            again = pool.evaluate_many(BATCH)
+            assert pool.dispatched == len(BATCH), "memoized points re-dispatched"
+            assert pool.memo_hits == len(BATCH)
+            for a, b in zip(first, again):
+                assert a.metrics == b.metrics
+                # Replays are priced exactly like the serial evaluator's
+                # own result cache: free, and marked as such.
+                assert b.source == "cache"
+                assert b.simulated_seconds == 0.0
+
+    def test_memo_key_ignores_param_order_and_case(self):
+        with ParallelPointEvaluator(spec=_spec(), workers=0) as pool:
+            pool.evaluate_many([{"OP_TABLE_SIZE": 8, "PIPELINE": 2}])
+            out = pool.evaluate_many([{"pipeline": 2, "op_table_size": 8}])
+            assert pool.dispatched == 1
+            assert out[0].source == "cache"
+
+
+_TIREX_OK = {"NCLUSTER": 1, "STACK_SIZE": 1, "INSTR_MEM_SIZE": 8, "DATA_MEM_SIZE": 8}
+_TIREX_OVERFLOW = {"NCLUSTER": 8, "STACK_SIZE": 256, "INSTR_MEM_SIZE": 64, "DATA_MEM_SIZE": 64}
+
+
+class TestFailurePropagation:
+    def test_on_error_return_yields_failure_records(self):
+        spec = _spec(design_name="tirex")
+        with ParallelPointEvaluator(spec=spec, workers=2) as pool:
+            out = pool.evaluate_many(
+                [_TIREX_OK, _TIREX_OVERFLOW], on_error="return"
+            )
+        assert out[0].metrics["LUT"] > 0
+        assert isinstance(out[1], EvaluationFailure)
+        assert out[1].original_type == "UtilizationOverflowError"
+
+    def test_on_error_raise_restores_original_type_name(self):
+        spec = _spec(design_name="tirex")
+        with ParallelPointEvaluator(spec=spec, workers=2) as pool:
+            with pytest.raises(RemoteEvaluationError) as err:
+                pool.evaluate_many([_TIREX_OVERFLOW])
+        assert err.value.original_type == "UtilizationOverflowError"
+
+
+class TestSpawnEquivalence:
+    """Bitwise parity under the spawn start method (no inherited state):
+    workers must rebuild the evaluator — including a built-in design's
+    architectural model via ``design_name`` re-registration — and still
+    reproduce the serial evaluator exactly."""
+
+    # BATCH plus a duplicate of its first point, split across the batch:
+    # the repeat must come back as a free cache hit in both paths.
+    _WITH_DUP = [*BATCH, dict(BATCH[0])]
+
+    def test_spawn_bitwise_equals_serial(self):
+        serial = ParallelPointEvaluator(spec=_spec(), workers=0)
+        ref = serial.evaluate_many(self._WITH_DUP)
+        with ParallelPointEvaluator(
+            spec=_spec(), workers=2, start_method="spawn"
+        ) as pool:
+            out = pool.evaluate_many(self._WITH_DUP)
+        for s, p in zip(ref, out):
+            assert s.parameters == p.parameters
+            assert s.metrics == p.metrics
+            assert s.source == p.source
+            assert s.simulated_seconds == p.simulated_seconds
+        assert out[-1].source == "cache"
+        assert out[-1].simulated_seconds == 0.0
+
+    def test_spawn_vhdl_builtin_design(self):
+        spec = _spec(
+            design_name="neorv32",
+            metrics=(("BRAM", "min"), ("frequency", "max")),
+        )
+        points = [{"MEM_INT_IMEM_SIZE": 2**13}, {"MEM_INT_IMEM_SIZE": 2**14}]
+        ref = ParallelPointEvaluator(spec=spec, workers=0).evaluate_many(points)
+        with ParallelPointEvaluator(
+            spec=spec, workers=2, start_method="spawn"
+        ) as pool:
+            out = pool.evaluate_many(points)
+        for s, p in zip(ref, out):
+            assert s.metrics == p.metrics

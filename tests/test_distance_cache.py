@@ -1,0 +1,147 @@
+"""Tests for the incremental distance cache and the refit policy.
+
+The cache maintains the pairwise squared-distance matrix and the
+nearest-neighbour distances with O(n·d) work per append; these tests pin
+it against the from-scratch Gram-matrix rebuild (``_pairwise_sq_dists``)
+and brute force, over randomized insert sequences (hypothesis) and the
+growth boundary where the backing buffers double.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.estimation import ControlModel, Dataset, DistanceCache, RefitPolicy
+from repro.estimation.cross_validation import _pairwise_sq_dists
+
+
+def _brute_sq_dists(X: np.ndarray) -> np.ndarray:
+    diff = X[:, None, :] - X[None, :, :]
+    return np.einsum("ijk,ijk->ij", diff, diff)
+
+
+class TestDistanceCache:
+    @given(
+        n_var=st.integers(1, 5),
+        n_points=st.integers(1, 40),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_appends_match_rebuild(self, n_var, n_points, seed):
+        rng = np.random.default_rng(seed)
+        # Integer-ish coordinates with occasional exact duplicates, like
+        # real DSE parameter vectors.
+        X = rng.integers(0, 16, size=(n_points, n_var)).astype(float)
+
+        cache = DistanceCache(n_var=n_var, initial_capacity=2)
+        for x in X:
+            cache.append(x)
+
+        rebuilt = _pairwise_sq_dists(X)
+        assert np.allclose(cache.matrix(), rebuilt, atol=1e-12)
+        assert np.allclose(cache.matrix(), _brute_sq_dists(X), atol=1e-12)
+        assert np.array_equal(cache.points(), X)
+
+        if n_points >= 2:
+            masked = _brute_sq_dists(X).astype(float)
+            np.fill_diagonal(masked, np.inf)
+            assert np.allclose(
+                cache.nearest_sq_dists(), masked.min(axis=1), atol=1e-12
+            )
+
+    def test_growth_boundary(self):
+        cache = DistanceCache(n_var=2, initial_capacity=1)
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [6.0, 8.0], [1.0, 1.0]])
+        for p in pts:  # crosses capacity 1 -> 2 -> 4
+            cache.append(p)
+        assert cache.matrix()[0, 1] == 25.0
+        assert np.allclose(cache.matrix(), _brute_sq_dists(pts))
+
+    def test_singleton_nearest_is_inf(self):
+        cache = DistanceCache(n_var=3)
+        cache.append(np.zeros(3))
+        assert np.isinf(cache.nearest_sq_dists()[0])
+
+    def test_dataset_nearest_distances_use_cache(self):
+        ds = Dataset(n_var=2, metric_names=("LUT",))
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [0.0, 1.0]])
+        for i, p in enumerate(pts):
+            ds.add(p, np.array([float(i)]))
+        nd = ds.pairwise_nearest_distances()
+        assert nd == pytest.approx([1.0, np.sqrt(9 + 9), 1.0])
+
+
+def _control(policy: RefitPolicy) -> ControlModel:
+    return ControlModel(
+        dataset=Dataset(n_var=3, metric_names=("LUT", "frequency")),
+        refit_policy=policy,
+    )
+
+
+def _feed(control: ControlModel, n: int, seed: int = 11) -> None:
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 32, size=(n, 3)).astype(float)
+    Y = np.stack([X.sum(axis=1), 100.0 - X[:, 0]], axis=1)
+    for x, y in zip(X, Y):
+        control.record(x, y)
+
+
+class TestRefitPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RefitPolicy(every=-1)
+        with pytest.raises(ValueError):
+            RefitPolicy(every=4, gamma_drift=0.0)
+
+    def test_every_one_scans_per_insert(self):
+        control = _control(RefitPolicy(every=1))
+        _feed(control, 20)
+        # First insert cannot scan (n < 2): 19 scans for 20 inserts.
+        assert control.refits == 19
+
+    def test_periodic_policy_scans_less_and_refit_aligns(self):
+        exact = _control(RefitPolicy(every=1))
+        lazy = _control(RefitPolicy(every=8))
+        _feed(exact, 30)
+        _feed(lazy, 30)
+        assert 0 < lazy.refits < exact.refits
+        # An exact refit is a pure function of the dataset: after one, the
+        # lazy model is bitwise equal to the per-insert reference.
+        lazy.refit()
+        assert lazy.model.bandwidth == exact.model.bandwidth
+        assert lazy.threshold == exact.threshold
+        assert lazy.last_loo_mse == exact.last_loo_mse
+        probe = np.array([3.5, 7.5, 1.5])
+        assert (lazy.model.predict(probe) == exact.model.predict(probe)).all()
+
+    def test_gamma_drift_triggers_between_periods(self):
+        periodic = _control(RefitPolicy(every=0))
+        drifty = _control(RefitPolicy(every=0, gamma_drift=0.05))
+        # every=0: no periodic scans at all, so any scan after the first
+        # explicit refit comes from the drift trigger.
+        _feed(periodic, 8)
+        _feed(drifty, 8)
+        periodic.refit()
+        drifty.refit()
+        base_p, base_d = periodic.refits, drifty.refits
+        _feed(periodic, 40, seed=99)
+        _feed(drifty, 40, seed=99)
+        assert periodic.refits == base_p
+        assert drifty.refits > base_d
+
+    def test_degenerate_dataset_keeps_bandwidth(self):
+        control = _control(RefitPolicy(every=1))
+        before = control.model.bandwidth
+        # Duplicate inserts are dropped by the dataset, so no scan can run
+        # and the bandwidth must stay untouched (and nothing crashes).
+        for _ in range(4):
+            control.record(np.ones(3), np.array([1.0, 2.0]))
+        assert len(control.dataset) == 1
+        assert control.model.bandwidth == before
+        assert control.refits == 0
+        # A second distinct point makes the scan possible again.
+        control.record(np.ones(3) * 2, np.array([2.0, 3.0]))
+        assert len(control.dataset) == 2
+        assert control.refits == 1

@@ -1,0 +1,28 @@
+"""Tier-1 smoke run of the perf-engine microbenchmark.
+
+The benchmark harness (``benchmarks/perf_engine.py``) asserts the
+engine's correctness contracts — bitwise-identical Pareto fronts and
+cost accounting for the persistent pool, bitwise-identical final model
+state for the incremental refit policy — independent of timing.  This
+test runs it at smoke sizes so every tier-1 run exercises those
+contracts; timings are recorded by the harness but never thresholded
+here (one-core CI cannot show pool speedup).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from perf_engine import run_perf_engine  # noqa: E402
+
+
+def test_perf_engine_smoke():
+    payload = run_perf_engine(smoke=True)
+    assert payload["smoke"] is True
+    assert all(d["identical"] for d in payload["dse_pool"])
+    assert payload["refit"]["identical"]
+    # The smoke refit still exercises both policies end to end.
+    assert payload["refit"]["incremental_refits"] < payload["refit"]["full_refits"]
