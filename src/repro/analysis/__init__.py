@@ -1,0 +1,75 @@
+"""Static analysis: the point-aware design rule checker (DRC).
+
+The paper's parsing step "applies a first formal verification to the
+design"; this package is that verification grown into a subsystem:
+
+- :mod:`repro.analysis.findings` — finding/severity/result types;
+- :mod:`repro.analysis.registry` — the rule registry (stable codes,
+  default severities, per-run enable/disable and severity overrides);
+- :mod:`repro.analysis.interface_rules` — point-independent interface
+  rules (E001–E005, W001–W004), formerly ``repro.hdl.validate``;
+- :mod:`repro.analysis.elaboration_rules` — elaboration-aware rules that
+  bind a concrete parameter assignment and constant-fold every width
+  (P001–P005);
+- :mod:`repro.analysis.boxing_rules` — generated-wrapper consistency
+  (B001–B004);
+- :mod:`repro.analysis.hierarchy_rules` — instantiation-graph rules
+  (H001–H002);
+- :mod:`repro.analysis.checker` — the multi-pass orchestrator;
+- :mod:`repro.analysis.gate` — the DSE pre-flight gate consulted by the
+  evaluation engine before any point is priced as a tool run;
+- :mod:`repro.analysis.baseline` — suppression files for existing debt;
+- :mod:`repro.analysis.report` — text/JSON/SARIF renderers and CI exit
+  codes for the ``dovado-repro lint`` subcommand.
+"""
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.checker import DesignRuleChecker, boundary_points
+from repro.analysis.findings import CheckResult, Finding, Severity
+from repro.analysis.gate import PreflightGate, freeze_params
+from repro.analysis.registry import (
+    Rule,
+    RuleConfig,
+    RuleContext,
+    Stage,
+    Violation,
+    all_rules,
+    get_rule,
+    rules_for_stage,
+)
+from repro.analysis.report import (
+    EXIT_CLEAN,
+    EXIT_ERRORS,
+    EXIT_WARNINGS,
+    exit_code,
+    render_json,
+    render_sarif,
+    render_text,
+)
+
+__all__ = [
+    "CheckResult",
+    "DesignRuleChecker",
+    "EXIT_CLEAN",
+    "EXIT_ERRORS",
+    "EXIT_WARNINGS",
+    "Finding",
+    "PreflightGate",
+    "Rule",
+    "RuleConfig",
+    "RuleContext",
+    "Severity",
+    "Stage",
+    "Violation",
+    "all_rules",
+    "boundary_points",
+    "exit_code",
+    "freeze_params",
+    "get_rule",
+    "load_baseline",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "rules_for_stage",
+    "write_baseline",
+]

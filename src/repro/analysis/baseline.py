@@ -1,0 +1,50 @@
+"""Baseline suppression files: accept existing debt, block new findings.
+
+A baseline is a JSON file mapping finding fingerprints (see
+:meth:`repro.analysis.findings.Finding.fingerprint`) to a human-readable
+label.  Loading one into a :class:`~repro.analysis.registry.RuleConfig`
+silences exactly those findings — new findings (different code, module,
+or message) still fail the build, which is what lets ``lint --strict``
+turn on in a codebase that is not yet clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+
+__all__ = ["load_baseline", "write_baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """Read a baseline file; returns the suppressed fingerprints."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {payload.get('version')!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    suppressions = payload.get("suppressions", {})
+    if not isinstance(suppressions, dict):
+        raise ValueError(f"{path}: 'suppressions' must be an object")
+    return frozenset(suppressions)
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> Path:
+    """Write the baseline accepting every finding in ``findings``."""
+    path = Path(path)
+    suppressions = {
+        f.fingerprint(): f"{f.code} {f.module}: {f.message}" for f in findings
+    }
+    payload = {
+        "version": BASELINE_VERSION,
+        "suppressions": dict(sorted(suppressions.items())),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,181 @@
+"""Boxing-stage rules (B001–B004): generated-wrapper consistency.
+
+The boxing step (paper Listing 1) wraps the module under exploration in a
+synthetic top whose only pin is the clock, specializing every generic at
+the design point.  A wrapper defect — a port left unwired, a generic not
+specialized, the ``DONT_TOUCH`` attribute missing, the clock not reaching
+the box pin — silently corrupts every downstream measurement, so these
+rules re-render the wrapper at the bound point and verify it structurally
+before the tool ever runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Severity
+from repro.analysis.registry import RuleContext, Stage, Violation, rule
+from repro.hdl.ast import HdlLanguage, Module
+
+__all__: list[str] = []  # rules register themselves; nothing to export
+
+
+def _module(ctx: RuleContext) -> Module:
+    assert ctx.module is not None, "boxing rules need ctx.module"
+    return ctx.module
+
+
+def _resolved_clock(ctx: RuleContext) -> Optional[str]:
+    """The clock port boxing would select, or None when there is none."""
+    module = _module(ctx)
+    if ctx.clock_port is not None:
+        try:
+            return module.port(ctx.clock_port).name
+        except KeyError:
+            return None
+    clocks = module.clock_ports()
+    return clocks[0].name if clocks else None
+
+
+def _get_box(ctx: RuleContext) -> Optional[object]:
+    """Render the box artifact once per run; None when boxing cannot build.
+
+    Build failures are not re-reported here: a missing clock is B001's
+    finding and a bad override is P004's.
+    """
+    if "box" in ctx.cache:
+        return ctx.cache["box"]
+    from repro.boxing import build_box
+    from repro.errors import ReproError
+
+    box: Optional[object]
+    try:
+        box = build_box(
+            _module(ctx), ctx.params or {}, clock_port=ctx.clock_port
+        )
+    except (ReproError, KeyError):
+        box = None
+    ctx.cache["box"] = box
+    return box
+
+
+def _wired(source: str, language: HdlLanguage, name: str, target: str) -> bool:
+    """True when the box source connects ``name`` to ``target``."""
+    lowered = source.lower()
+    if language == HdlLanguage.VHDL:
+        return f"{name.lower()} => {target.lower()}" in lowered
+    return f".{name.lower()}({target.lower()})" in lowered
+
+
+@rule(
+    "B001",
+    "no-boxable-clock",
+    Severity.ERROR,
+    Stage.BOXING,
+    "Boxing cannot identify a clock port to constrain (none declared, or "
+    "the named one does not exist).",
+)
+def check_no_boxable_clock(ctx: RuleContext) -> Iterator[Violation]:
+    if not ctx.boxed:
+        return
+    module = _module(ctx)
+    if _resolved_clock(ctx) is None:
+        if ctx.clock_port is not None:
+            yield Violation(
+                f"named clock port {ctx.clock_port!r} is not a port of "
+                f"module {module.name!r}",
+                module=module.name,
+            )
+        else:
+            yield Violation(
+                f"module {module.name!r} has no identifiable clock port for "
+                "boxing; pass clock_port explicitly",
+                module=module.name,
+            )
+
+
+@rule(
+    "B002",
+    "box-coverage",
+    Severity.ERROR,
+    Stage.BOXING,
+    "The generated wrapper must wire every port and specialize every free "
+    "generic of the boxed module.",
+)
+def check_box_coverage(ctx: RuleContext) -> Iterator[Violation]:
+    if not ctx.boxed:
+        return
+    module = _module(ctx)
+    box = _get_box(ctx)
+    if box is None:
+        return
+    source: str = box.source  # type: ignore[attr-defined]
+    clock: str = box.clock_port  # type: ignore[attr-defined]
+    lowered = source.lower()
+    for port in module.ports:
+        if port.name.lower() == clock.lower():
+            continue
+        if not _wired(source, module.language, port.name, f"s_{port.name}"):
+            yield Violation(
+                f"box wrapper does not wire port {port.name!r}",
+                module=module.name,
+                line=port.line,
+            )
+    for param in module.free_parameters():
+        if module.language == HdlLanguage.VHDL:
+            present = f"{param.name.lower()} =>" in lowered
+        else:
+            present = f".{param.name.lower()}(" in lowered
+        if not present:
+            yield Violation(
+                f"box wrapper does not specialize generic {param.name!r}",
+                module=module.name,
+                line=param.line,
+            )
+
+
+@rule(
+    "B003",
+    "box-dont-touch",
+    Severity.ERROR,
+    Stage.BOXING,
+    "The wrapper must mark the boxed instance DONT_TOUCH so synthesis "
+    "cannot optimize the module under measurement away.",
+)
+def check_box_dont_touch(ctx: RuleContext) -> Iterator[Violation]:
+    if not ctx.boxed:
+        return
+    module = _module(ctx)
+    box = _get_box(ctx)
+    if box is None:
+        return
+    source: str = box.source  # type: ignore[attr-defined]
+    if "dont_touch" not in source.lower():
+        yield Violation(
+            "box wrapper lacks the DONT_TOUCH attribute on the boxed instance",
+            module=module.name,
+        )
+
+
+@rule(
+    "B004",
+    "box-clock-unreachable",
+    Severity.ERROR,
+    Stage.BOXING,
+    "The selected clock port must reach the wrapper's clock pin, or the "
+    "generated timing constraint targets nothing.",
+)
+def check_box_clock_unreachable(ctx: RuleContext) -> Iterator[Violation]:
+    if not ctx.boxed:
+        return
+    module = _module(ctx)
+    box = _get_box(ctx)
+    if box is None:
+        return
+    source: str = box.source  # type: ignore[attr-defined]
+    clock: str = box.clock_port  # type: ignore[attr-defined]
+    if not _wired(source, module.language, clock, "clk"):
+        yield Violation(
+            f"clock port {clock!r} is not connected to the box clock pin",
+            module=module.name,
+        )

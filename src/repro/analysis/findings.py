@@ -1,0 +1,97 @@
+"""Finding and result types shared by every analysis pass.
+
+A :class:`Finding` is one diagnostic: a stable rule code, a severity, a
+human-readable message, and (when known) the module and source line it
+anchors to.  :class:`CheckResult` is an immutable bundle of findings with
+the severity-partitioning helpers the gate, the CLI, and the reporters
+all need.
+
+These types predate the registry (``repro.hdl.validate`` grew them first)
+and keep the original constructor shape — ``Finding(severity, code,
+message)`` — so the historical lint API remains a drop-in.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["Severity", "Finding", "CheckResult"]
+
+
+class Severity(str, enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a design rule."""
+
+    severity: Severity
+    code: str
+    message: str
+    module: str = ""
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"[{self.severity}:{self.code}] {self.message}"
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline suppression (line numbers excluded,
+        so unrelated edits above a finding do not invalidate the baseline)."""
+        raw = f"{self.code}|{self.module}|{self.message}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "severity": str(self.severity),
+            "code": self.code,
+            "message": self.message,
+            "module": self.module,
+            "line": self.line,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """The findings of one checker run, with severity partitions."""
+
+    findings: tuple[Finding, ...] = field(default_factory=tuple)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def errors(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity == Severity.ERROR)
+
+    def warnings(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity == Severity.WARNING)
+
+    def ok(self) -> bool:
+        """True when no error-severity finding is present."""
+        return not self.errors()
+
+    def codes(self) -> tuple[str, ...]:
+        return tuple(f.code for f in self.findings)
+
+    def merged(self, other: "CheckResult") -> "CheckResult":
+        """Concatenate two results, dropping exact duplicates."""
+        seen: set[tuple[str, str, str]] = set()
+        out: list[Finding] = []
+        for f in self.findings + other.findings:
+            key = (f.code, f.module, f.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(f)
+        return CheckResult(tuple(out))

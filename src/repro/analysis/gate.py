@@ -1,0 +1,109 @@
+"""The DSE pre-flight gate: point-level DRC before any tool dispatch.
+
+Simopt-style speculative pre-checks ahead of the CAD flow: before a design
+point is priced as a (simulated) Vivado run, the gate elaborates its
+parameter binding through the elaboration + boxing rule stages and rejects
+points that cannot produce a meaningful run — zero/negative port widths,
+out-of-space values, unboxable configurations.  A rejection costs nothing:
+no tool session is touched, no simulated seconds accrue.
+
+Verdicts are memoized on the frozen parameter binding (the same key the
+cross-batch evaluation memo uses), so a point is checked once per gate
+lifetime no matter how many generations re-propose it.  When every sampled
+point is feasible the gate is behaviour-neutral: the checks are pure
+functions of (module, binding) and consume no randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.analysis.checker import DesignRuleChecker
+from repro.analysis.findings import Finding
+from repro.analysis.registry import RuleConfig
+from repro.errors import DrcViolationError
+from repro.hdl.ast import Module
+
+__all__ = ["PreflightGate", "freeze_params"]
+
+FrozenParams = tuple[tuple[str, int], ...]
+
+
+def freeze_params(params: Mapping[str, int]) -> FrozenParams:
+    """Canonical hashable key for a parameter binding."""
+    return tuple(sorted((k.lower(), int(v)) for k, v in params.items()))
+
+
+class PreflightGate:
+    """Memoized point-level design rule checks for one module."""
+
+    def __init__(
+        self,
+        module: Module,
+        space: Any = None,
+        boxed: bool = True,
+        clock_port: Optional[str] = None,
+        config: Optional[RuleConfig] = None,
+    ) -> None:
+        self.module = module
+        self.space = space
+        self.boxed = boxed
+        self.clock_port = clock_port
+        self.checker = DesignRuleChecker(config)
+        self._verdicts: dict[FrozenParams, tuple[Finding, ...]] = {}
+        self.checks = 0
+        self.rejections = 0
+
+    # ------------------------------------------------------------------
+
+    def errors(self, params: Mapping[str, int]) -> tuple[Finding, ...]:
+        """Error-severity findings for ``params`` (memoized; empty = feasible)."""
+        key = freeze_params(params)
+        if key not in self._verdicts:
+            self.checks += 1
+            result = self.checker.check_point(
+                self.module,
+                params,
+                space=self.space,
+                boxed=self.boxed,
+                clock_port=self.clock_port,
+            )
+            self._verdicts[key] = result.errors()
+            if self._verdicts[key]:
+                self.rejections += 1
+        return self._verdicts[key]
+
+    def is_feasible(self, params: Mapping[str, int]) -> bool:
+        return not self.errors(params)
+
+    def violation(self, params: Mapping[str, int]) -> Optional[DrcViolationError]:
+        """The error a rejected point raises, or None when feasible.
+
+        Built here (not at the raise site) so the serial evaluator and the
+        parallel fan-out produce byte-identical failure records.
+        """
+        errors = self.errors(params)
+        if not errors:
+            return None
+        details = "; ".join(str(f) for f in errors)
+        return DrcViolationError(
+            f"module {self.module.name!r} failed DRC pre-flight at point "
+            f"({', '.join(f'{k}={v}' for k, v in sorted(params.items()))}): "
+            f"{details}",
+            findings=errors,
+        )
+
+    def raise_for_point(self, params: Mapping[str, int]) -> None:
+        """Raise :class:`DrcViolationError` when ``params`` is infeasible."""
+        error = self.violation(params)
+        if error is not None:
+            raise error
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "drc_checks": self.checks,
+            "drc_rejections": self.rejections,
+            "drc_memo_size": len(self._verdicts),
+        }

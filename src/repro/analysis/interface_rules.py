@@ -1,0 +1,212 @@
+"""Interface-stage rules (E001–E005, W001–W004).
+
+These are the point-independent checks that grew up in
+``repro.hdl.validate`` — the paper's "first formal verification" applied
+at parse time — now registered as design rules so they share the code
+registry, severity overrides, and suppression machinery with the
+elaboration-aware passes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Severity
+from repro.analysis.registry import RuleContext, Stage, Violation, rule
+from repro.hdl import expr as E
+from repro.hdl.ast import Direction, Module, Port
+
+__all__ = ["BUILTIN_NAMES"]
+
+# Names legal in constant expressions without a parameter declaration.
+BUILTIN_NAMES = frozenset({"true", "false"})
+
+
+def _module(ctx: RuleContext) -> Module:
+    assert ctx.module is not None, "interface rules need ctx.module"
+    return ctx.module
+
+
+def _width_refs(port: Port) -> set[str]:
+    refs: set[str] = set()
+    if port.ptype.high is not None:
+        refs |= E.free_names(port.ptype.high)
+    if port.ptype.low is not None:
+        refs |= E.free_names(port.ptype.low)
+    return refs
+
+
+@rule(
+    "E001",
+    "duplicate-port",
+    Severity.ERROR,
+    Stage.INTERFACE,
+    "Two ports share a name (case-insensitive, as VHDL requires).",
+)
+def check_duplicate_ports(ctx: RuleContext) -> Iterator[Violation]:
+    module = _module(ctx)
+    seen: dict[str, str] = {}
+    for port in module.ports:
+        key = port.name.lower()
+        if key in seen:
+            yield Violation(
+                f"duplicate port {port.name!r} (also declared as {seen[key]!r})",
+                module=module.name,
+                line=port.line,
+            )
+        seen[key] = port.name
+
+
+@rule(
+    "E002",
+    "duplicate-parameter",
+    Severity.ERROR,
+    Stage.INTERFACE,
+    "Two parameters/generics share a name (case-insensitive).",
+)
+def check_duplicate_parameters(ctx: RuleContext) -> Iterator[Violation]:
+    module = _module(ctx)
+    seen: set[str] = set()
+    for param in module.parameters:
+        key = param.name.lower()
+        if key in seen:
+            yield Violation(
+                f"duplicate parameter {param.name!r}",
+                module=module.name,
+                line=param.line,
+            )
+        seen.add(key)
+
+
+@rule(
+    "E003",
+    "port-parameter-collision",
+    Severity.ERROR,
+    Stage.INTERFACE,
+    "A port name collides with a parameter name (breaks the box's generic map).",
+)
+def check_port_parameter_collision(ctx: RuleContext) -> Iterator[Violation]:
+    module = _module(ctx)
+    params = {p.name.lower() for p in module.parameters}
+    for port in module.ports:
+        if port.name.lower() in params:
+            yield Violation(
+                f"port {port.name!r} collides with a parameter name",
+                module=module.name,
+                line=port.line,
+            )
+
+
+@rule(
+    "E004",
+    "unknown-width-reference",
+    Severity.ERROR,
+    Stage.INTERFACE,
+    "A port width/range expression references a name that is not a declared parameter.",
+)
+def check_unknown_width_reference(ctx: RuleContext) -> Iterator[Violation]:
+    module = _module(ctx)
+    known = {p.name.lower() for p in module.parameters}
+    for port in module.ports:
+        for ref in sorted(_width_refs(port)):
+            if ref.lower() not in known and ref.lower() not in BUILTIN_NAMES:
+                yield Violation(
+                    f"port {port.name!r} width references unknown name {ref!r}",
+                    module=module.name,
+                    line=port.line,
+                )
+
+
+@rule(
+    "E005",
+    "unknown-default-reference",
+    Severity.ERROR,
+    Stage.INTERFACE,
+    "A parameter default expression references a name that is not a declared parameter.",
+)
+def check_unknown_default_reference(ctx: RuleContext) -> Iterator[Violation]:
+    module = _module(ctx)
+    known = {p.name.lower() for p in module.parameters}
+    for param in module.parameters:
+        if param.default is None:
+            continue
+        for ref in sorted(E.free_names(param.default)):
+            if ref.lower() not in known and ref.lower() not in BUILTIN_NAMES:
+                yield Violation(
+                    f"parameter {param.name!r} default references unknown "
+                    f"name {ref!r}",
+                    module=module.name,
+                    line=param.line,
+                )
+
+
+@rule(
+    "W001",
+    "no-ports",
+    Severity.WARNING,
+    Stage.INTERFACE,
+    "The module declares no ports; the tool will prune the whole design.",
+)
+def check_no_ports(ctx: RuleContext) -> Iterator[Violation]:
+    module = _module(ctx)
+    if not module.ports:
+        yield Violation(
+            f"module {module.name!r} has no ports", module=module.name,
+            line=module.line,
+        )
+
+
+@rule(
+    "W002",
+    "no-clock",
+    Severity.WARNING,
+    Stage.INTERFACE,
+    "No identifiable clock port; timing analysis needs a constraint target.",
+)
+def check_no_clock(ctx: RuleContext) -> Iterator[Violation]:
+    module = _module(ctx)
+    if module.ports and not module.clock_ports():
+        yield Violation(
+            f"module {module.name!r} has no identifiable clock port",
+            module=module.name,
+            line=module.line,
+        )
+
+
+@rule(
+    "W003",
+    "parameter-without-default",
+    Severity.WARNING,
+    Stage.INTERFACE,
+    "A free parameter has no default value; exact evaluation must bind it.",
+)
+def check_parameter_without_default(ctx: RuleContext) -> Iterator[Violation]:
+    module = _module(ctx)
+    for param in module.free_parameters():
+        if param.default is None:
+            yield Violation(
+                f"parameter {param.name!r} has no default value",
+                module=module.name,
+                line=param.line,
+            )
+
+
+@rule(
+    "W004",
+    "no-input-ports",
+    Severity.WARNING,
+    Stage.INTERFACE,
+    "No port carries input connectivity (inout ports count as inputs).",
+)
+def check_no_input_ports(ctx: RuleContext) -> Iterator[Violation]:
+    module = _module(ctx)
+    # `inout` ports carry input connectivity, so a module whose only
+    # bidirectional pins face the outside world is not input-less.
+    if module.ports and not any(
+        p.direction in (Direction.IN, Direction.INOUT) for p in module.ports
+    ):
+        yield Violation(
+            f"module {module.name!r} declares no input ports",
+            module=module.name,
+            line=module.line,
+        )

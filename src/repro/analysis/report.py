@@ -1,0 +1,134 @@
+"""CI-grade lint output: text, JSON, and SARIF renderers + exit codes.
+
+The SARIF output follows the 2.1.0 schema subset GitHub code scanning
+consumes — ``runs[].tool.driver.rules[]`` carries the full rule catalog
+and ``runs[].results[]`` one entry per finding — so ``dovado-repro lint
+--format sarif`` can annotate pull requests directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import all_rules
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_WARNINGS",
+    "EXIT_ERRORS",
+    "exit_code",
+    "render_text",
+    "render_json",
+    "render_sarif",
+]
+
+EXIT_CLEAN = 0     # no findings (or warnings without --strict)
+EXIT_WARNINGS = 1  # warning findings under --strict
+EXIT_ERRORS = 2    # error findings
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "dovado-repro-lint"
+
+
+def exit_code(findings: Sequence[Finding], strict: bool = False) -> int:
+    """CI exit code: 0 clean / 1 warnings under strict / 2 errors."""
+    if any(f.severity == Severity.ERROR for f in findings):
+        return EXIT_ERRORS
+    if strict and any(f.severity == Severity.WARNING for f in findings):
+        return EXIT_WARNINGS
+    return EXIT_CLEAN
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One finding per line, compiler style, with a closing summary."""
+    if not findings:
+        return "clean: no findings\n"
+    lines: list[str] = []
+    for f in findings:
+        where = f.module or "<design>"
+        if f.line:
+            where = f"{where}:{f.line}"
+        lines.append(f"{where}: {f}")
+    errors = sum(1 for f in findings if f.severity == Severity.ERROR)
+    warnings = len(findings) - errors
+    lines.append(f"{errors} error(s), {warnings} warning(s)")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    errors = sum(1 for f in findings if f.severity == Severity.ERROR)
+    warnings = sum(1 for f in findings if f.severity == Severity.WARNING)
+    payload = {
+        "tool": _TOOL_NAME,
+        "findings": [f.as_dict() for f in findings],
+        "summary": {
+            "errors": errors,
+            "warnings": warnings,
+            "total": len(findings),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_level(severity: Severity) -> str:
+    return "error" if severity == Severity.ERROR else "warning"
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 with the full rule catalog and one result per finding."""
+    rules = [
+        {
+            "id": r.code,
+            "name": r.name,
+            "shortDescription": {"text": r.description},
+            "defaultConfiguration": {"level": _sarif_level(r.severity)},
+            "properties": {"stage": str(r.stage)},
+        }
+        for r in all_rules()
+    ]
+    rule_index = {r.code: i for i, r in enumerate(all_rules())}
+    results = []
+    for f in findings:
+        result: dict[str, object] = {
+            "ruleId": f.code,
+            "level": _sarif_level(f.severity),
+            "message": {"text": f.message},
+            "partialFingerprints": {"dovadoRepro/v1": f.fingerprint()},
+        }
+        if f.code in rule_index:
+            result["ruleIndex"] = rule_index[f.code]
+        if f.module:
+            result["locations"] = [
+                {
+                    "logicalLocations": [
+                        {"name": f.module, "kind": "module"}
+                    ],
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f"{f.module}.hdl"},
+                        "region": {"startLine": max(1, f.line)},
+                    },
+                }
+            ]
+        results.append(result)
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": "https://github.com/DovadoFramework/Dovado",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"

@@ -137,6 +137,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_dse.add_argument("--out", help="directory for JSON/CSV results")
 
+    p_lint = sub.add_parser(
+        "lint", help="run the design rule checker (CI exit codes: 0/1/2)"
+    )
+    p_lint.add_argument("sources", nargs="*", help="HDL source files to lint")
+    p_lint.add_argument("--design", help="built-in design name")
+    p_lint.add_argument("--top", help="restrict point checks to this module")
+    p_lint.add_argument(
+        "--at", action="append", type=_parse_assignment, dest="at",
+        default=[], help="parameter NAME=VALUE for the point-aware checks; "
+                         "repeatable (default: design defaults + boundary "
+                         "points of the declared space)",
+    )
+    p_lint.add_argument("--strict", action="store_true",
+                        help="exit 1 when warnings remain")
+    p_lint.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="report format (default text)")
+    p_lint.add_argument("--output", help="write the report to this file")
+    p_lint.add_argument("--disable", action="append", dest="disabled",
+                        default=[], metavar="CODE",
+                        help="disable a rule code; repeatable")
+    p_lint.add_argument("--baseline", help="baseline suppression file (JSON)")
+    p_lint.add_argument("--update-baseline", action="store_true",
+                        help="write current findings to --baseline and exit 0")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    p_lint.add_argument("--no-box", action="store_true",
+                        help="skip the boxing-wrapper rules (B codes)")
+
     p_sweep = sub.add_parser(
         "sweep", help="exact-set evaluation of a cartesian parameter grid"
     )
@@ -180,6 +208,104 @@ def _make_session(args: argparse.Namespace, need_space: bool) -> DseSession:
     return DseSession(
         source=source, language=language, top=args.top, space=space, **common
     )
+
+
+def _lint(args: argparse.Namespace) -> int:
+    """The ``lint`` subcommand: DRC sweep with CI-grade output.
+
+    Exit codes: 0 clean, 1 warnings under ``--strict``, 2 errors.
+    """
+    from repro.analysis import (
+        DesignRuleChecker,
+        RuleConfig,
+        all_rules,
+        exit_code,
+        load_baseline,
+        render_json,
+        render_sarif,
+        render_text,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        rows = [
+            (r.code, str(r.severity), str(r.stage), r.name, r.description)
+            for r in all_rules()
+        ]
+        print(render_table(("Code", "Severity", "Stage", "Name", "Description"),
+                           rows))
+        return 0
+
+    baseline: frozenset[str] = frozenset()
+    if args.baseline and not args.update_baseline and Path(args.baseline).exists():
+        baseline = load_baseline(args.baseline)
+    checker = DesignRuleChecker(
+        RuleConfig(disabled=frozenset(args.disabled), baseline=baseline)
+    )
+    points = [dict(args.at)] if args.at else None
+    boxed = not args.no_box
+
+    if args.design:
+        gen = get_design(args.design)
+        source = gen.source()
+        from repro.hdl.frontend import parse_source
+
+        modules = parse_source(source, gen.language)
+        result = checker.check_design(
+            gen.module(),
+            space=ParameterSpace.from_design(gen),
+            sources=((source, str(gen.language)),),
+            known_modules=[m.name for m in modules],
+            points=points,
+            boxed=boxed,
+        )
+    elif args.sources:
+        from repro.hdl.frontend import detect_language, parse_source
+
+        texts: list[tuple[str, str]] = []
+        all_modules = []
+        for path in args.sources:
+            text = Path(path).read_text(encoding="utf-8")
+            language = detect_language(path, text)
+            texts.append((text, str(language)))
+            all_modules.extend(parse_source(text, language))
+        known = [m.name for m in all_modules]
+        if args.top:
+            selected = [
+                m for m in all_modules if m.name.lower() == args.top.lower()
+            ]
+            if not selected:
+                raise SystemExit(f"top {args.top!r} not found in sources")
+        else:
+            selected = all_modules
+        result = checker.check_sources(texts, known_modules=known)
+        for module in selected:
+            result = result.merged(checker.check_interface(module))
+            for point in points or [{}]:
+                result = result.merged(
+                    checker.check_point(module, point, boxed=boxed)
+                )
+    else:
+        raise SystemExit("either --design or HDL source files are required")
+
+    findings = list(result.findings)
+    if args.update_baseline:
+        if not args.baseline:
+            raise SystemExit("--update-baseline requires --baseline FILE")
+        path = write_baseline(args.baseline, findings)
+        print(f"baseline written: {path} ({len(findings)} suppression(s))")
+        return 0
+
+    renderer = {
+        "text": render_text, "json": render_json, "sarif": render_sarif,
+    }[args.format]
+    report = renderer(findings)
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+        print(f"report written: {args.output}")
+    else:
+        print(report, end="")
+    return exit_code(findings, strict=args.strict)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -230,6 +356,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(hierarchy.render(root))
             print()
         return 0
+
+    if args.command == "lint":
+        return _lint(args)
 
     if args.command == "eval":
         session = _make_session(args, need_space=False)

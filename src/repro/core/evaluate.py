@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from repro.analysis.gate import PreflightGate
 from repro.boxing import build_box
 from repro.core.metrics import (
     MetricSpec,
@@ -73,6 +74,11 @@ class PointEvaluator:
             raise LookupError(f"top {top!r} not found in source (has: {names})")
         self.module: Module = matches[0]
         self.warnings = validate_module(self.module)
+        # Point-level DRC pre-flight: evaluate() consults this gate before
+        # touching the tool session, so infeasible bindings (null widths,
+        # unboxable configurations) never cost a run.  Verdicts memoize on
+        # the frozen binding — pure function of (module, params), no RNG.
+        self.gate = PreflightGate(self.module, boxed=boxed, clock_port=clock_port)
         self.part = part
         self.target_period_ns = float(target_period_ns)
         self.step = step
@@ -108,6 +114,7 @@ class PointEvaluator:
     def evaluate(self, params: Mapping[str, int]) -> EvaluatedPoint:
         """Run one configuration through the full flow."""
         params = {k: int(v) for k, v in params.items()}
+        self.gate.raise_for_point(params)
         session = VivadoTclSession(sim=self.sim)
         interp = TclInterp()
         bind_vivado_commands(interp, session)

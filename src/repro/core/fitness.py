@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.gate import PreflightGate
 from repro.core.evaluate import PointEvaluator
 from repro.core.point import EvaluatedPoint
 from repro.core.spaces import ParameterSpace
@@ -62,9 +63,20 @@ class ApproximateFitness:
             min_points_to_estimate=min_points_to_estimate,
             refit_policy=refit_policy or RefitPolicy(),
         )
+        # Space-aware DRC pre-flight gate: in addition to the evaluator's
+        # own point-level checks this one validates proposed values against
+        # the declared parameter space, and it lets the model-active path
+        # reject a point before the control model even sees it.
+        self.gate = PreflightGate(
+            evaluator.module,
+            space=space,
+            boxed=evaluator.boxed,
+            clock_port=evaluator.clock_port,
+        )
         self.history: list[EvaluatedPoint] = []
         self.simulated_seconds = 0.0
         self.infeasible = 0
+        self.drc_rejections = 0
         self.mse_trace: list[tuple[int, float]] = []  # (dataset size, LOO MSE)
         self._parallel = None  # lazy ParallelPointEvaluator
 
@@ -145,8 +157,21 @@ class ApproximateFitness:
         return out
 
     def _note_failure(self, params: dict[str, int], error_type: str) -> np.ndarray:
-        """Bookkeeping for an infeasible run (shared serial/batch path)."""
+        """Bookkeeping for an infeasible run (shared serial/batch path).
+
+        Points the DRC pre-flight gate rejected never touched the tool, so
+        they enter history as zero-cost ``source="drc"`` records; points
+        the tool itself rejected (capacity overflow, unroutable) keep the
+        ``infeasible:TYPE`` source and still charge tool time — Vivado
+        errors late.
+        """
         self.infeasible += 1
+        if error_type == "DrcViolationError":
+            source = "drc"
+            self.drc_rejections += 1
+        else:
+            source = f"infeasible:{error_type}"
+            self.simulated_seconds += _CACHE_HIT_COST_S
         self.history.append(
             EvaluatedPoint(
                 parameters=params,
@@ -156,11 +181,10 @@ class ApproximateFitness:
                         map(float, self._penalty_vector()),
                     )
                 ),
-                source=f"infeasible:{error_type}",
+                source=source,
+                simulated_seconds=0.0,
             )
         )
-        # A failed run still costs tool time (Vivado errors late).
-        self.simulated_seconds += _CACHE_HIT_COST_S
         return self._penalty_vector()
 
     def _note_point(
@@ -180,6 +204,10 @@ class ApproximateFitness:
 
     def _run_tool(self, encoded: np.ndarray, record: bool) -> np.ndarray:
         params = self.space.decode(encoded)
+        # Space-aware DRC pre-flight: reject before the evaluator (whose
+        # own gate knows the module but not the declared space) is touched.
+        if not self.gate.is_feasible(params):
+            return self._note_failure(params, "DrcViolationError")
         try:
             point = self.evaluator.evaluate(params)
         except ReproError as exc:
@@ -226,6 +254,14 @@ class ApproximateFitness:
             if not self.use_model:
                 out[i] = self._run_tool(row, record=False)
                 continue
+            # DRC pre-flight: an infeasible point must not reach the control
+            # model (a cached/estimated answer for a design that cannot
+            # elaborate would be fiction).  Pure memoized check — when every
+            # point is feasible this consults no RNG and records nothing.
+            params = self.space.decode(row)
+            if not self.gate.is_feasible(params):
+                out[i] = self._note_failure(params, "DrcViolationError")
+                continue
             decision = self.control.decide(np.asarray(row, dtype=float))
             self.control.note(decision)
             if decision == Decision.CACHED:
@@ -259,6 +295,10 @@ class ApproximateFitness:
             "infeasible": self.infeasible,
             "simulated_seconds": self.simulated_seconds,
         }
+        base.update(self.gate.stats())
+        # All-path rejection count (serial, batch, and model paths) — more
+        # informative than the fitness gate's own memoized tally.
+        base["drc_rejections"] = self.drc_rejections
         if self.use_model:
             base.update(self.control.stats())
         return base
@@ -290,3 +330,12 @@ class DseProblem(IntegerProblem):
 
     def evaluate(self, X: np.ndarray) -> np.ndarray:
         return self.fitness.evaluate_encoded(X)
+
+    def feasible_mask(self, X: np.ndarray) -> np.ndarray:
+        """Consult the DRC pre-flight gate row by row (pure, memoized)."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.int64))
+        gate = self.fitness.gate
+        space = self.fitness.space
+        return np.array(
+            [gate.is_feasible(space.decode(row)) for row in X], dtype=bool
+        )

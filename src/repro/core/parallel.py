@@ -37,6 +37,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from repro.analysis.gate import PreflightGate
 from repro.core.evaluate import PointEvaluator
 from repro.core.metrics import MetricSpec
 from repro.core.point import EvaluatedPoint
@@ -203,6 +204,8 @@ class ParallelPointEvaluator:
     )
     dispatched: int = field(default=0, init=False)
     memo_hits: int = field(default=0, init=False)
+    drc_rejections: int = field(default=0, init=False)
+    _gate: PreflightGate | None = field(default=None, init=False, repr=False)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -242,6 +245,25 @@ class ParallelPointEvaluator:
 
     # -- evaluation -----------------------------------------------------
 
+    def gate(self) -> PreflightGate:
+        """The driver-side DRC pre-flight gate (built lazily from the spec).
+
+        Runs in the parent process so infeasible points are rejected before
+        they are shipped to a worker: the verdict is memoized here as an
+        :class:`EvaluationFailure` whose message is byte-identical to the
+        error the serial evaluator's own gate raises.
+        """
+        if self._gate is None:
+            from repro.hdl.ast import HdlLanguage
+            from repro.hdl.frontend import parse_source
+
+            modules = parse_source(self.spec.source, HdlLanguage(self.spec.language))
+            matches = [m for m in modules if m.name.lower() == self.spec.top.lower()]
+            if not matches:
+                raise LookupError(f"top {self.spec.top!r} not found in spec source")
+            self._gate = PreflightGate(matches[0], boxed=self.spec.boxed)
+        return self._gate
+
     def evaluate_many(
         self,
         points: Sequence[Mapping[str, int]],
@@ -265,6 +287,20 @@ class ParallelPointEvaluator:
             if key not in self.memo and key not in fresh:
                 fresh[key] = {k: int(v) for k, v in p.items()}
                 first_occurrence[key] = i
+
+        # DRC pre-flight: reject infeasible fresh points in the parent
+        # process, before any worker dispatch.  The verdict is memoized so
+        # repeats replay without re-checking, like any other failure.
+        if fresh:
+            gate = self.gate()
+            for key in list(fresh):
+                violation = gate.violation(fresh[key])
+                if violation is not None:
+                    self.memo[key] = EvaluationFailure(
+                        type(violation).__name__, str(violation)
+                    )
+                    self.drc_rejections += 1
+                    del fresh[key]
 
         if fresh:
             self.dispatched += len(fresh)

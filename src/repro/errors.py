@@ -50,6 +50,19 @@ class ValidationError(HdlError):
     """Raised by the lint/"formal verification" pass on malformed interfaces."""
 
 
+class DrcViolationError(ValidationError):
+    """Raised by the DSE pre-flight gate when a concrete design point fails
+    the elaboration-aware design rule checks.
+
+    Carries the error-severity findings so callers can report (or record)
+    the individual rule codes.
+    """
+
+    def __init__(self, message: str, findings: tuple = ()) -> None:
+        super().__init__(message)
+        self.findings = tuple(findings)
+
+
 class UnknownLanguageError(HdlError):
     """Raised when the frontend cannot determine a file's HDL dialect."""
 

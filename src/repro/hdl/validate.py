@@ -1,147 +1,27 @@
 """Interface lint — the paper's "first formal verification" at parse time.
 
-Dovado's parsing step "applies a first formal verification to the design":
-before any tool run, the extracted interface is checked for the defects that
-would otherwise surface deep inside the flow.  :func:`lint_module` returns a
-list of findings; :func:`validate_module` raises on any error-severity one.
+This module is the stable, historical API over the design rule checker in
+:mod:`repro.analysis`: the E/W interface rules that used to live here are
+now registered rules (see :mod:`repro.analysis.interface_rules`), sharing
+codes, severities, and suppression machinery with the elaboration-aware
+passes.  :func:`lint_module` returns the interface findings;
+:func:`validate_module` raises on any error-severity one.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
-
+from repro.analysis.findings import Finding, Severity
 from repro.errors import ValidationError
-from repro.hdl import expr as E
-from repro.hdl.ast import Direction, Module
+from repro.hdl.ast import Module
 
 __all__ = ["Severity", "Finding", "lint_module", "validate_module"]
 
 
-class Severity(str, enum.Enum):
-    ERROR = "error"
-    WARNING = "warning"
-
-    def __str__(self) -> str:
-        return self.value
-
-
-@dataclass(frozen=True)
-class Finding:
-    severity: Severity
-    code: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"[{self.severity}:{self.code}] {self.message}"
-
-
 def lint_module(module: Module) -> list[Finding]:
     """Run all interface checks; returns findings (possibly empty)."""
-    findings: list[Finding] = []
+    from repro.analysis.checker import DesignRuleChecker
 
-    # E001: duplicate port names (case-insensitive, as VHDL requires).
-    seen_ports: dict[str, str] = {}
-    for port in module.ports:
-        key = port.name.lower()
-        if key in seen_ports:
-            findings.append(
-                Finding(
-                    Severity.ERROR,
-                    "E001",
-                    f"duplicate port {port.name!r} (also declared as {seen_ports[key]!r})",
-                )
-            )
-        seen_ports[key] = port.name
-
-    # E002: duplicate parameter names.
-    seen_params: dict[str, str] = {}
-    for param in module.parameters:
-        key = param.name.lower()
-        if key in seen_params:
-            findings.append(
-                Finding(
-                    Severity.ERROR,
-                    "E002",
-                    f"duplicate parameter {param.name!r}",
-                )
-            )
-        seen_params[key] = param.name
-
-    # E003: port/parameter name collision (breaks boxing's generic map).
-    for port in module.ports:
-        if port.name.lower() in seen_params:
-            findings.append(
-                Finding(
-                    Severity.ERROR,
-                    "E003",
-                    f"port {port.name!r} collides with a parameter name",
-                )
-            )
-
-    # E004: width expressions referencing unknown parameters.
-    param_names = {p.name.lower() for p in module.parameters}
-    builtin = {"true", "false"}
-    for port in module.ports:
-        for ref in _width_refs(port):
-            if ref.lower() not in param_names and ref.lower() not in builtin:
-                findings.append(
-                    Finding(
-                        Severity.ERROR,
-                        "E004",
-                        f"port {port.name!r} width references unknown name {ref!r}",
-                    )
-                )
-
-    # W001: no ports at all (nothing for the box to wire; tool will prune).
-    if not module.ports:
-        findings.append(
-            Finding(Severity.WARNING, "W001", f"module {module.name!r} has no ports")
-        )
-
-    # W002: no identifiable clock — timing analysis needs a constraint target.
-    elif not module.clock_ports():
-        findings.append(
-            Finding(
-                Severity.WARNING,
-                "W002",
-                f"module {module.name!r} has no identifiable clock port",
-            )
-        )
-
-    # W003: free parameter without a default (exact evaluation must bind it).
-    for param in module.free_parameters():
-        if param.default is None:
-            findings.append(
-                Finding(
-                    Severity.WARNING,
-                    "W003",
-                    f"parameter {param.name!r} has no default value",
-                )
-            )
-
-    # W004: only out/inout ports — inputs were likely parsed away or absent.
-    if module.ports and all(
-        p.direction != Direction.IN for p in module.ports
-    ):
-        findings.append(
-            Finding(
-                Severity.WARNING,
-                "W004",
-                f"module {module.name!r} declares no input ports",
-            )
-        )
-
-    return findings
-
-
-def _width_refs(port) -> set[str]:
-    refs: set[str] = set()
-    if port.ptype.high is not None:
-        refs |= E.free_names(port.ptype.high)
-    if port.ptype.low is not None:
-        refs |= E.free_names(port.ptype.low)
-    return refs
+    return list(DesignRuleChecker().check_interface(module).findings)
 
 
 def validate_module(module: Module) -> list[Finding]:

@@ -95,6 +95,18 @@ class IntegerProblem:
         """Evaluate ``(n, n_var)`` int rows → ``(n, n_obj)`` raw metrics."""
         raise NotImplementedError
 
+    def feasible_mask(self, X: np.ndarray) -> np.ndarray:
+        """Per-row static feasibility (True = worth evaluating).
+
+        The hook the DSE pre-flight gate plugs into: subclasses backed by
+        a design rule checker override this to flag rows that cannot
+        elaborate (see :class:`repro.core.fitness.DseProblem`).  The base
+        problem knows nothing beyond its bounds, so every row is feasible.
+        Must be pure — callers rely on it consuming no randomness.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=np.int64))
+        return np.ones(X.shape[0], dtype=bool)
+
     def minimized(self, F_raw: np.ndarray) -> np.ndarray:
         """Flip maximize columns so every objective is minimized."""
         F = np.array(F_raw, dtype=float, copy=True)

@@ -141,6 +141,31 @@ class TestLint:
         )
         assert "W003" in [f.code for f in lint_module(m)]
 
+    def test_unknown_default_reference_e005(self):
+        m = self._module(
+            "module m #(parameter W = GHOST + 1)(input wire clk); endmodule",
+            "verilog",
+        )
+        assert "E005" in [f.code for f in lint_module(m)]
+
+    def test_default_referencing_declared_parameter_no_e005(self):
+        m = self._module(
+            "module m #(parameter A = 4, parameter B = A * 2)"
+            "(input wire clk); endmodule",
+            "verilog",
+        )
+        assert "E005" not in [f.code for f in lint_module(m)]
+
+    def test_no_input_ports_warning_w004(self):
+        m = self._module("module m(output wire q); endmodule", "verilog")
+        assert "W004" in [f.code for f in lint_module(m)]
+
+    def test_inout_only_module_no_w004(self):
+        # inout carries input connectivity: a pad-only module is not
+        # input-less.
+        m = self._module("module m(inout wire pad); endmodule", "verilog")
+        assert "W004" not in [f.code for f in lint_module(m)]
+
     def test_validate_raises_on_error(self):
         m = self._module("entity e is port (a : in std_logic; a : in std_logic); end e;")
         with pytest.raises(ValidationError, match="E001"):
