@@ -106,7 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=[], help="parameter NAME=VALUE; repeatable",
     )
 
-    p_dse = sub.add_parser("dse", help="explore the design space with NSGA-II")
+    p_dse = sub.add_parser(
+        "dse", aliases=["explore"],
+        help="explore the design space with NSGA-II",
+    )
     add_common(p_dse)
     p_dse.add_argument("--generations", type=int, default=15)
     p_dse.add_argument("--population", type=int, default=24)
@@ -136,6 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="NAME:LO:HI[:pow2] space dimension (required with --source)",
     )
     p_dse.add_argument("--out", help="directory for JSON/CSV results")
+    p_dse.add_argument("--trace", metavar="FILE",
+                       help="enable telemetry: write a JSONL trace to FILE "
+                            "and print the run summary at session end")
 
     p_lint = sub.add_parser(
         "lint", help="run the design rule checker (CI exit codes: 0/1/2)"
@@ -176,6 +182,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--workers", type=_nonnegative_int, default=0,
                          help="process-pool size (0 = serial)")
     p_sweep.add_argument("--csv", help="write the sweep rows to this CSV file")
+    p_sweep.add_argument("--trace", metavar="FILE",
+                         help="enable telemetry: write a JSONL trace to FILE "
+                              "and print the run summary at session end")
+
+    p_stats = sub.add_parser(
+        "stats", help="summarize a JSONL telemetry trace (from --trace)"
+    )
+    p_stats.add_argument("trace", help="trace file to summarize")
     return parser
 
 
@@ -308,6 +322,42 @@ def _lint(args: argparse.Namespace) -> int:
     return exit_code(findings, strict=args.strict)
 
 
+def _start_trace(args: argparse.Namespace):
+    """Enable telemetry when ``--trace`` was given; returns the bundle."""
+    if not getattr(args, "trace", None):
+        return None
+    from repro.observe import enable_telemetry
+
+    return enable_telemetry()
+
+
+def _finish_trace(tel, args: argparse.Namespace, command: str) -> None:
+    """Write the trace file, print the summary, and turn telemetry off.
+
+    Runs in a ``finally`` so a failed run still leaves a valid trace.
+    """
+    from repro.observe import disable_telemetry, render_summary, write_trace
+
+    meta = {
+        k: v
+        for k, v in {
+            "command": command,
+            "design": getattr(args, "design", None),
+            "source": getattr(args, "source", None),
+            "part": getattr(args, "part", None),
+            "seed": getattr(args, "seed", None),
+        }.items()
+        if v is not None
+    }
+    try:
+        path = write_trace(args.trace, tel, meta=meta)
+        print()
+        print(render_summary(tel, meta=meta))
+        print(f"\ntrace written: {path}")
+    finally:
+        disable_telemetry()
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -371,6 +421,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(session.evaluator.last_reports.get("timing", ""))
         return 0
 
+    if args.command == "stats":
+        from repro.observe import read_trace, render_trace_summary
+
+        print(render_trace_summary(read_trace(args.trace)))
+        return 0
+
     if args.command == "sweep":
         from repro.core.sweep import grid as make_grid, run_sweep
 
@@ -384,10 +440,15 @@ def _dispatch(args: argparse.Namespace) -> int:
         if not values:
             raise SystemExit("at least one --grid NAME=V1,V2,... is required")
         points = make_grid(**values)
-        result = run_sweep(
-            session.evaluator, points, workers=args.workers,
-            design_name=args.design,
-        )
+        tel = _start_trace(args)
+        try:
+            result = run_sweep(
+                session.evaluator, points, workers=args.workers,
+                design_name=args.design,
+            )
+        finally:
+            if tel is not None:
+                _finish_trace(tel, args, "sweep")
         print(result.to_table(
             title=f"Sweep: {len(result)} configurations "
                   f"({result.total_simulated_seconds() / 3600:.2f} tool-hours)"
@@ -399,11 +460,14 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"saved: {path}")
         return 0
 
-    if args.command == "dse":
+    if args.command in ("dse", "explore"):
         session = _make_session(args, need_space=True)
         session.fitness.use_model = not args.no_model
         session.fitness.pretrain_size = args.pretrain
         deadline = args.deadline_hours * 3600 if args.deadline_hours else None
+        # Telemetry must be on before the session evaluates anything (the
+        # worker pool freezes the enablement state when it starts).
+        tel = _start_trace(args)
         try:
             result = session.explore(
                 generations=args.generations,
@@ -414,6 +478,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         finally:
             session.close()
+            if tel is not None:
+                _finish_trace(tel, args, "dse")
         if session.last_algorithm_choice is not None:
             print(f"algorithm choice: {session.last_algorithm_choice.name} "
                   f"({session.last_algorithm_choice.reason})")

@@ -18,6 +18,7 @@ The evaluator is the only component the DSE fitness function talks to.
 
 from __future__ import annotations
 
+import time
 from typing import Mapping
 
 from repro.analysis.gate import PreflightGate
@@ -32,8 +33,10 @@ from repro.core.point import EvaluatedPoint
 from repro.directives import DirectiveSet
 from repro.flow.vivado_sim import FlowStep, VivadoSim
 from repro.hdl.ast import HdlLanguage, Module
+from repro.errors import DrcViolationError, ReproError
 from repro.hdl.frontend import parse_source
 from repro.hdl.validate import validate_module
+from repro.observe import current_telemetry
 from repro.tcl import TclInterp, VivadoTclSession, bind_vivado_commands
 from repro.tcl.frames import render_evaluation_script
 from repro.util.rng import stable_hash_seed
@@ -101,6 +104,11 @@ class PointEvaluator:
         self.evaluations = 0
         self.last_script = ""
         self.last_reports: dict[str, str] = {}
+        # Simulated seconds the most recent *failed* evaluation charged to
+        # the tool before raising (0.0 for DRC rejections, which never
+        # touch the tool session) — the cost-accounting layer reads this
+        # to charge failed points against the DSE soft deadline.
+        self.last_failure_seconds = 0.0
 
     # ------------------------------------------------------------------
 
@@ -108,13 +116,28 @@ class PointEvaluator:
         return tuple(s.canonical_name() for s in self.metrics)
 
     def _box_top(self, params: Mapping[str, int]) -> str:
+        # The full 63-bit tag: truncating to 32 bits lets two distinct
+        # bindings collide on the box name, silently sharing a cached
+        # RunResult (colliding pairs exist within ~2^17 bindings).
         tag = stable_hash_seed(sorted((k.lower(), int(v)) for k, v in params.items()))
-        return f"box_{tag & 0xFFFFFFFF:08x}"
+        return f"box_{tag:016x}"
 
     def evaluate(self, params: Mapping[str, int]) -> EvaluatedPoint:
         """Run one configuration through the full flow."""
         params = {k: int(v) for k, v in params.items()}
-        self.gate.raise_for_point(params)
+        tel = current_telemetry()
+        t0 = time.perf_counter() if tel is not None else 0.0
+        try:
+            self.gate.raise_for_point(params)
+        except DrcViolationError as exc:
+            self.last_failure_seconds = 0.0
+            if tel is not None:
+                tel.ledger.append(
+                    params=params, outcome="drc", charge=0.0,
+                    error_type=type(exc).__name__,
+                    wall_s=time.perf_counter() - t0,
+                )
+            raise
         session = VivadoTclSession(sim=self.sim)
         interp = TclInterp()
         bind_vivado_commands(interp, session)
@@ -160,7 +183,21 @@ class PointEvaluator:
                 f"synth_design -top $top_module {generics}",
             )
         self.last_script = script
-        interp.eval(script)
+        sim_before = self.sim.simulated_seconds
+        try:
+            interp.eval(script)
+        except ReproError as exc:
+            # The flow charges the partial cost of a failed run before
+            # raising; attribute that delta to this point.
+            charge = self.sim.simulated_seconds - sim_before
+            self.last_failure_seconds = charge
+            if tel is not None:
+                tel.ledger.append(
+                    params=params, outcome="failed", charge=charge,
+                    error_type=type(exc).__name__,
+                    wall_s=time.perf_counter() - t0,
+                )
+            raise
 
         self.last_reports = {
             "utilization": interp.files["utilization.rpt"],
@@ -187,12 +224,24 @@ class PointEvaluator:
                 frequency_mhz=report_fmax(interp.files["timing.rpt"]),
             ).total_mw
         self.evaluations += 1
-        return EvaluatedPoint(
+        # Cache attribution comes from the tool's explicit flag (plumbed
+        # run -> session result), not from ``last_run_seconds == 0.0``,
+        # which can be stale after an intervening failed or gated run.
+        result = session.result
+        cached = result.from_cache if result is not None else self.sim.last_run_cached
+        point = EvaluatedPoint(
             parameters=dict(params),
             metrics=values,
-            source="cache" if self.sim.last_run_seconds == 0.0 else "tool",
-            simulated_seconds=self.sim.last_run_seconds,
+            source="cache" if cached else "tool",
+            simulated_seconds=0.0 if cached else self.sim.last_run_seconds,
         )
+        if tel is not None:
+            tel.ledger.append(
+                params=params, outcome=point.source, metrics=values,
+                charge=point.simulated_seconds,
+                wall_s=time.perf_counter() - t0,
+            )
+        return point
 
     def evaluate_many(self, points: list[Mapping[str, int]]) -> list[EvaluatedPoint]:
         """Design automation mode: evaluate an explicit configuration list."""

@@ -25,6 +25,7 @@ from repro.errors import ReproError
 from repro.estimation import ControlModel, Dataset, Decision, RefitPolicy
 from repro.moo.problem import IntegerProblem, Objective, Sense
 from repro.moo.sampling import IntegerRandomSampling
+from repro.observe import current_telemetry
 from repro.util.rng import as_generator
 
 __all__ = ["ApproximateFitness", "DseProblem"]
@@ -156,22 +157,46 @@ class ApproximateFitness:
             out[j] = 0.0 if spec.sense == Sense.MAXIMIZE else 1e12
         return out
 
-    def _note_failure(self, params: dict[str, int], error_type: str) -> np.ndarray:
+    def _note_failure(
+        self,
+        params: dict[str, int],
+        error_type: str,
+        charge_s: float | None = None,
+        record_ledger: bool = False,
+    ) -> np.ndarray:
         """Bookkeeping for an infeasible run (shared serial/batch path).
 
         Points the DRC pre-flight gate rejected never touched the tool, so
         they enter history as zero-cost ``source="drc"`` records; points
         the tool itself rejected (capacity overflow, unroutable) keep the
-        ``infeasible:TYPE`` source and still charge tool time — Vivado
-        errors late.
+        ``infeasible:TYPE`` source and charge the *partial* tool time the
+        failed run actually spent (``charge_s``, floored at the tool's
+        cache-answer overhead) — Vivado errors late, and a failed point is
+        not free against the soft deadline.
+
+        ``record_ledger`` is set only by call sites where no lower layer
+        (evaluator, worker, parallel memo) has already written the point's
+        ledger record — every evaluated point gets exactly one.
         """
         self.infeasible += 1
         if error_type == "DrcViolationError":
             source = "drc"
+            cost = 0.0
             self.drc_rejections += 1
         else:
             source = f"infeasible:{error_type}"
-            self.simulated_seconds += _CACHE_HIT_COST_S
+            cost = max(_CACHE_HIT_COST_S, charge_s or 0.0)
+            self.simulated_seconds += cost
+        tel = current_telemetry()
+        if tel is not None:
+            tel.counters.add("budget.charged_s", cost)
+            if record_ledger:
+                tel.ledger.append(
+                    params=params,
+                    outcome="drc" if source == "drc" else "failed",
+                    charge=0.0 if source == "drc" else (charge_s or 0.0),
+                    error_type=error_type,
+                )
         self.history.append(
             EvaluatedPoint(
                 parameters=params,
@@ -182,7 +207,7 @@ class ApproximateFitness:
                     )
                 ),
                 source=source,
-                simulated_seconds=0.0,
+                simulated_seconds=cost,
             )
         )
         return self._penalty_vector()
@@ -192,7 +217,11 @@ class ApproximateFitness:
     ) -> np.ndarray:
         """Bookkeeping for a completed run (shared serial/batch path)."""
         self.history.append(point)
-        self.simulated_seconds += max(point.simulated_seconds, _CACHE_HIT_COST_S)
+        cost = max(point.simulated_seconds, _CACHE_HIT_COST_S)
+        self.simulated_seconds += cost
+        tel = current_telemetry()
+        if tel is not None:
+            tel.counters.add("budget.charged_s", cost)
         y = self._metric_vector(point)
         if record and self.use_model:
             self.control.record(np.asarray(encoded, dtype=float), y)
@@ -207,11 +236,17 @@ class ApproximateFitness:
         # Space-aware DRC pre-flight: reject before the evaluator (whose
         # own gate knows the module but not the declared space) is touched.
         if not self.gate.is_feasible(params):
-            return self._note_failure(params, "DrcViolationError")
+            return self._note_failure(params, "DrcViolationError", record_ledger=True)
         try:
             point = self.evaluator.evaluate(params)
         except ReproError as exc:
-            return self._note_failure(params, type(exc).__name__)
+            # The evaluator already wrote this point's ledger record; pass
+            # along the partial tool cost the failed run charged.
+            return self._note_failure(
+                params,
+                type(exc).__name__,
+                charge_s=self.evaluator.last_failure_seconds,
+            )
         return self._note_point(encoded, point, record)
 
     def _run_tool_batch(self, X: np.ndarray, record: bool) -> np.ndarray:
@@ -232,7 +267,11 @@ class ApproximateFitness:
         result = np.empty((len(rows), len(self.evaluator.metric_names())))
         for i, (row, params, res) in enumerate(zip(rows, params_list, outs)):
             if isinstance(res, EvaluationFailure):
-                result[i] = self._note_failure(params, res.original_type)
+                # The parallel evaluator (worker or memo) already wrote the
+                # ledger record and ships the failed run's partial cost.
+                result[i] = self._note_failure(
+                    params, res.original_type, charge_s=res.simulated_seconds
+                )
             else:
                 result[i] = self._note_point(row, res, record)
         return result
@@ -260,23 +299,42 @@ class ApproximateFitness:
             # point is feasible this consults no RNG and records nothing.
             params = self.space.decode(row)
             if not self.gate.is_feasible(params):
-                out[i] = self._note_failure(params, "DrcViolationError")
+                out[i] = self._note_failure(
+                    params, "DrcViolationError", record_ledger=True
+                )
                 continue
+            tel = current_telemetry()
             decision = self.control.decide(np.asarray(row, dtype=float))
             self.control.note(decision)
             if decision == Decision.CACHED:
                 out[i] = self.control.cached(np.asarray(row, dtype=float))
                 self.simulated_seconds += _CACHE_HIT_COST_S
-            elif decision == Decision.ESTIMATE:
-                out[i] = self.control.estimate(np.asarray(row, dtype=float))
-                self.simulated_seconds += _ESTIMATE_COST_S
-                # Estimated points also enter history (marked) for analysis.
-                self.history.append(
-                    EvaluatedPoint(
-                        parameters=self.space.decode(row),
+                if tel is not None:
+                    tel.counters.add("budget.charged_s", _CACHE_HIT_COST_S)
+                    tel.ledger.append(
+                        params=params, outcome="cache",
                         metrics=dict(
                             zip(self.evaluator.metric_names(), map(float, out[i]))
                         ),
+                        charge=0.0,
+                    )
+            elif decision == Decision.ESTIMATE:
+                out[i] = self.control.estimate(np.asarray(row, dtype=float))
+                self.simulated_seconds += _ESTIMATE_COST_S
+                metrics = dict(
+                    zip(self.evaluator.metric_names(), map(float, out[i]))
+                )
+                if tel is not None:
+                    tel.counters.add("budget.charged_s", _ESTIMATE_COST_S)
+                    tel.ledger.append(
+                        params=params, outcome="estimate",
+                        metrics=metrics, charge=0.0,
+                    )
+                # Estimated points also enter history (marked) for analysis.
+                self.history.append(
+                    EvaluatedPoint(
+                        parameters=params,
+                        metrics=metrics,
                         source="estimate",
                         simulated_seconds=_ESTIMATE_COST_S,
                     )

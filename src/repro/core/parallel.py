@@ -45,6 +45,7 @@ from repro.directives import DirectiveSet
 from repro.errors import ReproError
 from repro.flow.vivado_sim import FlowStep
 from repro.moo.problem import Sense
+from repro.observe import current_telemetry, enable_telemetry
 
 __all__ = [
     "EvaluatorSpec",
@@ -69,10 +70,15 @@ class EvaluationFailure:
     Tool exceptions carry constructor signatures that do not survive
     pickling, so workers ship this marker instead; callers that need the
     serial behaviour re-raise via :meth:`to_error`.
+
+    ``simulated_seconds`` is the partial tool time the failed run charged
+    before raising (0 for DRC rejections and for memo replays) — the cost
+    accounting layer charges it against the DSE soft deadline.
     """
 
     original_type: str
     message: str
+    simulated_seconds: float = 0.0
 
     def to_error(self) -> RemoteEvaluationError:
         return RemoteEvaluationError(self.original_type, self.message)
@@ -145,9 +151,13 @@ _WORKER: PointEvaluator | None = None
 _INIT_CALLS = 0
 
 
-def _init_worker(spec: EvaluatorSpec) -> None:
+def _init_worker(spec: EvaluatorSpec, telemetry_enabled: bool = False) -> None:
     global _WORKER, _INIT_CALLS
     _INIT_CALLS += 1
+    if telemetry_enabled:
+        # The worker keeps a local bundle; every task drains it into the
+        # result tuple so the parent can merge spans/records/counters.
+        enable_telemetry()
     _WORKER = spec.build()
 
 
@@ -158,11 +168,19 @@ def _evaluate_one(params: dict[str, int]) -> EvaluatedPoint:
 
 def _evaluate_one_safe(
     params: dict[str, int],
-) -> EvaluatedPoint | EvaluationFailure:
+) -> tuple[EvaluatedPoint | EvaluationFailure, dict | None]:
     try:
-        return _evaluate_one(params)
+        result: EvaluatedPoint | EvaluationFailure = _evaluate_one(params)
     except ReproError as exc:
-        return EvaluationFailure(type(exc).__name__, str(exc))
+        assert _WORKER is not None
+        result = EvaluationFailure(
+            type(exc).__name__,
+            str(exc),
+            simulated_seconds=_WORKER.last_failure_seconds,
+        )
+    tel = current_telemetry()
+    delta = tel.drain_delta() if tel is not None else None
+    return result, delta
 
 
 def _worker_probe(_: int) -> tuple[int, int]:
@@ -216,11 +234,14 @@ class ParallelPointEvaluator:
                 if self.start_method
                 else None
             )
+            # Telemetry enablement is frozen at pool creation: workers
+            # started with it off never collect (so a later enable in the
+            # parent sees no worker records until the pool is rebuilt).
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=context,
                 initializer=_init_worker,
-                initargs=(self.spec,),
+                initargs=(self.spec, current_telemetry() is not None),
             )
         return self._pool
 
@@ -291,6 +312,7 @@ class ParallelPointEvaluator:
         # DRC pre-flight: reject infeasible fresh points in the parent
         # process, before any worker dispatch.  The verdict is memoized so
         # repeats replay without re-checking, like any other failure.
+        tel = current_telemetry()
         if fresh:
             gate = self.gate()
             for key in list(fresh):
@@ -300,6 +322,16 @@ class ParallelPointEvaluator:
                         type(violation).__name__, str(violation)
                     )
                     self.drc_rejections += 1
+                    # Pre-dispatch rejects never reach a worker, so this
+                    # layer owns their ledger record.
+                    if tel is not None:
+                        tel.ledger.append(
+                            params=fresh[key],
+                            outcome="drc",
+                            charge=0.0,
+                            error_type=type(violation).__name__,
+                            origin="pool",
+                        )
                     del fresh[key]
 
         if fresh:
@@ -309,14 +341,23 @@ class ParallelPointEvaluator:
                     self._serial = self.spec.build()
                 for key, params in fresh.items():
                     try:
+                        # The in-process evaluator records its own ledger
+                        # entries (it sees the parent's telemetry bundle).
                         self.memo[key] = self._serial.evaluate(params)
                     except ReproError as exc:
                         self.memo[key] = EvaluationFailure(
-                            type(exc).__name__, str(exc)
+                            type(exc).__name__,
+                            str(exc),
+                            simulated_seconds=self._serial.last_failure_seconds,
                         )
             else:
+                # map() yields in submission order, so merging deltas as
+                # they stream in gives a deterministic merged record order.
                 outs = self._ensure_pool().map(_evaluate_one_safe, fresh.values())
-                self.memo.update(zip(fresh.keys(), outs))
+                for key, (res, delta) in zip(fresh.keys(), outs):
+                    self.memo[key] = res
+                    if delta is not None and tel is not None:
+                        tel.merge_delta(delta, origin="worker")
 
         results: list[EvaluatedPoint | EvaluationFailure] = []
         for i, key in enumerate(keys):
@@ -324,13 +365,41 @@ class ParallelPointEvaluator:
             replay = first_occurrence.get(key) != i
             if replay:
                 self.memo_hits += 1
+                if tel is not None:
+                    self._record_replay(tel, points[i], stored)
             if isinstance(stored, EvaluationFailure):
+                if replay:
+                    # A replayed failure spends no new tool time.
+                    stored = dataclasses.replace(stored, simulated_seconds=0.0)
                 if on_error == "raise":
                     raise stored.to_error()
                 results.append(stored)
             else:
                 results.append(_as_cache_hit(stored) if replay else stored)
         return results
+
+    @staticmethod
+    def _record_replay(
+        tel, params: Mapping[str, int], stored: EvaluatedPoint | EvaluationFailure
+    ) -> None:
+        """Ledger record for a memo replay (zero charge — no tool touched)."""
+        if isinstance(stored, EvaluationFailure):
+            drc = stored.original_type == "DrcViolationError"
+            tel.ledger.append(
+                params=params,
+                outcome="drc" if drc else "failed",
+                charge=0.0,
+                error_type=stored.original_type,
+                origin="memo",
+            )
+        else:
+            tel.ledger.append(
+                params=params,
+                outcome="cache",
+                metrics=stored.metrics,
+                charge=0.0,
+                origin="memo",
+            )
 
     # -- introspection --------------------------------------------------
 

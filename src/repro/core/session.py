@@ -30,6 +30,7 @@ from repro.directives import DirectiveSet
 from repro.flow.vivado_sim import FlowStep
 from repro.moo import NSGA2, Termination
 from repro.moo.nsga2 import NSGA2Result
+from repro.observe import GenerationStat, current_telemetry, span as observe_span
 from repro.util.io import save_csv, save_json
 
 __all__ = ["DseSession", "DseResult"]
@@ -187,10 +188,35 @@ class DseSession:
         bitwise identical to the serial loop (the fan-out only engages
         for pure, non-incremental evaluators).
         """
+        with observe_span("dse.explore") as sp:
+            before = self.fitness.simulated_seconds
+            result = self._explore_impl(
+                generations=generations,
+                population=population,
+                soft_deadline_s=soft_deadline_s,
+                pretrain=pretrain,
+                algorithm=algorithm,
+                workers=workers,
+            )
+            sp.charge(self.fitness.simulated_seconds - before)
+        return result
+
+    def _explore_impl(
+        self,
+        generations: int,
+        population: int,
+        soft_deadline_s: float | None,
+        pretrain: bool,
+        algorithm: str,
+        workers: int | None,
+    ) -> DseResult:
         if workers is not None:
             self.fitness.set_workers(workers)
         if pretrain and not self._pretrained:
-            self.fitness.pretrain()
+            with observe_span("dse.pretrain") as sp:
+                before = self.fitness.simulated_seconds
+                self.fitness.pretrain()
+                sp.charge(self.fitness.simulated_seconds - before)
             self._pretrained = True
 
         problem = DseProblem(self.fitness)
@@ -252,11 +278,40 @@ class DseSession:
             evals = spea_result.evaluations
         elif algorithm == "nsga2":
             nsga = NSGA2(pop_size=population)
+            tel = current_telemetry()
+            on_gen = None
+            if tel is not None:
+                from repro.moo.indicators import hypervolume
+                from repro.moo.nds import non_dominated_mask
+
+                def on_gen(gen: int, pop) -> None:
+                    mask = non_dominated_mask(pop.F)
+                    # Per-generation reference: worst corner of the current
+                    # population, nudged so boundary points still count.
+                    ref = pop.F.max(axis=0) + 1e-9
+                    tel.note_generation(
+                        GenerationStat(
+                            generation=gen,
+                            front_size=int(mask.sum()),
+                            evaluations=termination.evaluations,
+                            hypervolume=float(
+                                hypervolume(pop.F[mask], ref, samples=20_000)
+                            ),
+                            budget_remaining_s=(
+                                termination.deadline.remaining()
+                                if termination.deadline is not None
+                                else None
+                            ),
+                        )
+                    )
+
+            charge_generations = soft_deadline_s is not None or tel is not None
             result = nsga.minimize(
                 problem,
                 termination,
                 seed=self.seed,
-                simulated_cost=simulated_cost if soft_deadline_s is not None else None,
+                on_generation=on_gen,
+                simulated_cost=simulated_cost if charge_generations else None,
             )
             archive = result.archive
             raw = result

@@ -36,6 +36,7 @@ from repro.estimation.cross_validation import loo_bandwidth
 from repro.estimation.dataset import Dataset
 from repro.estimation.nadaraya_watson import NadarayaWatson
 from repro.estimation.similarity import adaptive_threshold, similarity_phi
+from repro.observe import current_telemetry, span as observe_span
 
 __all__ = ["Decision", "RefitPolicy", "ControlModel"]
 
@@ -104,6 +105,9 @@ class ControlModel:
 
     def note(self, decision: Decision) -> None:
         self.counts[decision] += 1
+        tel = current_telemetry()
+        if tel is not None:
+            tel.counters.inc(f"decision.{decision.value}")
 
     # ------------------------------------------------------------------
 
@@ -153,19 +157,21 @@ class ControlModel:
 
     def _select_bandwidth(self) -> None:
         """The expensive half: the LOO bandwidth scan over the cached d2."""
-        X = self.dataset.points_view()
-        Y_norm = self.model.normalize(self.dataset.Y())
-        try:
-            h, mse = loo_bandwidth(X, Y_norm, d2=self.dataset.distance_matrix())
-        except BandwidthSelectionError:
-            # Degenerate dataset (e.g. identical points): keep the previous
-            # bandwidth; the counter stays up so the next insert retries.
-            return
-        self.model.bandwidth = h
-        self.last_loo_mse = mse
-        self.refits += 1
-        self._inserts_since_scan = 0
-        self._gamma_at_scan = self.threshold
+        with observe_span("estimation.refit"):
+            X = self.dataset.points_view()
+            Y_norm = self.model.normalize(self.dataset.Y())
+            try:
+                h, mse = loo_bandwidth(X, Y_norm, d2=self.dataset.distance_matrix())
+            except BandwidthSelectionError:
+                # Degenerate dataset (e.g. identical points): keep the
+                # previous bandwidth; the counter stays up so the next
+                # insert retries.
+                return
+            self.model.bandwidth = h
+            self.last_loo_mse = mse
+            self.refits += 1
+            self._inserts_since_scan = 0
+            self._gamma_at_scan = self.threshold
 
     # ------------------------------------------------------------------
 

@@ -22,8 +22,9 @@ its soft deadline without actually waiting.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
@@ -34,6 +35,7 @@ from repro.directives import DirectiveSet, ImplDirective, SynthDirective
 from repro.flow.reports import render_timing_report, render_utilization_report
 from repro.hdl.ast import HdlLanguage, Module
 from repro.hdl.frontend import SourceCollection, parse_source
+from repro.observe import span as observe_span
 from repro.pnr.checkpoints import CheckpointStore
 from repro.pnr.implementation import implement
 from repro.pnr.timing import block_internal_delay_ns
@@ -72,6 +74,7 @@ class RunResult:
     incremental: bool
     utilization_report_text: str
     timing_report_text: str
+    from_cache: bool = False
 
     def metric(self, name: str) -> float:
         """Uniform metric accessor: ``"frequency"`` (MHz) or a resource kind."""
@@ -108,7 +111,9 @@ class VivadoSim:
         self.stopwatch = Stopwatch()
         self.simulated_seconds = 0.0
         self.last_run_seconds = 0.0
+        self.last_run_cached = False
         self.runs = 0
+        self.failed_runs = 0
         self._last_synth_netlist = None
         self._cache: dict[int, RunResult] = {}
 
@@ -169,7 +174,16 @@ class VivadoSim:
         Results are cached on (top, part, parameters, step, directives,
         period): repeating a call returns the archived result at zero
         simulated cost — the "Vivado employs cached results" case of the
-        paper's control model.
+        paper's control model.  Cache answers are flagged explicitly:
+        the returned :class:`RunResult` has ``from_cache=True`` and
+        ``last_run_cached`` is set, so callers never have to infer cache
+        hits from a (possibly stale) ``last_run_seconds``.
+
+        A run that *fails* — e.g. utilization exceeding device capacity —
+        still charges the simulated seconds the completed steps cost to
+        ``simulated_seconds``/``last_run_seconds`` before the error
+        propagates: Vivado errors late, and a failed point is not free
+        against the DSE soft deadline.
         """
         directives = directives or DirectiveSet()
         params = {k: int(v) for k, v in (parameters or {}).items()}
@@ -182,70 +196,89 @@ class VivadoSim:
         cached = self._cache.get(cache_key)
         if cached is not None:
             self.last_run_seconds = 0.0
-            return cached
+            self.last_run_cached = True
+            return dataclasses.replace(cached, from_cache=True)
+        self.last_run_cached = False
 
         module = self.find_top(top)
         reference = self._last_synth_netlist if self.incremental_synth else None
-        with self.stopwatch.measure("synthesis"):
-            synth = synthesize(
-                module,
-                self.device,
-                overrides=params,
-                directive=directives.synth,
-                reference=reference,
-            )
-        self._last_synth_netlist = synth.netlist
-        seconds = synth.simulated_seconds
-        noise_key = (top.lower(), self.device.part, sorted(params.items()),
-                     directives.as_dict(), str(step))
-
-        if step == FlowStep.IMPLEMENTATION:
-            with self.stopwatch.measure("implementation"):
-                impl = implement(
-                    synth.mapped,
-                    target_period_ns=self.target_period_ns,
-                    directive=directives.impl,
-                    seed=stable_hash_seed((self.seed, *noise_key)),
-                    checkpoints=self.checkpoints if self.incremental_impl else None,
-                    extra_delay_bias=directives.synth.effect().delay_bias,
+        seconds = 0.0
+        try:
+            with self.stopwatch.measure("synthesis"), \
+                    observe_span("flow.synthesis") as sp:
+                synth = synthesize(
+                    module,
+                    self.device,
+                    overrides=params,
+                    directive=directives.synth,
+                    reference=reference,
                 )
-            seconds += impl.simulated_seconds
-            critical_delay = impl.timing.critical_delay_ns
-            critical_path = impl.timing.critical_path
-            arcs = impl.timing.arcs_analyzed
-            incremental = impl.used_checkpoint or synth.incremental_reuse > 0
-        else:
-            # Synthesis-step timing estimate: internal delays plus one nominal
-            # net hop per combinational crossing — optimistic, as Vivado's
-            # post-synth estimates are.
-            critical_delay, critical_path, arcs = self._synth_timing_estimate(synth)
-            incremental = synth.incremental_reuse > 0
+                seconds = synth.simulated_seconds
+                sp.charge(synth.simulated_seconds)
+            noise_key = (top.lower(), self.device.part, sorted(params.items()),
+                         directives.as_dict(), str(step))
 
-        critical_delay *= self._noise_factor((*noise_key, "delay"), _NOISE_DELAY)
-        wns = self.target_period_ns - critical_delay
-        fmax = fmax_from_wns(self.target_period_ns, wns)
+            if step == FlowStep.IMPLEMENTATION:
+                with self.stopwatch.measure("implementation"), \
+                        observe_span("flow.implementation") as sp:
+                    impl = implement(
+                        synth.mapped,
+                        target_period_ns=self.target_period_ns,
+                        directive=directives.impl,
+                        seed=stable_hash_seed((self.seed, *noise_key)),
+                        checkpoints=self.checkpoints if self.incremental_impl else None,
+                        extra_delay_bias=directives.synth.effect().delay_bias,
+                    )
+                    seconds += impl.simulated_seconds
+                    sp.charge(impl.simulated_seconds)
+                critical_delay = impl.timing.critical_delay_ns
+                critical_path = impl.timing.critical_path
+                arcs = impl.timing.arcs_analyzed
+                incremental = impl.used_checkpoint or synth.incremental_reuse > 0
+            else:
+                # Synthesis-step timing estimate: internal delays plus one
+                # nominal net hop per combinational crossing — optimistic,
+                # as Vivado's post-synth estimates are.
+                critical_delay, critical_path, arcs = self._synth_timing_estimate(synth)
+                incremental = synth.incremental_reuse > 0
 
-        used = synth.mapped.total
-        lut_noise = self._noise_factor((*noise_key, "lut"), _NOISE_LUT)
-        ff_noise = self._noise_factor((*noise_key, "ff"), _NOISE_FF)
-        noisy_counts = dict(used.counts)
-        if ResourceKind.LUT in noisy_counts:
-            noisy_counts[ResourceKind.LUT] = max(
-                1, round(noisy_counts[ResourceKind.LUT] * lut_noise)
+            critical_delay *= self._noise_factor((*noise_key, "delay"), _NOISE_DELAY)
+            wns = self.target_period_ns - critical_delay
+            fmax = fmax_from_wns(self.target_period_ns, wns)
+
+            used = synth.mapped.total
+            lut_noise = self._noise_factor((*noise_key, "lut"), _NOISE_LUT)
+            ff_noise = self._noise_factor((*noise_key, "ff"), _NOISE_FF)
+            noisy_counts = dict(used.counts)
+            if ResourceKind.LUT in noisy_counts:
+                noisy_counts[ResourceKind.LUT] = max(
+                    1, round(noisy_counts[ResourceKind.LUT] * lut_noise)
+                )
+            if ResourceKind.FF in noisy_counts:
+                noisy_counts[ResourceKind.FF] = max(
+                    1, round(noisy_counts[ResourceKind.FF] * ff_noise)
+                )
+            utilization = UtilizationReport(
+                used=ResourceVector(noisy_counts), available=self.device.resources
             )
-        if ResourceKind.FF in noisy_counts:
-            noisy_counts[ResourceKind.FF] = max(
-                1, round(noisy_counts[ResourceKind.FF] * ff_noise)
-            )
-        utilization = UtilizationReport(
-            used=ResourceVector(noisy_counts), available=self.device.resources
-        )
-        overflow = utilization.overflows()
-        if overflow:
-            kinds = ", ".join(str(k) for k in overflow)
-            raise FlowError(
-                f"{top}: utilization exceeds {self.device.part} capacity for {kinds}"
-            )
+            overflow = utilization.overflows()
+            if overflow:
+                kinds = ", ".join(str(k) for k in overflow)
+                raise FlowError(
+                    f"{top}: utilization exceeds {self.device.part} capacity for {kinds}"
+                )
+        except FlowError:
+            # The steps that completed before the error still spent tool
+            # time; charge it so failed points count against the deadline.
+            self.simulated_seconds += seconds
+            self.last_run_seconds = seconds
+            self.failed_runs += 1
+            raise
+
+        # Only now — after the whole flow succeeded — commit this netlist
+        # as the incremental-synthesis warm-start reference: a failed point
+        # must not seed later runs with a netlist that never finished.
+        self._last_synth_netlist = synth.netlist
 
         util_text = render_utilization_report(utilization, design=top, part=self.device.part)
         timing_text = render_timing_report(

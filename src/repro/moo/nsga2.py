@@ -32,6 +32,7 @@ from repro.moo.population import Population
 from repro.moo.problem import IntegerProblem
 from repro.moo.sampling import IntegerRandomSampling
 from repro.moo.termination import Termination
+from repro.observe import span as observe_span
 from repro.util.rng import as_generator
 
 __all__ = ["NSGA2", "NSGA2Result"]
@@ -99,48 +100,51 @@ class NSGA2:
         generation = 0
         while not termination.should_stop():
             generation += 1
-            ranks, crowd = self._rank_and_crowd(pop.F)
-            parents_idx = self._tournament(ranks, crowd, rng)
-            half = len(parents_idx) // 2
-            A = pop.X[parents_idx[:half]]
-            B = pop.X[parents_idx[half : 2 * half]]
-            c1, c2 = self.crossover(problem, A, B, rng)
-            children = np.vstack([c1, c2])
-            children = self.mutation(problem, children, rng)
+            with observe_span("dse.generation") as sp:
+                ranks, crowd = self._rank_and_crowd(pop.F)
+                parents_idx = self._tournament(ranks, crowd, rng)
+                half = len(parents_idx) // 2
+                A = pop.X[parents_idx[:half]]
+                B = pop.X[parents_idx[half : 2 * half]]
+                c1, c2 = self.crossover(problem, A, B, rng)
+                children = np.vstack([c1, c2])
+                children = self.mutation(problem, children, rng)
 
-            if self.eliminate_duplicates:
-                keep = unique_against(children, archive_X)
-                children = children[keep]
-            if children.shape[0] == 0:
-                # Fully duplicated offspring: resample fresh points to keep
-                # the search alive (small spaces saturate quickly).
-                children = self.sampling(problem, self.pop_size, rng).X
-                keep = unique_against(children, archive_X)
-                children = children[keep]
+                if self.eliminate_duplicates:
+                    keep = unique_against(children, archive_X)
+                    children = children[keep]
                 if children.shape[0] == 0:
-                    termination.note_generation()
-                    if on_generation is not None:
-                        on_generation(generation, pop)
-                    continue
+                    # Fully duplicated offspring: resample fresh points to
+                    # keep the search alive (small spaces saturate quickly).
+                    children = self.sampling(problem, self.pop_size, rng).X
+                    keep = unique_against(children, archive_X)
+                    children = children[keep]
+                    if children.shape[0] == 0:
+                        termination.note_generation()
+                        if on_generation is not None:
+                            on_generation(generation, pop)
+                        continue
 
-            F_children_raw = problem.evaluate(children)
-            F_children = problem.minimized(F_children_raw)
-            termination.note_evaluations(children.shape[0])
-            if simulated_cost is not None:
-                termination.charge(simulated_cost(children.shape[0]))
+                F_children_raw = problem.evaluate(children)
+                F_children = problem.minimized(F_children_raw)
+                termination.note_evaluations(children.shape[0])
+                if simulated_cost is not None:
+                    cost = simulated_cost(children.shape[0])
+                    termination.charge(cost)
+                    sp.charge(cost)
 
-            archive_X = np.vstack([archive_X, children])
-            archive_F = np.vstack([archive_F, F_children])
+                archive_X = np.vstack([archive_X, children])
+                archive_F = np.vstack([archive_F, F_children])
 
-            merged = Population(
-                X=np.vstack([pop.X, children]),
-                F=np.vstack([pop.F, F_children]),
-            )
-            pop = self._environmental_selection(merged)
+                merged = Population(
+                    X=np.vstack([pop.X, children]),
+                    F=np.vstack([pop.F, F_children]),
+                )
+                pop = self._environmental_selection(merged)
 
-            termination.note_generation()
-            if on_generation is not None:
-                on_generation(generation, pop)
+                termination.note_generation()
+                if on_generation is not None:
+                    on_generation(generation, pop)
 
         mask = non_dominated_mask(archive_F)
         pareto = Population(X=archive_X[mask], F=archive_F[mask])

@@ -1,0 +1,75 @@
+"""``repro.observe`` — the flow telemetry layer.
+
+Structured observability for the whole evaluation stack, built from four
+pieces:
+
+- :class:`Tracer` — nested spans (``flow.synthesis``, ``dse.generation``,
+  ``estimation.refit``, …) accumulating wall seconds and simulated tool
+  seconds per span path;
+- :class:`RunLedger` — one typed :class:`LedgerRecord` per design-point
+  evaluation (params, outcome ``tool|cache|estimate|drc|failed``,
+  metrics, charge, error type) with lossless JSONL export/import;
+- :class:`Counters` — the paper's control-model decision mix and budget
+  audit trail;
+- :class:`GenerationStat` — NSGA-II per-generation stats (front size,
+  hypervolume, budget remaining).
+
+Telemetry is **disabled by default**: instrumented code consults
+:func:`current_telemetry` and does nothing when it returns ``None``, so
+the hot paths carry no measurable overhead until a run opts in via
+:func:`enable_telemetry` / :func:`telemetry_session` (or the CLI's
+``--trace``).  See ``docs/observability.md`` for the span taxonomy, the
+ledger schema, and the mapping to the paper's reported quantities.
+"""
+
+from repro.observe.counters import Counters, GenerationStat
+from repro.observe.ledger import OUTCOMES, LedgerRecord, RunLedger
+from repro.observe.summary import (
+    read_trace,
+    render_summary,
+    render_trace_summary,
+    write_trace,
+)
+from repro.observe.telemetry import (
+    Telemetry,
+    current_telemetry,
+    disable_telemetry,
+    enable_telemetry,
+    span,
+    telemetry_session,
+)
+from repro.observe.tracer import Span, SpanTotals, Tracer
+
+
+def validate_trace(path):  # noqa: ANN001 — thin lazy re-export
+    """Validate a trace file; see :func:`repro.observe.schema.validate_trace`.
+
+    Imported lazily so ``python -m repro.observe.schema`` does not see the
+    submodule pre-imported by the package (runpy's double-import warning).
+    """
+    from repro.observe.schema import validate_trace as _impl
+
+    return _impl(path)
+
+
+__all__ = [
+    "OUTCOMES",
+    "Counters",
+    "GenerationStat",
+    "LedgerRecord",
+    "RunLedger",
+    "Span",
+    "SpanTotals",
+    "Telemetry",
+    "Tracer",
+    "current_telemetry",
+    "disable_telemetry",
+    "enable_telemetry",
+    "read_trace",
+    "render_summary",
+    "render_trace_summary",
+    "span",
+    "telemetry_session",
+    "validate_trace",
+    "write_trace",
+]

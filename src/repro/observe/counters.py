@@ -1,0 +1,81 @@
+"""Monotonic counters and NSGA-II per-generation statistics.
+
+Counters are a flat ``name -> number`` map with dotted names grouping
+related series (``decision.cached``, ``budget.charged_s``, …).  They back
+the control-model decision mix the paper reports in Section III-C and the
+DSE budget audit trail.  :class:`GenerationStat` snapshots one NSGA-II
+generation: front size, evaluation count so far, dominated hypervolume of
+the current population, and the soft-deadline budget remaining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["Counters", "GenerationStat"]
+
+
+class Counters:
+    """Dotted-name counter map (int increments and float accumulators)."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, float] = {}
+
+    def inc(self, name: str, by: int = 1) -> None:
+        self._data[name] = self._data.get(name, 0) + by
+
+    def add(self, name: str, value: float) -> None:
+        self._data[name] = self._data.get(name, 0) + float(value)
+
+    def get(self, name: str, default: float = 0) -> float:
+        return self._data.get(name, default)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(sorted(self._data.items()))
+
+    def merge(self, values: Mapping[str, float]) -> None:
+        """Fold a snapshot (e.g. a worker delta) into these counters."""
+        for name, value in values.items():
+            self._data[name] = self._data.get(name, 0) + value
+
+    def drain(self) -> dict[str, float]:
+        """Snapshot and reset (used for worker deltas)."""
+        snapshot = self.as_dict()
+        self._data.clear()
+        return snapshot
+
+
+@dataclass(frozen=True)
+class GenerationStat:
+    """One NSGA-II generation as the telemetry layer archives it."""
+
+    generation: int
+    front_size: int
+    evaluations: int
+    hypervolume: float
+    budget_remaining_s: float | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "generation",
+            "generation": self.generation,
+            "front_size": self.front_size,
+            "evaluations": self.evaluations,
+            "hypervolume": self.hypervolume,
+            "budget_remaining_s": self.budget_remaining_s,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "GenerationStat":
+        remaining = payload.get("budget_remaining_s")
+        return cls(
+            generation=int(payload["generation"]),
+            front_size=int(payload["front_size"]),
+            evaluations=int(payload["evaluations"]),
+            hypervolume=float(payload["hypervolume"]),
+            budget_remaining_s=None if remaining is None else float(remaining),
+        )

@@ -1,0 +1,198 @@
+"""The run ledger: one typed record per design-point evaluation.
+
+Every evaluation the DSE performs — a real tool run, a tool-cache answer,
+a Nadaraya-Watson estimate, a DRC pre-flight rejection, or a failed run —
+appends exactly one :class:`LedgerRecord`.  The ledger is the ground truth
+the paper's headline numbers are read from:
+
+- ``outcome`` counts reproduce the Section III-C control-model decision
+  mix (how many Vivado calls the approximation saved);
+- summed ``charge`` equals the flow's cumulative simulated tool seconds
+  (:attr:`repro.flow.vivado_sim.VivadoSim.simulated_seconds`), *including*
+  the partial cost of failed runs, so wall-time claims against the
+  four-hour soft deadline are auditable;
+- ``error_type`` preserves the failure taxonomy for robustness analysis.
+
+Records export/import losslessly as JSONL (one ``{"kind": "record", ...}``
+object per line); :meth:`RunLedger.from_jsonl` ignores lines of other
+kinds, so a full trace file (which also carries span/counter lines — see
+:mod:`repro.observe.summary`) round-trips through the same reader.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+__all__ = ["OUTCOMES", "LedgerRecord", "RunLedger"]
+
+#: The closed outcome vocabulary (anything else is a schema violation).
+OUTCOMES = ("tool", "cache", "estimate", "drc", "failed")
+
+
+@dataclass(frozen=True)
+class LedgerRecord:
+    """One evaluated design point, as the ledger archives it.
+
+    ``charge`` is the simulated tool seconds this evaluation added to the
+    flow's clock (0 for cache/estimate/DRC answers, the partial cost spent
+    before the error for failed runs).  ``wall_s`` is real time spent by
+    the recording process.  ``origin`` distinguishes records produced
+    locally, shipped back from a pool worker, or replayed from the
+    cross-batch memo table.
+    """
+
+    index: int
+    params: dict[str, int]
+    outcome: str
+    metrics: dict[str, float] = field(default_factory=dict)
+    charge: float = 0.0
+    error_type: str | None = None
+    wall_s: float = 0.0
+    origin: str = "local"
+
+    def __post_init__(self) -> None:
+        if self.outcome not in OUTCOMES:
+            raise ValueError(
+                f"unknown outcome {self.outcome!r}; expected one of {OUTCOMES}"
+            )
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "record",
+            "index": self.index,
+            "params": dict(self.params),
+            "outcome": self.outcome,
+            "metrics": dict(self.metrics),
+            "charge": self.charge,
+            "error_type": self.error_type,
+            "wall_s": self.wall_s,
+            "origin": self.origin,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "LedgerRecord":
+        return cls(
+            index=int(payload["index"]),
+            params={str(k): int(v) for k, v in payload["params"].items()},
+            outcome=str(payload["outcome"]),
+            metrics={str(k): float(v) for k, v in payload.get("metrics", {}).items()},
+            charge=float(payload.get("charge", 0.0)),
+            error_type=payload.get("error_type"),
+            wall_s=float(payload.get("wall_s", 0.0)),
+            origin=str(payload.get("origin", "local")),
+        )
+
+
+class RunLedger:
+    """Append-only sequence of :class:`LedgerRecord` with JSONL round-trip."""
+
+    def __init__(self, records: Iterable[LedgerRecord] = ()) -> None:
+        self.records: list[LedgerRecord] = list(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def append(
+        self,
+        *,
+        params: Mapping[str, int],
+        outcome: str,
+        metrics: Mapping[str, float] | None = None,
+        charge: float = 0.0,
+        error_type: str | None = None,
+        wall_s: float = 0.0,
+        origin: str = "local",
+    ) -> LedgerRecord:
+        """Append one record; the index is assigned by the ledger."""
+        record = LedgerRecord(
+            index=len(self.records),
+            params={str(k): int(v) for k, v in params.items()},
+            outcome=outcome,
+            metrics=dict(metrics or {}),
+            charge=float(charge),
+            error_type=error_type,
+            wall_s=float(wall_s),
+            origin=origin,
+        )
+        self.records.append(record)
+        return record
+
+    def extend_from(self, payloads: Iterable[Mapping], origin: str | None = None) -> int:
+        """Merge serialized records (e.g. a worker delta), re-indexing.
+
+        Returns the number of records appended.  ``origin`` (when given)
+        overrides the stored origin — the parent uses ``"worker"`` so
+        merged traces say where each record was produced.
+        """
+        n = 0
+        for payload in payloads:
+            record = LedgerRecord.from_json(payload)
+            self.append(
+                params=record.params,
+                outcome=record.outcome,
+                metrics=record.metrics,
+                charge=record.charge,
+                error_type=record.error_type,
+                wall_s=record.wall_s,
+                origin=origin if origin is not None else record.origin,
+            )
+            n += 1
+        return n
+
+    # -- accounting ------------------------------------------------------
+
+    def total_charge(self) -> float:
+        """Summed simulated tool seconds across every record."""
+        return sum(r.charge for r in self.records)
+
+    def counts(self) -> dict[str, int]:
+        """Record count per outcome (every outcome present, even at 0)."""
+        out = {outcome: 0 for outcome in OUTCOMES}
+        for r in self.records:
+            out[r.outcome] += 1
+        return out
+
+    def charges(self) -> dict[str, float]:
+        """Summed charge per outcome."""
+        out = {outcome: 0.0 for outcome in OUTCOMES}
+        for r in self.records:
+            out[r.outcome] += r.charge
+        return out
+
+    def drain(self) -> list[dict]:
+        """Serialize and clear the records (used for worker deltas)."""
+        payloads = [r.to_json() for r in self.records]
+        self.records.clear()
+        return payloads
+
+    # -- persistence -----------------------------------------------------
+
+    def to_jsonl(self, path: str | Path) -> Path:
+        """Write one JSON object per line; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as fh:
+            for record in self.records:
+                fh.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "RunLedger":
+        """Load records from a JSONL file, skipping non-record lines."""
+        records: list[LedgerRecord] = []
+        with Path(path).open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                if payload.get("kind", "record") != "record":
+                    continue
+                records.append(LedgerRecord.from_json(payload))
+        return cls(records)

@@ -1,0 +1,164 @@
+"""Trace-file schema validation (the CI gate for ``--trace`` output).
+
+The schema is line-oriented: every line must be a JSON object whose
+``kind`` selects a field contract.  Validation is strict about the fields
+the paper-metric extraction relies on (outcome vocabulary, non-negative
+charges, contiguous record indexes) and tolerant of extra fields, so the
+format can grow without breaking old validators.
+
+Run as a module for CI::
+
+    python -m repro.observe.schema trace.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.observe.ledger import OUTCOMES
+
+__all__ = ["validate_trace", "validate_lines"]
+
+_KINDS = ("meta", "record", "span", "counter", "generation")
+
+
+def _is_num(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_record(payload: dict, errors: list[str], where: str) -> None:
+    params = payload.get("params")
+    if not isinstance(params, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) and not isinstance(v, bool)
+        for k, v in params.items()
+    ):
+        errors.append(f"{where}: params must map str -> int")
+    outcome = payload.get("outcome")
+    if outcome not in OUTCOMES:
+        errors.append(f"{where}: outcome {outcome!r} not in {OUTCOMES}")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict) or not all(
+        isinstance(k, str) and _is_num(v) for k, v in metrics.items()
+    ):
+        errors.append(f"{where}: metrics must map str -> number")
+    if not isinstance(payload.get("index"), int) or payload["index"] < 0:
+        errors.append(f"{where}: index must be a non-negative integer")
+    for field in ("charge", "wall_s"):
+        if not _is_num(payload.get(field)) or payload[field] < 0:
+            errors.append(f"{where}: {field} must be a non-negative number")
+    error_type = payload.get("error_type")
+    if outcome in ("failed", "drc"):
+        if not isinstance(error_type, str) or not error_type:
+            errors.append(f"{where}: {outcome} records need an error_type")
+        if metrics:
+            errors.append(f"{where}: {outcome} records must not carry metrics")
+    elif error_type is not None:
+        errors.append(f"{where}: {outcome} records must not carry error_type")
+    if not isinstance(payload.get("origin"), str):
+        errors.append(f"{where}: origin must be a string")
+
+
+def _check_span(payload: dict, errors: list[str], where: str) -> None:
+    if not isinstance(payload.get("path"), str) or not payload["path"]:
+        errors.append(f"{where}: span path must be a non-empty string")
+    if not isinstance(payload.get("count"), int) or payload["count"] < 1:
+        errors.append(f"{where}: span count must be a positive integer")
+    for field in ("wall_s", "sim_s"):
+        if not _is_num(payload.get(field)) or payload[field] < 0:
+            errors.append(f"{where}: span {field} must be a non-negative number")
+
+
+def _check_counter(payload: dict, errors: list[str], where: str) -> None:
+    if not isinstance(payload.get("name"), str) or not payload["name"]:
+        errors.append(f"{where}: counter name must be a non-empty string")
+    if not _is_num(payload.get("value")):
+        errors.append(f"{where}: counter value must be a number")
+
+
+def _check_generation(payload: dict, errors: list[str], where: str) -> None:
+    for field in ("generation", "front_size", "evaluations"):
+        if not isinstance(payload.get(field), int) or payload[field] < 0:
+            errors.append(f"{where}: {field} must be a non-negative integer")
+    if not _is_num(payload.get("hypervolume")) or payload["hypervolume"] < 0:
+        errors.append(f"{where}: hypervolume must be a non-negative number")
+    remaining = payload.get("budget_remaining_s")
+    if remaining is not None and not _is_num(remaining):
+        errors.append(f"{where}: budget_remaining_s must be a number or null")
+
+
+def validate_lines(lines: list[str]) -> list[str]:
+    """Validate trace lines; returns a (possibly empty) list of errors."""
+    errors: list[str] = []
+    saw_meta = False
+    next_record_index = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"line {lineno}"
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{where}: invalid JSON ({exc})")
+            continue
+        if not isinstance(payload, dict):
+            errors.append(f"{where}: expected a JSON object")
+            continue
+        kind = payload.get("kind")
+        if kind not in _KINDS:
+            errors.append(f"{where}: unknown kind {kind!r}")
+            continue
+        if kind == "meta":
+            if saw_meta:
+                errors.append(f"{where}: duplicate meta line")
+            saw_meta = True
+            if payload.get("version") != 1:
+                errors.append(f"{where}: unsupported trace version "
+                              f"{payload.get('version')!r}")
+        elif kind == "record":
+            _check_record(payload, errors, where)
+            if payload.get("index") != next_record_index:
+                errors.append(
+                    f"{where}: record index {payload.get('index')!r} breaks "
+                    f"the contiguous sequence (expected {next_record_index})"
+                )
+            next_record_index += 1
+        elif kind == "span":
+            _check_span(payload, errors, where)
+        elif kind == "counter":
+            _check_counter(payload, errors, where)
+        elif kind == "generation":
+            _check_generation(payload, errors, where)
+    if not saw_meta:
+        errors.append("trace has no meta line")
+    return errors
+
+
+def validate_trace(path: str | Path) -> list[str]:
+    """Validate a trace file; returns a (possibly empty) list of errors."""
+    text = Path(path).read_text(encoding="utf-8")
+    return validate_lines(text.splitlines())
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.observe.schema TRACE.jsonl", file=sys.stderr)
+        return 2
+    errors = validate_trace(argv[0])
+    if errors:
+        for error in errors:
+            print(f"schema error: {error}", file=sys.stderr)
+        return 1
+    lines = [
+        line for line in Path(argv[0]).read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    print(f"{argv[0]}: {len(lines)} lines, schema ok")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

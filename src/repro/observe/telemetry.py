@@ -1,0 +1,111 @@
+"""Process-wide telemetry plumbing: the bundle, the current instance, spans.
+
+Telemetry is **off by default and zero-overhead when off**: instrumented
+code calls :func:`current_telemetry` (a module-global read) and skips all
+bookkeeping when it returns ``None``; :func:`span` hands back a shared
+no-op span object without allocating.  Enabling installs a fresh
+:class:`Telemetry` bundle — tracer, run ledger, counters, generation
+stats — that every instrumented layer (flow, evaluator, fitness, control
+model, NSGA-II loop) reports into.
+
+Worker processes of a parallel evaluation pool enable their own local
+bundle and ship per-task deltas back to the parent with each result
+(:meth:`Telemetry.drain_delta` / :meth:`Telemetry.merge_delta`), so a
+parallel run's merged trace carries the same records a serial run writes
+locally.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.observe.counters import Counters, GenerationStat
+from repro.observe.ledger import RunLedger
+from repro.observe.tracer import NULL_SPAN, Span, Tracer, _NullSpan
+
+__all__ = [
+    "Telemetry",
+    "current_telemetry",
+    "enable_telemetry",
+    "disable_telemetry",
+    "telemetry_session",
+    "span",
+]
+
+
+@dataclass
+class Telemetry:
+    """One run's worth of observability state."""
+
+    tracer: Tracer = field(default_factory=Tracer)
+    ledger: RunLedger = field(default_factory=RunLedger)
+    counters: Counters = field(default_factory=Counters)
+    generations: list[GenerationStat] = field(default_factory=list)
+
+    def note_generation(self, stat: GenerationStat) -> None:
+        self.generations.append(stat)
+
+    # -- worker deltas ---------------------------------------------------
+
+    def drain_delta(self) -> dict:
+        """Serialize and reset the collected state (picklable).
+
+        Pool workers call this after each task so every result ships the
+        telemetry it produced; the parent folds the delta back in with
+        :meth:`merge_delta`.  Generation stats never originate in workers
+        and are not part of the delta.
+        """
+        return {
+            "records": self.ledger.drain(),
+            "spans": self.tracer.drain(),
+            "counters": self.counters.drain(),
+        }
+
+    def merge_delta(self, delta: Mapping, origin: str = "worker") -> None:
+        """Fold a worker delta into this (parent) bundle."""
+        self.ledger.extend_from(delta.get("records", ()), origin=origin)
+        self.tracer.merge(delta.get("spans", {}))
+        self.counters.merge(delta.get("counters", {}))
+
+
+# The process-wide current bundle (None = telemetry disabled).
+_CURRENT: Telemetry | None = None
+
+
+def current_telemetry() -> Telemetry | None:
+    """The active bundle, or ``None`` when telemetry is disabled."""
+    return _CURRENT
+
+
+def enable_telemetry() -> Telemetry:
+    """Install (and return) a fresh process-wide telemetry bundle."""
+    global _CURRENT
+    _CURRENT = Telemetry()
+    return _CURRENT
+
+
+def disable_telemetry() -> None:
+    """Turn telemetry off (instrumented code reverts to no-ops)."""
+    global _CURRENT
+    _CURRENT = None
+
+
+@contextmanager
+def telemetry_session() -> Iterator[Telemetry]:
+    """Scoped telemetry: enable on entry, restore the prior state on exit."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = Telemetry()
+    try:
+        yield _CURRENT
+    finally:
+        _CURRENT = previous
+
+
+def span(name: str) -> Span | _NullSpan:
+    """A tracer span when telemetry is on, the shared no-op span when off."""
+    if _CURRENT is None:
+        return NULL_SPAN
+    return _CURRENT.tracer.span(name)

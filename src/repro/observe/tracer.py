@@ -1,0 +1,134 @@
+"""Nested span tracing for the evaluation stack.
+
+A :class:`Tracer` keeps a stack of open spans and aggregates closed spans
+into per-path totals.  A span records two clocks:
+
+- **wall seconds** — real ``perf_counter`` time between ``__enter__`` and
+  ``__exit__`` (what the process actually spent);
+- **simulated seconds** — tool cost explicitly charged via
+  :meth:`Span.charge` (the unit the paper's four-hour soft deadline is
+  expressed in; see :mod:`repro.flow.vivado_sim`).
+
+Span *paths* preserve nesting: a ``flow.synthesis`` span opened while
+``dse.generation`` is active aggregates under
+``"dse.generation/flow.synthesis"``.  Totals are keyed on the full path, so
+the same leaf span shows up separately per enclosing phase — exactly what
+the paper-metric breakdown (pretrain cost vs in-loop cost) needs.
+
+The tracer is deliberately free of global state; process-wide plumbing
+lives in :mod:`repro.observe.telemetry`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["Span", "SpanTotals", "Tracer"]
+
+
+@dataclass
+class SpanTotals:
+    """Aggregated cost of every closed span sharing one path."""
+
+    count: int = 0
+    wall_s: float = 0.0
+    sim_s: float = 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {"count": self.count, "wall_s": self.wall_s, "sim_s": self.sim_s}
+
+
+class Span:
+    """One open span; use as a context manager and :meth:`charge` tool cost."""
+
+    __slots__ = ("_tracer", "name", "path", "sim_s", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.path = name
+        self.sim_s = 0.0
+        self._t0 = 0.0
+
+    def charge(self, simulated_seconds: float) -> None:
+        """Charge simulated tool seconds to this span."""
+        self.sim_s += float(simulated_seconds)
+
+    def __enter__(self) -> "Span":
+        self.path = self._tracer._enter(self.name)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        wall = time.perf_counter() - self._t0
+        self._tracer._exit(self.path, wall, self.sim_s)
+
+
+class _NullSpan:
+    """Stateless no-op span used when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def charge(self, simulated_seconds: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Aggregates nested spans into per-path totals."""
+
+    def __init__(self) -> None:
+        self.totals: dict[str, SpanTotals] = {}
+        self._stack: list[str] = []
+
+    def span(self, name: str) -> Span:
+        """Open a span named ``name`` (nested under the current span)."""
+        return Span(self, name)
+
+    # -- internal span protocol -----------------------------------------
+
+    def _enter(self, name: str) -> str:
+        path = f"{self._stack[-1]}/{name}" if self._stack else name
+        self._stack.append(path)
+        return path
+
+    def _exit(self, path: str, wall_s: float, sim_s: float) -> None:
+        if self._stack and self._stack[-1] == path:
+            self._stack.pop()
+        totals = self.totals.setdefault(path, SpanTotals())
+        totals.count += 1
+        totals.wall_s += wall_s
+        totals.sim_s += sim_s
+
+    # -- aggregation -----------------------------------------------------
+
+    def total_sim_s(self) -> float:
+        """Sum of simulated seconds charged across all span paths."""
+        return sum(t.sim_s for t in self.totals.values())
+
+    def as_dict(self) -> dict[str, dict[str, float | int]]:
+        """Picklable/JSON-able snapshot of the per-path totals."""
+        return {path: t.as_dict() for path, t in sorted(self.totals.items())}
+
+    def merge(self, totals: dict[str, dict[str, float | int]]) -> None:
+        """Fold a snapshot (e.g. a worker delta) into this tracer."""
+        for path, t in totals.items():
+            own = self.totals.setdefault(path, SpanTotals())
+            own.count += int(t.get("count", 0))
+            own.wall_s += float(t.get("wall_s", 0.0))
+            own.sim_s += float(t.get("sim_s", 0.0))
+
+    def drain(self) -> dict[str, dict[str, float | int]]:
+        """Snapshot and reset the totals (used for worker deltas)."""
+        snapshot = self.as_dict()
+        self.totals.clear()
+        return snapshot

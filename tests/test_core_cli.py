@@ -200,3 +200,57 @@ class TestSweepCommand:
     def test_sweep_bad_grid_format(self):
         with pytest.raises(SystemExit, match="NAME=V1"):
             main(["sweep", "--design", "corundum-cqm", "--grid", "OPS"])
+
+
+class TestTelemetryCli:
+    def test_explore_alias(self, capsys):
+        rc = main([
+            "explore", "--design", "cv32e40p-fifo", "--generations", "1",
+            "--population", "6", "--pretrain", "4",
+        ])
+        assert rc == 0
+        assert "Non-dominated set" in capsys.readouterr().out
+
+    def test_dse_trace_writes_valid_jsonl_and_summary(self, capsys, tmp_path):
+        from repro.observe import current_telemetry, read_trace, validate_trace
+
+        trace = tmp_path / "trace.jsonl"
+        rc = main([
+            "dse", "--design", "cv32e40p-fifo", "--generations", "2",
+            "--population", "6", "--pretrain", "6", "--seed", "2",
+            "--trace", str(trace),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Run ledger" in out
+        assert "trace written" in out
+        # Telemetry is torn down after the run.
+        assert current_telemetry() is None
+        assert validate_trace(trace) == []
+        parsed = read_trace(trace)
+        assert parsed["meta"]["command"] == "dse"
+        assert len(parsed["ledger"]) > 0
+        assert parsed["generations"]
+
+    def test_sweep_trace(self, capsys, tmp_path):
+        from repro.observe import validate_trace
+
+        trace = tmp_path / "sweep.jsonl"
+        rc = main([
+            "sweep", "--design", "corundum-cqm",
+            "--grid", "OP_TABLE_SIZE=8,16", "--trace", str(trace),
+        ])
+        assert rc == 0
+        assert validate_trace(trace) == []
+
+    def test_stats_command_renders_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "dse", "--design", "cv32e40p-fifo", "--generations", "1",
+            "--population", "6", "--pretrain", "4", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Run ledger" in out
+        assert "Spans" in out

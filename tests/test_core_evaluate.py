@@ -101,6 +101,19 @@ class TestPointEvaluator:
         assert ev._box_top({"A": 1}) != ev._box_top({"A": 2})
         assert ev._box_top({"a": 1}) == ev._box_top({"A": 1})
 
+    def test_boxed_top_survives_32bit_hash_collision(self, cqm_design):
+        # These two bindings collide on the low 32 bits of the stable
+        # hash (found by brute force); a 32-bit box tag would silently
+        # share one cached RunResult between two distinct design points.
+        from repro.util.rng import stable_hash_seed
+
+        a, b = {"DEPTH": 132581}, {"DEPTH": 171644}
+        ha = stable_hash_seed(sorted((k.lower(), v) for k, v in a.items()))
+        hb = stable_hash_seed(sorted((k.lower(), v) for k, v in b.items()))
+        assert ha & 0xFFFFFFFF == hb & 0xFFFFFFFF, "collision pair went stale"
+        ev = self._evaluator(cqm_design)
+        assert ev._box_top(a) != ev._box_top(b)
+
     def test_synthesis_step_cheaper(self, cqm_design):
         impl = self._evaluator(cqm_design)
         synth = self._evaluator(cqm_design, step=FlowStep.SYNTHESIS)

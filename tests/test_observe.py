@@ -1,0 +1,259 @@
+"""Unit tests for the telemetry layer (``repro.observe``)."""
+
+import json
+
+import pytest
+
+from repro.observe import (
+    Counters,
+    GenerationStat,
+    LedgerRecord,
+    RunLedger,
+    Telemetry,
+    Tracer,
+    current_telemetry,
+    disable_telemetry,
+    enable_telemetry,
+    read_trace,
+    render_summary,
+    render_trace_summary,
+    span,
+    telemetry_session,
+    validate_trace,
+    write_trace,
+)
+from repro.observe.schema import validate_lines
+from repro.observe.tracer import NULL_SPAN
+
+
+class TestTracer:
+    def test_nested_spans_build_paths(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            outer.charge(10.0)
+            with tracer.span("inner") as inner:
+                inner.charge(2.5)
+        totals = tracer.as_dict()
+        assert set(totals) == {"outer", "outer/inner"}
+        assert totals["outer"]["count"] == 1
+        assert totals["outer"]["sim_s"] == 10.0
+        assert totals["outer/inner"]["sim_s"] == 2.5
+        assert totals["outer"]["wall_s"] >= 0.0
+
+    def test_repeated_spans_accumulate(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("step") as sp:
+                sp.charge(1.0)
+        assert tracer.as_dict()["step"]["count"] == 3
+        assert tracer.total_sim_s() == 3.0
+
+    def test_merge_folds_worker_totals(self):
+        parent, worker = Tracer(), Tracer()
+        with parent.span("flow.synthesis") as sp:
+            sp.charge(5.0)
+        with worker.span("flow.synthesis") as sp:
+            sp.charge(7.0)
+        parent.merge(worker.drain())
+        assert parent.as_dict()["flow.synthesis"]["count"] == 2
+        assert parent.as_dict()["flow.synthesis"]["sim_s"] == 12.0
+        assert worker.as_dict() == {}
+
+    def test_span_exits_cleanly_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.as_dict()["boom"]["count"] == 1
+        # The stack unwound: a new span is top-level again.
+        with tracer.span("after"):
+            pass
+        assert "after" in tracer.as_dict()
+
+
+class TestTelemetryState:
+    def test_disabled_by_default_and_null_span(self):
+        disable_telemetry()
+        assert current_telemetry() is None
+        assert span("anything") is NULL_SPAN
+        with span("anything") as sp:
+            sp.charge(99.0)  # swallowed by the no-op span
+
+    def test_enable_disable_cycle(self):
+        tel = enable_telemetry()
+        assert current_telemetry() is tel
+        assert span("x") is not NULL_SPAN
+        disable_telemetry()
+        assert current_telemetry() is None
+
+    def test_session_restores_prior_state(self):
+        disable_telemetry()
+        with telemetry_session() as tel:
+            assert current_telemetry() is tel
+            with telemetry_session() as inner:
+                assert current_telemetry() is inner
+            assert current_telemetry() is tel
+        assert current_telemetry() is None
+
+
+class TestLedger:
+    def test_append_assigns_contiguous_indexes(self):
+        ledger = RunLedger()
+        ledger.append(params={"A": 1}, outcome="tool", charge=3.0)
+        ledger.append(params={"A": 2}, outcome="cache")
+        assert [r.index for r in ledger] == [0, 1]
+        assert ledger.total_charge() == 3.0
+        assert ledger.counts()["tool"] == 1
+
+    def test_unknown_outcome_rejected(self):
+        with pytest.raises(ValueError):
+            LedgerRecord(index=0, params={}, outcome="guessed")
+
+    def test_jsonl_round_trip_identity(self, tmp_path):
+        ledger = RunLedger()
+        ledger.append(
+            params={"DEPTH": 8}, outcome="tool",
+            metrics={"LUT": 120.0, "frequency": 410.5},
+            charge=123.4, wall_s=0.01,
+        )
+        ledger.append(
+            params={"DEPTH": 9}, outcome="failed",
+            charge=50.0, error_type="UtilizationOverflowError",
+            origin="worker",
+        )
+        ledger.append(params={"DEPTH": 8}, outcome="cache", origin="memo")
+        path = ledger.to_jsonl(tmp_path / "ledger.jsonl")
+        back = RunLedger.from_jsonl(path)
+        assert list(back) == list(ledger)
+
+    def test_extend_from_reindexes_and_stamps_origin(self):
+        worker = RunLedger()
+        worker.append(params={"A": 1}, outcome="tool", charge=2.0)
+        parent = RunLedger()
+        parent.append(params={"B": 2}, outcome="estimate")
+        parent.extend_from(worker.drain(), origin="worker")
+        assert [r.index for r in parent] == [0, 1]
+        assert parent.records[1].origin == "worker"
+        assert len(worker) == 0
+
+
+class TestCounters:
+    def test_inc_add_merge_drain(self):
+        c = Counters()
+        c.inc("decision.cached")
+        c.inc("decision.cached")
+        c.add("budget.charged_s", 1.5)
+        other = Counters()
+        other.inc("decision.cached", by=3)
+        c.merge(other.drain())
+        assert c.get("decision.cached") == 5
+        assert c.get("budget.charged_s") == 1.5
+        assert len(other) == 0
+
+
+class TestTraceFile:
+    def _bundle(self) -> Telemetry:
+        tel = Telemetry()
+        with tel.tracer.span("flow.synthesis") as sp:
+            sp.charge(100.0)
+        tel.ledger.append(
+            params={"DEPTH": 4}, outcome="tool",
+            metrics={"LUT": 10.0}, charge=100.0,
+        )
+        tel.ledger.append(
+            params={"DEPTH": 5}, outcome="drc",
+            error_type="DrcViolationError",
+        )
+        tel.counters.inc("decision.evaluate")
+        tel.note_generation(
+            GenerationStat(
+                generation=1, front_size=3, evaluations=12,
+                hypervolume=0.5, budget_remaining_s=1000.0,
+            )
+        )
+        return tel
+
+    def test_round_trip_and_schema(self, tmp_path):
+        tel = self._bundle()
+        path = write_trace(tmp_path / "t.jsonl", tel, meta={"design": "fifo"})
+        assert validate_trace(path) == []
+        trace = read_trace(path)
+        assert trace["meta"]["design"] == "fifo"
+        assert list(trace["ledger"]) == list(tel.ledger)
+        assert trace["spans"] == tel.tracer.as_dict()
+        assert trace["counters"] == tel.counters.as_dict()
+        assert trace["generations"] == tel.generations
+
+    def test_summary_renders_from_bundle_and_trace(self, tmp_path):
+        tel = self._bundle()
+        live = render_summary(tel, meta={"design": "fifo"})
+        path = write_trace(tmp_path / "t.jsonl", tel, meta={"design": "fifo"})
+        offline = render_trace_summary(read_trace(path))
+        assert live == offline
+        assert "Run ledger" in live
+        assert "flow.synthesis" in live
+
+    def test_worker_delta_round_trip(self):
+        worker = Telemetry()
+        with worker.tracer.span("flow.synthesis") as sp:
+            sp.charge(9.0)
+        worker.ledger.append(params={"A": 1}, outcome="tool", charge=9.0)
+        worker.counters.add("budget.charged_s", 9.0)
+        delta = worker.drain_delta()
+        # Deltas are shipped over pickle; JSON round-trip proves they are
+        # plain data.
+        delta = json.loads(json.dumps(delta))
+        parent = Telemetry()
+        parent.merge_delta(delta, origin="worker")
+        assert parent.ledger.records[0].origin == "worker"
+        assert parent.tracer.as_dict()["flow.synthesis"]["sim_s"] == 9.0
+        assert parent.counters.get("budget.charged_s") == 9.0
+        assert len(worker.ledger) == 0
+
+
+class TestSchemaValidation:
+    def _ok_lines(self):
+        return [
+            json.dumps({"kind": "meta", "version": 1}),
+            json.dumps({
+                "kind": "record", "index": 0, "params": {"A": 1},
+                "outcome": "tool", "metrics": {"LUT": 1.0}, "charge": 5.0,
+                "error_type": None, "wall_s": 0.0, "origin": "local",
+            }),
+        ]
+
+    def test_valid_lines_pass(self):
+        assert validate_lines(self._ok_lines()) == []
+
+    def test_missing_meta_flagged(self):
+        assert any("meta" in e for e in validate_lines(self._ok_lines()[1:]))
+
+    def test_bad_outcome_flagged(self):
+        lines = self._ok_lines()
+        lines[1] = lines[1].replace('"tool"', '"guessed"')
+        assert any("outcome" in e for e in validate_lines(lines))
+
+    def test_index_gap_flagged(self):
+        lines = self._ok_lines()
+        lines.append(lines[1].replace('"index": 0', '"index": 2'))
+        assert any("contiguous" in e for e in validate_lines(lines))
+
+    def test_failed_record_requires_error_type(self):
+        lines = self._ok_lines()
+        lines[1] = json.dumps({
+            "kind": "record", "index": 0, "params": {}, "outcome": "failed",
+            "metrics": {}, "charge": 1.0, "error_type": None, "wall_s": 0.0,
+            "origin": "local",
+        })
+        assert any("error_type" in e for e in validate_lines(lines))
+
+    def test_cli_entry_point(self, tmp_path, capsys):
+        from repro.observe.schema import main
+
+        good = tmp_path / "good.jsonl"
+        good.write_text("\n".join(self._ok_lines()) + "\n", encoding="utf-8")
+        assert main([str(good)]) == 0
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n", encoding="utf-8")
+        assert main([str(bad)]) == 1
+        assert main([]) == 2
