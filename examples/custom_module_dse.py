@@ -10,31 +10,16 @@ heuristic model, and NSGA-II explores the (ROWS, COLS, ACC_WIDTH) space.
 Run:  python examples/custom_module_dse.py
 """
 
+from pathlib import Path
+
 from repro.core import DseSession, MetricSpec, ParameterSpace
 from repro.core.spaces import IntRange
 from repro.hdl import parse_source, lint_module
 from repro.util.tables import render_table
 
-CUSTOM_RTL = """
-// A small systolic multiply-accumulate array.
-module mac_array #(
-    parameter ROWS = 4,
-    parameter COLS = 4,
-    parameter DATA_WIDTH = 8,
-    parameter ACC_WIDTH = 24,
-    localparam OUT_BITS = ROWS * ACC_WIDTH
-)(
-    input  logic                         clk,
-    input  logic                         rst_n,
-    input  logic                         en_mul,
-    input  logic [ROWS*DATA_WIDTH-1:0]   a_col,
-    input  logic [COLS*DATA_WIDTH-1:0]   b_row,
-    output logic [OUT_BITS-1:0]          acc_out,
-    output logic                         valid
-);
-    // systolic mesh elided
-endmodule
-"""
+# The RTL lives next to this script so the CI self-lint step (and any user)
+# can run `dovado-repro lint examples/mac_array.sv` against the same file.
+CUSTOM_RTL = (Path(__file__).parent / "mac_array.sv").read_text(encoding="utf-8")
 
 
 def main() -> None:

@@ -1,0 +1,21 @@
+// A small systolic multiply-accumulate array.
+//
+// Used by examples/custom_module_dse.py as the "bring your own RTL" demo,
+// and linted (with the dataflow D-rules) by the CI self-lint step.
+module mac_array #(
+    parameter ROWS = 4,
+    parameter COLS = 4,
+    parameter DATA_WIDTH = 8,
+    parameter ACC_WIDTH = 24,
+    localparam OUT_BITS = ROWS * ACC_WIDTH
+)(
+    input  logic                         clk,
+    input  logic                         rst_n,
+    input  logic                         en_mul,
+    input  logic [ROWS*DATA_WIDTH-1:0]   a_col,
+    input  logic [COLS*DATA_WIDTH-1:0]   b_row,
+    output logic [OUT_BITS-1:0]          acc_out,
+    output logic                         valid
+);
+    // systolic mesh elided
+endmodule

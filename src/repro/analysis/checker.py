@@ -23,6 +23,7 @@ from typing import Any, Iterable, Mapping, Optional, Sequence
 # Importing the rules modules registers their rules (intentional side effect).
 from repro.analysis import (  # noqa: F401
     boxing_rules,
+    dataflow_rules,
     elaboration_rules,
     hierarchy_rules,
     interface_rules,
@@ -129,6 +130,16 @@ class DesignRuleChecker:
         findings += self._run_stage(Stage.BOXING, ctx)
         return self._suppress(findings)
 
+    def check_dataflow(
+        self,
+        module: Module,
+        space: Any = None,
+        sources: Sequence[tuple[str, str]] = (),
+    ) -> CheckResult:
+        """Dataflow rules: dependency-graph + interval analysis (D codes)."""
+        ctx = RuleContext(module=module, space=space, sources=tuple(sources))
+        return self._suppress(self._run_stage(Stage.DATAFLOW, ctx))
+
     def check_sources(
         self,
         sources: Sequence[tuple[str, str]],
@@ -157,6 +168,9 @@ class DesignRuleChecker:
         space is declared.
         """
         result = self.check_interface(module)
+        result = result.merged(
+            self.check_dataflow(module, space=space, sources=tuple(sources))
+        )
         if sources:
             result = result.merged(
                 self.check_sources(sources, known_modules=known_modules)

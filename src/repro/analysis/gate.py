@@ -18,13 +18,21 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Optional
 
+import numpy as np
+
 from repro.analysis.checker import DesignRuleChecker
-from repro.analysis.findings import Finding
-from repro.analysis.registry import RuleConfig
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import RuleConfig, get_rule
 from repro.errors import DrcViolationError
 from repro.hdl.ast import Module
+from repro.observe import current_telemetry
 
 __all__ = ["PreflightGate", "freeze_params"]
+
+# The static layer may short-circuit a rejection only when these rules run
+# at their stock ERROR severity — its infeasibility proofs are phrased in
+# terms of exactly these codes (D002 merely labels the synthesized findings).
+_STATIC_BACKING_CODES = ("P001", "P002", "P005")
 
 FrozenParams = tuple[tuple[str, int], ...]
 
@@ -53,6 +61,58 @@ class PreflightGate:
         self._verdicts: dict[FrozenParams, tuple[Finding, ...]] = {}
         self.checks = 0
         self.rejections = 0
+        self.static_rejections = 0
+        self._static: Any = None  # lazy StaticSpaceAnalysis (or None)
+        self._static_ready = False
+
+    # ------------------------------------------------------------------
+    # the static (interval-analysis) layer
+
+    def _config_allows_static(self) -> bool:
+        """The static layer's proofs assume the stock rule configuration.
+
+        Its verdicts are phrased as "the checker would certainly emit a
+        P001/P002/P005 error here"; a config that disables, demotes, or
+        baselines those rules breaks that equivalence, so the gate falls
+        back to per-point checking entirely.
+        """
+        cfg = self.checker.config
+        if cfg.baseline:
+            return False
+        if not cfg.enabled("D002"):
+            return False
+        for code in _STATIC_BACKING_CODES:
+            if not cfg.enabled(code):
+                return False
+            if cfg.severity_of(get_rule(code)) is not Severity.ERROR:
+                return False
+        return True
+
+    def _static_analysis(self) -> Any:
+        """The lazily-built interval analysis, or None when inapplicable.
+
+        The analysis only *short-circuits definite rejections* — every
+        undecided point still reaches the full checker, so verdicts (and
+        therefore Pareto fronts) are identical with or without it.
+        """
+        if not self._static_ready:
+            self._static_ready = True
+            if self.space is not None and self._config_allows_static():
+                from repro.analysis.dataflow_rules import StaticSpaceAnalysis
+
+                analysis = StaticSpaceAnalysis(self.module, self.space)
+                if analysis.applicable:
+                    self._static = analysis
+        return self._static
+
+    def static_infeasible_mask(self, X: Any) -> np.ndarray:
+        """Vectorized definite-infeasibility for encoded rows (True = the
+        full checker would certainly reject the decoded binding)."""
+        rows = np.atleast_2d(np.asarray(X, dtype=np.int64))
+        static = self._static_analysis()
+        if static is None:
+            return np.zeros(rows.shape[0], dtype=bool)
+        return static.static_infeasible_mask(rows)
 
     # ------------------------------------------------------------------
 
@@ -61,14 +121,28 @@ class PreflightGate:
         key = freeze_params(params)
         if key not in self._verdicts:
             self.checks += 1
-            result = self.checker.check_point(
-                self.module,
-                params,
-                space=self.space,
-                boxed=self.boxed,
-                clock_port=self.clock_port,
-            )
-            self._verdicts[key] = result.errors()
+            findings: Optional[tuple[Finding, ...]] = None
+            static = self._static_analysis()
+            if static is not None:
+                findings = static.reject_findings(params)
+            tel = current_telemetry()
+            if findings is not None:
+                # Interval analysis proved the rejection — zero elaboration.
+                self.static_rejections += 1
+                if tel is not None:
+                    tel.counters.inc("decision.static_reject")
+            else:
+                if tel is not None:
+                    tel.counters.inc("decision.drc_elaboration")
+                result = self.checker.check_point(
+                    self.module,
+                    params,
+                    space=self.space,
+                    boxed=self.boxed,
+                    clock_port=self.clock_port,
+                )
+                findings = result.errors()
+            self._verdicts[key] = findings
             if self._verdicts[key]:
                 self.rejections += 1
         return self._verdicts[key]
@@ -102,8 +176,11 @@ class PreflightGate:
     # ------------------------------------------------------------------
 
     def stats(self) -> dict[str, int]:
-        return {
+        out = {
             "drc_checks": self.checks,
             "drc_rejections": self.rejections,
             "drc_memo_size": len(self._verdicts),
         }
+        if self._static is not None:
+            out["drc_static_rejections"] = self.static_rejections
+        return out

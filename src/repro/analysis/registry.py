@@ -45,6 +45,7 @@ class Stage(str, enum.Enum):
     ELABORATION = "elaboration"  # concrete point bound, widths foldable
     BOXING = "boxing"            # generated wrapper consistency
     HIERARCHY = "hierarchy"      # cross-module instantiation structure
+    DATAFLOW = "dataflow"        # parameter flow + interval analysis over a space
 
     def __str__(self) -> str:
         return self.value

@@ -138,6 +138,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--param", action="append", type=_parse_dim, dest="dims", default=[],
         help="NAME:LO:HI[:pow2] space dimension (required with --source)",
     )
+    p_dse.add_argument("--prune-space", action="store_true",
+                       help="statically prune the space before exploring: "
+                            "drop dead dimensions, clip value subranges the "
+                            "interval analysis proves infeasible")
     p_dse.add_argument("--out", help="directory for JSON/CSV results")
     p_dse.add_argument("--trace", metavar="FILE",
                        help="enable telemetry: write a JSONL trace to FILE "
@@ -295,6 +299,9 @@ def _lint(args: argparse.Namespace) -> int:
         result = checker.check_sources(texts, known_modules=known)
         for module in selected:
             result = result.merged(checker.check_interface(module))
+            result = result.merged(
+                checker.check_dataflow(module, sources=texts)
+            )
             for point in points or [{}]:
                 result = result.merged(
                     checker.check_point(module, point, boxed=boxed)
@@ -462,6 +469,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command in ("dse", "explore"):
         session = _make_session(args, need_space=True)
+        if getattr(args, "prune_space", False):
+            report = session.apply_static_pruning()
+            print(report.render())
         session.fitness.use_model = not args.no_model
         session.fitness.pretrain_size = args.pretrain
         deadline = args.deadline_hours * 3600 if args.deadline_hours else None

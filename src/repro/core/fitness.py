@@ -57,12 +57,14 @@ class ApproximateFitness:
         self.seed = seed
         self.workers = workers
         self.design_name = design_name
+        self.min_points_to_estimate = min_points_to_estimate
+        self.refit_policy = refit_policy or RefitPolicy()
         self.control = ControlModel(
             dataset=Dataset(
                 n_var=len(space), metric_names=evaluator.metric_names()
             ),
             min_points_to_estimate=min_points_to_estimate,
-            refit_policy=refit_policy or RefitPolicy(),
+            refit_policy=self.refit_policy,
         )
         # Space-aware DRC pre-flight gate: in addition to the evaluator's
         # own point-level checks this one validates proposed values against
@@ -390,10 +392,26 @@ class DseProblem(IntegerProblem):
         return self.fitness.evaluate_encoded(X)
 
     def feasible_mask(self, X: np.ndarray) -> np.ndarray:
-        """Consult the DRC pre-flight gate row by row (pure, memoized)."""
+        """Consult the DRC pre-flight gate (pure, memoized).
+
+        Rows the gate's interval analysis proves infeasible are rejected
+        vectorized, with zero decode or elaboration work; only undecided
+        rows fall through to the per-point memoized check.  Verdicts are
+        identical either way (the static layer only short-circuits
+        definite rejections).
+        """
         X = np.atleast_2d(np.asarray(X, dtype=np.int64))
         gate = self.fitness.gate
         space = self.fitness.space
-        return np.array(
-            [gate.is_feasible(space.decode(row)) for row in X], dtype=bool
-        )
+        mask = np.ones(X.shape[0], dtype=bool)
+        static_bad = gate.static_infeasible_mask(X)
+        if static_bad.any():
+            mask[static_bad] = False
+            tel = current_telemetry()
+            if tel is not None:
+                tel.counters.inc(
+                    "decision.static_mask_reject", by=int(static_bad.sum())
+                )
+        for i in np.flatnonzero(~static_bad):
+            mask[i] = gate.is_feasible(space.decode(X[i]))
+        return mask

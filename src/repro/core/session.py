@@ -142,6 +142,47 @@ class DseSession:
 
     # ------------------------------------------------------------------
 
+    def apply_static_pruning(self):
+        """Opt-in static space pruning (the CLI's ``--prune-space``).
+
+        Runs the dataflow engine's interval analysis and dependency graph
+        over the session's module and space, then — when anything can be
+        proved — drops dead dimensions and clips statically infeasible
+        range ends.  The fitness adapter is rebuilt around the pruned
+        space (model dataset included: its row layout is per-dimension),
+        so call this *before* :meth:`explore`.
+
+        Returns the :class:`repro.analysis.dataflow_rules.PruneReport`.
+        """
+        from repro.analysis.dataflow_rules import prune_space
+
+        report = prune_space(
+            self.evaluator.module,
+            self.space,
+            sources=(
+                (self.evaluator.source_text, str(self.evaluator.language)),
+            ),
+        )
+        if report.changed:
+            self.space = report.space
+            old = self.fitness
+            old.close()
+            self.fitness = ApproximateFitness(
+                evaluator=self.evaluator,
+                space=report.space,
+                use_model=old.use_model,
+                pretrain_size=old.pretrain_size,
+                min_points_to_estimate=old.min_points_to_estimate,
+                seed=self.seed,
+                workers=old.workers,
+                design_name=old.design_name,
+                refit_policy=old.refit_policy,
+            )
+            self._pretrained = False
+        return report
+
+    # ------------------------------------------------------------------
+
     def close(self) -> None:
         """Release the evaluation worker pool, if one was started."""
         self.fitness.close()

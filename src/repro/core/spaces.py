@@ -50,6 +50,23 @@ class Dimension:
     def values(self) -> list[int]:
         return [self.decode(e) for e in range(self.low, self.high + 1)]
 
+    def validate_round_trip(self) -> None:
+        """Check encode(decode(e)) == e at both range boundaries.
+
+        A dimension whose codec does not round-trip silently corrupts the
+        GA's view of the space (clipping and masks key on encoded values),
+        so :class:`ParameterSpace` refuses to be built around one.
+        """
+        for encoded in (self.low, self.high):
+            decoded = self.decode(encoded)
+            back = self.encode(decoded)
+            if back != encoded:
+                raise InvalidSpaceError(
+                    f"{self.name}: encode/decode round-trip broken at "
+                    f"boundary {encoded}: decode({encoded}) = {decoded}, "
+                    f"encode({decoded}) = {back}"
+                )
+
 
 class IntRange(Dimension):
     """A plain integer range (identity encoding)."""
@@ -66,9 +83,14 @@ class PowerOfTwoRange(Dimension):
 
     @classmethod
     def over_values(cls, name: str, min_value: int, max_value: int) -> "PowerOfTwoRange":
-        """Build from value bounds (must be powers of two)."""
+        """Build from value bounds (must be powers of two, at least 1)."""
+        if min_value < 1:
+            raise InvalidSpaceError(
+                f"{name}: minimum value {min_value} is below 1 — "
+                "power-of-two dimensions start at 2**0 = 1"
+            )
         for v in (min_value, max_value):
-            if v < 1 or v & (v - 1):
+            if v & (v - 1):
                 raise InvalidSpaceError(f"{name}: {v} is not a power of two")
         return cls(name, min_value.bit_length() - 1, max_value.bit_length() - 1)
 
@@ -98,6 +120,8 @@ class ParameterSpace:
         names = [d.name.lower() for d in dimensions]
         if len(set(names)) != len(names):
             raise InvalidSpaceError("duplicate dimension names")
+        for d in dimensions:
+            d.validate_round_trip()
         self.dimensions = tuple(dimensions)
 
     # ------------------------------------------------------------------

@@ -119,6 +119,12 @@ class Call(Expr):
         return f"{self.func}({inner})"
 
 
+# Results wider than this (in bits) are rejected rather than materialized:
+# no real width expression needs a megabit integer, and a single adversarial
+# `1 << (1 << 60)` must not stall (or OOM) the checker.
+FOLD_BIT_LIMIT = 1 << 20
+
+
 def _clog2(n: int) -> int:
     if n <= 0:
         raise EvalError(f"clog2 of non-positive value {n}")
@@ -169,7 +175,10 @@ def evaluate(expr: Expr, env: Mapping[str, int | str | bool] | None = None) -> i
         if isinstance(node, Name):
             key = node.ident.lower()
             if key not in folded:
-                raise EvalError(f"unbound name {node.ident!r} in constant expression")
+                raise EvalError(
+                    f"unbound name {node.ident!r} in constant expression "
+                    f"{expr.render()!r}"
+                )
             return _as_int(folded[key])
         if isinstance(node, UnOp):
             v = ev(node.operand)
@@ -206,8 +215,16 @@ def evaluate(expr: Expr, env: Mapping[str, int | str | bool] | None = None) -> i
             if op == "**":
                 if rv < 0:
                     raise EvalError("negative exponent in constant expression")
+                if rv * max(1, abs(lv).bit_length()) > FOLD_BIT_LIMIT:
+                    raise EvalError(
+                        "constant power exceeds the folding bit limit"
+                    )
                 return lv**rv
             if op == "<<":
+                if rv > 0 and rv + abs(lv).bit_length() > FOLD_BIT_LIMIT:
+                    raise EvalError(
+                        "constant shift exceeds the folding bit limit"
+                    )
                 return lv << rv
             if op == ">>":
                 return lv >> rv

@@ -1,0 +1,612 @@
+"""Interval (abstract) evaluation of HDL constant expressions.
+
+The concrete evaluator (:func:`repro.hdl.expr.evaluate`) answers "what is
+this width at *one* parameter binding".  The DSE needs the complementary
+question: "what can this width be over a whole *region* of the space" —
+that is what turns per-point elaboration failures into closed-form
+infeasible subranges the pre-flight gate can reject without ever touching
+the elaboration rules.
+
+The domain is a classic integer interval lattice with two refinements:
+
+- ends may be unbounded (``None`` = ±∞), so bitwise operators and unknown
+  names can degrade gracefully to *top* instead of crashing the analysis;
+- every result carries failure information: ``may_fail`` records that the
+  concrete evaluator *could* raise :class:`~repro.hdl.expr.EvalError`
+  somewhere in the region, and a ``None`` interval (bottom) records that
+  it raises *everywhere* in the region.
+
+Soundness contract, relied on by :mod:`repro.analysis.dataflow_rules`:
+for every concrete environment drawn from the abstract one,
+
+- if the abstract result is bottom, concrete evaluation raises;
+- otherwise the concrete value lies inside ``interval`` whenever concrete
+  evaluation succeeds, and it can only raise when ``may_fail`` is True.
+
+Only *definite* facts (bottom, or an interval wholly inside/outside a
+bound) may be used to prune; ``may_fail`` alone never rejects a point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.hdl import expr as E
+
+__all__ = ["Interval", "AbstractInt", "evaluate_abstract"]
+
+# Exponent/shift magnitudes beyond this are treated as unknown rather than
+# materialized — interface arithmetic never needs 2**100000, and a single
+# adversarial width expression must not stall the analysis.
+_POW_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Closed integer interval; ``None`` ends mean -∞ / +∞."""
+
+    lo: Optional[int]
+    hi: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.lo is not None and self.hi is not None and self.lo > self.hi:
+            raise ValueError(f"inverted interval [{self.lo}, {self.hi}]")
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def point(cls, value: int) -> "Interval":
+        return cls(int(value), int(value))
+
+    @classmethod
+    def span(cls, a: int, b: int) -> "Interval":
+        a, b = int(a), int(b)
+        return cls(min(a, b), max(a, b))
+
+    @classmethod
+    def top(cls) -> "Interval":
+        return cls(None, None)
+
+    # -- predicates -----------------------------------------------------
+
+    def is_point(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    def contains(self, value: int) -> bool:
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def definitely_lt(self, bound: int) -> bool:
+        """True when every member is < ``bound``."""
+        return self.hi is not None and self.hi < bound
+
+    def definitely_ge(self, bound: int) -> bool:
+        return self.lo is not None and self.lo >= bound
+
+    def definitely_nonzero(self) -> bool:
+        return not self.contains(0)
+
+    def definitely_zero(self) -> bool:
+        return self.lo == 0 and self.hi == 0
+
+    # -- lattice --------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def __str__(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+@dataclass(frozen=True)
+class AbstractInt:
+    """One abstract evaluation result: value interval + failure knowledge.
+
+    ``interval is None`` is *bottom*: concrete evaluation raises for every
+    environment in the region (and ``may_fail`` is then always True).
+    """
+
+    interval: Optional[Interval]
+    may_fail: bool = False
+
+    def __post_init__(self) -> None:
+        if self.interval is None and not self.may_fail:
+            object.__setattr__(self, "may_fail", True)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def exact(cls, value: int) -> "AbstractInt":
+        return cls(Interval.point(value))
+
+    @classmethod
+    def of(cls, lo: Optional[int], hi: Optional[int]) -> "AbstractInt":
+        return cls(Interval(lo, hi))
+
+    @classmethod
+    def top(cls, may_fail: bool = False) -> "AbstractInt":
+        return cls(Interval.top(), may_fail)
+
+    @classmethod
+    def bottom(cls) -> "AbstractInt":
+        return cls(None, True)
+
+    # -- predicates -----------------------------------------------------
+
+    def definitely_fails(self) -> bool:
+        return self.interval is None
+
+    def ok(self) -> "AbstractInt":
+        """Identity helper for readability at call sites."""
+        return self
+
+    def __str__(self) -> str:
+        if self.interval is None:
+            return "<fails>"
+        mark = "?" if self.may_fail else ""
+        return f"{self.interval}{mark}"
+
+
+# ---------------------------------------------------------------------------
+# interval arithmetic helpers
+# ---------------------------------------------------------------------------
+
+
+def _corners(
+    a: Interval, b: Interval, op: Callable[[int, int], int]
+) -> Optional[Interval]:
+    """Apply a corner-monotone operator; None when an end is unbounded."""
+    if a.lo is None or a.hi is None or b.lo is None or b.hi is None:
+        return None
+    values = [op(x, y) for x in (a.lo, a.hi) for y in (b.lo, b.hi)]
+    return Interval(min(values), max(values))
+
+
+def _add(a: Interval, b: Interval) -> Interval:
+    lo = None if a.lo is None or b.lo is None else a.lo + b.lo
+    hi = None if a.hi is None or b.hi is None else a.hi + b.hi
+    return Interval(lo, hi)
+
+
+def _neg(a: Interval) -> Interval:
+    lo = None if a.hi is None else -a.hi
+    hi = None if a.lo is None else -a.lo
+    return Interval(lo, hi)
+
+
+def _sub(a: Interval, b: Interval) -> Interval:
+    return _add(a, _neg(b))
+
+
+def _mul(a: Interval, b: Interval) -> Interval:
+    out = _corners(a, b, lambda x, y: x * y)
+    return out if out is not None else Interval.top()
+
+
+def _trunc_div(x: int, y: int) -> int:
+    return int(x / y) if abs(x) < 2**52 and abs(y) < 2**52 else -(-x // y) if (
+        (x < 0) != (y < 0)
+    ) else x // y
+
+
+def _div(a: Interval, b: Interval) -> AbstractInt:
+    """Truncating division, Verilog semantics (toward zero)."""
+    if b.definitely_zero():
+        return AbstractInt.bottom()
+    may_fail = b.contains(0)
+    # Split the divisor around zero; corner-evaluate each signed piece.
+    pieces: list[Interval] = []
+    if b.hi is None or b.hi >= 1:
+        pieces.append(Interval(max(1, b.lo) if b.lo is not None else 1, b.hi))
+    if b.lo is None or b.lo <= -1:
+        pieces.append(Interval(b.lo, min(-1, b.hi) if b.hi is not None else -1))
+    result: Optional[Interval] = None
+    for piece in pieces:
+        part = _corners(a, piece, _trunc_div)
+        if part is None:
+            return AbstractInt.top(may_fail)
+        result = part if result is None else result.join(part)
+    if result is None:  # divisor region empty after the split (unreachable)
+        return AbstractInt.bottom()
+    return AbstractInt(result, may_fail)
+
+
+def _mod(a: Interval, b: Interval) -> AbstractInt:
+    """Python ``%`` semantics (the concrete evaluator's choice)."""
+    if b.definitely_zero():
+        return AbstractInt.bottom()
+    may_fail = b.contains(0)
+    if b.lo is None or b.hi is None:
+        return AbstractInt.top(may_fail)
+    # Python's result takes the divisor's sign, magnitude below |divisor|.
+    hi = max(0, b.hi - 1) if b.hi >= 1 else 0
+    lo = min(0, b.lo + 1) if b.lo <= -1 else 0
+    return AbstractInt(Interval(lo, hi), may_fail)
+
+
+def _rem(a: Interval, b: Interval) -> AbstractInt:
+    """VHDL ``rem``: sign of the dividend, magnitude below |divisor|."""
+    if b.definitely_zero():
+        return AbstractInt.bottom()
+    may_fail = b.contains(0)
+    if b.lo is None or b.hi is None:
+        return AbstractInt.top(may_fail)
+    magnitude = max(abs(b.lo), abs(b.hi)) - 1
+    lo, hi = -magnitude, magnitude
+    if a.lo is not None and a.lo >= 0:
+        lo = 0
+    if a.hi is not None and a.hi <= 0:
+        hi = 0
+    return AbstractInt(Interval(min(lo, hi), max(lo, hi)), may_fail)
+
+
+def _pow(a: Interval, b: Interval) -> AbstractInt:
+    if b.hi is not None and b.hi < 0:
+        return AbstractInt.bottom()  # negative exponent raises everywhere
+    may_fail = b.lo is None or b.lo < 0
+    if (
+        a.lo is None
+        or a.hi is None
+        or b.hi is None
+        or b.hi > _POW_LIMIT
+        or max(abs(a.lo), abs(a.hi)) > _POW_LIMIT
+    ):
+        # Outside the materialized region the concrete evaluator may hit
+        # its folding bit limit, so the result must admit failure.
+        return AbstractInt.top(True)
+    b_lo = max(0, b.lo if b.lo is not None else 0)
+    candidates = [x**y for x in (a.lo, a.hi) for y in (b_lo, b.hi)]
+    if a.lo < 0:
+        # Parity flips the sign; odd/even neighbours of the corners bound it.
+        candidates += [
+            x**y
+            for x in (a.lo, a.hi)
+            for y in (min(b_lo + 1, b.hi),)
+        ]
+        candidates += [0] if a.hi >= 0 else []
+    if a.lo <= 0 <= a.hi:
+        candidates.append(0)
+    if b_lo == 0:
+        candidates.append(1)
+    return AbstractInt(Interval(min(candidates), max(candidates)), may_fail)
+
+
+def _shift(a: Interval, b: Interval, left: bool) -> AbstractInt:
+    # Python raises a bare ValueError (not EvalError) on negative shift
+    # counts, so the concrete checker *crashes* rather than rejects there.
+    # Stay at top/may_fail so the static layer never claims a rejection
+    # the checker would not deliver.
+    may_fail = b.lo is None or b.lo < 0
+    if b.hi is not None and b.hi < 0:
+        return AbstractInt.top(True)
+    if a.lo is None or a.hi is None or b.hi is None or b.hi > _POW_LIMIT:
+        # Beyond the materialized region the concrete evaluator may hit
+        # its folding bit limit, so the result must admit failure.
+        return AbstractInt.top(True)
+    b_lo = max(0, b.lo if b.lo is not None else 0)
+    if left and max(abs(a.lo), abs(a.hi)).bit_length() + b.hi > E.FOLD_BIT_LIMIT:
+        return AbstractInt.top(True)
+    op: Callable[[int, int], int] = (
+        (lambda x, y: x << y) if left else (lambda x, y: x >> y)
+    )
+    values = [op(x, y) for x in (a.lo, a.hi) for y in (b_lo, b.hi)]
+    return AbstractInt(Interval(min(values), max(values)), may_fail)
+
+
+def _bitwise(a: Interval, b: Interval, op: str) -> AbstractInt:
+    if a.is_point() and b.is_point():
+        assert a.lo is not None and b.lo is not None
+        fn = {"&": int.__and__, "|": int.__or__, "^": int.__xor__}[op]
+        return AbstractInt.exact(fn(a.lo, b.lo))
+    if (
+        a.lo is not None
+        and b.lo is not None
+        and a.lo >= 0
+        and b.lo >= 0
+        and a.hi is not None
+        and b.hi is not None
+    ):
+        if op == "&":
+            return AbstractInt.of(0, min(a.hi, b.hi))
+        # For non-negative x, y:  x|y <= x+y  and  x^y <= x+y.
+        lo = max(a.lo, b.lo) if op == "|" else 0
+        return AbstractInt.of(lo, a.hi + b.hi)
+    return AbstractInt.top()
+
+
+def _truthiness(v: Interval) -> Optional[bool]:
+    """True / False when definite, None when the region straddles zero."""
+    if v.definitely_nonzero():
+        return True
+    if v.definitely_zero():
+        return False
+    return None
+
+
+def _compare(op: str, a: Interval, b: Interval) -> AbstractInt:
+    def definite(result: Optional[bool]) -> AbstractInt:
+        if result is None:
+            return AbstractInt.of(0, 1)
+        return AbstractInt.exact(int(result))
+
+    def lt(x: Interval, y: Interval) -> Optional[bool]:
+        if x.hi is not None and y.lo is not None and x.hi < y.lo:
+            return True
+        if x.lo is not None and y.hi is not None and x.lo >= y.hi:
+            return False
+        return None
+
+    def le(x: Interval, y: Interval) -> Optional[bool]:
+        if x.hi is not None and y.lo is not None and x.hi <= y.lo:
+            return True
+        if x.lo is not None and y.hi is not None and x.lo > y.hi:
+            return False
+        return None
+
+    if op == "<":
+        return definite(lt(a, b))
+    if op == "<=":
+        return definite(le(a, b))
+    if op == ">":
+        return definite(lt(b, a))
+    if op == ">=":
+        return definite(le(b, a))
+    if op in ("=", "=="):
+        if a.is_point() and b.is_point():
+            return AbstractInt.exact(int(a.lo == b.lo))
+        if _disjoint(a, b):
+            return AbstractInt.exact(0)
+        return AbstractInt.of(0, 1)
+    # "/=" / "!="
+    if a.is_point() and b.is_point():
+        return AbstractInt.exact(int(a.lo != b.lo))
+    if _disjoint(a, b):
+        return AbstractInt.exact(1)
+    return AbstractInt.of(0, 1)
+
+
+def _disjoint(a: Interval, b: Interval) -> bool:
+    if a.hi is not None and b.lo is not None and a.hi < b.lo:
+        return True
+    if b.hi is not None and a.lo is not None and b.hi < a.lo:
+        return True
+    return False
+
+
+def _clog2(a: Interval) -> AbstractInt:
+    """ceil(log2(n)) over an interval; domain is n >= 1."""
+    if a.hi is not None and a.hi <= 0:
+        return AbstractInt.bottom()
+    may_fail = a.lo is None or a.lo <= 0
+    lo_in = max(1, a.lo if a.lo is not None else 1)
+    lo = (lo_in - 1).bit_length()
+    hi = None if a.hi is None else (a.hi - 1).bit_length()
+    return AbstractInt(Interval(lo, hi), may_fail)
+
+
+def _minmax(args: Sequence[Interval], biggest: bool) -> Interval:
+    if biggest:
+        lo = _none_max([a.lo for a in args])  # max of lows (None = -inf loses)
+        hi = None if any(a.hi is None for a in args) else max(
+            a.hi for a in args if a.hi is not None
+        )
+        return Interval(lo, hi)
+    lo = None if any(a.lo is None for a in args) else min(
+        a.lo for a in args if a.lo is not None
+    )
+    hi = _none_min([a.hi for a in args])
+    return Interval(lo, hi)
+
+
+def _none_max(values: Sequence[Optional[int]]) -> Optional[int]:
+    known = [v for v in values if v is not None]
+    if len(known) != len(values) and not known:
+        return None
+    # max over -inf entries is just max over the known ones; if *any* entry
+    # is known, -inf entries cannot raise the maximum.
+    return max(known) if known else None
+
+
+def _none_min(values: Sequence[Optional[int]]) -> Optional[int]:
+    known = [v for v in values if v is not None]
+    return min(known) if known else None
+
+
+def _abs(a: Interval) -> Interval:
+    if a.lo is not None and a.lo >= 0:
+        return a
+    if a.hi is not None and a.hi <= 0:
+        return _neg(a)
+    hi = None
+    if a.lo is not None and a.hi is not None:
+        hi = max(-a.lo, a.hi)
+    return Interval(0, hi)
+
+
+# ---------------------------------------------------------------------------
+# the abstract evaluator
+# ---------------------------------------------------------------------------
+
+
+def evaluate_abstract(
+    expr: E.Expr, env: Mapping[str, AbstractInt] | None = None
+) -> AbstractInt:
+    """Abstractly evaluate ``expr`` over the region described by ``env``.
+
+    ``env`` maps parameter names (matched case-insensitively, like the
+    concrete evaluator) to :class:`AbstractInt` regions.  Names missing
+    from the environment are *definitely unbound* — the concrete
+    evaluator raises for them at every point, so the result is bottom.
+    Callers that cannot prove absence should bind the name to
+    ``AbstractInt.top(may_fail=True)`` instead.
+    """
+    env = env or {}
+    folded = {k.lower(): v for k, v in env.items()}
+
+    def fail_through(*parts: AbstractInt) -> Optional[AbstractInt]:
+        """Eager-evaluation failure propagation (mirrors ``ev``'s order)."""
+        for part in parts:
+            if part.definitely_fails():
+                return AbstractInt.bottom()
+        return None
+
+    def may(*parts: AbstractInt) -> bool:
+        return any(p.may_fail for p in parts)
+
+    def ev(node: E.Expr) -> AbstractInt:
+        if isinstance(node, E.Num):
+            return AbstractInt.exact(node.value)
+        if isinstance(node, E.StrLit):
+            lowered = node.value.lower()
+            if lowered == "true":
+                return AbstractInt.exact(1)
+            if lowered == "false":
+                return AbstractInt.exact(0)
+            return AbstractInt.bottom()  # non-boolean string in int context
+        if isinstance(node, E.Name):
+            found = folded.get(node.ident.lower())
+            if found is None:
+                return AbstractInt.bottom()
+            return found
+        if isinstance(node, E.UnOp):
+            v = ev(node.operand)
+            failed = fail_through(v)
+            if failed is not None:
+                return failed
+            assert v.interval is not None
+            if node.op == "-":
+                return AbstractInt(_neg(v.interval), v.may_fail)
+            if node.op == "+":
+                return v
+            if node.op in ("not", "!"):
+                truth = _truthiness(v.interval)
+                if truth is None:
+                    return AbstractInt(Interval(0, 1), v.may_fail)
+                return AbstractInt(Interval.point(int(not truth)), v.may_fail)
+            if node.op == "~":
+                # ~v == -v - 1
+                return AbstractInt(
+                    _sub(_neg(v.interval), Interval.point(1)), v.may_fail
+                )
+            return AbstractInt.bottom()  # unknown operator raises everywhere
+        if isinstance(node, E.BinOp):
+            lv, rv = ev(node.left), ev(node.right)
+            failed = fail_through(lv, rv)
+            if failed is not None:
+                return failed
+            assert lv.interval is not None and rv.interval is not None
+            a, b = lv.interval, rv.interval
+            mf = may(lv, rv)
+            op = node.op
+            if op == "+":
+                return AbstractInt(_add(a, b), mf)
+            if op == "-":
+                return AbstractInt(_sub(a, b), mf)
+            if op == "*":
+                return AbstractInt(_mul(a, b), mf)
+            if op == "/":
+                return _with_may(_div(a, b), mf)
+            if op in ("%", "mod"):
+                return _with_may(_mod(a, b), mf)
+            if op == "rem":
+                return _with_may(_rem(a, b), mf)
+            if op == "**":
+                return _with_may(_pow(a, b), mf)
+            if op == "<<":
+                return _with_may(_shift(a, b, left=True), mf)
+            if op == ">>":
+                return _with_may(_shift(a, b, left=False), mf)
+            if op in ("and", "&&", "or", "||"):
+                ta, tb = _truthiness(a), _truthiness(b)
+                conj = op in ("and", "&&")
+                if conj:
+                    if ta is False or tb is False:
+                        return AbstractInt(Interval.point(0), mf)
+                    if ta is True and tb is True:
+                        return AbstractInt(Interval.point(1), mf)
+                else:
+                    if ta is True or tb is True:
+                        return AbstractInt(Interval.point(1), mf)
+                    if ta is False and tb is False:
+                        return AbstractInt(Interval.point(0), mf)
+                return AbstractInt(Interval(0, 1), mf)
+            if op in ("&", "|", "^"):
+                return _with_may(_bitwise(a, b, op), mf)
+            if op in ("=", "==", "/=", "!=", "<", "<=", ">", ">="):
+                return _with_may(_compare(op, a, b), mf)
+            return AbstractInt.bottom()  # unknown operator raises everywhere
+        if isinstance(node, E.Cond):
+            cv = ev(node.cond)
+            failed = fail_through(cv)
+            if failed is not None:
+                return failed
+            assert cv.interval is not None
+            truth = _truthiness(cv.interval)
+            if truth is True:
+                branch = ev(node.then)
+                return _with_may(branch, cv.may_fail)
+            if truth is False:
+                branch = ev(node.other)
+                return _with_may(branch, cv.may_fail)
+            then, other = ev(node.then), ev(node.other)
+            if then.definitely_fails() and other.definitely_fails():
+                return AbstractInt.bottom()
+            joined: Optional[Interval]
+            if then.interval is None:
+                joined = other.interval
+            elif other.interval is None:
+                joined = then.interval
+            else:
+                joined = then.interval.join(other.interval)
+            return AbstractInt(
+                joined,
+                cv.may_fail
+                or then.may_fail
+                or other.may_fail
+                or then.interval is None
+                or other.interval is None,
+            )
+        if isinstance(node, E.Call):
+            name = node.func.lower()
+            if name not in ("$clog2", "clog2", "log2ceil", "maximum", "minimum",
+                            "max", "min", "abs"):
+                return AbstractInt.bottom()  # uninterpretable, raises everywhere
+            args = [ev(arg) for arg in node.args]
+            failed = fail_through(*args)
+            if failed is not None:
+                return failed
+            if not args:
+                # Concrete evaluation raises IndexError/ValueError (not
+                # EvalError) on an empty argument list — a crash, not a
+                # rejection; never claim definite infeasibility.
+                return AbstractInt.top(True)
+            mf = may(*args)
+            intervals = [arg.interval for arg in args]
+            assert all(iv is not None for iv in intervals)
+            ivs = [iv for iv in intervals if iv is not None]
+            if name in ("$clog2", "clog2", "log2ceil"):
+                return _with_may(_clog2(ivs[0]), mf)
+            if name in ("maximum", "max"):
+                return AbstractInt(_minmax(ivs, biggest=True), mf)
+            if name in ("minimum", "min"):
+                return AbstractInt(_minmax(ivs, biggest=False), mf)
+            return AbstractInt(_abs(ivs[0]), mf)
+        return AbstractInt.bottom()  # unknown node kind raises everywhere
+
+    return ev(expr)
+
+
+def _with_may(value: AbstractInt | Interval, extra_may_fail: bool) -> AbstractInt:
+    if isinstance(value, Interval):
+        return AbstractInt(value, extra_may_fail)
+    if value.interval is None:
+        return value
+    return AbstractInt(value.interval, value.may_fail or extra_may_fail)

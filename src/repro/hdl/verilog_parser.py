@@ -374,6 +374,23 @@ class VerilogParser:
     # expressions
     # ------------------------------------------------------------------
 
+    @classmethod
+    def expression_from(
+        cls, cur: Cursor, language: HdlLanguage = HdlLanguage.VERILOG
+    ) -> E.Expr:
+        """Parse one constant expression at ``cur``'s current position.
+
+        The cursor is shared, not copied: on return it sits just past the
+        expression, so body scanners (:mod:`repro.hdl.dataflow`) can reuse
+        the full expression grammar mid-scan.  Raises
+        :class:`~repro.errors.ParseError` like any other entry point; the
+        caller is expected to mark/rewind around speculative parses.
+        """
+        parser = cls.__new__(cls)
+        parser.cur = cur
+        parser.language = language
+        return parser._parse_expression()
+
     def _parse_expression(self) -> E.Expr:
         cond = self._parse_binary(0)
         if self.cur.accept_op("?"):

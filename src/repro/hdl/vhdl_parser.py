@@ -331,6 +331,20 @@ class VhdlParser:
     # expressions
     # ------------------------------------------------------------------
 
+    @classmethod
+    def expression_from(cls, cur: Cursor) -> E.Expr:
+        """Parse one constant expression at ``cur``'s current position.
+
+        Shares the cursor with the caller (no copy): used by the body
+        scanner in :mod:`repro.hdl.dataflow` to parse generate conditions
+        and generic-map actuals with the real expression grammar.
+        """
+        parser = cls.__new__(cls)
+        parser.cur = cur
+        parser._libraries = []
+        parser._uses = []
+        return parser._parse_expression()
+
     def _parse_expression(self, level: int = 0) -> E.Expr:
         if level >= len(_BINARY_LEVELS):
             return self._parse_factor()

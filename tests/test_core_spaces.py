@@ -49,6 +49,24 @@ class TestDimensions:
         d = BoolParam("EN")
         assert d.values() == [0, 1]
 
+    def test_pow2_over_values_below_one(self):
+        with pytest.raises(InvalidSpaceError, match="below 1"):
+            PowerOfTwoRange.over_values("MEM", 0, 64)
+        with pytest.raises(InvalidSpaceError, match="below 1"):
+            PowerOfTwoRange.over_values("MEM", -8, 64)
+
+    def test_round_trip_validated_at_boundaries(self):
+        for d in (IntRange("N", -4, 10), PowerOfTwoRange("MEM", 0, 6), BoolParam("EN")):
+            d.validate_round_trip()
+
+    def test_broken_codec_rejected(self):
+        class Lossy(IntRange):
+            def decode(self, encoded):
+                return int(encoded) // 2 * 2  # not injective
+
+        with pytest.raises(InvalidSpaceError, match="round-trip"):
+            ParameterSpace([Lossy("N", 1, 9)])
+
 
 class TestParameterSpace:
     def _space(self):

@@ -32,6 +32,13 @@ class TestEvaluate:
         with pytest.raises(E.EvalError, match="unbound"):
             E.evaluate(E.Name("MISSING"))
 
+    def test_unbound_name_error_names_identifier_and_expression(self):
+        expr = E.BinOp("+", E.Name("MISSING"), E.Num(1))
+        with pytest.raises(E.EvalError) as err:
+            E.evaluate(expr, {"OTHER": 3})
+        assert "'MISSING'" in str(err.value)
+        assert expr.render() in str(err.value)
+
     def test_clog2_variants(self):
         for fn in ("$clog2", "clog2", "log2ceil"):
             assert E.evaluate(E.Call(fn, (E.Num(8),))) == 3
@@ -74,6 +81,21 @@ class TestEvaluate:
     def test_negative_exponent_rejected(self):
         with pytest.raises(E.EvalError):
             E.evaluate(E.BinOp("**", E.Num(2), E.Num(-1)))
+
+    def test_oversized_shift_rejected_not_materialized(self):
+        # 1 << (1 << 60) would be an exabyte-sized integer; the evaluator
+        # must reject it instead of stalling the checker.
+        huge = E.BinOp("<<", E.Num(1), E.Num(60))
+        with pytest.raises(E.EvalError, match="folding bit limit"):
+            E.evaluate(E.BinOp("<<", E.Num(1), huge))
+
+    def test_oversized_power_rejected(self):
+        with pytest.raises(E.EvalError, match="folding bit limit"):
+            E.evaluate(E.BinOp("**", E.Num(2), E.Num(E.FOLD_BIT_LIMIT + 1)))
+
+    def test_large_but_reasonable_results_still_fold(self):
+        assert E.evaluate(E.BinOp("<<", E.Num(1), E.Num(4096))) == 1 << 4096
+        assert E.evaluate(E.BinOp("**", E.Num(2), E.Num(4096))) == 2**4096
 
     def test_min_max_functions(self):
         assert E.evaluate(E.Call("maximum", (E.Num(3), E.Num(9)))) == 9

@@ -1,0 +1,231 @@
+"""Tests for the interval (abstract) evaluator of HDL constant expressions.
+
+The load-bearing property is *soundness against the concrete evaluator*:
+for any expression and any concrete environment drawn from an abstract
+one, either the concrete evaluation raises and the abstract result said
+``may_fail`` (or bottom), or the concrete value lies inside the abstract
+interval.  The hypothesis test at the bottom checks exactly that over
+randomly generated expressions.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hdl import expr as E
+from repro.hdl.interval import AbstractInt, Interval, evaluate_abstract
+from repro.hdl.verilog_parser import parse_verilog
+
+
+def parse_expr(text: str) -> E.Expr:
+    """Parse one constant expression via a throwaway parameter default."""
+    src = f"module t #(parameter X = {text}) (input logic clk); endmodule"
+    return parse_verilog(src)[0].parameter("X").default
+
+
+def abstract(text: str, **env: AbstractInt) -> AbstractInt:
+    return evaluate_abstract(parse_expr(text), env)
+
+
+class TestInterval:
+    def test_point_and_span(self):
+        assert Interval.point(3) == Interval(3, 3)
+        assert Interval.span(9, 2) == Interval(2, 9)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 4)
+
+    def test_contains_with_open_ends(self):
+        assert Interval(None, 10).contains(-(10**9))
+        assert not Interval(None, 10).contains(11)
+        assert Interval(0, None).contains(10**9)
+
+    def test_definite_predicates(self):
+        assert Interval(1, 3).definitely_ge(1)
+        assert Interval(1, 3).definitely_lt(4)
+        assert not Interval(1, None).definitely_lt(100)
+        assert Interval(1, 3).definitely_nonzero()
+        assert Interval(0, 0).definitely_zero()
+
+    def test_join(self):
+        assert Interval(0, 4).join(Interval(2, 9)) == Interval(0, 9)
+        assert Interval(0, 4).join(Interval(None, 1)) == Interval(None, 4)
+
+
+class TestAbstractInt:
+    def test_bottom_always_may_fail(self):
+        assert AbstractInt(None).may_fail
+        assert AbstractInt.bottom().definitely_fails()
+
+    def test_exact(self):
+        v = AbstractInt.exact(7)
+        assert v.interval == Interval(7, 7)
+        assert not v.may_fail
+
+
+class TestArithmetic:
+    def test_constant_folding_is_exact(self):
+        assert abstract("3 + 4 * 2").interval == Interval(11, 11)
+
+    def test_addition_over_range(self):
+        r = abstract("W + 1", W=AbstractInt.of(2, 8))
+        assert r.interval == Interval(3, 9)
+        assert not r.may_fail
+
+    def test_subtraction_can_go_negative(self):
+        r = abstract("W - 2", W=AbstractInt.of(1, 4))
+        assert r.interval == Interval(-1, 2)
+
+    def test_multiplication_corners(self):
+        r = abstract("A * B", A=AbstractInt.of(-2, 3), B=AbstractInt.of(-5, 4))
+        assert r.interval == Interval(-15, 12)
+
+    def test_division_by_straddling_range_may_fail(self):
+        r = abstract("10 / D", D=AbstractInt.of(-1, 2))
+        assert r.may_fail          # D = 0 raises EvalError concretely
+        assert not r.definitely_fails()
+
+    def test_division_by_definite_zero_is_bottom(self):
+        assert abstract("10 / D", D=AbstractInt.exact(0)).definitely_fails()
+
+    def test_clog2_domain(self):
+        ok = abstract("$clog2(D)", D=AbstractInt.of(1, 512))
+        assert ok.interval == Interval(0, 9)
+        assert not ok.may_fail
+        edge = abstract("$clog2(D)", D=AbstractInt.of(0, 8))
+        assert edge.may_fail       # D = 0 raises
+        assert edge.interval == Interval(0, 3)
+        assert abstract("$clog2(D)", D=AbstractInt.of(-4, 0)).definitely_fails()
+
+    def test_power(self):
+        r = abstract("2 ** E", E=AbstractInt.of(0, 10))
+        assert r.interval == Interval(1, 1024)
+        assert abstract("2 ** E", E=AbstractInt.of(-3, -1)).definitely_fails()
+
+    def test_oversized_shift_goes_top_and_may_fail(self):
+        # Shift counts beyond the materialization limit: the concrete
+        # evaluator rejects them (folding bit limit), so the abstract
+        # result must stay top *and* admit failure.
+        r = abstract("1 << S", S=AbstractInt.of(0, 10**19))
+        assert r.interval == Interval(None, None)
+        assert r.may_fail
+        assert not r.definitely_fails()
+
+    def test_negative_shift_is_not_definite_failure(self):
+        # Concrete evaluation raises a bare ValueError (a crash, not an
+        # EvalError rejection) — the abstract layer must not claim bottom.
+        r = abstract("1 << S", S=AbstractInt.of(-2, -1))
+        assert not r.definitely_fails()
+        assert r.may_fail
+
+    def test_unbound_name_is_bottom(self):
+        assert abstract("MISSING + 1").definitely_fails()
+
+    def test_conditional_branch_join(self):
+        r = abstract("(C ? 4 : 9)", C=AbstractInt.of(0, 1))
+        assert r.interval == Interval(4, 9)
+        taken = abstract("(C ? 4 : 9)", C=AbstractInt.exact(1))
+        assert taken.interval == Interval(4, 4)
+
+    def test_conditional_with_one_failing_branch(self):
+        r = abstract(
+            "(C ? $clog2(0) : 7)", C=AbstractInt.of(0, 1)
+        )
+        assert r.interval == Interval(7, 7)
+        assert r.may_fail
+
+    def test_comparison_definite(self):
+        assert abstract("A < 5", A=AbstractInt.of(0, 4)).interval == Interval(1, 1)
+        assert abstract("A < 5", A=AbstractInt.of(5, 9)).interval == Interval(0, 0)
+        assert abstract("A < 5", A=AbstractInt.of(0, 9)).interval == Interval(0, 1)
+
+    def test_min_max_abs(self):
+        assert abstract(
+            "max(A, 4)", A=AbstractInt.of(1, 9)
+        ).interval == Interval(4, 9)
+        assert abstract(
+            "min(A, 4)", A=AbstractInt.of(1, 9)
+        ).interval == Interval(1, 4)
+        assert abstract(
+            "abs(A)", A=AbstractInt.of(-3, 2)
+        ).interval == Interval(0, 3)
+
+    def test_mod_sign_rules(self):
+        r = abstract("A % 8", A=AbstractInt.of(-20, 20))
+        assert r.interval == Interval(0, 7)  # python % takes divisor's sign
+
+
+# ---------------------------------------------------------------------------
+# soundness against the concrete evaluator
+# ---------------------------------------------------------------------------
+
+_NAMES = ("A", "B", "C")
+
+
+def _exprs(depth: int):
+    leaf = st.one_of(
+        st.integers(-8, 64).map(E.Num),
+        st.sampled_from(_NAMES).map(E.Name),
+    )
+    if depth == 0:
+        return leaf
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(["-", "+", "~", "!"]), sub).map(
+            lambda t: E.UnOp(*t)
+        ),
+        st.tuples(
+            st.sampled_from(
+                ["+", "-", "*", "/", "%", "**", "<<", ">>", "&", "|", "^",
+                 "<", "<=", ">", ">=", "==", "!=", "&&", "||"]
+            ),
+            sub,
+            sub,
+        ).map(lambda t: E.BinOp(t[0], t[1], t[2])),
+        st.tuples(sub, sub, sub).map(lambda t: E.Cond(*t)),
+        st.tuples(st.sampled_from(["$clog2", "max", "min", "abs"]), sub).map(
+            lambda t: E.Call(t[0], (t[1],))
+        ),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    expr=_exprs(3),
+    bounds=st.dictionaries(
+        st.sampled_from(_NAMES),
+        st.tuples(st.integers(-6, 6), st.integers(0, 8)),
+        min_size=len(_NAMES),
+        max_size=len(_NAMES),
+    ),
+    picks=st.tuples(
+        st.floats(0, 1), st.floats(0, 1), st.floats(0, 1)
+    ),
+)
+def test_abstract_evaluation_is_sound(expr, bounds, picks):
+    aenv = {
+        name: AbstractInt.of(lo, lo + width)
+        for name, (lo, width) in bounds.items()
+    }
+    cenv = {
+        name: int(round(lo + pick * width))
+        for (name, (lo, width)), pick in zip(sorted(bounds.items()), picks)
+    }
+    result = evaluate_abstract(expr, aenv)
+    try:
+        concrete = E.evaluate(expr, cenv)
+    except E.EvalError:
+        assert result.definitely_fails() or result.may_fail
+        return
+    except (ValueError, OverflowError):
+        return  # crash-class failures carry no abstract obligation
+    assert result.interval is not None, (
+        f"{expr.render()} = {concrete} at {cenv}, but abstract said bottom"
+    )
+    assert result.interval.contains(concrete), (
+        f"{expr.render()} = {concrete} at {cenv}, "
+        f"outside abstract {result.interval}"
+    )
