@@ -1,0 +1,59 @@
+"""``repro.cache`` — the persistent evaluation result store.
+
+The paper's premise is that Vivado evaluations are the cost center; this
+package is the durable layer of the evaluation pipeline that makes sure
+no identical tool run is ever paid for twice — not within a batch (the
+cross-batch memo in :mod:`repro.core.parallel` handles that), not within
+a session (the tool's own run cache handles that), and, with this store,
+not *across* sessions or worker processes either.
+
+Three pieces:
+
+- :mod:`repro.cache.keys` — the content-addressed run identity: a stable
+  digest over (flow version, source digest, top, part, parameters, step,
+  directives, target period, seed, metric set).  Two runs share a key
+  exactly when the simulated tool is guaranteed to produce bitwise
+  identical answers for them.
+- :mod:`repro.cache.store` — :class:`ResultStore`, a process-safe
+  on-disk store (JSONL segments + in-memory index, file-locked appends)
+  that many writer processes can share concurrently.
+- :mod:`repro.cache.records` — payload codecs between store records and
+  the evaluated-point / failure shapes the DSE layers exchange.
+
+:class:`LruCache` also lives here: the bounded mapping used by the
+in-memory caches now that this store is the durable layer.
+"""
+
+from repro.cache.keys import (
+    FLOW_VERSION,
+    identity_key,
+    point_key,
+    run_identity,
+    source_digest,
+)
+from repro.cache.lru import LruCache
+from repro.cache.records import (
+    KIND_FAILURE,
+    KIND_POINT,
+    decode_point,
+    encode_failure,
+    encode_point,
+)
+from repro.cache.store import ResultStore, StoredResult, StoreStats
+
+__all__ = [
+    "FLOW_VERSION",
+    "KIND_FAILURE",
+    "KIND_POINT",
+    "LruCache",
+    "ResultStore",
+    "StoreStats",
+    "StoredResult",
+    "decode_point",
+    "encode_failure",
+    "encode_point",
+    "identity_key",
+    "point_key",
+    "run_identity",
+    "source_digest",
+]

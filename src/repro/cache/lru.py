@@ -1,0 +1,58 @@
+"""A small LRU mapping for the in-memory evaluation caches.
+
+The tool session's run/stage caches used to be plain dicts that grew
+without bound — a long sweep held every :class:`RunResult` (netlists,
+report text and all) alive for the session's lifetime.  With the
+persistent :class:`~repro.cache.store.ResultStore` as the durable layer,
+the in-memory caches only need to keep the hot working set, so they are
+bounded with this LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Iterator
+
+__all__ = ["LruCache"]
+
+
+class LruCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    ``capacity=None`` disables eviction (unbounded, plain-dict
+    behaviour); ``capacity`` must otherwise be positive.  Both reads and
+    writes refresh an entry's recency.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"LruCache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.evictions = 0
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        if key not in self._data:
+            return default
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if self.capacity is not None and len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()

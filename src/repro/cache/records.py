@@ -1,0 +1,68 @@
+"""Payload codecs between store records and DSE result shapes.
+
+The store itself is payload-agnostic (it moves ``dict`` lines); these
+helpers define the two record kinds the evaluation pipeline writes:
+
+- ``kind="point"`` — a completed run's extracted metric vector (the
+  original tool charge is preserved for stats; replays are re-priced as
+  cache answers by the caller);
+- ``kind="failure"`` — a run the tool itself rejected (capacity
+  overflow, unroutable design).  DRC pre-flight rejections are *never*
+  stored: they are recomputed locally at zero cost and depend on the
+  rule configuration, not the flow.
+
+JSON round-trips floats losslessly (shortest-repr encoding), so a
+replayed metric vector is bitwise equal to the one the tool produced —
+the property the warm-store equivalence benchmarks assert.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # deferred: repro.core imports the flow, which uses this package
+    from repro.core.point import EvaluatedPoint
+
+__all__ = [
+    "KIND_FAILURE",
+    "KIND_POINT",
+    "decode_point",
+    "encode_failure",
+    "encode_point",
+]
+
+KIND_POINT = "point"
+KIND_FAILURE = "failure"
+
+
+def encode_point(point: "EvaluatedPoint") -> dict:
+    """Serialize a completed run for the store."""
+    return {
+        "parameters": {str(k): int(v) for k, v in point.parameters.items()},
+        "metrics": {str(k): float(v) for k, v in point.metrics.items()},
+        "source": point.source,
+        "simulated_seconds": float(point.simulated_seconds),
+    }
+
+
+def decode_point(payload: Mapping) -> "EvaluatedPoint":
+    """Rebuild the stored run as the tool produced it (not yet re-priced)."""
+    from repro.core.point import EvaluatedPoint
+
+    return EvaluatedPoint(
+        parameters={str(k): int(v) for k, v in payload["parameters"].items()},
+        metrics={str(k): float(v) for k, v in payload["metrics"].items()},
+        source=str(payload.get("source", "tool")),
+        simulated_seconds=float(payload.get("simulated_seconds", 0.0)),
+    )
+
+
+def encode_failure(
+    original_type: str, message: str, simulated_seconds: float = 0.0
+) -> dict:
+    """Serialize a tool-side failure for the store."""
+    return {
+        "original_type": str(original_type),
+        "message": str(message),
+        "simulated_seconds": float(simulated_seconds),
+    }

@@ -1,0 +1,323 @@
+"""The persistent, process-safe, on-disk result store.
+
+Layout (one directory per store)::
+
+    <root>/MANIFEST.json        # store format + flow version it was created under
+    <root>/.lock                # writer mutual exclusion (flock)
+    <root>/segments/seg-000001.jsonl
+    <root>/segments/seg-000002.jsonl
+    ...
+
+Records are append-only JSONL lines ``{"key": <hex>, "kind": ..,
+"payload": {..}}``; a segment rotates once it crosses the byte cap, so no
+single file grows unboundedly and ``clear``/``export`` stream segment by
+segment.
+
+Concurrency model — many readers, many writers, zero coordination beyond
+the lock file:
+
+- **Appends** happen under an exclusive ``flock`` on ``<root>/.lock``
+  and are preceded by a tail refresh, so two processes racing to store
+  the same key write it once (first-writer-wins; results are
+  content-addressed and deterministic, so the loser's record would have
+  been byte-identical anyway).
+- **Reads** go through a per-process in-memory index.  A lookup miss
+  triggers a *tail refresh*: each segment is re-read only from the byte
+  offset this process has already consumed, so picking up another
+  process's appends costs O(new records), not O(store).
+- Keys are content-addressed (:mod:`repro.cache.keys`), so duplicate
+  keys across segments are benign: the first record wins and later ones
+  are counted as duplicates in :meth:`ResultStore.stats`.
+
+The lock degrades to a no-op on platforms without ``fcntl`` — the store
+stays correct for a single writer, which is the only configuration those
+platforms get.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.cache.keys import FLOW_VERSION
+
+try:  # pragma: no branch
+    import fcntl
+
+    _HAVE_FLOCK = True
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    _HAVE_FLOCK = False
+
+__all__ = ["ResultStore", "StoredResult", "StoreStats"]
+
+_STORE_VERSION = 1
+_SEGMENT_PREFIX = "seg-"
+_DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """One decoded store record."""
+
+    key: str
+    kind: str
+    payload: dict
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Store shape plus this process's hit/miss/put tallies."""
+
+    path: str
+    segments: int
+    records: int
+    unique_keys: int
+    duplicates: int
+    size_bytes: int
+    hits: int
+    misses: int
+    puts: int
+    skipped_puts: int
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "segments": self.segments,
+            "records": self.records,
+            "unique_keys": self.unique_keys,
+            "duplicates": self.duplicates,
+            "size_bytes": self.size_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "skipped_puts": self.skipped_puts,
+        }
+
+
+class ResultStore:
+    """Content-addressed on-disk result store shared across processes."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        segment_max_bytes: int = _DEFAULT_SEGMENT_BYTES,
+    ) -> None:
+        self.root = Path(root)
+        self.segment_max_bytes = int(segment_max_bytes)
+        self._segments_dir = self.root / "segments"
+        self._lock_path = self.root / ".lock"
+        self._manifest_path = self.root / "MANIFEST.json"
+        self._index: dict[str, StoredResult] = {}
+        self._offsets: dict[str, int] = {}  # segment name -> bytes consumed
+        self._records_seen = 0
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.skipped_puts = 0
+        self._ensure_layout()
+        self.refresh()
+
+    # -- layout & locking ------------------------------------------------
+
+    def _ensure_layout(self) -> None:
+        self._segments_dir.mkdir(parents=True, exist_ok=True)
+        if not self._manifest_path.exists():
+            with self._locked():
+                if not self._manifest_path.exists():
+                    self._manifest_path.write_text(
+                        json.dumps(
+                            {
+                                "store_version": _STORE_VERSION,
+                                "flow_version": FLOW_VERSION,
+                            },
+                            indent=2,
+                        )
+                        + "\n",
+                        encoding="utf-8",
+                    )
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Exclusive writer lock on the store (no-op without fcntl)."""
+        self._lock_path.touch(exist_ok=True)
+        with self._lock_path.open("r+") as fh:
+            if _HAVE_FLOCK:
+                fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                if _HAVE_FLOCK:
+                    fcntl.flock(fh, fcntl.LOCK_UN)
+
+    def _segment_paths(self) -> list[Path]:
+        return sorted(self._segments_dir.glob(f"{_SEGMENT_PREFIX}*.jsonl"))
+
+    def _active_segment(self) -> Path:
+        """The segment new appends go to (rotating past the byte cap)."""
+        segments = self._segment_paths()
+        if segments:
+            last = segments[-1]
+            if last.stat().st_size < self.segment_max_bytes:
+                return last
+            ordinal = int(last.stem[len(_SEGMENT_PREFIX):]) + 1
+        else:
+            ordinal = 1
+        return self._segments_dir / f"{_SEGMENT_PREFIX}{ordinal:06d}.jsonl"
+
+    # -- index maintenance -----------------------------------------------
+
+    def refresh(self) -> int:
+        """Fold appends from other processes into the index.
+
+        Reads only the unseen tail of each segment; returns the number of
+        new records indexed (duplicate keys count as records but do not
+        displace the first-seen entry).
+        """
+        added = 0
+        for path in self._segment_paths():
+            name = path.name
+            offset = self._offsets.get(name, 0)
+            size = path.stat().st_size
+            if size <= offset:
+                continue
+            with path.open("r", encoding="utf-8") as fh:
+                fh.seek(offset)
+                tail = fh.read()
+            # Only consume whole lines: a concurrent writer may be mid-append.
+            consumed = tail.rfind("\n") + 1
+            if consumed <= 0:
+                continue
+            for line in tail[:consumed].splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn line from a crashed writer; skip
+                record = StoredResult(
+                    key=str(obj["key"]),
+                    kind=str(obj["kind"]),
+                    payload=dict(obj.get("payload", {})),
+                )
+                self._records_seen += 1
+                self._index.setdefault(record.key, record)
+                added += 1
+            self._offsets[name] = offset + consumed
+        return added
+
+    # -- API ---------------------------------------------------------------
+
+    def get(self, key: str) -> StoredResult | None:
+        """Look up one key, refreshing the tail on a miss."""
+        record = self._index.get(key)
+        if record is None:
+            self.refresh()
+            record = self._index.get(key)
+        if record is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def __contains__(self, key: str) -> bool:
+        if key not in self._index:
+            self.refresh()
+        return key in self._index
+
+    def __len__(self) -> int:
+        self.refresh()
+        return len(self._index)
+
+    def keys(self) -> list[str]:
+        self.refresh()
+        return list(self._index)
+
+    def records(self) -> Iterator[StoredResult]:
+        self.refresh()
+        return iter(list(self._index.values()))
+
+    def put(self, key: str, kind: str, payload: Mapping) -> bool:
+        """Append one record; returns False when the key already exists.
+
+        The append runs under the writer lock with a fresh tail read, so
+        concurrent writers racing on one key store it exactly once.
+        """
+        if key in self._index:
+            self.skipped_puts += 1
+            return False
+        line = json.dumps(
+            {"key": key, "kind": kind, "payload": dict(payload)},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        with self._locked():
+            self.refresh()
+            if key in self._index:
+                self.skipped_puts += 1
+                return False
+            path = self._active_segment()
+            with path.open("a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            # Index our own append without re-reading the file (still under
+            # the lock, so the segment tail is exactly our line).
+            self._offsets[path.name] = path.stat().st_size
+        record = StoredResult(key=key, kind=str(kind), payload=dict(payload))
+        self._index[key] = record
+        self._records_seen += 1
+        self.puts += 1
+        return True
+
+    def clear(self) -> int:
+        """Delete every record; returns how many unique keys were dropped."""
+        with self._locked():
+            self.refresh()
+            dropped = len(self._index)
+            for path in self._segment_paths():
+                path.unlink()
+            self._index.clear()
+            self._offsets.clear()
+            self._records_seen = 0
+        return dropped
+
+    def export(self, path: str | Path) -> Path:
+        """Write one merged JSONL file (one line per unique key)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as fh:
+            for record in self.records():
+                fh.write(
+                    json.dumps(
+                        {
+                            "key": record.key,
+                            "kind": record.kind,
+                            "payload": record.payload,
+                        },
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+        return path
+
+    def stats(self) -> StoreStats:
+        self.refresh()
+        segments = self._segment_paths()
+        return StoreStats(
+            path=str(self.root),
+            segments=len(segments),
+            records=self._records_seen,
+            unique_keys=len(self._index),
+            duplicates=self._records_seen - len(self._index),
+            size_bytes=sum(p.stat().st_size for p in segments),
+            hits=self.hits,
+            misses=self.misses,
+            puts=self.puts,
+            skipped_puts=self.skipped_puts,
+        )

@@ -146,6 +146,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument("--trace", metavar="FILE",
                        help="enable telemetry: write a JSONL trace to FILE "
                             "and print the run summary at session end")
+    p_dse.add_argument("--result-store", metavar="PATH",
+                       help="persistent cross-run result store directory: "
+                            "previously evaluated configurations replay as "
+                            "cache answers; fresh tool runs are appended")
 
     p_lint = sub.add_parser(
         "lint", help="run the design rule checker (CI exit codes: 0/1/2)"
@@ -189,11 +193,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--trace", metavar="FILE",
                          help="enable telemetry: write a JSONL trace to FILE "
                               "and print the run summary at session end")
+    p_sweep.add_argument("--result-store", metavar="PATH",
+                         help="persistent cross-run result store directory: "
+                              "previously evaluated configurations replay as "
+                              "cache answers; fresh tool runs are appended")
 
     p_stats = sub.add_parser(
         "stats", help="summarize a JSONL telemetry trace (from --trace)"
     )
     p_stats.add_argument("trace", help="trace file to summarize")
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or maintain a persistent result store"
+    )
+    p_cache.add_argument("action", choices=("stats", "clear", "export"),
+                         help="stats: shape + hit tallies; clear: drop every "
+                              "record; export: merge to one JSONL file")
+    p_cache.add_argument("--store", required=True, metavar="PATH",
+                         help="result store directory")
+    p_cache.add_argument("--out", metavar="FILE",
+                         help="output file for export "
+                              "(default: <store>/export.jsonl)")
     return parser
 
 
@@ -208,6 +228,7 @@ def _make_session(args: argparse.Namespace, need_space: bool) -> DseSession:
         seed=args.seed,
         refit_every=getattr(args, "refit_every", 1),
         refit_gamma_drift=getattr(args, "refit_gamma_drift", None),
+        result_store=getattr(args, "result_store", None),
     )
     if args.design:
         return DseSession(design=get_design(args.design), **common)
@@ -434,6 +455,28 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(render_trace_summary(read_trace(args.trace)))
         return 0
 
+    if args.command == "cache":
+        from repro.cache import ResultStore
+
+        store = ResultStore(args.store)
+        if args.action == "stats":
+            stats = store.stats()
+            kinds: dict[str, int] = {}
+            for record in store.records():
+                kinds[record.kind] = kinds.get(record.kind, 0) + 1
+            rows = [(k, v) for k, v in sorted(stats.as_dict().items())]
+            rows += [(f"kind:{k}", v) for k, v in sorted(kinds.items())]
+            print(render_table(("Field", "Value"), rows,
+                               title=f"Result store: {store.root}"))
+        elif args.action == "clear":
+            dropped = store.clear()
+            print(f"cleared: {dropped} unique key(s) dropped")
+        else:  # export
+            out = args.out or str(Path(args.store) / "export.jsonl")
+            path = store.export(out)
+            print(f"exported: {path} ({len(store)} unique key(s))")
+        return 0
+
     if args.command == "sweep":
         from repro.core.sweep import grid as make_grid, run_sweep
 
@@ -451,7 +494,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         try:
             result = run_sweep(
                 session.evaluator, points, workers=args.workers,
-                design_name=args.design,
+                design_name=args.design, result_store=args.result_store,
             )
         finally:
             if tel is not None:

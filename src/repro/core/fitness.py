@@ -15,9 +15,22 @@ the approximator model to employ direct Vivado evaluations").
 
 from __future__ import annotations
 
+import dataclasses
+from pathlib import Path
+
 import numpy as np
 
 from repro.analysis.gate import PreflightGate
+from repro.cache import (
+    KIND_FAILURE,
+    KIND_POINT,
+    ResultStore,
+    decode_point,
+    encode_failure,
+    encode_point,
+    point_key,
+    run_identity,
+)
 from repro.core.evaluate import PointEvaluator
 from repro.core.point import EvaluatedPoint
 from repro.core.spaces import ParameterSpace
@@ -28,7 +41,7 @@ from repro.moo.sampling import IntegerRandomSampling
 from repro.observe import current_telemetry
 from repro.util.rng import as_generator
 
-__all__ = ["ApproximateFitness", "DseProblem"]
+__all__ = ["ApproximateFitness", "DseProblem", "PendingEncodedBatch"]
 
 # Cost model for non-tool answers (simulated seconds).
 _ESTIMATE_COST_S = 0.2
@@ -49,6 +62,7 @@ class ApproximateFitness:
         workers: int = 0,
         design_name: str | None = None,
         refit_policy: RefitPolicy | None = None,
+        result_store: ResultStore | str | Path | None = None,
     ) -> None:
         self.evaluator = evaluator
         self.space = space
@@ -57,6 +71,10 @@ class ApproximateFitness:
         self.seed = seed
         self.workers = workers
         self.design_name = design_name
+        if isinstance(result_store, (str, Path)):
+            result_store = ResultStore(result_store)
+        self.result_store = result_store
+        self._store_identity_cache: dict | None = None
         self.min_points_to_estimate = min_points_to_estimate
         self.refit_policy = refit_policy or RefitPolicy()
         self.control = ControlModel(
@@ -113,8 +131,76 @@ class ApproximateFitness:
                     self.evaluator, design_name=self.design_name
                 ),
                 workers=self.workers,
+                store=self.result_store,
             )
         return self._parallel
+
+    # ------------------------------------------------------------------
+    # Persistent result store (serial path; the batch path goes through
+    # ParallelPointEvaluator, which owns the same consult/append logic)
+
+    def _store_identity(self) -> dict | None:
+        """Store namespace of the serial evaluator (None = store off).
+
+        Must be byte-identical to the identity
+        :class:`~repro.core.parallel.ParallelPointEvaluator` derives from
+        its spec, so serial and fanned-out runs share store entries.
+        Incremental flows are order-dependent and never use the store.
+        """
+        if self.result_store is None or getattr(self.evaluator, "incremental", False):
+            return None
+        if self._store_identity_cache is None:
+            ev = self.evaluator
+            self._store_identity_cache = run_identity(
+                source=ev.source_text,
+                language=str(ev.language),
+                top=ev.module.name,
+                part=ev.part,
+                step=str(ev.step),
+                synth_directive=str(ev.directives.synth),
+                impl_directive=str(ev.directives.impl),
+                target_period_ns=ev.target_period_ns,
+                seed=ev.seed,
+                metrics=tuple(
+                    (s.canonical_name(), str(s.sense)) for s in ev.metrics
+                ),
+                boxed=ev.boxed,
+            )
+        return self._store_identity_cache
+
+    def _store_lookup(
+        self, params: dict[str, int]
+    ) -> tuple[str | None, "object | None"]:
+        """(point key, stored record) — either may be None."""
+        identity = self._store_identity()
+        if identity is None:
+            return None, None
+        key = point_key(identity, params)
+        return key, self.result_store.get(key)
+
+    def _store_append(
+        self,
+        key: str | None,
+        point: EvaluatedPoint | None = None,
+        error_type: str | None = None,
+        message: str = "",
+        charge_s: float = 0.0,
+    ) -> None:
+        if key is None or self.result_store is None:
+            return
+        stored = False
+        if point is not None:
+            stored = self.result_store.put(key, KIND_POINT, encode_point(point))
+        elif error_type is not None and error_type != "DrcViolationError":
+            # DRC rejections are recomputed locally at zero cost and are
+            # rule-dependent, not flow-dependent — never persisted.
+            stored = self.result_store.put(
+                key, KIND_FAILURE, encode_failure(error_type, message, charge_s)
+            )
+        if stored:
+            tel = current_telemetry()
+            if tel is not None:
+                tel.counters.inc("cache.store_put")
 
     # ------------------------------------------------------------------
 
@@ -239,17 +325,78 @@ class ApproximateFitness:
         # own gate knows the module but not the declared space) is touched.
         if not self.gate.is_feasible(params):
             return self._note_failure(params, "DrcViolationError", record_ledger=True)
+        # Persistent-store consult: a prior process already ran this exact
+        # configuration — adopt it as a cache-priced answer.
+        key, stored = self._store_lookup(params)
+        if stored is not None:
+            return self._adopt_stored(encoded, params, stored, record)
         try:
             point = self.evaluator.evaluate(params)
         except ReproError as exc:
             # The evaluator already wrote this point's ledger record; pass
             # along the partial tool cost the failed run charged.
-            return self._note_failure(
-                params,
-                type(exc).__name__,
-                charge_s=self.evaluator.last_failure_seconds,
+            charge = self.evaluator.last_failure_seconds
+            self._store_append(
+                key,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                charge_s=charge,
+            )
+            return self._note_failure(params, type(exc).__name__, charge_s=charge)
+        self._store_append(key, point=point)
+        return self._note_point(encoded, point, record)
+
+    def _adopt_stored(
+        self, encoded: np.ndarray, params: dict[str, int], record_obj, record: bool
+    ) -> np.ndarray:
+        """Account a persistent-store hit on the serial path."""
+        tel = current_telemetry()
+        if tel is not None:
+            tel.counters.inc("cache.store_hit")
+        if record_obj.kind == KIND_FAILURE:
+            payload = record_obj.payload
+            error_type = str(payload.get("original_type", "ReproError"))
+            if tel is not None:
+                tel.ledger.append(
+                    params=params,
+                    outcome="failed",
+                    charge=0.0,
+                    error_type=error_type,
+                    origin="store",
+                )
+            return self._note_failure(params, error_type, charge_s=0.0)
+        point = dataclasses.replace(
+            decode_point(record_obj.payload),
+            parameters=dict(params),
+            source="cache",
+            simulated_seconds=0.0,
+        )
+        if tel is not None:
+            tel.ledger.append(
+                params=params,
+                outcome="cache",
+                metrics=point.metrics,
+                charge=0.0,
+                origin="store",
             )
         return self._note_point(encoded, point, record)
+
+    # ------------------------------------------------------------------
+    # Batch fan-out (shared by the blocking and async interfaces)
+
+    def submit_encoded(self, X: np.ndarray, record: bool = False) -> "PendingEncodedBatch":
+        """Submit encoded rows to the fan-out without waiting.
+
+        Returns a :class:`PendingEncodedBatch`; call ``collect()`` to
+        account the results.  Batches must be collected in submission
+        order — history, cost accounting, and dataset insertion follow
+        collection order, and the serial reference defines it as the
+        submission order.
+        """
+        rows = [np.asarray(row) for row in np.atleast_2d(X)]
+        params_list = [self.space.decode(row) for row in rows]
+        batch = self._parallel_evaluator().submit_many(params_list)
+        return PendingEncodedBatch(self, rows, params_list, batch, record)
 
     def _run_tool_batch(self, X: np.ndarray, record: bool) -> np.ndarray:
         """Fan encoded rows over the persistent pool; replay in order.
@@ -259,24 +406,7 @@ class ApproximateFitness:
         row order, so history, cost accounting, and dataset insertion
         order are identical to the serial loop.
         """
-        from repro.core.parallel import EvaluationFailure
-
-        rows = [np.asarray(row) for row in np.atleast_2d(X)]
-        params_list = [self.space.decode(row) for row in rows]
-        outs = self._parallel_evaluator().evaluate_many(
-            params_list, on_error="return"
-        )
-        result = np.empty((len(rows), len(self.evaluator.metric_names())))
-        for i, (row, params, res) in enumerate(zip(rows, params_list, outs)):
-            if isinstance(res, EvaluationFailure):
-                # The parallel evaluator (worker or memo) already wrote the
-                # ledger record and ships the failed run's partial cost.
-                result[i] = self._note_failure(
-                    params, res.original_type, charge_s=res.simulated_seconds
-                )
-            else:
-                result[i] = self._note_point(row, res, record)
-        return result
+        return self.submit_encoded(X, record=record).collect()
 
     def evaluate_encoded(self, X: np.ndarray) -> np.ndarray:
         """Evaluate encoded rows → raw metric matrix (NSGA-II's fitness).
@@ -362,6 +492,58 @@ class ApproximateFitness:
         if self.use_model:
             base.update(self.control.stats())
         return base
+
+
+class PendingEncodedBatch:
+    """Encoded rows submitted to the fan-out, awaiting accounting.
+
+    Produced by :meth:`ApproximateFitness.submit_encoded`.  The underlying
+    points may resolve in any order across the pool; ``collect()`` blocks
+    until all are done and then accounts them in the original row order,
+    so the history/cost/dataset trajectory is identical to the serial
+    loop.  Collect batches in the order they were submitted.
+    """
+
+    def __init__(
+        self,
+        fitness: ApproximateFitness,
+        rows: list[np.ndarray],
+        params_list: list[dict[str, int]],
+        batch,
+        record: bool,
+    ) -> None:
+        self._fitness = fitness
+        self._rows = rows
+        self._params_list = params_list
+        self._batch = batch
+        self._record = record
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def done(self) -> bool:
+        """True when no point of this batch is still running."""
+        return self._batch.done()
+
+    def collect(self) -> np.ndarray:
+        """Block until resolved; account and return the metric matrix."""
+        from repro.core.parallel import EvaluationFailure
+
+        fitness = self._fitness
+        outs = self._batch.results(on_error="return")
+        result = np.empty((len(self._rows), len(fitness.evaluator.metric_names())))
+        for i, (row, params, res) in enumerate(
+            zip(self._rows, self._params_list, outs)
+        ):
+            if isinstance(res, EvaluationFailure):
+                # The parallel evaluator (worker, store, or memo) already
+                # wrote the ledger record and ships the failed run's cost.
+                result[i] = fitness._note_failure(
+                    params, res.original_type, charge_s=res.simulated_seconds
+                )
+            else:
+                result[i] = fitness._note_point(row, res, self._record)
+        return result
 
 
 class _BoundsOnly(IntegerProblem):

@@ -20,7 +20,26 @@ A cross-batch memo table guarantees a configuration is never dispatched
 twice: repeats — within one batch or in a later generation — replay the
 memoized metrics as cache-priced answers (``source="cache"``, zero
 simulated seconds), exactly what the serial reference produces when the
-shared tool session answers a repeated run from its result cache.
+shared tool session answers a repeated run from its result cache.  An
+*in-flight* table extends the same guarantee across overlapping batches:
+a configuration submitted by one batch and re-requested by another before
+it completes is never dispatched a second time — the later batch waits on
+the same future.
+
+Batches are scheduled out of order: :meth:`ParallelPointEvaluator.submit_many`
+returns a :class:`PendingBatch` immediately, so callers can pipeline
+several batches into the pool and let workers drain them without
+per-batch barriers.  Completion order only affects commutative telemetry
+(spans, counters); per-point ledger records are buffered and committed in
+submission order by the batch that dispatched them, and
+:meth:`PendingBatch.results` returns points in request order — the
+schedule is invisible in every output.
+
+When a persistent :class:`~repro.cache.ResultStore` is attached, the
+parent consults it before dispatching a fresh configuration (a hit is
+adopted as a cache-priced answer, ledger ``origin="store"``) and appends
+every tool-produced result/failure after completion, so later *processes*
+— not just later batches — replay instead of re-running the tool.
 
 Workers are initialized once with a picklable :class:`EvaluatorSpec` and
 rebuild their own evaluator; built-in case-study designs are re-registered
@@ -33,11 +52,22 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.analysis.gate import PreflightGate
+from repro.cache import (
+    KIND_FAILURE,
+    KIND_POINT,
+    ResultStore,
+    decode_point,
+    encode_failure,
+    encode_point,
+    point_key,
+    run_identity,
+)
 from repro.core.evaluate import PointEvaluator
 from repro.core.metrics import MetricSpec
 from repro.core.point import EvaluatedPoint
@@ -51,6 +81,7 @@ __all__ = [
     "EvaluatorSpec",
     "EvaluationFailure",
     "ParallelPointEvaluator",
+    "PendingBatch",
     "RemoteEvaluationError",
 ]
 
@@ -101,6 +132,12 @@ class EvaluatorSpec:
     seed: int = 0
     design_name: str | None = None  # built-in design to re-register in workers
     incremental: bool = False
+    #: Real wall-clock seconds slept per *simulated* tool second in pool
+    #: workers, emulating the latency of a real tool invocation (cache and
+    #: memo answers stay instant, as they are in the real flow).  0 (the
+    #: default) disables it.  Scheduling benchmarks use this to measure
+    #: schedule quality where tool runs wait on an external process.
+    emulate_tool_latency: float = 0.0
 
     @classmethod
     def from_evaluator(
@@ -149,16 +186,18 @@ class EvaluatorSpec:
 # Per-worker evaluator (module globals: one build per worker process).
 _WORKER: PointEvaluator | None = None
 _INIT_CALLS = 0
+_WORKER_LATENCY = 0.0
 
 
 def _init_worker(spec: EvaluatorSpec, telemetry_enabled: bool = False) -> None:
-    global _WORKER, _INIT_CALLS
+    global _WORKER, _INIT_CALLS, _WORKER_LATENCY
     _INIT_CALLS += 1
     if telemetry_enabled:
         # The worker keeps a local bundle; every task drains it into the
         # result tuple so the parent can merge spans/records/counters.
         enable_telemetry()
     _WORKER = spec.build()
+    _WORKER_LATENCY = max(0.0, float(spec.emulate_tool_latency))
 
 
 def _evaluate_one(params: dict[str, int]) -> EvaluatedPoint:
@@ -178,6 +217,12 @@ def _evaluate_one_safe(
             str(exc),
             simulated_seconds=_WORKER.last_failure_seconds,
         )
+    if _WORKER_LATENCY > 0.0 and result.simulated_seconds > 0.0:
+        # Emulated tool latency: a fresh run waits like a real tool
+        # invocation would; cache answers (0 simulated seconds) stay
+        # instant.  The sleep blocks only this worker process, so the
+        # schedule — not the host's core count — sets the wall clock.
+        time.sleep(result.simulated_seconds * _WORKER_LATENCY)
     tel = current_telemetry()
     delta = tel.drain_delta() if tel is not None else None
     return result, delta
@@ -198,6 +243,79 @@ def _as_cache_hit(point: EvaluatedPoint) -> EvaluatedPoint:
 
 
 @dataclass
+class PendingBatch:
+    """A batch accepted by :meth:`ParallelPointEvaluator.submit_many`.
+
+    Holds the request order of its points plus the set of configurations
+    this batch *owns* (it caused their dispatch).  :meth:`results` blocks
+    until every point is resolved, commits the owned ledger records in
+    submission order, and returns results in request order.  A batch must
+    be collected exactly once; dropping one on the floor leaves its owned
+    ledger records buffered on the evaluator.
+    """
+
+    _evaluator: "ParallelPointEvaluator"
+    _points: list[dict[str, int]]
+    _keys: list[tuple]
+    _first_occurrence: dict[tuple, int]
+    _owned_keys: list[tuple]
+    _collected: bool = field(default=False, init=False)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def done(self) -> bool:
+        """True when no point of this batch is still running in a worker."""
+        inflight = self._evaluator._inflight
+        return all(
+            key not in inflight or inflight[key].done() for key in self._keys
+        )
+
+    def results(
+        self, on_error: str = "raise"
+    ) -> list[EvaluatedPoint | EvaluationFailure]:
+        """Block until the batch is resolved; return results in request order.
+
+        ``on_error="raise"`` re-raises the first failed point's error (as
+        a :class:`RemoteEvaluationError`); ``on_error="return"`` yields an
+        :class:`EvaluationFailure` in that point's slot instead.
+        """
+        if on_error not in ("raise", "return"):
+            raise ValueError(f"on_error must be 'raise' or 'return', got {on_error!r}")
+        if self._collected:
+            raise RuntimeError("PendingBatch.results() may only be consumed once")
+        ev = self._evaluator
+        tel = current_telemetry()
+        ev._settle(self._keys)
+        # Commit the worker ledger records this batch dispatched in
+        # submission order — completion order stays invisible in the trace.
+        for key in self._owned_keys:
+            records = ev._owned_records.pop(key, None)
+            if records and tel is not None:
+                tel.ledger.extend_from(records, origin="worker")
+        self._collected = True
+
+        results: list[EvaluatedPoint | EvaluationFailure] = []
+        for i, key in enumerate(self._keys):
+            stored = ev.memo[key]
+            replay = self._first_occurrence.get(key) != i
+            if replay:
+                ev.memo_hits += 1
+                if tel is not None:
+                    ev._record_replay(tel, self._points[i], stored)
+            if isinstance(stored, EvaluationFailure):
+                if replay:
+                    # A replayed failure spends no new tool time.
+                    stored = dataclasses.replace(stored, simulated_seconds=0.0)
+                if on_error == "raise":
+                    raise stored.to_error()
+                results.append(stored)
+            else:
+                results.append(_as_cache_hit(stored) if replay else stored)
+        return results
+
+
+@dataclass
 class ParallelPointEvaluator:
     """Fan batches of configurations over a persistent process pool.
 
@@ -208,13 +326,17 @@ class ParallelPointEvaluator:
 
     ``memo`` is the cross-batch memo table keyed on the frozen parameter
     binding: first occurrences are dispatched, repeats replay the stored
-    result as a cache-priced answer.  ``dispatched``/``memo_hits`` count
-    the split for perf reporting.
+    result as a cache-priced answer.  ``store`` optionally plugs in the
+    persistent cross-process result store, consulted before dispatch and
+    appended after every tool run (disabled for incremental specs, whose
+    results are order-dependent).  ``dispatched``/``memo_hits``/
+    ``store_hits`` count the split for perf reporting.
     """
 
     spec: EvaluatorSpec
     workers: int = 0
     start_method: str | None = None
+    store: ResultStore | None = None
     _serial: PointEvaluator | None = field(default=None, init=False, repr=False)
     _pool: ProcessPoolExecutor | None = field(default=None, init=False, repr=False)
     memo: dict[tuple, EvaluatedPoint | EvaluationFailure] = field(
@@ -223,7 +345,19 @@ class ParallelPointEvaluator:
     dispatched: int = field(default=0, init=False)
     memo_hits: int = field(default=0, init=False)
     drc_rejections: int = field(default=0, init=False)
+    store_hits: int = field(default=0, init=False)
+    store_puts: int = field(default=0, init=False)
     _gate: PreflightGate | None = field(default=None, init=False, repr=False)
+    _identity: dict | None = field(default=None, init=False, repr=False)
+    _inflight: dict[tuple, Future] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    _inflight_params: dict[tuple, dict[str, int]] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    _owned_records: dict[tuple, list] = field(
+        default_factory=dict, init=False, repr=False
+    )
 
     # -- lifecycle ------------------------------------------------------
 
@@ -285,38 +419,138 @@ class ParallelPointEvaluator:
             self._gate = PreflightGate(matches[0], boxed=self.spec.boxed)
         return self._gate
 
-    def evaluate_many(
-        self,
-        points: Sequence[Mapping[str, int]],
-        on_error: str = "raise",
-    ) -> list[EvaluatedPoint | EvaluationFailure]:
-        """Evaluate a batch, reusing the pool and the cross-batch memo.
+    # -- result store ---------------------------------------------------
 
-        ``on_error="raise"`` re-raises the first worker-side
-        :class:`ReproError` (as a :class:`RemoteEvaluationError`);
-        ``on_error="return"`` yields an :class:`EvaluationFailure` in that
-        point's slot instead, so callers can apply their own penalty
-        policy without losing the rest of the batch.
+    @staticmethod
+    def _count(name: str) -> None:
+        tel = current_telemetry()
+        if tel is not None:
+            tel.counters.inc(name)
+
+    def _store_identity(self) -> dict | None:
+        """The store namespace of this evaluator (None = store disabled).
+
+        Incremental flows warm-start from whatever ran earlier in the same
+        session, so their results are order-dependent and must never be
+        replayed across processes.
         """
-        if on_error not in ("raise", "return"):
-            raise ValueError(f"on_error must be 'raise' or 'return', got {on_error!r}")
+        if self.store is None or self.spec.incremental:
+            return None
+        if self._identity is None:
+            self._identity = run_identity(
+                source=self.spec.source,
+                language=self.spec.language,
+                top=self.spec.top,
+                part=self.spec.part,
+                step=self.spec.step,
+                synth_directive=self.spec.synth_directive,
+                impl_directive=self.spec.impl_directive,
+                target_period_ns=self.spec.target_period_ns,
+                seed=self.spec.seed,
+                metrics=self.spec.metrics,
+                boxed=self.spec.boxed,
+            )
+        return self._identity
 
-        keys = [_freeze(p) for p in points]
+    def _adopt_stored(self, key: tuple, params: dict[str, int], record) -> None:
+        """Fold a store hit into the memo as a cache-priced answer."""
+        self.store_hits += 1
+        self._count("cache.store_hit")
+        tel = current_telemetry()
+        if record.kind == KIND_FAILURE:
+            payload = record.payload
+            failure = EvaluationFailure(
+                str(payload.get("original_type", "ReproError")),
+                str(payload.get("message", "")),
+                simulated_seconds=0.0,
+            )
+            self.memo[key] = failure
+            if tel is not None:
+                tel.ledger.append(
+                    params=params,
+                    outcome="failed",
+                    charge=0.0,
+                    error_type=failure.original_type,
+                    origin="store",
+                )
+        else:
+            point = dataclasses.replace(
+                decode_point(record.payload),
+                parameters=dict(params),
+                source="cache",
+                simulated_seconds=0.0,
+            )
+            self.memo[key] = point
+            if tel is not None:
+                tel.ledger.append(
+                    params=params,
+                    outcome="cache",
+                    metrics=point.metrics,
+                    charge=0.0,
+                    origin="store",
+                )
+
+    def _store_put(
+        self, params: dict[str, int], result: EvaluatedPoint | EvaluationFailure
+    ) -> None:
+        """Append one tool-produced result to the persistent store."""
+        identity = self._store_identity()
+        if identity is None:
+            return
+        if isinstance(result, EvaluationFailure):
+            # DRC rejections are recomputed locally at zero cost and depend
+            # on rule configuration, not the flow — never persisted.
+            if result.original_type == "DrcViolationError":
+                return
+            stored = self.store.put(
+                point_key(identity, params),
+                KIND_FAILURE,
+                encode_failure(
+                    result.original_type, result.message, result.simulated_seconds
+                ),
+            )
+        else:
+            stored = self.store.put(
+                point_key(identity, params), KIND_POINT, encode_point(result)
+            )
+        if stored:
+            self.store_puts += 1
+            self._count("cache.store_put")
+
+    # -- scheduling -----------------------------------------------------
+
+    def submit_many(self, points: Sequence[Mapping[str, int]]) -> PendingBatch:
+        """Accept a batch for evaluation; returns without waiting.
+
+        Fresh configurations are DRC-gated and store-consulted in the
+        parent, then dispatched to the pool (or evaluated inline when
+        ``workers <= 1``).  Configurations already memoized — or already
+        in flight from an earlier batch — are never re-dispatched.
+        Collect with :meth:`PendingBatch.results`.
+        """
+        tel = current_telemetry()
+        pts = [{k: int(v) for k, v in p.items()} for p in points]
+        keys = [_freeze(p) for p in pts]
         fresh: dict[tuple, dict[str, int]] = {}
         first_occurrence: dict[tuple, int] = {}
-        for i, (key, p) in enumerate(zip(keys, points)):
-            if key not in self.memo and key not in fresh:
-                fresh[key] = {k: int(v) for k, v in p.items()}
+        for i, (key, p) in enumerate(zip(keys, pts)):
+            if (
+                key not in self.memo
+                and key not in self._inflight
+                and key not in fresh
+            ):
+                fresh[key] = p
                 first_occurrence[key] = i
 
-        # DRC pre-flight: reject infeasible fresh points in the parent
-        # process, before any worker dispatch.  The verdict is memoized so
-        # repeats replay without re-checking, like any other failure.
-        tel = current_telemetry()
         if fresh:
+            # DRC pre-flight: reject infeasible fresh points in the parent
+            # process, before any worker dispatch.  The verdict is memoized
+            # so repeats replay without re-checking, like any other failure.
             gate = self.gate()
+            identity = self._store_identity()
             for key in list(fresh):
-                violation = gate.violation(fresh[key])
+                params = fresh[key]
+                violation = gate.violation(params)
                 if violation is not None:
                     self.memo[key] = EvaluationFailure(
                         type(violation).__name__, str(violation)
@@ -326,14 +560,23 @@ class ParallelPointEvaluator:
                     # layer owns their ledger record.
                     if tel is not None:
                         tel.ledger.append(
-                            params=fresh[key],
+                            params=params,
                             outcome="drc",
                             charge=0.0,
                             error_type=type(violation).__name__,
                             origin="pool",
                         )
                     del fresh[key]
+                    continue
+                # Persistent-store consult: a hit replays a prior process's
+                # tool run as a cache answer, before any dispatch.
+                if identity is not None:
+                    record = self.store.get(point_key(identity, params))
+                    if record is not None:
+                        self._adopt_stored(key, params, record)
+                        del fresh[key]
 
+        owned = list(fresh)
         if fresh:
             self.dispatched += len(fresh)
             if self.workers <= 1:
@@ -343,40 +586,73 @@ class ParallelPointEvaluator:
                     try:
                         # The in-process evaluator records its own ledger
                         # entries (it sees the parent's telemetry bundle).
-                        self.memo[key] = self._serial.evaluate(params)
+                        result: EvaluatedPoint | EvaluationFailure = (
+                            self._serial.evaluate(params)
+                        )
                     except ReproError as exc:
-                        self.memo[key] = EvaluationFailure(
+                        result = EvaluationFailure(
                             type(exc).__name__,
                             str(exc),
                             simulated_seconds=self._serial.last_failure_seconds,
                         )
+                    self.memo[key] = result
+                    self._store_put(params, result)
             else:
-                # map() yields in submission order, so merging deltas as
-                # they stream in gives a deterministic merged record order.
-                outs = self._ensure_pool().map(_evaluate_one_safe, fresh.values())
-                for key, (res, delta) in zip(fresh.keys(), outs):
-                    self.memo[key] = res
-                    if delta is not None and tel is not None:
-                        tel.merge_delta(delta, origin="worker")
+                pool = self._ensure_pool()
+                for key, params in fresh.items():
+                    self._inflight[key] = pool.submit(_evaluate_one_safe, params)
+                    self._inflight_params[key] = params
+        return PendingBatch(self, pts, keys, first_occurrence, owned)
 
-        results: list[EvaluatedPoint | EvaluationFailure] = []
-        for i, key in enumerate(keys):
-            stored = self.memo[key]
-            replay = first_occurrence.get(key) != i
-            if replay:
-                self.memo_hits += 1
+    def _settle(self, keys: Sequence[tuple]) -> None:
+        """Wait for any of *keys* still in flight, absorbing completions.
+
+        Futures are absorbed in completion order — spans and counters
+        merge immediately (they are commutative accumulations), while
+        ledger records are buffered per key for the owning batch to
+        commit in submission order.
+        """
+        waiting: dict[Future, tuple] = {}
+        for key in keys:
+            fut = self._inflight.get(key)
+            if fut is not None:
+                waiting.setdefault(fut, key)
+        tel = current_telemetry()
+        for fut in as_completed(waiting):
+            key = waiting[fut]
+            if self._inflight.get(key) is not fut:
+                continue  # another batch's settle absorbed it first
+            result, delta = fut.result()
+            del self._inflight[key]
+            params = self._inflight_params.pop(key)
+            self.memo[key] = result
+            if delta is not None:
+                records = delta.pop("records", ())
+                if records:
+                    self._owned_records[key] = list(records)
                 if tel is not None:
-                    self._record_replay(tel, points[i], stored)
-            if isinstance(stored, EvaluationFailure):
-                if replay:
-                    # A replayed failure spends no new tool time.
-                    stored = dataclasses.replace(stored, simulated_seconds=0.0)
-                if on_error == "raise":
-                    raise stored.to_error()
-                results.append(stored)
-            else:
-                results.append(_as_cache_hit(stored) if replay else stored)
-        return results
+                    tel.merge_delta(delta, origin="worker")
+            self._store_put(params, result)
+
+    def evaluate_many(
+        self,
+        points: Sequence[Mapping[str, int]],
+        on_error: str = "raise",
+    ) -> list[EvaluatedPoint | EvaluationFailure]:
+        """Evaluate a batch, reusing the pool and the cross-batch memo.
+
+        Equivalent to ``submit_many(points).results(on_error)`` — one
+        batch submitted and collected with nothing overlapping it.
+
+        ``on_error="raise"`` re-raises the first worker-side
+        :class:`ReproError` (as a :class:`RemoteEvaluationError`);
+        ``on_error="return"`` yields an :class:`EvaluationFailure` in that
+        point's slot instead, so callers can apply their own penalty
+        policy without losing the rest of the batch.
+        """
+        if on_error not in ("raise", "return"):
+            raise ValueError(f"on_error must be 'raise' or 'return', got {on_error!r}")
+        return self.submit_many(points).results(on_error)
 
     @staticmethod
     def _record_replay(
@@ -406,7 +682,8 @@ class ParallelPointEvaluator:
     def worker_probes(self, samples: int | None = None) -> list[tuple[int, int]]:
         """(pid, initializer-call count) reported by pool workers.
 
-        Dispatches ``samples`` probe tasks (default ``4 × workers``); task
+        Dispatches ``samples`` probe tasks (default ``4 × workers``, with
+        a floor of 4 so even one-worker pools get several probes); task
         placement is up to the pool, so probes may not cover every worker,
         but any worker that answers reports how often it was initialized.
         Returns an empty list when no pool has been started.

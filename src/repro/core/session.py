@@ -96,6 +96,7 @@ class DseSession:
         workers: int = 0,
         refit_every: int = 1,
         refit_gamma_drift: float | None = None,
+        result_store=None,
     ) -> None:
         design_name = None
         if design is not None:
@@ -136,6 +137,7 @@ class DseSession:
             refit_policy=RefitPolicy(
                 every=refit_every, gamma_drift=refit_gamma_drift
             ),
+            result_store=result_store,
         )
         self._pretrained = False
         self.last_algorithm_choice = None  # set by explore(algorithm="auto")
@@ -177,6 +179,7 @@ class DseSession:
                 workers=old.workers,
                 design_name=old.design_name,
                 refit_policy=old.refit_policy,
+                result_store=old.result_store,
             )
             self._pretrained = False
         return report
@@ -200,6 +203,20 @@ class DseSession:
     ) -> list[EvaluatedPoint]:
         """Design automation mode: exact evaluation of given configurations."""
         return [self.evaluator.evaluate(p) for p in points]
+
+    def submit_points(self, points: Sequence[Mapping[str, int]]):
+        """Design automation mode, asynchronously.
+
+        Submits the configurations to the batch evaluator (worker pool,
+        memo, in-flight dedup, and — when the session was built with
+        ``result_store`` — the persistent store) and returns a
+        :class:`repro.core.parallel.PendingBatch` immediately.  Several
+        batches may be in flight at once; collect each with
+        ``.results()``, in submission order, to get points in request
+        order.  Results are bitwise identical to
+        :meth:`evaluate_points`'s metrics for fresh configurations.
+        """
+        return self.fitness._parallel_evaluator().submit_many(list(points))
 
     def explore(
         self,

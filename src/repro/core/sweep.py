@@ -113,18 +113,29 @@ def run_sweep(
     points: Sequence[Mapping[str, int]],
     workers: int = 0,
     design_name: str | None = None,
+    result_store=None,
 ) -> SweepResult:
     """Evaluate every configuration in ``points``.
 
     ``workers > 1`` fans the batch over a process pool (see
     :mod:`repro.core.parallel`); ``design_name`` names a built-in design so
-    workers can re-register its architectural model.
+    workers can re-register its architectural model.  ``result_store``
+    (a :class:`repro.cache.ResultStore` or a path) plugs in the persistent
+    cross-run store: previously evaluated configurations — by any process
+    — replay as cache answers, and fresh results are appended for the
+    next run.
     """
-    if workers > 1:
+    if result_store is not None and not hasattr(result_store, "get"):
+        from repro.cache import ResultStore
+
+        result_store = ResultStore(result_store)
+    if workers > 1 or result_store is not None:
         from repro.core.parallel import EvaluatorSpec, ParallelPointEvaluator
 
         spec = EvaluatorSpec.from_evaluator(evaluator, design_name=design_name)
-        with ParallelPointEvaluator(spec=spec, workers=workers) as pool:
+        with ParallelPointEvaluator(
+            spec=spec, workers=workers, store=result_store
+        ) as pool:
             outs = pool.evaluate_many(list(points))
     else:
         outs = evaluator.evaluate_many(list(points))

@@ -29,13 +29,14 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.cache.lru import LruCache
 from repro.devices import Device, ResourceKind, ResourceVector, UtilizationReport, get_device
 from repro.errors import FlowError
 from repro.directives import DirectiveSet, ImplDirective, SynthDirective
 from repro.flow.reports import render_timing_report, render_utilization_report
 from repro.hdl.ast import HdlLanguage, Module
 from repro.hdl.frontend import SourceCollection, parse_source
-from repro.observe import span as observe_span
+from repro.observe import current_telemetry, span as observe_span
 from repro.pnr.checkpoints import CheckpointStore
 from repro.pnr.implementation import implement
 from repro.pnr.timing import block_internal_delay_ns
@@ -45,6 +46,12 @@ from repro.util.timing import Stopwatch
 from repro.util.units import fmax_from_wns
 
 __all__ = ["FlowStep", "RunResult", "VivadoSim"]
+
+#: Default bound of each in-memory cache (run/synthesis/implementation).
+#: Generous — a DSE session rarely revisits more distinct configurations —
+#: but finite: the persistent result store (``repro.cache``) is the durable
+#: layer, so the in-memory side only needs the hot working set.
+DEFAULT_CACHE_CAPACITY = 1024
 
 
 class FlowStep(str, enum.Enum):
@@ -89,6 +96,25 @@ _NOISE_LUT = 0.010
 _NOISE_FF = 0.008
 
 
+@dataclass(frozen=True)
+class _ImplStageEntry:
+    """What the implementation stage contributes to a run.
+
+    Deliberately excludes the target period: placement, routing and the
+    pre-noise critical delay of the simulated flow are functions of the
+    mapped netlist, the implementation directive and the seed alone — the
+    period only enters the WNS subtraction, which :meth:`VivadoSim.run`
+    recomputes per call.  Caching at this granularity lets points that
+    differ only in clock constraint reuse the implemented design.
+    """
+
+    critical_delay_ns: float
+    critical_path: tuple[str, ...]
+    arcs_analyzed: int
+    simulated_seconds: float
+    used_checkpoint: bool
+
+
 class VivadoSim:
     """A simulated Vivado session (one project)."""
 
@@ -99,6 +125,7 @@ class VivadoSim:
         incremental_synth: bool = False,
         incremental_impl: bool = False,
         noise: bool = True,
+        cache_capacity: int | None = DEFAULT_CACHE_CAPACITY,
     ) -> None:
         self.device: Device = get_device(part)
         self.seed = seed
@@ -112,10 +139,23 @@ class VivadoSim:
         self.simulated_seconds = 0.0
         self.last_run_seconds = 0.0
         self.last_run_cached = False
+        self.last_run_stages: tuple[str, ...] = ()
         self.runs = 0
         self.failed_runs = 0
+        self.run_cache_hits = 0
+        self.synth_stage_hits = 0
+        self.impl_stage_hits = 0
+        self.cache_capacity = cache_capacity
         self._last_synth_netlist = None
-        self._cache: dict[int, RunResult] = {}
+        self._cache: LruCache = LruCache(cache_capacity)
+        self._synth_cache: LruCache = LruCache(cache_capacity)
+        self._impl_cache: LruCache = LruCache(cache_capacity)
+
+    @staticmethod
+    def _count(name: str) -> None:
+        tel = current_telemetry()
+        if tel is not None:
+            tel.counters.inc(name)
 
     # ------------------------------------------------------------------
     # project commands (TCL surface)
@@ -171,13 +211,26 @@ class VivadoSim:
     ) -> RunResult:
         """Evaluate one design point end to end.
 
-        Results are cached on (top, part, parameters, step, directives,
-        period): repeating a call returns the archived result at zero
-        simulated cost — the "Vivado employs cached results" case of the
-        paper's control model.  Cache answers are flagged explicitly:
-        the returned :class:`RunResult` has ``from_cache=True`` and
-        ``last_run_cached`` is set, so callers never have to infer cache
-        hits from a (possibly stale) ``last_run_seconds``.
+        Caching happens at two granularities:
+
+        - **Run cache** — keyed on (top, part, parameters, step,
+          directives, period): repeating a call returns the archived
+          result at zero simulated cost — the "Vivado employs cached
+          results" case of the paper's control model.  Cache answers are
+          flagged explicitly: the returned :class:`RunResult` has
+          ``from_cache=True`` and ``last_run_cached`` is set, so callers
+          never have to infer cache hits from a (possibly stale)
+          ``last_run_seconds``.
+        - **Stage caches** — the synthesis stage is keyed on (top, part,
+          parameters, synth directive) and the implementation stage on
+          (synthesis key, impl directive), so a point that differs only
+          in implementation directive or target period reuses the
+          synthesized/mapped netlist instead of re-running
+          ``synth_design``.  Simulated seconds charge only the stages
+          actually executed (``last_run_stages`` names them).  Stage
+          entries commit only after the whole flow succeeds, and stage
+          caching is disabled for incremental flows, whose results are
+          order-dependent.
 
         A run that *fails* — e.g. utilization exceeding device capacity —
         still charges the simulated seconds the completed steps cost to
@@ -197,44 +250,78 @@ class VivadoSim:
         if cached is not None:
             self.last_run_seconds = 0.0
             self.last_run_cached = True
+            self.last_run_stages = ()
+            self.run_cache_hits += 1
+            self._count("cache.run_hit")
             return dataclasses.replace(cached, from_cache=True)
         self.last_run_cached = False
 
         module = self.find_top(top)
+        # Incremental flows warm-start from whatever ran before, so their
+        # stage outputs are order-dependent and must not be reused by key.
+        stage_cacheable = not (self.incremental_synth or self.incremental_impl)
         reference = self._last_synth_netlist if self.incremental_synth else None
+        synth_key = (
+            top.lower(), self.device.part, tuple(sorted(params.items())),
+            str(directives.synth),
+        )
+        impl_key = (synth_key, str(directives.impl))
+        impl_entry: _ImplStageEntry | None = None
+        stages: list[str] = []
         seconds = 0.0
         try:
-            with self.stopwatch.measure("synthesis"), \
-                    observe_span("flow.synthesis") as sp:
-                synth = synthesize(
-                    module,
-                    self.device,
-                    overrides=params,
-                    directive=directives.synth,
-                    reference=reference,
-                )
-                seconds = synth.simulated_seconds
-                sp.charge(synth.simulated_seconds)
+            synth = self._synth_cache.get(synth_key) if stage_cacheable else None
+            if synth is not None:
+                self.synth_stage_hits += 1
+                self._count("cache.synth_hit")
+            else:
+                with self.stopwatch.measure("synthesis"), \
+                        observe_span("flow.synthesis") as sp:
+                    synth = synthesize(
+                        module,
+                        self.device,
+                        overrides=params,
+                        directive=directives.synth,
+                        reference=reference,
+                    )
+                    seconds = synth.simulated_seconds
+                    sp.charge(synth.simulated_seconds)
+                stages.append("synthesis")
             noise_key = (top.lower(), self.device.part, sorted(params.items()),
                          directives.as_dict(), str(step))
 
             if step == FlowStep.IMPLEMENTATION:
-                with self.stopwatch.measure("implementation"), \
-                        observe_span("flow.implementation") as sp:
-                    impl = implement(
-                        synth.mapped,
-                        target_period_ns=self.target_period_ns,
-                        directive=directives.impl,
-                        seed=stable_hash_seed((self.seed, *noise_key)),
-                        checkpoints=self.checkpoints if self.incremental_impl else None,
-                        extra_delay_bias=directives.synth.effect().delay_bias,
+                impl_entry = (
+                    self._impl_cache.get(impl_key) if stage_cacheable else None
+                )
+                if impl_entry is not None:
+                    self.impl_stage_hits += 1
+                    self._count("cache.impl_hit")
+                else:
+                    with self.stopwatch.measure("implementation"), \
+                            observe_span("flow.implementation") as sp:
+                        impl = implement(
+                            synth.mapped,
+                            target_period_ns=self.target_period_ns,
+                            directive=directives.impl,
+                            seed=stable_hash_seed((self.seed, *noise_key)),
+                            checkpoints=self.checkpoints if self.incremental_impl else None,
+                            extra_delay_bias=directives.synth.effect().delay_bias,
+                        )
+                        seconds += impl.simulated_seconds
+                        sp.charge(impl.simulated_seconds)
+                    stages.append("implementation")
+                    impl_entry = _ImplStageEntry(
+                        critical_delay_ns=impl.timing.critical_delay_ns,
+                        critical_path=impl.timing.critical_path,
+                        arcs_analyzed=impl.timing.arcs_analyzed,
+                        simulated_seconds=impl.simulated_seconds,
+                        used_checkpoint=impl.used_checkpoint,
                     )
-                    seconds += impl.simulated_seconds
-                    sp.charge(impl.simulated_seconds)
-                critical_delay = impl.timing.critical_delay_ns
-                critical_path = impl.timing.critical_path
-                arcs = impl.timing.arcs_analyzed
-                incremental = impl.used_checkpoint or synth.incremental_reuse > 0
+                critical_delay = impl_entry.critical_delay_ns
+                critical_path = impl_entry.critical_path
+                arcs = impl_entry.arcs_analyzed
+                incremental = impl_entry.used_checkpoint or synth.incremental_reuse > 0
             else:
                 # Synthesis-step timing estimate: internal delays plus one
                 # nominal net hop per combinational crossing — optimistic,
@@ -272,13 +359,20 @@ class VivadoSim:
             # time; charge it so failed points count against the deadline.
             self.simulated_seconds += seconds
             self.last_run_seconds = seconds
+            self.last_run_stages = tuple(stages)
             self.failed_runs += 1
             raise
 
         # Only now — after the whole flow succeeded — commit this netlist
-        # as the incremental-synthesis warm-start reference: a failed point
-        # must not seed later runs with a netlist that never finished.
+        # as the incremental-synthesis warm-start reference, and the stage
+        # outputs to their caches: a failed point must not seed later runs
+        # with artifacts from a flow that never finished (and retrying a
+        # failing point must keep charging what the baseline flow charges).
         self._last_synth_netlist = synth.netlist
+        if stage_cacheable:
+            self._synth_cache.put(synth_key, synth)
+            if impl_entry is not None:
+                self._impl_cache.put(impl_key, impl_entry)
 
         util_text = render_utilization_report(utilization, design=top, part=self.device.part)
         timing_text = render_timing_report(
@@ -303,9 +397,10 @@ class VivadoSim:
             utilization_report_text=util_text,
             timing_report_text=timing_text,
         )
-        self._cache[cache_key] = result
+        self._cache.put(cache_key, result)
         self.simulated_seconds += seconds
         self.last_run_seconds = seconds
+        self.last_run_stages = tuple(stages)
         self.runs += 1
         return result
 
@@ -314,26 +409,43 @@ class VivadoSim:
         device = self.device
         t = device.timing()
         overhead = (t.ff_clk_to_q_ns + t.ff_setup_ns) * device.speed_factor
-        internal = {
-            b.name: block_internal_delay_ns(b, device) for b in netlist.blocks()
-        }
+        # One pass over the netlist collects both per-block facts the arc
+        # walk needs (internal delay, launch registration).
+        internal: dict[str, float] = {}
+        registered: dict[str, bool] = {}
+        for b in netlist.blocks():
+            internal[b.name] = block_internal_delay_ns(b, device)
+            registered[b.name] = b.registered_output
         arcs = netlist.timing_arcs()
         if not arcs:
             raise FlowError("no timing arcs at synthesis estimate")
         hop = t.net_delay_ns * device.speed_factor
-        worst = 0.0
-        worst_path: tuple[str, ...] = arcs[0].blocks
-        blocks = {b.name: b for b in netlist.blocks()}
-        for arc in arcs:
-            launch_registered = (
-                blocks[arc.blocks[0]].registered_output and len(arc.blocks) > 1
-            )
-            delay = overhead + hop * arc.hops()
-            for i, name in enumerate(arc.blocks):
-                if i == 0 and launch_registered:
-                    continue
-                delay += internal[name]
-            if delay > worst:
-                worst, worst_path = delay, arc.blocks
-        worst *= synth.directive.effect().delay_bias
-        return worst, worst_path, len(arcs)
+        lengths = np.fromiter(
+            (len(arc.blocks) for arc in arcs), dtype=np.intp, count=len(arcs)
+        )
+        starts = np.zeros(len(arcs), dtype=np.intp)
+        np.cumsum(lengths[:-1], out=starts[1:])
+        flat = np.fromiter(
+            (internal[name] for arc in arcs for name in arc.blocks),
+            dtype=np.float64,
+            count=int(lengths.sum()),
+        )
+        # A registered launch block contributes clk-to-q (already in the
+        # overhead term), not its internal delay — subtract it back out.
+        launch_skip = np.fromiter(
+            (
+                internal[arc.blocks[0]]
+                if registered[arc.blocks[0]] and len(arc.blocks) > 1
+                else 0.0
+                for arc in arcs
+            ),
+            dtype=np.float64,
+            count=len(arcs),
+        )
+        hops = np.fromiter(
+            (arc.hops() for arc in arcs), dtype=np.float64, count=len(arcs)
+        )
+        delays = overhead + hop * hops + np.add.reduceat(flat, starts) - launch_skip
+        worst_idx = int(np.argmax(delays))
+        worst = float(delays[worst_idx]) * synth.directive.effect().delay_bias
+        return worst, arcs[worst_idx].blocks, len(arcs)

@@ -254,3 +254,60 @@ class TestTelemetryCli:
         out = capsys.readouterr().out
         assert "Run ledger" in out
         assert "Spans" in out
+
+
+class TestResultStoreCli:
+    def test_sweep_warm_store_replays(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        args = [
+            "sweep", "--design", "corundum-cqm",
+            "--grid", "OP_TABLE_SIZE=8,16", "--result-store", store,
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        # Same table rows, but the warm run answers from the store.
+        assert "tool" in cold
+        assert "cache" in warm
+
+    def test_cache_stats_and_export(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        main([
+            "sweep", "--design", "corundum-cqm",
+            "--grid", "OP_TABLE_SIZE=8,16", "--result-store", store,
+        ])
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "unique_keys" in out
+        assert "kind:point" in out
+
+        export = tmp_path / "dump.jsonl"
+        assert main(["cache", "export", "--store", store,
+                     "--out", str(export)]) == 0
+        assert export.exists()
+        assert len(export.read_text().splitlines()) == 2
+
+    def test_cache_clear(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        main([
+            "sweep", "--design", "corundum-cqm",
+            "--grid", "OP_TABLE_SIZE=8", "--result-store", store,
+        ])
+        capsys.readouterr()
+        assert main(["cache", "clear", "--store", store]) == 0
+        assert "1" in capsys.readouterr().out
+
+    def test_dse_accepts_result_store(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        rc = main([
+            "dse", "--design", "corundum-cqm", "--generations", "1",
+            "--population", "6", "--no-model", "--seed", "3",
+            "--result-store", store,
+        ])
+        assert rc == 0
+        from repro.cache import ResultStore
+
+        assert len(ResultStore(store)) > 0

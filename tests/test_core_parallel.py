@@ -216,3 +216,130 @@ class TestSpawnEquivalence:
             out = pool.evaluate_many(points)
         for s, p in zip(ref, out):
             assert s.metrics == p.metrics
+
+
+class TestSubmitMany:
+    """Out-of-order scheduling: submit several batches, collect later."""
+
+    def test_pipelined_batches_match_blocking(self):
+        spec = _spec()
+        ref = ParallelPointEvaluator(spec=spec, workers=0).evaluate_many(BATCH)
+        with ParallelPointEvaluator(spec=spec, workers=2) as pool:
+            pending = [pool.submit_many(BATCH[:2]), pool.submit_many(BATCH[2:])]
+            outs = [r for p in pending for r in p.results()]
+        for s, p in zip(ref, outs):
+            assert s.parameters == p.parameters
+            assert s.metrics == p.metrics
+
+    def test_results_consumed_once(self):
+        with ParallelPointEvaluator(spec=_spec(), workers=0) as pool:
+            batch = pool.submit_many(BATCH[:1])
+            batch.results()
+            with pytest.raises(RuntimeError):
+                batch.results()
+
+    def test_overlapping_batches_dispatch_once(self):
+        """A point already in flight from an earlier batch is never
+        re-dispatched by a later one."""
+        spec = _spec()
+        with ParallelPointEvaluator(spec=spec, workers=2) as pool:
+            first = pool.submit_many(BATCH)
+            second = pool.submit_many([BATCH[0], BATCH[3]])
+            assert pool.dispatched == len(BATCH)
+            out_first = first.results()
+            out_second = second.results()
+        assert out_second[0].metrics == out_first[0].metrics
+        assert out_second[1].metrics == out_first[3].metrics
+        # The second batch's copies replay as cache-priced answers.
+        assert all(p.source == "cache" for p in out_second)
+        assert all(p.simulated_seconds == 0.0 for p in out_second)
+
+    def test_done_reports_completion(self):
+        with ParallelPointEvaluator(spec=_spec(), workers=0) as pool:
+            batch = pool.submit_many(BATCH[:1])
+            assert batch.done()  # serial path resolves eagerly
+            batch.results()
+
+
+class TestWorkerProbeFloor:
+    def test_probe_count_floor_is_four(self):
+        """Even a one-worker pool dispatches several probes (4 × workers,
+        floored at 4)."""
+        with ParallelPointEvaluator(spec=_spec(), workers=2) as pool:
+            pool.evaluate_many(BATCH[:1])
+            assert len(pool.worker_probes()) == max(4, 2 * 4)
+            assert len(pool.worker_probes(samples=3)) == 3
+
+
+class TestFailureReplayEconomics:
+    def test_memoized_failure_replays_free_with_memo_origin(self):
+        """Re-meeting a memoized failure charges zero seconds and leaves
+        an ``origin="memo"`` ledger record."""
+        from repro.observe import telemetry_session
+
+        spec = _spec(design_name="tirex")
+        with telemetry_session() as tel:
+            with ParallelPointEvaluator(spec=spec, workers=2) as pool:
+                first = pool.evaluate_many([_TIREX_OVERFLOW], on_error="return")
+                assert isinstance(first[0], EvaluationFailure)
+                assert first[0].simulated_seconds > 0.0
+                replay = pool.evaluate_many([_TIREX_OVERFLOW], on_error="return")
+            assert isinstance(replay[0], EvaluationFailure)
+            assert replay[0].simulated_seconds == 0.0
+            assert pool.memo_hits == 1
+            record = tel.ledger.records[-1]
+            assert record.origin == "memo"
+            assert record.outcome == "failed"
+            assert record.charge == 0.0
+            assert record.error_type == "UtilizationOverflowError"
+
+
+class TestStoreIntegration:
+    def test_pool_consults_and_populates_the_store(self, tmp_path):
+        from repro.cache import ResultStore
+
+        spec = _spec()
+        store = ResultStore(tmp_path / "store")
+        with ParallelPointEvaluator(spec=spec, workers=2, store=store) as pool:
+            ref = pool.evaluate_many(BATCH)
+            assert pool.store_puts == len(BATCH)
+            assert pool.store_hits == 0
+
+        # A brand-new pool (fresh memo) replays everything from disk.
+        reborn = ResultStore(tmp_path / "store")
+        with ParallelPointEvaluator(spec=spec, workers=2, store=reborn) as pool:
+            out = pool.evaluate_many(BATCH)
+            assert pool.store_hits == len(BATCH)
+            assert pool.dispatched == 0
+        for s, p in zip(ref, out):
+            assert s.metrics == p.metrics
+            assert p.source == "cache"
+            assert p.simulated_seconds == 0.0
+
+    def test_stored_failures_replay_without_tool_time(self, tmp_path):
+        from repro.cache import ResultStore
+
+        spec = _spec(design_name="tirex")
+        store = ResultStore(tmp_path / "store")
+        with ParallelPointEvaluator(spec=spec, workers=0, store=store) as pool:
+            first = pool.evaluate_many([_TIREX_OVERFLOW], on_error="return")
+            assert first[0].simulated_seconds > 0.0
+
+        reborn = ResultStore(tmp_path / "store")
+        with ParallelPointEvaluator(spec=spec, workers=0, store=reborn) as pool:
+            out = pool.evaluate_many([_TIREX_OVERFLOW], on_error="return")
+            assert pool.store_hits == 1
+            assert pool.dispatched == 0
+        assert isinstance(out[0], EvaluationFailure)
+        assert out[0].original_type == "UtilizationOverflowError"
+        assert out[0].simulated_seconds == 0.0
+
+    def test_incremental_spec_disables_the_store(self, tmp_path):
+        from repro.cache import ResultStore
+
+        spec = _spec(incremental=True)
+        store = ResultStore(tmp_path / "store")
+        with ParallelPointEvaluator(spec=spec, workers=0, store=store) as pool:
+            pool.evaluate_many(BATCH[:2])
+            assert pool.store_puts == 0
+        assert len(store) == 0

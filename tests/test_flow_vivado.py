@@ -201,3 +201,135 @@ class TestTechnologyImpact:
         expected = fresh.run(tirex_design.top, {"NCLUSTER": 1})
         assert r.fmax_mhz == expected.fmax_mhz
         assert r.metric("LUT") == expected.metric("LUT")
+
+
+class TestStageCaches:
+    """Synthesis/implementation stage reuse across directive and period."""
+
+    def test_impl_directive_change_reuses_synth_stage(
+        self, loaded_cqm_sim, cqm_design
+    ):
+        sim = loaded_cqm_sim
+        params = {"OP_TABLE_SIZE": 14}
+        sim.run("cpl_queue_manager", params)
+        assert sim.last_run_stages == ("synthesis", "implementation")
+        directives = DirectiveSet.parse("Default", "Explore")
+        r2 = sim.run("cpl_queue_manager", params, directives=directives)
+        # Only the implementation stage ran — and only it was charged:
+        # a fresh session running the same directive pays synthesis too.
+        assert sim.last_run_stages == ("implementation",)
+        assert sim.synth_stage_hits == 1
+        fresh = VivadoSim(part="XC7K70T", seed=11)
+        fresh.read_hdl(cqm_design.source(), cqm_design.language)
+        fresh.create_clock(1.0)
+        full = fresh.run("cpl_queue_manager", params, directives=directives)
+        assert 0.0 < r2.simulated_seconds < full.simulated_seconds
+        # The reused synthesis changes pricing only — never the answer.
+        assert r2.fmax_mhz == full.fmax_mhz
+        assert r2.metric("LUT") == full.metric("LUT")
+
+    def test_period_change_reuses_both_stages(self, loaded_cqm_sim):
+        sim = loaded_cqm_sim
+        params = {"OP_TABLE_SIZE": 18}
+        r1 = sim.run("cpl_queue_manager", params)
+        sim.create_clock(2.0)
+        r2 = sim.run("cpl_queue_manager", params)
+        # A clock-constraint change re-derives timing from the cached
+        # implemented design: no stage executes, nothing is charged.
+        assert sim.last_run_stages == ()
+        assert sim.synth_stage_hits == 1
+        assert sim.impl_stage_hits == 1
+        assert r2.simulated_seconds == 0.0
+        # The pre-noise critical delay is period-independent, so the WNS
+        # shifts by exactly the period delta.
+        assert r2.wns_ns == pytest.approx(r1.wns_ns + 1.0, abs=1e-9)
+
+    def test_stage_cache_bitwise_equals_fresh_session(self, cqm_design):
+        params = {"OP_TABLE_SIZE": 18}
+        warm = VivadoSim(part="XC7K70T", seed=11)
+        warm.read_hdl(cqm_design.source(), cqm_design.language)
+        warm.create_clock(1.0)
+        warm.run(cqm_design.top, params)
+        warm.create_clock(2.0)
+        via_cache = warm.run(cqm_design.top, params)
+
+        fresh = VivadoSim(part="XC7K70T", seed=11)
+        fresh.read_hdl(cqm_design.source(), cqm_design.language)
+        fresh.create_clock(2.0)
+        direct = fresh.run(cqm_design.top, params)
+
+        assert via_cache.fmax_mhz == direct.fmax_mhz
+        assert via_cache.wns_ns == direct.wns_ns
+        assert via_cache.metric("LUT") == direct.metric("LUT")
+        assert via_cache.metric("FF") == direct.metric("FF")
+
+    def test_stage_caching_disabled_for_incremental(self, cqm_design):
+        sim = VivadoSim(part="XC7K70T", seed=11, incremental_synth=True)
+        sim.read_hdl(cqm_design.source(), cqm_design.language)
+        sim.create_clock(1.0)
+        params = {"OP_TABLE_SIZE": 14}
+        sim.run(cqm_design.top, params)
+        sim.run(
+            cqm_design.top, params,
+            directives=DirectiveSet.parse("Default", "Explore"),
+        )
+        # Incremental outputs are order-dependent: both stages re-ran.
+        assert sim.synth_stage_hits == 0
+        assert sim.last_run_stages == ("synthesis", "implementation")
+
+    def test_failed_run_does_not_seed_stage_caches(self, tirex_design):
+        sim = VivadoSim(part="XC7A35T", seed=0)
+        sim.read_hdl(tirex_design.source(), tirex_design.language)
+        sim.create_clock(1.0)
+        params = {"NCLUSTER": 8}
+        with pytest.raises(FlowError):
+            sim.run(tirex_design.top, params)
+        first_charge = sim.last_run_seconds
+        first_stages = sim.last_run_stages
+        assert "synthesis" in first_stages
+        # Retrying the failing point re-runs (and re-charges) the full
+        # flow: a failed run must not seed later runs with its artifacts.
+        with pytest.raises(FlowError):
+            sim.run(tirex_design.top, params)
+        assert sim.synth_stage_hits == 0
+        assert sim.last_run_stages == first_stages
+        assert sim.last_run_seconds == first_charge
+
+
+class TestRunCacheBound:
+    def test_capacity_bounds_all_caches(self, cqm_design):
+        sim = VivadoSim(part="XC7K70T", seed=1, cache_capacity=4)
+        sim.read_hdl(cqm_design.source(), cqm_design.language)
+        sim.create_clock(1.0)
+        for v in range(8, 20):
+            sim.run(cqm_design.top, {"OP_TABLE_SIZE": v}, step=FlowStep.SYNTHESIS)
+        # A long sweep no longer holds every RunResult alive.
+        assert len(sim._cache) <= 4
+        assert len(sim._synth_cache) <= 4
+        assert sim._cache.evictions > 0
+
+    def test_eviction_means_rerun_hot_entry_stays(self, cqm_design):
+        sim = VivadoSim(part="XC7K70T", seed=1, cache_capacity=2)
+        sim.read_hdl(cqm_design.source(), cqm_design.language)
+        sim.create_clock(1.0)
+        for v in (8, 9, 10):
+            sim.run(cqm_design.top, {"OP_TABLE_SIZE": v}, step=FlowStep.SYNTHESIS)
+        # Oldest entry evicted: repeating it is a fresh (charged) run...
+        r_old = sim.run(
+            cqm_design.top, {"OP_TABLE_SIZE": 8}, step=FlowStep.SYNTHESIS
+        )
+        assert not r_old.from_cache
+        # ...while the hot tail still answers from the cache.
+        r_hot = sim.run(
+            cqm_design.top, {"OP_TABLE_SIZE": 8}, step=FlowStep.SYNTHESIS
+        )
+        assert r_hot.from_cache
+
+    def test_unbounded_capacity_never_evicts(self, cqm_design):
+        sim = VivadoSim(part="XC7K70T", seed=1, cache_capacity=None)
+        sim.read_hdl(cqm_design.source(), cqm_design.language)
+        sim.create_clock(1.0)
+        for v in range(8, 20):
+            sim.run(cqm_design.top, {"OP_TABLE_SIZE": v}, step=FlowStep.SYNTHESIS)
+        assert len(sim._cache) == 12
+        assert sim._cache.evictions == 0

@@ -26,3 +26,11 @@ def test_perf_engine_smoke():
     assert payload["refit"]["identical"]
     # The smoke refit still exercises both policies end to end.
     assert payload["refit"]["incremental_refits"] < payload["refit"]["full_refits"]
+    # Warm store: every smoke evaluation replays from the store (host
+    # independent, so thresholded even at smoke sizes).
+    warm = payload["warm_store"]
+    assert warm["identical"]
+    assert warm["tool_run_ratio"] >= 5.0
+    # Out-of-order scheduling: identity always holds; the speedup bar is
+    # only enforced at full benchmark sizes.
+    assert payload["ooo"]["identical"]
