@@ -1,6 +1,6 @@
 """Fast-evaluation-engine microbenchmark (shared harness).
 
-Four experiments prove the engine and chart its perf trajectory:
+Five experiments prove the engine and chart its perf trajectory:
 
 - **DSE fan-out** — the same no-model NSGA-II exploration run serially and
   over the persistent worker pool.  The assertion is *bitwise identity*:
@@ -18,6 +18,13 @@ Four experiments prove the engine and chart its perf trajectory:
   Metric vectors must be bitwise identical to the serial reference; the
   pipelined schedule must be ≥1.3× faster at ``workers=4`` (asserted in
   benchmark mode only — single-core CI boxes cannot show it).
+- **Fidelity gate** — the same no-model NSGA-II exploration with the
+  speculative multi-fidelity gate off and on.  The gated run must spend
+  ≤½ the simulated tool seconds, its reported front must stay within 1%
+  hypervolume regret of the ungated front (exact 2-D hypervolume, shared
+  reference point), and the gate-off run must be bitwise identical to a
+  session constructed without any gate arguments (the pre-ladder
+  reference).
 - **Refit policy** — inserting n tool results into the control model with
   the per-insert LOO rescan (``RefitPolicy(every=1)``, the original
   behaviour) versus the incremental policy (periodic rescan + Γ-drift
@@ -45,6 +52,7 @@ from repro.estimation import ControlModel, Dataset, RefitPolicy
 
 __all__ = [
     "dse_pool_bench",
+    "fidelity_gate_bench",
     "ooo_bench",
     "refit_bench",
     "run_perf_engine",
@@ -264,6 +272,125 @@ def ooo_bench(
     }
 
 
+def _gate_run(
+    design_name: str,
+    gate: bool,
+    generations: int,
+    population: int,
+    gate_risk: float,
+    trickle_every: int,
+):
+    """One no-model exploration; returns (result, minimized front, wall)."""
+    from repro.moo.problem import Sense
+
+    session = DseSession(
+        design=get_design(design_name),
+        part="XC7K70T",
+        use_model=False,
+        seed=2021,
+        fidelity_gate=gate,
+        gate_risk=gate_risk,
+        gate_trickle_every=trickle_every,
+    )
+    try:
+        start = time.perf_counter()
+        result = session.explore(generations=generations, population=population)
+        wall = time.perf_counter() - start
+        names = session.evaluator.metric_names()
+        signs = np.array(
+            [
+                -1.0 if m.sense == Sense.MAXIMIZE else 1.0
+                for m in session.evaluator.metrics
+            ]
+        )
+    finally:
+        session.close()
+    front = (
+        np.array([[p.metrics[n] for n in names] for p in result.pareto], dtype=float)
+        * signs
+    )
+    return result, front, wall
+
+
+def fidelity_gate_bench(
+    design_name: str = "corundum-cqm",
+    generations: int = 20,
+    population: int = 24,
+    gate_risk: float = 0.1,
+    trickle_every: int = 12,
+    min_reduction: float | None = 2.0,
+    max_regret: float = 0.01,
+) -> dict:
+    """Speculative multi-fidelity gate: simulated-seconds cut vs front regret.
+
+    The ungated run is the reference; the gated run probes every fresh
+    candidate at synth-estimate fidelity and skips route+STA when the
+    learned gate proves the point dominated.  Both thresholds are
+    host-independent: simulated seconds and hypervolume are deterministic
+    functions of the run.  The gate-off session must also match a
+    session built with no gate arguments at all — turning the feature
+    off must be indistinguishable from the feature not existing.
+    """
+    from repro.moo.indicators import hypervolume
+
+    reference, _ = _dse_run(design_name, 0, generations, population)
+    full, full_front, full_wall = _gate_run(
+        design_name, False, generations, population, gate_risk, trickle_every
+    )
+    gated, gated_front, gated_wall = _gate_run(
+        design_name, True, generations, population, gate_risk, trickle_every
+    )
+
+    assert _pareto_signature(reference) == _pareto_signature(full), (
+        f"{design_name}: gate-off run diverged from the no-gate reference"
+    )
+    assert reference.simulated_seconds == full.simulated_seconds, (
+        f"{design_name}: gate-off cost accounting diverged from the "
+        "no-gate reference"
+    )
+
+    # Shared reference point: worst corner of both fronts plus a 10%
+    # margin, so boundary points contribute volume for either front.
+    union = np.vstack([full_front, gated_front])
+    ref = union.max(axis=0) + 0.1 * (union.max(axis=0) - union.min(axis=0)) + 1e-9
+    hv_full = hypervolume(full_front, ref)
+    hv_gated = hypervolume(gated_front, ref)
+    regret = max(0.0, (hv_full - hv_gated) / hv_full) if hv_full > 0 else 0.0
+    reduction = (
+        full.simulated_seconds / gated.simulated_seconds
+        if gated.simulated_seconds
+        else None
+    )
+
+    assert regret <= max_regret, (
+        f"{design_name}: gated front lost {regret:.2%} hypervolume "
+        f"(budget {max_regret:.0%})"
+    )
+    if min_reduction is not None and reduction is not None:
+        assert reduction >= min_reduction, (
+            f"{design_name}: fidelity gate must cut simulated seconds >="
+            f"{min_reduction}x, got {reduction:.2f}x"
+        )
+    stats = gated.stats
+    return {
+        "design": design_name,
+        "generations": generations,
+        "population": population,
+        "gate_risk": gate_risk,
+        "trickle_every": trickle_every,
+        "full_simulated_s": round(full.simulated_seconds, 2),
+        "gated_simulated_s": round(gated.simulated_seconds, 2),
+        "reduction": round(reduction, 3) if reduction else None,
+        "hv_regret": round(regret, 6),
+        "promoted": stats.get("gate_promoted", 0),
+        "skipped": stats.get("gate_skipped", 0),
+        "trickled": stats.get("gate_trickled", 0),
+        "full_wall_s": round(full_wall, 4),
+        "gated_wall_s": round(gated_wall, 4),
+        "identical_off": True,
+    }
+
+
 def _refit_run(policy: RefitPolicy, X: np.ndarray, Y: np.ndarray):
     control = ControlModel(
         dataset=Dataset(n_var=X.shape[1], metric_names=("LUT", "frequency")),
@@ -332,6 +459,10 @@ def run_perf_engine(smoke: bool = False) -> dict:
             "cv32e40p-fifo", batches=3, batch_size=5, workers=2,
             min_speedup=None, tool_latency=0.001,
         )
+        gate = fidelity_gate_bench(
+            "corundum-cqm", generations=6, population=12,
+            min_reduction=None,
+        )
     else:
         designs = [("corundum-cqm", 5, 12), ("cv32e40p-fifo", 5, 12)]
         refit = refit_bench(n_points=300, every=16, gamma_drift=0.05)
@@ -339,6 +470,10 @@ def run_perf_engine(smoke: bool = False) -> dict:
         ooo = ooo_bench(
             "cv32e40p-fifo", batches=16, batch_size=5, workers=4,
             min_speedup=1.3,
+        )
+        gate = fidelity_gate_bench(
+            "corundum-cqm", generations=20, population=24,
+            min_reduction=2.0,
         )
     dse = [
         dse_pool_bench(name, generations=gens, population=pop)
@@ -350,4 +485,5 @@ def run_perf_engine(smoke: bool = False) -> dict:
         "warm_store": warm,
         "ooo": ooo,
         "refit": refit,
+        "fidelity_gate": gate,
     }

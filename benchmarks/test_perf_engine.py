@@ -1,21 +1,24 @@
 """Perf — the evaluation pipeline (store + stage caches + scheduler).
 
-Times four experiments on the Corundum and FIFO case studies, asserting
+Times five experiments on the Corundum and FIFO case studies, asserting
 bitwise identity against the serial cold-cache references throughout
 (the harness in ``perf_engine.py`` does the asserting):
 
 * serial-vs-pool DSE generations (persistent worker pool),
 * cold-vs-warm persistent result store (cross-run reuse),
 * per-batch-barrier vs out-of-order pipelined scheduling,
-* per-insert vs incremental control-model refits at paper-scale n=300.
+* per-insert vs incremental control-model refits at paper-scale n=300,
+* ungated vs speculative multi-fidelity gated exploration (simulated
+  seconds cut vs hypervolume regret of the reported front).
 
 The timing payload lands in ``BENCH_perf_engine.json`` at the repo root
 so future PRs have a perf trajectory to compare against.
 
 The acceptance bars are the *host-independent* ones: the warm store must
 cut tool runs ≥5×, out-of-order scheduling must be ≥1.3× under emulated
-tool latency, and the incremental refit policy must be ≥3× faster at
-n=300.  Pool wall-clock speedup is recorded but not thresholded — CI
+tool latency, the incremental refit policy must be ≥3× faster at n=300,
+and the fidelity gate must cut simulated tool seconds ≥2× at ≤1%
+hypervolume regret.  Pool wall-clock speedup is recorded but not thresholded — CI
 boxes with one core cannot show it, and the pool's correctness
 (bitwise-identical fronts and cost accounting) is the part that must
 never regress.
@@ -70,6 +73,15 @@ def test_perf_engine(benchmark):
           "yes")],
         title="Perf — control-model refit, per-insert vs incremental policy",
     )
+    gate = payload["fidelity_gate"]
+    text += "\n" + render_table(
+        ("Design", "full sim s", "gated sim s", "reduction", "HV regret",
+         "promoted", "skipped"),
+        [(gate["design"], gate["full_simulated_s"], gate["gated_simulated_s"],
+          f"{gate['reduction']}x", f"{gate['hv_regret']:.4%}",
+          gate["promoted"], gate["skipped"])],
+        title="Perf — speculative multi-fidelity gate, off vs on",
+    )
     emit("perf_engine", text)
 
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -86,4 +98,11 @@ def test_perf_engine(benchmark):
     assert refit["speedup"] >= 3.0, (
         f"incremental refit must be >=3x at n={refit['n_points']}, "
         f"got {refit['speedup']}x"
+    )
+    assert gate["identical_off"]
+    assert gate["reduction"] >= 2.0, (
+        f"fidelity gate must cut simulated seconds >=2x, got {gate['reduction']}x"
+    )
+    assert gate["hv_regret"] <= 0.01, (
+        f"fidelity gate regret budget is 1%, got {gate['hv_regret']:.2%}"
     )

@@ -33,16 +33,22 @@ from repro.cache.keys import (
 )
 from repro.cache.lru import LruCache
 from repro.cache.records import (
+    FIDELITY_RANKS,
+    FULL_FIDELITY,
     KIND_FAILURE,
     KIND_POINT,
     decode_point,
     encode_failure,
     encode_point,
+    fidelity_rank,
 )
-from repro.cache.store import ResultStore, StoredResult, StoreStats
+from repro.cache.store import FULL_RANK, ResultStore, StoredResult, StoreStats
 
 __all__ = [
+    "FIDELITY_RANKS",
     "FLOW_VERSION",
+    "FULL_FIDELITY",
+    "FULL_RANK",
     "KIND_FAILURE",
     "KIND_POINT",
     "LruCache",
@@ -52,6 +58,7 @@ __all__ = [
     "decode_point",
     "encode_failure",
     "encode_point",
+    "fidelity_rank",
     "identity_key",
     "point_key",
     "run_identity",

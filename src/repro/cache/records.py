@@ -24,25 +24,45 @@ if TYPE_CHECKING:  # deferred: repro.core imports the flow, which uses this pack
     from repro.core.point import EvaluatedPoint
 
 __all__ = [
+    "FIDELITY_RANKS",
+    "FULL_FIDELITY",
     "KIND_FAILURE",
     "KIND_POINT",
     "decode_point",
     "encode_failure",
     "encode_point",
+    "fidelity_rank",
 ]
 
 KIND_POINT = "point"
 KIND_FAILURE = "failure"
 
+#: Flow-ladder rung each stored result was measured at.  Records written
+#: before the ladder existed carry no fidelity and default to full-route —
+#: they were produced by the full flow and stay authoritative.
+FULL_FIDELITY = "full-route"
+FIDELITY_RANKS = {"synth-estimate": 0, "placed-estimate": 1, FULL_FIDELITY: 2}
+
+
+def fidelity_rank(fidelity: str | None) -> int:
+    """Store rank of a fidelity tag (unknown/missing tags are full rank)."""
+    if fidelity is None:
+        return FIDELITY_RANKS[FULL_FIDELITY]
+    return FIDELITY_RANKS.get(str(fidelity), FIDELITY_RANKS[FULL_FIDELITY])
+
 
 def encode_point(point: "EvaluatedPoint") -> dict:
     """Serialize a completed run for the store."""
-    return {
+    payload = {
         "parameters": {str(k): int(v) for k, v in point.parameters.items()},
         "metrics": {str(k): float(v) for k, v in point.metrics.items()},
         "source": point.source,
         "simulated_seconds": float(point.simulated_seconds),
     }
+    # Full-route payloads keep the pre-ladder byte format.
+    if point.fidelity != FULL_FIDELITY:
+        payload["fidelity"] = str(point.fidelity)
+    return payload
 
 
 def decode_point(payload: Mapping) -> "EvaluatedPoint":
@@ -54,6 +74,7 @@ def decode_point(payload: Mapping) -> "EvaluatedPoint":
         metrics={str(k): float(v) for k, v in payload["metrics"].items()},
         source=str(payload.get("source", "tool")),
         simulated_seconds=float(payload.get("simulated_seconds", 0.0)),
+        fidelity=str(payload.get("fidelity", FULL_FIDELITY)),
     )
 
 

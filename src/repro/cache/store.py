@@ -28,6 +28,12 @@ the lock file:
 - Keys are content-addressed (:mod:`repro.cache.keys`), so duplicate
   keys across segments are benign: the first record wins and later ones
   are counted as duplicates in :meth:`ResultStore.stats`.
+- **Fidelity ranks**: records may carry a rank (flow-ladder rung; absent
+  means full fidelity).  Within a key, a *higher*-rank record supersedes
+  a lower one — a full-route result overwrites the synth-estimate probe
+  stored for the same design hash — while equal ranks keep
+  first-writer-wins.  The index therefore always answers with the most
+  trustworthy record the store holds for a key.
 
 The lock degrades to a no-op on platforms without ``fcntl`` — the store
 stays correct for a single writer, which is the only configuration those
@@ -52,11 +58,15 @@ try:  # pragma: no branch
 except ImportError:  # pragma: no cover - non-POSIX fallback
     _HAVE_FLOCK = False
 
-__all__ = ["ResultStore", "StoredResult", "StoreStats"]
+__all__ = ["FULL_RANK", "ResultStore", "StoredResult", "StoreStats"]
 
 _STORE_VERSION = 1
 _SEGMENT_PREFIX = "seg-"
 _DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+#: Rank of records written without one (pre-ladder stores): they came from
+#: the full flow and must stay authoritative over low-fidelity probes.
+FULL_RANK = 2
 
 
 @dataclass(frozen=True)
@@ -66,6 +76,7 @@ class StoredResult:
     key: str
     kind: str
     payload: dict
+    rank: int = FULL_RANK
 
 
 @dataclass(frozen=True)
@@ -203,9 +214,12 @@ class ResultStore:
                     key=str(obj["key"]),
                     kind=str(obj["kind"]),
                     payload=dict(obj.get("payload", {})),
+                    rank=int(obj.get("rank", FULL_RANK)),
                 )
                 self._records_seen += 1
-                self._index.setdefault(record.key, record)
+                existing = self._index.get(record.key)
+                if existing is None or record.rank > existing.rank:
+                    self._index[record.key] = record
                 added += 1
             self._offsets[name] = offset + consumed
         return added
@@ -241,23 +255,30 @@ class ResultStore:
         self.refresh()
         return iter(list(self._index.values()))
 
-    def put(self, key: str, kind: str, payload: Mapping) -> bool:
-        """Append one record; returns False when the key already exists.
+    def put(self, key: str, kind: str, payload: Mapping, rank: int = FULL_RANK) -> bool:
+        """Append one record; returns False when it would not win the index.
 
-        The append runs under the writer lock with a fresh tail read, so
-        concurrent writers racing on one key store it exactly once.
+        First-writer-wins within a rank; a *higher*-rank record (a
+        full-route result superseding a stored low-fidelity probe) is
+        appended even when the key exists and displaces the lower record
+        in every process's index on its next refresh.  The append runs
+        under the writer lock with a fresh tail read, so concurrent
+        writers racing on one (key, rank) store it exactly once.
         """
-        if key in self._index:
+        rank = int(rank)
+        existing = self._index.get(key)
+        if existing is not None and existing.rank >= rank:
             self.skipped_puts += 1
             return False
-        line = json.dumps(
-            {"key": key, "kind": kind, "payload": dict(payload)},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        obj: dict = {"key": key, "kind": kind, "payload": dict(payload)}
+        if rank != FULL_RANK:
+            # Full-rank lines keep the pre-ladder byte format.
+            obj["rank"] = rank
+        line = json.dumps(obj, sort_keys=True, separators=(",", ":"))
         with self._locked():
             self.refresh()
-            if key in self._index:
+            existing = self._index.get(key)
+            if existing is not None and existing.rank >= rank:
                 self.skipped_puts += 1
                 return False
             path = self._active_segment()
@@ -268,7 +289,7 @@ class ResultStore:
             # Index our own append without re-reading the file (still under
             # the lock, so the segment tail is exactly our line).
             self._offsets[path.name] = path.stat().st_size
-        record = StoredResult(key=key, kind=str(kind), payload=dict(payload))
+        record = StoredResult(key=key, kind=str(kind), payload=dict(payload), rank=rank)
         self._index[key] = record
         self._records_seen += 1
         self.puts += 1
@@ -292,18 +313,14 @@ class ResultStore:
         path.parent.mkdir(parents=True, exist_ok=True)
         with path.open("w", encoding="utf-8") as fh:
             for record in self.records():
-                fh.write(
-                    json.dumps(
-                        {
-                            "key": record.key,
-                            "kind": record.kind,
-                            "payload": record.payload,
-                        },
-                        sort_keys=True,
-                        separators=(",", ":"),
-                    )
-                    + "\n"
-                )
+                obj: dict = {
+                    "key": record.key,
+                    "kind": record.kind,
+                    "payload": record.payload,
+                }
+                if record.rank != FULL_RANK:
+                    obj["rank"] = record.rank
+                fh.write(json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n")
         return path
 
     def stats(self) -> StoreStats:

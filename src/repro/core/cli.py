@@ -59,6 +59,13 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _risk_float(text: str) -> float:
+    value = float(text)
+    if not 0.0 < value < 1.0:
+        raise argparse.ArgumentTypeError(f"must be in (0, 1), got {value}")
+    return value
+
+
 def _parse_dim(text: str):
     parts = text.split(":")
     if len(parts) < 3:
@@ -134,6 +141,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument("--refit-gamma-drift", type=_positive_float, default=None,
                        help="also rescan when the adaptive threshold drifts "
                             "by this relative fraction")
+    p_dse.add_argument("--fidelity-gate", choices=("off", "on"), default="off",
+                       help="speculative multi-fidelity evaluation: probe "
+                            "each fresh candidate at low fidelity and skip "
+                            "route+STA when the learned gate proves the "
+                            "point dominated (default off; implementation "
+                            "step only; control-model dataset inserts "
+                            "always run the full flow, so the gate engages "
+                            "on --no-model evaluations)")
+    p_dse.add_argument("--gate-risk", type=_risk_float, default=0.05,
+                       help="per-metric miss probability the gate's "
+                            "conformal error band targets (default 0.05; "
+                            "lower = wider band = fewer skips)")
     p_dse.add_argument(
         "--param", action="append", type=_parse_dim, dest="dims", default=[],
         help="NAME:LO:HI[:pow2] space dimension (required with --source)",
@@ -229,6 +248,8 @@ def _make_session(args: argparse.Namespace, need_space: bool) -> DseSession:
         refit_every=getattr(args, "refit_every", 1),
         refit_gamma_drift=getattr(args, "refit_gamma_drift", None),
         result_store=getattr(args, "result_store", None),
+        fidelity_gate=getattr(args, "fidelity_gate", "off") == "on",
+        gate_risk=getattr(args, "gate_risk", 0.05),
     )
     if args.design:
         return DseSession(design=get_design(args.design), **common)
@@ -460,12 +481,19 @@ def _dispatch(args: argparse.Namespace) -> int:
 
         store = ResultStore(args.store)
         if args.action == "stats":
+            from repro.cache import FIDELITY_RANKS
+
+            rank_names = {rank: name for name, rank in FIDELITY_RANKS.items()}
             stats = store.stats()
             kinds: dict[str, int] = {}
+            fidelities: dict[str, int] = {}
             for record in store.records():
                 kinds[record.kind] = kinds.get(record.kind, 0) + 1
+                name = rank_names.get(record.rank, f"rank-{record.rank}")
+                fidelities[name] = fidelities.get(name, 0) + 1
             rows = [(k, v) for k, v in sorted(stats.as_dict().items())]
             rows += [(f"kind:{k}", v) for k, v in sorted(kinds.items())]
+            rows += [(f"fidelity:{k}", v) for k, v in sorted(fidelities.items())]
             print(render_table(("Field", "Value"), rows,
                                title=f"Result store: {store.root}"))
         elif args.action == "clear":
@@ -550,6 +578,21 @@ def _dispatch(args: argparse.Namespace) -> int:
         print()
         print(f"evaluations={result.evaluations} tool_runs={result.tool_runs} "
               f"simulated={result.simulated_seconds/3600:.2f} tool-hours")
+        stats = result.stats
+        fid_runs = {
+            k.split(":", 1)[1]: v
+            for k, v in stats.items()
+            if k.startswith("runs:") and v
+        }
+        print(f"stage hits: synth={stats.get('synth_stage_hits', 0)} "
+              f"impl={stats.get('impl_stage_hits', 0)}"
+              + (" | runs: " + " ".join(f"{k}={v}"
+                                        for k, v in sorted(fid_runs.items()))
+                 if fid_runs else ""))
+        if stats.get("gate_promoted", 0) or stats.get("gate_skipped", 0):
+            print(f"fidelity gate: promoted={stats.get('gate_promoted', 0)} "
+                  f"skipped={stats.get('gate_skipped', 0)} "
+                  f"trickled={stats.get('gate_trickled', 0)}")
         if args.out:
             path = result.save(args.out)
             print(f"saved: {path}")

@@ -31,7 +31,7 @@ from repro.core.metrics import (
 )
 from repro.core.point import EvaluatedPoint
 from repro.directives import DirectiveSet
-from repro.flow.vivado_sim import FlowStep, VivadoSim
+from repro.flow.vivado_sim import Fidelity, FlowStep, VivadoSim
 from repro.hdl.ast import HdlLanguage, Module
 from repro.errors import DrcViolationError, ReproError
 from repro.hdl.frontend import parse_source
@@ -122,9 +122,26 @@ class PointEvaluator:
         tag = stable_hash_seed(sorted((k.lower(), int(v)) for k, v in params.items()))
         return f"box_{tag:016x}"
 
-    def evaluate(self, params: Mapping[str, int]) -> EvaluatedPoint:
-        """Run one configuration through the full flow."""
+    def evaluate(
+        self, params: Mapping[str, int], fidelity: Fidelity | str | None = None
+    ) -> EvaluatedPoint:
+        """Run one configuration through the flow.
+
+        ``fidelity`` (``step=IMPLEMENTATION`` only) selects a rung of the
+        flow ladder: ``None``/``FULL_ROUTE`` renders the script and runs
+        the tool byte-identically to the pre-ladder evaluator;
+        ``PLACED_ESTIMATE`` renders a place-without-route script;
+        ``SYNTH_ESTIMATE`` renders a synthesis-only script.  The returned
+        point and its ledger record are tagged with the fidelity the
+        metrics were actually measured at.
+        """
         params = {k: int(v) for k, v in params.items()}
+        if fidelity is not None:
+            fidelity = Fidelity(fidelity)
+        if self.step != FlowStep.IMPLEMENTATION:
+            requested = Fidelity.SYNTH_ESTIMATE
+        else:
+            requested = fidelity or Fidelity.FULL_ROUTE
         tel = current_telemetry()
         t0 = time.perf_counter() if tel is not None else 0.0
         try:
@@ -172,6 +189,7 @@ class PointEvaluator:
             target_period_ns=self.target_period_ns,
             step=self.step,
             directives=self.directives,
+            fidelity=fidelity,
         )
         if generic_args:
             # Unboxed runs pass parameters as -generic options.
@@ -196,6 +214,7 @@ class PointEvaluator:
                     params=params, outcome="failed", charge=charge,
                     error_type=type(exc).__name__,
                     wall_s=time.perf_counter() - t0,
+                    fidelity=str(requested),
                 )
             raise
 
@@ -229,17 +248,20 @@ class PointEvaluator:
         # which can be stale after an intervening failed or gated run.
         result = session.result
         cached = result.from_cache if result is not None else self.sim.last_run_cached
+        measured = result.fidelity if result is not None else requested
         point = EvaluatedPoint(
             parameters=dict(params),
             metrics=values,
             source="cache" if cached else "tool",
             simulated_seconds=0.0 if cached else self.sim.last_run_seconds,
+            fidelity=str(measured),
         )
         if tel is not None:
             tel.ledger.append(
                 params=params, outcome=point.source, metrics=values,
                 charge=point.simulated_seconds,
                 wall_s=time.perf_counter() - t0,
+                fidelity=str(measured),
             )
         return point
 

@@ -22,12 +22,14 @@ import numpy as np
 
 from repro.analysis.gate import PreflightGate
 from repro.cache import (
+    FULL_RANK,
     KIND_FAILURE,
     KIND_POINT,
     ResultStore,
     decode_point,
     encode_failure,
     encode_point,
+    fidelity_rank,
     point_key,
     run_identity,
 )
@@ -35,7 +37,14 @@ from repro.core.evaluate import PointEvaluator
 from repro.core.point import EvaluatedPoint
 from repro.core.spaces import ParameterSpace
 from repro.errors import ReproError
-from repro.estimation import ControlModel, Dataset, Decision, RefitPolicy
+from repro.estimation import (
+    ControlModel,
+    Dataset,
+    Decision,
+    PromotionGate,
+    RefitPolicy,
+)
+from repro.flow.vivado_sim import Fidelity, FlowStep
 from repro.moo.problem import IntegerProblem, Objective, Sense
 from repro.moo.sampling import IntegerRandomSampling
 from repro.observe import current_telemetry
@@ -63,6 +72,11 @@ class ApproximateFitness:
         design_name: str | None = None,
         refit_policy: RefitPolicy | None = None,
         result_store: ResultStore | str | Path | None = None,
+        fidelity_gate: bool = False,
+        gate_risk: float = 0.05,
+        gate_fidelity: Fidelity | str = Fidelity.SYNTH_ESTIMATE,
+        gate_min_calibration: int = 5,
+        gate_trickle_every: int = 8,
     ) -> None:
         self.evaluator = evaluator
         self.space = space
@@ -100,6 +114,35 @@ class ApproximateFitness:
         self.drc_rejections = 0
         self.mse_trace: list[tuple[int, float]] = []  # (dataset size, LOO MSE)
         self._parallel = None  # lazy ParallelPointEvaluator
+        # Speculative fidelity gate (off by default; when off, every code
+        # path below is byte-identical to the pre-ladder fitness).
+        self.fidelity_gate_enabled = bool(fidelity_gate)
+        self.gate_risk = float(gate_risk)
+        self.gate_fidelity = Fidelity(gate_fidelity)
+        self.gate_min_calibration = int(gate_min_calibration)
+        self.gate_trickle_every = int(gate_trickle_every)
+        self.promotion_gate: PromotionGate | None = None
+        # Frozen binding -> (encoded row, probe minimized metrics): points
+        # the gate skipped, awaiting promotion-on-demand if they survive
+        # into the archive.
+        self._speculative: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+        # Frozen binding -> raw metric vector already answered by the gated
+        # path (replays are cache-priced, like the tool's own run cache).
+        self._gate_memo: dict[tuple, np.ndarray] = {}
+        if self.fidelity_gate_enabled:
+            if evaluator.step != FlowStep.IMPLEMENTATION:
+                raise ValueError(
+                    "fidelity_gate requires step=IMPLEMENTATION: synthesis-only "
+                    "evaluations already are the lowest ladder rung"
+                )
+            if self.gate_fidelity is Fidelity.FULL_ROUTE:
+                raise ValueError("gate_fidelity must be a lower rung than full-route")
+            self.promotion_gate = PromotionGate(
+                signs=self._metric_signs(),
+                risk=self.gate_risk,
+                min_calibration=self.gate_min_calibration,
+                trickle_every=self.gate_trickle_every,
+            )
 
     # ------------------------------------------------------------------
     # Parallel fan-out
@@ -120,7 +163,21 @@ class ApproximateFitness:
         # Incremental flows warm-start from the shared session's
         # checkpoints; worker-local sessions would diverge from the serial
         # reference, so the batch path only engages for pure evaluators.
+        # The fidelity gate is sequential by construction — each decision
+        # conditions on the calibration set the previous points built — so
+        # it also pins evaluation to the serial path.
+        if self.fidelity_gate_enabled:
+            return False
         return self.workers > 1 and not getattr(self.evaluator, "incremental", False)
+
+    def _metric_signs(self) -> np.ndarray:
+        """+1 for minimized metrics, -1 for maximized (minimized = signs*raw)."""
+        return np.array(
+            [
+                -1.0 if spec.sense == Sense.MAXIMIZE else 1.0
+                for spec in self.evaluator.metrics
+            ]
+        )
 
     def _parallel_evaluator(self):
         if self._parallel is None:
@@ -185,17 +242,23 @@ class ApproximateFitness:
         error_type: str | None = None,
         message: str = "",
         charge_s: float = 0.0,
+        rank: int = FULL_RANK,
     ) -> None:
         if key is None or self.result_store is None:
             return
         stored = False
         if point is not None:
-            stored = self.result_store.put(key, KIND_POINT, encode_point(point))
+            stored = self.result_store.put(
+                key, KIND_POINT, encode_point(point), rank=rank
+            )
         elif error_type is not None and error_type != "DrcViolationError":
             # DRC rejections are recomputed locally at zero cost and are
             # rule-dependent, not flow-dependent — never persisted.
             stored = self.result_store.put(
-                key, KIND_FAILURE, encode_failure(error_type, message, charge_s)
+                key,
+                KIND_FAILURE,
+                encode_failure(error_type, message, charge_s),
+                rank=rank,
             )
         if stored:
             tel = current_telemetry()
@@ -320,15 +383,23 @@ class ApproximateFitness:
         return y
 
     def _run_tool(self, encoded: np.ndarray, record: bool) -> np.ndarray:
+        # Dataset inserts (``record=True``: pretrain, control-model
+        # evaluations) always run the full flow — the NWM must train on
+        # authoritative numbers — so the gate engages only for plain
+        # fitness evaluations.
+        if self.promotion_gate is not None and not record:
+            return self._run_tool_gated(encoded)
         params = self.space.decode(encoded)
         # Space-aware DRC pre-flight: reject before the evaluator (whose
         # own gate knows the module but not the declared space) is touched.
         if not self.gate.is_feasible(params):
             return self._note_failure(params, "DrcViolationError", record_ledger=True)
         # Persistent-store consult: a prior process already ran this exact
-        # configuration — adopt it as a cache-priced answer.
+        # configuration — adopt it as a cache-priced answer.  Low-fidelity
+        # probe records (written by a gated session) are *not* adopted
+        # here: the full flow must answer, and its record supersedes them.
         key, stored = self._store_lookup(params)
-        if stored is not None:
+        if stored is not None and stored.rank >= FULL_RANK:
             return self._adopt_stored(encoded, params, stored, record)
         try:
             point = self.evaluator.evaluate(params)
@@ -380,6 +451,245 @@ class ApproximateFitness:
                 origin="store",
             )
         return self._note_point(encoded, point, record)
+
+    # ------------------------------------------------------------------
+    # Speculative fidelity gate
+
+    @staticmethod
+    def _frozen(params: dict[str, int]) -> tuple:
+        return tuple(sorted((k, int(v)) for k, v in params.items()))
+
+    def _run_tool_gated(self, encoded: np.ndarray) -> np.ndarray:
+        """One fitness evaluation through the promotion gate.
+
+        Probe at the gate fidelity, predict the full-route outcome, and
+        run the expensive tail only when the gate promotes.  Skipped
+        points enter history as ``source="speculative"`` with *predicted*
+        metrics and are remembered for promotion-on-demand
+        (:meth:`promote_archive`) in case they survive into the archive.
+        """
+        gate = self.promotion_gate
+        assert gate is not None
+        params = self.space.decode(encoded)
+        frozen = self._frozen(params)
+        tel = current_telemetry()
+        memo = self._gate_memo.get(frozen)
+        if memo is not None:
+            # The gated path already answered this binding this session —
+            # replay it cache-priced, like the tool's own run cache would.
+            metrics = dict(zip(self.evaluator.metric_names(), map(float, memo)))
+            point = EvaluatedPoint(
+                parameters=dict(params),
+                metrics=metrics,
+                source="cache",
+                simulated_seconds=0.0,
+            )
+            if tel is not None:
+                tel.ledger.append(
+                    params=params, outcome="cache", metrics=metrics,
+                    charge=0.0, origin="gate",
+                )
+            return self._note_point(encoded, point, record=False)
+        if not self.gate.is_feasible(params):
+            return self._note_failure(params, "DrcViolationError", record_ledger=True)
+        key, stored = self._store_lookup(params)
+        if stored is not None and stored.rank >= FULL_RANK:
+            y = np.asarray(
+                self._adopt_stored(encoded, params, stored, record=False), dtype=float
+            )
+            self._gate_memo[frozen] = y.copy()
+            return y
+        probe_point: EvaluatedPoint | None = None
+        probe_cost = 0.0
+        if stored is not None and stored.kind == KIND_POINT:
+            # A previous gated session stored this binding's probe: reuse
+            # it as the (free) low-fidelity signal, then decide as usual.
+            probe_point = dataclasses.replace(
+                decode_point(stored.payload),
+                parameters=dict(params),
+                source="cache",
+                simulated_seconds=0.0,
+            )
+            if tel is not None:
+                tel.counters.inc("cache.store_hit")
+                tel.ledger.append(
+                    params=params, outcome="cache", metrics=probe_point.metrics,
+                    charge=0.0, origin="store", fidelity=probe_point.fidelity,
+                )
+        elif stored is not None:
+            # A stored low-rank failure: the probe already failed for a
+            # previous session; fidelity verdicts for this binding are
+            # probe-level only, so keep treating it as infeasible.
+            error_type = str(stored.payload.get("original_type", "ReproError"))
+            if tel is not None:
+                tel.counters.inc("cache.store_hit")
+                tel.ledger.append(
+                    params=params, outcome="failed", charge=0.0,
+                    error_type=error_type, origin="store",
+                )
+            y = np.asarray(
+                self._note_failure(params, error_type, charge_s=0.0), dtype=float
+            )
+            self._gate_memo[frozen] = y.copy()
+            return y
+        if probe_point is None:
+            try:
+                probe_point = self.evaluator.evaluate(
+                    params, fidelity=self.gate_fidelity
+                )
+            except ReproError as exc:
+                charge = self.evaluator.last_failure_seconds
+                self._store_append(
+                    key,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    charge_s=charge,
+                    rank=fidelity_rank(str(self.gate_fidelity)),
+                )
+                y = np.asarray(
+                    self._note_failure(
+                        params, type(exc).__name__, charge_s=charge
+                    ),
+                    dtype=float,
+                )
+                self._gate_memo[frozen] = y.copy()
+                return y
+            probe_cost = probe_point.simulated_seconds
+        signs = gate.signs
+        y_low = self._metric_vector(probe_point)
+        x = np.asarray(encoded, dtype=float)
+        low_min = signs * y_low
+        decision = gate.assess(x, low_min)
+        if decision.promote:
+            try:
+                full_point = self.evaluator.evaluate(params)
+            except ReproError as exc:
+                # The probe passed but the full flow failed (fidelities
+                # draw independent QoR noise, so borderline capacity can
+                # differ) — the point is infeasible and charges both runs.
+                charge = self.evaluator.last_failure_seconds
+                self._store_append(
+                    key,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    charge_s=charge,
+                )
+                y = np.asarray(
+                    self._note_failure(
+                        params, type(exc).__name__, charge_s=probe_cost + charge
+                    ),
+                    dtype=float,
+                )
+                self._gate_memo[frozen] = y.copy()
+                return y
+            y_full = self._metric_vector(full_point)
+            gate.observe(x, low_min, signs * y_full)
+            self._store_append(key, point=full_point)
+            self._gate_memo[frozen] = y_full.copy()
+            # One history entry per design point; its cost is the probe
+            # plus the full run (the full run reuses the probe's cached
+            # synthesis stage, so the sum equals the ungated full cost).
+            combined = dataclasses.replace(
+                full_point,
+                simulated_seconds=probe_cost + full_point.simulated_seconds,
+            )
+            return self._note_point(encoded, combined, record=False)
+        # Skip: answer with the gate's predicted full-route metrics and
+        # remember the binding for promotion-on-demand.
+        pred_min = decision.predicted_full_min
+        assert pred_min is not None  # skips only happen with a fitted model
+        y_pred = signs * np.asarray(pred_min, dtype=float)
+        metrics = dict(zip(self.evaluator.metric_names(), map(float, y_pred)))
+        spec_point = EvaluatedPoint(
+            parameters=dict(params),
+            metrics=metrics,
+            source="speculative",
+            simulated_seconds=probe_cost,
+            fidelity=str(probe_point.fidelity),
+        )
+        self._store_append(
+            key, point=probe_point, rank=fidelity_rank(probe_point.fidelity)
+        )
+        self._speculative[frozen] = (x.copy(), low_min.copy())
+        self._gate_memo[frozen] = y_pred.copy()
+        return self._note_point(encoded, spec_point, record=False)
+
+    def promote_archive(self, archive) -> int:
+        """Run the full flow for every speculative point still in ``archive``.
+
+        The gate's contract: a skipped point's predicted metrics may
+        steer the search, but nothing speculative survives into the
+        *reported* front.  Called by the session after the algorithm
+        finishes; every *non-dominated* archive member whose binding was
+        skipped is promoted (its archive ``F`` rows are patched in place
+        with the authoritative minimized metrics) and the gate's
+        calibration learns from the outcome.  Because a promotion can
+        worsen a row and expose previously shadowed points, the
+        front-extraction/promotion loop iterates until the non-dominated
+        subset is speculation-free.  Dominated speculative members stay
+        predicted — they never reach the reported front, and promoting
+        them would forfeit exactly the route+STA time the gate saved.
+        Returns the number of promotions.
+        """
+        gate = self.promotion_gate
+        if gate is None or not self._speculative:
+            return 0
+        X = getattr(archive, "X", None)
+        if X is None or archive.F is None or not len(X):
+            return 0
+        from repro.moo.nds import non_dominated_mask
+
+        rows = np.atleast_2d(np.asarray(X))
+        signs = gate.signs
+        tel = current_telemetry()
+        identity = self._store_identity()
+        promoted = 0
+        while True:
+            mask = non_dominated_mask(archive.F)
+            fixes: dict[tuple, np.ndarray] = {}  # frozen binding -> minimized row
+            for i in np.flatnonzero(mask):
+                params = self.space.decode(rows[i])
+                frozen = self._frozen(params)
+                if frozen in fixes:
+                    continue
+                spec = self._speculative.get(frozen)
+                if spec is None:
+                    continue
+                x, low_min = spec
+                key = point_key(identity, params) if identity is not None else None
+                if tel is not None:
+                    tel.counters.inc("decision.fidelity_promote")
+                try:
+                    full_point = self.evaluator.evaluate(params)
+                except ReproError as exc:
+                    charge = self.evaluator.last_failure_seconds
+                    self._store_append(
+                        key,
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        charge_s=charge,
+                    )
+                    self._note_failure(params, type(exc).__name__, charge_s=charge)
+                    penalty = self._penalty_vector()
+                    fixes[frozen] = signs * penalty
+                    self._gate_memo[frozen] = penalty.copy()
+                    del self._speculative[frozen]
+                    continue
+                y_full = self._metric_vector(full_point)
+                gate.observe(x, low_min, signs * y_full)
+                self._store_append(key, point=full_point)
+                self._note_point(rows[i], full_point, record=False)
+                fixes[frozen] = signs * y_full
+                self._gate_memo[frozen] = y_full.copy()
+                del self._speculative[frozen]
+                promoted += 1
+            if not fixes:
+                return promoted
+            for i in range(rows.shape[0]):
+                frozen = self._frozen(self.space.decode(rows[i]))
+                fix = fixes.get(frozen)
+                if fix is not None:
+                    archive.F[i] = fix
 
     # ------------------------------------------------------------------
     # Batch fan-out (shared by the blocking and async interfaces)
@@ -489,6 +799,35 @@ class ApproximateFitness:
         # All-path rejection count (serial, batch, and model paths) — more
         # informative than the fitness gate's own memoized tally.
         base["drc_rejections"] = self.drc_rejections
+        # Stage-cache effectiveness and per-fidelity run counts, read off
+        # the serial tool session (pool workers keep their own sessions
+        # and report through the run ledger instead).
+        sim = self.evaluator.sim
+        base["run_cache_hits"] = sim.run_cache_hits
+        base["synth_stage_hits"] = sim.synth_stage_hits
+        base["impl_stage_hits"] = sim.impl_stage_hits
+        # Per-fidelity fresh-run counts.  A gated session is always
+        # serial, so the tool session's own counters are exact (they
+        # include probe runs, which history folds into combined
+        # entries).  Ungated sessions may fan out over pool workers
+        # whose sims this session never sees — there the history is the
+        # pool-consistent source: every worker's fresh run lands as
+        # source "tool" with its fidelity tag.
+        if self.promotion_gate is not None:
+            for fid, count in sim.fidelity_runs.items():
+                base[f"runs:{fid}"] = count
+        else:
+            for fid in Fidelity:
+                base[f"runs:{fid}"] = sum(
+                    1 for p in self.history
+                    if p.source == "tool" and p.fidelity == str(fid)
+                )
+        if self.promotion_gate is not None:
+            for name, value in self.promotion_gate.stats().items():
+                if name == "band":
+                    continue
+                base[f"gate_{name}"] = value
+            base["gate_pending_speculative"] = len(self._speculative)
         if self.use_model:
             base.update(self.control.stats())
         return base

@@ -59,6 +59,7 @@ from typing import Mapping, Sequence
 
 from repro.analysis.gate import PreflightGate
 from repro.cache import (
+    FULL_RANK,
     KIND_FAILURE,
     KIND_POINT,
     ResultStore,
@@ -572,7 +573,9 @@ class ParallelPointEvaluator:
                 # tool run as a cache answer, before any dispatch.
                 if identity is not None:
                     record = self.store.get(point_key(identity, params))
-                    if record is not None:
+                    # Low-rank records are fidelity-gate probes from another
+                    # process — never a substitute for a full-route answer.
+                    if record is not None and record.rank >= FULL_RANK:
                         self._adopt_stored(key, params, record)
                         del fresh[key]
 
@@ -597,6 +600,19 @@ class ParallelPointEvaluator:
                         )
                     self.memo[key] = result
                     self._store_put(params, result)
+                    if (
+                        self.spec.emulate_tool_latency > 0.0
+                        and result.simulated_seconds > 0.0
+                    ):
+                        # Mirror the worker-side latency emulation: the sleep
+                        # scales with the simulated seconds actually charged,
+                        # so partial flows (stage-cache hits, low-fidelity
+                        # probes) wait proportionally to the stages they ran
+                        # — not the full-flow price.
+                        time.sleep(
+                            result.simulated_seconds
+                            * self.spec.emulate_tool_latency
+                        )
             else:
                 pool = self._ensure_pool()
                 for key, params in fresh.items():

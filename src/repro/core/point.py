@@ -13,14 +13,18 @@ class EvaluatedPoint:
     """One configuration and its metric outcome.
 
     ``source`` records how the values were obtained — ``"tool"`` (a real
-    VEDA run), ``"cache"``, or ``"estimate"`` (Nadaraya-Watson) — so result
-    tables can distinguish measured from predicted rows.
+    VEDA run), ``"cache"``, ``"estimate"`` (Nadaraya-Watson), or
+    ``"speculative"`` (a gated low-fidelity probe whose full-route values
+    are predicted) — so result tables can distinguish measured from
+    predicted rows.  ``fidelity`` names the flow-ladder rung the metrics
+    were measured at (predictions keep the probe's fidelity).
     """
 
     parameters: dict[str, int]
     metrics: dict[str, float]
     source: str = "tool"
     simulated_seconds: float = 0.0
+    fidelity: str = "full-route"
 
     def metric(self, name: str) -> float:
         for key, value in self.metrics.items():

@@ -27,7 +27,7 @@ from repro.core.pareto import pareto_points
 from repro.core.point import EvaluatedPoint
 from repro.core.spaces import ParameterSpace
 from repro.directives import DirectiveSet
-from repro.flow.vivado_sim import FlowStep
+from repro.flow.vivado_sim import Fidelity, FlowStep
 from repro.moo import NSGA2, Termination
 from repro.moo.nsga2 import NSGA2Result
 from repro.observe import GenerationStat, current_telemetry, span as observe_span
@@ -97,6 +97,11 @@ class DseSession:
         refit_every: int = 1,
         refit_gamma_drift: float | None = None,
         result_store=None,
+        fidelity_gate: bool = False,
+        gate_risk: float = 0.05,
+        gate_fidelity: str = "synth-estimate",
+        gate_min_calibration: int = 5,
+        gate_trickle_every: int = 8,
     ) -> None:
         design_name = None
         if design is not None:
@@ -138,6 +143,11 @@ class DseSession:
                 every=refit_every, gamma_drift=refit_gamma_drift
             ),
             result_store=result_store,
+            fidelity_gate=fidelity_gate,
+            gate_risk=gate_risk,
+            gate_fidelity=Fidelity(gate_fidelity),
+            gate_min_calibration=gate_min_calibration,
+            gate_trickle_every=gate_trickle_every,
         )
         self._pretrained = False
         self.last_algorithm_choice = None  # set by explore(algorithm="auto")
@@ -180,6 +190,11 @@ class DseSession:
                 design_name=old.design_name,
                 refit_policy=old.refit_policy,
                 result_store=old.result_store,
+                fidelity_gate=old.fidelity_gate_enabled,
+                gate_risk=old.gate_risk,
+                gate_fidelity=old.gate_fidelity,
+                gate_min_calibration=old.gate_min_calibration,
+                gate_trickle_every=old.gate_trickle_every,
             )
             self._pretrained = False
         return report
@@ -381,6 +396,10 @@ class DseSession:
                 "use nsga2, spea2, mosa, exhaustive, or auto"
             )
 
+        # Promote any speculatively-skipped archive members to full fidelity
+        # before the front is extracted: the reported Pareto set (and the
+        # regret the benchmarks measure) is always full-route truth.
+        self.fitness.promote_archive(archive)
         pareto = pareto_points(
             problem, self.space, archive, self.evaluator.metric_names()
         )

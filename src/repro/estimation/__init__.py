@@ -20,6 +20,7 @@ from repro.estimation.nadaraya_watson import NadarayaWatson
 from repro.estimation.cross_validation import loo_bandwidth, loo_mse
 from repro.estimation.similarity import similarity_phi, adaptive_threshold
 from repro.estimation.control import ControlModel, Decision, RefitPolicy
+from repro.estimation.fidelity_gate import GateDecision, PromotionGate
 
 __all__ = [
     "gaussian_kernel",
@@ -33,4 +34,6 @@ __all__ = [
     "ControlModel",
     "Decision",
     "RefitPolicy",
+    "GateDecision",
+    "PromotionGate",
 ]

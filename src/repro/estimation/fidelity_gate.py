@@ -1,0 +1,230 @@
+"""The speculative promotion gate of the multi-fidelity flow ladder.
+
+The DSE evaluates most points only to learn they are dominated; their
+full-route numbers never matter beyond that verdict.  The gate makes that
+verdict *before* paying for route+STA: each candidate first runs a cheap
+low-fidelity probe, a learned model predicts the full-route metrics from
+the probe's signals, and the expensive tail is skipped when even an
+*optimistic* read of the prediction is dominated by the current
+full-fidelity front.
+
+Three guarantees keep the speculation honest:
+
+- **Residual learning** — the model (the repo's Nadaraya-Watson stack)
+  predicts the *gap* between probe and full-route metrics, not the
+  metrics themselves, so the probe's measured signal always anchors the
+  prediction and the model only has to learn the systematic optimism of
+  the lower rung.
+- **Conformal-style error band** — prediction errors are recorded
+  out-of-sample on every promoted point (predict first, then learn), and
+  the per-metric ``(1 - risk)`` quantile of those absolute errors widens
+  the prediction before the dominance test.  A point is skipped only
+  when its *optimistic corner* (prediction minus band, in minimized
+  space) is still dominated.
+- **Mandatory-promotion trickle** — every ``trickle_every``-th would-be
+  skip is promoted anyway, so the calibration set keeps growing even
+  when the gate becomes confident, and drift cannot starve it.
+
+Everything is deterministic: no RNG, no clock — identical call sequences
+reproduce identical decisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.estimation.nadaraya_watson import NadarayaWatson
+from repro.observe import current_telemetry
+
+__all__ = ["GateDecision", "PromotionGate"]
+
+_MIN_BANDWIDTH = 1e-6
+
+
+class GateDecision:
+    """Outcome of one :meth:`PromotionGate.assess` call."""
+
+    __slots__ = ("promote", "reason", "predicted_full_min")
+
+    def __init__(
+        self, promote: bool, reason: str, predicted_full_min: np.ndarray | None = None
+    ) -> None:
+        self.promote = promote
+        self.reason = reason
+        self.predicted_full_min = predicted_full_min
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        verb = "promote" if self.promote else "skip"
+        return f"GateDecision({verb}: {self.reason})"
+
+
+def _dominates(row: np.ndarray, other: np.ndarray) -> bool:
+    """Pareto dominance in minimized space (row at least as good, somewhere better)."""
+    return bool(np.all(row <= other) and np.any(row < other))
+
+
+class PromotionGate:
+    """Decide per candidate whether the full-route tail is worth paying for.
+
+    All metric vectors are exchanged in *minimized* space (``signs *
+    raw``, the convention of :class:`repro.moo.problem.IntegerProblem`),
+    so dominance is a plain component-wise comparison regardless of each
+    metric's sense.
+
+    ``risk`` is the per-metric miss probability the error band targets:
+    at 0.05, the band covers 95% of the calibration errors, so a skipped
+    point's true full-route value escapes its optimistic corner on at
+    most ~5% of metric reads.  ``min_calibration`` promoted points are
+    required before any skip; ``trickle_every`` bounds how many
+    consecutive skips may pass between forced promotions.
+    """
+
+    def __init__(
+        self,
+        signs: np.ndarray,
+        risk: float = 0.05,
+        min_calibration: int = 5,
+        trickle_every: int = 8,
+    ) -> None:
+        if not 0.0 < risk < 1.0:
+            raise ValueError(f"risk must be in (0, 1), got {risk}")
+        if min_calibration < 1:
+            raise ValueError(f"min_calibration must be >= 1, got {min_calibration}")
+        if trickle_every < 2:
+            raise ValueError(f"trickle_every must be >= 2, got {trickle_every}")
+        self.signs = np.asarray(signs, dtype=float).ravel()
+        self.risk = float(risk)
+        self.min_calibration = int(min_calibration)
+        self.trickle_every = int(trickle_every)
+        self._X: list[np.ndarray] = []
+        self._residuals: list[np.ndarray] = []
+        self._errors: list[np.ndarray] = []
+        self._front: np.ndarray | None = None
+        self._model: NadarayaWatson | None = None
+        self.promoted = 0
+        self.skipped = 0
+        self.trickled = 0
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _count(name: str) -> None:
+        tel = current_telemetry()
+        if tel is not None:
+            tel.counters.inc(name)
+
+    def _band(self) -> np.ndarray | None:
+        """Per-metric (1 - risk) quantile of the out-of-sample |error|."""
+        if len(self._errors) < self.min_calibration:
+            return None
+        errors = np.vstack(self._errors)
+        return np.quantile(errors, 1.0 - self.risk, axis=0)
+
+    def _refit(self) -> None:
+        X = np.vstack(self._X)
+        if len(self._X) == 1:
+            bandwidth = 1.0
+        else:
+            # Half the median pairwise distance: wide enough to average
+            # neighbours, narrow enough to track local residual structure.
+            diffs = X[:, None, :] - X[None, :, :]
+            dists = np.sqrt((diffs * diffs).sum(axis=2))
+            upper = dists[np.triu_indices(len(self._X), k=1)]
+            bandwidth = max(float(np.median(upper)) * 0.5, _MIN_BANDWIDTH)
+        self._model = NadarayaWatson(bandwidth=bandwidth).fit(
+            X, np.vstack(self._residuals)
+        )
+
+    def predict_full_min(self, x: np.ndarray, low_min: np.ndarray) -> np.ndarray | None:
+        """Predicted full-route metrics (minimized space), or None pre-fit."""
+        if self._model is None:
+            return None
+        residual = self._model.predict(np.asarray(x, dtype=float))
+        return np.asarray(low_min, dtype=float) + residual
+
+    # ------------------------------------------------------------------
+
+    def assess(self, x: np.ndarray, low_min: np.ndarray) -> GateDecision:
+        """Promote-or-skip verdict for a probed candidate.
+
+        ``low_min`` is the probe's metric vector in minimized space.  The
+        caller must feed every *promoted* point's full-route outcome back
+        through :meth:`observe` — calibration and the front depend on it.
+        """
+        prediction = self.predict_full_min(x, low_min)
+        if len(self._X) < self.min_calibration or prediction is None:
+            self.promoted += 1
+            self._count("decision.fidelity_promote")
+            return GateDecision(True, "calibration", prediction)
+        band = self._band()
+        if band is None:
+            self.promoted += 1
+            self._count("decision.fidelity_promote")
+            return GateDecision(True, "uncertain", prediction)
+        if self._front is None or not len(self._front):
+            self.promoted += 1
+            self._count("decision.fidelity_promote")
+            return GateDecision(True, "no-front", prediction)
+        optimistic = prediction - band
+        dominated = any(_dominates(row, optimistic) for row in self._front)
+        if not dominated:
+            self.promoted += 1
+            self._count("decision.fidelity_promote")
+            return GateDecision(True, "frontier", prediction)
+        # Dominated even optimistically — a skip, unless the trickle is due.
+        if (self.skipped + self.trickled + 1) % self.trickle_every == 0:
+            self.trickled += 1
+            self.promoted += 1
+            self._count("decision.fidelity_promote")
+            return GateDecision(True, "trickle", prediction)
+        self.skipped += 1
+        self._count("decision.fidelity_skip")
+        return GateDecision(False, "dominated", prediction)
+
+    def observe(
+        self, x: np.ndarray, low_min: np.ndarray, full_min: np.ndarray
+    ) -> None:
+        """Learn from a promoted point's (probe, full-route) outcome pair.
+
+        The prediction error is recorded *before* the point joins the
+        dataset, so the band calibrates on genuinely out-of-sample
+        errors.
+        """
+        x = np.asarray(x, dtype=float).ravel()
+        low_min = np.asarray(low_min, dtype=float).ravel()
+        full_min = np.asarray(full_min, dtype=float).ravel()
+        prediction = self.predict_full_min(x, low_min)
+        if prediction is not None:
+            self._errors.append(np.abs(prediction - full_min))
+        self._X.append(x)
+        self._residuals.append(full_min - low_min)
+        self._refit()
+        if self._front is None:
+            self._front = full_min[None, :]
+        else:
+            candidates = np.vstack([self._front, full_min[None, :]])
+            keep = [
+                i
+                for i in range(len(candidates))
+                if not any(
+                    _dominates(candidates[j], candidates[i])
+                    for j in range(len(candidates))
+                    if j != i
+                )
+            ]
+            self._front = candidates[keep]
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        band = self._band()
+        return {
+            "promoted": self.promoted,
+            "skipped": self.skipped,
+            "trickled": self.trickled,
+            "calibration_points": len(self._errors),
+            "dataset_size": len(self._X),
+            "front_size": 0 if self._front is None else int(len(self._front)),
+            "band": None if band is None else [float(b) for b in band],
+            "risk": self.risk,
+        }

@@ -38,14 +38,14 @@ from repro.hdl.ast import HdlLanguage, Module
 from repro.hdl.frontend import SourceCollection, parse_source
 from repro.observe import current_telemetry, span as observe_span
 from repro.pnr.checkpoints import CheckpointStore
-from repro.pnr.implementation import implement
+from repro.pnr.implementation import implement, implement_placed_estimate
 from repro.pnr.timing import block_internal_delay_ns
 from repro.synth.synthesis import synthesize
 from repro.util.rng import stable_hash_seed
 from repro.util.timing import Stopwatch
 from repro.util.units import fmax_from_wns
 
-__all__ = ["FlowStep", "RunResult", "VivadoSim"]
+__all__ = ["Fidelity", "FlowStep", "RunResult", "VivadoSim"]
 
 #: Default bound of each in-memory cache (run/synthesis/implementation).
 #: Generous — a DSE session rarely revisits more distinct configurations —
@@ -62,6 +62,40 @@ class FlowStep(str, enum.Enum):
 
     def __str__(self) -> str:
         return self.value
+
+
+class Fidelity(str, enum.Enum):
+    """How far down the flow ladder a run's metrics come from.
+
+    Ordered by cost and trustworthiness:
+
+    - ``SYNTH_ESTIMATE`` — synthesis only, optimistic post-synth timing
+      estimate.  What a ``step=SYNTHESIS`` run always produces.
+    - ``PLACED_ESTIMATE`` — synthesis + real placement, timing from
+      congestion-free (optimistic) routing.  A mid-ladder probe for
+      ``step=IMPLEMENTATION`` evaluations.
+    - ``FULL_ROUTE`` — the complete synth → place → route → STA flow; the
+      only fidelity whose numbers are authoritative.
+    """
+
+    SYNTH_ESTIMATE = "synth-estimate"
+    PLACED_ESTIMATE = "placed-estimate"
+    FULL_ROUTE = "full-route"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def rank(self) -> int:
+        """Ladder position (higher = more trustworthy)."""
+        return _FIDELITY_RANK[self]
+
+
+_FIDELITY_RANK = {
+    Fidelity.SYNTH_ESTIMATE: 0,
+    Fidelity.PLACED_ESTIMATE: 1,
+    Fidelity.FULL_ROUTE: 2,
+}
 
 
 @dataclass(frozen=True)
@@ -82,6 +116,7 @@ class RunResult:
     utilization_report_text: str
     timing_report_text: str
     from_cache: bool = False
+    fidelity: Fidelity = Fidelity.FULL_ROUTE
 
     def metric(self, name: str) -> float:
         """Uniform metric accessor: ``"frequency"`` (MHz) or a resource kind."""
@@ -140,6 +175,8 @@ class VivadoSim:
         self.last_run_seconds = 0.0
         self.last_run_cached = False
         self.last_run_stages: tuple[str, ...] = ()
+        self.last_run_fidelity: Fidelity = Fidelity.FULL_ROUTE
+        self.fidelity_runs: dict[str, int] = {str(f): 0 for f in Fidelity}
         self.runs = 0
         self.failed_runs = 0
         self.run_cache_hits = 0
@@ -208,6 +245,7 @@ class VivadoSim:
         parameters: Mapping[str, int | bool] | None = None,
         step: FlowStep = FlowStep.IMPLEMENTATION,
         directives: DirectiveSet | None = None,
+        fidelity: Fidelity | str | None = None,
     ) -> RunResult:
         """Evaluate one design point end to end.
 
@@ -237,13 +275,35 @@ class VivadoSim:
         ``simulated_seconds``/``last_run_seconds`` before the error
         propagates: Vivado errors late, and a failed point is not free
         against the DSE soft deadline.
+
+        ``fidelity`` selects a rung of the flow ladder for
+        ``step=IMPLEMENTATION`` runs: ``None``/``FULL_ROUTE`` is the
+        unchanged full flow; ``PLACED_ESTIMATE`` stops after placement and
+        reads timing off congestion-free routing; ``SYNTH_ESTIMATE``
+        stops after synthesis (same numbers a ``step=SYNTHESIS`` run
+        produces).  ``step=SYNTHESIS`` runs always report
+        ``SYNTH_ESTIMATE``.  Each rung charges only the stages it
+        executes, and the result is tagged with its fidelity.  Lower
+        rungs never touch the implementation stage cache or incremental
+        checkpoints — a speculative probe must not perturb what the full
+        flow would later compute.
         """
         directives = directives or DirectiveSet()
         params = {k: int(v) for k, v in (parameters or {}).items()}
+        if fidelity is not None:
+            fidelity = Fidelity(fidelity)
+        if step != FlowStep.IMPLEMENTATION:
+            effective = Fidelity.SYNTH_ESTIMATE
+        elif fidelity is None:
+            effective = Fidelity.FULL_ROUTE
+        else:
+            effective = fidelity
+        self.last_run_fidelity = effective
         cache_key = stable_hash_seed(
             (
                 top.lower(), self.device.part, sorted(params.items()), str(step),
                 directives.as_dict(), round(self.target_period_ns, 6),
+                str(effective),
             )
         )
         cached = self._cache.get(cache_key)
@@ -289,8 +349,14 @@ class VivadoSim:
                 stages.append("synthesis")
             noise_key = (top.lower(), self.device.part, sorted(params.items()),
                          directives.as_dict(), str(step))
+            if step == FlowStep.IMPLEMENTATION and effective is not Fidelity.FULL_ROUTE:
+                # Lower rungs decorrelate their jitter from the full flow —
+                # the gate's residual model has to learn a real estimate
+                # gap, not a shared noise draw.  Full-route keys stay
+                # byte-identical to the pre-ladder flow.
+                noise_key = (*noise_key, str(effective))
 
-            if step == FlowStep.IMPLEMENTATION:
+            if step == FlowStep.IMPLEMENTATION and effective is Fidelity.FULL_ROUTE:
                 impl_entry = (
                     self._impl_cache.get(impl_key) if stage_cacheable else None
                 )
@@ -322,6 +388,23 @@ class VivadoSim:
                 critical_path = impl_entry.critical_path
                 arcs = impl_entry.arcs_analyzed
                 incremental = impl_entry.used_checkpoint or synth.incremental_reuse > 0
+            elif step == FlowStep.IMPLEMENTATION and effective is Fidelity.PLACED_ESTIMATE:
+                with self.stopwatch.measure("placement"), \
+                        observe_span("flow.placed_estimate") as sp:
+                    est = implement_placed_estimate(
+                        synth.mapped,
+                        target_period_ns=self.target_period_ns,
+                        directive=directives.impl,
+                        seed=stable_hash_seed((self.seed, *noise_key)),
+                        extra_delay_bias=directives.synth.effect().delay_bias,
+                    )
+                    seconds += est.simulated_seconds
+                    sp.charge(est.simulated_seconds)
+                stages.append("placement")
+                critical_delay = est.timing.critical_delay_ns
+                critical_path = est.timing.critical_path
+                arcs = est.timing.arcs_analyzed
+                incremental = synth.incremental_reuse > 0
             else:
                 # Synthesis-step timing estimate: internal delays plus one
                 # nominal net hop per combinational crossing — optimistic,
@@ -396,12 +479,14 @@ class VivadoSim:
             incremental=incremental,
             utilization_report_text=util_text,
             timing_report_text=timing_text,
+            fidelity=effective,
         )
         self._cache.put(cache_key, result)
         self.simulated_seconds += seconds
         self.last_run_seconds = seconds
         self.last_run_stages = tuple(stages)
         self.runs += 1
+        self.fidelity_runs[str(effective)] += 1
         return result
 
     def _synth_timing_estimate(self, synth) -> tuple[float, tuple[str, ...], int]:

@@ -41,7 +41,11 @@ class LedgerRecord:
     before the error for failed runs).  ``wall_s`` is real time spent by
     the recording process.  ``origin`` distinguishes records produced
     locally, shipped back from a pool worker, or replayed from the
-    cross-batch memo table.
+    cross-batch memo table.  ``fidelity`` (when set) names the flow-ladder
+    rung the charge was measured at — a gated point may therefore produce
+    two records for the same binding (the low-fidelity probe and the
+    promotion's full-route run) whose charges still sum to the flow's
+    clock.
     """
 
     index: int
@@ -52,6 +56,7 @@ class LedgerRecord:
     error_type: str | None = None
     wall_s: float = 0.0
     origin: str = "local"
+    fidelity: str | None = None
 
     def __post_init__(self) -> None:
         if self.outcome not in OUTCOMES:
@@ -60,7 +65,7 @@ class LedgerRecord:
             )
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "kind": "record",
             "index": self.index,
             "params": dict(self.params),
@@ -71,6 +76,11 @@ class LedgerRecord:
             "wall_s": self.wall_s,
             "origin": self.origin,
         }
+        # Only fidelity-tagged records carry the key: pre-ladder traces
+        # (and their golden fixtures) round-trip byte-identically.
+        if self.fidelity is not None:
+            payload["fidelity"] = self.fidelity
+        return payload
 
     @classmethod
     def from_json(cls, payload: Mapping) -> "LedgerRecord":
@@ -83,6 +93,9 @@ class LedgerRecord:
             error_type=payload.get("error_type"),
             wall_s=float(payload.get("wall_s", 0.0)),
             origin=str(payload.get("origin", "local")),
+            fidelity=(
+                str(payload["fidelity"]) if payload.get("fidelity") is not None else None
+            ),
         )
 
 
@@ -108,6 +121,7 @@ class RunLedger:
         error_type: str | None = None,
         wall_s: float = 0.0,
         origin: str = "local",
+        fidelity: str | None = None,
     ) -> LedgerRecord:
         """Append one record; the index is assigned by the ledger."""
         record = LedgerRecord(
@@ -119,6 +133,7 @@ class RunLedger:
             error_type=error_type,
             wall_s=float(wall_s),
             origin=origin,
+            fidelity=fidelity,
         )
         self.records.append(record)
         return record
@@ -141,6 +156,7 @@ class RunLedger:
                 error_type=record.error_type,
                 wall_s=record.wall_s,
                 origin=origin if origin is not None else record.origin,
+                fidelity=record.fidelity,
             )
             n += 1
         return n
@@ -163,6 +179,19 @@ class RunLedger:
         out = {outcome: 0.0 for outcome in OUTCOMES}
         for r in self.records:
             out[r.outcome] += r.charge
+        return out
+
+    def fidelity_breakdown(self) -> dict[str, tuple[int, float]]:
+        """Per-fidelity (record count, summed charge) for tagged records.
+
+        Untagged records (pre-ladder traces, DRC rejections) are grouped
+        under ``"untagged"`` so the breakdown still totals the ledger.
+        """
+        out: dict[str, tuple[int, float]] = {}
+        for r in self.records:
+            key = r.fidelity if r.fidelity is not None else "untagged"
+            count, charge = out.get(key, (0, 0.0))
+            out[key] = (count + 1, charge + r.charge)
         return out
 
     def drain(self) -> list[dict]:

@@ -22,6 +22,7 @@ from repro.observe.ledger import OUTCOMES
 __all__ = ["validate_trace", "validate_lines"]
 
 _KINDS = ("meta", "record", "span", "counter", "generation")
+_FIDELITIES = ("synth-estimate", "placed-estimate", "full-route")
 
 
 def _is_num(value: object) -> bool:
@@ -58,6 +59,9 @@ def _check_record(payload: dict, errors: list[str], where: str) -> None:
         errors.append(f"{where}: {outcome} records must not carry error_type")
     if not isinstance(payload.get("origin"), str):
         errors.append(f"{where}: origin must be a string")
+    fidelity = payload.get("fidelity")
+    if fidelity is not None and fidelity not in _FIDELITIES:
+        errors.append(f"{where}: fidelity {fidelity!r} not in {_FIDELITIES}")
 
 
 def _check_span(payload: dict, errors: list[str], where: str) -> None:

@@ -164,6 +164,16 @@ def _render(
         title="Run ledger",
     ))
 
+    breakdown = ledger.fidelity_breakdown()
+    if any(key != "untagged" for key in breakdown):
+        rows = [
+            (key, count, _fmt_seconds(charge))
+            for key, (count, charge) in sorted(breakdown.items())
+        ]
+        sections.append(render_table(
+            ("Fidelity", "Records", "Tool time"), rows, title="Fidelity ladder"
+        ))
+
     decision_names = [n for n in counters if n.startswith("decision.")]
     if decision_names:
         rows = [

@@ -19,11 +19,21 @@ from repro.pnr.router import RoutingResult, route
 from repro.pnr.timing import TimingResult, analyze_timing
 from repro.synth.mapper import MappedDesign
 
-__all__ = ["ImplementationResult", "implement", "estimate_impl_seconds"]
+__all__ = [
+    "ImplementationResult",
+    "implement",
+    "implement_placed_estimate",
+    "estimate_impl_seconds",
+    "estimate_placed_seconds",
+]
 
 _IMPL_BASE_S = 65.0
 _IMPL_PER_CELL_S = 0.035
 _INCREMENTAL_FLOOR = 0.35
+#: Fraction of the implementation runtime spent by the time placement (and
+#: the post-place timing estimate) completes — the cost of the
+#: ``placed-estimate`` fidelity relative to the full place+route+STA step.
+_PLACE_FRACTION = 0.45
 
 
 def estimate_impl_seconds(
@@ -36,6 +46,11 @@ def estimate_impl_seconds(
     full = (_IMPL_BASE_S + cells * _IMPL_PER_CELL_S) * effect.runtime_factor
     saved = reuse_fraction * (1.0 - _INCREMENTAL_FLOOR)
     return full * (1.0 - saved)
+
+
+def estimate_placed_seconds(cells: int, directive: ImplDirective) -> float:
+    """Simulated wall time of the placed-estimate fidelity (place + est. STA)."""
+    return estimate_impl_seconds(cells, directive) * _PLACE_FRACTION
 
 
 @dataclass
@@ -101,4 +116,42 @@ def implement(
         simulated_seconds=seconds,
         used_checkpoint=initial is not None,
         checkpoint=checkpoint,
+    )
+
+
+def implement_placed_estimate(
+    design: MappedDesign,
+    target_period_ns: float,
+    directive: ImplDirective = ImplDirective.DEFAULT,
+    seed: int | np.random.Generator | None = 0,
+    extra_delay_bias: float = 1.0,
+) -> ImplementationResult:
+    """Place ``design`` and estimate timing *before* routing.
+
+    The placed-estimate fidelity of the flow ladder: placement runs for
+    real, but the router is consulted in optimistic mode (Manhattan
+    distances, no congestion detour), the way post-place timing estimates
+    read in Vivado.  Charges :func:`estimate_placed_seconds` instead of the
+    full implementation runtime; never consults or produces incremental
+    checkpoints (a speculative probe must not perturb the full flow).
+    """
+    effect = directive.effect()
+    placement = place(design, effort=effect.effort, seed=seed, initial=None)
+    routing = route(design, placement, optimistic=True)
+    timing = analyze_timing(
+        design.netlist,
+        design.device,
+        routing,
+        target_period_ns=target_period_ns,
+        delay_bias=effect.delay_bias * extra_delay_bias,
+    )
+    seconds = estimate_placed_seconds(design.netlist.approximate_cells(), directive)
+    return ImplementationResult(
+        placement=placement,
+        routing=routing,
+        timing=timing,
+        directive=directive,
+        simulated_seconds=seconds,
+        used_checkpoint=False,
+        checkpoint=Checkpoint.from_run(design.netlist, placement),
     )

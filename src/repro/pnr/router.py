@@ -38,8 +38,18 @@ class RoutingResult:
         return self.net_delays_ns[(src, dst)]
 
 
-def route(design: MappedDesign, placement: Placement) -> RoutingResult:
-    """Estimate routing for ``design`` under ``placement``."""
+def route(
+    design: MappedDesign, placement: Placement, optimistic: bool = False
+) -> RoutingResult:
+    """Estimate routing for ``design`` under ``placement``.
+
+    ``optimistic=True`` is the placed-estimate fidelity: net delays are
+    computed from the placement's Manhattan distances with *no* congestion
+    detour (``detour_factor == 1.0``), the way a post-place timing
+    estimate reads before the router has resolved track contention.  The
+    congestion summary is still computed and reported so callers can use
+    it as a promotion signal.
+    """
     device = design.device
     timing = device.timing()
     nets = design.netlist.nets()
@@ -57,7 +67,7 @@ def route(design: MappedDesign, placement: Placement) -> RoutingResult:
 
     fill = design.utilization_fraction()
     pressure = congestion + fill ** timing.congestion_exponent
-    detour = 1.0 + _DETOUR_GAIN * max(0.0, pressure)
+    detour = 1.0 if optimistic else 1.0 + _DETOUR_GAIN * max(0.0, pressure)
 
     # Per-net delay: a floor (local fanout/entry) plus distance-proportional
     # track delay; wide buses load the drivers slightly.

@@ -36,7 +36,7 @@ from pathlib import Path
 
 from repro.directives import DirectiveSet, ImplDirective, SynthDirective
 from repro.errors import TclError
-from repro.flow.vivado_sim import FlowStep, RunResult, VivadoSim
+from repro.flow.vivado_sim import Fidelity, FlowStep, RunResult, VivadoSim
 from repro.hdl.ast import HdlLanguage
 from repro.tcl.interp import TclInterp
 
@@ -55,6 +55,8 @@ class VivadoTclSession:
     synth_directive: SynthDirective = SynthDirective.DEFAULT
     impl_directive: ImplDirective = ImplDirective.DEFAULT
     step: FlowStep = FlowStep.SYNTHESIS
+    placed: bool = False
+    routed: bool = False
     result: RunResult | None = None
     exited: bool = False
 
@@ -75,6 +77,12 @@ class VivadoTclSession:
         if not self.top:
             raise TclError("no synth_design has been issued")
         if self.result is None:
+            # A script that places but never routes stops at the
+            # placed-estimate rung of the fidelity ladder; routing (alone
+            # or after placement) means the full flow.
+            fidelity: Fidelity | None = None
+            if self.step == FlowStep.IMPLEMENTATION and not self.routed:
+                fidelity = Fidelity.PLACED_ESTIMATE
             self.result = self.sim.run(
                 self.top,
                 self.generics,
@@ -82,6 +90,7 @@ class VivadoTclSession:
                 directives=DirectiveSet(
                     synth=self.synth_directive, impl=self.impl_directive
                 ),
+                fidelity=fidelity,
             )
         return self.result
 
@@ -183,18 +192,23 @@ def bind_vivado_commands(interp: TclInterp, session: VivadoTclSession) -> None:
             else:
                 i += 1
         session.step = FlowStep.SYNTHESIS
+        session.placed = False
+        session.routed = False
         session.result = None
         return top
 
     def place_design(_: TclInterp, argv: list[str]) -> str:
         _set_impl_directive(argv)
         session.step = FlowStep.IMPLEMENTATION
+        session.placed = True
         session.result = None
         return ""
 
     def route_design(_: TclInterp, argv: list[str]) -> str:
         _set_impl_directive(argv)
         session.step = FlowStep.IMPLEMENTATION
+        session.placed = True
+        session.routed = True
         session.result = None
         return ""
 

@@ -13,7 +13,7 @@ emitted script is valid standalone TCL.
 from __future__ import annotations
 
 from repro.directives import DirectiveSet
-from repro.flow.vivado_sim import FlowStep
+from repro.flow.vivado_sim import Fidelity, FlowStep
 from repro.hdl.ast import HdlLanguage
 
 __all__ = ["EVALUATION_FRAME", "render_evaluation_script"]
@@ -50,20 +50,29 @@ def render_evaluation_script(
     timing_report: str = "timing.rpt",
     checkpoint_file: str = "dovado.dcp",
     project_name: str = "dovado_run",
+    fidelity: Fidelity | None = None,
 ) -> str:
     """Customize the evaluation frame for one run.
 
     ``sources`` is a list of (staged-key-or-path, language) in compile
     order (SV packages first, per the paper's rule — the caller/
     SourceCollection is responsible for that ordering).
+
+    ``fidelity`` trims the implementation tail for lower-rung probes:
+    ``PLACED_ESTIMATE`` emits ``place_design`` without ``route_design``
+    (the session reads post-place estimated timing), and
+    ``SYNTH_ESTIMATE`` emits neither.  ``None``/``FULL_ROUTE`` renders
+    the script byte-identically to the pre-ladder frame.
     """
     directives = directives or DirectiveSet()
     read_cmds = "\n".join(f"{_READ_CMD[lang]} {ref}" for ref, lang in sources)
-    if step == FlowStep.IMPLEMENTATION:
+    if step == FlowStep.IMPLEMENTATION and fidelity in (None, Fidelity.FULL_ROUTE):
         impl_cmds = (
             f"place_design -directive {directives.impl}\n"
             f"route_design -directive {directives.impl}"
         )
+    elif step == FlowStep.IMPLEMENTATION and fidelity is Fidelity.PLACED_ESTIMATE:
+        impl_cmds = f"place_design -directive {directives.impl}"
     else:
         impl_cmds = "# synthesis-only evaluation"
 

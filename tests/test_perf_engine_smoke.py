@@ -34,3 +34,12 @@ def test_perf_engine_smoke():
     # Out-of-order scheduling: identity always holds; the speedup bar is
     # only enforced at full benchmark sizes.
     assert payload["ooo"]["identical"]
+    # Fidelity gate: the gate-off identity and the regret budget hold at
+    # smoke sizes (both are deterministic); the >=2x reduction floor only
+    # applies to the full benchmark, where the run is long enough for the
+    # calibration warm-up to amortize.
+    gate = payload["fidelity_gate"]
+    assert gate["identical_off"]
+    assert gate["hv_regret"] <= 0.01
+    assert gate["skipped"] > 0, "smoke run too small for the gate to ever skip"
+    assert gate["gated_simulated_s"] < gate["full_simulated_s"]
