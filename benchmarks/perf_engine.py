@@ -25,6 +25,12 @@ Five experiments prove the engine and chart its perf trajectory:
   reference point), and the gate-off run must be bitwise identical to a
   session constructed without any gate arguments (the pre-ladder
   reference).
+- **Static estimate** — the rung-0 analytical pre-estimator evaluated
+  against the full routed flow across sampled points of every bundled
+  design.  The assertion is *soundness*: the utilization lower bounds
+  never exceed the routed counts and the Fmax upper bound never falls
+  below the routed Fmax, for every feasible compared point (``sound`` is
+  1.0 exactly or the bench raises).
 - **Refit policy** — inserting n tool results into the control model with
   the per-insert LOO rescan (``RefitPolicy(every=1)``, the original
   behaviour) versus the incremental policy (periodic rescan + Γ-drift
@@ -56,6 +62,7 @@ __all__ = [
     "ooo_bench",
     "refit_bench",
     "run_perf_engine",
+    "static_estimate_bench",
     "warm_store_bench",
 ]
 
@@ -391,6 +398,83 @@ def fidelity_gate_bench(
     }
 
 
+def static_estimate_bench(
+    points_per_design: int = 4, part: str = "XC7K70T", seed: int = 2021
+) -> dict:
+    """Rung-0 soundness sweep: static bounds vs the routed flow.
+
+    Samples points of every bundled design's space (plus the default
+    binding), computes the zero-cost static estimate, runs the full
+    routed flow, and asserts the bounds hold: LUT/FF lower bounds at or
+    under the routed counts, Fmax upper bound at or over the routed
+    Fmax.  Points the router rejects (capacity overflow) are skipped —
+    there is no routed number to bound.  Returns ``sound`` (1.0 or the
+    assertions above raised) plus the mean bound tightness, so the
+    trajectory file records how much headroom the estimator leaves.
+    """
+    from repro.core.evaluate import PointEvaluator
+    from repro.core.spaces import ParameterSpace
+    from repro.designs import all_designs
+    from repro.devices import ResourceKind, get_device
+    from repro.errors import ReproError
+    from repro.netlist.static_estimate import static_estimate_point
+
+    rng = np.random.default_rng(seed)
+    device = get_device(part)
+    compared = 0
+    skipped = 0
+    fmax_slack = []  # (UB - routed) / routed, >= 0 when sound
+    lut_slack = []  # (routed - LB) / routed, >= 0 when sound
+    start = time.perf_counter()
+    for name, gen in sorted(all_designs().items()):
+        space = ParameterSpace.from_design(gen)
+        evaluator = PointEvaluator(
+            source=gen.source(),
+            language=str(gen.language),
+            top=gen.top,
+            part=part,
+            target_period_ns=10.0,
+            seed=seed,
+        )
+        rows = np.column_stack([
+            rng.integers(lo, hi + 1, size=points_per_design)
+            for lo, hi in zip(space.lows(), space.highs())
+        ])
+        points = [dict()] + [space.decode(row) for row in rows]
+        for params in points:
+            est = static_estimate_point(gen.module(), device, params)
+            try:
+                full = evaluator.evaluate(params)
+            except ReproError:
+                skipped += 1
+                continue
+            fmax = full.metrics["frequency"]
+            lut = full.metrics["LUT"]
+            assert est.fmax_ub_mhz >= fmax, (
+                f"{name}@{params}: static Fmax UB {est.fmax_ub_mhz:.2f} "
+                f"below routed {fmax:.2f}"
+            )
+            lut_lb = est.utilization_lb.get(ResourceKind.LUT)
+            assert lut_lb <= lut, (
+                f"{name}@{params}: static LUT LB {lut_lb} above routed {lut}"
+            )
+            fmax_slack.append((est.fmax_ub_mhz - fmax) / fmax)
+            lut_slack.append((lut - lut_lb) / lut if lut else 0.0)
+            compared += 1
+    wall = time.perf_counter() - start
+    assert compared > 0, "static-estimate bench compared no feasible points"
+    return {
+        "part": part,
+        "points_per_design": points_per_design,
+        "compared": compared,
+        "skipped_infeasible": skipped,
+        "sound": 1.0,
+        "mean_fmax_headroom": round(float(np.mean(fmax_slack)), 4),
+        "mean_lut_headroom": round(float(np.mean(lut_slack)), 4),
+        "wall_s": round(wall, 4),
+    }
+
+
 def _refit_run(policy: RefitPolicy, X: np.ndarray, Y: np.ndarray):
     control = ControlModel(
         dataset=Dataset(n_var=X.shape[1], metric_names=("LUT", "frequency")),
@@ -463,6 +547,7 @@ def run_perf_engine(smoke: bool = False) -> dict:
             "corundum-cqm", generations=6, population=12,
             min_reduction=None,
         )
+        static = static_estimate_bench(points_per_design=1)
     else:
         designs = [("corundum-cqm", 5, 12), ("cv32e40p-fifo", 5, 12)]
         refit = refit_bench(n_points=300, every=16, gamma_drift=0.05)
@@ -475,6 +560,7 @@ def run_perf_engine(smoke: bool = False) -> dict:
             "corundum-cqm", generations=20, population=24,
             min_reduction=2.0,
         )
+        static = static_estimate_bench(points_per_design=4)
     dse = [
         dse_pool_bench(name, generations=gens, population=pop)
         for name, gens, pop in designs
@@ -486,4 +572,5 @@ def run_perf_engine(smoke: bool = False) -> dict:
         "ooo": ooo,
         "refit": refit,
         "fidelity_gate": gate,
+        "static_estimate": static,
     }

@@ -27,6 +27,7 @@ from repro.analysis import (  # noqa: F401
     elaboration_rules,
     hierarchy_rules,
     interface_rules,
+    netlist_rules,
 )
 from repro.analysis.elaboration_rules import resolve_point_environment
 from repro.analysis.findings import CheckResult, Finding
@@ -36,6 +37,7 @@ from repro.analysis.registry import (
     Stage,
     rules_for_stage,
 )
+from repro.devices import Device
 from repro.hdl.ast import Module
 
 __all__ = ["DesignRuleChecker", "boundary_points"]
@@ -129,6 +131,33 @@ class DesignRuleChecker:
         findings = self._run_stage(Stage.ELABORATION, ctx)
         findings += self._run_stage(Stage.BOXING, ctx)
         return self._suppress(findings)
+
+    def check_netlist(
+        self,
+        module: Module,
+        params: Mapping[str, int] | None = None,
+        device: Device | None = None,
+        target_period_ns: float | None = None,
+    ) -> CheckResult:
+        """Netlist-structure rules (N codes) at one concrete binding.
+
+        Elaborates the point with the combinational-loop check *disabled*
+        so rule N001 can enumerate every cycle as a finding instead of the
+        elaborator dying on the first; other elaboration failures (bad
+        parameters, empty netlists) propagate to the caller — the
+        source-level passes own those diagnostics.
+        """
+        from repro.synth.elaborate import elaborate
+
+        netlist = elaborate(module, params, check_loops=False)
+        ctx = RuleContext(
+            module=module,
+            params=dict(params or {}),
+            netlist=netlist,
+            device=device,
+            target_period_ns=target_period_ns,
+        )
+        return self._suppress(self._run_stage(Stage.NETLIST, ctx))
 
     def check_dataflow(
         self,

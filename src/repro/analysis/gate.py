@@ -52,16 +52,24 @@ class PreflightGate:
         boxed: bool = True,
         clock_port: Optional[str] = None,
         config: Optional[RuleConfig] = None,
+        netlist_stage: bool = False,
     ) -> None:
         self.module = module
         self.space = space
         self.boxed = boxed
         self.clock_port = clock_port
         self.checker = DesignRuleChecker(config)
+        # Opt-in netlist stage: points passing source-level DRC are also
+        # elaborated and screened by the error-severity netlist rules
+        # (N001 loops / N002 undriven / N003 multiply-driven) — still zero
+        # simulated seconds, just milliseconds of elaboration.  Off by
+        # default so stock gates reproduce pre-netlist behaviour exactly.
+        self.netlist_stage = bool(netlist_stage)
         self._verdicts: dict[FrozenParams, tuple[Finding, ...]] = {}
         self.checks = 0
         self.rejections = 0
         self.static_rejections = 0
+        self.netlist_rejections = 0
         self._static: Any = None  # lazy StaticSpaceAnalysis (or None)
         self._static_ready = False
 
@@ -142,10 +150,33 @@ class PreflightGate:
                     clock_port=self.clock_port,
                 )
                 findings = result.errors()
+                if not findings and self.netlist_stage:
+                    netlist_errors = self._netlist_errors(params)
+                    if netlist_errors:
+                        self.netlist_rejections += 1
+                        if tel is not None:
+                            tel.counters.inc("decision.netlist_reject")
+                        findings = netlist_errors
             self._verdicts[key] = findings
             if self._verdicts[key]:
                 self.rejections += 1
         return self._verdicts[key]
+
+    def _netlist_errors(self, params: Mapping[str, int]) -> tuple[Finding, ...]:
+        """Error-severity netlist findings (structurally broken point).
+
+        Elaboration failures are *not* rejections here: a binding the
+        source-level rules accepted but the elaborator still refuses will
+        fail identically (and get charged) inside the tool run, and the
+        gate must not silently absorb that diagnostic.
+        """
+        from repro.errors import ElaborationError
+
+        try:
+            result = self.checker.check_netlist(self.module, params)
+        except ElaborationError:
+            return ()
+        return result.errors()
 
     def is_feasible(self, params: Mapping[str, int]) -> bool:
         return not self.errors(params)
@@ -183,4 +214,6 @@ class PreflightGate:
         }
         if self._static is not None:
             out["drc_static_rejections"] = self.static_rejections
+        if self.netlist_stage:
+            out["drc_netlist_rejections"] = self.netlist_rejections
         return out

@@ -1,0 +1,272 @@
+"""Netlist-stage rules (N001–N007): structure checks on the elaborated graph.
+
+The block netlist is the richest artifact the flow produces before any
+tool stage runs — these rules inspect it at a concrete parameter binding
+(milliseconds of elaboration, zero simulated tool seconds).  Structural
+breakage (N001–N003) is an error: such a netlist cannot produce a
+meaningful tool run, which is why the DSE pre-flight gate rejects those
+points outright.  Quality findings (N004–N007) warn about structure that
+will implement poorly on the target device: fanout beyond a
+device-derived threshold, combinational paths deeper than the timing
+model can close at the target period, dead islands, and width/capacity
+mismatches.
+
+Device-derived thresholds come from ``ctx.device``/``ctx.target_period_ns``;
+rules needing them stay silent when the context omits the device — a
+threshold guessed without a device would make findings non-reproducible
+across parts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.analysis.findings import Severity
+from repro.analysis.registry import RuleContext, Stage, Violation, rule
+from repro.devices import Device, ResourceKind
+from repro.netlist import Netlist
+
+__all__ = ["achievable_lut_depth", "fanout_threshold"]
+
+#: Fallback fanout threshold when thresholds cannot be device-derived.
+_FANOUT_FLOOR = 256
+
+#: Effective input bits a 6-input logic term can absorb (N007 capacity proxy).
+_LOGIC_TERM_INPUTS = 6
+
+
+def _netlist(ctx: RuleContext) -> Netlist:
+    assert ctx.netlist is not None, "netlist rules need ctx.netlist"
+    return ctx.netlist
+
+
+def fanout_threshold(device: Device | None) -> int:
+    """Bit-load a single block may drive before N004 flags it.
+
+    Scaled off the device's LUT capacity: a block fanning out to more than
+    ~1% of the fabric's LUTs is a routing hot-spot on that part (small
+    parts tolerate proportionally less).  Floored so tiny parts don't flag
+    ordinary buses.
+    """
+    if device is None:
+        return _FANOUT_FLOOR
+    return max(_FANOUT_FLOOR, device.capacity(ResourceKind.LUT) // 100)
+
+
+def achievable_lut_depth(device: Device, target_period_ns: float) -> int:
+    """LUT levels the device's timing model can close at ``target_period_ns``.
+
+    Budget = period minus register overhead (setup + clk-to-Q); each level
+    costs a LUT plus its local route, all scaled by the device speed
+    factor — the same constants STA charges, so the threshold is exactly
+    "deeper than this cannot meet timing even with zero global routing".
+    """
+    t = device.timing()
+    overhead = (t.ff_clk_to_q_ns + t.ff_setup_ns) * device.speed_factor
+    stage = (t.lut_delay_ns + 0.55 * t.net_delay_ns) * device.speed_factor
+    budget = target_period_ns - overhead
+    if budget <= 0 or stage <= 0:
+        return 0
+    return int(math.floor(budget / stage))
+
+
+@rule(
+    "N001",
+    "combinational-loop",
+    Severity.ERROR,
+    Stage.NETLIST,
+    "Combinational nets form a cycle; the netlist has no valid topological "
+    "order and synthesis must reject it.  Every simple cycle is reported.",
+)
+def combinational_loop(ctx: RuleContext) -> Iterator[Violation]:
+    netlist = _netlist(ctx)
+    for loop in netlist.combinational_loops():
+        chain = " -> ".join(loop) + f" -> {loop[0]}"
+        yield Violation(
+            message=f"combinational loop: {chain}",
+            module=netlist.top,
+        )
+
+
+@rule(
+    "N002",
+    "undriven-block-input",
+    Severity.ERROR,
+    Stage.NETLIST,
+    "A block consumes data but nothing drives it — no incoming net and no "
+    "top-level input bits exist that could feed it.",
+)
+def undriven_block_input(ctx: RuleContext) -> Iterator[Violation]:
+    netlist = _netlist(ctx)
+    if netlist.ports.inputs > 0:
+        # Block netlists carry no top-port connectivity; any source-less
+        # block may legitimately be fed by the top-level inputs.  Only a
+        # design with *zero* input bits leaves no possible driver.
+        return
+    driven = {n.dst for n in netlist.nets()}
+    for block in sorted(netlist.blocks(), key=lambda b: b.name):
+        consumes = (
+            block.logic_terms + block.ff_bits + block.mem_bits
+            + block.mul_ops + block.carry_bits
+        ) > 0
+        if consumes and block.name not in driven:
+            yield Violation(
+                message=(
+                    f"block {block.name!r} consumes data but has no driver "
+                    "(no incoming net, no top-level input bits)"
+                ),
+                module=netlist.top,
+            )
+
+
+@rule(
+    "N003",
+    "multiply-driven-net",
+    Severity.ERROR,
+    Stage.NETLIST,
+    "Two nets drive the same (src, dst) connection; the later add_net "
+    "silently overwrote the earlier one during elaboration.",
+)
+def multiply_driven_net(ctx: RuleContext) -> Iterator[Violation]:
+    netlist = _netlist(ctx)
+    seen: set[tuple[str, str]] = set()
+    for src, dst in netlist.duplicate_connections:
+        if (src, dst) in seen:
+            continue
+        seen.add((src, dst))
+        yield Violation(
+            message=(
+                f"connection {src} -> {dst} is driven by multiple nets; "
+                "the last add_net overwrote the earlier one(s)"
+            ),
+            module=netlist.top,
+        )
+
+
+@rule(
+    "N004",
+    "excessive-fanout",
+    Severity.WARNING,
+    Stage.NETLIST,
+    "A block drives more bits than the device-derived fanout threshold; "
+    "expect routing congestion and replication pressure on this part.",
+)
+def excessive_fanout(ctx: RuleContext) -> Iterator[Violation]:
+    netlist = _netlist(ctx)
+    threshold = fanout_threshold(ctx.device)
+    loads: dict[str, int] = {b.name: 0 for b in netlist.blocks()}
+    for net in netlist.nets():
+        loads[net.src] += net.width
+    for name in sorted(loads):
+        load = loads[name]
+        if load > threshold:
+            yield Violation(
+                message=(
+                    f"block {name!r} drives {load} bits, above the fanout "
+                    f"threshold {threshold} for this device"
+                ),
+                module=netlist.top,
+            )
+
+
+@rule(
+    "N005",
+    "unregistered-deep-path",
+    Severity.WARNING,
+    Stage.NETLIST,
+    "A register-to-register path accumulates more LUT levels than the "
+    "device timing model can close at the target period; it needs "
+    "pipelining regardless of placement quality.",
+)
+def unregistered_deep_path(ctx: RuleContext) -> Iterator[Violation]:
+    netlist = _netlist(ctx)
+    if ctx.device is None or ctx.target_period_ns is None:
+        return
+    if netlist.combinational_loops():
+        return  # arcs are undefined on a cyclic netlist; N001 owns this
+    budget = achievable_lut_depth(ctx.device, ctx.target_period_ns)
+    for arc in netlist.timing_arcs():
+        launch = netlist.block(arc.blocks[0])
+        levels = 0
+        for i, name in enumerate(arc.blocks):
+            if i == 0 and launch.registered_output and len(arc.blocks) > 1:
+                continue  # registered launch contributes clk-to-Q only
+            levels += netlist.block(name).levels
+        if levels > budget:
+            chain = " -> ".join(arc.blocks)
+            yield Violation(
+                message=(
+                    f"path {chain} has {levels} LUT levels; at most {budget} "
+                    f"can close {ctx.target_period_ns}ns on this device"
+                ),
+                module=netlist.top,
+            )
+
+
+@rule(
+    "N006",
+    "unreachable-block",
+    Severity.WARNING,
+    Stage.NETLIST,
+    "A block sits in a connectivity island separate from the main graph; "
+    "nothing it computes can reach the design's outputs.",
+)
+def unreachable_block(ctx: RuleContext) -> Iterator[Violation]:
+    import networkx as nx
+
+    netlist = _netlist(ctx)
+    if len(netlist) <= 1:
+        return
+    undirected = nx.Graph()
+    undirected.add_nodes_from(b.name for b in netlist.blocks())
+    undirected.add_edges_from((n.src, n.dst) for n in netlist.nets())
+    components = [sorted(c) for c in nx.connected_components(undirected)]
+    if len(components) <= 1:
+        return
+    # The largest component (ties broken by smallest member name) is the
+    # live design; everything else is a dead island.
+    components.sort(key=lambda c: (-len(c), c[0]))
+    for island in components[1:]:
+        members = ", ".join(island)
+        yield Violation(
+            message=(
+                f"block(s) {members} form an island disconnected from the "
+                "main netlist; their outputs are unreachable"
+            ),
+            module=netlist.top,
+        )
+
+
+@rule(
+    "N007",
+    "net-width-mismatch",
+    Severity.WARNING,
+    Stage.NETLIST,
+    "Incoming net bits exceed what the block's logic could plausibly "
+    "consume; the elaboration model likely mis-sized a bus.",
+)
+def net_width_mismatch(ctx: RuleContext) -> Iterator[Violation]:
+    netlist = _netlist(ctx)
+    incoming: dict[str, int] = {b.name: 0 for b in netlist.blocks()}
+    for net in netlist.nets():
+        incoming[net.dst] += net.width
+    for block in sorted(netlist.blocks(), key=lambda b: b.name):
+        width_in = incoming[block.name]
+        if width_in == 0:
+            continue
+        capacity = (
+            _LOGIC_TERM_INPUTS * block.logic_terms
+            + block.ff_bits
+            + block.carry_bits
+            + block.mem_width
+            + 36 * block.mul_ops  # an 18x18 multiply consumes 36 input bits
+        )
+        if width_in > capacity:
+            yield Violation(
+                message=(
+                    f"block {block.name!r} receives {width_in} net bits but "
+                    f"its logic can consume at most {capacity}"
+                ),
+                module=netlist.top,
+            )

@@ -23,7 +23,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Optional
 
 from repro.analysis.findings import Severity
+from repro.devices import Device
 from repro.hdl.ast import Module
+from repro.netlist import Netlist
 
 __all__ = [
     "Stage",
@@ -46,6 +48,7 @@ class Stage(str, enum.Enum):
     BOXING = "boxing"            # generated wrapper consistency
     HIERARCHY = "hierarchy"      # cross-module instantiation structure
     DATAFLOW = "dataflow"        # parameter flow + interval analysis over a space
+    NETLIST = "netlist"          # elaborated block-netlist structure (N codes)
 
     def __str__(self) -> str:
         return self.value
@@ -69,7 +72,10 @@ class RuleContext:
       ``env`` (the resolved parameter environment) and, when the caller
       declared one, the DSE ``space``;
     - BOXING rules see ``boxed``/``clock_port`` on top of the point;
-    - HIERARCHY rules see ``sources`` and ``known_modules``.
+    - HIERARCHY rules see ``sources`` and ``known_modules``;
+    - NETLIST rules see ``netlist`` (the elaborated block graph at the
+      bound point) plus ``device`` and ``target_period_ns`` for the
+      device-derived thresholds (fanout capacity, achievable LUT depth).
 
     ``cache`` is scratch space shared by the rules of one run (the boxing
     rules use it to render the wrapper once, not once per rule).
@@ -83,6 +89,9 @@ class RuleContext:
     clock_port: Optional[str] = None
     sources: tuple[tuple[str, str], ...] = ()
     known_modules: tuple[str, ...] = ()
+    netlist: Optional[Netlist] = None
+    device: Optional[Device] = None
+    target_period_ns: Optional[float] = None
     cache: dict[str, Any] = field(default_factory=dict)
 
 

@@ -41,7 +41,12 @@ KIND_FAILURE = "failure"
 #: before the ladder existed carry no fidelity and default to full-route —
 #: they were produced by the full flow and stay authoritative.
 FULL_FIDELITY = "full-route"
-FIDELITY_RANKS = {"synth-estimate": 0, "placed-estimate": 1, FULL_FIDELITY: 2}
+FIDELITY_RANKS = {
+    "static-estimate": -1,
+    "synth-estimate": 0,
+    "placed-estimate": 1,
+    FULL_FIDELITY: 2,
+}
 
 
 def fidelity_rank(fidelity: str | None) -> int:

@@ -153,6 +153,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-metric miss probability the gate's "
                             "conformal error band targets (default 0.05; "
                             "lower = wider band = fewer skips)")
+    p_dse.add_argument("--gate-fidelity", default="synth-estimate",
+                       choices=("static-estimate", "synth-estimate",
+                                "placed-estimate"),
+                       help="ladder rung the gate probes at (default "
+                            "synth-estimate; static-estimate charges zero "
+                            "simulated seconds)")
+    p_dse.add_argument("--gate-static-priors", action="store_true",
+                       help="feed each gated point's static-estimate bounds "
+                            "(rung 0) to the promotion gate as extra "
+                            "residual-model features (requires "
+                            "--fidelity-gate on)")
+    p_dse.add_argument("--drc-netlist", action="store_true",
+                       help="extend the DRC pre-flight gate with the "
+                            "netlist-structure stage: reject points whose "
+                            "elaborated netlist has combinational loops, "
+                            "undriven blocks, or multiply-driven nets "
+                            "(N001-N003) before any tool run")
     p_dse.add_argument(
         "--param", action="append", type=_parse_dim, dest="dims", default=[],
         help="NAME:LO:HI[:pow2] space dimension (required with --source)",
@@ -197,6 +214,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the rule catalog and exit")
     p_lint.add_argument("--no-box", action="store_true",
                         help="skip the boxing-wrapper rules (B codes)")
+    p_lint.add_argument("--netlist", action="store_true",
+                        help="also elaborate each checked point and run the "
+                             "netlist-structure rules (N codes)")
+    p_lint.add_argument("--part", default="XC7K70T",
+                        help="device for the netlist rules' derived "
+                             "thresholds (default XC7K70T)")
+    p_lint.add_argument("--period-ns", type=_positive_float, default=10.0,
+                        help="target clock period for the N005 achievable-"
+                             "depth threshold (default 10.0)")
+    p_lint.add_argument("--default-point", action="store_true",
+                        help="point-aware checks run only at the module's "
+                             "default parameter binding (skip the boundary-"
+                             "point sweep)")
 
     p_sweep = sub.add_parser(
         "sweep", help="exact-set evaluation of a cartesian parameter grid"
@@ -250,6 +280,9 @@ def _make_session(args: argparse.Namespace, need_space: bool) -> DseSession:
         result_store=getattr(args, "result_store", None),
         fidelity_gate=getattr(args, "fidelity_gate", "off") == "on",
         gate_risk=getattr(args, "gate_risk", 0.05),
+        gate_fidelity=getattr(args, "gate_fidelity", "synth-estimate"),
+        gate_static_priors=getattr(args, "gate_static_priors", False),
+        drc_netlist=getattr(args, "drc_netlist", False),
     )
     if args.design:
         return DseSession(design=get_design(args.design), **common)
@@ -268,6 +301,32 @@ def _make_session(args: argparse.Namespace, need_space: bool) -> DseSession:
     return DseSession(
         source=source, language=language, top=args.top, space=space, **common
     )
+
+
+def _netlist_sweep(checker, modules, points, part: str, period_ns: float):
+    """N-rule findings for each (module, point) pair of the lint sweep.
+
+    Points the elaborator refuses outright are skipped here — the
+    elaboration-stage rules (P codes) in the same sweep own those
+    diagnostics, and a netlist that never existed has no structure to
+    check.
+    """
+    from repro.analysis.findings import CheckResult
+    from repro.devices import get_device
+    from repro.errors import ElaborationError
+
+    device = get_device(part)
+    merged = CheckResult(())
+    for module in modules:
+        for point in points:
+            try:
+                result = checker.check_netlist(
+                    module, point, device=device, target_period_ns=period_ns
+                )
+            except ElaborationError:
+                continue
+            merged = merged.merged(result)
+    return merged
 
 
 def _lint(args: argparse.Namespace) -> int:
@@ -303,6 +362,8 @@ def _lint(args: argparse.Namespace) -> int:
         RuleConfig(disabled=frozenset(args.disabled), baseline=baseline)
     )
     points = [dict(args.at)] if args.at else None
+    if points is None and args.default_point:
+        points = [{}]
     boxed = not args.no_box
 
     if args.design:
@@ -311,14 +372,22 @@ def _lint(args: argparse.Namespace) -> int:
         from repro.hdl.frontend import parse_source
 
         modules = parse_source(source, gen.language)
+        space = ParameterSpace.from_design(gen)
         result = checker.check_design(
             gen.module(),
-            space=ParameterSpace.from_design(gen),
+            space=space,
             sources=((source, str(gen.language)),),
             known_modules=[m.name for m in modules],
             points=points,
             boxed=boxed,
         )
+        if args.netlist:
+            from repro.analysis.checker import boundary_points
+
+            point_list = points if points is not None else boundary_points(space)
+            result = result.merged(_netlist_sweep(
+                checker, [gen.module()], point_list, args.part, args.period_ns
+            ))
     elif args.sources:
         from repro.hdl.frontend import detect_language, parse_source
 
@@ -348,6 +417,10 @@ def _lint(args: argparse.Namespace) -> int:
                 result = result.merged(
                     checker.check_point(module, point, boxed=boxed)
                 )
+        if args.netlist:
+            result = result.merged(_netlist_sweep(
+                checker, selected, points or [{}], args.part, args.period_ns
+            ))
     else:
         raise SystemExit("either --design or HDL source files are required")
 

@@ -131,7 +131,9 @@ class PointEvaluator:
         flow ladder: ``None``/``FULL_ROUTE`` renders the script and runs
         the tool byte-identically to the pre-ladder evaluator;
         ``PLACED_ESTIMATE`` renders a place-without-route script;
-        ``SYNTH_ESTIMATE`` renders a synthesis-only script.  The returned
+        ``SYNTH_ESTIMATE`` renders a synthesis-only script;
+        ``STATIC_ESTIMATE`` runs no tool stage at all — the session
+        reports analytical bounds at zero simulated seconds.  The returned
         point and its ledger record are tagged with the fidelity the
         metrics were actually measured at.
         """
@@ -156,6 +158,11 @@ class PointEvaluator:
                 )
             raise
         session = VivadoTclSession(sim=self.sim)
+        if requested is Fidelity.STATIC_ESTIMATE:
+            # The static rung's script carries no tool command, so the
+            # session needs the request spelled out to distinguish it from
+            # a synthesis-only evaluation.
+            session.requested_fidelity = Fidelity.STATIC_ESTIMATE
         interp = TclInterp()
         bind_vivado_commands(interp, session)
 
@@ -227,12 +234,12 @@ class PointEvaluator:
             interp.files["timing.rpt"],
             self.metrics,
         )
-        requested = {s.canonical_name() for s in self.metrics}
-        if "performance" in requested:
+        wanted = {s.canonical_name() for s in self.metrics}
+        if "performance" in wanted:
             values["performance"] = self._performance(
                 params, report_fmax(interp.files["timing.rpt"])
             )
-        if "power" in requested:
+        if "power" in wanted:
             from repro.flow.power import estimate_power
             from repro.flow.reports import parse_utilization_report
 

@@ -77,6 +77,8 @@ class ApproximateFitness:
         gate_fidelity: Fidelity | str = Fidelity.SYNTH_ESTIMATE,
         gate_min_calibration: int = 5,
         gate_trickle_every: int = 8,
+        gate_static_priors: bool = False,
+        drc_netlist: bool = False,
     ) -> None:
         self.evaluator = evaluator
         self.space = space
@@ -102,11 +104,13 @@ class ApproximateFitness:
         # own point-level checks this one validates proposed values against
         # the declared parameter space, and it lets the model-active path
         # reject a point before the control model even sees it.
+        self.drc_netlist = bool(drc_netlist)
         self.gate = PreflightGate(
             evaluator.module,
             space=space,
             boxed=evaluator.boxed,
             clock_port=evaluator.clock_port,
+            netlist_stage=self.drc_netlist,
         )
         self.history: list[EvaluatedPoint] = []
         self.simulated_seconds = 0.0
@@ -129,6 +133,15 @@ class ApproximateFitness:
         # Frozen binding -> raw metric vector already answered by the gated
         # path (replays are cache-priced, like the tool's own run cache).
         self._gate_memo: dict[tuple, np.ndarray] = {}
+        # Opt-in static-estimate priors for the promotion gate: each gated
+        # point contributes its zero-cost analytical bounds (rung 0 of the
+        # ladder) as extra residual-model features.  Frozen binding ->
+        # normalized feature row, memoized because assess/observe/promote
+        # must all see the identical vector for one binding.
+        self.gate_static_priors = bool(gate_static_priors)
+        self._prior_cache: dict[tuple, np.ndarray] = {}
+        if self.gate_static_priors and not fidelity_gate:
+            raise ValueError("gate_static_priors requires fidelity_gate=True")
         if self.fidelity_gate_enabled:
             if evaluator.step != FlowStep.IMPLEMENTATION:
                 raise ValueError(
@@ -459,6 +472,43 @@ class ApproximateFitness:
     def _frozen(params: dict[str, int]) -> tuple:
         return tuple(sorted((k, int(v)) for k, v in params.items()))
 
+    def _static_priors(self, params: dict[str, int]) -> np.ndarray | None:
+        """Rung-0 prior features for one binding (memoized), or None when off.
+
+        The static estimator's (LUT lb, FF lb, delay lb, congestion) tuple,
+        with the resource counts log-compressed so large designs do not
+        dominate the NW kernel distance.  A binding the estimator cannot
+        bound (no timing arcs, elaboration failure) contributes a zero row
+        rather than None — the gate's model needs a fixed input dimension,
+        and the probe/flow will surface the real diagnostic.
+        """
+        if not self.gate_static_priors:
+            return None
+        frozen = self._frozen(params)
+        cached = self._prior_cache.get(frozen)
+        if cached is None:
+            from repro.netlist.static_estimate import static_estimate_point
+
+            ev = self.evaluator
+            try:
+                est = static_estimate_point(
+                    ev.module,
+                    ev.sim.device,
+                    params,
+                    synth_directive=ev.directives.synth,
+                    impl_directive=ev.directives.impl,
+                    boxed=ev.boxed,
+                    noise_floor=0.9 if ev.sim.noise else 1.0,
+                )
+                lut_lb, ff_lb, delay_lb, congestion = est.features()
+                cached = np.array(
+                    [np.log1p(lut_lb), np.log1p(ff_lb), delay_lb, congestion]
+                )
+            except ReproError:
+                cached = np.zeros(4)
+            self._prior_cache[frozen] = cached
+        return cached
+
     def _run_tool_gated(self, encoded: np.ndarray) -> np.ndarray:
         """One fitness evaluation through the promotion gate.
 
@@ -559,7 +609,8 @@ class ApproximateFitness:
         y_low = self._metric_vector(probe_point)
         x = np.asarray(encoded, dtype=float)
         low_min = signs * y_low
-        decision = gate.assess(x, low_min)
+        priors = self._static_priors(params)
+        decision = gate.assess(x, low_min, priors)
         if decision.promote:
             try:
                 full_point = self.evaluator.evaluate(params)
@@ -583,7 +634,7 @@ class ApproximateFitness:
                 self._gate_memo[frozen] = y.copy()
                 return y
             y_full = self._metric_vector(full_point)
-            gate.observe(x, low_min, signs * y_full)
+            gate.observe(x, low_min, signs * y_full, priors)
             self._store_append(key, point=full_point)
             self._gate_memo[frozen] = y_full.copy()
             # One history entry per design point; its cost is the probe
@@ -676,7 +727,7 @@ class ApproximateFitness:
                     del self._speculative[frozen]
                     continue
                 y_full = self._metric_vector(full_point)
-                gate.observe(x, low_min, signs * y_full)
+                gate.observe(x, low_min, signs * y_full, self._static_priors(params))
                 self._store_append(key, point=full_point)
                 self._note_point(rows[i], full_point, record=False)
                 fixes[frozen] = signs * y_full

@@ -102,6 +102,8 @@ class DseSession:
         gate_fidelity: str = "synth-estimate",
         gate_min_calibration: int = 5,
         gate_trickle_every: int = 8,
+        gate_static_priors: bool = False,
+        drc_netlist: bool = False,
     ) -> None:
         design_name = None
         if design is not None:
@@ -148,6 +150,8 @@ class DseSession:
             gate_fidelity=Fidelity(gate_fidelity),
             gate_min_calibration=gate_min_calibration,
             gate_trickle_every=gate_trickle_every,
+            gate_static_priors=gate_static_priors,
+            drc_netlist=drc_netlist,
         )
         self._pretrained = False
         self.last_algorithm_choice = None  # set by explore(algorithm="auto")
@@ -195,6 +199,8 @@ class DseSession:
                 gate_fidelity=old.gate_fidelity,
                 gate_min_calibration=old.gate_min_calibration,
                 gate_trickle_every=old.gate_trickle_every,
+                gate_static_priors=old.gate_static_priors,
+                drc_netlist=old.drc_netlist,
             )
             self._pretrained = False
         return report

@@ -135,23 +135,52 @@ class PromotionGate:
             X, np.vstack(self._residuals)
         )
 
-    def predict_full_min(self, x: np.ndarray, low_min: np.ndarray) -> np.ndarray | None:
+    @staticmethod
+    def _augment(x: np.ndarray, priors: np.ndarray | None) -> np.ndarray:
+        """Concatenate static-estimate prior features onto the input row.
+
+        Priors (zero-cost analytical bounds from
+        :mod:`repro.netlist.static_estimate`) extend the residual model's
+        input space: two points with similar parameters but different
+        structural bounds stop being forced to share a residual estimate,
+        which is what lets the gate calibrate in fewer promotions.  The
+        caller must pass priors consistently (always or never) — the NW
+        model requires a fixed input dimension.
+        """
+        row = np.asarray(x, dtype=float).ravel()
+        if priors is None:
+            return row
+        return np.concatenate([row, np.asarray(priors, dtype=float).ravel()])
+
+    def predict_full_min(
+        self,
+        x: np.ndarray,
+        low_min: np.ndarray,
+        priors: np.ndarray | None = None,
+    ) -> np.ndarray | None:
         """Predicted full-route metrics (minimized space), or None pre-fit."""
         if self._model is None:
             return None
-        residual = self._model.predict(np.asarray(x, dtype=float))
+        residual = self._model.predict(self._augment(x, priors))
         return np.asarray(low_min, dtype=float) + residual
 
     # ------------------------------------------------------------------
 
-    def assess(self, x: np.ndarray, low_min: np.ndarray) -> GateDecision:
+    def assess(
+        self,
+        x: np.ndarray,
+        low_min: np.ndarray,
+        priors: np.ndarray | None = None,
+    ) -> GateDecision:
         """Promote-or-skip verdict for a probed candidate.
 
         ``low_min`` is the probe's metric vector in minimized space.  The
         caller must feed every *promoted* point's full-route outcome back
         through :meth:`observe` — calibration and the front depend on it.
+        ``priors`` optionally appends static-estimate features to the
+        model input (see :meth:`_augment`).
         """
-        prediction = self.predict_full_min(x, low_min)
+        prediction = self.predict_full_min(x, low_min, priors)
         if len(self._X) < self.min_calibration or prediction is None:
             self.promoted += 1
             self._count("decision.fidelity_promote")
@@ -182,15 +211,20 @@ class PromotionGate:
         return GateDecision(False, "dominated", prediction)
 
     def observe(
-        self, x: np.ndarray, low_min: np.ndarray, full_min: np.ndarray
+        self,
+        x: np.ndarray,
+        low_min: np.ndarray,
+        full_min: np.ndarray,
+        priors: np.ndarray | None = None,
     ) -> None:
         """Learn from a promoted point's (probe, full-route) outcome pair.
 
         The prediction error is recorded *before* the point joins the
         dataset, so the band calibrates on genuinely out-of-sample
-        errors.
+        errors.  ``priors`` must mirror what :meth:`assess` received for
+        this point.
         """
-        x = np.asarray(x, dtype=float).ravel()
+        x = self._augment(x, priors)
         low_min = np.asarray(low_min, dtype=float).ravel()
         full_min = np.asarray(full_min, dtype=float).ravel()
         prediction = self.predict_full_min(x, low_min)

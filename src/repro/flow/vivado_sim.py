@@ -69,6 +69,9 @@ class Fidelity(str, enum.Enum):
 
     Ordered by cost and trustworthiness:
 
+    - ``STATIC_ESTIMATE`` — no tool stage at all: analytical bounds from
+      the elaborated netlist (utilization lower bounds, Fmax upper bound).
+      Charges **zero** simulated seconds; rank below every tool rung.
     - ``SYNTH_ESTIMATE`` — synthesis only, optimistic post-synth timing
       estimate.  What a ``step=SYNTHESIS`` run always produces.
     - ``PLACED_ESTIMATE`` — synthesis + real placement, timing from
@@ -78,6 +81,7 @@ class Fidelity(str, enum.Enum):
       only fidelity whose numbers are authoritative.
     """
 
+    STATIC_ESTIMATE = "static-estimate"
     SYNTH_ESTIMATE = "synth-estimate"
     PLACED_ESTIMATE = "placed-estimate"
     FULL_ROUTE = "full-route"
@@ -91,7 +95,10 @@ class Fidelity(str, enum.Enum):
         return _FIDELITY_RANK[self]
 
 
+# The tool rungs keep their pre-ladder ranks (0/1/2 are persisted in the
+# result store); the static rung slots underneath rather than renumbering.
 _FIDELITY_RANK = {
+    Fidelity.STATIC_ESTIMATE: -1,
     Fidelity.SYNTH_ESTIMATE: 0,
     Fidelity.PLACED_ESTIMATE: 1,
     Fidelity.FULL_ROUTE: 2,
@@ -281,8 +288,10 @@ class VivadoSim:
         unchanged full flow; ``PLACED_ESTIMATE`` stops after placement and
         reads timing off congestion-free routing; ``SYNTH_ESTIMATE``
         stops after synthesis (same numbers a ``step=SYNTHESIS`` run
-        produces).  ``step=SYNTHESIS`` runs always report
-        ``SYNTH_ESTIMATE``.  Each rung charges only the stages it
+        produces); ``STATIC_ESTIMATE`` runs no tool stage at all and
+        reports sound analytical bounds (utilization lower bounds, Fmax
+        upper bound) at **zero** simulated seconds.  ``step=SYNTHESIS``
+        runs always report ``SYNTH_ESTIMATE``.  Each rung charges only the stages it
         executes, and the result is tagged with its fidelity.  Lower
         rungs never touch the implementation stage cache or incremental
         checkpoints — a speculative probe must not perturb what the full
@@ -317,6 +326,8 @@ class VivadoSim:
         self.last_run_cached = False
 
         module = self.find_top(top)
+        if step == FlowStep.IMPLEMENTATION and effective is Fidelity.STATIC_ESTIMATE:
+            return self._static_estimate_run(module, params, directives, cache_key)
         # Incremental flows warm-start from whatever ran before, so their
         # stage outputs are order-dependent and must not be reused by key.
         stage_cacheable = not (self.incremental_synth or self.incremental_impl)
@@ -485,6 +496,97 @@ class VivadoSim:
         self.simulated_seconds += seconds
         self.last_run_seconds = seconds
         self.last_run_stages = tuple(stages)
+        self.runs += 1
+        self.fidelity_runs[str(effective)] += 1
+        return result
+
+    def _static_estimate_run(
+        self,
+        module: Module,
+        params: dict[str, int],
+        directives: DirectiveSet,
+        cache_key: int,
+    ) -> RunResult:
+        """Rung 0: analytical bounds, zero simulated seconds.
+
+        Elaborates and optimizes the netlist exactly as the synthesis
+        stage would (milliseconds of real time, no simulated tool charge),
+        then reports the sound bounds from
+        :func:`repro.netlist.static_estimate.static_estimate`: utilization
+        lower bounds and an Fmax upper bound.  Never touches the stage
+        caches, checkpoints, or the incremental warm-start reference — a
+        static probe must not perturb what a later tool run computes.  A
+        point whose utilization *lower bound* already overflows the device
+        is guaranteed to fail every tool rung, so the overflow
+        :class:`FlowError` raised here is a sound (and free) rejection.
+        """
+        from repro.netlist.static_estimate import static_estimate
+        from repro.synth.elaborate import elaborate
+        from repro.synth.optimizer import optimize
+
+        effective = Fidelity.STATIC_ESTIMATE
+        try:
+            with observe_span("flow.static_estimate"):
+                netlist = elaborate(module, params)
+                optimized = optimize(netlist, directives.synth)
+                bias = (
+                    directives.synth.effect().delay_bias
+                    * directives.impl.effect().delay_bias
+                )
+                est = static_estimate(
+                    optimized,
+                    self.device,
+                    boxed=True,
+                    delay_bias=bias,
+                    noise_floor=0.9 if self.noise else 1.0,
+                )
+            utilization = UtilizationReport(
+                used=est.utilization_lb, available=self.device.resources
+            )
+            overflow = utilization.overflows()
+            if overflow:
+                kinds = ", ".join(str(k) for k in overflow)
+                raise FlowError(
+                    f"{module.name}: utilization lower bound exceeds "
+                    f"{self.device.part} capacity for {kinds}"
+                )
+        except FlowError:
+            self.last_run_seconds = 0.0
+            self.last_run_stages = ("static-estimate",)
+            self.failed_runs += 1
+            raise
+
+        wns = self.target_period_ns - est.delay_lb_ns
+        fmax = fmax_from_wns(self.target_period_ns, wns)
+        util_text = render_utilization_report(
+            utilization, design=module.name, part=self.device.part
+        )
+        timing_text = render_timing_report(
+            wns_ns=wns,
+            target_period_ns=self.target_period_ns,
+            critical_delay_ns=est.delay_lb_ns,
+            critical_path=est.critical_path,
+            arcs_analyzed=est.arcs_analyzed,
+        )
+        result = RunResult(
+            top=module.name,
+            part=self.device.part,
+            parameters=params,
+            step=FlowStep.IMPLEMENTATION,
+            utilization=utilization,
+            wns_ns=wns,
+            target_period_ns=self.target_period_ns,
+            fmax_mhz=fmax,
+            critical_path=est.critical_path,
+            simulated_seconds=0.0,
+            incremental=False,
+            utilization_report_text=util_text,
+            timing_report_text=timing_text,
+            fidelity=effective,
+        )
+        self._cache.put(cache_key, result)
+        self.last_run_seconds = 0.0
+        self.last_run_stages = ("static-estimate",)
         self.runs += 1
         self.fidelity_runs[str(effective)] += 1
         return result

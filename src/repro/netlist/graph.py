@@ -10,13 +10,14 @@ synthesis error).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Any, cast
 
 import networkx as nx
 
 from repro.errors import ElaborationError
 from repro.netlist.blocks import Block, Net, PortBits
+from repro.observe import current_telemetry
 from repro.util.rng import stable_hash_seed
 
 __all__ = ["Netlist", "TimingArc"]
@@ -44,6 +45,12 @@ class Netlist:
         self.top = top
         self._g = nx.DiGraph()
         self.ports = PortBits()
+        #: (src, dst) pairs whose edge was overwritten by a later add_net —
+        #: last-writer-wins semantics are kept for the flow, but lint rule
+        #: N003 (multiply-driven net) reports the collisions.
+        self.duplicate_connections: list[tuple[str, str]] = []
+        #: Set by :meth:`timing_arcs` when enumeration hit ``max_arcs``.
+        self.timing_arcs_truncated: bool = False
 
     # ------------------------------------------------------------------
     # construction
@@ -59,6 +66,8 @@ class Netlist:
         for endpoint in (net.src, net.dst):
             if endpoint not in self._g:
                 raise ElaborationError(f"net references unknown block {endpoint!r}")
+        if self._g.has_edge(net.src, net.dst):
+            self.duplicate_connections.append((net.src, net.dst))
         self._g.add_edge(net.src, net.dst, net=net)
         return net
 
@@ -70,7 +79,7 @@ class Netlist:
     def set_ports(self, inputs: int, outputs: int) -> None:
         self.ports = PortBits(inputs=inputs, outputs=outputs)
 
-    def replace_block(self, name: str, **changes) -> Block:
+    def replace_block(self, name: str, **changes: Any) -> Block:
         """Replace block ``name`` with a modified copy (keeps all nets)."""
         import dataclasses
 
@@ -87,7 +96,7 @@ class Netlist:
 
     def block(self, name: str) -> Block:
         try:
-            return self._g.nodes[name]["block"]
+            return cast(Block, self._g.nodes[name]["block"])
         except KeyError:
             raise KeyError(f"no block {name!r} in netlist {self.top!r}") from None
 
@@ -127,17 +136,40 @@ class Netlist:
     # timing structure
     # ------------------------------------------------------------------
 
-    def check_no_combinational_loops(self) -> None:
-        """Raise :class:`ElaborationError` if combinational nets form a cycle."""
+    def combinational_loops(self) -> list[tuple[str, ...]]:
+        """Every simple cycle through combinational nets.
+
+        Each loop is rotated so it starts at its lexicographically smallest
+        block and the list is sorted (shortest first, then lexicographic),
+        so the result is deterministic regardless of traversal order.
+        """
         comb = nx.DiGraph(
             (n.src, n.dst) for n in self.nets() if n.combinational
         )
-        try:
-            cycle = nx.find_cycle(comb)
-        except nx.NetworkXNoCycle:
+        loops: list[tuple[str, ...]] = []
+        for cycle in nx.simple_cycles(comb):
+            names = [str(node) for node in cycle]
+            pivot = names.index(min(names))
+            loops.append(tuple(names[pivot:] + names[:pivot]))
+        loops.sort(key=lambda loop: (len(loop), loop))
+        return loops
+
+    def check_no_combinational_loops(self) -> None:
+        """Raise :class:`ElaborationError` if combinational nets form a cycle.
+
+        The error message enumerates *every* simple cycle, not just the
+        first one found — a designer fixing one loop should see the rest.
+        """
+        loops = self.combinational_loops()
+        if not loops:
             return
-        chain = " -> ".join(edge[0] for edge in cycle) + f" -> {cycle[-1][1]}"
-        raise ElaborationError(f"combinational loop: {chain}")
+        chains = "; ".join(
+            " -> ".join(loop) + f" -> {loop[0]}" for loop in loops
+        )
+        label = "combinational loop" if len(loops) == 1 else (
+            f"combinational loops ({len(loops)})"
+        )
+        raise ElaborationError(f"{label}: {chains}")
 
     def timing_arcs(self, max_arcs: int = 4096) -> list[TimingArc]:
         """Enumerate register-to-register structural paths.
@@ -150,14 +182,26 @@ class Netlist:
 
         ``max_arcs`` caps enumeration on pathological graphs; paths are
         explored longest-first by DFS so truncation keeps the deep ones.
+        Truncation is never silent: :attr:`timing_arcs_truncated` is set
+        and the ``netlist.timing_arcs_truncated`` telemetry counter is
+        bumped whenever the cap cuts enumeration short.
         """
         self.check_no_combinational_loops()
+        self.timing_arcs_truncated = False
         arcs: list[TimingArc] = []
+
+        def truncated() -> list[TimingArc]:
+            self.timing_arcs_truncated = True
+            tel = current_telemetry()
+            if tel is not None:
+                tel.counters.inc("netlist.timing_arcs_truncated")
+            return arcs
+
         for start in self._g.nodes:
             # Internal path of the launching block itself.
             arcs.append(TimingArc(blocks=(start,), net_widths=()))
             if len(arcs) >= max_arcs:
-                return arcs
+                return truncated()
             stack: list[tuple[tuple[str, ...], tuple[int, ...]]] = [((start,), ())]
             while stack:
                 chain, widths = stack.pop()
@@ -176,7 +220,7 @@ class Netlist:
                     new_widths = widths + (net.width,)
                     arcs.append(TimingArc(blocks=new_chain, net_widths=new_widths))
                     if len(arcs) >= max_arcs:
-                        return arcs
+                        return truncated()
                     stack.append((new_chain, new_widths))
         return arcs
 

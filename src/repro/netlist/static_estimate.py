@@ -1,0 +1,180 @@
+"""Sound analytical pre-estimation over the block netlist (ladder rung 0).
+
+Everything the flow's expensive stages compute is bracketed from below by
+quantities the elaborated netlist already carries — no synthesis clock, no
+placement, no routing:
+
+- **Utilization lower bounds** — technology mapping is deterministic; the
+  only post-mapping perturbation the flow applies is a multiplicative QoR
+  jitter on LUT/FF clipped at ``1 - _QOR_NOISE_SPAN``.  Flooring the mapped
+  counts by that clip bound therefore under-approximates every achievable
+  routed utilization.
+- **Fmax upper bound** — a routed register-to-register arc's delay is the
+  clock overhead plus the arc's internal block delays plus strictly
+  positive routed-net delays, all scaled by the directive delay bias and a
+  noise factor clipped at the same lower bound.  Dropping the routing term
+  and applying the clip floor yields a delay *lower* bound, i.e. an Fmax
+  *upper* bound.
+- **Congestion proxy** — total net bits over a track-capacity proxy; not a
+  bound, just a cheap monotone feature (used by the promotion gate as a
+  prior, never for pruning).
+
+The estimator must see the *optimized* netlist (``repro.synth.optimizer``
+can shrink logic under area-biased directives), so the convenience entry
+point mirrors the synthesis pipeline: elaborate → optimize → map.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.devices import Device, ResourceKind, ResourceVector
+from repro.directives import ImplDirective, SynthDirective
+from repro.errors import FlowError
+from repro.hdl.ast import Module
+from repro.netlist.graph import Netlist
+
+__all__ = ["StaticEstimate", "static_estimate", "static_estimate_point"]
+
+#: The flow's QoR jitter is ``clip(1 + sigma*N(0,1), 0.9, 1.1)`` — every
+#: noisy quantity is at least 0.9x its deterministic value.  That clip
+#: bound is what makes the floors below sound.
+_QOR_NOISE_FLOOR = 0.9
+
+#: Resource kinds that receive QoR jitter in the simulated flow; all other
+#: mapped counts are exact.
+_NOISY_KINDS = (ResourceKind.LUT, ResourceKind.FF)
+
+#: Routing-track proxy per grid column (mirrors the router's track model).
+_TRACKS_PER_COLUMN = 18.0
+
+
+@dataclass(frozen=True)
+class StaticEstimate:
+    """Zero-cost bounds for one design point on one device."""
+
+    #: Per-resource lower bounds (≤ any achievable routed utilization).
+    utilization_lb: ResourceVector
+    #: Critical-delay lower bound in ns (≤ any achievable routed delay).
+    delay_lb_ns: float
+    #: Fmax upper bound in MHz (≥ any achievable routed Fmax).
+    fmax_ub_mhz: float
+    #: Width-weighted routing-demand proxy (feature, not a bound).
+    congestion_proxy: float
+    #: Deepest structural arc (in blocks) backing the delay bound.
+    critical_path: tuple[str, ...]
+    #: Number of register-to-register arcs examined.
+    arcs_analyzed: int
+
+    def features(self) -> tuple[float, ...]:
+        """Numeric feature vector for estimator priors (stable order)."""
+        return (
+            float(self.utilization_lb.get(ResourceKind.LUT)),
+            float(self.utilization_lb.get(ResourceKind.FF)),
+            self.delay_lb_ns,
+            self.congestion_proxy,
+        )
+
+
+def static_estimate(
+    netlist: Netlist,
+    device: Device,
+    *,
+    boxed: bool = True,
+    delay_bias: float = 1.0,
+    noise_floor: float = _QOR_NOISE_FLOOR,
+) -> StaticEstimate:
+    """Bound the flow's QoR for ``netlist`` (already optimized) on ``device``.
+
+    ``delay_bias`` must be the *combined* directive delay bias the flow
+    would apply (synthesis × implementation effect) — biases below 1.0
+    exist, so omitting them would break the Fmax bound.  ``noise_floor``
+    is the QoR jitter clip bound (pass 1.0 for noise-free sims to tighten
+    the bounds without losing soundness).
+    """
+    from repro.pnr.timing import block_internal_delay_ns
+    from repro.synth.mapper import map_to_device
+
+    if delay_bias <= 0:
+        raise FlowError(f"static_estimate: non-positive delay bias {delay_bias}")
+    mapped = map_to_device(netlist, device, boxed=boxed)
+
+    floored: dict[ResourceKind, int] = {}
+    for kind, count in mapped.total:
+        if kind in _NOISY_KINDS:
+            floored[kind] = max(1, math.floor(count * noise_floor))
+        else:
+            floored[kind] = count
+    utilization_lb = ResourceVector(floored)
+
+    t = device.timing()
+    overhead = (t.ff_clk_to_q_ns + t.ff_setup_ns) * device.speed_factor
+    internal = {
+        b.name: block_internal_delay_ns(b, device) for b in netlist.blocks()
+    }
+    registered = {b.name: b.registered_output for b in netlist.blocks()}
+    arcs = netlist.timing_arcs()
+    if not arcs:
+        raise FlowError("static_estimate: no register-to-register timing arcs")
+    worst = 0.0
+    worst_path: tuple[str, ...] = arcs[0].blocks
+    for arc in arcs:
+        blocks = arc.blocks
+        launch_registered = registered[blocks[0]] and len(blocks) > 1
+        delay = overhead
+        for i, name in enumerate(blocks):
+            if i == 0 and launch_registered:
+                continue
+            delay += internal[name]
+        if delay > worst:
+            worst = delay
+            worst_path = blocks
+    delay_lb = worst * delay_bias * noise_floor
+    fmax_ub = 1000.0 / delay_lb if delay_lb > 0 else math.inf
+
+    demand = float(sum(n.width for n in netlist.nets()))
+    lut_cap = device.capacity(ResourceKind.LUT)
+    tracks = _TRACKS_PER_COLUMN * max(1.0, math.sqrt(float(lut_cap)))
+    congestion = demand / tracks
+
+    return StaticEstimate(
+        utilization_lb=utilization_lb,
+        delay_lb_ns=delay_lb,
+        fmax_ub_mhz=fmax_ub,
+        congestion_proxy=congestion,
+        critical_path=worst_path,
+        arcs_analyzed=len(arcs),
+    )
+
+
+def static_estimate_point(
+    module: Module,
+    device: Device,
+    overrides: Mapping[str, int | bool] | None = None,
+    *,
+    synth_directive: SynthDirective = SynthDirective.DEFAULT,
+    impl_directive: ImplDirective = ImplDirective.DEFAULT,
+    boxed: bool = True,
+    noise_floor: float = _QOR_NOISE_FLOOR,
+) -> StaticEstimate:
+    """Elaborate → optimize → bound one parameter point of ``module``.
+
+    Mirrors exactly the netlist the synthesis stage would hand to place &
+    route under ``synth_directive`` — the optimizer can *shrink* logic, so
+    bounding the unoptimized netlist would not be a lower bound.
+    """
+    from repro.synth.elaborate import elaborate
+    from repro.synth.optimizer import optimize
+
+    netlist = elaborate(module, overrides)
+    optimized = optimize(netlist, synth_directive)
+    bias = synth_directive.effect().delay_bias * impl_directive.effect().delay_bias
+    return static_estimate(
+        optimized,
+        device,
+        boxed=boxed,
+        delay_bias=bias,
+        noise_floor=noise_floor,
+    )

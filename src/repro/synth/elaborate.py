@@ -103,9 +103,17 @@ def resolve_environment(
 
 
 def elaborate(
-    module: Module, overrides: Mapping[str, int | bool] | None = None
+    module: Module,
+    overrides: Mapping[str, int | bool] | None = None,
+    *,
+    check_loops: bool = True,
 ) -> Netlist:
-    """Elaborate ``module`` under ``overrides`` into a netlist."""
+    """Elaborate ``module`` under ``overrides`` into a netlist.
+
+    ``check_loops=False`` skips the combinational-loop check so analysis
+    passes (lint rule N001) can obtain the broken netlist and report every
+    cycle as a finding instead of dying on the first one.
+    """
     env = resolve_environment(module, overrides)
     model = _MODELS.get(module.name.lower())
     if model is not None:
@@ -114,7 +122,8 @@ def elaborate(
         netlist = _heuristic_netlist(module, env)
     if len(netlist) == 0:
         raise ElaborationError(f"module {module.name!r} elaborated to an empty netlist")
-    netlist.check_no_combinational_loops()
+    if check_loops:
+        netlist.check_no_combinational_loops()
     if netlist.ports.total() == 0:
         inputs = sum(
             p.width(env) for p in module.ports if p.direction.value in ("in", "inout")

@@ -57,6 +57,10 @@ class VivadoTclSession:
     step: FlowStep = FlowStep.SYNTHESIS
     placed: bool = False
     routed: bool = False
+    #: Explicit fidelity request for rungs the script alone cannot convey
+    #: (static-estimate renders no tool command at all, so the script is
+    #: indistinguishable from a synthesis-only run).
+    requested_fidelity: Fidelity | None = None
     result: RunResult | None = None
     exited: bool = False
 
@@ -79,14 +83,21 @@ class VivadoTclSession:
         if self.result is None:
             # A script that places but never routes stops at the
             # placed-estimate rung of the fidelity ladder; routing (alone
-            # or after placement) means the full flow.
+            # or after placement) means the full flow.  A static-estimate
+            # request overrides the inference: its script has no tool
+            # command, so only the explicit field distinguishes it from a
+            # synthesis-only evaluation.
             fidelity: Fidelity | None = None
-            if self.step == FlowStep.IMPLEMENTATION and not self.routed:
+            step = self.step
+            if self.requested_fidelity is Fidelity.STATIC_ESTIMATE:
+                fidelity = Fidelity.STATIC_ESTIMATE
+                step = FlowStep.IMPLEMENTATION
+            elif self.step == FlowStep.IMPLEMENTATION and not self.routed:
                 fidelity = Fidelity.PLACED_ESTIMATE
             self.result = self.sim.run(
                 self.top,
                 self.generics,
-                step=self.step,
+                step=step,
                 directives=DirectiveSet(
                     synth=self.synth_directive, impl=self.impl_directive
                 ),

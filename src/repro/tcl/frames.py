@@ -60,9 +60,11 @@ def render_evaluation_script(
 
     ``fidelity`` trims the implementation tail for lower-rung probes:
     ``PLACED_ESTIMATE`` emits ``place_design`` without ``route_design``
-    (the session reads post-place estimated timing), and
-    ``SYNTH_ESTIMATE`` emits neither.  ``None``/``FULL_ROUTE`` renders
-    the script byte-identically to the pre-ladder frame.
+    (the session reads post-place estimated timing),
+    ``SYNTH_ESTIMATE`` emits neither, and ``STATIC_ESTIMATE`` emits an
+    explanatory comment only (the session computes analytical bounds
+    without any tool stage).  ``None``/``FULL_ROUTE`` renders the script
+    byte-identically to the pre-ladder frame.
     """
     directives = directives or DirectiveSet()
     read_cmds = "\n".join(f"{_READ_CMD[lang]} {ref}" for ref, lang in sources)
@@ -73,6 +75,8 @@ def render_evaluation_script(
         )
     elif step == FlowStep.IMPLEMENTATION and fidelity is Fidelity.PLACED_ESTIMATE:
         impl_cmds = f"place_design -directive {directives.impl}"
+    elif step == FlowStep.IMPLEMENTATION and fidelity is Fidelity.STATIC_ESTIMATE:
+        impl_cmds = "# static-estimate evaluation (analytical bounds, no tool stage)"
     else:
         impl_cmds = "# synthesis-only evaluation"
 

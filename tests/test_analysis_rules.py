@@ -30,6 +30,7 @@ ALL_CODES = (
     "D001", "D002", "D003", "D004",
     "E001", "E002", "E003", "E004", "E005",
     "H001", "H002",
+    "N001", "N002", "N003", "N004", "N005", "N006", "N007",
     "P001", "P002", "P003", "P004", "P005",
     "W001", "W002", "W003", "W004",
 )

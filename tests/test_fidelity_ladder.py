@@ -49,10 +49,13 @@ class TestFidelityLadder:
                 assert sim.last_run_stages == ("synthesis", "implementation")
             elif fid is Fidelity.PLACED_ESTIMATE:
                 assert sim.last_run_stages == ("synthesis", "placement")
-            else:
+            elif fid is Fidelity.SYNTH_ESTIMATE:
                 assert sim.last_run_stages == ("synthesis",)
+            else:
+                assert sim.last_run_stages == ("static-estimate",)
         # The ladder is a ladder: each rung is strictly cheaper than the
-        # one above it.
+        # one above it, and the analytical rung is free.
+        assert costs[Fidelity.STATIC_ESTIMATE] == 0.0
         assert costs[Fidelity.SYNTH_ESTIMATE] < costs[Fidelity.PLACED_ESTIMATE]
         assert costs[Fidelity.PLACED_ESTIMATE] < costs[Fidelity.FULL_ROUTE]
 
