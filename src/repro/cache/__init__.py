@@ -19,6 +19,9 @@ Three pieces:
   that many writer processes can share concurrently.
 - :mod:`repro.cache.records` — payload codecs between store records and
   the evaluated-point / failure shapes the DSE layers exchange.
+- :mod:`repro.cache.sharded` — :class:`ShardedResultStore`, the same
+  store split over N key-prefix shards with independent locks, for
+  multi-tenant servers; :func:`open_store` opens either layout.
 
 :class:`LruCache` also lives here: the bounded mapping used by the
 in-memory caches now that this store is the durable layer.
@@ -42,9 +45,17 @@ from repro.cache.records import (
     encode_point,
     fidelity_rank,
 )
-from repro.cache.store import FULL_RANK, ResultStore, StoredResult, StoreStats
+from repro.cache.sharded import ShardedResultStore, open_store
+from repro.cache.store import (
+    FULL_RANK,
+    CompactResult,
+    ResultStore,
+    StoredResult,
+    StoreStats,
+)
 
 __all__ = [
+    "CompactResult",
     "FIDELITY_RANKS",
     "FLOW_VERSION",
     "FULL_FIDELITY",
@@ -53,6 +64,7 @@ __all__ = [
     "KIND_POINT",
     "LruCache",
     "ResultStore",
+    "ShardedResultStore",
     "StoreStats",
     "StoredResult",
     "decode_point",
@@ -60,6 +72,7 @@ __all__ = [
     "encode_point",
     "fidelity_rank",
     "identity_key",
+    "open_store",
     "point_key",
     "run_identity",
     "source_digest",

@@ -1,0 +1,245 @@
+"""The sharded result store: N independent segment directories.
+
+One flat :class:`~repro.cache.store.ResultStore` funnels every writer
+through a single ``flock`` — fine for a handful of processes, hostile to
+a multi-tenant server where dozens of jobs append concurrently.
+:class:`ShardedResultStore` splits the key space over N inner stores
+(``shard-00/`` … ``shard-NN/``), each with its *own* segments, index,
+and writer lock, so writers on different shards never contend and a tail
+refresh scans only the shard a key lives in.
+
+Layout::
+
+    <root>/MANIFEST.json      # {"sharded": true, "shards": N, ...}
+    <root>/shard-00/          # a full ResultStore directory
+    <root>/shard-01/
+    ...
+
+Routing is by key prefix: keys are hex SHA-256 digests (uniformly
+distributed), so ``int(key[:8], 16) % shards`` balances load without any
+coordination.  The shard count is fixed at creation and recorded in the
+root MANIFEST — reopening always honours the recorded count (a different
+``shards`` argument would route keys to the wrong shard and manufacture
+misses), so growing a store means ``export`` + re-import.
+
+Every maintenance operation (``clear``, ``compact``) delegates per shard
+under that shard's lock; each shard keeps its own generation stamp, so
+cross-process staleness recovery works shard-by-shard exactly as for the
+flat store.
+
+:func:`open_store` sniffs a directory's MANIFEST and returns whichever
+store class owns the layout — CLI paths accept either interchangeably.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.cache.store import (
+    FULL_RANK,
+    CompactResult,
+    ResultStore,
+    StoredResult,
+    StoreStats,
+)
+
+__all__ = ["ShardedResultStore", "open_store"]
+
+_DEFAULT_SHARDS = 8
+_MAX_SHARDS = 4096
+
+
+class ShardedResultStore:
+    """Key-prefix-sharded result store: one :class:`ResultStore` per shard."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        shards: int = _DEFAULT_SHARDS,
+        segment_max_bytes: int | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self._manifest_path = self.root / "MANIFEST.json"
+        recorded = self._recorded_shards()
+        if recorded is not None:
+            # The recorded count always wins: routing must match the
+            # processes that wrote the store.
+            shards = recorded
+        if not 1 <= int(shards) <= _MAX_SHARDS:
+            raise ValueError(f"shards must be in [1, {_MAX_SHARDS}], got {shards}")
+        self.shards = int(shards)
+        self.root.mkdir(parents=True, exist_ok=True)
+        kwargs = {}
+        if segment_max_bytes is not None:
+            kwargs["segment_max_bytes"] = segment_max_bytes
+        self._stores = [
+            ResultStore(self.root / f"shard-{i:02d}", **kwargs)
+            for i in range(self.shards)
+        ]
+        if recorded is None:
+            self._write_manifest()
+
+    # -- layout ----------------------------------------------------------
+
+    def _recorded_shards(self) -> int | None:
+        try:
+            manifest = json.loads(self._manifest_path.read_text(encoding="utf-8"))
+            count = manifest.get("shards")
+            return None if count is None else int(count)
+        except (OSError, json.JSONDecodeError, TypeError, ValueError):
+            return None
+
+    def _write_manifest(self) -> None:
+        from repro.cache.keys import FLOW_VERSION
+
+        self._manifest_path.write_text(
+            json.dumps(
+                {
+                    "store_version": 1,
+                    "flow_version": FLOW_VERSION,
+                    "sharded": True,
+                    "shards": self.shards,
+                },
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    def shard_for(self, key: str) -> int:
+        """The shard ordinal a key routes to (stable across processes)."""
+        try:
+            prefix = int(key[:8], 16)
+        except ValueError:
+            # Non-hex keys (tests, future kinds): fall back to a stable
+            # string hash so routing stays deterministic cross-process.
+            import hashlib
+
+            prefix = int(
+                hashlib.sha256(key.encode("utf-8")).hexdigest()[:8], 16
+            )
+        return prefix % self.shards
+
+    def _store_for(self, key: str) -> ResultStore:
+        return self._stores[self.shard_for(key)]
+
+    # -- aggregated this-process tallies ----------------------------------
+
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self._stores)
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self._stores)
+
+    @property
+    def puts(self) -> int:
+        return sum(s.puts for s in self._stores)
+
+    @property
+    def skipped_puts(self) -> int:
+        return sum(s.skipped_puts for s in self._stores)
+
+    @property
+    def corrupt_lines(self) -> int:
+        return sum(s.corrupt_lines for s in self._stores)
+
+    # -- API ---------------------------------------------------------------
+
+    def get(self, key: str) -> StoredResult | None:
+        return self._store_for(key).get(key)
+
+    def put(self, key: str, kind: str, payload: Mapping, rank: int = FULL_RANK) -> bool:
+        return self._store_for(key).put(key, kind, payload, rank=rank)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store_for(key)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._stores)
+
+    def keys(self) -> list[str]:
+        out: list[str] = []
+        for store in self._stores:
+            out.extend(store.keys())
+        return out
+
+    def records(self) -> Iterator[StoredResult]:
+        for store in self._stores:
+            yield from store.records()
+
+    def refresh(self) -> int:
+        return sum(s.refresh() for s in self._stores)
+
+    def clear(self) -> int:
+        return sum(s.clear() for s in self._stores)
+
+    def compact(self) -> CompactResult:
+        result = CompactResult(0, 0, 0, 0, 0, 0)
+        for store in self._stores:
+            result = result.merged(store.compact())
+        return result
+
+    def export(self, path: str | Path) -> Path:
+        """Write one merged JSONL file across every shard."""
+        from repro.cache.store import _encode_record
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as fh:
+            for record in self.records():
+                fh.write(_encode_record(record) + "\n")
+        return path
+
+    def stats(self) -> StoreStats:
+        per_shard = [s.stats() for s in self._stores]
+        return StoreStats(
+            path=str(self.root),
+            segments=sum(s.segments for s in per_shard),
+            records=sum(s.records for s in per_shard),
+            unique_keys=sum(s.unique_keys for s in per_shard),
+            duplicates=sum(s.duplicates for s in per_shard),
+            size_bytes=sum(s.size_bytes for s in per_shard),
+            hits=sum(s.hits for s in per_shard),
+            misses=sum(s.misses for s in per_shard),
+            puts=sum(s.puts for s in per_shard),
+            skipped_puts=sum(s.skipped_puts for s in per_shard),
+            corrupt_lines=sum(s.corrupt_lines for s in per_shard),
+            generation=max((s.generation for s in per_shard), default=0),
+            shards=self.shards,
+        )
+
+    def shard_stats(self) -> list[StoreStats]:
+        """Per-shard stats (load-balance introspection for ``cache stats``)."""
+        return [s.stats() for s in self._stores]
+
+
+def open_store(
+    root: str | Path, shards: int | None = None
+) -> ResultStore | ShardedResultStore:
+    """Open whichever store layout lives at ``root``.
+
+    An existing directory is opened as the layout its MANIFEST records
+    (sharded or flat — a ``shards`` argument never re-routes an existing
+    store).  A fresh path is created sharded when ``shards`` is given
+    (and > 1), flat otherwise — so single-session CLI flows keep the
+    simple layout and the server opts into sharding explicitly.
+    """
+    root = Path(root)
+    manifest = root / "MANIFEST.json"
+    if manifest.exists():
+        try:
+            sharded = bool(
+                json.loads(manifest.read_text(encoding="utf-8")).get("sharded")
+            )
+        except (OSError, json.JSONDecodeError, TypeError, ValueError):
+            sharded = False
+        if sharded:
+            return ShardedResultStore(root)
+        return ResultStore(root)
+    if shards is not None and shards > 1:
+        return ShardedResultStore(root, shards=shards)
+    return ResultStore(root)

@@ -33,7 +33,23 @@ the lock file:
   a lower one — a full-route result overwrites the synth-estimate probe
   stored for the same design hash — while equal ranks keep
   first-writer-wins.  The index therefore always answers with the most
-  trustworthy record the store holds for a key.
+  trustworthy record the store holds for a key.  Because a low-rank hit
+  may have been superseded by another process since it was indexed,
+  :meth:`ResultStore.get` refreshes the tail *before* answering from a
+  below-full-rank record — a hit on a probe never shadows a full-route
+  record some other process already appended.
+- **Generation stamp**: destructive maintenance (:meth:`ResultStore.clear`,
+  :meth:`ResultStore.compact`) bumps a generation counter in MANIFEST
+  under the writer lock.  ``refresh()`` compares it against the
+  generation this process last saw and, on mismatch, resets its offsets
+  and index before re-reading — otherwise a process that indexed the old
+  segments would keep serving deleted records forever (its byte offsets
+  exceed the recreated segments' sizes, so the tail scan finds nothing).
+- **Defensive reads**: segment scans only consider files named
+  ``seg-<digits>.jsonl``; foreign files dropped into the segments
+  directory are ignored rather than crashing rotation, and complete
+  lines that fail to decode are skipped and tallied in
+  ``corrupt_lines`` (surfaced by ``cache stats``).
 
 The lock degrades to a no-op on platforms without ``fcntl`` — the store
 stays correct for a single writer, which is the only configuration those
@@ -44,6 +60,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -58,10 +75,17 @@ try:  # pragma: no branch
 except ImportError:  # pragma: no cover - non-POSIX fallback
     _HAVE_FLOCK = False
 
-__all__ = ["FULL_RANK", "ResultStore", "StoredResult", "StoreStats"]
+__all__ = [
+    "FULL_RANK",
+    "CompactResult",
+    "ResultStore",
+    "StoredResult",
+    "StoreStats",
+]
 
 _STORE_VERSION = 1
 _SEGMENT_PREFIX = "seg-"
+_SEGMENT_NAME = re.compile(rf"^{_SEGMENT_PREFIX}(\d+)\.jsonl$")
 _DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
 
 #: Rank of records written without one (pre-ladder stores): they came from
@@ -79,6 +103,19 @@ class StoredResult:
     rank: int = FULL_RANK
 
 
+def _encode_record(record: StoredResult) -> str:
+    """The canonical JSONL line for a record (full-rank lines keep the
+    pre-ladder byte format)."""
+    obj: dict = {
+        "key": record.key,
+        "kind": record.kind,
+        "payload": record.payload,
+    }
+    if record.rank != FULL_RANK:
+        obj["rank"] = record.rank
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
 @dataclass(frozen=True)
 class StoreStats:
     """Store shape plus this process's hit/miss/put tallies."""
@@ -93,6 +130,9 @@ class StoreStats:
     misses: int
     puts: int
     skipped_puts: int
+    corrupt_lines: int = 0
+    generation: int = 0
+    shards: int = 1
 
     def as_dict(self) -> dict:
         return {
@@ -106,7 +146,42 @@ class StoreStats:
             "misses": self.misses,
             "puts": self.puts,
             "skipped_puts": self.skipped_puts,
+            "corrupt_lines": self.corrupt_lines,
+            "generation": self.generation,
+            "shards": self.shards,
         }
+
+
+@dataclass(frozen=True)
+class CompactResult:
+    """Outcome of one offline compaction pass."""
+
+    records_before: int
+    records_after: int
+    segments_before: int
+    segments_after: int
+    bytes_before: int
+    bytes_after: int
+
+    def as_dict(self) -> dict:
+        return {
+            "records_before": self.records_before,
+            "records_after": self.records_after,
+            "segments_before": self.segments_before,
+            "segments_after": self.segments_after,
+            "bytes_before": self.bytes_before,
+            "bytes_after": self.bytes_after,
+        }
+
+    def merged(self, other: "CompactResult") -> "CompactResult":
+        return CompactResult(
+            records_before=self.records_before + other.records_before,
+            records_after=self.records_after + other.records_after,
+            segments_before=self.segments_before + other.segments_before,
+            segments_after=self.segments_after + other.segments_after,
+            bytes_before=self.bytes_before + other.bytes_before,
+            bytes_after=self.bytes_after + other.bytes_after,
+        )
 
 
 class ResultStore:
@@ -125,10 +200,12 @@ class ResultStore:
         self._index: dict[str, StoredResult] = {}
         self._offsets: dict[str, int] = {}  # segment name -> bytes consumed
         self._records_seen = 0
+        self._generation = 0  # manifest generation this index was built from
         self.hits = 0
         self.misses = 0
         self.puts = 0
         self.skipped_puts = 0
+        self.corrupt_lines = 0
         self._ensure_layout()
         self.refresh()
 
@@ -139,17 +216,44 @@ class ResultStore:
         if not self._manifest_path.exists():
             with self._locked():
                 if not self._manifest_path.exists():
-                    self._manifest_path.write_text(
-                        json.dumps(
-                            {
-                                "store_version": _STORE_VERSION,
-                                "flow_version": FLOW_VERSION,
-                            },
-                            indent=2,
-                        )
-                        + "\n",
-                        encoding="utf-8",
-                    )
+                    self._write_manifest({"generation": 0})
+
+    def _write_manifest(self, extra: Mapping) -> None:
+        """(Re)write MANIFEST (call under the lock for shared stores)."""
+        payload = {
+            "store_version": _STORE_VERSION,
+            "flow_version": FLOW_VERSION,
+        }
+        payload.update(extra)
+        tmp = self._manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        os.replace(tmp, self._manifest_path)
+
+    def _read_manifest(self) -> dict:
+        try:
+            return dict(
+                json.loads(self._manifest_path.read_text(encoding="utf-8"))
+            )
+        except (OSError, json.JSONDecodeError, TypeError, ValueError):
+            return {}
+
+    def _stored_generation(self) -> int:
+        """The generation stamp currently in MANIFEST (0 when absent)."""
+        try:
+            return int(self._read_manifest().get("generation", 0))
+        except (TypeError, ValueError):
+            return 0
+
+    def _bump_generation(self) -> int:
+        """Advance the generation stamp (call under the lock)."""
+        manifest = self._read_manifest()
+        try:
+            generation = int(manifest.get("generation", 0)) + 1
+        except (TypeError, ValueError):
+            generation = 1
+        manifest["generation"] = generation
+        self._write_manifest(manifest)
+        return generation
 
     @contextmanager
     def _locked(self) -> Iterator[None]:
@@ -165,7 +269,14 @@ class ResultStore:
                     fcntl.flock(fh, fcntl.LOCK_UN)
 
     def _segment_paths(self) -> list[Path]:
-        return sorted(self._segments_dir.glob(f"{_SEGMENT_PREFIX}*.jsonl"))
+        # Only files matching seg-<digits>.jsonl are store segments; foreign
+        # files (editor droppings, exports copied in by hand) are ignored so
+        # neither the tail scan nor rotation trips over them.
+        return sorted(
+            p
+            for p in self._segments_dir.glob(f"{_SEGMENT_PREFIX}*.jsonl")
+            if _SEGMENT_NAME.match(p.name)
+        )
 
     def _active_segment(self) -> Path:
         """The segment new appends go to (rotating past the byte cap)."""
@@ -174,7 +285,9 @@ class ResultStore:
             last = segments[-1]
             if last.stat().st_size < self.segment_max_bytes:
                 return last
-            ordinal = int(last.stem[len(_SEGMENT_PREFIX):]) + 1
+            match = _SEGMENT_NAME.match(last.name)
+            assert match is not None  # _segment_paths only yields conforming names
+            ordinal = int(match.group(1)) + 1
         else:
             ordinal = 1
         return self._segments_dir / f"{_SEGMENT_PREFIX}{ordinal:06d}.jsonl"
@@ -186,8 +299,18 @@ class ResultStore:
 
         Reads only the unseen tail of each segment; returns the number of
         new records indexed (duplicate keys count as records but do not
-        displace the first-seen entry).
+        displace the first-seen entry).  When another process has cleared
+        or compacted the store since this process last looked (MANIFEST
+        generation mismatch), the local offsets and index are reset first
+        — the old byte offsets are meaningless against recreated segments
+        and the old index entries may reference deleted records.
         """
+        stored_generation = self._stored_generation()
+        if stored_generation != self._generation:
+            self._index.clear()
+            self._offsets.clear()
+            self._records_seen = 0
+            self._generation = stored_generation
         added = 0
         for path in self._segment_paths():
             name = path.name
@@ -208,14 +331,19 @@ class ResultStore:
                     continue
                 try:
                     obj = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn line from a crashed writer; skip
-                record = StoredResult(
-                    key=str(obj["key"]),
-                    kind=str(obj["kind"]),
-                    payload=dict(obj.get("payload", {})),
-                    rank=int(obj.get("rank", FULL_RANK)),
-                )
+                    record = StoredResult(
+                        key=str(obj["key"]),
+                        kind=str(obj["kind"]),
+                        payload=dict(obj.get("payload", {})),
+                        rank=int(obj.get("rank", FULL_RANK)),
+                    )
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    # A complete line that does not decode to a record:
+                    # corruption from a crashed/foreign writer.  Skip it but
+                    # keep count — silent data loss is how stale-cache bugs
+                    # hide.
+                    self.corrupt_lines += 1
+                    continue
                 self._records_seen += 1
                 existing = self._index.get(record.key)
                 if existing is None or record.rank > existing.rank:
@@ -227,9 +355,16 @@ class ResultStore:
     # -- API ---------------------------------------------------------------
 
     def get(self, key: str) -> StoredResult | None:
-        """Look up one key, refreshing the tail on a miss."""
+        """Look up one key, refreshing the tail on a miss.
+
+        A hit on a *below-full-rank* record also refreshes first: the
+        cached entry is a low-fidelity probe, and a higher-rank record
+        appended by another process since the last refresh must supersede
+        it ("higher rank supersedes" is the store's contract for hits,
+        not just for misses).
+        """
         record = self._index.get(key)
-        if record is None:
+        if record is None or record.rank < FULL_RANK:
             self.refresh()
             record = self._index.get(key)
         if record is None:
@@ -270,11 +405,9 @@ class ResultStore:
         if existing is not None and existing.rank >= rank:
             self.skipped_puts += 1
             return False
-        obj: dict = {"key": key, "kind": kind, "payload": dict(payload)}
-        if rank != FULL_RANK:
-            # Full-rank lines keep the pre-ladder byte format.
-            obj["rank"] = rank
-        line = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+        line = _encode_record(
+            StoredResult(key=key, kind=str(kind), payload=dict(payload), rank=rank)
+        )
         with self._locked():
             self.refresh()
             existing = self._index.get(key)
@@ -296,7 +429,12 @@ class ResultStore:
         return True
 
     def clear(self) -> int:
-        """Delete every record; returns how many unique keys were dropped."""
+        """Delete every record; returns how many unique keys were dropped.
+
+        Bumps the MANIFEST generation stamp under the lock so every other
+        process's next ``refresh()`` resets its offsets and index instead
+        of serving deleted records forever.
+        """
         with self._locked():
             self.refresh()
             dropped = len(self._index)
@@ -305,7 +443,78 @@ class ResultStore:
             self._index.clear()
             self._offsets.clear()
             self._records_seen = 0
+            self._generation = self._bump_generation()
         return dropped
+
+    def compact(self) -> CompactResult:
+        """Rewrite the segments keeping only index winners.
+
+        Duplicate appends (two processes racing on one key) and
+        superseded low-rank probe records accumulate as dead lines the
+        tail scan pays for on every fresh open; this offline pass rewrites
+        the store to exactly one line per unique key — the record the
+        index answers with — and bumps the generation stamp so other
+        processes re-read cleanly.  Runs entirely under the writer lock.
+        """
+        with self._locked():
+            self.refresh()
+            old_segments = self._segment_paths()
+            before = CompactResult(
+                records_before=self._records_seen,
+                records_after=0,
+                segments_before=len(old_segments),
+                segments_after=0,
+                bytes_before=sum(p.stat().st_size for p in old_segments),
+                bytes_after=0,
+            )
+            lines = [
+                _encode_record(record) for record in self._index.values()
+            ]
+            for path in old_segments:
+                path.unlink()
+            self._offsets.clear()
+            ordinal = 0
+            written = 0
+            fh = None
+            try:
+                for line in lines:
+                    if fh is None or written >= self.segment_max_bytes:
+                        if fh is not None:
+                            fh.flush()
+                            os.fsync(fh.fileno())
+                            fh.close()
+                        ordinal += 1
+                        path = (
+                            self._segments_dir
+                            / f"{_SEGMENT_PREFIX}{ordinal:06d}.jsonl"
+                        )
+                        fh = path.open("w", encoding="utf-8")
+                        written = 0
+                    fh.write(line + "\n")
+                    written += len(line) + 1
+                if fh is not None:
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                    fh.close()
+                    fh = None
+            finally:
+                if fh is not None:
+                    fh.close()
+            # This process wrote every surviving line itself: offsets point
+            # at the segment ends and the index is already the winner set.
+            for path in self._segment_paths():
+                self._offsets[path.name] = path.stat().st_size
+            self._records_seen = len(self._index)
+            self._generation = self._bump_generation()
+            segments = self._segment_paths()
+            return CompactResult(
+                records_before=before.records_before,
+                records_after=len(lines),
+                segments_before=before.segments_before,
+                segments_after=len(segments),
+                bytes_before=before.bytes_before,
+                bytes_after=sum(p.stat().st_size for p in segments),
+            )
 
     def export(self, path: str | Path) -> Path:
         """Write one merged JSONL file (one line per unique key)."""
@@ -313,14 +522,7 @@ class ResultStore:
         path.parent.mkdir(parents=True, exist_ok=True)
         with path.open("w", encoding="utf-8") as fh:
             for record in self.records():
-                obj: dict = {
-                    "key": record.key,
-                    "kind": record.kind,
-                    "payload": record.payload,
-                }
-                if record.rank != FULL_RANK:
-                    obj["rank"] = record.rank
-                fh.write(json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n")
+                fh.write(_encode_record(record) + "\n")
         return path
 
     def stats(self) -> StoreStats:
@@ -337,4 +539,6 @@ class ResultStore:
             misses=self.misses,
             puts=self.puts,
             skipped_puts=self.skipped_puts,
+            corrupt_lines=self.corrupt_lines,
+            generation=self._generation,
         )

@@ -12,6 +12,14 @@ Mirrors Dovado's two user flows::
 ``--design`` accepts a built-in case-study name; ``--source FILE --top M``
 evaluates arbitrary HDL instead (with ``--param NAME:LO:HI[:pow2]``
 declaring the space for DSE mode).
+
+The service flow (DSE as a service) multiplexes many sessions over one
+shared store and scheduler::
+
+    dovado-repro serve  --root svc/ --capacity 4 &
+    dovado-repro submit --root svc/ --design tirex --generations 10
+    dovado-repro jobs   --root svc/
+    dovado-repro cancel --root svc/ job-000000
 """
 
 from __future__ import annotations
@@ -255,14 +263,77 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache = sub.add_parser(
         "cache", help="inspect or maintain a persistent result store"
     )
-    p_cache.add_argument("action", choices=("stats", "clear", "export"),
+    p_cache.add_argument("action", choices=("stats", "clear", "export", "compact"),
                          help="stats: shape + hit tallies; clear: drop every "
-                              "record; export: merge to one JSONL file")
+                              "record; export: merge to one JSONL file; "
+                              "compact: rewrite segments keeping only index "
+                              "winners (superseded/duplicate records dropped)")
     p_cache.add_argument("--store", required=True, metavar="PATH",
-                         help="result store directory")
+                         help="result store directory (flat or sharded — "
+                              "the MANIFEST decides)")
     p_cache.add_argument("--out", metavar="FILE",
                          help="output file for export "
                               "(default: <store>/export.jsonl)")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the DSE service: claim queued jobs, multiplex "
+                      "their evaluations over one shared store + scheduler"
+    )
+    p_serve.add_argument("--root", required=True, metavar="DIR",
+                         help="service root (queue/, store/, results/ live "
+                              "here; touch <root>/STOP for graceful drain)")
+    p_serve.add_argument("--capacity", type=int, default=4,
+                         help="evaluation worker threads shared by all jobs "
+                              "(default 4)")
+    p_serve.add_argument("--shards", type=int, default=8,
+                         help="shard count when creating the shared store "
+                              "(default 8; an existing store keeps its own)")
+    p_serve.add_argument("--slots", type=int, default=2,
+                         help="max concurrent evaluations per job (default 2)")
+    p_serve.add_argument("--max-idle", type=_positive_float, default=None,
+                         metavar="SECONDS",
+                         help="exit after the queue stays empty this long "
+                              "(default: run until STOP)")
+    p_serve.add_argument("--stop-after", type=_nonnegative_int, default=None,
+                         metavar="N", help="exit once N jobs finished (smoke "
+                                           "tests; default: run until STOP)")
+    p_serve.add_argument("--poll-interval", type=_positive_float, default=0.2,
+                         metavar="SECONDS",
+                         help="queue poll period (default 0.2; also the "
+                              "admission stagger between job claims)")
+    p_serve.add_argument("--trace", metavar="FILE",
+                         help="enable telemetry: write a JSONL trace to FILE "
+                              "and print the summary at shutdown")
+
+    p_submit = sub.add_parser(
+        "submit", help="enqueue a DSE job for a running server"
+    )
+    p_submit.add_argument("--root", required=True, metavar="DIR",
+                          help="service root (same as serve --root)")
+    p_submit.add_argument("--design", required=True,
+                          help="built-in design name to explore")
+    p_submit.add_argument("--part", default="XC7K70T")
+    p_submit.add_argument("--period-ns", type=_positive_float, default=1.0)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--generations", type=int, default=15)
+    p_submit.add_argument("--population", type=int, default=24)
+    p_submit.add_argument("--use-model", action="store_true",
+                          help="enable the fitness approximation model")
+    p_submit.add_argument("--pretrain", type=_nonnegative_int, default=0,
+                          help="synthetic dataset size M (with --use-model)")
+    p_submit.add_argument("--algorithm", default="nsga2",
+                          choices=("nsga2", "spea2", "mosa", "exhaustive"))
+    p_submit.add_argument("--deadline-hours", type=_positive_float, default=None,
+                          help="soft deadline in simulated tool hours")
+
+    p_jobs = sub.add_parser("jobs", help="list the service's jobs and states")
+    p_jobs.add_argument("--root", required=True, metavar="DIR",
+                        help="service root (same as serve --root)")
+
+    p_cancel = sub.add_parser("cancel", help="cancel a queued or running job")
+    p_cancel.add_argument("--root", required=True, metavar="DIR",
+                          help="service root (same as serve --root)")
+    p_cancel.add_argument("job_id", help="the id `submit` printed")
     return parser
 
 
@@ -550,9 +621,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "cache":
-        from repro.cache import ResultStore
+        from repro.cache import open_store
 
-        store = ResultStore(args.store)
+        store = open_store(args.store)
         if args.action == "stats":
             from repro.cache import FIDELITY_RANKS
 
@@ -572,10 +643,101 @@ def _dispatch(args: argparse.Namespace) -> int:
         elif args.action == "clear":
             dropped = store.clear()
             print(f"cleared: {dropped} unique key(s) dropped")
+        elif args.action == "compact":
+            result = store.compact()
+            print(f"compacted: {result.records_before} -> "
+                  f"{result.records_after} record(s), "
+                  f"{result.segments_before} -> {result.segments_after} "
+                  f"segment(s), {result.bytes_before} -> "
+                  f"{result.bytes_after} bytes")
         else:  # export
             out = args.out or str(Path(args.store) / "export.jsonl")
             path = store.export(out)
             print(f"exported: {path} ({len(store)} unique key(s))")
+        return 0
+
+    if args.command == "serve":
+        from repro.serve import DseServer
+
+        server = DseServer(
+            args.root,
+            capacity=args.capacity,
+            shards=args.shards,
+            slots_per_job=args.slots,
+            poll_interval_s=args.poll_interval,
+        )
+        tel = _start_trace(args)
+        print(f"serving from {args.root} "
+              f"(capacity={args.capacity}, shards={args.shards}; "
+              f"touch {Path(args.root) / 'STOP'} to drain)")
+        try:
+            stats = server.serve_forever(
+                max_idle_s=args.max_idle, stop_after=args.stop_after
+            )
+        finally:
+            if tel is not None:
+                _finish_trace(tel, args, "serve")
+        fleet = stats["fleet"]
+        print(f"drained: done={stats['jobs_done']} "
+              f"failed={stats['jobs_failed']} "
+              f"cancelled={stats['jobs_cancelled']} | fleet: "
+              f"tool_runs={fleet['dispatched']} "
+              f"memo_hits={fleet['memo_hits']} "
+              f"store_hits={fleet['store_hits']}")
+        return 1 if stats["jobs_failed"] else 0
+
+    if args.command == "submit":
+        from repro.serve import FileJobQueue, JobSpec
+
+        record = FileJobQueue(Path(args.root) / "queue").submit(JobSpec(
+            design=args.design,
+            seed=args.seed,
+            generations=args.generations,
+            population=args.population,
+            pretrain=args.pretrain,
+            use_model=args.use_model,
+            algorithm=args.algorithm,
+            part=args.part,
+            target_period_ns=args.period_ns,
+            soft_deadline_s=(
+                args.deadline_hours * 3600 if args.deadline_hours else None
+            ),
+        ))
+        print(record.job_id)
+        return 0
+
+    if args.command == "jobs":
+        from repro.serve import FileJobQueue
+
+        rows = []
+        for record in FileJobQueue(Path(args.root) / "queue").jobs():
+            stats = record.stats
+            hits = stats.get("cache_hits")
+            rows.append((
+                record.job_id,
+                record.spec.design,
+                str(record.state),
+                stats.get("tool_runs", ""),
+                "" if hits is None else hits,
+                ("" if hits is None
+                 else f"{stats.get('cache_hit_rate', 0.0):.0%}"),
+                record.error or "",
+            ))
+        print(render_table(
+            ("Job", "Design", "State", "Tool runs", "Cache hits",
+             "Hit rate", "Error"),
+            rows,
+        ))
+        return 0
+
+    if args.command == "cancel":
+        from repro.serve import FileJobQueue
+
+        state = FileJobQueue(Path(args.root) / "queue").cancel(args.job_id)
+        if state is None:
+            print(f"unknown job: {args.job_id}", file=sys.stderr)
+            return 1
+        print(f"{args.job_id}: {state}")
         return 0
 
     if args.command == "sweep":

@@ -88,7 +88,11 @@ class ApproximateFitness:
         self.workers = workers
         self.design_name = design_name
         if isinstance(result_store, (str, Path)):
-            result_store = ResultStore(result_store)
+            from repro.cache import open_store
+
+            # A path may point at either layout — flat or sharded (the
+            # server's shared stores are sharded); the MANIFEST decides.
+            result_store = open_store(result_store)
         self.result_store = result_store
         self._store_identity_cache: dict | None = None
         self.min_points_to_estimate = min_points_to_estimate
@@ -118,6 +122,10 @@ class ApproximateFitness:
         self.drc_rejections = 0
         self.mse_trace: list[tuple[int, float]] = []  # (dataset size, LOO MSE)
         self._parallel = None  # lazy ParallelPointEvaluator
+        # True when ``_parallel`` was injected via ``set_batch_evaluator``
+        # (a server-owned fleet facade): never closed here, and it takes
+        # over every tool dispatch regardless of the local worker count.
+        self._external_parallel = False
         # Speculative fidelity gate (off by default; when off, every code
         # path below is byte-identical to the pre-ladder fitness).
         self.fidelity_gate_enabled = bool(fidelity_gate)
@@ -166,11 +174,45 @@ class ApproximateFitness:
             self.close()
             self.workers = workers
 
-    def close(self) -> None:
-        """Release the worker pool, if one was started."""
-        if self._parallel is not None:
+    def set_batch_evaluator(self, evaluator) -> None:
+        """Bind an externally owned batch evaluator (the serve fleet).
+
+        ``evaluator`` must expose the :class:`ParallelPointEvaluator`
+        batch surface (``submit_many`` returning a pending batch).  Once
+        bound, *every* tool dispatch — batch and single-point alike —
+        routes through it, so a multi-tenant scheduler sees all of this
+        session's work.  The caller keeps ownership: :meth:`close` drops
+        the reference without shutting the evaluator down.  Pass ``None``
+        to unbind.  Incompatible with the fidelity gate and incremental
+        flows, whose evaluations are order-dependent by construction.
+        """
+        if evaluator is not None:
+            if self.fidelity_gate_enabled:
+                raise ValueError(
+                    "external batch evaluator is incompatible with the "
+                    "fidelity gate (gated sessions are sequential)"
+                )
+            if getattr(self.evaluator, "incremental", False):
+                raise ValueError(
+                    "external batch evaluator is incompatible with "
+                    "incremental flows (results are order-dependent)"
+                )
+        if self._parallel is not None and not self._external_parallel:
             self._parallel.close()
+        self._parallel = evaluator
+        self._external_parallel = evaluator is not None
+
+    def close(self) -> None:
+        """Release the worker pool, if one was started.
+
+        An externally bound evaluator (``set_batch_evaluator``) is only
+        unbound — its owner decides when the shared fleet shuts down.
+        """
+        if self._parallel is not None:
+            if not self._external_parallel:
+                self._parallel.close()
             self._parallel = None
+            self._external_parallel = False
 
     def _use_parallel(self) -> bool:
         # Incremental flows warm-start from the shared session's
@@ -181,7 +223,9 @@ class ApproximateFitness:
         # it also pins evaluation to the serial path.
         if self.fidelity_gate_enabled:
             return False
-        return self.workers > 1 and not getattr(self.evaluator, "incremental", False)
+        if getattr(self.evaluator, "incremental", False):
+            return False
+        return self._external_parallel or self.workers > 1
 
     def _metric_signs(self) -> np.ndarray:
         """+1 for minimized metrics, -1 for maximized (minimized = signs*raw)."""
@@ -402,6 +446,13 @@ class ApproximateFitness:
         # fitness evaluations.
         if self.promotion_gate is not None and not record:
             return self._run_tool_gated(encoded)
+        # A server-bound session must surface *every* tool dispatch to the
+        # shared fleet — including the model path's single-point runs —
+        # so cross-tenant dedup and fair scheduling see them.  The batch
+        # layer owns the same DRC/store/accounting steps as the serial
+        # body below.
+        if self._external_parallel and self._use_parallel():
+            return self._run_tool_batch(np.atleast_2d(encoded), record)[0]
         params = self.space.decode(encoded)
         # Space-aware DRC pre-flight: reject before the evaluator (whose
         # own gate knows the module but not the declared space) is touched.

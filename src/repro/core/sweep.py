@@ -126,9 +126,9 @@ def run_sweep(
     next run.
     """
     if result_store is not None and not hasattr(result_store, "get"):
-        from repro.cache import ResultStore
+        from repro.cache import open_store
 
-        result_store = ResultStore(result_store)
+        result_store = open_store(result_store)
     if workers > 1 or result_store is not None:
         from repro.core.parallel import EvaluatorSpec, ParallelPointEvaluator
 

@@ -1,0 +1,225 @@
+"""The shared evaluator fleet and its per-job scheduler facade.
+
+The server keeps one :class:`~repro.core.parallel.ParallelPointEvaluator`
+per distinct :class:`~repro.core.parallel.EvaluatorSpec` — the fleet.
+Every job whose session resolves to the same spec (same design source,
+part, step, directives, period, seed, metrics) shares that evaluator's
+cross-batch memo, in-flight dedup, and persistent-store binding, so the
+*first* tenant to evaluate a configuration pays for it and every later
+tenant replays it as a cache answer.
+
+Fleet evaluators are built with ``workers=0``: each evaluation runs
+inline on whichever scheduler pool thread the request was dispatched to.
+Execution parallelism comes from the scheduler's pool, not from nested
+process pools — the scheduler's capacity is the *only* concurrency bound
+in the server.  A per-spec mutex serializes evaluations that share an
+evaluator (its memo and tool session are single-threaded state), which
+also makes cross-tenant dedup deterministic: two jobs racing on the same
+configuration resolve to one tool run and one memo hit, never two runs.
+
+:class:`SchedulerBoundEvaluator` is the facade a session binds via
+``ApproximateFitness.set_batch_evaluator``: it exposes the same
+``submit_many`` surface as ``ParallelPointEvaluator`` but routes each
+point as one scheduler request tagged with the owning job, so the fair
+round-robin interleaves *points*, not whole batches.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Any, Mapping, Sequence
+
+from repro.core.parallel import (
+    EvaluationFailure,
+    EvaluatorSpec,
+    ParallelPointEvaluator,
+    RemoteEvaluationError,
+)
+from repro.serve.scheduler import FairScheduler
+
+__all__ = ["EvaluatorFleet", "SchedulerBoundEvaluator", "ScheduledBatch"]
+
+
+class EvaluatorFleet:
+    """One serial evaluator (plus lock) per spec, shared across jobs."""
+
+    def __init__(self, store_root: str | None = None, shards: int = 8) -> None:
+        self.store_root = store_root
+        self.shards = shards
+        self._lock = threading.Lock()
+        self._members: dict[EvaluatorSpec, ParallelPointEvaluator] = {}
+        self._member_locks: dict[EvaluatorSpec, threading.Lock] = {}
+
+    def _member(
+        self, spec: EvaluatorSpec
+    ) -> tuple[ParallelPointEvaluator, threading.Lock]:
+        with self._lock:
+            evaluator = self._members.get(spec)
+            if evaluator is None:
+                store = None
+                if self.store_root is not None:
+                    from repro.cache import open_store
+
+                    # Each member opens its own handle on the shared
+                    # (sharded) store: in-memory indexes stay
+                    # single-threaded, while the on-disk flock keeps
+                    # cross-handle appends first-writer-wins.
+                    store = open_store(self.store_root, shards=self.shards)
+                evaluator = ParallelPointEvaluator(
+                    spec=spec, workers=0, store=store
+                )
+                self._members[spec] = evaluator
+                self._member_locks[spec] = threading.Lock()
+            return evaluator, self._member_locks[spec]
+
+    def bind(
+        self, scheduler: FairScheduler, job_id: str, spec: EvaluatorSpec
+    ) -> "SchedulerBoundEvaluator":
+        """The facade a job's session plugs into its fitness."""
+        evaluator, lock = self._member(spec)
+        return SchedulerBoundEvaluator(scheduler, job_id, evaluator, lock)
+
+    def specs(self) -> list[EvaluatorSpec]:
+        with self._lock:
+            return list(self._members)
+
+    def stats(self) -> dict[str, Any]:
+        """Fleet-wide dedup accounting (summed over members)."""
+        with self._lock:
+            members = list(self._members.values())
+        return {
+            "members": len(members),
+            "dispatched": sum(m.dispatched for m in members),
+            "memo_hits": sum(m.memo_hits for m in members),
+            "store_hits": sum(m.store_hits for m in members),
+            "store_puts": sum(m.store_puts for m in members),
+            "drc_rejections": sum(m.drc_rejections for m in members),
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            members = list(self._members.values())
+            self._members.clear()
+            self._member_locks.clear()
+        for member in members:
+            member.close()
+
+
+class ScheduledBatch:
+    """Pending results of one ``submit_many`` through the scheduler.
+
+    Duck-types the :class:`~repro.core.parallel.PendingBatch` surface the
+    fitness layer consumes (``done()`` / ``results(on_error)``); results
+    come back in request order regardless of scheduler interleaving.  A
+    cancelled job's pending points surface as the
+    :class:`~repro.serve.scheduler.JobCancelledError` their futures
+    carry.
+    """
+
+    def __init__(self, futures: Sequence[Future]) -> None:
+        self._futures = list(futures)
+
+    def __len__(self) -> int:
+        return len(self._futures)
+
+    def done(self) -> bool:
+        return all(f.done() for f in self._futures)
+
+    def results(self, on_error: str = "raise") -> list[Any]:
+        if on_error not in ("raise", "return"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'return', got {on_error!r}"
+            )
+        out: list[Any] = []
+        for future in self._futures:
+            result = future.result()
+            if on_error == "raise" and isinstance(result, EvaluationFailure):
+                raise RemoteEvaluationError(result.original_type, result.message)
+            out.append(result)
+        return out
+
+
+class SchedulerBoundEvaluator:
+    """``ParallelPointEvaluator``-shaped facade over (scheduler, job, member).
+
+    Owned by the server — ``close()`` here only detaches; the member
+    evaluator and its memo live on for the next tenant.
+    """
+
+    def __init__(
+        self,
+        scheduler: FairScheduler,
+        job_id: str,
+        member: ParallelPointEvaluator,
+        member_lock: threading.Lock,
+    ) -> None:
+        self.scheduler = scheduler
+        self.job_id = job_id
+        self._member = member
+        self._member_lock = member_lock
+        # Per-tenant attribution (the member's own counters are shared
+        # across every job on the spec): what *this* job's requests cost.
+        self.tool_runs = 0
+        self.cache_hits = 0
+        self.failures = 0
+
+    def submit_many(self, points: Sequence[Mapping[str, int]]) -> ScheduledBatch:
+        """One scheduler request per point, fair-queued under this job."""
+        futures = [
+            self.scheduler.submit(self.job_id, self._one(dict(p))) for p in points
+        ]
+        return ScheduledBatch(futures)
+
+    def _one(self, params: dict[str, int]):
+        def run() -> Any:
+            # The member's memo/in-flight/tool state is single-threaded;
+            # the mutex serializes tenants sharing the spec — which is
+            # exactly what makes the first tenant's run the second
+            # tenant's memo hit instead of a duplicate dispatch.
+            with self._member_lock:
+                before = self._member.dispatched
+                result = self._member.evaluate_many([params], on_error="return")[0]
+                if isinstance(result, EvaluationFailure):
+                    self.failures += 1
+                elif self._member.dispatched > before:
+                    self.tool_runs += 1
+                else:
+                    self.cache_hits += 1
+                return result
+
+        return run
+
+    def evaluate_many(
+        self, points: Sequence[Mapping[str, int]], on_error: str = "raise"
+    ) -> list[Any]:
+        return self.submit_many(points).results(on_error)
+
+    @property
+    def memo(self) -> dict:
+        return self._member.memo
+
+    @property
+    def store_hits(self) -> int:
+        return self._member.store_hits
+
+    @property
+    def memo_hits(self) -> int:
+        return self._member.memo_hits
+
+    @property
+    def dispatched(self) -> int:
+        return self._member.dispatched
+
+    def tenant_stats(self) -> dict[str, int | float]:
+        """This job's own economics over the shared member."""
+        answered = self.tool_runs + self.cache_hits
+        return {
+            "tool_runs": self.tool_runs,
+            "cache_hits": self.cache_hits,
+            "failures": self.failures,
+            "cache_hit_rate": (self.cache_hits / answered) if answered else 0.0,
+        }
+
+    def close(self) -> None:
+        """Detach only — the fleet owns the member's lifecycle."""

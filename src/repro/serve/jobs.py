@@ -1,0 +1,102 @@
+"""Job records for the DSE service.
+
+A *job* is one DSE session requested by a client: a design to explore
+plus the exploration knobs the ``dse`` CLI would take.  The spec is a
+plain JSON-serializable dataclass so it can travel through the
+filesystem job queue; the record wraps it with the service-side
+lifecycle state (queued → running → done/failed/cancelled) and, once
+finished, the per-tenant accounting the ``jobs`` CLI reports (tool
+runs, store hits, simulated seconds).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["JobSpec", "JobState", "JobRecord"]
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle of a submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.value
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What to explore — the client's request, JSON-round-trippable."""
+
+    design: str
+    seed: int = 0
+    generations: int = 5
+    population: int = 8
+    pretrain: int = 0
+    use_model: bool = False
+    algorithm: str = "nsga2"
+    part: str = "XC7K70T"
+    target_period_ns: float = 1.0
+    soft_deadline_s: float | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass
+class JobRecord:
+    """One job's service-side state, as stored in the queue files."""
+
+    job_id: str
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    result_path: str | None = None
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "spec": self.spec.as_dict(),
+            "state": self.state.value,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "result_path": self.result_path,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobRecord":
+        return cls(
+            job_id=str(data["job_id"]),
+            spec=JobSpec.from_dict(data.get("spec", {})),
+            state=JobState(data.get("state", "queued")),
+            submitted_at=float(data.get("submitted_at", 0.0)),
+            started_at=data.get("started_at"),
+            finished_at=data.get("finished_at"),
+            error=data.get("error"),
+            result_path=data.get("result_path"),
+            stats=dict(data.get("stats", {})),
+        )

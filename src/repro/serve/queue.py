@@ -1,0 +1,225 @@
+"""The filesystem job queue: client ↔ server handoff without a socket.
+
+Layout::
+
+    <root>/COUNTER            # next job ordinal (read-modify-write under flock)
+    <root>/.lock              # the queue's writer lock file
+    <root>/queued/job-000001.json
+    <root>/running/job-000002.json
+    <root>/running/job-000002.cancel   # cancel marker for a running job
+    <root>/done/job-000000.json
+
+Every transition is an atomic ``os.replace`` of the job's JSON file
+between state directories, so a client and a server (or two servers)
+never see a half-written record and never claim the same job twice: the
+claim is ``replace(queued/x, running/x)``, which exactly one process
+wins.  Job ids are dense ordinals assigned under the lock, so queue
+order is submission order.
+
+Cancellation is cooperative: cancelling a *queued* job moves its file
+straight to ``done/`` as cancelled; cancelling a *running* job drops a
+``.cancel`` marker next to the running record, which the server polls
+and translates into a scheduler-level cancel (in-flight evaluations
+finish, everything pending fails fast).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from repro.serve.jobs import JobRecord, JobSpec, JobState
+
+try:  # pragma: no branch
+    import fcntl
+
+    _HAVE_FLOCK = True
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    _HAVE_FLOCK = False
+
+__all__ = ["FileJobQueue"]
+
+_STATE_DIRS = {
+    JobState.QUEUED: "queued",
+    JobState.RUNNING: "running",
+    JobState.DONE: "done",
+    JobState.FAILED: "done",
+    JobState.CANCELLED: "done",
+}
+
+
+class FileJobQueue:
+    """Multi-process job queue over atomic file renames."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        for sub in ("queued", "running", "done"):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+        self._lock_path = self.root / ".lock"
+        self._counter_path = self.root / "COUNTER"
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        self._lock_path.touch(exist_ok=True)
+        with self._lock_path.open("r+") as fh:
+            if _HAVE_FLOCK:
+                fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                if _HAVE_FLOCK:
+                    fcntl.flock(fh, fcntl.LOCK_UN)
+
+    def _next_id(self) -> str:
+        with self._locked():
+            try:
+                current = int(self._counter_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                current = 0
+            self._counter_path.write_text(str(current + 1), encoding="utf-8")
+        return f"job-{current:06d}"
+
+    def _path(self, state: JobState, job_id: str) -> Path:
+        return self.root / _STATE_DIRS[state] / f"{job_id}.json"
+
+    def _write(self, record: JobRecord) -> Path:
+        """Atomically (re)write a record into its state directory."""
+        path = self._path(record.state, record.job_id)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(record.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        return path
+
+    @staticmethod
+    def _read(path: Path) -> JobRecord | None:
+        try:
+            return JobRecord.from_dict(
+                json.loads(path.read_text(encoding="utf-8"))
+            )
+        except (OSError, json.JSONDecodeError, KeyError, ValueError):
+            # Mid-rename or half-written by a crashed writer: skip, the
+            # owner (or the next scan) will see it settled.
+            return None
+
+    # -- client side -----------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Enqueue a job; returns the queued record (with its id)."""
+        record = JobRecord(
+            job_id=self._next_id(),
+            spec=spec,
+            state=JobState.QUEUED,
+            submitted_at=time.time(),
+        )
+        self._write(record)
+        return record
+
+    def cancel(self, job_id: str) -> JobState | None:
+        """Request cancellation; returns the state the request landed on.
+
+        Queued jobs cancel immediately (their file moves to ``done/``);
+        running jobs get a marker the server acts on; terminal jobs are
+        left alone.  ``None`` means the id is unknown.
+        """
+        with self._locked():
+            queued = self._path(JobState.QUEUED, job_id)
+            record = self._read(queued)
+            if record is not None:
+                record.state = JobState.CANCELLED
+                record.finished_at = time.time()
+                self._write(record)
+                queued.unlink(missing_ok=True)
+                return JobState.CANCELLED
+            running = self._path(JobState.RUNNING, job_id)
+            if running.exists():
+                running.with_suffix(".cancel").touch()
+                return JobState.RUNNING
+            done = self._path(JobState.DONE, job_id)
+            done_record = self._read(done)
+            if done_record is not None:
+                return done_record.state
+        return None
+
+    def get(self, job_id: str) -> JobRecord | None:
+        for state in (JobState.QUEUED, JobState.RUNNING, JobState.DONE):
+            record = self._read(self._path(state, job_id))
+            if record is not None:
+                return record
+        return None
+
+    def jobs(self) -> list[JobRecord]:
+        """Every known job, submission order."""
+        out: list[JobRecord] = []
+        for sub in ("queued", "running", "done"):
+            for path in (self.root / sub).glob("job-*.json"):
+                record = self._read(path)
+                if record is not None:
+                    out.append(record)
+        out.sort(key=lambda r: r.job_id)
+        return out
+
+    def depth(self) -> int:
+        """Number of jobs waiting to be claimed."""
+        return sum(1 for _ in (self.root / "queued").glob("job-*.json"))
+
+    # -- server side -----------------------------------------------------
+
+    def claim(self) -> JobRecord | None:
+        """Atomically claim the oldest queued job, or None when idle.
+
+        The winning rename moves the file into ``running/`` before the
+        record is rewritten, so a competing server loses the race with an
+        ``OSError`` and simply tries the next file.
+        """
+        for path in sorted((self.root / "queued").glob("job-*.json")):
+            target = self.root / "running" / path.name
+            try:
+                os.replace(path, target)
+            except OSError:
+                continue  # another server claimed it first
+            record = self._read(target)
+            if record is None:
+                continue
+            record.state = JobState.RUNNING
+            record.started_at = time.time()
+            self._write(record)
+            return record
+        return None
+
+    def cancel_requested(self, job_id: str) -> bool:
+        """True when a ``.cancel`` marker exists for a running job."""
+        return self._path(JobState.RUNNING, job_id).with_suffix(".cancel").exists()
+
+    def finish(
+        self,
+        job_id: str,
+        state: JobState,
+        *,
+        error: str | None = None,
+        result_path: str | None = None,
+        stats: dict | None = None,
+    ) -> JobRecord | None:
+        """Move a running job to its terminal record."""
+        if not state.terminal:
+            raise ValueError(f"finish() needs a terminal state, got {state}")
+        running = self._path(JobState.RUNNING, job_id)
+        record = self._read(running)
+        if record is None:
+            return None
+        record.state = state
+        record.finished_at = time.time()
+        record.error = error
+        record.result_path = result_path
+        if stats:
+            record.stats.update(stats)
+        self._write(record)
+        running.unlink(missing_ok=True)
+        running.with_suffix(".cancel").unlink(missing_ok=True)
+        return record

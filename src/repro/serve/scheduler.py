@@ -1,0 +1,363 @@
+"""The fair asyncio scheduler multiplexing jobs over one worker pool.
+
+This is the engine/scheduler/downloader split the ROADMAP points at
+(scrapy's architecture): sessions *produce* evaluation requests, the
+scheduler decides *which* request runs next, and a bounded thread pool
+*executes* them.  One :class:`FairScheduler` serves every job in the
+server process:
+
+- **Per-job lanes.**  Each registered job gets a FIFO lane plus a slot
+  limit — the most evaluations it may have running at once — so a wide
+  job cannot monopolize the pool.
+- **Fair round-robin dispatch.**  The dispatcher coroutine walks the
+  lane rotation, taking at most one request per lane per turn; two jobs
+  with queued work interleave 1:1 regardless of how fast either enqueues.
+- **Backpressure.**  The pool has a hard capacity; when it saturates,
+  requests queue in their lane, and each lane itself is bounded
+  (``max_pending``): a producer thread calling :meth:`submit` blocks
+  once its job has that many requests queued or running.  Sessions
+  therefore slow down to the pool's pace instead of ballooning memory.
+- **Cancel.**  Cancelling a job fails its queued requests fast with
+  :class:`JobCancelledError` (in-flight evaluations finish — a tool run
+  is not preemptible — and their results still land in the shared
+  store for future tenants).
+- **Graceful drain.**  :meth:`drain` stops intake and waits for every
+  accepted request to resolve, so shutdown never abandons a session
+  mid-batch.
+
+The event loop runs in a dedicated daemon thread; every public method is
+thread-safe and callable from job-runner threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ReproError
+
+__all__ = ["FairScheduler", "JobCancelledError", "SchedulerClosed"]
+
+
+class JobCancelledError(ReproError):
+    """A queued evaluation request was dropped because its job was cancelled."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"job {job_id} was cancelled")
+        self.job_id = job_id
+
+
+class SchedulerClosed(ReproError):
+    """A request was submitted after the scheduler stopped accepting work."""
+
+
+@dataclass
+class _Request:
+    fn: Callable[[], Any]
+    future: Future
+
+
+@dataclass
+class _Lane:
+    """One job's view of the scheduler (mutated only on the loop thread)."""
+
+    slots: int
+    queue: deque = field(default_factory=deque)
+    running: int = 0
+    cancelled: bool = False
+    submitted: int = 0
+    completed: int = 0
+    dropped: int = 0
+    # Producer-side backpressure: queued + running per job is bounded.
+    gate: threading.Semaphore | None = None
+
+
+class FairScheduler:
+    """Round-robin multiplexer of per-job request lanes over a thread pool."""
+
+    def __init__(
+        self,
+        capacity: int = 4,
+        max_pending: int | None = None,
+        thread_name_prefix: str = "dse-eval",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.capacity = capacity
+        self.max_pending = max_pending
+        self._executor = ThreadPoolExecutor(
+            max_workers=capacity, thread_name_prefix=thread_name_prefix
+        )
+        self._lanes: dict[str, _Lane] = {}
+        self._rotation: deque[str] = deque()
+        self._in_flight = 0
+        self._peak_in_flight = 0
+        self._draining = False
+        self._closed = False
+        self._idle = threading.Event()
+        self._idle.set()
+        self._loop = asyncio.new_event_loop()
+        self._wakeup: asyncio.Event | None = None
+        started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, args=(started,), name="dse-scheduler", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+
+    # -- loop thread ------------------------------------------------------
+
+    def _run(self, started: threading.Event) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._wakeup = asyncio.Event()
+        started.set()
+        try:
+            self._loop.run_until_complete(self._dispatch())
+        finally:
+            self._loop.close()
+
+    async def _dispatch(self) -> None:
+        assert self._wakeup is not None
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            if self._closed:
+                return
+            # Walk the rotation until a full pass makes no progress:
+            # at most one dispatch per lane per pass is what makes the
+            # schedule fair — a lane with 50 queued requests advances no
+            # faster per turn than one with a single request.
+            progress = True
+            while progress and self._in_flight < self.capacity:
+                progress = False
+                for _ in range(len(self._rotation)):
+                    if self._in_flight >= self.capacity:
+                        break
+                    job_id = self._rotation[0]
+                    self._rotation.rotate(-1)
+                    lane = self._lanes.get(job_id)
+                    if lane is None or not lane.queue or lane.running >= lane.slots:
+                        continue
+                    request = lane.queue.popleft()
+                    if not request.future.set_running_or_notify_cancel():
+                        self._release(lane)
+                        continue
+                    lane.running += 1
+                    self._in_flight += 1
+                    self._peak_in_flight = max(self._peak_in_flight, self._in_flight)
+                    task = self._loop.run_in_executor(self._executor, request.fn)
+                    task.add_done_callback(
+                        lambda done, j=job_id, r=request: self._finish(j, r, done)
+                    )
+                    progress = True
+            self._check_idle()
+
+    def _finish(self, job_id: str, request: _Request, done: asyncio.Future) -> None:
+        # Runs on the loop thread (asyncio future callbacks do).
+        self._in_flight -= 1
+        lane = self._lanes.get(job_id)
+        if lane is not None:
+            lane.running -= 1
+            lane.completed += 1
+            self._release(lane)
+        exc = done.exception()
+        if exc is not None:
+            request.future.set_exception(exc)
+        else:
+            request.future.set_result(done.result())
+        assert self._wakeup is not None
+        self._wakeup.set()
+        self._check_idle()
+
+    @staticmethod
+    def _release(lane: _Lane) -> None:
+        if lane.gate is not None:
+            lane.gate.release()
+
+    def _check_idle(self) -> None:
+        if self._in_flight == 0 and not any(
+            lane.queue for lane in self._lanes.values()
+        ):
+            self._idle.set()
+        else:
+            self._idle.clear()
+
+    def _call(self, fn: Callable[[], Any]) -> Any:
+        """Run *fn* on the loop thread and wait for its return value."""
+        box: dict[str, Any] = {}
+        ready = threading.Event()
+
+        def runner() -> None:
+            try:
+                box["value"] = fn()
+            except BaseException as exc:  # pragma: no cover - defensive
+                box["error"] = exc
+            ready.set()
+
+        self._loop.call_soon_threadsafe(runner)
+        ready.wait()
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
+
+    # -- public (any thread) ----------------------------------------------
+
+    def register_job(self, job_id: str, slots: int = 1) -> None:
+        """Create the job's lane; ``slots`` caps its concurrent evaluations."""
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+
+        def _register() -> None:
+            if self._closed or self._draining:
+                raise SchedulerClosed("scheduler is draining; no new jobs")
+            if job_id in self._lanes:
+                raise ValueError(f"job {job_id!r} already registered")
+            gate = (
+                threading.Semaphore(self.max_pending)
+                if self.max_pending is not None
+                else None
+            )
+            self._lanes[job_id] = _Lane(slots=slots, gate=gate)
+            self._rotation.append(job_id)
+
+        self._call(_register)
+
+    def unregister_job(self, job_id: str) -> None:
+        """Drop a job's lane (cancels anything still queued)."""
+        self.cancel_job(job_id)
+
+        def _unregister() -> None:
+            self._lanes.pop(job_id, None)
+            try:
+                self._rotation.remove(job_id)
+            except ValueError:
+                pass
+            self._check_idle()
+
+        self._call(_unregister)
+
+    def submit(self, job_id: str, fn: Callable[[], Any]) -> Future:
+        """Enqueue one evaluation request for *job_id*; returns its future.
+
+        Blocks the calling thread while the job is at its ``max_pending``
+        bound — that is the backpressure propagating to the session.
+        """
+        lane = self._lanes.get(job_id)  # racy peek, revalidated on the loop
+        if lane is not None and lane.gate is not None:
+            lane.gate.acquire()
+        future: Future = Future()
+
+        def _enqueue() -> None:
+            target = self._lanes.get(job_id)
+            if target is None:
+                future.set_exception(
+                    SchedulerClosed(f"job {job_id!r} is not registered")
+                )
+                return
+            if target.cancelled:
+                self._release(target)
+                future.set_exception(JobCancelledError(job_id))
+                return
+            if self._draining or self._closed:
+                self._release(target)
+                future.set_exception(
+                    SchedulerClosed("scheduler is draining; request rejected")
+                )
+                return
+            target.queue.append(_Request(fn, future))
+            target.submitted += 1
+            self._idle.clear()
+            assert self._wakeup is not None
+            self._wakeup.set()
+
+        self._loop.call_soon_threadsafe(_enqueue)
+        return future
+
+    def cancel_job(self, job_id: str) -> int:
+        """Fail the job's queued requests fast; returns how many dropped.
+
+        In-flight evaluations are left to finish: a tool run is not
+        preemptible, and its result is still a store/memo asset.
+        """
+
+        def _cancel() -> int:
+            lane = self._lanes.get(job_id)
+            if lane is None:
+                return 0
+            lane.cancelled = True
+            dropped = 0
+            while lane.queue:
+                request = lane.queue.popleft()
+                self._release(lane)
+                if request.future.set_running_or_notify_cancel():
+                    request.future.set_exception(JobCancelledError(job_id))
+                dropped += 1
+            lane.dropped += dropped
+            self._check_idle()
+            return dropped
+
+        return self._call(_cancel)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop intake and wait until every accepted request resolved."""
+
+        def _seal() -> None:
+            self._draining = True
+            self._check_idle()
+
+        self._call(_seal)
+        return self._idle.wait(timeout)
+
+    def close(self, timeout: float | None = None) -> bool:
+        """Drain, then stop the loop thread and the worker pool."""
+        drained = self.drain(timeout)
+
+        def _stop() -> None:
+            self._closed = True
+            assert self._wakeup is not None
+            self._wakeup.set()
+
+        self._call(_stop)
+        self._thread.join(timeout)
+        self._executor.shutdown(wait=True)
+        return drained
+
+    def __enter__(self) -> "FairScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict[str, Any]:
+        """Point-in-time snapshot (consistent: taken on the loop thread)."""
+
+        def _snapshot() -> dict[str, Any]:
+            return {
+                "capacity": self.capacity,
+                "in_flight": self._in_flight,
+                "peak_in_flight": self._peak_in_flight,
+                "queue_depth": sum(
+                    len(lane.queue) for lane in self._lanes.values()
+                ),
+                "draining": self._draining,
+                "jobs": {
+                    job_id: {
+                        "slots": lane.slots,
+                        "queued": len(lane.queue),
+                        "running": lane.running,
+                        "submitted": lane.submitted,
+                        "completed": lane.completed,
+                        "dropped": lane.dropped,
+                        "cancelled": lane.cancelled,
+                    }
+                    for job_id, lane in self._lanes.items()
+                },
+            }
+
+        return self._call(_snapshot)

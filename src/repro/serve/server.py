@@ -1,0 +1,257 @@
+"""The DSE server: jobs in, Pareto fronts out, one shared fleet.
+
+:class:`DseServer` is the long-running process behind ``dovado-repro
+serve``.  Its root directory is the whole service contract::
+
+    <root>/queue/      # FileJobQueue (clients submit/cancel here)
+    <root>/store/      # the shared sharded ResultStore (all tenants)
+    <root>/results/    # <job-id>/dse.json per finished job
+    <root>/STOP        # touch to request a graceful drain + exit
+
+The serve loop claims queued jobs (one per poll tick — a deliberate
+stagger so an earlier tenant's evaluations are already memo assets when
+an overlapping tenant arrives), registers each with the
+:class:`~repro.serve.scheduler.FairScheduler`, and runs its session on a
+job-runner thread.  The session itself is the stock
+:class:`~repro.core.session.DseSession`; the only serve-specific wiring
+is ``fitness.set_batch_evaluator`` binding it to the shared fleet, so
+every tool dispatch flows through the fair scheduler and the shared
+store.  Fronts are therefore byte-identical to the same session run
+standalone — the service changes *who pays* for each tool run, never
+the answers.
+
+Cancellation: the queue's ``.cancel`` marker is polled each tick and
+translated into ``scheduler.cancel_job`` — queued evaluations fail fast
+with :class:`~repro.serve.scheduler.JobCancelledError`, which unwinds
+that session's explore loop; in-flight runs finish and stay in the
+store.  Shutdown (``STOP`` file, ``stop()``, or ``max_idle_s``) stops
+claiming, drains the scheduler, and joins every runner.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Any
+
+from repro.observe import current_telemetry
+from repro.serve.fleet import EvaluatorFleet, SchedulerBoundEvaluator
+from repro.serve.jobs import JobRecord, JobState
+from repro.serve.queue import FileJobQueue
+from repro.serve.scheduler import FairScheduler, JobCancelledError
+
+__all__ = ["DseServer"]
+
+
+def _count(name: str, value: float = 1) -> None:
+    tel = current_telemetry()
+    if tel is not None:
+        tel.counters.add(name, value)
+
+
+class DseServer:
+    """Multiplex queued DSE jobs over one scheduler + fleet + store."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        capacity: int = 4,
+        shards: int = 8,
+        slots_per_job: int = 2,
+        max_pending: int | None = None,
+        poll_interval_s: float = 0.05,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.queue = FileJobQueue(self.root / "queue")
+        self.results_dir = self.root / "results"
+        self.results_dir.mkdir(exist_ok=True)
+        self.store_root = self.root / "store"
+        self.shards = shards
+        self.slots_per_job = slots_per_job
+        self.poll_interval_s = poll_interval_s
+        self.scheduler = FairScheduler(
+            capacity=capacity,
+            max_pending=max_pending if max_pending is not None else 4 * capacity,
+        )
+        self.fleet = EvaluatorFleet(store_root=str(self.store_root), shards=shards)
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self.jobs_cancelled = 0
+        self._runners: dict[str, threading.Thread] = {}
+        self._stop = threading.Event()
+        self._final_fleet_stats: dict[str, Any] | None = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def _stop_file(self) -> Path:
+        return self.root / "STOP"
+
+    def stop(self) -> None:
+        """Request a graceful drain from another thread."""
+        self._stop.set()
+
+    def _should_stop(self) -> bool:
+        return self._stop.is_set() or self._stop_file.exists()
+
+    def serve_forever(
+        self,
+        max_idle_s: float | None = None,
+        stop_after: int | None = None,
+    ) -> dict[str, Any]:
+        """The serve loop; returns a final stats snapshot after draining.
+
+        ``max_idle_s`` exits once the queue has been empty (and no job
+        running) for that long; ``stop_after`` exits once that many jobs
+        reached a terminal state.  Both are for tests/smoke runs — a real
+        service runs with neither and drains on ``STOP``.
+        """
+        idle_since: float | None = None
+        try:
+            while not self._should_stop():
+                self._reap_runners()
+                self._poll_cancels()
+                finished = self.jobs_done + self.jobs_failed + self.jobs_cancelled
+                if stop_after is not None and finished >= stop_after:
+                    break
+                claimed = self.queue.claim()
+                if claimed is not None:
+                    idle_since = None
+                    self._launch(claimed)
+                elif not self._runners:
+                    if max_idle_s is not None:
+                        now = time.monotonic()
+                        if idle_since is None:
+                            idle_since = now
+                        elif now - idle_since >= max_idle_s:
+                            break
+                # One claim per tick: staggered admission keeps an earlier
+                # tenant ahead of an overlapping one, maximizing its memo
+                # value — and bounds claim-loop churn.
+                time.sleep(self.poll_interval_s)
+        finally:
+            self._drain()
+        return self.stats()
+
+    def _drain(self) -> None:
+        # Graceful: nothing new is claimed past this point, but running
+        # jobs keep submitting until their sessions finish — drain means
+        # "no session abandoned mid-batch", not "fail fast".  The
+        # scheduler (trivially idle by then) and fleet close after.
+        for thread in list(self._runners.values()):
+            thread.join()
+        self._reap_runners()
+        self._final_fleet_stats = self.fleet.stats()
+        self.scheduler.close()
+        self.fleet.close()
+
+    # -- job execution ----------------------------------------------------
+
+    def _reap_runners(self) -> None:
+        for job_id in [j for j, t in self._runners.items() if not t.is_alive()]:
+            self._runners.pop(job_id).join()
+
+    def _poll_cancels(self) -> None:
+        for job_id in list(self._runners):
+            if self.queue.cancel_requested(job_id):
+                dropped = self.scheduler.cancel_job(job_id)
+                if dropped:
+                    _count("serve.requests_dropped", dropped)
+
+    def _launch(self, record: JobRecord) -> None:
+        self.scheduler.register_job(record.job_id, slots=self.slots_per_job)
+        _count("serve.jobs_claimed")
+        thread = threading.Thread(
+            target=self._run_job,
+            args=(record,),
+            name=f"job-{record.job_id}",
+            daemon=True,
+        )
+        self._runners[record.job_id] = thread
+        thread.start()
+
+    def _build_session(self, record: JobRecord):
+        from repro.core.session import DseSession
+        from repro.designs import get_design
+
+        spec = record.spec
+        return DseSession(
+            get_design(spec.design),
+            part=spec.part,
+            target_period_ns=spec.target_period_ns,
+            use_model=spec.use_model,
+            pretrain_size=spec.pretrain,
+            seed=spec.seed,
+        )
+
+    def _run_job(self, record: JobRecord) -> None:
+        job_id = record.job_id
+        bound: SchedulerBoundEvaluator | None = None
+        try:
+            session = self._build_session(record)
+            from repro.core.parallel import EvaluatorSpec
+
+            spec = EvaluatorSpec.from_evaluator(
+                session.evaluator, design_name=record.spec.design
+            )
+            bound = self.fleet.bind(self.scheduler, job_id, spec)
+            session.fitness.set_batch_evaluator(bound)
+            result = session.explore(
+                generations=record.spec.generations,
+                population=record.spec.population,
+                soft_deadline_s=record.spec.soft_deadline_s,
+                pretrain=record.spec.pretrain > 0,
+                algorithm=record.spec.algorithm,
+            )
+            out_dir = self.results_dir / job_id
+            out_dir.mkdir(parents=True, exist_ok=True)
+            result_path = result.save(out_dir)
+            session.close()
+            self.queue.finish(
+                job_id,
+                JobState.DONE,
+                result_path=str(result_path),
+                stats={
+                    "front_size": len(result.pareto),
+                    "evaluations": result.evaluations,
+                    "tool_runs": result.tool_runs,
+                    "simulated_seconds": result.simulated_seconds,
+                    **bound.tenant_stats(),
+                },
+            )
+            self.jobs_done += 1
+            _count("serve.jobs_done")
+        except JobCancelledError:
+            self.queue.finish(
+                job_id,
+                JobState.CANCELLED,
+                stats=bound.tenant_stats() if bound is not None else {},
+            )
+            self.jobs_cancelled += 1
+            _count("serve.jobs_cancelled")
+        except Exception as exc:  # noqa: BLE001 - one job must not kill the server
+            self.queue.finish(
+                job_id,
+                JobState.FAILED,
+                error=f"{type(exc).__name__}: {exc}",
+                stats=bound.tenant_stats() if bound is not None else {},
+            )
+            self.jobs_failed += 1
+            _count("serve.jobs_failed")
+            traceback.print_exc()
+        finally:
+            self.scheduler.unregister_job(job_id)
+
+    # -- introspection ----------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "jobs_cancelled": self.jobs_cancelled,
+            "queue_depth": self.queue.depth(),
+            "fleet": self._final_fleet_stats or self.fleet.stats(),
+        }

@@ -1,0 +1,371 @@
+"""Tests for ``repro.serve`` — queue, scheduler, fleet, and the server.
+
+The integration class pins the PR's acceptance contract: two concurrent
+jobs over one shared sharded store produce fronts byte-identical to the
+same sessions run serially against private stores, with the second
+job's tool-run count strictly lower because the first tenant's runs
+answer from the shared fleet.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import (
+    DseServer,
+    EvaluatorFleet,
+    FairScheduler,
+    FileJobQueue,
+    JobCancelledError,
+    JobSpec,
+    JobState,
+    SchedulerClosed,
+)
+
+# ---------------------------------------------------------------------------
+# FileJobQueue
+
+
+class TestFileJobQueue:
+    def test_submit_claim_finish_lifecycle(self, tmp_path):
+        queue = FileJobQueue(tmp_path / "q")
+        record = queue.submit(JobSpec(design="tirex", generations=3))
+        assert record.state == JobState.QUEUED
+        assert queue.depth() == 1
+
+        claimed = queue.claim()
+        assert claimed is not None and claimed.job_id == record.job_id
+        assert claimed.state == JobState.RUNNING
+        assert queue.depth() == 0
+        assert queue.claim() is None  # nothing else queued
+
+        finished = queue.finish(
+            record.job_id, JobState.DONE, stats={"tool_runs": 7}
+        )
+        assert finished.state == JobState.DONE
+        fetched = queue.get(record.job_id)
+        assert fetched.state == JobState.DONE
+        assert fetched.stats["tool_runs"] == 7
+        assert fetched.spec.design == "tirex"
+
+    def test_ids_are_dense_and_claims_are_fifo(self, tmp_path):
+        queue = FileJobQueue(tmp_path / "q")
+        ids = [queue.submit(JobSpec(design="tirex")).job_id for _ in range(3)]
+        assert ids == ["job-000000", "job-000001", "job-000002"]
+        assert [queue.claim().job_id for _ in range(3)] == ids
+
+    def test_two_queues_never_claim_the_same_job(self, tmp_path):
+        a = FileJobQueue(tmp_path / "q")
+        b = FileJobQueue(tmp_path / "q")
+        a.submit(JobSpec(design="tirex"))
+        claims = [q.claim() for q in (a, b)]
+        assert sum(c is not None for c in claims) == 1
+
+    def test_cancel_queued_job_is_immediate(self, tmp_path):
+        queue = FileJobQueue(tmp_path / "q")
+        record = queue.submit(JobSpec(design="tirex"))
+        assert queue.cancel(record.job_id) == JobState.CANCELLED
+        assert queue.get(record.job_id).state == JobState.CANCELLED
+        assert queue.claim() is None
+
+    def test_cancel_running_job_leaves_a_marker(self, tmp_path):
+        queue = FileJobQueue(tmp_path / "q")
+        record = queue.submit(JobSpec(design="tirex"))
+        queue.claim()
+        assert not queue.cancel_requested(record.job_id)
+        assert queue.cancel(record.job_id) == JobState.RUNNING
+        assert queue.cancel_requested(record.job_id)
+        # finish clears the marker along with the running file
+        queue.finish(record.job_id, JobState.CANCELLED)
+        assert not queue.cancel_requested(record.job_id)
+
+    def test_cancel_unknown_job(self, tmp_path):
+        assert FileJobQueue(tmp_path / "q").cancel("job-999999") is None
+
+    def test_jobs_lists_all_states_in_submission_order(self, tmp_path):
+        queue = FileJobQueue(tmp_path / "q")
+        first = queue.submit(JobSpec(design="tirex"))
+        queue.submit(JobSpec(design="tirex"))
+        queue.claim()
+        queue.finish(first.job_id, JobState.FAILED, error="boom")
+        records = queue.jobs()
+        assert [r.job_id for r in records] == [first.job_id, "job-000001"]
+        assert records[0].state == JobState.FAILED
+        assert records[0].error == "boom"
+        assert records[1].state == JobState.QUEUED
+
+
+# ---------------------------------------------------------------------------
+# FairScheduler
+
+
+class TestFairScheduler:
+    def test_round_robin_interleaves_two_jobs(self):
+        """Queued work from two jobs alternates 1:1 at capacity 1."""
+        with FairScheduler(capacity=1) as sched:
+            sched.register_job("A", slots=1)
+            sched.register_job("B", slots=1)
+            order: list[str] = []
+            release = threading.Event()
+            blocker = sched.submit("A", lambda: release.wait(10))
+            time.sleep(0.05)
+            futures = []
+            for i in range(4):
+                futures.append(sched.submit("A", lambda: order.append("A")))
+                futures.append(sched.submit("B", lambda: order.append("B")))
+            release.set()
+            blocker.result(10)
+            for future in futures:
+                future.result(10)
+            assert order.count("A") == order.count("B") == 4
+            assert all(a != b for a, b in zip(order, order[1:])), order
+
+    def test_backpressure_pool_never_exceeds_capacity(self):
+        with FairScheduler(capacity=2) as sched:
+            sched.register_job("A", slots=4)
+            sched.register_job("B", slots=4)
+            gate = threading.Event()
+            futures = [
+                sched.submit(job, lambda: gate.wait(10))
+                for job in ("A", "B")
+                for _ in range(6)
+            ]
+            time.sleep(0.1)
+            stats = sched.stats()
+            assert stats["in_flight"] == 2
+            assert stats["queue_depth"] == 10
+            gate.set()
+            for future in futures:
+                future.result(10)
+            assert sched.stats()["peak_in_flight"] <= 2
+
+    def test_per_job_slots_cap_a_single_jobs_concurrency(self):
+        with FairScheduler(capacity=4) as sched:
+            sched.register_job("A", slots=1)
+            gate = threading.Event()
+            futures = [sched.submit("A", lambda: gate.wait(10)) for _ in range(4)]
+            time.sleep(0.1)
+            stats = sched.stats()
+            assert stats["jobs"]["A"]["running"] == 1, "slots ignored"
+            gate.set()
+            for future in futures:
+                future.result(10)
+
+    def test_bounded_lane_blocks_the_producer(self):
+        """max_pending is the backpressure felt by the session thread."""
+        with FairScheduler(capacity=1, max_pending=2) as sched:
+            sched.register_job("A", slots=1)
+            gate = threading.Event()
+            sched.submit("A", lambda: gate.wait(10))
+            time.sleep(0.05)
+            sched.submit("A", lambda: None)  # fills the lane bound
+            unblocked_at = {}
+
+            def producer():
+                fut = sched.submit("A", lambda: "third")
+                unblocked_at["t"] = time.monotonic()
+                unblocked_at["fut"] = fut
+
+            thread = threading.Thread(target=producer)
+            start = time.monotonic()
+            thread.start()
+            time.sleep(0.2)
+            assert "t" not in unblocked_at, "submit should have blocked"
+            gate.set()
+            thread.join(10)
+            assert unblocked_at["t"] - start >= 0.15
+            assert unblocked_at["fut"].result(10) == "third"
+
+    def test_cancel_drops_queued_keeps_running(self):
+        with FairScheduler(capacity=1) as sched:
+            sched.register_job("A", slots=1)
+            gate = threading.Event()
+            running = sched.submit("A", lambda: (gate.wait(10), "ran")[1])
+            time.sleep(0.05)
+            queued = [sched.submit("A", lambda: "never") for _ in range(3)]
+            assert sched.cancel_job("A") == 3
+            gate.set()
+            assert running.result(10) == "ran"
+            for future in queued:
+                with pytest.raises(JobCancelledError):
+                    future.result(10)
+            # Post-cancel submissions fail fast too.
+            with pytest.raises(JobCancelledError):
+                sched.submit("A", lambda: None).result(10)
+
+    def test_drain_waits_for_accepted_work_and_rejects_new(self):
+        sched = FairScheduler(capacity=2)
+        sched.register_job("A", slots=2)
+        done = []
+        futures = [
+            sched.submit("A", lambda i=i: done.append(i)) for i in range(5)
+        ]
+        assert sched.drain(10) is True
+        assert len(done) == 5
+        with pytest.raises(SchedulerClosed):
+            sched.submit("A", lambda: None).result(10)
+        for future in futures:
+            future.result(0)
+        sched.close()
+
+    def test_results_return_in_request_order(self):
+        with FairScheduler(capacity=4) as sched:
+            sched.register_job("A", slots=4)
+            futures = [sched.submit("A", lambda i=i: i * i) for i in range(8)]
+            assert [f.result(10) for f in futures] == [i * i for i in range(8)]
+
+
+# ---------------------------------------------------------------------------
+# EvaluatorFleet + facade
+
+
+class TestEvaluatorFleet:
+    @staticmethod
+    def _spec():
+        from repro.core.parallel import EvaluatorSpec
+        from repro.core.session import DseSession
+        from repro.designs import get_design
+
+        session = DseSession(
+            get_design("cv32e40p-fifo"), use_model=False, pretrain_size=0, seed=5
+        )
+        return EvaluatorSpec.from_evaluator(
+            session.evaluator, design_name="cv32e40p-fifo"
+        )
+
+    def test_cross_tenant_memo_second_job_pays_nothing(self, tmp_path):
+        spec = self._spec()
+        fleet = EvaluatorFleet(store_root=str(tmp_path / "store"), shards=4)
+        with FairScheduler(capacity=2) as sched:
+            sched.register_job("A", slots=2)
+            sched.register_job("B", slots=2)
+            bound_a = fleet.bind(sched, "A", spec)
+            bound_b = fleet.bind(sched, "B", spec)
+            points = [{"DEPTH": 4}, {"DEPTH": 8}, {"DEPTH": 16}]
+            first = bound_a.submit_many(points).results(on_error="return")
+            second = bound_b.submit_many(points).results(on_error="return")
+            assert bound_a.tenant_stats()["tool_runs"] == 3
+            assert bound_b.tenant_stats()["tool_runs"] == 0
+            assert bound_b.tenant_stats()["cache_hit_rate"] == 1.0
+            for mine, theirs in zip(first, second):
+                assert mine.metrics == theirs.metrics
+        fleet.close()
+
+    def test_same_spec_shares_one_member(self, tmp_path):
+        spec = self._spec()
+        fleet = EvaluatorFleet()
+        with FairScheduler(capacity=1) as sched:
+            sched.register_job("A", slots=1)
+            sched.register_job("B", slots=1)
+            a = fleet.bind(sched, "A", spec)
+            b = fleet.bind(sched, "B", spec)
+            assert a._member is b._member
+            assert len(fleet.specs()) == 1
+        fleet.close()
+
+
+# ---------------------------------------------------------------------------
+# DseServer integration (the PR acceptance contract)
+
+
+def _serial_reference():
+    from repro.core.session import DseSession
+    from repro.designs import get_design
+
+    session = DseSession(
+        get_design("cv32e40p-fifo"), use_model=False, pretrain_size=0, seed=5
+    )
+    try:
+        return session.explore(generations=2, population=6)
+    finally:
+        session.close()
+
+
+def _front_rows(result_path: str) -> list[tuple]:
+    payload = json.loads(Path(result_path).read_text(encoding="utf-8"))
+    return sorted(tuple(sorted(row.items())) for row in payload["pareto"])
+
+
+class TestDseServerIntegration:
+    def test_two_overlapping_jobs_shared_store_equivalence(self, tmp_path):
+        """Fronts identical to serial; second tenant strictly cheaper."""
+        server = DseServer(
+            tmp_path / "svc", capacity=2, shards=4, poll_interval_s=0.05
+        )
+        queue = FileJobQueue(tmp_path / "svc" / "queue")
+        spec = JobSpec(
+            design="cv32e40p-fifo",
+            seed=5,
+            generations=2,
+            population=6,
+            use_model=False,
+        )
+        first = queue.submit(spec)
+        second = queue.submit(spec)
+        stats = server.serve_forever(stop_after=2, max_idle_s=10.0)
+        assert stats["jobs_done"] == 2
+        assert stats["jobs_failed"] == 0
+
+        reference = _serial_reference()
+        reference_front = sorted(
+            tuple(sorted(p.as_row().items())) for p in reference.pareto
+        )
+        job_a = queue.get(first.job_id)
+        job_b = queue.get(second.job_id)
+        assert job_a.state == JobState.DONE, job_a.error
+        assert job_b.state == JobState.DONE, job_b.error
+        assert _front_rows(job_a.result_path) == reference_front
+        assert _front_rows(job_b.result_path) == reference_front
+
+        # Cross-tenant economics: together the jobs pay exactly the serial
+        # tool-run bill, and the later tenant pays strictly less than a
+        # private-store run would have.
+        paid = job_a.stats["tool_runs"] + job_b.stats["tool_runs"]
+        assert paid == reference.tool_runs
+        assert min(job_a.stats["tool_runs"], job_b.stats["tool_runs"]) < (
+            reference.tool_runs
+        )
+        assert job_a.stats["cache_hits"] + job_b.stats["cache_hits"] > 0
+
+        # The shared store holds every unique full-route answer once.
+        from repro.cache import open_store
+
+        store = open_store(tmp_path / "svc" / "store")
+        assert len(store) == reference.tool_runs
+
+    def test_cancelled_queued_job_never_runs(self, tmp_path):
+        server = DseServer(tmp_path / "svc", capacity=1, poll_interval_s=0.05)
+        queue = FileJobQueue(tmp_path / "svc" / "queue")
+        record = queue.submit(
+            JobSpec(design="cv32e40p-fifo", generations=1, population=4)
+        )
+        queue.cancel(record.job_id)
+        server.serve_forever(stop_after=0, max_idle_s=0.3)
+        assert queue.get(record.job_id).state == JobState.CANCELLED
+        assert not (tmp_path / "svc" / "results" / record.job_id).exists()
+
+    def test_failed_job_reports_and_server_survives(self, tmp_path):
+        server = DseServer(tmp_path / "svc", capacity=1, poll_interval_s=0.05)
+        queue = FileJobQueue(tmp_path / "svc" / "queue")
+        bad = queue.submit(JobSpec(design="no-such-design"))
+        good = queue.submit(
+            JobSpec(
+                design="cv32e40p-fifo",
+                seed=5,
+                generations=1,
+                population=4,
+                use_model=False,
+            )
+        )
+        stats = server.serve_forever(stop_after=2, max_idle_s=10.0)
+        assert stats["jobs_failed"] == 1
+        assert stats["jobs_done"] == 1
+        failed = queue.get(bad.job_id)
+        assert failed.state == JobState.FAILED
+        assert "no-such-design" in (failed.error or "")
+        assert queue.get(good.job_id).state == JobState.DONE

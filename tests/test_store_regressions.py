@@ -1,0 +1,232 @@
+"""Cross-process correctness regressions for the result store.
+
+Each class pins one of the service-blocking bugs fixed alongside
+``repro.serve`` (all three would fail on the pre-fix store):
+
+- ``clear()`` left *other* processes permanently stale: their per-segment
+  offsets exceeded the recreated segments' sizes, so ``refresh()`` never
+  re-read anything and their index kept serving deleted records.
+- a ``get()`` hit on a low-rank probe record never refreshed, so a
+  full-route record appended by another process was ignored forever.
+- ``refresh()`` silently swallowed corrupt JSONL lines, and foreign
+  ``seg-*.jsonl`` filenames crashed segment rotation with ``ValueError``.
+
+Plus the offline compaction pass those fixes make safe: rewriting
+segments to index winners only, under the generation stamp, so compacted
+stores stay readable from every process.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+from repro.cache import FULL_RANK, KIND_POINT, ResultStore
+
+_ENV = {"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"}
+
+
+def _run_child(snippet: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-c", snippet, *args],
+        cwd="/root/repo",
+        env=_ENV,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+_CLEAR_AND_REWRITE = """
+import sys
+from repro.cache import ResultStore, KIND_POINT
+
+store = ResultStore(sys.argv[1])
+store.clear()
+store.put("fresh", KIND_POINT, {"v": "after-clear"})
+print(len(store))
+"""
+
+_APPEND_FULL_RANK = """
+import sys
+from repro.cache import ResultStore, KIND_POINT, FULL_RANK
+
+store = ResultStore(sys.argv[1])
+store.put(sys.argv[2], KIND_POINT, {"fidelity": "full"}, rank=FULL_RANK)
+"""
+
+
+class TestClearStalenessAcrossProcesses:
+    def test_reader_recovers_after_another_process_clears(self, tmp_path):
+        """The generation stamp forces a full re-read after clear().
+
+        The reader indexes several fat records (so its offsets point deep
+        into the segment), then a *different process* clears the store
+        and writes one small record.  The reader's offsets now exceed the
+        recreated segment's size; without the generation check its next
+        refresh reads nothing and it keeps serving the deleted records.
+        """
+        root = str(tmp_path / "store")
+        writer = ResultStore(root)
+        for i in range(5):
+            writer.put(f"old-{i}", KIND_POINT, {"pad": "x" * 200, "i": i})
+
+        reader = ResultStore(root)
+        reader.refresh()
+        assert len(reader) == 5
+        assert reader.get("old-0") is not None
+
+        assert _run_child(_CLEAR_AND_REWRITE, root).strip() == "1"
+
+        reader.refresh()
+        assert reader.get("old-0") is None, "deleted record still served"
+        fresh = reader.get("fresh")
+        assert fresh is not None and fresh.payload["v"] == "after-clear"
+        assert len(reader) == 1
+
+    def test_generation_is_stamped_and_visible(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.stats().generation == 0
+        store.put("k", KIND_POINT, {})
+        store.clear()
+        assert store.stats().generation == 1
+        store.compact()
+        assert store.stats().generation == 2
+
+    def test_same_instance_clear_does_not_self_invalidate(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("a", KIND_POINT, {})
+        store.clear()
+        store.put("b", KIND_POINT, {})
+        assert store.get("b") is not None
+        assert len(store) == 1
+
+
+class TestProbeSupersessionAcrossProcesses:
+    def test_low_rank_hit_refreshes_and_adopts_full_route(self, tmp_path):
+        """A probe-rank hit must look for a newer full-rank record.
+
+        The reader indexes a rank-0 probe; another process then appends
+        the full-route record for the same key.  Pre-fix, ``get()``
+        answered from the stale index hit and the full record was
+        ignored indefinitely — violating the "higher rank supersedes"
+        contract for every process but the writer.
+        """
+        root = str(tmp_path / "store")
+        writer = ResultStore(root)
+        key = "contested-key"
+        writer.put(key, KIND_POINT, {"fidelity": "probe"}, rank=0)
+
+        reader = ResultStore(root)
+        probe = reader.get(key)
+        assert probe is not None and probe.rank == 0
+
+        _run_child(_APPEND_FULL_RANK, root, key)
+
+        record = reader.get(key)
+        assert record is not None
+        assert record.rank == FULL_RANK, "stale probe served over full-route"
+        assert record.payload["fidelity"] == "full"
+
+    def test_full_rank_hit_does_not_trigger_refresh(self, tmp_path):
+        """Full-rank hits stay O(1): nothing can supersede them."""
+        store = ResultStore(tmp_path / "store")
+        store.put("k", KIND_POINT, {}, rank=FULL_RANK)
+        store.get("k")
+        # A second instance's appends must stay invisible until a miss or
+        # an explicit refresh — the hit path must not have scanned disk.
+        other = ResultStore(store.root)
+        other.put("k2", KIND_POINT, {})
+        assert store.get("k").rank == FULL_RANK
+        assert "k2" not in store._index
+
+
+class TestDefensiveReads:
+    def test_corrupt_lines_are_skipped_and_counted(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("good-1", KIND_POINT, {"i": 1})
+        store.put("good-2", KIND_POINT, {"i": 2})
+        segment = store._segment_paths()[0]
+        with segment.open("a", encoding="utf-8") as fh:
+            fh.write("{this is not json\n")
+            fh.write('{"key": 1, "kind": 2, "payload": "not-a-mapping"}\n')
+            fh.write('{"no_key": true}\n')
+
+        fresh = ResultStore(store.root)
+        fresh.refresh()
+        assert sorted(fresh.keys()) == ["good-1", "good-2"]
+        assert fresh.corrupt_lines == 3
+        assert fresh.stats().corrupt_lines == 3
+
+    def test_foreign_segment_names_are_ignored(self, tmp_path):
+        """``seg-zzz.jsonl`` crashed ``_active_segment`` (int("zzz"))."""
+        store = ResultStore(tmp_path / "store")
+        store.put("k1", KIND_POINT, {})
+        # Foreign files that *sort after* real segments are the killer:
+        # rotation parsed the last sorted name's ordinal.
+        foreign = store._segments_dir / "seg-zzz.jsonl"
+        foreign.write_text('{"key": "ghost", "kind": "point", "payload": {}}\n')
+        (store._segments_dir / "seg-1.jsonl.bak").write_text("junk\n")
+
+        fresh = ResultStore(store.root)
+        fresh.refresh()
+        assert fresh.keys() == ["k1"], "foreign file leaked into the index"
+        # Rotation still works: this would raise ValueError pre-fix.
+        assert fresh.put("k2", KIND_POINT, {}) is True
+        assert len(fresh) == 2
+
+
+class TestCompaction:
+    def test_round_trip_preserves_the_index_exactly(self, tmp_path):
+        """compact() rewrites segments; the index must be identical."""
+        store = ResultStore(tmp_path / "store", segment_max_bytes=256)
+        for i in range(10):
+            key = f"key-{i}"
+            store.put(key, KIND_POINT, {"fidelity": "probe", "i": i}, rank=0)
+            store.put(key, KIND_POINT, {"fidelity": "full", "i": i})
+        before = {
+            r.key: (r.kind, r.rank, dict(r.payload)) for r in store.records()
+        }
+        stats_before = store.stats()
+        assert stats_before.duplicates == 10  # superseded probes on disk
+
+        result = store.compact()
+        assert result.records_before == 20
+        assert result.records_after == 10
+        assert result.bytes_after < result.bytes_before
+
+        after = {
+            r.key: (r.kind, r.rank, dict(r.payload)) for r in store.records()
+        }
+        assert after == before
+        stats_after = store.stats()
+        assert stats_after.duplicates == 0
+        assert stats_after.unique_keys == 10
+
+    def test_other_processes_reset_cleanly_after_compact(self, tmp_path):
+        root = str(tmp_path / "store")
+        writer = ResultStore(root)
+        for i in range(6):
+            writer.put(f"k-{i}", KIND_POINT, {"pad": "y" * 100}, rank=0)
+            writer.put(f"k-{i}", KIND_POINT, {"pad": "y" * 100})
+        reader = ResultStore(root)
+        reader.refresh()
+        assert len(reader) == 6
+
+        _run_child(
+            "import sys\nfrom repro.cache import ResultStore\n"
+            "print(ResultStore(sys.argv[1]).compact().records_after)",
+            root,
+        )
+
+        reader.refresh()
+        assert len(reader) == 6
+        assert all(r.rank == FULL_RANK for r in reader.records())
+
+    def test_compact_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        result = store.compact()
+        assert result.records_before == result.records_after == 0
+        assert store.put("k", KIND_POINT, {}) is True
