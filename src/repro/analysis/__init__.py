@@ -15,6 +15,12 @@ design"; this package is that verification grown into a subsystem:
   (B001–B004);
 - :mod:`repro.analysis.hierarchy_rules` — instantiation-graph rules
   (H001–H002);
+- :mod:`repro.analysis.concurrency` — the S-series concurrency &
+  atomicity self-analysis of the service layer (S001–S006), run by
+  ``lint --self`` over the framework's own Python;
+- :mod:`repro.analysis.sanitize` — the runtime lock-order sanitizer that
+  records the actual acquisition DAG during tests and cross-checks it
+  against S003's static graph;
 - :mod:`repro.analysis.checker` — the multi-pass orchestrator;
 - :mod:`repro.analysis.gate` — the DSE pre-flight gate consulted by the
   evaluation engine before any point is priced as a tool run;
@@ -25,6 +31,13 @@ design"; this package is that verification grown into a subsystem:
 
 from repro.analysis.baseline import load_baseline, write_baseline
 from repro.analysis.checker import DesignRuleChecker, boundary_points
+from repro.analysis.concurrency import (
+    SEEDED_LOCK_ORDER,
+    LockGraph,
+    LockNode,
+    collect_py_sources,
+    static_lock_graph,
+)
 from repro.analysis.findings import CheckResult, Finding, Severity
 from repro.analysis.gate import PreflightGate, freeze_params
 from repro.analysis.registry import (
@@ -54,16 +67,21 @@ __all__ = [
     "EXIT_ERRORS",
     "EXIT_WARNINGS",
     "Finding",
+    "LockGraph",
+    "LockNode",
     "PreflightGate",
     "Rule",
     "RuleConfig",
     "RuleContext",
+    "SEEDED_LOCK_ORDER",
     "Severity",
     "Stage",
     "Violation",
     "all_rules",
     "boundary_points",
+    "collect_py_sources",
     "exit_code",
+    "static_lock_graph",
     "freeze_params",
     "get_rule",
     "load_baseline",

@@ -23,6 +23,7 @@ from typing import Any, Iterable, Mapping, Optional, Sequence
 # Importing the rules modules registers their rules (intentional side effect).
 from repro.analysis import (  # noqa: F401
     boxing_rules,
+    concurrency,
     dataflow_rules,
     elaboration_rules,
     hierarchy_rules,
@@ -179,6 +180,15 @@ class DesignRuleChecker:
             sources=tuple(sources), known_modules=tuple(known_modules)
         )
         return self._suppress(self._run_stage(Stage.HIERARCHY, ctx))
+
+    def check_python(
+        self, py_sources: Sequence[tuple[str, str]]
+    ) -> CheckResult:
+        """Concurrency/atomicity self-analysis (S codes) over Python
+        sources given as ``(relative path, text)`` pairs — the ``lint
+        --self`` pass over the framework's own service layer."""
+        ctx = RuleContext(py_sources=tuple(py_sources))
+        return self._suppress(self._run_stage(Stage.CONCURRENCY, ctx))
 
     def check_design(
         self,

@@ -49,6 +49,7 @@ class Stage(str, enum.Enum):
     HIERARCHY = "hierarchy"      # cross-module instantiation structure
     DATAFLOW = "dataflow"        # parameter flow + interval analysis over a space
     NETLIST = "netlist"          # elaborated block-netlist structure (N codes)
+    CONCURRENCY = "concurrency"  # self-analysis of the service layer (S codes)
 
     def __str__(self) -> str:
         return self.value
@@ -75,7 +76,10 @@ class RuleContext:
     - HIERARCHY rules see ``sources`` and ``known_modules``;
     - NETLIST rules see ``netlist`` (the elaborated block graph at the
       bound point) plus ``device`` and ``target_period_ns`` for the
-      device-derived thresholds (fanout capacity, achievable LUT depth).
+      device-derived thresholds (fanout capacity, achievable LUT depth);
+    - CONCURRENCY rules see ``py_sources`` — ``(relative path, text)``
+      pairs of the framework's *own* Python (the S-series self-analysis
+      lints the service layer, not user HDL).
 
     ``cache`` is scratch space shared by the rules of one run (the boxing
     rules use it to render the wrapper once, not once per rule).
@@ -92,6 +96,7 @@ class RuleContext:
     netlist: Optional[Netlist] = None
     device: Optional[Device] = None
     target_period_ns: Optional[float] = None
+    py_sources: tuple[tuple[str, str], ...] = ()
     cache: dict[str, Any] = field(default_factory=dict)
 
 

@@ -103,13 +103,19 @@ def render_sarif(findings: Sequence[Finding]) -> str:
         if f.code in rule_index:
             result["ruleIndex"] = rule_index[f.code]
         if f.module:
+            # HDL findings carry a bare module name; the S-series
+            # self-analysis rules carry a real relative file path.
+            if "/" in f.module or f.module.endswith(".py"):
+                uri = f.module
+            else:
+                uri = f"{f.module}.hdl"
             result["locations"] = [
                 {
                     "logicalLocations": [
                         {"name": f.module, "kind": "module"}
                     ],
                     "physicalLocation": {
-                        "artifactLocation": {"uri": f"{f.module}.hdl"},
+                        "artifactLocation": {"uri": uri},
                         "region": {"startLine": max(1, f.line)},
                     },
                 }

@@ -1,0 +1,350 @@
+"""The runtime lock-order sanitizer: S003's dynamic counterpart.
+
+:class:`LockOrderSanitizer` monkeypatches ``threading.Lock`` /
+``threading.RLock``, ``fcntl.flock``, and ``time.sleep`` to record, while
+tests run, the *actual* lock acquisition DAG — every ``A held while B
+acquired`` edge, keyed by each lock's **creation site** ``(file, line)``
+(flocks by the call site of the acquiring frame).  That identity is what
+lets the recording be cross-checked against the static S003 graph from
+:func:`repro.analysis.concurrency.static_lock_graph`, whose
+:class:`~repro.analysis.concurrency.LockNode` entries carry the same
+definition lines: the static graph predicts which orderings are possible,
+the sanitizer observes which ones actually happen, and each validates the
+other — a runtime edge missing from the static graph means the analyzer's
+model is stale; a static edge never observed is untested ordering.
+
+Scope-filtered: only locks *created* by code under ``scope_root`` (and
+flocks taken from it) are instrumented, so stdlib / thread-pool internals
+stay untouched.  ``time.sleep`` while holding an instrumented lock is
+recorded as a held-lock blocking event (and optionally raises).
+
+Usage — pytest fixture style::
+
+    from repro.analysis.sanitize import lock_sanitizer
+
+    @pytest.fixture(autouse=True)
+    def _sanitize():
+        with lock_sanitizer() as san:
+            yield san
+        assert san.cycles() == []
+
+The patching is process-global; installs are serialized by a module
+mutex and may not be nested.
+"""
+
+from __future__ import annotations
+
+import linecache
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+try:  # pragma: no branch
+    import fcntl
+
+    _HAVE_FLOCK = True
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    _HAVE_FLOCK = False
+
+from repro.analysis.concurrency import LockGraph
+
+__all__ = [
+    "HeldLockBlockingCall",
+    "LockOrderSanitizer",
+    "SanitizerError",
+    "lock_sanitizer",
+    "runtime_static_mismatches",
+]
+
+#: A lock's runtime identity: (absolute file, line) of its creation site
+#: (for flocks: of the acquiring call site).
+SiteKey = tuple[str, int]
+
+_INSTALL_MUTEX = threading.Lock()
+
+
+class SanitizerError(AssertionError):
+    """A held-lock blocking call surfaced with ``fail_on_blocking``."""
+
+
+class HeldLockBlockingCall:
+    """One ``time.sleep`` observed while instrumented locks were held."""
+
+    def __init__(self, held: tuple[SiteKey, ...], site: SiteKey) -> None:
+        self.held = held
+        self.site = site
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HeldLockBlockingCall(held={self.held!r}, site={self.site!r})"
+
+
+class _TracedLock:
+    """A real lock wrapped to report acquire/release to the sanitizer."""
+
+    def __init__(self, real: Any, key: SiteKey, owner: "LockOrderSanitizer") -> None:
+        self._real = real
+        self._key = key
+        self._owner = owner
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._real.acquire(blocking, timeout)
+        if got:
+            self._owner._on_acquire(self._key)
+        return got
+
+    def release(self) -> None:
+        self._real.release()
+        self._owner._on_release(self._key)
+
+    def locked(self) -> bool:
+        return bool(self._real.locked())
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def _at_fork_reinit(self) -> None:  # pragma: no cover - fork support
+        self._real._at_fork_reinit()
+
+
+class LockOrderSanitizer:
+    """Record the acquisition DAG of every in-scope lock while installed."""
+
+    def __init__(
+        self,
+        scope_root: str | Path | None = None,
+        fail_on_blocking: bool = False,
+    ) -> None:
+        if scope_root is None:
+            import repro
+
+            scope_root = Path(repro.__file__).resolve().parent
+        self.scope_root = str(Path(scope_root).resolve())
+        self.fail_on_blocking = fail_on_blocking
+        #: every instrumented lock creation / flock site
+        self.nodes: dict[SiteKey, str] = {}
+        #: (held, acquired) -> observation count
+        self.edges: dict[tuple[SiteKey, SiteKey], int] = {}
+        self.blocking_calls: list[HeldLockBlockingCall] = []
+        self._tls = threading.local()
+        self._mutex = threading.Lock()  # created pre-install: never traced
+        self._installed = False
+        self._orig_lock: Any = None
+        self._orig_rlock: Any = None
+        self._orig_flock: Any = None
+        self._orig_sleep: Any = None
+
+    # -- bookkeeping (called from traced primitives) ----------------------
+
+    def _held(self) -> list[SiteKey]:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = []
+            self._tls.held = held
+        return held
+
+    def _on_acquire(self, key: SiteKey) -> None:
+        held = self._held()
+        with self._mutex:
+            for h in held:
+                if h != key:
+                    edge = (h, key)
+                    self.edges[edge] = self.edges.get(edge, 0) + 1
+        held.append(key)
+
+    def _on_release(self, key: SiteKey) -> None:
+        held = self._held()
+        # Remove the innermost matching hold (locks may be taken out of
+        # strict stack order; RLocks may appear more than once).
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == key:
+                del held[i]
+                break
+
+    def _caller_site(self) -> SiteKey | None:
+        """The nearest in-scope frame above the patched primitive."""
+        frame = sys._getframe(2)
+        while frame is not None:
+            filename = frame.f_code.co_filename
+            if filename.startswith(self.scope_root):
+                return (filename, frame.f_lineno)
+            frame = frame.f_back
+        return None
+
+    # -- patched primitives ------------------------------------------------
+
+    def _make_lock_factory(self, orig: Any, kind: str) -> Any:
+        def factory(*args: Any, **kwargs: Any) -> Any:
+            real = orig(*args, **kwargs)
+            frame = sys._getframe(1)
+            filename = frame.f_code.co_filename
+            if not filename.startswith(self.scope_root):
+                return real
+            # A C-extension caller (numpy's BitGenerator, for one) has no
+            # Python frame, so the creation would be mis-attributed to the
+            # nearest in-scope frame; require the attributed source line to
+            # actually construct a lock before claiming it as ours.
+            line_text = linecache.getline(filename, frame.f_lineno)
+            if "Lock(" not in line_text:
+                return real
+            key = (filename, frame.f_lineno)
+            with self._mutex:
+                self.nodes.setdefault(key, kind)
+            return _TracedLock(real, key, self)
+
+        return factory
+
+    def _flock_holds(self) -> dict[int, SiteKey]:
+        holds = getattr(self._tls, "flock_holds", None)
+        if holds is None:
+            holds = {}
+            self._tls.flock_holds = holds
+        return holds
+
+    def _traced_flock(self, fh: Any, operation: int) -> None:
+        assert self._orig_flock is not None
+        self._orig_flock(fh, operation)
+        if not _HAVE_FLOCK:  # pragma: no cover - defensive
+            return
+        fd = fh if isinstance(fh, int) else fh.fileno()
+        holds = self._flock_holds()
+        if operation & fcntl.LOCK_UN:
+            # The unlock call site differs from the lock's: release the
+            # site this thread recorded for the descriptor.
+            site = holds.pop(fd, None)
+            if site is not None:
+                self._on_release(site)
+        elif operation & (fcntl.LOCK_EX | fcntl.LOCK_SH):
+            site = self._caller_site()
+            if site is None:
+                return
+            with self._mutex:
+                self.nodes.setdefault(site, "flock")
+            holds[fd] = site
+            self._on_acquire(site)
+
+    def _traced_sleep(self, seconds: float) -> None:
+        held = tuple(self._held())
+        if held:
+            site = self._caller_site() or ("<unknown>", 0)
+            event = HeldLockBlockingCall(held, site)
+            with self._mutex:
+                self.blocking_calls.append(event)
+            if self.fail_on_blocking:
+                raise SanitizerError(
+                    f"time.sleep at {site[0]}:{site[1]} while holding "
+                    f"{len(held)} instrumented lock(s): {held!r}"
+                )
+        assert self._orig_sleep is not None
+        self._orig_sleep(seconds)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def install(self) -> None:
+        if self._installed:
+            raise RuntimeError("sanitizer already installed")
+        if not _INSTALL_MUTEX.acquire(blocking=False):
+            raise RuntimeError("another LockOrderSanitizer is installed")
+        self._orig_lock = threading.Lock
+        self._orig_rlock = threading.RLock
+        self._orig_sleep = time.sleep
+        threading.Lock = self._make_lock_factory(self._orig_lock, "Lock")  # type: ignore[misc]
+        threading.RLock = self._make_lock_factory(self._orig_rlock, "RLock")  # type: ignore[misc]
+        time.sleep = self._traced_sleep  # type: ignore[assignment]
+        if _HAVE_FLOCK:
+            self._orig_flock = fcntl.flock
+            fcntl.flock = self._traced_flock  # type: ignore[assignment]
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        threading.Lock = self._orig_lock  # type: ignore[misc]
+        threading.RLock = self._orig_rlock  # type: ignore[misc]
+        time.sleep = self._orig_sleep  # type: ignore[assignment]
+        if _HAVE_FLOCK and self._orig_flock is not None:
+            fcntl.flock = self._orig_flock  # type: ignore[assignment]
+        self._installed = False
+        _INSTALL_MUTEX.release()
+
+    # -- results -----------------------------------------------------------
+
+    def cycles(self) -> list[list[SiteKey]]:
+        """Cycles in the observed acquisition graph (deadlock witnesses)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.nodes)
+        graph.add_edges_from(self.edges)
+        return [sorted(c) for c in nx.simple_cycles(graph)]
+
+    def edges_relative(self, base: str | Path) -> dict[
+        tuple[tuple[str, int], tuple[str, int]], int
+    ]:
+        """Observed edges with files rewritten relative to *base* (posix),
+        matching the static graph's path convention."""
+        base_path = Path(base).resolve()
+
+        def rel(key: SiteKey) -> tuple[str, int]:
+            try:
+                return (
+                    Path(key[0]).resolve().relative_to(base_path).as_posix(),
+                    key[1],
+                )
+            except ValueError:
+                return (key[0], key[1])
+
+        return {(rel(a), rel(b)): n for (a, b), n in self.edges.items()}
+
+
+def runtime_static_mismatches(
+    sanitizer: LockOrderSanitizer,
+    graph: LockGraph,
+    src_base: str | Path,
+) -> list[str]:
+    """Observed orderings the static S003 graph does not predict.
+
+    Maps every runtime edge's endpoints onto static lock symbols via their
+    definition sites and checks the edge (direct or seeded) exists.  An
+    empty list is the cross-validation passing: the runtime acquisition
+    order is a subgraph of the static graph.
+    """
+    problems: list[str] = []
+    for (a, b), count in sorted(sanitizer.edges_relative(src_base).items()):
+        sym_a = graph.node_at(*a)
+        sym_b = graph.node_at(*b)
+        if sym_a is None:
+            problems.append(f"lock at {a[0]}:{a[1]} unknown to the static graph")
+            continue
+        if sym_b is None:
+            problems.append(f"lock at {b[0]}:{b[1]} unknown to the static graph")
+            continue
+        if sym_a == sym_b:
+            continue  # e.g. two member locks from one creation site
+        if not graph.has_edge(sym_a, sym_b):
+            problems.append(
+                f"observed order {sym_a} -> {sym_b} ({count}x) is missing "
+                "from the static S003 graph"
+            )
+    return problems
+
+
+@contextmanager
+def lock_sanitizer(
+    scope_root: str | Path | None = None,
+    fail_on_blocking: bool = False,
+) -> Iterator[LockOrderSanitizer]:
+    """Install a :class:`LockOrderSanitizer` for the duration of a block."""
+    sanitizer = LockOrderSanitizer(
+        scope_root=scope_root, fail_on_blocking=fail_on_blocking
+    )
+    sanitizer.install()
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.uninstall()

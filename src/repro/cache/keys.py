@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Mapping
+from typing import Any, Mapping
 
 __all__ = [
     "FLOW_VERSION",
@@ -59,7 +59,7 @@ def run_identity(
     boxed: bool = True,
     language: str = "",
     flow_version: str = FLOW_VERSION,
-) -> dict:
+) -> dict[str, Any]:
     """The per-evaluator identity every point key is derived from."""
     return {
         "flow_version": flow_version,
@@ -81,12 +81,12 @@ def _canonical(payload: object) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-def identity_key(identity: Mapping) -> str:
+def identity_key(identity: Mapping[str, Any]) -> str:
     """Digest of the evaluator identity alone (the store's namespace)."""
     return hashlib.sha256(_canonical(dict(identity)).encode("utf-8")).hexdigest()
 
 
-def point_key(identity: Mapping, params: Mapping[str, int]) -> str:
+def point_key(identity: Mapping[str, Any], params: Mapping[str, int]) -> str:
     """The full content-addressed key of one run (identity + binding)."""
     binding = sorted((k.lower(), int(v)) for k, v in params.items())
     blob = _canonical({"identity": dict(identity), "params": binding})

@@ -18,7 +18,7 @@ the property the warm-store equivalence benchmarks assert.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 if TYPE_CHECKING:  # deferred: repro.core imports the flow, which uses this package
     from repro.core.point import EvaluatedPoint
@@ -56,7 +56,7 @@ def fidelity_rank(fidelity: str | None) -> int:
     return FIDELITY_RANKS.get(str(fidelity), FIDELITY_RANKS[FULL_FIDELITY])
 
 
-def encode_point(point: "EvaluatedPoint") -> dict:
+def encode_point(point: "EvaluatedPoint") -> dict[str, Any]:
     """Serialize a completed run for the store."""
     payload = {
         "parameters": {str(k): int(v) for k, v in point.parameters.items()},
@@ -70,7 +70,7 @@ def encode_point(point: "EvaluatedPoint") -> dict:
     return payload
 
 
-def decode_point(payload: Mapping) -> "EvaluatedPoint":
+def decode_point(payload: Mapping[str, Any]) -> "EvaluatedPoint":
     """Rebuild the stored run as the tool produced it (not yet re-priced)."""
     from repro.core.point import EvaluatedPoint
 
@@ -85,7 +85,7 @@ def decode_point(payload: Mapping) -> "EvaluatedPoint":
 
 def encode_failure(
     original_type: str, message: str, simulated_seconds: float = 0.0
-) -> dict:
+) -> dict[str, Any]:
     """Serialize a tool-side failure for the store."""
     return {
         "original_type": str(original_type),

@@ -34,8 +34,9 @@ store class owns the layout — CLI paths accept either interchangeably.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Iterator, Mapping
+from typing import Any, Iterator, Mapping
 
 from repro.cache.store import (
     FULL_RANK,
@@ -71,7 +72,7 @@ class ShardedResultStore:
             raise ValueError(f"shards must be in [1, {_MAX_SHARDS}], got {shards}")
         self.shards = int(shards)
         self.root.mkdir(parents=True, exist_ok=True)
-        kwargs = {}
+        kwargs: dict[str, int] = {}
         if segment_max_bytes is not None:
             kwargs["segment_max_bytes"] = segment_max_bytes
         self._stores = [
@@ -94,19 +95,26 @@ class ShardedResultStore:
     def _write_manifest(self) -> None:
         from repro.cache.keys import FLOW_VERSION
 
-        self._manifest_path.write_text(
-            json.dumps(
-                {
-                    "store_version": 1,
-                    "flow_version": FLOW_VERSION,
-                    "sharded": True,
-                    "shards": self.shards,
-                },
-                indent=2,
+        # Atomic publish: another process sniffing the layout mid-write
+        # must see the old manifest or the new one, never a torn file
+        # (a torn read would misroute every key it stores).
+        tmp = self._manifest_path.with_suffix(".json.tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps(
+                    {
+                        "store_version": 1,
+                        "flow_version": FLOW_VERSION,
+                        "sharded": True,
+                        "shards": self.shards,
+                    },
+                    indent=2,
+                )
+                + "\n"
             )
-            + "\n",
-            encoding="utf-8",
-        )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._manifest_path)
 
     def shard_for(self, key: str) -> int:
         """The shard ordinal a key routes to (stable across processes)."""
@@ -152,7 +160,13 @@ class ShardedResultStore:
     def get(self, key: str) -> StoredResult | None:
         return self._store_for(key).get(key)
 
-    def put(self, key: str, kind: str, payload: Mapping, rank: int = FULL_RANK) -> bool:
+    def put(
+        self,
+        key: str,
+        kind: str,
+        payload: Mapping[str, Any],
+        rank: int = FULL_RANK,
+    ) -> bool:
         return self._store_for(key).put(key, kind, payload, rank=rank)
 
     def __contains__(self, key: str) -> bool:

@@ -64,7 +64,7 @@ import re
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Mapping
+from typing import Any, Iterator, Mapping
 
 from repro.cache.keys import FLOW_VERSION
 
@@ -99,14 +99,14 @@ class StoredResult:
 
     key: str
     kind: str
-    payload: dict
+    payload: dict[str, Any]
     rank: int = FULL_RANK
 
 
 def _encode_record(record: StoredResult) -> str:
     """The canonical JSONL line for a record (full-rank lines keep the
     pre-ladder byte format)."""
-    obj: dict = {
+    obj: dict[str, Any] = {
         "key": record.key,
         "kind": record.kind,
         "payload": record.payload,
@@ -134,7 +134,7 @@ class StoreStats:
     generation: int = 0
     shards: int = 1
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "path": self.path,
             "segments": self.segments,
@@ -163,7 +163,7 @@ class CompactResult:
     bytes_before: int
     bytes_after: int
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "records_before": self.records_before,
             "records_after": self.records_after,
@@ -218,18 +218,21 @@ class ResultStore:
                 if not self._manifest_path.exists():
                     self._write_manifest({"generation": 0})
 
-    def _write_manifest(self, extra: Mapping) -> None:
+    def _write_manifest(self, extra: Mapping[str, Any]) -> None:
         """(Re)write MANIFEST (call under the lock for shared stores)."""
-        payload = {
+        payload: dict[str, Any] = {
             "store_version": _STORE_VERSION,
             "flow_version": FLOW_VERSION,
         }
         payload.update(extra)
         tmp = self._manifest_path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        with tmp.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload, indent=2) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, self._manifest_path)
 
-    def _read_manifest(self) -> dict:
+    def _read_manifest(self) -> dict[str, Any]:
         try:
             return dict(
                 json.loads(self._manifest_path.read_text(encoding="utf-8"))
@@ -390,7 +393,13 @@ class ResultStore:
         self.refresh()
         return iter(list(self._index.values()))
 
-    def put(self, key: str, kind: str, payload: Mapping, rank: int = FULL_RANK) -> bool:
+    def put(
+        self,
+        key: str,
+        kind: str,
+        payload: Mapping[str, Any],
+        rank: int = FULL_RANK,
+    ) -> bool:
         """Append one record; returns False when it would not win the index.
 
         First-writer-wins within a rank; a *higher*-rank record (a

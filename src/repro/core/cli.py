@@ -198,8 +198,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint = sub.add_parser(
         "lint", help="run the design rule checker (CI exit codes: 0/1/2)"
     )
-    p_lint.add_argument("sources", nargs="*", help="HDL source files to lint")
+    p_lint.add_argument("sources", nargs="*",
+                        help="HDL source files to lint (with --self: an "
+                             "optional Python package directory to scan)")
     p_lint.add_argument("--design", help="built-in design name")
+    p_lint.add_argument("--self", action="store_true", dest="self_scan",
+                        help="run the S-series concurrency/atomicity rules "
+                             "over this package's own service layer (or the "
+                             "directory given as the positional argument)")
     p_lint.add_argument("--top", help="restrict point checks to this module")
     p_lint.add_argument(
         "--at", action="append", type=_parse_assignment, dest="at",
@@ -437,7 +443,12 @@ def _lint(args: argparse.Namespace) -> int:
         points = [{}]
     boxed = not args.no_box
 
-    if args.design:
+    if args.self_scan:
+        from repro.analysis import collect_py_sources
+
+        root = Path(args.sources[0]) if args.sources else None
+        result = checker.check_python(collect_py_sources(root))
+    elif args.design:
         gen = get_design(args.design)
         source = gen.source()
         from repro.hdl.frontend import parse_source

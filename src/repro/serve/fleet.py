@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.parallel import (
     EvaluationFailure,
@@ -117,7 +117,7 @@ class ScheduledBatch:
     carry.
     """
 
-    def __init__(self, futures: Sequence[Future]) -> None:
+    def __init__(self, futures: Sequence[Future[Any]]) -> None:
         self._futures = list(futures)
 
     def __len__(self) -> int:
@@ -171,7 +171,7 @@ class SchedulerBoundEvaluator:
         ]
         return ScheduledBatch(futures)
 
-    def _one(self, params: dict[str, int]):
+    def _one(self, params: dict[str, int]) -> Callable[[], Any]:
         def run() -> Any:
             # The member's memo/in-flight/tool state is single-threaded;
             # the mutex serializes tenants sharing the spec — which is
@@ -196,7 +196,7 @@ class SchedulerBoundEvaluator:
         return self.submit_many(points).results(on_error)
 
     @property
-    def memo(self) -> dict:
+    def memo(self) -> dict[str, Any]:
         return self._member.memo
 
     @property

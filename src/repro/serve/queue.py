@@ -30,7 +30,7 @@ import os
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.serve.jobs import JobRecord, JobSpec, JobState
 
@@ -75,12 +75,22 @@ class FileJobQueue:
                     fcntl.flock(fh, fcntl.LOCK_UN)
 
     def _next_id(self) -> str:
+        # The read-modify-write is atomic *and* durable: the new count is
+        # fsynced to a tmp file and published with os.replace, so a crash
+        # anywhere in the window leaves either the old or the new COUNTER
+        # intact — never a truncated file that would restart ordinals at 0
+        # and hand a duplicate job id to the next submitter.
         with self._locked():
             try:
                 current = int(self._counter_path.read_text(encoding="utf-8"))
             except (OSError, ValueError):
                 current = 0
-            self._counter_path.write_text(str(current + 1), encoding="utf-8")
+            tmp = self._counter_path.with_suffix(".tmp")
+            with tmp.open("w", encoding="utf-8") as fh:
+                fh.write(str(current + 1))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self._counter_path)
         return f"job-{current:06d}"
 
     def _path(self, state: JobState, job_id: str) -> Path:
@@ -90,10 +100,12 @@ class FileJobQueue:
         """Atomically (re)write a record into its state directory."""
         path = self._path(record.state, record.job_id)
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(
-            json.dumps(record.as_dict(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
-        )
+        with tmp.open("w", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps(record.as_dict(), indent=2, sort_keys=True) + "\n"
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
         return path
 
@@ -204,7 +216,7 @@ class FileJobQueue:
         *,
         error: str | None = None,
         result_path: str | None = None,
-        stats: dict | None = None,
+        stats: dict[str, Any] | None = None,
     ) -> JobRecord | None:
         """Move a running job to its terminal record."""
         if not state.terminal:

@@ -58,7 +58,7 @@ class SchedulerClosed(ReproError):
 @dataclass
 class _Request:
     fn: Callable[[], Any]
-    future: Future
+    future: Future[Any]
 
 
 @dataclass
@@ -66,7 +66,7 @@ class _Lane:
     """One job's view of the scheduler (mutated only on the loop thread)."""
 
     slots: int
-    queue: deque = field(default_factory=deque)
+    queue: deque[_Request] = field(default_factory=deque)
     running: int = 0
     cancelled: bool = False
     submitted: int = 0
@@ -158,7 +158,9 @@ class FairScheduler:
                     progress = True
             self._check_idle()
 
-    def _finish(self, job_id: str, request: _Request, done: asyncio.Future) -> None:
+    def _finish(
+        self, job_id: str, request: _Request, done: asyncio.Future[Any]
+    ) -> None:
         # Runs on the loop thread (asyncio future callbacks do).
         self._in_flight -= 1
         lane = self._lanes.get(job_id)
@@ -242,7 +244,7 @@ class FairScheduler:
 
         self._call(_unregister)
 
-    def submit(self, job_id: str, fn: Callable[[], Any]) -> Future:
+    def submit(self, job_id: str, fn: Callable[[], Any]) -> Future[Any]:
         """Enqueue one evaluation request for *job_id*; returns its future.
 
         Blocks the calling thread while the job is at its ``max_pending``
@@ -251,7 +253,7 @@ class FairScheduler:
         lane = self._lanes.get(job_id)  # racy peek, revalidated on the loop
         if lane is not None and lane.gate is not None:
             lane.gate.acquire()
-        future: Future = Future()
+        future: Future[Any] = Future()
 
         def _enqueue() -> None:
             target = self._lanes.get(job_id)
@@ -331,7 +333,7 @@ class FairScheduler:
     def __enter__(self) -> "FairScheduler":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def stats(self) -> dict[str, Any]:

@@ -80,6 +80,9 @@ class DseServer:
         self.jobs_done = 0
         self.jobs_failed = 0
         self.jobs_cancelled = 0
+        # Terminal-state counters are bumped on job-runner threads and read
+        # by the serve loop / stats(): the lock keeps the increments atomic.
+        self._counters_lock = threading.Lock()
         self._runners: dict[str, threading.Thread] = {}
         self._stop = threading.Event()
         self._final_fleet_stats: dict[str, Any] | None = None
@@ -130,8 +133,10 @@ class DseServer:
                             break
                 # One claim per tick: staggered admission keeps an earlier
                 # tenant ahead of an overlapping one, maximizing its memo
-                # value — and bounds claim-loop churn.
-                time.sleep(self.poll_interval_s)
+                # value — and bounds claim-loop churn.  Waiting on the stop
+                # event (not time.sleep) makes stop() wake the loop
+                # immediately instead of riding out the poll interval.
+                self._stop.wait(self.poll_interval_s)
         finally:
             self._drain()
         return self.stats()
@@ -173,7 +178,7 @@ class DseServer:
         self._runners[record.job_id] = thread
         thread.start()
 
-    def _build_session(self, record: JobRecord):
+    def _build_session(self, record: JobRecord) -> Any:
         from repro.core.session import DseSession
         from repro.designs import get_design
 
@@ -222,7 +227,8 @@ class DseServer:
                     **bound.tenant_stats(),
                 },
             )
-            self.jobs_done += 1
+            with self._counters_lock:
+                self.jobs_done += 1
             _count("serve.jobs_done")
         except JobCancelledError:
             self.queue.finish(
@@ -230,7 +236,8 @@ class DseServer:
                 JobState.CANCELLED,
                 stats=bound.tenant_stats() if bound is not None else {},
             )
-            self.jobs_cancelled += 1
+            with self._counters_lock:
+                self.jobs_cancelled += 1
             _count("serve.jobs_cancelled")
         except Exception as exc:  # noqa: BLE001 - one job must not kill the server
             self.queue.finish(
@@ -239,7 +246,8 @@ class DseServer:
                 error=f"{type(exc).__name__}: {exc}",
                 stats=bound.tenant_stats() if bound is not None else {},
             )
-            self.jobs_failed += 1
+            with self._counters_lock:
+                self.jobs_failed += 1
             _count("serve.jobs_failed")
             traceback.print_exc()
         finally:

@@ -1,0 +1,44 @@
+"""Shared lock-order sanitizer harness for the service-layer suites.
+
+``lock_order_guard`` wraps one test: it records the runtime lock
+acquisition DAG (threading locks + flocks created/taken inside the
+``repro`` package), fails the test on any observed ordering cycle, and
+cross-checks every observed edge against the static S003 lock graph —
+the runtime acquisition order must be a *subgraph* of what the analyzer
+predicts.  A mismatch means either a real ordering bug or a stale static
+model; both deserve a red test.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from functools import lru_cache
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis import collect_py_sources, static_lock_graph
+from repro.analysis.sanitize import (
+    LockOrderSanitizer,
+    lock_sanitizer,
+    runtime_static_mismatches,
+)
+
+SRC_BASE = Path(__file__).resolve().parents[1] / "src"
+
+
+@lru_cache(maxsize=1)
+def service_lock_graph():
+    """The static S003 graph over the installed ``repro`` package."""
+    return static_lock_graph(tuple(collect_py_sources()))
+
+
+@contextmanager
+def lock_order_guard() -> Iterator[LockOrderSanitizer]:
+    with lock_sanitizer() as sanitizer:
+        yield sanitizer
+    cycles = sanitizer.cycles()
+    assert cycles == [], f"runtime lock-order cycle observed: {cycles}"
+    problems = runtime_static_mismatches(
+        sanitizer, service_lock_graph(), SRC_BASE
+    )
+    assert problems == [], "\n".join(problems)

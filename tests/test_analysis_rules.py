@@ -32,6 +32,7 @@ ALL_CODES = (
     "H001", "H002",
     "N001", "N002", "N003", "N004", "N005", "N006", "N007",
     "P001", "P002", "P003", "P004", "P005",
+    "S001", "S002", "S003", "S004", "S005", "S006",
     "W001", "W002", "W003", "W004",
 )
 

@@ -10,11 +10,14 @@ answer from the shared fleet.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from pathlib import Path
 
 import pytest
+
+from tests._sanitize_support import lock_order_guard
 
 from repro.serve import (
     DseServer,
@@ -26,6 +29,15 @@ from repro.serve import (
     JobState,
     SchedulerClosed,
 )
+
+@pytest.fixture(autouse=True)
+def _lock_order_sanitizer():
+    """Every serve test runs under the runtime lock-order sanitizer: no
+    observed acquisition cycles, and every observed ordering must be an
+    edge of the static S003 lock graph."""
+    with lock_order_guard():
+        yield
+
 
 # ---------------------------------------------------------------------------
 # FileJobQueue
@@ -86,6 +98,35 @@ class TestFileJobQueue:
 
     def test_cancel_unknown_job(self, tmp_path):
         assert FileJobQueue(tmp_path / "q").cancel("job-999999") is None
+
+    def test_counter_survives_a_crash_mid_publish(self, tmp_path, monkeypatch):
+        """A crash inside the COUNTER read-modify-write window must leave
+        either the old or the new value — never a truncated file that
+        restarts ordinals and hands out a duplicate job id."""
+        queue = FileJobQueue(tmp_path / "q")
+        first = queue.submit(JobSpec(design="tirex")).job_id
+        assert first == "job-000000"
+
+        real_replace = os.replace
+        state = {"crashed": False}
+
+        def crashing_replace(src, dst, *args, **kwargs):
+            if Path(dst).name == "COUNTER" and not state["crashed"]:
+                state["crashed"] = True
+                raise OSError("simulated crash mid-publish")
+            return real_replace(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr(os, "replace", crashing_replace)
+        with pytest.raises(OSError):
+            queue.submit(JobSpec(design="tirex"))
+        assert state["crashed"]
+
+        # The published COUNTER is intact (the first submit's value) ...
+        assert int((tmp_path / "q" / "COUNTER").read_text()) == 1
+        # ... so the next submit hands out the crashed ordinal exactly once.
+        second = queue.submit(JobSpec(design="tirex")).job_id
+        assert second == "job-000001"
+        assert [r.job_id for r in queue.jobs()] == [first, second]
 
     def test_jobs_lists_all_states_in_submission_order(self, tmp_path):
         queue = FileJobQueue(tmp_path / "q")

@@ -12,6 +12,10 @@ import json
 import subprocess
 import sys
 
+import pytest
+
+from tests._sanitize_support import lock_order_guard
+
 from repro.cache import (
     FULL_RANK,
     KIND_POINT,
@@ -21,6 +25,14 @@ from repro.cache import (
     point_key,
     run_identity,
 )
+
+
+@pytest.fixture(autouse=True)
+def _lock_order_sanitizer():
+    """Record lock/flock ordering in every test and cross-check it
+    against the static S003 graph (runtime must be a subgraph)."""
+    with lock_order_guard():
+        yield
 
 
 def _keys(n: int) -> list[str]:

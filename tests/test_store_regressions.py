@@ -21,7 +21,19 @@ from __future__ import annotations
 import subprocess
 import sys
 
+import pytest
+
+from tests._sanitize_support import lock_order_guard
+
 from repro.cache import FULL_RANK, KIND_POINT, ResultStore
+
+
+@pytest.fixture(autouse=True)
+def _lock_order_sanitizer():
+    """Record lock/flock ordering in every test and cross-check it
+    against the static S003 graph (runtime must be a subgraph)."""
+    with lock_order_guard():
+        yield
 
 _ENV = {"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"}
 
