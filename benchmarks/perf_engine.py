@@ -1,6 +1,6 @@
 """Fast-evaluation-engine microbenchmark (shared harness).
 
-Five experiments prove the engine and chart its perf trajectory:
+Seven experiments prove the engine and chart its perf trajectory:
 
 - **DSE fan-out** — the same no-model NSGA-II exploration run serially and
   over the persistent worker pool.  The assertion is *bitwise identity*:
@@ -31,6 +31,13 @@ Five experiments prove the engine and chart its perf trajectory:
   never exceed the routed counts and the Fmax upper bound never falls
   below the routed Fmax, for every feasible compared point (``sound`` is
   1.0 exactly or the bench raises).
+- **Serve throughput** — ``jobs`` identical tenants served to completion
+  under the fixed admission stagger with per-spec-lock members and no
+  coalescing, then under adaptive AIMD admission with event-driven
+  claiming and single-flight coalescing.  Fronts must be byte-identical
+  to the standalone session both ways and the tenants' combined
+  tool-run bill must equal the one serial bill; the adaptive run must
+  be ≥1.3× faster end to end under emulated tool latency.
 - **Refit policy** — inserting n tool results into the control model with
   the per-insert LOO rescan (``RefitPolicy(every=1)``, the original
   behaviour) versus the incremental policy (periodic rescan + Γ-drift
@@ -62,6 +69,7 @@ __all__ = [
     "ooo_bench",
     "refit_bench",
     "run_perf_engine",
+    "serve_bench",
     "static_estimate_bench",
     "warm_store_bench",
 ]
@@ -527,6 +535,145 @@ def refit_bench(
     }
 
 
+def _serve_session_reference(spec):
+    """The standalone session a served job must match, byte for byte."""
+    session = DseSession(
+        design=get_design(spec.design),
+        part=spec.part,
+        target_period_ns=spec.target_period_ns,
+        use_model=spec.use_model,
+        pretrain_size=spec.pretrain,
+        seed=spec.seed,
+    )
+    try:
+        return session.explore(
+            generations=spec.generations, population=spec.population
+        )
+    finally:
+        session.close()
+
+
+def serve_bench(
+    design_name: str = "cv32e40p-fifo",
+    jobs: int = 3,
+    generations: int = 2,
+    population: int = 6,
+    tool_latency: float = 0.002,
+    poll_interval_s: float = 0.05,
+    min_speedup: float | None = 1.3,
+) -> dict:
+    """Serve throughput: fixed/uncoalesced vs adaptive/coalesced admission.
+
+    ``jobs`` identical tenants are queued up front and served to
+    completion twice, each from a fresh service root: once under the
+    classic fixed admission stagger with per-spec-lock members and no
+    coalescing (the previously shipped shape), once under adaptive AIMD
+    admission with event-driven claiming, concurrent members, and
+    single-flight coalescing.  Emulated tool latency stands in for the
+    external tool process, so schedule quality — not the benchmark
+    host's core count — sets the wall clock.
+
+    Correctness bars (both modes, host-independent): every job's front
+    is byte-identical to the standalone serial session, and the tenants'
+    combined tool-run bill equals the one serial bill — overlapping
+    identical points resolve from memo/store/coalescing, never as a
+    second tool run.  The adaptive/coalesced run must then be
+    ``min_speedup``× faster end to end.
+    """
+    import json as _json
+    from pathlib import Path as _Path
+
+    from repro.serve import DseServer, JobSpec
+
+    spec = JobSpec(
+        design=design_name,
+        seed=2021,
+        generations=generations,
+        population=population,
+        use_model=False,
+    )
+    reference = _serve_session_reference(spec)
+    reference_front = sorted(
+        tuple(sorted(p.as_row().items())) for p in reference.pareto
+    )
+
+    def serve_once(admission: str, coalesce: bool) -> dict:
+        root = tempfile.mkdtemp(prefix="veda-serve-bench-")
+        try:
+            server = DseServer(
+                root,
+                capacity=4,
+                shards=4,
+                slots_per_job=2,
+                poll_interval_s=poll_interval_s,
+                admission=admission,
+                coalesce=coalesce,
+                emulate_tool_latency=tool_latency,
+            )
+            records = [server.queue.submit(spec) for _ in range(jobs)]
+            start = time.perf_counter()
+            stats = server.serve_forever(stop_after=jobs, max_idle_s=120.0)
+            wall = time.perf_counter() - start
+            assert stats["jobs_done"] == jobs, stats
+            tool_runs = 0
+            for record in records:
+                done = server.queue.get(record.job_id)
+                assert done is not None and done.error is None, done
+                payload = _json.loads(
+                    _Path(done.result_path).read_text(encoding="utf-8")
+                )
+                front = sorted(
+                    tuple(sorted(row.items())) for row in payload["pareto"]
+                )
+                assert front == reference_front, (
+                    f"{design_name}: served front ({admission}, "
+                    f"coalesce={coalesce}) diverged from the standalone "
+                    "session"
+                )
+                tool_runs += done.stats["tool_runs"]
+            assert tool_runs == reference.tool_runs, (
+                f"{design_name}: {jobs} tenants paid {tool_runs} tool runs "
+                f"({admission}, coalesce={coalesce}); the combined bill "
+                f"must equal the one serial bill of {reference.tool_runs}"
+            )
+            return {
+                "wall_s": wall,
+                "tool_runs": tool_runs,
+                "coalesced_hits": stats["coalesced_hits"],
+                "admission": stats["admission"],
+            }
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    baseline = serve_once("fixed", coalesce=False)
+    adaptive = serve_once("adaptive", coalesce=True)
+    speedup = (
+        baseline["wall_s"] / adaptive["wall_s"] if adaptive["wall_s"] else None
+    )
+    if min_speedup is not None and speedup is not None:
+        assert speedup >= min_speedup, (
+            f"{design_name}: adaptive+coalesced serving must be >="
+            f"{min_speedup}x over the fixed/uncoalesced baseline at "
+            f"jobs={jobs}, got {speedup:.2f}x"
+        )
+    return {
+        "design": design_name,
+        "jobs": jobs,
+        "generations": generations,
+        "population": population,
+        "tool_latency": tool_latency,
+        "poll_interval_s": poll_interval_s,
+        "serial_tool_runs": reference.tool_runs,
+        "combined_tool_runs": adaptive["tool_runs"],
+        "coalesced_hits": adaptive["coalesced_hits"],
+        "admission_decisions": adaptive["admission"]["decisions"],
+        "baseline_wall_s": round(baseline["wall_s"], 4),
+        "adaptive_wall_s": round(adaptive["wall_s"], 4),
+        "speedup": round(speedup, 3) if speedup else None,
+        "identical": True,
+    }
+
+
 def run_perf_engine(smoke: bool = False) -> dict:
     """The whole microbenchmark; smoke mode shrinks sizes for tier-1.
 
@@ -548,6 +695,10 @@ def run_perf_engine(smoke: bool = False) -> dict:
             min_reduction=None,
         )
         static = static_estimate_bench(points_per_design=1)
+        serve = serve_bench(
+            "cv32e40p-fifo", jobs=2, generations=1, population=4,
+            tool_latency=0.0005, min_speedup=None,
+        )
     else:
         designs = [("corundum-cqm", 5, 12), ("cv32e40p-fifo", 5, 12)]
         refit = refit_bench(n_points=300, every=16, gamma_drift=0.05)
@@ -561,6 +712,10 @@ def run_perf_engine(smoke: bool = False) -> dict:
             min_reduction=2.0,
         )
         static = static_estimate_bench(points_per_design=4)
+        serve = serve_bench(
+            "cv32e40p-fifo", jobs=3, generations=2, population=6,
+            tool_latency=0.002, min_speedup=1.3,
+        )
     dse = [
         dse_pool_bench(name, generations=gens, population=pop)
         for name, gens, pop in designs
@@ -573,4 +728,5 @@ def run_perf_engine(smoke: bool = False) -> dict:
         "refit": refit,
         "fidelity_gate": gate,
         "static_estimate": static,
+        "serve": serve,
     }

@@ -1,6 +1,6 @@
 """Perf — the evaluation pipeline (store + stage caches + scheduler).
 
-Times five experiments on the Corundum and FIFO case studies, asserting
+Times six experiments on the Corundum and FIFO case studies, asserting
 bitwise identity against the serial cold-cache references throughout
 (the harness in ``perf_engine.py`` does the asserting):
 
@@ -9,7 +9,10 @@ bitwise identity against the serial cold-cache references throughout
 * per-batch-barrier vs out-of-order pipelined scheduling,
 * per-insert vs incremental control-model refits at paper-scale n=300,
 * ungated vs speculative multi-fidelity gated exploration (simulated
-  seconds cut vs hypervolume regret of the reported front).
+  seconds cut vs hypervolume regret of the reported front),
+* fixed/uncoalesced vs adaptive/coalesced DSE serving of overlapping
+  tenants (identical fronts, one combined tool-run bill, wall-clock
+  throughput under emulated tool latency).
 
 The timing payload lands in ``BENCH_perf_engine.json`` at the repo root
 so future PRs have a perf trajectory to compare against.
@@ -17,8 +20,10 @@ so future PRs have a perf trajectory to compare against.
 The acceptance bars are the *host-independent* ones: the warm store must
 cut tool runs ≥5×, out-of-order scheduling must be ≥1.3× under emulated
 tool latency, the incremental refit policy must be ≥3× faster at n=300,
-and the fidelity gate must cut simulated tool seconds ≥2× at ≤1%
-hypervolume regret.  Pool wall-clock speedup is recorded but not thresholded — CI
+the fidelity gate must cut simulated tool seconds ≥2× at ≤1%
+hypervolume regret, and adaptive/coalesced serving must be ≥1.3× over
+the fixed/uncoalesced baseline under emulated tool latency.  Pool
+wall-clock speedup is recorded but not thresholded — CI
 boxes with one core cannot show it, and the pool's correctness
 (bitwise-identical fronts and cost accounting) is the part that must
 never regress.
@@ -82,6 +87,16 @@ def test_perf_engine(benchmark):
           gate["promoted"], gate["skipped"])],
         title="Perf — speculative multi-fidelity gate, off vs on",
     )
+    serve = payload["serve"]
+    text += "\n" + render_table(
+        ("Design", "Jobs", "serial runs", "paid runs", "coalesced",
+         "fixed s", "adaptive s", "speedup", "identical"),
+        [(serve["design"], serve["jobs"], serve["serial_tool_runs"],
+          serve["combined_tool_runs"], serve["coalesced_hits"],
+          serve["baseline_wall_s"], serve["adaptive_wall_s"],
+          f"{serve['speedup']}x", "yes")],
+        title="Perf — DSE service, fixed/uncoalesced vs adaptive/coalesced",
+    )
     emit("perf_engine", text)
 
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -105,4 +120,12 @@ def test_perf_engine(benchmark):
     )
     assert gate["hv_regret"] <= 0.01, (
         f"fidelity gate regret budget is 1%, got {gate['hv_regret']:.2%}"
+    )
+    assert serve["identical"]
+    assert serve["combined_tool_runs"] == serve["serial_tool_runs"], (
+        "tenants must together pay exactly one serial tool-run bill"
+    )
+    assert serve["speedup"] >= 1.3, (
+        f"adaptive+coalesced serving must be >=1.3x over the fixed/"
+        f"uncoalesced baseline, got {serve['speedup']}x"
     )

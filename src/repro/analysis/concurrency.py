@@ -17,7 +17,10 @@ the invariants ``repro.serve`` and ``repro.cache`` depend on:
   (:data:`SEEDED_LOCK_ORDER`).
 - **S004** — read-modify-write of an attribute shared between roles
   (scheduler-loop callbacks vs executor/job threads vs callers) with no
-  dominating lock acquisition: a lost-update race.
+  dominating lock acquisition: a lost-update race.  Once every writer of
+  such an attribute holds a lock, the read variant fires on lockless
+  reads of it — they bypass the coherence protocol the writers
+  established and can observe torn multi-field snapshots.
 - **S005** — non-atomic publish in a multi-process class: rewriting a path
   other processes read without the tmp-file + ``os.replace`` idiom
   (``repro.serve.queue`` / ``repro.cache.store`` are the reference
@@ -1073,6 +1076,7 @@ class _Program:
             # attr -> union of roles across every accessor entity.
             access_roles: dict[str, set[str]] = {}
             aug_writes: dict[str, list[tuple[_Func, int, bool]]] = {}
+            plain_reads: dict[str, list[tuple[_Func, int, bool]]] = {}
             for func in self._class_funcs(cls):
                 if func.simple_name == "__init__":
                     continue
@@ -1085,12 +1089,15 @@ class _Program:
                         aug_writes.setdefault(attr, []).append(
                             (func, line, guarded)
                         )
+                    else:
+                        plain_reads.setdefault(attr, []).append(
+                            (func, line, guarded)
+                        )
             for attr, writes in sorted(aug_writes.items()):
                 if len(access_roles.get(attr, set())) < 2:
                     continue  # single-role attribute: no interleaving
-                for func, line, guarded in writes:
-                    if guarded:
-                        continue
+                unguarded_writes = [w for w in writes if not w[2]]
+                for func, line, _ in unguarded_writes:
                     self.violations["S004"].append(
                         Violation(
                             message=(
@@ -1098,6 +1105,27 @@ class _Program:
                                 f"`self.{attr}` in `{func.qualname}` has no "
                                 "dominating lock; concurrent updates lose "
                                 "increments"
+                            ),
+                            module=func.module.path,
+                            line=line,
+                        )
+                    )
+                if unguarded_writes:
+                    continue  # the write side is the report; reads follow it
+                # Read variant: every writer updates the attribute under a
+                # lock, so the lock is the attribute's coherence protocol —
+                # a lockless read elsewhere sees mid-update state (e.g. a
+                # `done + failed` sum torn across two locked increments).
+                for func, line, guarded in plain_reads.get(attr, ()):
+                    if guarded:
+                        continue
+                    self.violations["S004"].append(
+                        Violation(
+                            message=(
+                                f"unguarded read of shared attribute "
+                                f"`self.{attr}` in `{func.qualname}`; every "
+                                "writer holds a lock, so the read bypasses "
+                                "the attribute's coherence protocol"
                             ),
                             module=func.module.path,
                             line=line,
@@ -1450,6 +1478,32 @@ SEEDED_LOCK_ORDER: tuple[tuple[str, str, str], ...] = (
         "repro/serve/fleet.py::EvaluatorFleet._lock",
         "repro/cache/store.py::ResultStore.<flock>",
         "opening a member's store handle happens under the registry lock",
+    ),
+    (
+        "repro/serve/fleet.py::_ConcurrentMember._state_lock",
+        "repro/cache/store.py::ResultStore.<flock>",
+        "committing a fresh result holds the member state lock across the"
+        " store append (which takes the store's flock)",
+    ),
+    (
+        "repro/serve/fleet.py::_ConcurrentMember._state_lock",
+        "repro/observe/ledger.py::RunLedger._lock",
+        "memo/store/DRC answers are ledgered under the member state lock",
+    ),
+    (
+        "repro/serve/fleet.py::_ConcurrentMember._state_lock",
+        "repro/observe/counters.py::Counters._lock",
+        "telemetry counters are bumped under the member state lock",
+    ),
+    (
+        "repro/serve/fleet.py::EvaluatorFleet._member_locks[]",
+        "repro/observe/ledger.py::RunLedger._lock",
+        "the legacy member-lock path ledgers while holding the member lock",
+    ),
+    (
+        "repro/serve/fleet.py::EvaluatorFleet._member_locks[]",
+        "repro/observe/counters.py::Counters._lock",
+        "the legacy member-lock path counts while holding the member lock",
     ),
 )
 

@@ -60,6 +60,13 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _positive_float(text: str) -> float:
     value = float(text)
     if value <= 0:
@@ -307,6 +314,24 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="SECONDS",
                          help="queue poll period (default 0.2; also the "
                               "admission stagger between job claims)")
+    p_serve.add_argument("--admission", choices=("fixed", "adaptive"),
+                         default="fixed",
+                         help="claim-admission mode: 'fixed' claims one job "
+                              "per poll tick; 'adaptive' runs an AIMD claim "
+                              "budget over fleet utilization + warm-hit "
+                              "ratio and wakes on queue submits instead of "
+                              "polling (default fixed)")
+    p_serve.add_argument("--max-claim", type=_positive_int, default=8,
+                         metavar="N",
+                         help="adaptive mode: claim-budget ceiling per pass "
+                              "(default 8)")
+    p_serve.add_argument("--admission-backoff", type=float, default=0.5,
+                         metavar="FACTOR",
+                         help="adaptive mode: multiplicative budget decrease "
+                              "on saturation, in (0, 1) (default 0.5)")
+    p_serve.add_argument("--no-coalesce", action="store_true",
+                         help="disable single-flight coalescing of identical "
+                              "in-flight evaluations across tenants")
     p_serve.add_argument("--trace", metavar="FILE",
                          help="enable telemetry: write a JSONL trace to FILE "
                               "and print the summary at shutdown")
@@ -668,7 +693,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "serve":
-        from repro.serve import DseServer
+        from repro.serve import DseServer, make_admission
 
         server = DseServer(
             args.root,
@@ -676,10 +701,18 @@ def _dispatch(args: argparse.Namespace) -> int:
             shards=args.shards,
             slots_per_job=args.slots,
             poll_interval_s=args.poll_interval,
+            admission=make_admission(
+                args.admission,
+                args.poll_interval,
+                max_claim=args.max_claim,
+                backoff=args.admission_backoff,
+            ),
+            coalesce=not args.no_coalesce,
         )
         tel = _start_trace(args)
         print(f"serving from {args.root} "
-              f"(capacity={args.capacity}, shards={args.shards}; "
+              f"(capacity={args.capacity}, shards={args.shards}, "
+              f"admission={args.admission}; "
               f"touch {Path(args.root) / 'STOP'} to drain)")
         try:
             stats = server.serve_forever(
@@ -694,7 +727,8 @@ def _dispatch(args: argparse.Namespace) -> int:
               f"cancelled={stats['jobs_cancelled']} | fleet: "
               f"tool_runs={fleet['dispatched']} "
               f"memo_hits={fleet['memo_hits']} "
-              f"store_hits={fleet['store_hits']}")
+              f"store_hits={fleet['store_hits']} "
+              f"coalesced={stats['coalesced_hits']}")
         return 1 if stats["jobs_failed"] else 0
 
     if args.command == "submit":

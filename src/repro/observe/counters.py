@@ -10,6 +10,7 @@ the current population, and the soft-deadline budget remaining.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -17,36 +18,50 @@ __all__ = ["Counters", "GenerationStat"]
 
 
 class Counters:
-    """Dotted-name counter map (int increments and float accumulators)."""
+    """Dotted-name counter map (int increments and float accumulators).
+
+    Increments are read-modify-writes, and the serve path bumps them from
+    scheduler executor threads concurrently — the internal lock keeps
+    them lossless (it is a leaf lock: nothing else is ever acquired while
+    it is held).
+    """
 
     def __init__(self) -> None:
         self._data: dict[str, float] = {}
+        self._lock = threading.Lock()
 
     def inc(self, name: str, by: int = 1) -> None:
-        self._data[name] = self._data.get(name, 0) + by
+        with self._lock:
+            self._data[name] = self._data.get(name, 0) + by
 
     def add(self, name: str, value: float) -> None:
-        self._data[name] = self._data.get(name, 0) + float(value)
+        with self._lock:
+            self._data[name] = self._data.get(name, 0) + float(value)
 
     def get(self, name: str, default: float = 0) -> float:
-        return self._data.get(name, default)
+        with self._lock:
+            return self._data.get(name, default)
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def as_dict(self) -> dict[str, float]:
-        return dict(sorted(self._data.items()))
+        with self._lock:
+            return dict(sorted(self._data.items()))
 
     def merge(self, values: Mapping[str, float]) -> None:
         """Fold a snapshot (e.g. a worker delta) into these counters."""
-        for name, value in values.items():
-            self._data[name] = self._data.get(name, 0) + value
+        with self._lock:
+            for name, value in values.items():
+                self._data[name] = self._data.get(name, 0) + value
 
     def drain(self) -> dict[str, float]:
         """Snapshot and reset (used for worker deltas)."""
-        snapshot = self.as_dict()
-        self._data.clear()
-        return snapshot
+        with self._lock:
+            snapshot = dict(sorted(self._data.items()))
+            self._data.clear()
+            return snapshot
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,7 @@ kinds, so a full trace file (which also carries span/counter lines — see
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping
@@ -100,10 +101,16 @@ class LedgerRecord:
 
 
 class RunLedger:
-    """Append-only sequence of :class:`LedgerRecord` with JSONL round-trip."""
+    """Append-only sequence of :class:`LedgerRecord` with JSONL round-trip.
+
+    Appends assign contiguous indexes (the trace schema checks the
+    sequence), so concurrent appenders — the serve path records from
+    scheduler executor threads — serialize on an internal leaf lock.
+    """
 
     def __init__(self, records: Iterable[LedgerRecord] = ()) -> None:
         self.records: list[LedgerRecord] = list(records)
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.records)
@@ -124,19 +131,20 @@ class RunLedger:
         fidelity: str | None = None,
     ) -> LedgerRecord:
         """Append one record; the index is assigned by the ledger."""
-        record = LedgerRecord(
-            index=len(self.records),
-            params={str(k): int(v) for k, v in params.items()},
-            outcome=outcome,
-            metrics=dict(metrics or {}),
-            charge=float(charge),
-            error_type=error_type,
-            wall_s=float(wall_s),
-            origin=origin,
-            fidelity=fidelity,
-        )
-        self.records.append(record)
-        return record
+        with self._lock:
+            record = LedgerRecord(
+                index=len(self.records),
+                params={str(k): int(v) for k, v in params.items()},
+                outcome=outcome,
+                metrics=dict(metrics or {}),
+                charge=float(charge),
+                error_type=error_type,
+                wall_s=float(wall_s),
+                origin=origin,
+                fidelity=fidelity,
+            )
+            self.records.append(record)
+            return record
 
     def extend_from(self, payloads: Iterable[Mapping], origin: str | None = None) -> int:
         """Merge serialized records (e.g. a worker delta), re-indexing.
@@ -196,8 +204,9 @@ class RunLedger:
 
     def drain(self) -> list[dict]:
         """Serialize and clear the records (used for worker deltas)."""
-        payloads = [r.to_json() for r in self.records]
-        self.records.clear()
+        with self._lock:
+            payloads = [r.to_json() for r in self.records]
+            self.records.clear()
         return payloads
 
     # -- persistence -----------------------------------------------------

@@ -16,6 +16,10 @@ downloader split:
   evaluator per spec over the sharded store, plus the
   :class:`SchedulerBoundEvaluator` facade sessions bind via
   ``ApproximateFitness.set_batch_evaluator``.
+- :mod:`repro.serve.admission` — the claim-admission controllers:
+  :class:`FixedAdmission` (the classic one-claim-per-tick stagger) and
+  :class:`AdaptiveAdmission` (AIMD over utilization + warm-hit ratio,
+  with event-driven submit wake-ups).
 - :mod:`repro.serve.server` — :class:`DseServer`, the serve loop tying
   them together.
 
@@ -24,17 +28,32 @@ the same session run standalone; only *who pays* for each tool run
 differs.
 """
 
+from repro.serve.admission import (
+    AdaptiveAdmission,
+    AdmissionDecision,
+    AdmissionSignals,
+    FixedAdmission,
+    make_admission,
+)
 from repro.serve.fleet import EvaluatorFleet, ScheduledBatch, SchedulerBoundEvaluator
 from repro.serve.jobs import JobRecord, JobSpec, JobState
-from repro.serve.queue import FileJobQueue
+from repro.serve.queue import (
+    FileJobQueue,
+    add_submit_listener,
+    remove_submit_listener,
+)
 from repro.serve.scheduler import FairScheduler, JobCancelledError, SchedulerClosed
 from repro.serve.server import DseServer
 
 __all__ = [
+    "AdaptiveAdmission",
+    "AdmissionDecision",
+    "AdmissionSignals",
     "DseServer",
     "EvaluatorFleet",
     "FairScheduler",
     "FileJobQueue",
+    "FixedAdmission",
     "JobCancelledError",
     "JobRecord",
     "JobSpec",
@@ -42,4 +61,7 @@ __all__ = [
     "ScheduledBatch",
     "SchedulerBoundEvaluator",
     "SchedulerClosed",
+    "add_submit_listener",
+    "make_admission",
+    "remove_submit_listener",
 ]

@@ -21,17 +21,26 @@ straight to ``done/`` as cancelled; cancelling a *running* job drops a
 ``.cancel`` marker next to the running record, which the server polls
 and translates into a scheduler-level cancel (in-flight evaluations
 finish, everything pending fails fast).
+
+Submission wake-ups: every ``submit`` bumps the mtime of a ``SUBMIT``
+stamp file at the queue root and fires any in-process listeners
+registered for that root.  An event-driven server waits on its wake
+event instead of sleeping out a poll tick, so submit→claim latency is
+bounded by a file touch, not half a poll interval; cross-process
+servers compare :meth:`FileJobQueue.submit_stamp_ns` between passes.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
+from repro.observe import current_telemetry
 from repro.serve.jobs import JobRecord, JobSpec, JobState
 
 try:  # pragma: no branch
@@ -41,7 +50,50 @@ try:  # pragma: no branch
 except ImportError:  # pragma: no cover - non-POSIX fallback
     _HAVE_FLOCK = False
 
-__all__ = ["FileJobQueue"]
+__all__ = [
+    "FileJobQueue",
+    "add_submit_listener",
+    "remove_submit_listener",
+]
+
+
+def _count(name: str, value: float = 1) -> None:
+    tel = current_telemetry()
+    if tel is not None:
+        tel.counters.add(name, value)
+
+
+# In-process submit listeners, keyed by resolved queue root.  A server
+# colocated with its submitters (tests, benchmarks, library embedding)
+# gets microsecond wake-ups; remote submitters still reach it through
+# the SUBMIT stamp mtime.
+_submit_listeners: dict[str, list[Callable[[], None]]] = {}
+_listeners_lock = threading.Lock()
+
+
+def _root_key(root: str | Path) -> str:
+    return str(Path(root).resolve())
+
+
+def add_submit_listener(root: str | Path, listener: Callable[[], None]) -> None:
+    """Fire *listener* after every in-process submit to *root*'s queue."""
+    with _listeners_lock:
+        _submit_listeners.setdefault(_root_key(root), []).append(listener)
+
+
+def remove_submit_listener(
+    root: str | Path, listener: Callable[[], None]
+) -> None:
+    with _listeners_lock:
+        listeners = _submit_listeners.get(_root_key(root))
+        if listeners is None:
+            return
+        try:
+            listeners.remove(listener)
+        except ValueError:
+            pass
+        if not listeners:
+            del _submit_listeners[_root_key(root)]
 
 _STATE_DIRS = {
     JobState.QUEUED: "queued",
@@ -61,6 +113,10 @@ class FileJobQueue:
             (self.root / sub).mkdir(parents=True, exist_ok=True)
         self._lock_path = self.root / ".lock"
         self._counter_path = self.root / "COUNTER"
+        self._stamp_path = self.root / "SUBMIT"
+        #: Size of the most recent ``queued/`` scan — the admission
+        #: controller's queue-depth signal without an extra listing.
+        self.last_scan_entries = 0
 
     @contextmanager
     def _locked(self) -> Iterator[None]:
@@ -131,7 +187,24 @@ class FileJobQueue:
             submitted_at=time.time(),
         )
         self._write(record)
+        self._notify_submit()
         return record
+
+    def _notify_submit(self) -> None:
+        # The stamp is touched *after* the record is visible in queued/,
+        # so a server woken by the mtime change always finds the job.
+        self._stamp_path.touch(exist_ok=True)
+        with _listeners_lock:
+            listeners = list(_submit_listeners.get(_root_key(self.root), ()))
+        for listener in listeners:
+            listener()
+
+    def submit_stamp_ns(self) -> int:
+        """mtime (ns) of the SUBMIT stamp — 0 before the first submit."""
+        try:
+            return self._stamp_path.stat().st_mtime_ns
+        except OSError:
+            return 0
 
     def cancel(self, job_id: str) -> JobState | None:
         """Request cancellation; returns the state the request landed on.
@@ -179,18 +252,37 @@ class FileJobQueue:
 
     def depth(self) -> int:
         """Number of jobs waiting to be claimed."""
-        return sum(1 for _ in (self.root / "queued").glob("job-*.json"))
+        return len(self._scan_queued())
 
     # -- server side -----------------------------------------------------
 
-    def claim(self) -> JobRecord | None:
-        """Atomically claim the oldest queued job, or None when idle.
+    def _scan_queued(self) -> list[Path]:
+        """One sorted listing of ``queued/`` — the per-pass scan.
 
-        The winning rename moves the file into ``running/`` before the
-        record is rewritten, so a competing server loses the race with an
-        ``OSError`` and simply tries the next file.
+        Every queue operation that needs queued entries shares this scan,
+        and ``serve.claim_scan_entries`` counts what it walked, so the
+        directory-scan cost of the serve loop is visible in traces.
         """
-        for path in sorted((self.root / "queued").glob("job-*.json")):
+        entries = sorted((self.root / "queued").glob("job-*.json"))
+        self.last_scan_entries = len(entries)
+        _count("serve.claim_scan_entries", len(entries))
+        return entries
+
+    def claim_many(self, limit: int = 1) -> list[JobRecord]:
+        """Atomically claim up to *limit* oldest queued jobs via one scan.
+
+        The winning rename moves each file into ``running/`` before the
+        record is rewritten, so a competing server loses the race with an
+        ``OSError`` and simply tries the next file.  One directory scan
+        serves the whole pass regardless of how many claims the admission
+        controller budgeted.
+        """
+        claimed: list[JobRecord] = []
+        if limit < 1:
+            return claimed
+        for path in self._scan_queued():
+            if len(claimed) >= limit:
+                break
             target = self.root / "running" / path.name
             try:
                 os.replace(path, target)
@@ -202,8 +294,13 @@ class FileJobQueue:
             record.state = JobState.RUNNING
             record.started_at = time.time()
             self._write(record)
-            return record
-        return None
+            claimed.append(record)
+        return claimed
+
+    def claim(self) -> JobRecord | None:
+        """Atomically claim the oldest queued job, or None when idle."""
+        claimed = self.claim_many(1)
+        return claimed[0] if claimed else None
 
     def cancel_requested(self, job_id: str) -> bool:
         """True when a ``.cancel`` marker exists for a running job."""

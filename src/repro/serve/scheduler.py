@@ -17,6 +17,13 @@ server process:
   (``max_pending``): a producer thread calling :meth:`submit` blocks
   once its job has that many requests queued or running.  Sessions
   therefore slow down to the pool's pace instead of ballooning memory.
+- **Single-flight coalescing.**  Requests submitted with a ``key``
+  dedup in flight: the first keyed request is the *primary* that takes
+  an executor slot; later same-key requests from any lane attach to it
+  as followers and resolve from its result (optionally through a
+  per-follower ``transform``).  N tenants racing on one configuration
+  pay one run, charged to the lane that dispatched it, while each
+  follower lane records a ``coalesced`` answer.
 - **Cancel.**  Cancelling a job fails its queued requests fast with
   :class:`JobCancelledError` (in-flight evaluations finish — a tool run
   is not preemptible — and their results still land in the shared
@@ -56,9 +63,29 @@ class SchedulerClosed(ReproError):
 
 
 @dataclass
+class _Follower:
+    """A coalesced request riding on another lane's in-flight primary.
+
+    Keeps its own ``fn`` so it can be *promoted* to a primary if the
+    lane that dispatched the shared run cancels before it completes; the
+    optional ``transform`` reshapes the primary's result into this
+    tenant's answer (e.g. cache-pricing a shared evaluation).
+    """
+
+    job_id: str
+    fn: Callable[[], Any]
+    future: Future[Any]
+    transform: Callable[[Any], Any] | None = None
+
+
+@dataclass
 class _Request:
     fn: Callable[[], Any]
     future: Future[Any]
+    #: Single-flight key: requests sharing a non-None key coalesce onto
+    #: whichever of them is queued or running first.
+    key: Any = None
+    followers: list[_Follower] = field(default_factory=list)
 
 
 @dataclass
@@ -72,6 +99,9 @@ class _Lane:
     submitted: int = 0
     completed: int = 0
     dropped: int = 0
+    #: Requests answered by another lane's run via single-flight
+    #: coalescing — this lane never occupied an executor slot for them.
+    coalesced: int = 0
     # Producer-side backpressure: queued + running per job is bounded.
     gate: threading.Semaphore | None = None
 
@@ -96,6 +126,11 @@ class FairScheduler:
         )
         self._lanes: dict[str, _Lane] = {}
         self._rotation: deque[str] = deque()
+        # Single-flight table: key -> the primary request (queued or
+        # running) that later keyed submits attach to as followers.
+        # Loop-thread confined, like the lanes.
+        self._inflight_keys: dict[Any, _Request] = {}
+        self._coalesced_total = 0
         self._in_flight = 0
         self._peak_in_flight = 0
         self._draining = False
@@ -147,6 +182,7 @@ class FairScheduler:
                     request = lane.queue.popleft()
                     if not request.future.set_running_or_notify_cancel():
                         self._release(lane)
+                        self._drop_primary(request)
                         continue
                     lane.running += 1
                     self._in_flight += 1
@@ -168,14 +204,84 @@ class FairScheduler:
             lane.running -= 1
             lane.completed += 1
             self._release(lane)
+        if request.key is not None:
+            self._inflight_keys.pop(request.key, None)
         exc = done.exception()
         if exc is not None:
             request.future.set_exception(exc)
         else:
             request.future.set_result(done.result())
+        for follower in request.followers:
+            self._resolve_follower(follower, exc, done)
+        request.followers.clear()
         assert self._wakeup is not None
         self._wakeup.set()
         self._check_idle()
+
+    def _resolve_follower(
+        self,
+        follower: _Follower,
+        exc: BaseException | None,
+        done: asyncio.Future[Any],
+    ) -> None:
+        flane = self._lanes.get(follower.job_id)
+        if flane is not None:
+            flane.coalesced += 1
+            self._release(flane)
+        self._coalesced_total += 1
+        if not follower.future.set_running_or_notify_cancel():
+            return
+        if exc is not None:
+            follower.future.set_exception(exc)
+            return
+        try:
+            value = done.result()
+            if follower.transform is not None:
+                value = follower.transform(value)
+        except BaseException as terr:  # noqa: BLE001 - surfaced on the future
+            follower.future.set_exception(terr)
+        else:
+            follower.future.set_result(value)
+
+    def _drop_primary(self, request: _Request) -> None:
+        """A keyed primary left the queue unrun: promote a follower.
+
+        The first follower whose lane is still live becomes the new
+        primary for the key — queued at the *front* of its own lane (it
+        already waited its turn attached to the dropped request) with the
+        remaining followers carried over.  Followers of dead lanes fail
+        fast like any cancelled request.
+        """
+        if request.key is None:
+            if request.followers:  # pragma: no cover - defensive
+                raise AssertionError("followers on an unkeyed request")
+            return
+        self._inflight_keys.pop(request.key, None)
+        followers = request.followers
+        request.followers = []
+        while followers:
+            follower = followers.pop(0)
+            lane = self._lanes.get(follower.job_id)
+            if lane is None or lane.cancelled:
+                if lane is not None:
+                    lane.dropped += 1
+                    self._release(lane)
+                if follower.future.set_running_or_notify_cancel():
+                    follower.future.set_exception(
+                        JobCancelledError(follower.job_id)
+                    )
+                continue
+            promoted = _Request(
+                fn=follower.fn,
+                future=follower.future,
+                key=request.key,
+                followers=followers,
+            )
+            self._inflight_keys[request.key] = promoted
+            lane.queue.appendleft(promoted)
+            assert self._wakeup is not None
+            self._wakeup.set()
+            return
 
     @staticmethod
     def _release(lane: _Lane) -> None:
@@ -244,11 +350,28 @@ class FairScheduler:
 
         self._call(_unregister)
 
-    def submit(self, job_id: str, fn: Callable[[], Any]) -> Future[Any]:
+    def submit(
+        self,
+        job_id: str,
+        fn: Callable[[], Any],
+        *,
+        key: Any = None,
+        transform: Callable[[Any], Any] | None = None,
+    ) -> Future[Any]:
         """Enqueue one evaluation request for *job_id*; returns its future.
 
         Blocks the calling thread while the job is at its ``max_pending``
         bound — that is the backpressure propagating to the session.
+
+        A non-None *key* opts the request into single-flight coalescing:
+        if another request with the same key is already queued or running,
+        this one attaches to it as a follower — no executor slot, no
+        duplicate ``fn()`` — and resolves with ``transform(result)`` (or
+        the shared result verbatim) when the primary finishes.  The run
+        is charged to the lane that dispatched it; the follower's lane
+        counts a ``coalesced`` answer instead.  Followers still hold
+        their backpressure slot until resolution, and a cancelled
+        primary's followers are promoted rather than dropped.
         """
         lane = self._lanes.get(job_id)  # racy peek, revalidated on the loop
         if lane is not None and lane.gate is not None:
@@ -272,7 +395,18 @@ class FairScheduler:
                     SchedulerClosed("scheduler is draining; request rejected")
                 )
                 return
-            target.queue.append(_Request(fn, future))
+            if key is not None:
+                primary = self._inflight_keys.get(key)
+                if primary is not None:
+                    primary.followers.append(
+                        _Follower(job_id, fn, future, transform)
+                    )
+                    target.submitted += 1
+                    return
+            request = _Request(fn, future, key=key)
+            if key is not None:
+                self._inflight_keys[key] = request
+            target.queue.append(request)
             target.submitted += 1
             self._idle.clear()
             assert self._wakeup is not None
@@ -299,7 +433,24 @@ class FairScheduler:
                 self._release(lane)
                 if request.future.set_running_or_notify_cancel():
                     request.future.set_exception(JobCancelledError(job_id))
+                # Another lane's followers riding on this primary are not
+                # cancelled — the front survivor is promoted in its place.
+                self._drop_primary(request)
                 dropped += 1
+            # Followers of *this* job attached to other lanes' primaries
+            # fail fast too (the shared run itself keeps going — it is
+            # some other tenant's answer).
+            for primary in self._inflight_keys.values():
+                kept: list[_Follower] = []
+                for follower in primary.followers:
+                    if follower.job_id != job_id:
+                        kept.append(follower)
+                        continue
+                    self._release(lane)
+                    if follower.future.set_running_or_notify_cancel():
+                        follower.future.set_exception(JobCancelledError(job_id))
+                    dropped += 1
+                primary.followers = kept
             lane.dropped += dropped
             self._check_idle()
             return dropped
@@ -336,6 +487,18 @@ class FairScheduler:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def load(self) -> dict[str, Any]:
+        """The cheap utilization snapshot the admission controller reads."""
+
+        def _load() -> dict[str, Any]:
+            return {
+                "in_flight": self._in_flight,
+                "capacity": self.capacity,
+                "coalesced_hits": self._coalesced_total,
+            }
+
+        return self._call(_load)
+
     def stats(self) -> dict[str, Any]:
         """Point-in-time snapshot (consistent: taken on the loop thread)."""
 
@@ -347,6 +510,7 @@ class FairScheduler:
                 "queue_depth": sum(
                     len(lane.queue) for lane in self._lanes.values()
                 ),
+                "coalesced_hits": self._coalesced_total,
                 "draining": self._draining,
                 "jobs": {
                     job_id: {
@@ -356,6 +520,7 @@ class FairScheduler:
                         "submitted": lane.submitted,
                         "completed": lane.completed,
                         "dropped": lane.dropped,
+                        "coalesced": lane.coalesced,
                         "cancelled": lane.cancelled,
                     }
                     for job_id, lane in self._lanes.items()

@@ -8,10 +8,18 @@ serve``.  Its root directory is the whole service contract::
     <root>/results/    # <job-id>/dse.json per finished job
     <root>/STOP        # touch to request a graceful drain + exit
 
-The serve loop claims queued jobs (one per poll tick — a deliberate
-stagger so an earlier tenant's evaluations are already memo assets when
-an overlapping tenant arrives), registers each with the
-:class:`~repro.serve.scheduler.FairScheduler`, and runs its session on a
+The serve loop claims queued jobs under an admission controller
+(:mod:`repro.serve.admission`): ``fixed`` mode is the classic stagger —
+one claim per poll tick, so an earlier tenant's evaluations are already
+memo assets when an overlapping tenant arrives — while ``adaptive`` mode
+runs an AIMD claim budget over fleet utilization and the warm-hit ratio
+*and* switches the loop from polling to event-driven claiming: a queue
+submit wakes the loop immediately (in-process listener plus the queue's
+``SUBMIT`` stamp for cross-process submitters), so admission latency is
+bounded by a file touch instead of half a poll tick.
+
+Each claimed job is registered with the
+:class:`~repro.serve.scheduler.FairScheduler` and its session runs on a
 job-runner thread.  The session itself is the stock
 :class:`~repro.core.session.DseSession`; the only serve-specific wiring
 is ``fitness.set_batch_evaluator`` binding it to the shared fleet, so
@@ -30,6 +38,7 @@ claiming, drains the scheduler, and joins every runner.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 import traceback
@@ -37,12 +46,28 @@ from pathlib import Path
 from typing import Any
 
 from repro.observe import current_telemetry
+from repro.serve.admission import (
+    AdaptiveAdmission,
+    AdmissionSignals,
+    FixedAdmission,
+    make_admission,
+)
 from repro.serve.fleet import EvaluatorFleet, SchedulerBoundEvaluator
 from repro.serve.jobs import JobRecord, JobState
-from repro.serve.queue import FileJobQueue
+from repro.serve.queue import (
+    FileJobQueue,
+    add_submit_listener,
+    remove_submit_listener,
+)
 from repro.serve.scheduler import FairScheduler, JobCancelledError
 
 __all__ = ["DseServer"]
+
+#: What the controller sees when it declared it doesn't read signals
+#: (fixed mode) — saves a scheduler/fleet stats round-trip per tick.
+_NO_SIGNALS = AdmissionSignals(
+    utilization=0.0, warm_hits=0, fresh_runs=0, queue_depth=0
+)
 
 
 def _count(name: str, value: float = 1) -> None:
@@ -62,6 +87,9 @@ class DseServer:
         slots_per_job: int = 2,
         max_pending: int | None = None,
         poll_interval_s: float = 0.05,
+        admission: str | FixedAdmission | AdaptiveAdmission = "fixed",
+        coalesce: bool = True,
+        emulate_tool_latency: float = 0.0,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -72,20 +100,39 @@ class DseServer:
         self.shards = shards
         self.slots_per_job = slots_per_job
         self.poll_interval_s = poll_interval_s
+        if isinstance(admission, str):
+            admission = make_admission(admission, poll_interval_s)
+        self.admission = admission
+        self.coalesce = coalesce
+        #: Real seconds slept per simulated tool second on fresh runs —
+        #: the serve-throughput benchmark's stand-in for external tool
+        #: latency.  0 (the default) disables it.
+        self.emulate_tool_latency = emulate_tool_latency
         self.scheduler = FairScheduler(
             capacity=capacity,
             max_pending=max_pending if max_pending is not None else 4 * capacity,
         )
-        self.fleet = EvaluatorFleet(store_root=str(self.store_root), shards=shards)
+        self.fleet = EvaluatorFleet(
+            store_root=str(self.store_root),
+            shards=shards,
+            single_flight=coalesce,
+        )
         self.jobs_done = 0
         self.jobs_failed = 0
         self.jobs_cancelled = 0
         # Terminal-state counters are bumped on job-runner threads and read
-        # by the serve loop / stats(): the lock keeps the increments atomic.
+        # by the serve loop / stats(): the lock keeps both sides atomic.
         self._counters_lock = threading.Lock()
         self._runners: dict[str, threading.Thread] = {}
         self._stop = threading.Event()
+        # The claim-loop wake event: submit listeners (adaptive mode) and
+        # stop() set it so the loop reacts immediately instead of riding
+        # out the heartbeat wait.
+        self._wake = threading.Event()
+        self._last_warm_hits = 0
+        self._last_fresh_runs = 0
         self._final_fleet_stats: dict[str, Any] | None = None
+        self._final_coalesced: int | None = None
 
     # -- lifecycle --------------------------------------------------------
 
@@ -96,9 +143,34 @@ class DseServer:
     def stop(self) -> None:
         """Request a graceful drain from another thread."""
         self._stop.set()
+        self._wake.set()
 
     def _should_stop(self) -> bool:
         return self._stop.is_set() or self._stop_file.exists()
+
+    def _finished_jobs(self) -> int:
+        with self._counters_lock:
+            return self.jobs_done + self.jobs_failed + self.jobs_cancelled
+
+    def _signals(self) -> AdmissionSignals:
+        load = self.scheduler.load()
+        fleet = self.fleet.stats()
+        warm = (
+            int(fleet["memo_hits"])
+            + int(fleet["store_hits"])
+            + int(load["coalesced_hits"])
+        )
+        fresh = int(fleet["dispatched"])
+        capacity = int(load["capacity"])
+        signals = AdmissionSignals(
+            utilization=(int(load["in_flight"]) / capacity) if capacity else 0.0,
+            warm_hits=max(0, warm - self._last_warm_hits),
+            fresh_runs=max(0, fresh - self._last_fresh_runs),
+            queue_depth=self.queue.last_scan_entries,
+        )
+        self._last_warm_hits = warm
+        self._last_fresh_runs = fresh
+        return signals
 
     def serve_forever(
         self,
@@ -113,17 +185,32 @@ class DseServer:
         service runs with neither and drains on ``STOP``.
         """
         idle_since: float | None = None
+        event_driven = self.admission.event_driven
+        listener = self._wake.set if event_driven else None
+        if listener is not None:
+            add_submit_listener(self.queue.root, listener)
+        last_stamp = self.queue.submit_stamp_ns()
         try:
             while not self._should_stop():
                 self._reap_runners()
                 self._poll_cancels()
-                finished = self.jobs_done + self.jobs_failed + self.jobs_cancelled
-                if stop_after is not None and finished >= stop_after:
+                if (
+                    stop_after is not None
+                    and self._finished_jobs() >= stop_after
+                ):
                     break
-                claimed = self.queue.claim()
-                if claimed is not None:
+                decision = self.admission.decide(
+                    self._signals() if event_driven else _NO_SIGNALS
+                )
+                # Clear before the scan: a submit landing after the scan
+                # re-sets the event and the wait below returns at once —
+                # the claim is never lost, only deferred one pass.
+                self._wake.clear()
+                claimed = self.queue.claim_many(decision.claims)
+                for record in claimed:
+                    self._launch(record)
+                if claimed:
                     idle_since = None
-                    self._launch(claimed)
                 elif not self._runners:
                     if max_idle_s is not None:
                         now = time.monotonic()
@@ -131,13 +218,22 @@ class DseServer:
                             idle_since = now
                         elif now - idle_since >= max_idle_s:
                             break
-                # One claim per tick: staggered admission keeps an earlier
-                # tenant ahead of an overlapping one, maximizing its memo
-                # value — and bounds claim-loop churn.  Waiting on the stop
-                # event (not time.sleep) makes stop() wake the loop
-                # immediately instead of riding out the poll interval.
-                self._stop.wait(self.poll_interval_s)
+                if event_driven:
+                    # Cross-process submitters can't fire the in-process
+                    # listener; their SUBMIT stamp bump skips the wait.
+                    stamp = self.queue.submit_stamp_ns()
+                    if stamp != last_stamp:
+                        last_stamp = stamp
+                        continue
+                    self._wake.wait(decision.wait_s)
+                else:
+                    # Fixed mode: the classic stagger, verbatim — one
+                    # claim per tick, waiting on the stop event so
+                    # stop() still wakes the loop immediately.
+                    self._stop.wait(decision.wait_s)
         finally:
+            if listener is not None:
+                remove_submit_listener(self.queue.root, listener)
             self._drain()
         return self.stats()
 
@@ -150,6 +246,7 @@ class DseServer:
             thread.join()
         self._reap_runners()
         self._final_fleet_stats = self.fleet.stats()
+        self._final_coalesced = int(self.scheduler.load()["coalesced_hits"])
         self.scheduler.close()
         self.fleet.close()
 
@@ -202,6 +299,10 @@ class DseServer:
             spec = EvaluatorSpec.from_evaluator(
                 session.evaluator, design_name=record.spec.design
             )
+            if self.emulate_tool_latency > 0.0:
+                spec = dataclasses.replace(
+                    spec, emulate_tool_latency=self.emulate_tool_latency
+                )
             bound = self.fleet.bind(self.scheduler, job_id, spec)
             session.fitness.set_batch_evaluator(bound)
             result = session.explore(
@@ -252,14 +353,27 @@ class DseServer:
             traceback.print_exc()
         finally:
             self.scheduler.unregister_job(job_id)
+            # A finished job frees capacity (and may satisfy stop_after):
+            # wake the claim loop so it re-decides now, not next heartbeat.
+            self._wake.set()
 
     # -- introspection ----------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
+        with self._counters_lock:
+            done = self.jobs_done
+            failed = self.jobs_failed
+            cancelled = self.jobs_cancelled
+        if self._final_coalesced is not None:
+            coalesced = self._final_coalesced
+        else:
+            coalesced = int(self.scheduler.load()["coalesced_hits"])
         return {
-            "jobs_done": self.jobs_done,
-            "jobs_failed": self.jobs_failed,
-            "jobs_cancelled": self.jobs_cancelled,
+            "jobs_done": done,
+            "jobs_failed": failed,
+            "jobs_cancelled": cancelled,
             "queue_depth": self.queue.depth(),
+            "coalesced_hits": coalesced,
+            "admission": self.admission.stats(),
             "fleet": self._final_fleet_stats or self.fleet.stats(),
         }

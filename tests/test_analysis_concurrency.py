@@ -255,19 +255,32 @@ _S004_HEAD = (
     "        t.start()\n"
     "\n"
     "    def snapshot(self):\n"
-    "        return self.done\n"
+    "        with self._lock:\n"
+    "            return self.done\n"
     "\n"
+)
+
+#: Same class, but the snapshot read skips the lock the writer holds.
+_S004_HEAD_LOCKLESS_READ = _S004_HEAD.replace(
+    "    def snapshot(self):\n"
+    "        with self._lock:\n"
+    "            return self.done\n",
+    "    def snapshot(self):\n"
+    "        return self.done\n",
 )
 
 
 class TestS004:
     def test_unguarded_increment_flagged(self):
-        src = _S004_HEAD + (
+        src = _S004_HEAD_LOCKLESS_READ + (
             "    def _work(self):\n"
             "        self.done += 1\n"
         )
         findings = check(("app/stats.py", src))
+        # Only the write side is reported: with no writer lock there is no
+        # coherence protocol for the lockless read to bypass.
         assert codes(findings) == ["S004"]
+        assert "read-modify-write" in findings[0].message
         assert "self.done" in findings[0].message
 
     def test_lock_guarded_increment_clean(self):
@@ -277,6 +290,17 @@ class TestS004:
             "            self.done += 1\n"
         )
         assert check(("app/stats.py", src)) == []
+
+    def test_lockless_read_with_locked_writers_flagged(self):
+        src = _S004_HEAD_LOCKLESS_READ + (
+            "    def _work(self):\n"
+            "        with self._lock:\n"
+            "            self.done += 1\n"
+        )
+        findings = check(("app/stats.py", src))
+        assert codes(findings) == ["S004"]
+        assert "unguarded read" in findings[0].message
+        assert "snapshot" in findings[0].message
 
     def test_single_role_attribute_clean(self):
         # Only the worker thread touches the attribute: no interleaving.
@@ -531,12 +555,14 @@ class TestSelfAnalysis:
 # --------------------------------------------------------------------------
 
 
-def _patched_sources(old: str, new: str) -> list[tuple[str, str]]:
-    """The self-source set with one textual regression applied to store.py."""
+def _patched_sources(
+    old: str, new: str, target: str = "repro/cache/store.py"
+) -> list[tuple[str, str]]:
+    """The self-source set with one textual regression applied to *target*."""
     out: list[tuple[str, str]] = []
     patched = False
     for path, text in collect_py_sources():
-        if path == "repro/cache/store.py":
+        if path == target:
             assert old in text, f"revert anchor missing: {old!r}"
             text = text.replace(old, new, 1)
             patched = True
@@ -546,10 +572,12 @@ def _patched_sources(old: str, new: str) -> list[tuple[str, str]]:
 
 
 class TestRevertDetection:
-    def _findings(self, old: str, new: str):
+    def _findings(
+        self, old: str, new: str, target: str = "repro/cache/store.py"
+    ):
         return list(
             DesignRuleChecker()
-            .check_python(_patched_sources(old, new))
+            .check_python(_patched_sources(old, new, target))
             .findings
         )
 
@@ -593,5 +621,28 @@ class TestRevertDetection:
             and f.module == "repro/cache/store.py"
             and "json.loads" in f.message
             and "refresh" in f.message
+            for f in findings
+        ), [str(f) for f in findings]
+
+    def test_reverting_stats_counter_lock_is_caught(self):
+        # PR 10 fix: DseServer.stats() reads the terminal-state counters
+        # under _counters_lock.  The pre-fix shape — lockless reads of
+        # counters every job-runner thread increments under the lock —
+        # trips the S004 read variant.
+        findings = self._findings(
+            "        with self._counters_lock:\n"
+            "            done = self.jobs_done\n"
+            "            failed = self.jobs_failed\n"
+            "            cancelled = self.jobs_cancelled\n",
+            "        done = self.jobs_done\n"
+            "        failed = self.jobs_failed\n"
+            "        cancelled = self.jobs_cancelled\n",
+            target="repro/serve/server.py",
+        )
+        assert any(
+            f.code == "S004"
+            and f.module == "repro/serve/server.py"
+            and "unguarded read" in f.message
+            and "stats" in f.message
             for f in findings
         ), [str(f) for f in findings]

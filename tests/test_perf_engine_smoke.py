@@ -43,3 +43,9 @@ def test_perf_engine_smoke():
     assert gate["hv_regret"] <= 0.01
     assert gate["skipped"] > 0, "smoke run too small for the gate to ever skip"
     assert gate["gated_simulated_s"] < gate["full_simulated_s"]
+    # Serve throughput: fronts and the combined tool-run bill are
+    # host-independent, so both hold at smoke sizes; the >=1.3x speedup
+    # floor only applies to the full benchmark.
+    serve = payload["serve"]
+    assert serve["identical"]
+    assert serve["combined_tool_runs"] == serve["serial_tool_runs"]

@@ -20,14 +20,20 @@ import pytest
 from tests._sanitize_support import lock_order_guard
 
 from repro.serve import (
+    AdaptiveAdmission,
+    AdmissionSignals,
     DseServer,
     EvaluatorFleet,
     FairScheduler,
     FileJobQueue,
+    FixedAdmission,
     JobCancelledError,
     JobSpec,
     JobState,
     SchedulerClosed,
+    add_submit_listener,
+    make_admission,
+    remove_submit_listener,
 )
 
 @pytest.fixture(autouse=True)
@@ -127,6 +133,34 @@ class TestFileJobQueue:
         second = queue.submit(JobSpec(design="tirex")).job_id
         assert second == "job-000001"
         assert [r.job_id for r in queue.jobs()] == [first, second]
+
+    def test_claim_many_is_fifo_over_one_scan(self, tmp_path):
+        queue = FileJobQueue(tmp_path / "q")
+        ids = [queue.submit(JobSpec(design="tirex")).job_id for _ in range(3)]
+        claimed = queue.claim_many(2)
+        assert [r.job_id for r in claimed] == ids[:2]
+        assert all(r.state == JobState.RUNNING for r in claimed)
+        # One directory listing served the whole pass.
+        assert queue.last_scan_entries == 3
+        assert queue.depth() == 1
+        assert [r.job_id for r in queue.claim_many(5)] == ids[2:]
+
+    def test_submit_listener_fires_until_removed(self, tmp_path):
+        queue = FileJobQueue(tmp_path / "q")
+        fired: list[int] = []
+        listener = lambda: fired.append(1)  # noqa: E731
+        assert queue.submit_stamp_ns() == 0
+        add_submit_listener(tmp_path / "q", listener)
+        try:
+            queue.submit(JobSpec(design="tirex"))
+            assert fired == [1]
+            stamp = queue.submit_stamp_ns()
+            assert stamp > 0
+        finally:
+            remove_submit_listener(tmp_path / "q", listener)
+        queue.submit(JobSpec(design="tirex"))
+        assert fired == [1]  # removed listeners stay silent
+        assert queue.submit_stamp_ns() >= stamp  # but the stamp still bumps
 
     def test_jobs_lists_all_states_in_submission_order(self, tmp_path):
         queue = FileJobQueue(tmp_path / "q")
@@ -260,6 +294,167 @@ class TestFairScheduler:
             futures = [sched.submit("A", lambda i=i: i * i) for i in range(8)]
             assert [f.result(10) for f in futures] == [i * i for i in range(8)]
 
+    def test_slow_lane_does_not_break_the_fast_lanes_interleave(self):
+        """Fairness under unequal request durations: a lane whose every
+        request is slow still alternates 1:1 with a fast lane — round-robin
+        rotates by *request*, so request duration cannot buy extra turns."""
+        with FairScheduler(capacity=1) as sched:
+            sched.register_job("slow", slots=1)
+            sched.register_job("fast", slots=1)
+            order: list[str] = []
+            release = threading.Event()
+            blocker = sched.submit("slow", lambda: release.wait(10))
+            time.sleep(0.05)
+            futures = [
+                sched.submit(
+                    "slow",
+                    lambda: (time.sleep(0.04), order.append("slow"))[1],
+                )
+                for _ in range(4)
+            ]
+            futures += [
+                sched.submit("fast", lambda: order.append("fast"))
+                for _ in range(4)
+            ]
+            release.set()
+            blocker.result(10)
+            for future in futures:
+                future.result(10)
+            assert order.count("slow") == order.count("fast") == 4
+            assert all(a != b for a, b in zip(order, order[1:])), order
+
+
+# ---------------------------------------------------------------------------
+# FairScheduler single-flight coalescing
+
+
+class TestSingleFlightCoalescing:
+    def test_identical_key_runs_once_and_resolves_every_future(self):
+        with FairScheduler(capacity=1) as sched:
+            sched.register_job("A", slots=1)
+            sched.register_job("B", slots=1)
+            runs: list[int] = []
+            gate = threading.Event()
+
+            def work():
+                runs.append(1)
+                gate.wait(10)
+                return 42
+
+            primary = sched.submit("A", work, key="point")
+            time.sleep(0.05)  # the primary is in flight
+            follower = sched.submit(
+                "B", lambda: 99, key="point", transform=lambda v: v + 1
+            )
+            gate.set()
+            assert primary.result(10) == 42
+            assert follower.result(10) == 43  # shared result, own transform
+            assert runs == [1], "the follower must not run its own fn"
+            stats = sched.stats()
+            assert stats["coalesced_hits"] == 1
+            assert stats["jobs"]["B"]["coalesced"] == 1
+            assert stats["jobs"]["A"]["coalesced"] == 0
+
+    def test_distinct_keys_do_not_coalesce(self):
+        with FairScheduler(capacity=2) as sched:
+            sched.register_job("A", slots=2)
+            sched.register_job("B", slots=2)
+            a = sched.submit("A", lambda: "a", key="ka")
+            b = sched.submit("B", lambda: "b", key="kb")
+            assert (a.result(10), b.result(10)) == ("a", "b")
+            assert sched.stats()["coalesced_hits"] == 0
+
+    def test_cancelling_the_primary_promotes_the_follower(self):
+        with FairScheduler(capacity=1) as sched:
+            sched.register_job("A", slots=1)
+            sched.register_job("B", slots=1)
+            gate = threading.Event()
+            blocker = sched.submit("A", lambda: gate.wait(10))
+            time.sleep(0.05)
+            ran: list[str] = []
+            primary = sched.submit(
+                "A", lambda: ran.append("A") or "from-A", key="point"
+            )
+            follower = sched.submit(
+                "B", lambda: ran.append("B") or "from-B", key="point"
+            )
+            sched.cancel_job("A")
+            gate.set()
+            blocker.result(10)
+            with pytest.raises(JobCancelledError):
+                primary.result(10)
+            # The follower is promoted to primary in its own lane and runs
+            # its *own* fn — B never depends on the cancelled tenant.
+            assert follower.result(10) == "from-B"
+            assert ran == ["B"]
+
+
+# ---------------------------------------------------------------------------
+# Admission controllers
+
+
+class TestAdmission:
+    def test_fixed_is_the_constant_stagger(self):
+        ctl = FixedAdmission(0.2)
+        assert ctl.event_driven is False
+        saturated = AdmissionSignals(
+            utilization=1.0, warm_hits=0, fresh_runs=9, queue_depth=9
+        )
+        for _ in range(5):
+            decision = ctl.decide(saturated)
+            assert (decision.claims, decision.wait_s) == (1, 0.2)
+        assert ctl.stats() == {
+            "mode": "fixed", "decisions": 5, "claim_budget": 1
+        }
+
+    def test_adaptive_grows_additively_to_the_cap(self):
+        ctl = AdaptiveAdmission(0.05, max_claim=4)
+        assert ctl.event_driven is True
+        warm = AdmissionSignals(
+            utilization=0.2, warm_hits=8, fresh_runs=2, queue_depth=3
+        )
+        assert [ctl.decide(warm).claims for _ in range(6)] == [2, 3, 4, 4, 4, 4]
+
+    def test_adaptive_backs_off_multiplicatively_and_floors_at_one(self):
+        ctl = AdaptiveAdmission(0.05, max_claim=8)
+        warm = AdmissionSignals(
+            utilization=0.0, warm_hits=8, fresh_runs=0, queue_depth=0
+        )
+        for _ in range(7):
+            ctl.decide(warm)
+        assert ctl.claim_budget == 8
+        hot = AdmissionSignals(
+            utilization=0.9, warm_hits=8, fresh_runs=0, queue_depth=0
+        )
+        assert ctl.decide(hot).claims == 4
+        assert ctl.decide(hot).claims == 2
+        cold = AdmissionSignals(
+            utilization=0.0, warm_hits=0, fresh_runs=6, queue_depth=0
+        )
+        assert ctl.decide(cold).claims == 1
+        assert ctl.decide(cold).claims == 1  # floored: never below the stagger
+        assert ctl.stats()["backoffs"] == 4
+
+    def test_idle_windows_grow_toward_burst_drain(self):
+        # No answers at all is not "cold": an idle pool should be ready to
+        # drain a burst of submissions in one event-driven pass.
+        ctl = AdaptiveAdmission(0.05, max_claim=3)
+        idle = AdmissionSignals(
+            utilization=0.0, warm_hits=0, fresh_runs=0, queue_depth=0
+        )
+        assert [ctl.decide(idle).claims for _ in range(3)] == [2, 3, 3]
+
+    def test_factory_and_validation(self):
+        assert make_admission("fixed", 0.1).name == "fixed"
+        adaptive = make_admission("adaptive", 0.1, max_claim=5, backoff=0.25)
+        assert (adaptive.max_claim, adaptive.backoff) == (5, 0.25)
+        with pytest.raises(ValueError):
+            make_admission("jittery", 0.1)
+        with pytest.raises(ValueError):
+            AdaptiveAdmission(0.05, backoff=1.5)
+        with pytest.raises(ValueError):
+            FixedAdmission(0.0)
+
 
 # ---------------------------------------------------------------------------
 # EvaluatorFleet + facade
@@ -296,6 +491,46 @@ class TestEvaluatorFleet:
             for mine, theirs in zip(first, second):
                 assert mine.metrics == theirs.metrics
         fleet.close()
+
+    def test_concurrent_identical_batches_pay_one_bill(self, tmp_path):
+        """Two tenants submitting the same points *while* they are in
+        flight pay exactly one tool-run bill between them: the scheduler
+        single-flights by evaluation cache key, so the followers' futures
+        resolve from the primary's result as coalesced cache answers."""
+        import dataclasses
+
+        from repro.observe import telemetry_session
+
+        # ~0.2s of emulated latency per fresh run keeps the first
+        # tenant's evaluations in flight while the second one submits.
+        spec = dataclasses.replace(self._spec(), emulate_tool_latency=0.002)
+        fleet = EvaluatorFleet(store_root=str(tmp_path / "store"), shards=4)
+        points = [{"DEPTH": 4}, {"DEPTH": 8}]
+        with telemetry_session() as tel, FairScheduler(capacity=4) as sched:
+            sched.register_job("A", slots=4)
+            sched.register_job("B", slots=4)
+            bound_a = fleet.bind(sched, "A", spec)
+            bound_b = fleet.bind(sched, "B", spec)
+            batch_a = bound_a.submit_many(points)
+            batch_b = bound_b.submit_many(points)
+            first = batch_a.results(on_error="return")
+            second = batch_b.results(on_error="return")
+            for mine, theirs in zip(first, second):
+                assert mine.metrics == theirs.metrics
+            stats_a = bound_a.tenant_stats()
+            stats_b = bound_b.tenant_stats()
+            assert stats_a["tool_runs"] == len(points)
+            assert stats_b["tool_runs"] == 0
+            assert stats_b["coalesced_hits"] == len(points)
+            assert stats_b["cache_hit_rate"] == 1.0
+            assert sched.stats()["coalesced_hits"] == len(points)
+            assert tel.counters.get("serve.coalesced_hits") == len(points)
+        fleet.close()
+
+        # The shared store holds each unique answer exactly once.
+        from repro.cache import open_store
+
+        assert len(open_store(tmp_path / "store")) == len(points)
 
     def test_same_spec_shares_one_member(self, tmp_path):
         spec = self._spec()
@@ -378,6 +613,90 @@ class TestDseServerIntegration:
 
         store = open_store(tmp_path / "svc" / "store")
         assert len(store) == reference.tool_runs
+
+    def test_adaptive_admission_same_fronts_same_bill(self, tmp_path):
+        """Adaptive admission + coalescing change pacing and who pays —
+        never the fronts, and never the combined tool-run bill."""
+        server = DseServer(
+            tmp_path / "svc",
+            capacity=2,
+            shards=4,
+            poll_interval_s=0.05,
+            admission="adaptive",
+        )
+        queue = FileJobQueue(tmp_path / "svc" / "queue")
+        spec = JobSpec(
+            design="cv32e40p-fifo",
+            seed=5,
+            generations=2,
+            population=6,
+            use_model=False,
+        )
+        first = queue.submit(spec)
+        second = queue.submit(spec)
+        stats = server.serve_forever(stop_after=2, max_idle_s=10.0)
+        assert stats["jobs_done"] == 2
+        assert stats["jobs_failed"] == 0
+        assert stats["admission"]["mode"] == "adaptive"
+        assert stats["admission"]["decisions"] > 0
+
+        reference = _serial_reference()
+        reference_front = sorted(
+            tuple(sorted(p.as_row().items())) for p in reference.pareto
+        )
+        job_a = queue.get(first.job_id)
+        job_b = queue.get(second.job_id)
+        assert job_a.state == JobState.DONE, job_a.error
+        assert job_b.state == JobState.DONE, job_b.error
+        assert _front_rows(job_a.result_path) == reference_front
+        assert _front_rows(job_b.result_path) == reference_front
+        paid = job_a.stats["tool_runs"] + job_b.stats["tool_runs"]
+        assert paid == reference.tool_runs
+
+        from repro.cache import open_store
+
+        assert len(open_store(tmp_path / "svc" / "store")) == reference.tool_runs
+
+    def test_submit_wakes_the_idle_claim_loop(self, tmp_path):
+        """Event-driven claiming: a submit landing mid-wait is claimed at
+        once, not at the next poll tick (which is 5s away here)."""
+        server = DseServer(
+            tmp_path / "svc",
+            capacity=1,
+            poll_interval_s=5.0,
+            admission="adaptive",
+        )
+        queue = FileJobQueue(tmp_path / "svc" / "queue")
+        done: dict[str, dict] = {}
+
+        def run():
+            done["stats"] = server.serve_forever(stop_after=1, max_idle_s=30.0)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        try:
+            time.sleep(1.0)  # the first (empty) pass is over; loop is mid-wait
+            submitted = time.monotonic()
+            queue.submit(
+                JobSpec(
+                    design="cv32e40p-fifo",
+                    seed=5,
+                    generations=1,
+                    population=4,
+                    use_model=False,
+                )
+            )
+            thread.join(30.0)
+            elapsed = time.monotonic() - submitted
+        finally:
+            server.stop()
+            thread.join(30.0)
+        assert not thread.is_alive()
+        assert done["stats"]["jobs_done"] == 1
+        assert elapsed < 4.0, (
+            f"submit->done took {elapsed:.2f}s with a 5s poll tick: the "
+            "wake event did not short-circuit the wait"
+        )
 
     def test_cancelled_queued_job_never_runs(self, tmp_path):
         server = DseServer(tmp_path / "svc", capacity=1, poll_interval_s=0.05)
